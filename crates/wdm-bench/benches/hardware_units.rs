@@ -1,0 +1,80 @@
+//! Cycle-exact hardware model: wall time of the software stand-in for the
+//! register-level units (the cycle counts themselves are deterministic —
+//! k for FA, d·(k−1)+1 sequential / k−1+⌈log2 d⌉ parallel for BFA — and
+//! asserted in the unit tests; this bench tracks the simulation cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdm_bench::{bench_rng, random_request_vector};
+use wdm_core::{ChannelMask, Conversion};
+use wdm_hardware::{BreakFaUnit, FirstAvailableUnit, HardwareScheduler, RequestRegister};
+
+use rand::Rng;
+
+fn bench_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_fa_unit");
+    for k in [16usize, 64, 256] {
+        let conv = Conversion::non_circular(k, 1, 1).expect("valid");
+        let unit = FirstAvailableUnit::new(conv).expect("non-circular");
+        let mask = ChannelMask::all_free(k);
+        let mut rng = bench_rng(k as u64);
+        let inputs: Vec<_> =
+            (0..32).map(|_| random_request_vector(&mut rng, 8, k, 0.8)).collect();
+        group.bench_with_input(BenchmarkId::new("k", k), &inputs, |b, inputs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let rv = &inputs[i % inputs.len()];
+                i += 1;
+                black_box(unit.run(rv, &mask).expect("runs"))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hw_bfa_unit");
+    for k in [16usize, 64, 256] {
+        let conv = Conversion::symmetric_circular(k, 3).expect("valid");
+        let unit = BreakFaUnit::new(conv).expect("circular");
+        let mask = ChannelMask::all_free(k);
+        let mut rng = bench_rng(k as u64);
+        let inputs: Vec<_> =
+            (0..32).map(|_| random_request_vector(&mut rng, 8, k, 0.8)).collect();
+        group.bench_with_input(BenchmarkId::new("k", k), &inputs, |b, inputs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let rv = &inputs[i % inputs.len()];
+                i += 1;
+                black_box(unit.run(rv, &mask).expect("runs"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_pipeline");
+    let k = 32;
+    for n in [4usize, 16, 64] {
+        let conv = Conversion::symmetric_circular(k, 3).expect("valid");
+        group.bench_with_input(BenchmarkId::new("N", n), &n, |b, &n| {
+            let mut sched = HardwareScheduler::new(n, conv).expect("valid");
+            let mask = ChannelMask::all_free(k);
+            let mut rng = bench_rng(n as u64);
+            b.iter(|| {
+                let mut reg = RequestRegister::new(n, k);
+                for fiber in 0..n {
+                    for w in 0..k {
+                        if rng.gen_bool(0.8 / n as f64) {
+                            reg.set_request(fiber, w);
+                        }
+                    }
+                }
+                black_box(sched.schedule_slot(&mut reg, &mask).expect("slot"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(hw_benches, bench_units, bench_pipeline);
+criterion_main!(hw_benches);

@@ -1,0 +1,86 @@
+//! E9 — end-to-end simulation cost: slots per second of the full
+//! interconnect simulation at the configurations the throughput study runs,
+//! so the study's runtime is predictable and regressions are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wdm_core::Conversion;
+use wdm_interconnect::InterconnectConfig;
+use wdm_sim::engine::{Simulation, SimulationConfig};
+use wdm_sim::traffic::{BernoulliUniform, BurstyOnOff, DurationModel};
+
+const SLOTS: u64 = 500;
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_uniform");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SLOTS));
+    for (n, k) in [(4usize, 8usize), (8, 16), (16, 32)] {
+        let conv = Conversion::symmetric_circular(k, 3).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let traffic =
+                        BernoulliUniform::new(n, k, 0.8, DurationModel::Deterministic(1));
+                    let cfg = SimulationConfig { warmup_slots: 0, measure_slots: SLOTS, seed };
+                    let report = Simulation::new(
+                        InterconnectConfig::packet_switch(n, conv),
+                        traffic,
+                        cfg,
+                    )
+                    .expect("valid")
+                    .run()
+                    .expect("runs");
+                    black_box(report.metrics.granted())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bursty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_bursty");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SLOTS));
+    let (n, k) = (8usize, 16usize);
+    let conv = Conversion::symmetric_circular(k, 3).expect("valid");
+    for mean_burst in [2.0f64, 8.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("burst{mean_burst}")),
+            &mean_burst,
+            |b, &mean_burst| {
+                let mut seed = 100u64;
+                b.iter(|| {
+                    seed += 1;
+                    let p_off = 1.0 / mean_burst;
+                    let traffic = BurstyOnOff::new(
+                        n,
+                        k,
+                        0.3 * p_off / (1.0 - 0.3),
+                        p_off,
+                        DurationModel::Deterministic(1),
+                    );
+                    let cfg = SimulationConfig { warmup_slots: 0, measure_slots: SLOTS, seed };
+                    let report = Simulation::new(
+                        InterconnectConfig::packet_switch(n, conv),
+                        traffic,
+                        cfg,
+                    )
+                    .expect("valid")
+                    .run()
+                    .expect("runs");
+                    black_box(report.metrics.granted())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(sim_benches, bench_uniform, bench_bursty);
+criterion_main!(sim_benches);

@@ -1,0 +1,71 @@
+//! # wdm-bench
+//!
+//! Shared workload generation for the Criterion benchmark harness (the
+//! benches live under `benches/`; see EXPERIMENTS.md for the experiment
+//! index). Deterministic generators keep every benchmark reproducible
+//! across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdm_core::{ChannelMask, RequestVector};
+
+/// A deterministic RNG for benchmark workloads.
+pub fn bench_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random request vector for one output fiber of an `n × n` interconnect
+/// with `k` wavelengths under i.i.d. Bernoulli load `p` per input channel
+/// and uniform destinations: each of the `n·k` input channels holds a packet
+/// with probability `p`, destined to this fiber with probability `1/n`.
+pub fn random_request_vector(rng: &mut StdRng, n: usize, k: usize, p: f64) -> RequestVector {
+    let mut rv = RequestVector::new(k);
+    for _ in 0..n {
+        for w in 0..k {
+            if rng.gen_bool(p / n as f64) {
+                rv.add(w).expect("wavelength in range");
+            }
+        }
+    }
+    rv
+}
+
+/// A random channel mask with each channel independently occupied with
+/// probability `p_occupied`.
+pub fn random_mask(rng: &mut StdRng, k: usize, p_occupied: f64) -> ChannelMask {
+    ChannelMask::from_flags((0..k).map(|_| !rng.gen_bool(p_occupied)).collect())
+        .expect("k >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_workloads() {
+        let a = random_request_vector(&mut bench_rng(7), 8, 16, 0.8);
+        let b = random_request_vector(&mut bench_rng(7), 8, 16, 0.8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_scales_with_p() {
+        let mut rng = bench_rng(1);
+        let total: usize = (0..200)
+            .map(|_| random_request_vector(&mut rng, 4, 32, 0.8).total())
+            .sum();
+        let expect = 200.0 * 0.8 * 32.0;
+        assert!((total as f64) > 0.8 * expect && (total as f64) < 1.2 * expect);
+    }
+
+    #[test]
+    fn mask_probability() {
+        let mut rng = bench_rng(2);
+        let m = random_mask(&mut rng, 1000, 0.3);
+        let occupied = 1000 - m.free_count();
+        assert!(occupied > 200 && occupied < 400);
+    }
+}

@@ -1,0 +1,467 @@
+//! The Break and First Available Algorithm (paper Table 3, Theorem 2).
+//!
+//! Under circular symmetrical conversion the request graph is *circular*
+//! convex — adjacency sets are arcs of the wavelength ring — and First
+//! Available does not directly apply. The paper's remedy:
+//!
+//! 1. pick any request `a_i` (Lemma 4: at least one of its incident edges
+//!    belongs to some crossing-free maximum matching);
+//! 2. for each free channel `b_u` adjacent to `a_i`, *break* the graph at
+//!    `a_i b_u` — delete both endpoints and every edge crossing the breaking
+//!    edge — producing a convex reduced graph (Lemma 2);
+//! 3. run First Available on each reduced graph (`O(k)` each);
+//! 4. return the largest result plus its breaking edge (Lemma 3).
+//!
+//! Total: `O(dk)`, independent of the interconnect size `N`.
+//!
+//! Two implementations are provided: [`break_fa_schedule`] is the compact
+//! production scheduler that never materializes a graph, and
+//! [`break_fa_matching`] is the explicit reference version built from
+//! [`crate::breaking::break_graph`]. The test suite checks both against the
+//! Hopcroft–Karp/Kuhn oracles.
+
+use std::collections::VecDeque;
+
+use crate::breaking::{break_graph, reduced_span, SameWavelengthOrder};
+use crate::conversion::{Conversion, ConversionKind};
+use crate::error::Error;
+use crate::graph::RequestGraph;
+use crate::matching::Matching;
+use crate::occupancy::ChannelMask;
+use crate::request::RequestVector;
+
+use super::first_available::{first_available, ConvexInstance};
+use super::full_range::full_range_schedule;
+use super::Assignment;
+
+/// How the breaking vertex `a_i` is chosen. Any choice yields a maximum
+/// matching (Lemma 4 holds for every vertex); the choice is exposed for the
+/// ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakChoice {
+    /// The first request in left order: the lowest-indexed wavelength with a
+    /// pending request (the paper's presentation order).
+    #[default]
+    FirstRequest,
+    /// The wavelength with the most pending requests.
+    DensestWavelength,
+}
+
+/// The compact `O(dk)` Break and First Available scheduler for circular
+/// conversion.
+///
+/// Full-range conversion is dispatched to the trivial scheduler;
+/// non-circular conversion is rejected (use
+/// [`super::first_available::fa_schedule`]).
+///
+/// ```
+/// use wdm_core::{ChannelMask, Conversion, RequestVector};
+/// use wdm_core::algorithms::break_fa_schedule;
+///
+/// let conv = Conversion::symmetric_circular(6, 3)?;
+/// let requests = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2])?;
+/// let grants = break_fa_schedule(&conv, &requests, &ChannelMask::all_free(6))?;
+/// assert_eq!(grants.len(), 6); // the maximum matching of paper Fig. 4(a)
+/// # Ok::<(), wdm_core::Error>(())
+/// ```
+pub fn break_fa_schedule(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+) -> Result<Vec<Assignment>, Error> {
+    break_fa_schedule_with(conv, requests, mask, BreakChoice::default())
+}
+
+/// [`break_fa_schedule`] with an explicit breaking-vertex policy.
+pub fn break_fa_schedule_with(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    choice: BreakChoice,
+) -> Result<Vec<Assignment>, Error> {
+    conv.check_k(requests.k())?;
+    conv.check_k(mask.k())?;
+    if conv.is_full() {
+        return full_range_schedule(conv, requests, mask);
+    }
+    if conv.kind() != ConversionKind::Circular {
+        return Err(Error::UnsupportedConversion {
+            algorithm: "Break and First Available",
+            requires: "circular conversion (use First Available for non-circular)",
+        });
+    }
+    let k = conv.k();
+
+    let Some(w_i) = choose_breaking_wavelength(conv, requests, mask, choice) else {
+        return Ok(Vec::new());
+    };
+
+    let mut best: Option<Vec<Assignment>> = None;
+    for u in conv.adjacency(w_i).iter(k) {
+        if !mask.is_free(u) {
+            continue;
+        }
+        let mut candidate = single_break(conv, requests, mask, w_i, u);
+        candidate.push(Assignment { input: w_i, output: u });
+        if best.as_ref().is_none_or(|b| candidate.len() > b.len()) {
+            best = Some(candidate);
+        }
+    }
+    Ok(best.unwrap_or_default())
+}
+
+/// Picks the breaking wavelength: a wavelength with pending requests and at
+/// least one free adjacent channel. Wavelengths with no free adjacent
+/// channel are isolated on every copy and can never be matched, so they are
+/// skipped.
+fn choose_breaking_wavelength(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    choice: BreakChoice,
+) -> Option<usize> {
+    let k = conv.k();
+    let eligible = requests
+        .iter_nonzero()
+        .filter(|&(w, _)| conv.adjacency(w).iter(k).any(|u| mask.is_free(u)));
+    match choice {
+        BreakChoice::FirstRequest => eligible.map(|(w, _)| w).next(),
+        BreakChoice::DensestWavelength => {
+            eligible.max_by_key(|&(_, c)| c).map(|(w, _)| w)
+        }
+    }
+}
+
+/// Runs First Available on the reduced graph obtained by breaking at
+/// `(w_i, u)` — without the breaking edge itself — and returns the granted
+/// assignments. `O(k)`.
+///
+/// Shared by Break-and-FA (which tries every `u`) and the approximation
+/// scheduler (which tries one).
+pub(crate) fn single_break(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    w_i: usize,
+    u: usize,
+) -> Vec<Assignment> {
+    let k = conv.k();
+    let d = conv.degree();
+    debug_assert!(mask.is_free(u));
+
+    // Free channels in the rotated wavelength order u+1, …, u−1 (u removed).
+    // rot_prefix[r] = number of free rotated channels with rotated index <
+    // r; rot_out[p] = original wavelength of the p-th free rotated channel.
+    let mut rot_prefix = Vec::with_capacity(k);
+    let mut rot_out = Vec::new();
+    let mut acc = 0usize;
+    rot_prefix.push(0);
+    for r in 0..k - 1 {
+        let x = (u + 1 + r) % k;
+        if mask.is_free(x) {
+            rot_out.push(x);
+            acc += 1;
+        }
+        rot_prefix.push(acc);
+    }
+
+    struct Item {
+        wavelength: usize,
+        remaining: usize,
+        begin: usize,
+        end: usize,
+    }
+    let mut items: Vec<Item> = Vec::new();
+    // Left vertices in the rotated order: wavelengths ascending by
+    // (w − w_i) mod k, starting with the remaining copies on w_i itself
+    // (the breaking vertex is the first copy, so the others are all After).
+    for off in 0..k {
+        let w = (w_i + off) % k;
+        let mut count = requests.count(w);
+        if count == 0 {
+            continue;
+        }
+        if w == w_i {
+            count -= 1;
+            if count == 0 {
+                continue;
+            }
+        }
+        let span = reduced_span(conv, w_i, u, w, SameWavelengthOrder::After);
+        if span.is_empty() {
+            continue;
+        }
+        let r_start = (span.start() + k - u - 1) % k;
+        debug_assert!(
+            r_start + span.len() < k,
+            "reduced span must avoid the removed channel"
+        );
+        let begin = rot_prefix[r_start];
+        let end_excl = rot_prefix[r_start + span.len()];
+        if end_excl > begin {
+            let width = end_excl - begin;
+            items.push(Item {
+                wavelength: w,
+                remaining: count.min(d).min(width),
+                begin,
+                end: end_excl - 1,
+            });
+        }
+    }
+    debug_assert!(
+        items.windows(2).all(|w| w[0].begin <= w[1].begin && w[0].end <= w[1].end),
+        "reduced instance must have monotone endpoints (Lemma 2)"
+    );
+
+    // First Available over the rotated free channels.
+    let mut assignments = Vec::new();
+    let mut active: VecDeque<usize> = VecDeque::new();
+    let mut next = 0usize;
+    for (p, &out_w) in rot_out.iter().enumerate() {
+        while next < items.len() && items[next].begin <= p {
+            active.push_back(next);
+            next += 1;
+        }
+        while let Some(&i) = active.front() {
+            if items[i].end < p {
+                active.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(&i) = active.front() {
+            assignments.push(Assignment { input: items[i].wavelength, output: out_w });
+            items[i].remaining -= 1;
+            if items[i].remaining == 0 {
+                active.pop_front();
+            }
+        }
+    }
+    assignments
+}
+
+/// The explicit reference implementation of Break and First Available on a
+/// request graph (circular conversion).
+///
+/// Builds every reduced graph with [`break_graph`] (Definition 1 applied
+/// edge by edge) and runs the interval First Available on it. `O(d·E)` —
+/// used for verification, not production.
+pub fn break_fa_matching(graph: &RequestGraph) -> Matching {
+    let nl = graph.left_count();
+    let nr = graph.right_count();
+    let empty = Matching::empty(nl, nr);
+    // The breaking vertex: first request with at least one free adjacent
+    // channel.
+    let Some(i) = (0..nl).find(|&j| !graph.adjacent(j).is_empty()) else {
+        return empty;
+    };
+
+    let mut best = empty;
+    for &p in graph.adjacent(i) {
+        let broken = break_graph(graph, i, p);
+        let inst = ConvexInstance::from_broken(&broken);
+        let match_of_right = first_available(&inst);
+        let mut candidate = Matching::empty(nl, nr);
+        candidate.add(i, p).expect("breaking edge endpoints are unused");
+        for (new_p, &new_j) in match_of_right.iter().enumerate() {
+            if let Some(new_j) = new_j {
+                candidate
+                    .add(broken.left_map[new_j], broken.right_map[new_p])
+                    .expect("reduced-graph matches are vertex-disjoint from the breaking edge");
+            }
+        }
+        if candidate.size() > best.size() {
+            best = candidate;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (k, e, f, counts, occupied-channels) test case.
+    type OccupiedCase = (usize, usize, usize, Vec<usize>, Vec<usize>);
+    use crate::algorithms::{hopcroft_karp, kuhn, validate_assignments};
+
+    fn paper_conv() -> Conversion {
+        Conversion::symmetric_circular(6, 3).unwrap()
+    }
+
+    fn paper_requests() -> RequestVector {
+        RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap()
+    }
+
+    /// Paper Fig. 4(a): maximum matching of size 6 under circular
+    /// conversion.
+    #[test]
+    fn figure_4a_maximum_matching() {
+        let conv = paper_conv();
+        let rv = paper_requests();
+        let mask = ChannelMask::all_free(6);
+        let a = break_fa_schedule(&conv, &rv, &mask).unwrap();
+        assert_eq!(a.len(), 6);
+        validate_assignments(&conv, &rv, &mask, &a).unwrap();
+    }
+
+    #[test]
+    fn explicit_version_agrees_on_paper_example() {
+        let conv = paper_conv();
+        let g = RequestGraph::new(conv, &paper_requests()).unwrap();
+        let m = break_fa_matching(&g);
+        assert_eq!(m.size(), 6);
+        m.validate(&g).unwrap();
+    }
+
+    /// Paper §I worked example: 2 on λ1, 3 on λ2, 1 on λ4 with k=6, d=3 —
+    /// only five of the six requests can be satisfied.
+    #[test]
+    fn section_1_contention_example() {
+        let conv = paper_conv();
+        let rv = RequestVector::from_counts(vec![0, 2, 3, 0, 1, 0]).unwrap();
+        let mask = ChannelMask::all_free(6);
+        let a = break_fa_schedule(&conv, &rv, &mask).unwrap();
+        assert_eq!(a.len(), 5);
+        validate_assignments(&conv, &rv, &mask, &a).unwrap();
+    }
+
+    #[test]
+    fn deterministic_battery_matches_oracle() {
+        let cases: Vec<(usize, usize, usize, Vec<usize>)> = vec![
+            (6, 1, 1, vec![2, 1, 0, 1, 1, 2]),
+            (6, 1, 1, vec![0, 2, 3, 0, 1, 0]),
+            (6, 1, 1, vec![6, 0, 0, 0, 0, 0]),
+            (6, 1, 1, vec![1, 1, 1, 1, 1, 1]),
+            (8, 2, 1, vec![0, 0, 5, 0, 0, 0, 3, 0]),
+            (8, 1, 2, vec![2, 2, 2, 2, 0, 0, 0, 0]),
+            (5, 2, 2, vec![5, 0, 0, 0, 5]),
+            (7, 3, 2, vec![1, 2, 3, 0, 0, 0, 1]),
+            (4, 1, 1, vec![4, 4, 4, 4]),
+            (3, 1, 0, vec![2, 0, 2]),
+            (2, 0, 1, vec![3, 3]),
+        ];
+        for (k, e, f, counts) in cases {
+            let conv = Conversion::circular(k, e, f).unwrap();
+            let rv = RequestVector::from_counts(counts.clone()).unwrap();
+            let mask = ChannelMask::all_free(k);
+            let a = break_fa_schedule(&conv, &rv, &mask).unwrap();
+            validate_assignments(&conv, &rv, &mask, &a).unwrap();
+            let g = RequestGraph::new(conv, &rv).unwrap();
+            let oracle = hopcroft_karp(&g).size();
+            assert_eq!(a.len(), oracle, "compact: k={k} e={e} f={f} counts={counts:?}");
+            let explicit = break_fa_matching(&g);
+            explicit.validate(&g).unwrap();
+            assert_eq!(explicit.size(), oracle, "explicit: k={k} e={e} f={f} counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn occupied_channels_battery_matches_oracle() {
+        let cases: Vec<OccupiedCase> = vec![
+            (6, 1, 1, vec![2, 1, 0, 1, 1, 2], vec![0]),
+            (6, 1, 1, vec![2, 1, 0, 1, 1, 2], vec![1, 4]),
+            (6, 1, 1, vec![2, 2, 2, 2, 2, 2], vec![0, 1, 2]),
+            (8, 2, 1, vec![1, 1, 1, 1, 1, 1, 1, 1], vec![7, 0, 1]),
+            (5, 1, 1, vec![3, 0, 0, 0, 3], vec![2]),
+            (6, 2, 2, vec![4, 0, 0, 0, 0, 4], vec![5, 0, 1]),
+        ];
+        for (k, e, f, counts, occupied) in cases {
+            let conv = Conversion::circular(k, e, f).unwrap();
+            let rv = RequestVector::from_counts(counts.clone()).unwrap();
+            let mask = ChannelMask::with_occupied(k, &occupied).unwrap();
+            let a = break_fa_schedule(&conv, &rv, &mask).unwrap();
+            validate_assignments(&conv, &rv, &mask, &a).unwrap();
+            let g = RequestGraph::with_mask(conv, &rv, &mask).unwrap();
+            let oracle = kuhn(&g).size();
+            assert_eq!(
+                a.len(),
+                oracle,
+                "k={k} e={e} f={f} counts={counts:?} occupied={occupied:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_range_dispatches_to_trivial_scheduler() {
+        let conv = Conversion::full(6).unwrap();
+        let rv = paper_requests();
+        let mask = ChannelMask::all_free(6);
+        let a = break_fa_schedule(&conv, &rv, &mask).unwrap();
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn non_circular_rejected() {
+        let conv = Conversion::non_circular(6, 1, 1).unwrap();
+        assert!(matches!(
+            break_fa_schedule(&conv, &RequestVector::new(6), &ChannelMask::all_free(6)),
+            Err(Error::UnsupportedConversion { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_requests() {
+        let conv = paper_conv();
+        let a = break_fa_schedule(&conv, &RequestVector::new(6), &ChannelMask::all_free(6))
+            .unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn fully_occupied_fiber() {
+        let conv = paper_conv();
+        let a = break_fa_schedule(&conv, &paper_requests(), &ChannelMask::all_occupied(6))
+            .unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn isolated_breaking_wavelength_is_skipped() {
+        // λ0's whole adjacency {5, 0, 1} is occupied, but λ3 can still be
+        // granted. The scheduler must not give up just because the first
+        // request is isolated.
+        let conv = paper_conv();
+        let rv = RequestVector::from_counts(vec![2, 0, 0, 1, 0, 0]).unwrap();
+        let mask = ChannelMask::with_occupied(6, &[5, 0, 1]).unwrap();
+        let a = break_fa_schedule(&conv, &rv, &mask).unwrap();
+        validate_assignments(&conv, &rv, &mask, &a).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].input, 3);
+    }
+
+    #[test]
+    fn break_choice_does_not_change_size() {
+        let conv = paper_conv();
+        let rv = paper_requests();
+        let mask = ChannelMask::all_free(6);
+        let first =
+            break_fa_schedule_with(&conv, &rv, &mask, BreakChoice::FirstRequest).unwrap();
+        let densest =
+            break_fa_schedule_with(&conv, &rv, &mask, BreakChoice::DensestWavelength).unwrap();
+        assert_eq!(first.len(), densest.len());
+        validate_assignments(&conv, &rv, &mask, &densest).unwrap();
+    }
+
+    #[test]
+    fn d2_even_degree_circular() {
+        // d = 2 (e = 0, f = 1), the smallest practical limited-range case.
+        let conv = Conversion::circular(6, 0, 1).unwrap();
+        let rv = RequestVector::from_counts(vec![2, 0, 2, 0, 2, 0]).unwrap();
+        let mask = ChannelMask::all_free(6);
+        let a = break_fa_schedule(&conv, &rv, &mask).unwrap();
+        validate_assignments(&conv, &rv, &mask, &a).unwrap();
+        let g = RequestGraph::new(conv, &rv).unwrap();
+        assert_eq!(a.len(), kuhn(&g).size());
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn single_wavelength_ring() {
+        let conv = Conversion::full(1).unwrap();
+        let rv = RequestVector::from_counts(vec![3]).unwrap();
+        let mask = ChannelMask::all_free(1);
+        let a = break_fa_schedule(&conv, &rv, &mask).unwrap();
+        assert_eq!(a.len(), 1);
+    }
+}

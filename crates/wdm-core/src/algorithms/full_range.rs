@@ -1,0 +1,94 @@
+//! The trivial scheduler for full-range conversion (paper §I).
+//!
+//! With full-range converters every request can use every free channel, so
+//! requests are indistinguishable in the wavelength domain: if at most as
+//! many requests arrived as there are free channels, grant all; otherwise
+//! grant exactly as many as there are free channels (the paper: "arbitrarily
+//! pick k out of them").
+
+use crate::conversion::Conversion;
+use crate::error::Error;
+use crate::occupancy::ChannelMask;
+use crate::request::RequestVector;
+
+use super::Assignment;
+
+/// Schedules under full-range conversion in `O(k)`.
+///
+/// Grants requests in ascending wavelength order (the "arbitrary pick") and
+/// assigns free channels in ascending order. Returns an error if `conv` is
+/// not full-range.
+pub fn full_range_schedule(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+) -> Result<Vec<Assignment>, Error> {
+    conv.check_k(requests.k())?;
+    conv.check_k(mask.k())?;
+    if !conv.is_full() {
+        return Err(Error::UnsupportedConversion {
+            algorithm: "full-range scheduler",
+            requires: "full-range conversion (degree d = k, circular)",
+        });
+    }
+    let mut assignments = Vec::new();
+    let mut free = mask.iter_free();
+    'outer: for (w, count) in requests.iter_nonzero() {
+        for _ in 0..count {
+            match free.next() {
+                Some(out) => assignments.push(Assignment { input: w, output: out }),
+                None => break 'outer,
+            }
+        }
+    }
+    Ok(assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::validate_assignments;
+
+    #[test]
+    fn grants_all_when_underloaded() {
+        let conv = Conversion::full(6).unwrap();
+        let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 0]).unwrap();
+        let mask = ChannelMask::all_free(6);
+        let a = full_range_schedule(&conv, &rv, &mask).unwrap();
+        assert_eq!(a.len(), 5);
+        validate_assignments(&conv, &rv, &mask, &a).unwrap();
+    }
+
+    #[test]
+    fn grants_k_when_overloaded() {
+        // The paper's observation: the Fig. 3 request vector is fully
+        // satisfiable up to k with full-range conversion.
+        let conv = Conversion::full(6).unwrap();
+        let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap();
+        let mask = ChannelMask::all_free(6);
+        let a = full_range_schedule(&conv, &rv, &mask).unwrap();
+        assert_eq!(a.len(), 6);
+        validate_assignments(&conv, &rv, &mask, &a).unwrap();
+    }
+
+    #[test]
+    fn respects_occupied_channels() {
+        let conv = Conversion::full(4).unwrap();
+        let rv = RequestVector::from_counts(vec![4, 0, 0, 0]).unwrap();
+        let mask = ChannelMask::with_occupied(4, &[0, 2]).unwrap();
+        let a = full_range_schedule(&conv, &rv, &mask).unwrap();
+        assert_eq!(a.len(), 2);
+        validate_assignments(&conv, &rv, &mask, &a).unwrap();
+    }
+
+    #[test]
+    fn rejects_limited_range() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = RequestVector::new(6);
+        let mask = ChannelMask::all_free(6);
+        assert!(matches!(
+            full_range_schedule(&conv, &rv, &mask),
+            Err(Error::UnsupportedConversion { .. })
+        ));
+    }
+}

@@ -1,0 +1,101 @@
+//! Kuhn's augmenting-path algorithm — the verification oracle.
+//!
+//! A plain `O(V · E)` maximum bipartite matching via repeated augmenting-path
+//! search. It is the simplest algorithm whose correctness is immediate from
+//! König/Berge theory, so the test suite uses it (alongside
+//! [`super::hopcroft_karp`]) as the ground truth the paper's fast schedulers
+//! are checked against.
+
+use crate::graph::RequestGraph;
+use crate::matching::Matching;
+
+/// Finds a maximum matching in an arbitrary request graph by repeated
+/// augmenting-path search from each left vertex.
+pub fn kuhn(graph: &RequestGraph) -> Matching {
+    let nl = graph.left_count();
+    let nr = graph.right_count();
+    let mut match_of_right: Vec<Option<usize>> = vec![None; nr];
+    let mut visited = vec![usize::MAX; nr];
+
+    fn try_augment(
+        graph: &RequestGraph,
+        j: usize,
+        stamp: usize,
+        visited: &mut [usize],
+        match_of_right: &mut [Option<usize>],
+    ) -> bool {
+        for &p in graph.adjacent(j) {
+            if visited[p] == stamp {
+                continue;
+            }
+            visited[p] = stamp;
+            let taken = match_of_right[p];
+            if taken.is_none()
+                || try_augment(graph, taken.expect("checked"), stamp, visited, match_of_right)
+            {
+                match_of_right[p] = Some(j);
+                return true;
+            }
+        }
+        false
+    }
+
+    for j in 0..nl {
+        try_augment(graph, j, j, &mut visited, &mut match_of_right);
+    }
+    Matching::from_right_assignment(nl, match_of_right)
+        .expect("augmenting paths produce a consistent matching")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::Conversion;
+    use crate::request::RequestVector;
+
+    #[test]
+    fn paper_example_size_six() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap();
+        let g = RequestGraph::new(conv, &rv).unwrap();
+        let m = kuhn(&g);
+        assert_eq!(m.size(), 6);
+        m.validate(&g).unwrap();
+        assert!(m.is_maximal(&g));
+    }
+
+    #[test]
+    fn saturates_when_underloaded() {
+        let conv = Conversion::symmetric_circular(8, 3).unwrap();
+        let rv = RequestVector::from_wavelengths(8, &[0, 2, 4, 6]).unwrap();
+        let g = RequestGraph::new(conv, &rv).unwrap();
+        assert_eq!(kuhn(&g).size(), 4);
+    }
+
+    #[test]
+    fn bounded_by_reachable_channels() {
+        // Paper §I example: k=6, d=3; 2 requests on λ1, 3 on λ2, 1 on λ4.
+        // λ1/λ2 requests can only reach {λ0..λ3} = 4 channels, so of the 6
+        // requests only 5 can be granted.
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = RequestVector::from_counts(vec![0, 2, 3, 0, 1, 0]).unwrap();
+        let g = RequestGraph::new(conv, &rv).unwrap();
+        assert_eq!(kuhn(&g).size(), 5);
+    }
+
+    #[test]
+    fn no_conversion_matches_distinct_wavelengths() {
+        let conv = Conversion::none(5).unwrap();
+        let rv = RequestVector::from_counts(vec![3, 0, 1, 1, 0]).unwrap();
+        let g = RequestGraph::new(conv, &rv).unwrap();
+        // Only one per distinct wavelength can be granted.
+        assert_eq!(kuhn(&g).size(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let conv = Conversion::full(3).unwrap();
+        let g = RequestGraph::new(conv, &RequestVector::new(3)).unwrap();
+        assert_eq!(kuhn(&g).size(), 0);
+    }
+}

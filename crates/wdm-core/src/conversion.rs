@@ -1,0 +1,369 @@
+//! Limited-range wavelength conversion models (paper §II-A).
+//!
+//! A wavelength converter on the output side of the interconnect can shift a
+//! signal arriving on wavelength `λi` to a set of adjacent outgoing
+//! wavelengths — the *adjacency set* of `λi`. The number of wavelengths in
+//! the set is the *conversion degree* `d = e + f + 1`, where `e` and `f` are
+//! the reach on the "minus" and "plus" side respectively.
+//!
+//! Two geometries are studied in the paper (Fig. 2):
+//!
+//! * [`ConversionKind::Circular`] — the adjacency set wraps mod `k`:
+//!   `λi → { λ(i−e) mod k, …, λ(i+f) mod k }`. This is the common assumption
+//!   in the literature, and includes *full-range* conversion as the special
+//!   case `d = k`.
+//! * [`ConversionKind::NonCircular`] — the adjacency set is clamped to the
+//!   physical spectrum: `λi → { λmax(0, i−e), …, λmin(k−1, i+f) }`.
+//!   Wavelengths near one end cannot be converted to the other end.
+
+use crate::error::Error;
+use crate::interval::Span;
+
+/// The geometry of a limited-range conversion scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConversionKind {
+    /// Adjacency sets wrap around the wavelength ring (paper Fig. 2(a)).
+    Circular,
+    /// Adjacency sets are clamped to `[0, k−1]` (paper Fig. 2(b)).
+    NonCircular,
+}
+
+/// A limited-range wavelength conversion scheme for `k` wavelengths.
+///
+/// Invariant: `e + f + 1 <= k`. Full-range conversion is the circular scheme
+/// with `e + f + 1 == k` (see [`Conversion::full`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conversion {
+    k: usize,
+    e: usize,
+    f: usize,
+    kind: ConversionKind,
+}
+
+impl Conversion {
+    fn validated(k: usize, e: usize, f: usize, kind: ConversionKind) -> Result<Self, Error> {
+        if k == 0 {
+            return Err(Error::ZeroWavelengths);
+        }
+        if e.saturating_add(f).saturating_add(1) > k {
+            return Err(Error::DegreeTooLarge { e, f, k });
+        }
+        Ok(Conversion { k, e, f, kind })
+    }
+
+    /// Circular symmetrical conversion: `λi → [i−e, i+f] (mod k)`.
+    ///
+    /// ```
+    /// use wdm_core::Conversion;
+    /// let conv = Conversion::circular(6, 1, 1)?;   // paper Fig. 2(a)
+    /// assert!(conv.converts(0, 5));                // wraps around the ring
+    /// assert_eq!(conv.adjacency(0).iter(6).collect::<Vec<_>>(), vec![5, 0, 1]);
+    /// # Ok::<(), wdm_core::Error>(())
+    /// ```
+    pub fn circular(k: usize, e: usize, f: usize) -> Result<Self, Error> {
+        Self::validated(k, e, f, ConversionKind::Circular)
+    }
+
+    /// Non-circular symmetrical conversion: `λi → [max(0, i−e), min(k−1, i+f)]`.
+    pub fn non_circular(k: usize, e: usize, f: usize) -> Result<Self, Error> {
+        Self::validated(k, e, f, ConversionKind::NonCircular)
+    }
+
+    /// Circular conversion with a symmetric, odd degree `d = 2e + 1`
+    /// (`e = f = (d−1)/2`), the configuration used throughout the paper's
+    /// examples.
+    pub fn symmetric_circular(k: usize, degree: usize) -> Result<Self, Error> {
+        let (e, f) = symmetric_reach(degree)?;
+        Self::circular(k, e, f)
+    }
+
+    /// Non-circular conversion with a symmetric, odd degree `d = 2e + 1`.
+    pub fn symmetric_non_circular(k: usize, degree: usize) -> Result<Self, Error> {
+        let (e, f) = symmetric_reach(degree)?;
+        Self::non_circular(k, e, f)
+    }
+
+    /// Full-range conversion: every wavelength converts to every wavelength.
+    pub fn full(k: usize) -> Result<Self, Error> {
+        if k == 0 {
+            return Err(Error::ZeroWavelengths);
+        }
+        Ok(Conversion { k, e: k - 1, f: 0, kind: ConversionKind::Circular })
+    }
+
+    /// No conversion ability (`d = 1`): the wavelength continuity constraint.
+    pub fn none(k: usize) -> Result<Self, Error> {
+        Self::validated(k, 0, 0, ConversionKind::Circular)
+    }
+
+    /// The number of wavelengths per fiber.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Reach on the "minus" side.
+    pub fn e(&self) -> usize {
+        self.e
+    }
+
+    /// Reach on the "plus" side.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The conversion geometry.
+    pub fn kind(&self) -> ConversionKind {
+        self.kind
+    }
+
+    /// The nominal conversion degree `d = e + f + 1`.
+    ///
+    /// For non-circular conversion the *effective* degree of wavelengths near
+    /// the spectrum edges is smaller (see [`Conversion::adjacency`]).
+    pub fn degree(&self) -> usize {
+        self.e + self.f + 1
+    }
+
+    /// Whether this scheme is full-range conversion.
+    pub fn is_full(&self) -> bool {
+        self.kind == ConversionKind::Circular && self.degree() == self.k
+    }
+
+    /// Whether this scheme is circular (wrapping).
+    pub fn is_circular(&self) -> bool {
+        self.kind == ConversionKind::Circular
+    }
+
+    /// The adjacency set of input wavelength `w`: the output wavelengths it
+    /// can be converted to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= k`.
+    pub fn adjacency(&self, w: usize) -> Span {
+        assert!(w < self.k, "wavelength {w} out of range 0..{}", self.k);
+        match self.kind {
+            ConversionKind::Circular => {
+                Span::on_ring(w as isize - self.e as isize, self.degree(), self.k)
+            }
+            ConversionKind::NonCircular => {
+                let lo = w.saturating_sub(self.e);
+                let hi = (w + self.f).min(self.k - 1);
+                Span::on_ring(lo as isize, hi - lo + 1, self.k)
+            }
+        }
+    }
+
+    /// The inverse adjacency set of output wavelength `u`: the input
+    /// wavelengths that can be converted *to* `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= k`.
+    pub fn reachable_from(&self, u: usize) -> Span {
+        assert!(u < self.k, "wavelength {u} out of range 0..{}", self.k);
+        match self.kind {
+            ConversionKind::Circular => {
+                Span::on_ring(u as isize - self.f as isize, self.degree(), self.k)
+            }
+            ConversionKind::NonCircular => {
+                let lo = u.saturating_sub(self.f);
+                let hi = (u + self.e).min(self.k - 1);
+                Span::on_ring(lo as isize, hi - lo + 1, self.k)
+            }
+        }
+    }
+
+    /// Whether input wavelength `from` can be converted to output wavelength
+    /// `to`.
+    pub fn converts(&self, from: usize, to: usize) -> bool {
+        self.adjacency(from).contains(to, self.k)
+    }
+
+    /// For circular conversion, the signed offset `t` such that
+    /// `to = from + t (mod k)` with `−e <= t <= f`, or `None` if `to` is not
+    /// in the adjacency set of `from`.
+    ///
+    /// The offset is unique because `e + f < k`.
+    pub fn signed_offset(&self, from: usize, to: usize) -> Option<isize> {
+        let plus = (to + self.k - from) % self.k;
+        if plus <= self.f {
+            return Some(plus as isize);
+        }
+        let minus = (from + self.k - to) % self.k;
+        if minus <= self.e {
+            return Some(-(minus as isize));
+        }
+        None
+    }
+
+    /// Checks that another object's wavelength count matches this scheme's.
+    ///
+    /// Returns [`Error::WavelengthCountMismatch`] when it does not; used by
+    /// every scheduler entry point to validate its inputs.
+    pub fn check_k(&self, actual: usize) -> Result<(), Error> {
+        if actual == self.k {
+            Ok(())
+        } else {
+            Err(Error::WavelengthCountMismatch { expected: self.k, actual })
+        }
+    }
+}
+
+fn symmetric_reach(degree: usize) -> Result<(usize, usize), Error> {
+    if degree == 0 {
+        return Err(Error::ZeroDegree);
+    }
+    if degree.is_multiple_of(2) {
+        return Err(Error::DegreeNotOdd { degree });
+    }
+    let e = (degree - 1) / 2;
+    Ok((e, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Fig. 2(a): circular conversion, k = 6, d = 3, e = f = 1.
+    #[test]
+    fn figure_2a_circular() {
+        let c = Conversion::symmetric_circular(6, 3).unwrap();
+        assert_eq!(c.degree(), 3);
+        assert!(!c.is_full());
+        assert!(c.is_circular());
+        // λi → { λ(i−1) mod 6, λi, λ(i+1) mod 6 }
+        for i in 0..6 {
+            let adj: Vec<usize> = c.adjacency(i).iter(6).collect();
+            assert_eq!(adj, vec![(i + 5) % 6, i, (i + 1) % 6], "adjacency of λ{i}");
+        }
+    }
+
+    /// Paper Fig. 2(b): non-circular conversion, k = 6, e = f = 1. λ0 can
+    /// only convert to λ0 and λ1; it cannot convert to λ5.
+    #[test]
+    fn figure_2b_non_circular() {
+        let c = Conversion::non_circular(6, 1, 1).unwrap();
+        assert_eq!(c.adjacency(0).iter(6).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(c.adjacency(5).iter(6).collect::<Vec<_>>(), vec![4, 5]);
+        for i in 1..5 {
+            assert_eq!(c.adjacency(i).iter(6).collect::<Vec<_>>(), vec![i - 1, i, i + 1]);
+        }
+        assert!(!c.converts(0, 5));
+        assert!(!c.converts(5, 0));
+    }
+
+    #[test]
+    fn full_range_converts_everything() {
+        let c = Conversion::full(5).unwrap();
+        assert!(c.is_full());
+        assert_eq!(c.degree(), 5);
+        for from in 0..5 {
+            for to in 0..5 {
+                assert!(c.converts(from, to));
+            }
+            assert_eq!(c.adjacency(from).len(), 5);
+        }
+    }
+
+    #[test]
+    fn no_conversion_is_identity() {
+        let c = Conversion::none(4).unwrap();
+        for from in 0..4 {
+            for to in 0..4 {
+                assert_eq!(c.converts(from, to), from == to);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_reach() {
+        let c = Conversion::circular(8, 2, 1).unwrap();
+        assert_eq!(c.degree(), 4);
+        assert_eq!(c.adjacency(0).iter(8).collect::<Vec<_>>(), vec![6, 7, 0, 1]);
+        assert_eq!(c.adjacency(7).iter(8).collect::<Vec<_>>(), vec![5, 6, 7, 0]);
+    }
+
+    #[test]
+    fn reachable_from_is_inverse_of_adjacency() {
+        for (e, f) in [(0, 0), (1, 1), (2, 1), (0, 3), (3, 0)] {
+            for kind in [ConversionKind::Circular, ConversionKind::NonCircular] {
+                let c = match kind {
+                    ConversionKind::Circular => Conversion::circular(9, e, f).unwrap(),
+                    ConversionKind::NonCircular => Conversion::non_circular(9, e, f).unwrap(),
+                };
+                for from in 0..9 {
+                    for to in 0..9 {
+                        assert_eq!(
+                            c.converts(from, to),
+                            c.reachable_from(to).contains(from, 9),
+                            "kind {kind:?} e={e} f={f} from={from} to={to}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_offset_round_trips() {
+        let c = Conversion::circular(7, 2, 3).unwrap();
+        for from in 0..7 {
+            for to in 0..7 {
+                match c.signed_offset(from, to) {
+                    Some(t) => {
+                        assert!(c.converts(from, to));
+                        assert!(-(c.e() as isize) <= t && t <= c.f() as isize);
+                        let recon = (from as isize + t).rem_euclid(7) as usize;
+                        assert_eq!(recon, to);
+                    }
+                    None => assert!(!c.converts(from, to)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_too_large_rejected() {
+        assert_eq!(
+            Conversion::circular(6, 3, 3),
+            Err(Error::DegreeTooLarge { e: 3, f: 3, k: 6 })
+        );
+        assert_eq!(
+            Conversion::non_circular(4, 2, 2),
+            Err(Error::DegreeTooLarge { e: 2, f: 2, k: 4 })
+        );
+        // Degree exactly k is allowed (full range).
+        assert!(Conversion::circular(6, 3, 2).is_ok());
+    }
+
+    #[test]
+    fn zero_wavelengths_rejected() {
+        assert_eq!(Conversion::circular(0, 0, 0), Err(Error::ZeroWavelengths));
+        assert_eq!(Conversion::full(0), Err(Error::ZeroWavelengths));
+    }
+
+    #[test]
+    fn even_symmetric_degree_rejected() {
+        assert_eq!(
+            Conversion::symmetric_circular(8, 4),
+            Err(Error::DegreeNotOdd { degree: 4 })
+        );
+        assert_eq!(Conversion::symmetric_circular(8, 0), Err(Error::ZeroDegree));
+    }
+
+    #[test]
+    fn single_wavelength_ring() {
+        let c = Conversion::full(1).unwrap();
+        assert!(c.converts(0, 0));
+        assert_eq!(c.degree(), 1);
+        assert!(c.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn adjacency_of_invalid_wavelength_panics() {
+        let c = Conversion::circular(4, 1, 1).unwrap();
+        let _ = c.adjacency(4);
+    }
+}

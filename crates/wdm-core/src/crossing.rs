@@ -1,0 +1,296 @@
+//! Crossing edges (paper Definition 1) and the uncrossing procedure
+//! (paper Lemma 1).
+//!
+//! For circular symmetrical conversion the request graph is not convex, and
+//! the Break-and-First-Available algorithm relies on *crossing edges*: two
+//! edges whose chords interleave on the wavelength ring. Lemma 1 shows every
+//! pair of crossing edges in a matching can be replaced by a non-crossing
+//! pair covering the same vertices, so some maximum matching is
+//! crossing-free — which is what justifies deleting all edges crossing the
+//! breaking edge.
+//!
+//! ## A note on the paper's interval notation
+//!
+//! Definition 1 states its cases with cyclic intervals such as
+//! `W(j) ∈ [u−f+1, W(i)−1]`. Read naively, a cyclic interval `[x, x−1]`
+//! denotes the whole ring, but in every case of the definition the intended
+//! set is *bounded*: e.g. `[u−f+1, W(i)−1]` is the set of wavelengths at
+//! clockwise distance `1 ..= f−t−1` below `W(i)`, where `t` is the signed
+//! offset of the breaking edge (`u = W(i) + t`). We implement the cases with
+//! explicit lengths derived from `e`, `f` and `t`, which is total and
+//! unambiguous for every degree `d <= k` (the derived case sets are provably
+//! disjoint because `d − 3 < k`).
+
+use crate::conversion::Conversion;
+use crate::error::Error;
+use crate::graph::RequestGraph;
+use crate::interval::Span;
+use crate::matching::Matching;
+
+/// One edge of a request graph, in wavelength terms.
+///
+/// `left` is the left vertex index (needed to break ties between requests on
+/// the same wavelength), `left_wavelength` is `W(left)`, and
+/// `output_wavelength` is the wavelength of the right vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Left vertex index.
+    pub left: usize,
+    /// Wavelength of the left vertex.
+    pub left_wavelength: usize,
+    /// Wavelength of the right vertex.
+    pub output_wavelength: usize,
+}
+
+impl EdgeRef {
+    /// Convenience constructor.
+    pub fn new(left: usize, left_wavelength: usize, output_wavelength: usize) -> EdgeRef {
+        EdgeRef { left, left_wavelength, output_wavelength }
+    }
+
+    /// The edge `(j, p)` of `graph` as an [`EdgeRef`].
+    pub fn of_graph(graph: &RequestGraph, j: usize, p: usize) -> EdgeRef {
+        EdgeRef::new(j, graph.wavelength_of(j), graph.output_wavelength(p))
+    }
+}
+
+/// Whether edge `a_j b_v` crosses edge `a_i b_u` (paper Definition 1).
+///
+/// Both edges must be edges of a request graph under circular conversion
+/// `conv` (i.e. the output wavelength lies in the adjacency set of the left
+/// wavelength).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if either edge is not a conversion-feasible
+/// edge.
+pub fn crosses(conv: &Conversion, ajv: EdgeRef, aiu: EdgeRef) -> bool {
+    let k = conv.k();
+    let (e, f) = (conv.e() as isize, conv.f() as isize);
+    let (w_j, v) = (ajv.left_wavelength, ajv.output_wavelength);
+    let (w_i, u) = (aiu.left_wavelength, aiu.output_wavelength);
+    let t = conv
+        .signed_offset(w_i, u)
+        .expect("breaking edge must be conversion-feasible");
+    debug_assert!(
+        conv.signed_offset(w_j, v).is_some(),
+        "candidate edge must be conversion-feasible"
+    );
+
+    if w_j != w_i {
+        // Clockwise distances of W(j) below / above W(i).
+        let sm = ((w_i + k - w_j) % k) as isize;
+        let sp = ((w_j + k - w_i) % k) as isize;
+        // Case 1.1: W(j) ∈ [u−f+1, W(i)−1], v ∈ [u+1, W(j)+f].
+        if sm >= 1 && sm < f - t {
+            let len = (f - t - sm).max(0) as usize;
+            return Span::on_ring(u as isize + 1, len, k).contains(v, k);
+        }
+        // Case 1.2: W(j) ∈ [W(i)+1, u−1+e], v ∈ [W(j)−e, u−1].
+        if sp >= 1 && sp < e + t {
+            let len = (e + t - sp).max(0) as usize;
+            return Span::on_ring(w_j as isize - e, len, k).contains(v, k);
+        }
+        false
+    } else if ajv.left < aiu.left {
+        // Case 2.1: j < i, v ∈ [u+1, W(j)+f].
+        let len = (f - t).max(0) as usize;
+        Span::on_ring(u as isize + 1, len, k).contains(v, k)
+    } else if ajv.left > aiu.left {
+        // Case 2.2: j > i, v ∈ [W(j)−e, u−1].
+        let len = (e + t).max(0) as usize;
+        Span::on_ring(w_j as isize - e, len, k).contains(v, k)
+    } else {
+        // An edge does not cross itself or a parallel edge at the same
+        // left vertex.
+        false
+    }
+}
+
+/// Finds a pair of crossing edges in the matching, if any.
+pub fn find_crossing_pair(
+    conv: &Conversion,
+    graph: &RequestGraph,
+    matching: &Matching,
+) -> Option<(EdgeRef, EdgeRef)> {
+    let pairs = matching.pairs();
+    for (idx, &(j, p)) in pairs.iter().enumerate() {
+        let a = EdgeRef::of_graph(graph, j, p);
+        for &(j2, p2) in &pairs[idx + 1..] {
+            let b = EdgeRef::of_graph(graph, j2, p2);
+            if crosses(conv, a, b) || crosses(conv, b, a) {
+                return Some((a, b));
+            }
+        }
+    }
+    None
+}
+
+/// The uncrossing procedure of Lemma 1: repeatedly replaces a pair of
+/// crossing matched edges `(a_i b_u, a_j b_v)` by `(a_i b_v, a_j b_u)` until
+/// the matching is crossing-free. The matching size is preserved.
+///
+/// Returns the crossing-free matching. Returns an error if the procedure
+/// does not converge within a generous iteration budget (which would
+/// indicate the input was not a valid matching of `graph`).
+pub fn uncross(
+    conv: &Conversion,
+    graph: &RequestGraph,
+    matching: &Matching,
+) -> Result<Matching, Error> {
+    matching.validate(graph)?;
+    let mut current = matching.clone();
+    // Each swap strictly shortens the total conversion distance of the
+    // matching, which is bounded by size * max(e, f); budget generously.
+    let budget = 4 * (current.size() + 1) * (conv.k() + 1) * (conv.degree() + 1);
+    for _ in 0..budget {
+        let Some((a, b)) = find_crossing_pair(conv, graph, &current) else {
+            return Ok(current);
+        };
+        // Replace (a_i b_u, a_j b_v) with (a_i b_v, a_j b_u). Positions:
+        let pa = current.right_of(a.left).expect("matched edge");
+        let pb = current.right_of(b.left).expect("matched edge");
+        let mut next = Matching::empty(graph.left_count(), graph.right_count());
+        for (j, p) in current.pairs() {
+            if j == a.left {
+                next.add(j, pb)?;
+            } else if j == b.left {
+                next.add(j, pa)?;
+            } else {
+                next.add(j, p)?;
+            }
+        }
+        next.validate(graph)?;
+        current = next;
+    }
+    Err(Error::InconsistentMatching)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestVector;
+
+    fn paper_setup() -> (Conversion, RequestGraph) {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap();
+        let g = RequestGraph::new(conv, &rv).unwrap();
+        (conv, g)
+    }
+
+    /// Paper's worked examples after Definition 1 (Fig. 3(a) graph):
+    /// a0b1 and a1b0 cross; a3b4 and a4b3 cross; a0b5 and a4b4 do not.
+    #[test]
+    fn definition_1_paper_examples() {
+        let (conv, _g) = paper_setup();
+        // a0, a1 both on λ0; a3 on λ3; a4 on λ4.
+        let a0b1 = EdgeRef::new(0, 0, 1);
+        let a1b0 = EdgeRef::new(1, 0, 0);
+        assert!(crosses(&conv, a0b1, a1b0));
+        assert!(crosses(&conv, a1b0, a0b1), "crossing is symmetric here");
+
+        let a3b4 = EdgeRef::new(3, 3, 4);
+        let a4b3 = EdgeRef::new(4, 4, 3);
+        assert!(crosses(&conv, a3b4, a4b3));
+        assert!(crosses(&conv, a4b3, a3b4));
+
+        let a0b5 = EdgeRef::new(0, 0, 5);
+        let a4b4 = EdgeRef::new(4, 4, 4);
+        assert!(!crosses(&conv, a0b5, a4b4));
+        assert!(!crosses(&conv, a4b4, a0b5));
+    }
+
+    #[test]
+    fn parallel_edges_do_not_cross() {
+        let (conv, _g) = paper_setup();
+        // Same left vertex: never crossing.
+        let x = EdgeRef::new(0, 0, 1);
+        let y = EdgeRef::new(0, 0, 5);
+        assert!(!crosses(&conv, x, y));
+        assert!(!crosses(&conv, y, x));
+    }
+
+    #[test]
+    fn straight_edges_do_not_cross() {
+        let (conv, _g) = paper_setup();
+        // Zero-offset edges are chords of length 0; they can never interleave.
+        for w1 in 0..6 {
+            for w2 in 0..6 {
+                if w1 == w2 {
+                    continue;
+                }
+                let x = EdgeRef::new(0, w1, w1);
+                let y = EdgeRef::new(1, w2, w2);
+                assert!(!crosses(&conv, x, y), "straight λ{w1}, λ{w2}");
+            }
+        }
+    }
+
+    /// Lemma 1 (worked example in the paper): if a0b1 and a1b0 are in a
+    /// matching they can be replaced by a0b0 and a1b1.
+    #[test]
+    fn uncross_paper_example() {
+        let (conv, g) = paper_setup();
+        let mut m = Matching::empty(7, 6);
+        m.add(0, 1).unwrap();
+        m.add(1, 0).unwrap();
+        m.add(3, 3).unwrap();
+        let un = uncross(&conv, &g, &m).unwrap();
+        assert_eq!(un.size(), 3);
+        un.validate(&g).unwrap();
+        assert!(find_crossing_pair(&conv, &g, &un).is_none());
+        // The crossing pair was swapped to the straight edges.
+        assert_eq!(un.right_of(0), Some(0));
+        assert_eq!(un.right_of(1), Some(1));
+        assert_eq!(un.right_of(3), Some(3));
+    }
+
+    #[test]
+    fn uncross_preserves_size_on_dense_matching() {
+        let (conv, g) = paper_setup();
+        // A deliberately "twisted" full-size matching.
+        let mut m = Matching::empty(7, 6);
+        m.add(0, 1).unwrap(); // λ0 → b1
+        m.add(1, 5).unwrap(); // λ0 → b5
+        m.add(2, 0).unwrap(); // λ1 → b0
+        m.add(3, 4).unwrap(); // λ3 → b4
+        m.add(4, 3).unwrap(); // λ4 → b3
+        m.add(5, 2).unwrap(); // hmm — λ5 → b2? not an edge.
+        // λ5 adjacency is {4, 5, 0}; b2 is invalid, so validation must fail
+        // and uncross must reject the input.
+        assert!(uncross(&conv, &g, &m).is_err());
+
+        let mut m = Matching::empty(7, 6);
+        m.add(0, 1).unwrap();
+        m.add(1, 5).unwrap();
+        m.add(2, 0).unwrap();
+        m.add(3, 4).unwrap();
+        m.add(4, 3).unwrap();
+        m.add(6, 4 + 1).unwrap_err(); // b5 already used by a1
+        m.add(6, 4).unwrap_err(); // b4 already used by a3
+        // Leave a5/a6 unmatched; uncross the rest.
+        let un = uncross(&conv, &g, &m).unwrap();
+        assert_eq!(un.size(), m.size());
+        un.validate(&g).unwrap();
+        assert!(find_crossing_pair(&conv, &g, &un).is_none());
+    }
+
+    #[test]
+    fn crossing_requires_feasible_breaking_edge() {
+        let (conv, _g) = paper_setup();
+        let bad = EdgeRef::new(0, 0, 3); // λ0 cannot convert to λ3 with d=3
+        let ok = EdgeRef::new(1, 1, 1);
+        let result = std::panic::catch_unwind(|| crosses(&conv, ok, bad));
+        assert!(result.is_err(), "infeasible breaking edge must panic");
+    }
+
+    #[test]
+    fn wrap_edges_cross_near_the_seam() {
+        let (conv, _g) = paper_setup();
+        // a on λ5 reaching forward to b0; b on λ0 reaching backward to b5:
+        // chords interleave across the seam.
+        let a = EdgeRef::new(6, 5, 0);
+        let b = EdgeRef::new(0, 0, 5);
+        assert!(crosses(&conv, a, b) || crosses(&conv, b, a));
+    }
+}

@@ -1,0 +1,162 @@
+//! Error types shared across the crate.
+
+use core::fmt;
+
+/// Errors produced when constructing or operating on WDM scheduling inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The number of wavelengths per fiber must be at least 1.
+    ZeroWavelengths,
+    /// A wavelength index was outside `0..k`.
+    InvalidWavelength {
+        /// The offending wavelength index.
+        wavelength: usize,
+        /// The number of wavelengths per fiber.
+        k: usize,
+    },
+    /// The conversion range `e + f + 1` exceeds the number of wavelengths.
+    ///
+    /// A conversion degree of exactly `k` is full-range conversion; use
+    /// [`crate::Conversion::full`] for that.
+    DegreeTooLarge {
+        /// Wavelengths convertible on the "minus" side.
+        e: usize,
+        /// Wavelengths convertible on the "plus" side.
+        f: usize,
+        /// The number of wavelengths per fiber.
+        k: usize,
+    },
+    /// A symmetric conversion degree must be odd (`d = 2e + 1`).
+    DegreeNotOdd {
+        /// The offending conversion degree.
+        degree: usize,
+    },
+    /// A conversion degree must be at least 1 (the identity conversion).
+    ZeroDegree,
+    /// Two objects that must agree on `k` (wavelengths per fiber) do not.
+    WavelengthCountMismatch {
+        /// `k` expected by the receiver.
+        expected: usize,
+        /// `k` carried by the argument.
+        actual: usize,
+    },
+    /// A request vector, channel mask, or matching has the wrong length.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The algorithm does not apply to the given conversion kind (e.g.
+    /// First Available requires non-circular conversion; Break and First
+    /// Available requires circular conversion).
+    UnsupportedConversion {
+        /// The algorithm that was invoked.
+        algorithm: &'static str,
+        /// What the algorithm requires.
+        requires: &'static str,
+    },
+    /// A matching endpoint is already matched to another vertex.
+    AlreadyMatched {
+        /// `true` if the conflicting endpoint is a left vertex (request).
+        left_side: bool,
+        /// Index of the conflicting vertex.
+        index: usize,
+    },
+    /// A matched pair is not an edge of the request graph.
+    NotAnEdge {
+        /// Left vertex (request) index.
+        left: usize,
+        /// Right vertex (channel) position.
+        right: usize,
+    },
+    /// The two directions of a matching disagree.
+    InconsistentMatching,
+    /// An interconnect dimension (`N`) must be at least 1.
+    ZeroFibers,
+    /// A fiber index was outside `0..n`.
+    InvalidFiber {
+        /// The offending fiber index.
+        fiber: usize,
+        /// The number of fibers.
+        n: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Error::ZeroWavelengths => write!(out, "k (wavelengths per fiber) must be >= 1"),
+            Error::InvalidWavelength { wavelength, k } => {
+                write!(out, "wavelength index {wavelength} out of range 0..{k}")
+            }
+            Error::DegreeTooLarge { e, f, k } => write!(
+                out,
+                "conversion degree e + f + 1 = {} exceeds k = {k}; use Conversion::full for full-range",
+                e + f + 1
+            ),
+            Error::DegreeNotOdd { degree } => {
+                write!(out, "symmetric conversion degree must be odd, got {degree}")
+            }
+            Error::ZeroDegree => write!(out, "conversion degree must be >= 1"),
+            Error::WavelengthCountMismatch { expected, actual } => {
+                write!(out, "wavelength count mismatch: expected k = {expected}, got k = {actual}")
+            }
+            Error::LengthMismatch { expected, actual } => {
+                write!(out, "length mismatch: expected {expected}, got {actual}")
+            }
+            Error::UnsupportedConversion { algorithm, requires } => {
+                write!(out, "{algorithm} requires {requires}")
+            }
+            Error::AlreadyMatched { left_side, index } => {
+                let side = if left_side { "left (request)" } else { "right (channel)" };
+                write!(out, "{side} vertex {index} is already matched")
+            }
+            Error::NotAnEdge { left, right } => {
+                write!(out, "pair (a{left}, b{right}) is not an edge of the request graph")
+            }
+            Error::InconsistentMatching => {
+                write!(out, "matching directions are mutually inconsistent")
+            }
+            Error::ZeroFibers => write!(out, "N (fibers) must be >= 1"),
+            Error::InvalidFiber { fiber, n } => {
+                write!(out, "fiber index {fiber} out of range 0..{n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            Error::ZeroWavelengths.to_string(),
+            Error::InvalidWavelength { wavelength: 9, k: 8 }.to_string(),
+            Error::DegreeTooLarge { e: 4, f: 4, k: 8 }.to_string(),
+            Error::DegreeNotOdd { degree: 4 }.to_string(),
+            Error::ZeroDegree.to_string(),
+            Error::WavelengthCountMismatch { expected: 8, actual: 6 }.to_string(),
+            Error::LengthMismatch { expected: 8, actual: 6 }.to_string(),
+            Error::ZeroFibers.to_string(),
+            Error::InvalidFiber { fiber: 5, n: 4 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(Error::InvalidWavelength { wavelength: 9, k: 8 }
+            .to_string()
+            .contains("9"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error(_: &dyn std::error::Error) {}
+        takes_std_error(&Error::ZeroWavelengths);
+    }
+}

@@ -1,0 +1,218 @@
+//! Cyclic interval (span) arithmetic on the wavelength ring.
+//!
+//! The paper represents adjacency sets as intervals `[x, y]` of wavelength
+//! indices taken mod `k`. That notation is ambiguous at the extremes (an
+//! interval `[x, x−1]` could denote the empty set or the whole ring), which
+//! matters when the conversion degree approaches `k`. We therefore represent
+//! spans as a *start* plus an explicit *length*, which is total and
+//! unambiguous: `Span { start, len }` denotes the wavelengths
+//! `start, start+1, …, start+len−1` all reduced mod `k`.
+
+/// A contiguous run of wavelength indices on a ring of size `k`.
+///
+/// The ring size is not stored; operations that need it take `k` as an
+/// argument. Invariants maintained by constructors: `len <= k` and
+/// `start < k` (for non-empty spans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    start: usize,
+    len: usize,
+}
+
+impl Span {
+    /// The empty span.
+    pub const EMPTY: Span = Span { start: 0, len: 0 };
+
+    /// Creates a span of `len` wavelengths beginning at `start` on a ring of
+    /// size `k`. `start` may be any integer; it is reduced mod `k`. `len` is
+    /// clamped to `k` (a span cannot cover the ring more than once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn on_ring(start: isize, len: usize, k: usize) -> Span {
+        assert!(k > 0, "ring size must be positive");
+        if len == 0 {
+            return Span::EMPTY;
+        }
+        let start = start.rem_euclid(k as isize) as usize;
+        Span { start, len: len.min(k) }
+    }
+
+    /// The span covering the whole ring of size `k`.
+    pub fn full(k: usize) -> Span {
+        assert!(k > 0, "ring size must be positive");
+        Span { start: 0, len: k }
+    }
+
+    /// First wavelength of the span. Meaningless for empty spans.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of wavelengths in the span.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the span contains no wavelengths.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Last wavelength of the span (mod `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is empty.
+    pub fn last(&self, k: usize) -> usize {
+        assert!(self.len > 0, "empty span has no last element");
+        (self.start + self.len - 1) % k
+    }
+
+    /// Whether wavelength `x` lies in the span on a ring of size `k`.
+    pub fn contains(&self, x: usize, k: usize) -> bool {
+        debug_assert!(x < k);
+        // Distance from start going clockwise; in range iff less than len.
+        (x + k - self.start) % k < self.len
+    }
+
+    /// Whether the span wraps past wavelength `k − 1` back to `0`.
+    pub fn wraps(&self, k: usize) -> bool {
+        self.len > 0 && self.start + self.len > k
+    }
+
+    /// Iterates the wavelengths of the span in clockwise order.
+    pub fn iter(&self, k: usize) -> impl Iterator<Item = usize> + '_ {
+        let start = self.start;
+        (0..self.len).map(move |off| (start + off) % k)
+    }
+
+    /// Intersection with another span, as the set of wavelengths of `self`
+    /// that `other` also contains.
+    ///
+    /// The intersection of two cyclic spans is not necessarily a single span,
+    /// so this returns the member wavelengths in `self`'s clockwise order.
+    pub fn intersect(&self, other: &Span, k: usize) -> Vec<usize> {
+        self.iter(k).filter(|&w| other.contains(w, k)).collect()
+    }
+
+    /// The position of wavelength `x` within the span counted clockwise from
+    /// the start (0-based), or `None` if `x` is not in the span.
+    pub fn offset_of(&self, x: usize, k: usize) -> Option<usize> {
+        let off = (x + k - self.start) % k;
+        (off < self.len).then_some(off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_span() {
+        let s = Span::EMPTY;
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        for x in 0..8 {
+            assert!(!s.contains(x, 8));
+        }
+        assert_eq!(s.iter(8).count(), 0);
+    }
+
+    #[test]
+    fn simple_non_wrapping() {
+        let s = Span::on_ring(2, 3, 8); // {2, 3, 4}
+        assert_eq!(s.iter(8).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(s.contains(2, 8));
+        assert!(s.contains(4, 8));
+        assert!(!s.contains(5, 8));
+        assert!(!s.contains(1, 8));
+        assert!(!s.wraps(8));
+        assert_eq!(s.last(8), 4);
+    }
+
+    #[test]
+    fn wrapping_span() {
+        // Paper §II-A: the adjacency set of λ0 with k = 6, e = f = 1 is
+        // {λ5, λ0, λ1}, written [−1, 1].
+        let s = Span::on_ring(-1, 3, 6);
+        assert_eq!(s.iter(6).collect::<Vec<_>>(), vec![5, 0, 1]);
+        assert!(s.wraps(6));
+        assert!(s.contains(5, 6));
+        assert!(s.contains(0, 6));
+        assert!(s.contains(1, 6));
+        assert!(!s.contains(2, 6));
+        assert!(!s.contains(4, 6));
+        assert_eq!(s.last(6), 1);
+    }
+
+    #[test]
+    fn negative_start_reduction() {
+        let s = Span::on_ring(-7, 2, 6); // start = −7 mod 6 = 5
+        assert_eq!(s.start(), 5);
+        assert_eq!(s.iter(6).collect::<Vec<_>>(), vec![5, 0]);
+    }
+
+    #[test]
+    fn full_ring() {
+        let s = Span::full(4);
+        assert_eq!(s.len(), 4);
+        for x in 0..4 {
+            assert!(s.contains(x, 4));
+        }
+        assert_eq!(s.iter(4).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn length_clamped_to_ring() {
+        let s = Span::on_ring(3, 99, 5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.iter(5).count(), 5);
+        for x in 0..5 {
+            assert!(s.contains(x, 5));
+        }
+    }
+
+    #[test]
+    fn ring_of_one() {
+        let s = Span::on_ring(0, 1, 1);
+        assert!(s.contains(0, 1));
+        assert_eq!(s.iter(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.last(1), 0);
+    }
+
+    #[test]
+    fn offset_of_positions() {
+        let s = Span::on_ring(4, 4, 6); // {4, 5, 0, 1}
+        assert_eq!(s.offset_of(4, 6), Some(0));
+        assert_eq!(s.offset_of(5, 6), Some(1));
+        assert_eq!(s.offset_of(0, 6), Some(2));
+        assert_eq!(s.offset_of(1, 6), Some(3));
+        assert_eq!(s.offset_of(2, 6), None);
+        assert_eq!(s.offset_of(3, 6), None);
+    }
+
+    #[test]
+    fn intersect_cyclic() {
+        let a = Span::on_ring(4, 4, 6); // {4, 5, 0, 1}
+        let b = Span::on_ring(0, 3, 6); // {0, 1, 2}
+        assert_eq!(a.intersect(&b, 6), vec![0, 1]);
+        // A cyclic intersection can be two disjoint runs.
+        let c = Span::on_ring(5, 3, 6); // {5, 0, 1}
+        let d = Span::on_ring(1, 5, 6); // {1, 2, 3, 4, 5}
+        assert_eq!(c.intersect(&d, 6), vec![5, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring size must be positive")]
+    fn zero_ring_panics() {
+        let _ = Span::on_ring(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty span has no last element")]
+    fn last_of_empty_panics() {
+        let _ = Span::EMPTY.last(6);
+    }
+}

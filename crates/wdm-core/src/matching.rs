@@ -1,0 +1,249 @@
+//! Matchings in request graphs (paper §II-B).
+//!
+//! A wavelength assignment is a set of vertex-disjoint edges of the request
+//! graph: each request gets at most one channel and each channel serves at
+//! most one request. [`Matching`] stores the assignment from both sides and
+//! can validate itself against a [`RequestGraph`].
+
+use crate::error::Error;
+use crate::graph::RequestGraph;
+
+/// A matching between left vertices (requests) and right positions
+/// (free output channels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    of_left: Vec<Option<usize>>,
+    of_right: Vec<Option<usize>>,
+    size: usize,
+}
+
+impl Matching {
+    /// The empty matching on `left_count` requests and `right_count`
+    /// channels.
+    pub fn empty(left_count: usize, right_count: usize) -> Matching {
+        Matching {
+            of_left: vec![None; left_count],
+            of_right: vec![None; right_count],
+            size: 0,
+        }
+    }
+
+    /// Builds a matching from the right-side assignment — the paper's
+    /// `MATCH[]` array: `match_of_right[p] = Some(j)` means right position
+    /// `p` is matched to left vertex `j`.
+    pub fn from_right_assignment(
+        left_count: usize,
+        match_of_right: Vec<Option<usize>>,
+    ) -> Result<Matching, Error> {
+        let mut m = Matching::empty(left_count, match_of_right.len());
+        for (p, j) in match_of_right.into_iter().enumerate() {
+            if let Some(j) = j {
+                m.add(j, p)?;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Adds edge `(j, p)` to the matching.
+    ///
+    /// Returns an error if either endpoint is out of range or already
+    /// matched.
+    pub fn add(&mut self, j: usize, p: usize) -> Result<(), Error> {
+        if j >= self.of_left.len() {
+            return Err(Error::LengthMismatch { expected: self.of_left.len(), actual: j + 1 });
+        }
+        if p >= self.of_right.len() {
+            return Err(Error::LengthMismatch { expected: self.of_right.len(), actual: p + 1 });
+        }
+        if self.of_left[j].is_some() {
+            return Err(Error::AlreadyMatched { left_side: true, index: j });
+        }
+        if self.of_right[p].is_some() {
+            return Err(Error::AlreadyMatched { left_side: false, index: p });
+        }
+        self.of_left[j] = Some(p);
+        self.of_right[p] = Some(j);
+        self.size += 1;
+        Ok(())
+    }
+
+    /// The number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The right position matched to left vertex `j`, if any.
+    pub fn right_of(&self, j: usize) -> Option<usize> {
+        self.of_left.get(j).copied().flatten()
+    }
+
+    /// The left vertex matched to right position `p`, if any.
+    pub fn left_of(&self, p: usize) -> Option<usize> {
+        self.of_right.get(p).copied().flatten()
+    }
+
+    /// Whether left vertex `j` is matched — the paper's "saturated".
+    pub fn is_left_saturated(&self, j: usize) -> bool {
+        self.right_of(j).is_some()
+    }
+
+    /// All matched `(left, right_position)` pairs in left order.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.of_left
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| p.map(|p| (j, p)))
+            .collect()
+    }
+
+    /// Checks that the matching is a valid matching *of this graph*: sides
+    /// have the right sizes, every matched pair is an edge, and the two
+    /// directions are mutually consistent.
+    pub fn validate(&self, graph: &RequestGraph) -> Result<(), Error> {
+        if self.of_left.len() != graph.left_count() {
+            return Err(Error::LengthMismatch {
+                expected: graph.left_count(),
+                actual: self.of_left.len(),
+            });
+        }
+        if self.of_right.len() != graph.right_count() {
+            return Err(Error::LengthMismatch {
+                expected: graph.right_count(),
+                actual: self.of_right.len(),
+            });
+        }
+        let mut seen = 0usize;
+        for (j, &p) in self.of_left.iter().enumerate() {
+            if let Some(p) = p {
+                if self.of_right[p] != Some(j) {
+                    return Err(Error::InconsistentMatching);
+                }
+                if !graph.is_edge(j, p) {
+                    return Err(Error::NotAnEdge { left: j, right: p });
+                }
+                seen += 1;
+            }
+        }
+        for (p, &j) in self.of_right.iter().enumerate() {
+            if let Some(j) = j {
+                if self.of_left[j] != Some(p) {
+                    return Err(Error::InconsistentMatching);
+                }
+            }
+        }
+        if seen != self.size {
+            return Err(Error::InconsistentMatching);
+        }
+        Ok(())
+    }
+
+    /// Whether the matching is *maximal*: no edge of the graph has both
+    /// endpoints unmatched. Every maximum matching is maximal; the converse
+    /// is false in general.
+    pub fn is_maximal(&self, graph: &RequestGraph) -> bool {
+        for j in 0..graph.left_count() {
+            if self.is_left_saturated(j) {
+                continue;
+            }
+            for &p in graph.adjacent(j) {
+                if self.left_of(p).is_none() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::Conversion;
+    use crate::request::RequestVector;
+
+    fn paper_graph_circular() -> RequestGraph {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap();
+        RequestGraph::new(conv, &rv).unwrap()
+    }
+
+    /// The matching of paper Fig. 4: size 6, leaves one λ0/λ1 request out.
+    #[test]
+    fn figure_4_matching_validates() {
+        let g = paper_graph_circular();
+        let mut m = Matching::empty(7, 6);
+        // a0→b5 (wrap), a1→b0, a2→b1, a3→b3, a4→b4 ... wait a4 is λ4 → b4;
+        // a3 is λ3 → b2 or b3. Use: a1→b0, a2→b1, a3→b2, a4→b3... λ4→b3 ok
+        // (e=1). Build a size-6 matching explicitly:
+        m.add(0, 5).unwrap(); // λ0 → b5 (wrap edge)
+        m.add(1, 0).unwrap(); // λ0 → b0
+        m.add(2, 1).unwrap(); // λ1 → b1
+        m.add(3, 2).unwrap(); // λ3 → b2
+        m.add(4, 3).unwrap(); // λ4 → b3
+        m.add(5, 4).unwrap(); // λ5 → b4
+        assert_eq!(m.size(), 6);
+        m.validate(&g).unwrap();
+        assert!(m.is_maximal(&g));
+        assert!(!m.is_left_saturated(6));
+    }
+
+    #[test]
+    fn double_booking_rejected() {
+        let mut m = Matching::empty(3, 3);
+        m.add(0, 1).unwrap();
+        assert!(m.add(0, 2).is_err(), "left vertex reuse");
+        assert!(m.add(2, 1).is_err(), "right vertex reuse");
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = Matching::empty(2, 2);
+        assert!(m.add(2, 0).is_err());
+        assert!(m.add(0, 2).is_err());
+    }
+
+    #[test]
+    fn non_edge_fails_validation() {
+        let g = paper_graph_circular();
+        let mut m = Matching::empty(7, 6);
+        // a0 is λ0; b3 is not in its adjacency set {b5, b0, b1}.
+        m.add(0, 3).unwrap();
+        assert!(m.validate(&g).is_err());
+    }
+
+    #[test]
+    fn from_right_assignment_round_trip() {
+        let assignment = vec![Some(1), None, Some(0), None];
+        let m = Matching::from_right_assignment(2, assignment).unwrap();
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.left_of(0), Some(1));
+        assert_eq!(m.left_of(2), Some(0));
+        assert_eq!(m.right_of(0), Some(2));
+        assert_eq!(m.right_of(1), Some(0));
+        assert_eq!(m.pairs(), vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn from_right_assignment_duplicate_left_rejected() {
+        let assignment = vec![Some(0), Some(0)];
+        assert!(Matching::from_right_assignment(1, assignment).is_err());
+    }
+
+    #[test]
+    fn maximality_detects_extendable_matching() {
+        let g = paper_graph_circular();
+        let mut m = Matching::empty(7, 6);
+        m.add(0, 0).unwrap();
+        assert!(!m.is_maximal(&g), "many free edges remain");
+    }
+
+    #[test]
+    fn validate_checks_dimensions() {
+        let g = paper_graph_circular();
+        let m = Matching::empty(3, 6);
+        assert!(m.validate(&g).is_err());
+        let m = Matching::empty(7, 5);
+        assert!(m.validate(&g).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Output-channel availability (paper §V).
+//!
+//! When connections hold for more than one time slot (e.g. optical burst
+//! switching), some output wavelength channels may still be occupied by
+//! previously admitted connections at scheduling time. The paper's remedy is
+//! to remove the occupied right-side vertices from the request graph; the
+//! same matching algorithms then apply to the reduced graph. [`ChannelMask`]
+//! records which of the `k` output channels of a fiber are free.
+
+use crate::error::Error;
+
+/// Availability of the `k` output wavelength channels of one output fiber.
+///
+/// `true` means the channel is free and may be assigned this slot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChannelMask {
+    free: Vec<bool>,
+}
+
+impl ChannelMask {
+    /// All `k` channels free (the paper's §III–IV setting).
+    pub fn all_free(k: usize) -> ChannelMask {
+        ChannelMask { free: vec![true; k] }
+    }
+
+    /// All `k` channels occupied.
+    pub fn all_occupied(k: usize) -> ChannelMask {
+        ChannelMask { free: vec![false; k] }
+    }
+
+    /// Builds a mask from explicit per-channel flags (`true` = free).
+    pub fn from_flags(free: Vec<bool>) -> Result<ChannelMask, Error> {
+        if free.is_empty() {
+            return Err(Error::ZeroWavelengths);
+        }
+        Ok(ChannelMask { free })
+    }
+
+    /// A mask with exactly the given channels occupied.
+    ///
+    /// ```
+    /// use wdm_core::ChannelMask;
+    /// let mask = ChannelMask::with_occupied(6, &[0, 3])?;
+    /// assert!(!mask.is_free(0));
+    /// assert_eq!(mask.free_channels(), vec![1, 2, 4, 5]);
+    /// # Ok::<(), wdm_core::Error>(())
+    /// ```
+    pub fn with_occupied(k: usize, occupied: &[usize]) -> Result<ChannelMask, Error> {
+        let mut mask = ChannelMask::all_free(k);
+        for &w in occupied {
+            mask.set_occupied(w)?;
+        }
+        Ok(mask)
+    }
+
+    /// The number of wavelengths per fiber.
+    pub fn k(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether channel `w` is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= k`.
+    pub fn is_free(&self, w: usize) -> bool {
+        self.free[w]
+    }
+
+    /// Marks channel `w` occupied.
+    pub fn set_occupied(&mut self, w: usize) -> Result<(), Error> {
+        match self.free.get_mut(w) {
+            Some(slot) => {
+                *slot = false;
+                Ok(())
+            }
+            None => Err(Error::InvalidWavelength { wavelength: w, k: self.free.len() }),
+        }
+    }
+
+    /// Marks channel `w` free.
+    pub fn set_free(&mut self, w: usize) -> Result<(), Error> {
+        match self.free.get_mut(w) {
+            Some(slot) => {
+                *slot = true;
+                Ok(())
+            }
+            None => Err(Error::InvalidWavelength { wavelength: w, k: self.free.len() }),
+        }
+    }
+
+    /// The number of free channels.
+    pub fn free_count(&self) -> usize {
+        self.free.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether every channel is free.
+    pub fn is_all_free(&self) -> bool {
+        self.free.iter().all(|&b| b)
+    }
+
+    /// The free channel wavelengths in ascending order.
+    pub fn free_channels(&self) -> Vec<usize> {
+        self.free
+            .iter()
+            .enumerate()
+            .filter_map(|(w, &b)| b.then_some(w))
+            .collect()
+    }
+
+    /// Iterates free channel wavelengths in ascending order.
+    pub fn iter_free(&self) -> impl Iterator<Item = usize> + '_ {
+        self.free
+            .iter()
+            .enumerate()
+            .filter_map(|(w, &b)| b.then_some(w))
+    }
+
+    /// Prefix counts of free channels: `prefix[w]` is the number of free
+    /// channels with wavelength `< w`, for `w` in `0..=k`.
+    ///
+    /// This lets a span of wavelengths be mapped to a contiguous range of
+    /// positions in the free-channel list in `O(1)` after `O(k)` setup, the
+    /// trick that keeps the compact schedulers linear-time under occupancy.
+    pub fn free_prefix_counts(&self) -> Vec<usize> {
+        let mut prefix = Vec::with_capacity(self.free.len() + 1);
+        let mut acc = 0usize;
+        prefix.push(0);
+        for &b in &self.free {
+            acc += usize::from(b);
+            prefix.push(acc);
+        }
+        prefix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_free_and_all_occupied() {
+        let free = ChannelMask::all_free(4);
+        assert!(free.is_all_free());
+        assert_eq!(free.free_count(), 4);
+        let occ = ChannelMask::all_occupied(4);
+        assert_eq!(occ.free_count(), 0);
+        assert_eq!(occ.free_channels(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn occupy_and_release() {
+        let mut m = ChannelMask::all_free(6);
+        m.set_occupied(2).unwrap();
+        m.set_occupied(5).unwrap();
+        assert!(!m.is_free(2));
+        assert!(m.is_free(3));
+        assert_eq!(m.free_channels(), vec![0, 1, 3, 4]);
+        m.set_free(2).unwrap();
+        assert!(m.is_free(2));
+        assert_eq!(m.free_count(), 5);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = ChannelMask::all_free(3);
+        assert_eq!(m.set_occupied(3), Err(Error::InvalidWavelength { wavelength: 3, k: 3 }));
+        assert_eq!(m.set_free(9), Err(Error::InvalidWavelength { wavelength: 9, k: 3 }));
+        assert!(ChannelMask::with_occupied(3, &[4]).is_err());
+        assert!(ChannelMask::from_flags(vec![]).is_err());
+    }
+
+    #[test]
+    fn prefix_counts() {
+        let m = ChannelMask::with_occupied(6, &[0, 3]).unwrap();
+        // free: 1, 2, 4, 5
+        assert_eq!(m.free_prefix_counts(), vec![0, 0, 1, 2, 2, 3, 4]);
+        // Position of a free wavelength w in the free list = prefix[w].
+        for (pos, w) in m.free_channels().into_iter().enumerate() {
+            assert_eq!(m.free_prefix_counts()[w], pos);
+        }
+    }
+
+    #[test]
+    fn with_occupied_builder() {
+        let m = ChannelMask::with_occupied(5, &[1, 1, 4]).unwrap();
+        assert_eq!(m.free_channels(), vec![0, 2, 3]);
+    }
+}

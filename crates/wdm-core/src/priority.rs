@@ -1,0 +1,223 @@
+//! Strict-priority QoS scheduling — the paper's stated future work (§VI:
+//! "interesting future work may include incorporating different QoS
+//! requirements, such as different priorities among connection requests").
+//!
+//! Requests are partitioned into priority classes (class 0 highest). The
+//! scheduler serves classes in order: class `i` gets a *maximum* matching on
+//! the channels left free by classes `0..i`, reusing the §V occupied-channel
+//! machinery. This gives the strict-priority guarantee — a class's
+//! throughput can never be reduced by lower-priority traffic — at the usual
+//! strict-priority price: the total over all classes may be below the joint
+//! (priority-blind) maximum matching. Both facts are covered by tests.
+
+use crate::algorithms::Assignment;
+use crate::conversion::Conversion;
+use crate::error::Error;
+use crate::occupancy::ChannelMask;
+use crate::request::RequestVector;
+use crate::scheduler::{FiberScheduler, Policy};
+
+/// The per-class outcome of a strict-priority schedule.
+#[derive(Debug, Clone)]
+pub struct ClassSchedule {
+    /// Priority class index (0 = highest).
+    pub class: usize,
+    /// Granted assignments for this class.
+    pub assignments: Vec<Assignment>,
+    /// Requests of this class that were presented.
+    pub requested: usize,
+}
+
+impl ClassSchedule {
+    /// Rejected requests of this class.
+    pub fn rejected(&self) -> usize {
+        self.requested - self.assignments.len()
+    }
+}
+
+/// A strict-priority scheduler for one output fiber.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityScheduler {
+    scheduler: FiberScheduler,
+}
+
+impl PriorityScheduler {
+    /// Creates the scheduler; `policy` is applied per class
+    /// ([`Policy::Auto`] gives the paper's optimal algorithm per conversion
+    /// kind).
+    pub fn new(conversion: Conversion, policy: Policy) -> PriorityScheduler {
+        PriorityScheduler { scheduler: FiberScheduler::new(conversion, policy) }
+    }
+
+    /// The underlying conversion scheme.
+    pub fn conversion(&self) -> &Conversion {
+        self.scheduler.conversion()
+    }
+
+    /// Schedules the classes (index 0 = highest priority) with every channel
+    /// initially free.
+    ///
+    /// ```
+    /// use wdm_core::{Conversion, Policy, RequestVector};
+    /// use wdm_core::priority::PriorityScheduler;
+    ///
+    /// let conv = Conversion::symmetric_circular(6, 3)?;
+    /// let sched = PriorityScheduler::new(conv, Policy::Auto);
+    /// let premium = RequestVector::from_counts(vec![1, 0, 0, 0, 0, 0])?;
+    /// let best_effort = RequestVector::from_counts(vec![2, 2, 2, 2, 2, 2])?;
+    /// let out = sched.schedule(&[premium, best_effort])?;
+    /// assert_eq!(out[0].assignments.len(), 1); // premium always served
+    /// assert_eq!(out[1].assignments.len(), 5); // best effort fills the rest
+    /// # Ok::<(), wdm_core::Error>(())
+    /// ```
+    pub fn schedule(&self, classes: &[RequestVector]) -> Result<Vec<ClassSchedule>, Error> {
+        self.schedule_with_mask(
+            classes,
+            &ChannelMask::all_free(self.scheduler.conversion().k()),
+        )
+    }
+
+    /// Schedules the classes on the channels free in `mask` (channels held
+    /// by earlier multi-slot connections stay excluded, §V).
+    pub fn schedule_with_mask(
+        &self,
+        classes: &[RequestVector],
+        mask: &ChannelMask,
+    ) -> Result<Vec<ClassSchedule>, Error> {
+        let mut available = mask.clone();
+        let mut out = Vec::with_capacity(classes.len());
+        for (class, requests) in classes.iter().enumerate() {
+            let schedule = self.scheduler.schedule_with_mask(requests, &available)?;
+            for a in schedule.assignments() {
+                available.set_occupied(a.output)?;
+            }
+            out.push(ClassSchedule {
+                class,
+                assignments: schedule.assignments().to_vec(),
+                requested: requests.total(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{hopcroft_karp, kuhn, validate_assignments};
+    use crate::graph::RequestGraph;
+
+    fn conv() -> Conversion {
+        Conversion::symmetric_circular(6, 3).unwrap()
+    }
+
+    #[test]
+    fn high_class_gets_its_unconstrained_maximum() {
+        let sched = PriorityScheduler::new(conv(), Policy::Auto);
+        let high = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap();
+        let low = RequestVector::from_counts(vec![3, 3, 3, 3, 3, 3]).unwrap();
+        let out = sched.schedule(&[high.clone(), low]).unwrap();
+        // Class 0 is scheduled as if alone: its maximum matching is 6.
+        let g = RequestGraph::new(conv(), &high).unwrap();
+        assert_eq!(out[0].assignments.len(), hopcroft_karp(&g).size());
+        assert_eq!(out[0].rejected(), 1);
+        // Class 1 gets nothing — all channels taken.
+        assert_eq!(out[1].assignments.len(), 0);
+        assert_eq!(out[1].rejected(), 18);
+    }
+
+    #[test]
+    fn lower_class_fills_leftover_channels() {
+        let sched = PriorityScheduler::new(conv(), Policy::Auto);
+        // High class only uses λ0-reachable channels.
+        let high = RequestVector::from_counts(vec![2, 0, 0, 0, 0, 0]).unwrap();
+        let low = RequestVector::from_counts(vec![0, 0, 0, 2, 0, 0]).unwrap();
+        let out = sched.schedule(&[high, low]).unwrap();
+        assert_eq!(out[0].assignments.len(), 2);
+        assert_eq!(out[1].assignments.len(), 2, "λ3's channels remain free");
+    }
+
+    #[test]
+    fn combined_assignments_are_feasible() {
+        let sched = PriorityScheduler::new(conv(), Policy::Auto);
+        let classes = vec![
+            RequestVector::from_counts(vec![1, 0, 2, 0, 1, 0]).unwrap(),
+            RequestVector::from_counts(vec![0, 2, 0, 1, 0, 1]).unwrap(),
+            RequestVector::from_counts(vec![1, 1, 1, 1, 1, 1]).unwrap(),
+        ];
+        let out = sched.schedule(&classes).unwrap();
+        // Merge all classes into one pool and validate jointly: channel
+        // uniqueness across classes, counts within each class's vector.
+        let mut merged = RequestVector::new(6);
+        for c in &classes {
+            for (w, n) in c.iter_nonzero() {
+                for _ in 0..n {
+                    merged.add(w).unwrap();
+                }
+            }
+        }
+        let all: Vec<Assignment> =
+            out.iter().flat_map(|c| c.assignments.iter().copied()).collect();
+        validate_assignments(&conv(), &merged, &ChannelMask::all_free(6), &all).unwrap();
+    }
+
+    #[test]
+    fn strict_priority_is_monotone_in_lower_load() {
+        // Adding low-priority traffic never changes the high class's grants.
+        let sched = PriorityScheduler::new(conv(), Policy::Auto);
+        let high = RequestVector::from_counts(vec![0, 2, 3, 0, 1, 0]).unwrap();
+        let alone = sched.schedule(std::slice::from_ref(&high)).unwrap();
+        for low_total in 0..8usize {
+            let mut low = RequestVector::new(6);
+            for i in 0..low_total {
+                low.add(i % 6).unwrap();
+            }
+            let both = sched.schedule(&[high.clone(), low]).unwrap();
+            assert_eq!(both[0].assignments, alone[0].assignments);
+        }
+    }
+
+    #[test]
+    fn strict_priority_can_cost_total_throughput() {
+        // The documented trade-off: a high-class grant can occupy a channel
+        // the joint optimum would have given to the low class. With d = 1
+        // (no conversion) on k = 2: high = {λ0}, low = {λ0} — joint maximum
+        // is 1, and strict priority also gets 1. Construct the classic
+        // conflict with conversion: high λ1 takes λ0's only channel.
+        let conv = Conversion::circular(3, 1, 0).unwrap(); // λi → {λi−1, λi}
+        let sched = PriorityScheduler::new(conv, Policy::Auto);
+        let high = RequestVector::from_counts(vec![0, 1, 0]).unwrap();
+        let low = RequestVector::from_counts(vec![1, 0, 0]).unwrap();
+        let out = sched.schedule(&[high.clone(), low.clone()]).unwrap();
+        let total: usize = out.iter().map(|c| c.assignments.len()).sum();
+        // Joint scheduling would grant both (λ1→λ1, λ0→λ0 or λ0→λ2…).
+        let mut merged = high;
+        merged.add(0).unwrap();
+        let g = RequestGraph::new(conv, &merged).unwrap();
+        let joint = kuhn(&g).size();
+        assert_eq!(joint, 2);
+        assert!(total <= joint);
+        // Strict priority still guarantees the high class its grant.
+        assert_eq!(out[0].assignments.len(), 1);
+    }
+
+    #[test]
+    fn respects_pre_occupied_channels() {
+        let sched = PriorityScheduler::new(conv(), Policy::Auto);
+        let mask = ChannelMask::with_occupied(6, &[0, 1, 2]).unwrap();
+        let classes = vec![RequestVector::from_counts(vec![2, 2, 0, 0, 0, 0]).unwrap()];
+        let out = sched.schedule_with_mask(&classes, &mask).unwrap();
+        for a in &out[0].assignments {
+            assert!(a.output >= 3);
+        }
+    }
+
+    #[test]
+    fn empty_classes() {
+        let sched = PriorityScheduler::new(conv(), Policy::Auto);
+        assert!(sched.schedule(&[]).unwrap().is_empty());
+        let out = sched.schedule(&[RequestVector::new(6)]).unwrap();
+        assert_eq!(out[0].assignments.len(), 0);
+        assert_eq!(out[0].rejected(), 0);
+    }
+}

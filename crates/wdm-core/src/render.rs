@@ -1,0 +1,174 @@
+//! Plain-text rendering of conversion graphs, request graphs and matchings.
+//!
+//! Used by the examples to regenerate the paper's Figures 2–5 as readable
+//! terminal output, and handy when debugging scheduling decisions.
+
+use std::fmt::Write as _;
+
+use crate::conversion::Conversion;
+use crate::graph::RequestGraph;
+use crate::matching::Matching;
+
+/// Renders a conversion graph (paper Fig. 2) as one line per input
+/// wavelength: `λi -> {λa, λb, …}`.
+pub fn render_conversion(conv: &Conversion) -> String {
+    let k = conv.k();
+    let mut out = String::new();
+    for w in 0..k {
+        let targets: Vec<String> =
+            conv.adjacency(w).iter(k).map(|u| format!("λ{u}")).collect();
+        let _ = writeln!(out, "λ{w} -> {{{}}}", targets.join(", "));
+    }
+    out
+}
+
+/// Renders a request graph (paper Fig. 3) as one line per request:
+/// `a_j (λw) -> {b_p(λu), …}`.
+pub fn render_request_graph(graph: &RequestGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "request graph: {} requests, {} free channels, {} edges",
+        graph.left_count(),
+        graph.right_count(),
+        graph.edge_count()
+    );
+    for j in 0..graph.left_count() {
+        let targets: Vec<String> = graph
+            .adjacent(j)
+            .iter()
+            .map(|&p| format!("b{p}(λ{})", graph.output_wavelength(p)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  a{j} (λ{}) -> {{{}}}",
+            graph.wavelength_of(j),
+            targets.join(", ")
+        );
+    }
+    out
+}
+
+/// Renders a matching (paper Fig. 4) as one line per request, showing the
+/// assigned channel or `rejected`.
+pub fn render_matching(graph: &RequestGraph, matching: &Matching) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "matching: {} of {} requests granted",
+        matching.size(),
+        graph.left_count()
+    );
+    for j in 0..graph.left_count() {
+        match matching.right_of(j) {
+            Some(p) => {
+                let _ = writeln!(
+                    out,
+                    "  a{j} (λ{}) => b{p} (λ{})",
+                    graph.wavelength_of(j),
+                    graph.output_wavelength(p)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  a{j} (λ{}) => rejected", graph.wavelength_of(j));
+            }
+        }
+    }
+    out
+}
+
+/// Renders a request graph (and optionally a matching) as Graphviz DOT, for
+/// publication-quality reproductions of the paper's Figures 3–4:
+/// `dot -Tsvg out.dot > fig.svg`.
+///
+/// Left vertices appear as `a0, a1, …` (labelled with their wavelength),
+/// right vertices as `b0, b1, …`; matched edges are drawn bold.
+pub fn render_dot(graph: &RequestGraph, matching: Option<&Matching>) -> String {
+    let mut out = String::from("graph request_graph {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for j in 0..graph.left_count() {
+        let _ = writeln!(
+            out,
+            "  a{j} [label=\"a{j}\\n(λ{})\" group=left];",
+            graph.wavelength_of(j)
+        );
+    }
+    for p in 0..graph.right_count() {
+        let _ = writeln!(
+            out,
+            "  b{p} [label=\"b{p}\\n(λ{})\" group=right shape=doublecircle];",
+            graph.output_wavelength(p)
+        );
+    }
+    for j in 0..graph.left_count() {
+        for &p in graph.adjacent(j) {
+            let matched = matching.is_some_and(|m| m.right_of(j) == Some(p));
+            let style = if matched { " [penwidth=3]" } else { "" };
+            let _ = writeln!(out, "  a{j} -- b{p}{style};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::kuhn;
+    use crate::request::RequestVector;
+
+    #[test]
+    fn conversion_rendering_mentions_every_wavelength() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let s = render_conversion(&conv);
+        assert_eq!(s.lines().count(), 6);
+        assert!(s.contains("λ0 -> {λ5, λ0, λ1}"));
+        let nc = Conversion::non_circular(6, 1, 1).unwrap();
+        let s = render_conversion(&nc);
+        assert!(s.contains("λ0 -> {λ0, λ1}"));
+    }
+
+    #[test]
+    fn request_graph_rendering() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap();
+        let g = RequestGraph::new(conv, &rv).unwrap();
+        let s = render_request_graph(&g);
+        assert!(s.contains("7 requests"));
+        assert!(s.contains("a0 (λ0)"));
+        assert!(s.contains("b5(λ5)"));
+    }
+
+    #[test]
+    fn dot_rendering_is_well_formed() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap();
+        let g = RequestGraph::new(conv, &rv).unwrap();
+        let plain = render_dot(&g, None);
+        assert!(plain.starts_with("graph request_graph {"));
+        assert!(plain.trim_end().ends_with('}'));
+        assert_eq!(plain.matches(" -- ").count(), g.edge_count());
+        assert!(!plain.contains("penwidth"), "no matching, no bold edges");
+
+        let m = kuhn(&g);
+        let with_matching = render_dot(&g, Some(&m));
+        assert_eq!(with_matching.matches("penwidth").count(), m.size());
+        // Every vertex is declared.
+        for j in 0..g.left_count() {
+            assert!(with_matching.contains(&format!("a{j} [label")));
+        }
+        for p in 0..g.right_count() {
+            assert!(with_matching.contains(&format!("b{p} [label")));
+        }
+    }
+
+    #[test]
+    fn matching_rendering_shows_rejections() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap();
+        let g = RequestGraph::new(conv, &rv).unwrap();
+        let m = kuhn(&g);
+        let s = render_matching(&g, &m);
+        assert!(s.contains("6 of 7 requests granted"));
+        assert!(s.contains("rejected"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Connection-request bookkeeping for one output fiber (paper §II-B).
+//!
+//! Because the traffic is unicast and a request does not specify an output
+//! *channel* (only an output fiber), the scheduler for one fiber only needs
+//! to know *how many* requests arrived on each input wavelength — requests
+//! on the same wavelength are interchangeable for the purpose of maximizing
+//! the matching. The paper calls this the *request vector*: a `1 × k` row
+//! vector whose `i`-th element is the number of requests arrived on `λi`.
+
+use crate::error::Error;
+
+/// The number of connection requests per input wavelength destined for one
+/// output fiber in one time slot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RequestVector {
+    counts: Vec<usize>,
+}
+
+impl RequestVector {
+    /// An empty request vector for `k` wavelengths.
+    pub fn new(k: usize) -> RequestVector {
+        RequestVector { counts: vec![0; k] }
+    }
+
+    /// Builds a request vector from explicit per-wavelength counts.
+    ///
+    /// Returns [`Error::ZeroWavelengths`] for an empty vector.
+    ///
+    /// ```
+    /// use wdm_core::RequestVector;
+    /// // The paper's Fig. 3 example: 2 requests on λ0, 1 on λ1, …
+    /// let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2])?;
+    /// assert_eq!(rv.total(), 7);
+    /// assert_eq!(rv.count(5), 2);
+    /// # Ok::<(), wdm_core::Error>(())
+    /// ```
+    pub fn from_counts(counts: Vec<usize>) -> Result<RequestVector, Error> {
+        if counts.is_empty() {
+            return Err(Error::ZeroWavelengths);
+        }
+        Ok(RequestVector { counts })
+    }
+
+    /// Builds a request vector for `k` wavelengths from a list of request
+    /// wavelengths (duplicates accumulate).
+    pub fn from_wavelengths(k: usize, wavelengths: &[usize]) -> Result<RequestVector, Error> {
+        if k == 0 {
+            return Err(Error::ZeroWavelengths);
+        }
+        let mut rv = RequestVector::new(k);
+        for &w in wavelengths {
+            rv.add(w)?;
+        }
+        Ok(rv)
+    }
+
+    /// The number of wavelengths per fiber.
+    pub fn k(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one more request on wavelength `w`.
+    pub fn add(&mut self, w: usize) -> Result<(), Error> {
+        match self.counts.get_mut(w) {
+            Some(c) => {
+                *c += 1;
+                Ok(())
+            }
+            None => Err(Error::InvalidWavelength { wavelength: w, k: self.counts.len() }),
+        }
+    }
+
+    /// The number of requests on wavelength `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= k`.
+    pub fn count(&self, w: usize) -> usize {
+        self.counts[w]
+    }
+
+    /// Per-wavelength counts, indexed by wavelength.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of requests.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Whether no requests are present.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Iterates `(wavelength, count)` pairs with non-zero counts.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts.iter().copied().enumerate().filter(|&(_, c)| c > 0)
+    }
+
+    /// Expands the vector into one wavelength per request, sorted ascending.
+    ///
+    /// This is the left-vertex ordering of the request graph: requests are
+    /// ordered by wavelength index, ties broken arbitrarily (here: by arrival
+    /// order within a wavelength).
+    pub fn expand(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.total());
+        for (w, c) in self.iter_nonzero() {
+            out.extend(std::iter::repeat_n(w, c));
+        }
+        out
+    }
+
+    /// A copy with every per-wavelength count clamped to `cap`.
+    ///
+    /// At most `d` requests on one wavelength can ever be granted (their
+    /// common adjacency set has `d` channels), so clamping at `cap >= d`
+    /// preserves the maximum matching size while bounding the work of the
+    /// matching algorithms.
+    pub fn clamped(&self, cap: usize) -> RequestVector {
+        RequestVector { counts: self.counts.iter().map(|&c| c.min(cap)).collect() }
+    }
+
+    /// Removes all requests.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running request vector [2, 1, 0, 1, 1, 2] (Fig. 3).
+    #[test]
+    fn paper_request_vector() {
+        let rv = RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap();
+        assert_eq!(rv.k(), 6);
+        assert_eq!(rv.total(), 7);
+        assert_eq!(rv.count(0), 2);
+        assert_eq!(rv.count(2), 0);
+        // Left-vertex ordering a0..a6 (paper: W(0) = W(1) = 0, W(2) = 1, …).
+        assert_eq!(rv.expand(), vec![0, 0, 1, 3, 4, 5, 5]);
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut rv = RequestVector::new(4);
+        assert!(rv.is_empty());
+        rv.add(2).unwrap();
+        rv.add(2).unwrap();
+        rv.add(0).unwrap();
+        assert_eq!(rv.total(), 3);
+        assert_eq!(rv.count(2), 2);
+        assert_eq!(
+            rv.iter_nonzero().collect::<Vec<_>>(),
+            vec![(0, 1), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn add_out_of_range_fails() {
+        let mut rv = RequestVector::new(4);
+        assert_eq!(rv.add(4), Err(Error::InvalidWavelength { wavelength: 4, k: 4 }));
+    }
+
+    #[test]
+    fn from_wavelengths_accumulates() {
+        let rv = RequestVector::from_wavelengths(5, &[1, 1, 4, 0, 1]).unwrap();
+        assert_eq!(rv.counts(), &[1, 3, 0, 0, 1]);
+        assert!(RequestVector::from_wavelengths(5, &[5]).is_err());
+    }
+
+    #[test]
+    fn empty_counts_rejected() {
+        assert_eq!(RequestVector::from_counts(vec![]), Err(Error::ZeroWavelengths));
+        assert_eq!(RequestVector::from_wavelengths(0, &[]), Err(Error::ZeroWavelengths));
+    }
+
+    #[test]
+    fn clamping_preserves_smaller_counts() {
+        let rv = RequestVector::from_counts(vec![5, 1, 0, 3]).unwrap();
+        let c = rv.clamped(3);
+        assert_eq!(c.counts(), &[3, 1, 0, 3]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut rv = RequestVector::from_counts(vec![1, 2]).unwrap();
+        rv.clear();
+        assert!(rv.is_empty());
+        assert_eq!(rv.k(), 2);
+    }
+}

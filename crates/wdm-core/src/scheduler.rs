@@ -1,0 +1,244 @@
+//! The per-output-fiber scheduler façade.
+//!
+//! The paper's distributed architecture runs one scheduler per output fiber:
+//! requests are partitioned by destination, and the decisions for one fiber
+//! never affect another (no request belongs to two fibers). This module
+//! packages the matching algorithms behind one interface; the interconnect
+//! crates instantiate `N` of these, one per output fiber.
+
+use crate::algorithms::{
+    self, approx_schedule, break_fa_schedule, fa_schedule, full_range_schedule, hopcroft_karp,
+    Assignment,
+};
+use crate::conversion::{Conversion, ConversionKind};
+use crate::error::Error;
+use crate::graph::RequestGraph;
+use crate::occupancy::ChannelMask;
+use crate::request::RequestVector;
+
+/// Which scheduling algorithm a [`FiberScheduler`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Policy {
+    /// Pick the paper's optimal algorithm for the conversion kind:
+    /// the trivial scheduler for full-range, First Available (`O(k)`) for
+    /// non-circular, Break and First Available (`O(dk)`) for circular.
+    #[default]
+    Auto,
+    /// First Available (Table 2). Only valid for non-circular conversion.
+    FirstAvailable,
+    /// Break and First Available (Table 3). Valid for circular conversion;
+    /// dispatches full-range to the trivial scheduler.
+    BreakFirstAvailable,
+    /// The `O(k)` single-break approximation (§IV-C). Valid for circular
+    /// conversion; within `(d−1)/2` of the maximum.
+    Approximate,
+    /// Hopcroft–Karp on the explicit request graph — the paper's baseline.
+    /// Valid for every conversion kind; much slower.
+    HopcroftKarp,
+}
+
+/// The decision for one output fiber in one time slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    assignments: Vec<Assignment>,
+    requested: usize,
+    /// For the approximation policy: Theorem 3's bound on the distance to a
+    /// maximum matching. `Some(0)` or `None` means the schedule is maximum.
+    approx_bound: Option<usize>,
+}
+
+impl Schedule {
+    /// The granted request → channel assignments.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Number of granted requests.
+    pub fn granted(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Total number of requests that were presented.
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// Number of rejected requests (output contention losses).
+    pub fn rejected(&self) -> usize {
+        self.requested - self.assignments.len()
+    }
+
+    /// Whether the schedule is guaranteed to be a maximum matching.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.approx_bound, None | Some(0))
+    }
+
+    /// For approximate schedules, Theorem 3's bound on the lost throughput.
+    pub fn approx_bound(&self) -> Option<usize> {
+        self.approx_bound
+    }
+
+    /// Number of granted requests per input wavelength.
+    pub fn granted_per_wavelength(&self, k: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; k];
+        for a in &self.assignments {
+            counts[a.input] += 1;
+        }
+        counts
+    }
+}
+
+/// A scheduler for one output fiber.
+#[derive(Debug, Clone, Copy)]
+pub struct FiberScheduler {
+    conversion: Conversion,
+    policy: Policy,
+}
+
+impl FiberScheduler {
+    /// Creates a scheduler for the given conversion scheme and policy.
+    pub fn new(conversion: Conversion, policy: Policy) -> FiberScheduler {
+        FiberScheduler { conversion, policy }
+    }
+
+    /// The conversion scheme.
+    pub fn conversion(&self) -> &Conversion {
+        &self.conversion
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Schedules a slot in which every output channel is free (§III–IV).
+    pub fn schedule(&self, requests: &RequestVector) -> Result<Schedule, Error> {
+        self.schedule_with_mask(requests, &ChannelMask::all_free(self.conversion.k()))
+    }
+
+    /// Schedules a slot in which some output channels may be occupied by
+    /// earlier multi-slot connections (§V).
+    pub fn schedule_with_mask(
+        &self,
+        requests: &RequestVector,
+        mask: &ChannelMask,
+    ) -> Result<Schedule, Error> {
+        let conv = &self.conversion;
+        let (assignments, approx_bound) = match self.policy {
+            Policy::Auto => {
+                let a = if conv.is_full() {
+                    full_range_schedule(conv, requests, mask)?
+                } else if conv.kind() == ConversionKind::Circular {
+                    break_fa_schedule(conv, requests, mask)?
+                } else {
+                    fa_schedule(conv, requests, mask)?
+                };
+                (a, None)
+            }
+            Policy::FirstAvailable => (fa_schedule(conv, requests, mask)?, None),
+            Policy::BreakFirstAvailable => (break_fa_schedule(conv, requests, mask)?, None),
+            Policy::Approximate => {
+                let out = approx_schedule(conv, requests, mask)?;
+                (out.assignments, Some(out.bound))
+            }
+            Policy::HopcroftKarp => {
+                let graph = RequestGraph::with_mask(*conv, requests, mask)?;
+                let matching = hopcroft_karp(&graph);
+                let assignments = matching
+                    .pairs()
+                    .into_iter()
+                    .map(|(j, p)| Assignment {
+                        input: graph.wavelength_of(j),
+                        output: graph.output_wavelength(p),
+                    })
+                    .collect();
+                (assignments, None)
+            }
+        };
+        debug_assert!(
+            algorithms::validate_assignments(conv, requests, mask, &assignments).is_ok(),
+            "scheduler produced an infeasible schedule"
+        );
+        Ok(Schedule { assignments, requested: requests.total(), approx_bound })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_requests() -> RequestVector {
+        RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).unwrap()
+    }
+
+    #[test]
+    fn auto_policy_dispatches_by_kind() {
+        let mask = ChannelMask::all_free(6);
+        for conv in [
+            Conversion::symmetric_circular(6, 3).unwrap(),
+            Conversion::non_circular(6, 1, 1).unwrap(),
+            Conversion::full(6).unwrap(),
+        ] {
+            let s = FiberScheduler::new(conv, Policy::Auto);
+            let schedule = s.schedule_with_mask(&paper_requests(), &mask).unwrap();
+            assert_eq!(schedule.granted(), 6, "conv {conv:?}");
+            assert_eq!(schedule.rejected(), 1);
+            assert!(schedule.is_exact());
+        }
+    }
+
+    #[test]
+    fn all_policies_agree_with_baseline_on_paper_example() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = paper_requests();
+        let baseline = FiberScheduler::new(conv, Policy::HopcroftKarp)
+            .schedule(&rv)
+            .unwrap()
+            .granted();
+        for policy in [Policy::Auto, Policy::BreakFirstAvailable] {
+            let got = FiberScheduler::new(conv, policy).schedule(&rv).unwrap().granted();
+            assert_eq!(got, baseline, "{policy:?}");
+        }
+        // The approximation may lose up to (d−1)/2 = 1.
+        let approx = FiberScheduler::new(conv, Policy::Approximate).schedule(&rv).unwrap();
+        assert!(approx.granted() + approx.approx_bound().unwrap() >= baseline);
+    }
+
+    #[test]
+    fn wrong_policy_for_kind_errors() {
+        let circular = Conversion::symmetric_circular(6, 3).unwrap();
+        assert!(FiberScheduler::new(circular, Policy::FirstAvailable)
+            .schedule(&RequestVector::new(6))
+            .is_err());
+        let non_circular = Conversion::non_circular(6, 1, 1).unwrap();
+        assert!(FiberScheduler::new(non_circular, Policy::BreakFirstAvailable)
+            .schedule(&RequestVector::new(6))
+            .is_err());
+    }
+
+    #[test]
+    fn schedule_accounting() {
+        let conv = Conversion::none(4).unwrap();
+        let rv = RequestVector::from_counts(vec![3, 0, 1, 0]).unwrap();
+        let s = FiberScheduler::new(conv, Policy::Auto).schedule(&rv).unwrap();
+        assert_eq!(s.requested(), 4);
+        assert_eq!(s.granted(), 2);
+        assert_eq!(s.rejected(), 2);
+        assert_eq!(s.granted_per_wavelength(4), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn hopcroft_karp_policy_with_mask() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let rv = paper_requests();
+        let mask = ChannelMask::with_occupied(6, &[0, 1]).unwrap();
+        let hk = FiberScheduler::new(conv, Policy::HopcroftKarp)
+            .schedule_with_mask(&rv, &mask)
+            .unwrap();
+        let bfa = FiberScheduler::new(conv, Policy::BreakFirstAvailable)
+            .schedule_with_mask(&rv, &mask)
+            .unwrap();
+        assert_eq!(hk.granted(), bfa.granted());
+    }
+}

@@ -1,0 +1,116 @@
+//! Priority encoders (paper §III).
+//!
+//! Each First Available step must "find the first input wavelength that has
+//! at least one packet and can be converted to the current output
+//! wavelength" in constant time. In hardware that is a masked priority
+//! encoder: AND the pending-wavelength register with the conversion-range
+//! mask of the current output channel, then encode the lowest set bit.
+//! [`PriorityEncoder`] precomputes the per-output-channel masks so each
+//! encode is one AND + find-first-set, mirroring the combinational circuit.
+
+use wdm_core::Conversion;
+
+use crate::register::BitRegister;
+
+/// A masked priority encoder over the `k` input wavelengths.
+///
+/// Precomputes, for every output channel `u`, the mask of input wavelengths
+/// convertible to `u` (the conversion edges "embedded in the circuit",
+/// §II-B). `encode(u, pending)` then returns the first maskable wavelength.
+#[derive(Debug, Clone)]
+pub struct PriorityEncoder {
+    k: usize,
+    masks: Vec<BitRegister>,
+}
+
+impl PriorityEncoder {
+    /// Builds the encoder for a conversion scheme.
+    pub fn new(conv: &Conversion) -> PriorityEncoder {
+        let k = conv.k();
+        let masks = (0..k)
+            .map(|u| {
+                let mut mask = BitRegister::new(k);
+                for w in conv.reachable_from(u).iter(k) {
+                    mask.set(w);
+                }
+                mask
+            })
+            .collect();
+        PriorityEncoder { k, masks }
+    }
+
+    /// Number of wavelengths.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The mask of input wavelengths convertible to output channel `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= k`.
+    pub fn mask(&self, u: usize) -> &BitRegister {
+        &self.masks[u]
+    }
+
+    /// One combinational step: the lowest input wavelength that is pending
+    /// and convertible to output channel `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= k` or the pending register width is not `k`.
+    pub fn encode(&self, u: usize, pending: &BitRegister) -> Option<usize> {
+        assert_eq!(pending.width(), self.k, "pending register must be k bits");
+        let mut masked = pending.clone();
+        masked.and_with(&self.masks[u]);
+        masked.first_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending_of(k: usize, bits: &[usize]) -> BitRegister {
+        let mut r = BitRegister::new(k);
+        for &b in bits {
+            r.set(b);
+        }
+        r
+    }
+
+    #[test]
+    fn masks_are_inverse_adjacency() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let enc = PriorityEncoder::new(&conv);
+        // Output λ0 is reachable from λ5, λ0, λ1 (e = f = 1).
+        assert_eq!(enc.mask(0).iter_ones().collect::<Vec<_>>(), vec![0, 1, 5]);
+        let nc = Conversion::non_circular(6, 1, 1).unwrap();
+        let enc = PriorityEncoder::new(&nc);
+        // No wrap: output λ0 reachable only from λ0, λ1.
+        assert_eq!(enc.mask(0).iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn encode_picks_first_convertible_pending() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let enc = PriorityEncoder::new(&conv);
+        let pending = pending_of(6, &[3, 5]);
+        // Output 4 reachable from {3, 4, 5}: first pending is 3.
+        assert_eq!(enc.encode(4, &pending), Some(3));
+        // Output 0 reachable from {5, 0, 1}: first pending is 5.
+        assert_eq!(enc.encode(0, &pending), Some(5));
+        // Output 2 reachable from {1, 2, 3}: first pending is 3.
+        assert_eq!(enc.encode(2, &pending), Some(3));
+        // Output 1 reachable from {0, 1, 2}: none pending.
+        assert_eq!(enc.encode(1, &pending), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "k bits")]
+    fn wrong_width_panics() {
+        let conv = Conversion::full(4).unwrap();
+        let enc = PriorityEncoder::new(&conv);
+        let _ = enc.encode(0, &BitRegister::new(5));
+    }
+}

@@ -1,0 +1,44 @@
+//! # wdm-hardware
+//!
+//! A bit-level model of the hardware implementation the paper sketches for
+//! its schedulers (§II-B, §III, §IV-B):
+//!
+//! * the left side of a request graph is an `N·k`-bit register — bit
+//!   `(i−1)·k + j` set means λj on input fiber `i` is destined for this
+//!   output fiber ([`register::RequestRegister`]);
+//! * each First Available step is "find the first input wavelength that has
+//!   at least one packet and can be converted to the current output
+//!   wavelength" — a masked priority encode ([`encoder`]), one per clock
+//!   cycle, `O(k)` cycles total ([`fa_unit::FirstAvailableUnit`]);
+//! * fairness among packets on the same wavelength uses round-robin
+//!   arbitration as in iSLIP ([`arbiter::RoundRobinArbiter`]);
+//! * Break and First Available instantiates `d` First Available units in
+//!   parallel and takes the best result — `O(k)` cycles with `d` units
+//!   ([`break_unit::BreakFaUnit`]).
+//!
+//! The model is cycle-counted: every unit reports how many clock cycles the
+//! schedule took, which the benchmark suite uses to reproduce the paper's
+//! complexity table in *cycles* (exact, machine-independent) in addition to
+//! wall-clock time.
+//!
+//! Substitution note (see DESIGN.md): the paper targets an ASIC; we model
+//! the same datapath in software, word-parallel over `u64` limbs. The
+//! schedules produced are bit-identical to the ones the RTL would produce,
+//! because every step is a deterministic function of the same registers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod break_unit;
+pub mod encoder;
+pub mod fa_unit;
+pub mod register;
+pub mod scheduler;
+
+pub use arbiter::RoundRobinArbiter;
+pub use break_unit::BreakFaUnit;
+pub use encoder::PriorityEncoder;
+pub use fa_unit::FirstAvailableUnit;
+pub use register::{BitRegister, RequestRegister};
+pub use scheduler::{HardwareGrant, HardwareScheduler};

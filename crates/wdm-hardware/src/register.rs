@@ -1,0 +1,321 @@
+//! Bit registers (paper §II-B).
+//!
+//! "The left side vertices of the request graph can be implemented by an
+//! `Nk × 1` binary vector (an `Nk` bit register), with element `(i−1)k + j`
+//! being 1 meaning λj on the i-th input fiber is destined for this output
+//! fiber." [`BitRegister`] is the generic fixed-width register (backed by
+//! `u64` limbs, as the word-parallel software stand-in for the RTL), and
+//! [`RequestRegister`] is that `Nk`-bit request vector with per-fiber /
+//! per-wavelength views.
+
+/// A fixed-width register of single-bit flip-flops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitRegister {
+    width: usize,
+    limbs: Vec<u64>,
+}
+
+impl BitRegister {
+    /// An all-zero register of `width` bits.
+    pub fn new(width: usize) -> BitRegister {
+        BitRegister { width, limbs: vec![0; width.div_ceil(64)] }
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.width, "bit {i} out of range 0..{}", self.width);
+        self.limbs[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.width, "bit {i} out of range 0..{}", self.width);
+        self.limbs[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.width, "bit {i} out of range 0..{}", self.width);
+        self.limbs[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Clears every bit.
+    pub fn reset(&mut self) {
+        self.limbs.iter_mut().for_each(|l| *l = 0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Index of the lowest set bit, if any — the priority-encode primitive.
+    pub fn first_set(&self) -> Option<usize> {
+        for (li, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return Some(li * 64 + limb.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Index of the lowest set bit at or after `from`, if any.
+    pub fn first_set_from(&self, from: usize) -> Option<usize> {
+        if from >= self.width {
+            return None;
+        }
+        let start_limb = from / 64;
+        let masked = self.limbs[start_limb] & (u64::MAX << (from % 64));
+        if masked != 0 {
+            return Some(start_limb * 64 + masked.trailing_zeros() as usize);
+        }
+        for (off, &limb) in self.limbs[start_limb + 1..].iter().enumerate() {
+            if limb != 0 {
+                return Some((start_limb + 1 + off) * 64 + limb.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// In-place bitwise AND with another register of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn and_with(&mut self, other: &BitRegister) {
+        assert_eq!(self.width, other.width, "register width mismatch");
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a &= b;
+        }
+    }
+
+    /// Iterates the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.limbs.iter().enumerate().flat_map(|(li, &limb)| {
+            let mut rest = limb;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    None
+                } else {
+                    let bit = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    Some(li * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+/// The `N·k`-bit per-output-fiber request register of §II-B, set at the
+/// beginning of each time slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRegister {
+    n: usize,
+    k: usize,
+    bits: BitRegister,
+}
+
+impl RequestRegister {
+    /// An empty request register for `n` input fibers of `k` wavelengths.
+    pub fn new(n: usize, k: usize) -> RequestRegister {
+        RequestRegister { n, k, bits: BitRegister::new(n * k) }
+    }
+
+    /// Number of input fibers.
+    pub fn fibers(&self) -> usize {
+        self.n
+    }
+
+    /// Number of wavelengths per fiber.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Latches a request: λ`wavelength` on input fiber `fiber` wants this
+    /// output fiber.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fiber >= n` or `wavelength >= k`.
+    pub fn set_request(&mut self, fiber: usize, wavelength: usize) {
+        assert!(fiber < self.n, "fiber {fiber} out of range 0..{}", self.n);
+        assert!(wavelength < self.k, "wavelength {wavelength} out of range 0..{}", self.k);
+        self.bits.set(fiber * self.k + wavelength);
+    }
+
+    /// Whether λ`wavelength` on `fiber` holds a pending request.
+    pub fn has_request(&self, fiber: usize, wavelength: usize) -> bool {
+        self.bits.get(fiber * self.k + wavelength)
+    }
+
+    /// Clears a request (after it is granted).
+    pub fn clear_request(&mut self, fiber: usize, wavelength: usize) {
+        self.bits.clear(fiber * self.k + wavelength);
+    }
+
+    /// Clears the whole register (start of slot).
+    pub fn reset(&mut self) {
+        self.bits.reset();
+    }
+
+    /// Number of pending requests on `wavelength` across all fibers — the
+    /// request-vector entry, as a population count over the wavelength's
+    /// column.
+    pub fn count_on_wavelength(&self, wavelength: usize) -> usize {
+        (0..self.n)
+            .filter(|&fiber| self.bits.get(fiber * self.k + wavelength))
+            .count()
+    }
+
+    /// The fibers with a pending request on `wavelength`, as a `n`-bit
+    /// register (input to the round-robin arbiter).
+    pub fn fibers_on_wavelength(&self, wavelength: usize) -> BitRegister {
+        let mut reg = BitRegister::new(self.n);
+        for fiber in 0..self.n {
+            if self.bits.get(fiber * self.k + wavelength) {
+                reg.set(fiber);
+            }
+        }
+        reg
+    }
+
+    /// The request vector of this register (paper §II-B).
+    pub fn to_request_vector(&self) -> wdm_core::RequestVector {
+        let counts = (0..self.k).map(|w| self.count_on_wavelength(w)).collect();
+        wdm_core::RequestVector::from_counts(counts).expect("k >= 1")
+    }
+
+    /// Total pending requests.
+    pub fn total(&self) -> usize {
+        self.bits.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut r = BitRegister::new(130);
+        assert!(r.is_zero());
+        r.set(0);
+        r.set(64);
+        r.set(129);
+        assert!(r.get(0) && r.get(64) && r.get(129));
+        assert!(!r.get(1) && !r.get(63) && !r.get(128));
+        assert_eq!(r.count_ones(), 3);
+        r.clear(64);
+        assert!(!r.get(64));
+        assert_eq!(r.count_ones(), 2);
+        r.reset();
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn first_set_across_limbs() {
+        let mut r = BitRegister::new(200);
+        assert_eq!(r.first_set(), None);
+        r.set(150);
+        assert_eq!(r.first_set(), Some(150));
+        r.set(70);
+        assert_eq!(r.first_set(), Some(70));
+        r.set(3);
+        assert_eq!(r.first_set(), Some(3));
+    }
+
+    #[test]
+    fn first_set_from_positions() {
+        let mut r = BitRegister::new(128);
+        r.set(5);
+        r.set(64);
+        r.set(100);
+        assert_eq!(r.first_set_from(0), Some(5));
+        assert_eq!(r.first_set_from(5), Some(5));
+        assert_eq!(r.first_set_from(6), Some(64));
+        assert_eq!(r.first_set_from(65), Some(100));
+        assert_eq!(r.first_set_from(101), None);
+        assert_eq!(r.first_set_from(999), None);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut r = BitRegister::new(192);
+        for i in [0, 63, 64, 65, 190] {
+            r.set(i);
+        }
+        assert_eq!(r.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 190]);
+    }
+
+    #[test]
+    fn and_with_masks() {
+        let mut a = BitRegister::new(70);
+        let mut b = BitRegister::new(70);
+        a.set(1);
+        a.set(65);
+        b.set(65);
+        b.set(2);
+        a.and_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![65]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        BitRegister::new(8).set(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn and_width_mismatch_panics() {
+        BitRegister::new(8).and_with(&BitRegister::new(9));
+    }
+
+    #[test]
+    fn request_register_layout() {
+        // Paper: element (i−1)k + j ↔ λj on fiber i (0-based here).
+        let mut r = RequestRegister::new(3, 4);
+        r.set_request(1, 2);
+        r.set_request(2, 2);
+        r.set_request(0, 0);
+        assert!(r.has_request(1, 2));
+        assert!(!r.has_request(1, 1));
+        assert_eq!(r.count_on_wavelength(2), 2);
+        assert_eq!(r.count_on_wavelength(0), 1);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.to_request_vector().counts(), &[1, 0, 2, 0]);
+        assert_eq!(r.fibers_on_wavelength(2).iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+        r.clear_request(1, 2);
+        assert_eq!(r.count_on_wavelength(2), 1);
+        r.reset();
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn request_register_bad_fiber_panics() {
+        RequestRegister::new(2, 4).set_request(2, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The complete per-output-fiber hardware scheduling pipeline.
+//!
+//! Ties the pieces of the paper's hardware sketch together, per slot:
+//!
+//! 1. the `N·k`-bit [`RequestRegister`] is latched (one bit per input
+//!    channel destined for this output fiber, §II-B);
+//! 2. the wavelength-level schedule is computed by the
+//!    [`FirstAvailableUnit`] (non-circular) or [`BreakFaUnit`] (circular) —
+//!    requests on the same wavelength are interchangeable here;
+//! 3. each wavelength-level grant is resolved to a concrete input fiber by
+//!    the per-wavelength [`RoundRobinArbiter`] (§III fairness), and the
+//!    fiber's request bit is cleared.
+
+use wdm_core::{ChannelMask, Conversion, ConversionKind, Error};
+
+use crate::arbiter::RoundRobinArbiter;
+use crate::break_unit::BreakFaUnit;
+use crate::fa_unit::FirstAvailableUnit;
+use crate::register::RequestRegister;
+
+/// A fully resolved grant: which input channel drives which output channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HardwareGrant {
+    /// Granted input fiber.
+    pub input_fiber: usize,
+    /// Input wavelength of the granted packet.
+    pub input_wavelength: usize,
+    /// Output wavelength channel assigned.
+    pub output_wavelength: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Engine {
+    FirstAvailable(FirstAvailableUnit),
+    BreakFa(BreakFaUnit),
+}
+
+/// The hardware scheduling pipeline for one output fiber of an `N×N`
+/// interconnect.
+#[derive(Debug, Clone)]
+pub struct HardwareScheduler {
+    n: usize,
+    conv: Conversion,
+    engine: Engine,
+    arbiter: RoundRobinArbiter,
+    last_cycles: usize,
+}
+
+impl HardwareScheduler {
+    /// Builds the pipeline for `n` input fibers under the given conversion.
+    pub fn new(n: usize, conv: Conversion) -> Result<HardwareScheduler, Error> {
+        if n == 0 {
+            return Err(Error::ZeroFibers);
+        }
+        let engine = match conv.kind() {
+            ConversionKind::NonCircular => Engine::FirstAvailable(FirstAvailableUnit::new(conv)?),
+            ConversionKind::Circular => Engine::BreakFa(BreakFaUnit::new(conv)?),
+        };
+        Ok(HardwareScheduler {
+            n,
+            conv,
+            engine,
+            arbiter: RoundRobinArbiter::new(n, conv.k()),
+            last_cycles: 0,
+        })
+    }
+
+    /// Number of input fibers.
+    pub fn fibers(&self) -> usize {
+        self.n
+    }
+
+    /// The conversion scheme.
+    pub fn conversion(&self) -> &Conversion {
+        &self.conv
+    }
+
+    /// Clock cycles consumed by the most recent [`Self::schedule_slot`]
+    /// (sequential configuration for Break-and-FA).
+    pub fn last_cycles(&self) -> usize {
+        self.last_cycles
+    }
+
+    /// Schedules one slot. Granted request bits are cleared from `register`
+    /// (remaining set bits are this slot's rejected requests).
+    pub fn schedule_slot(
+        &mut self,
+        register: &mut RequestRegister,
+        mask: &ChannelMask,
+    ) -> Result<Vec<HardwareGrant>, Error> {
+        if register.fibers() != self.n {
+            return Err(Error::LengthMismatch { expected: self.n, actual: register.fibers() });
+        }
+        let requests = register.to_request_vector();
+        let (assignments, cycles) = match &self.engine {
+            Engine::FirstAvailable(unit) => {
+                let out = unit.run(&requests, mask)?;
+                (out.assignments, out.cycles)
+            }
+            Engine::BreakFa(unit) => {
+                let out = unit.run(&requests, mask)?;
+                (out.assignments, out.cycles_sequential)
+            }
+        };
+        self.last_cycles = cycles;
+
+        let mut grants = Vec::with_capacity(assignments.len());
+        for a in assignments {
+            let requesters = register.fibers_on_wavelength(a.input);
+            let fiber = self
+                .arbiter
+                .grant(a.input, &requesters)
+                .expect("scheduler granted a wavelength with pending requests");
+            register.clear_request(fiber, a.input);
+            grants.push(HardwareGrant {
+                input_fiber: fiber,
+                input_wavelength: a.input,
+                output_wavelength: a.output,
+            });
+        }
+        Ok(grants)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn latch(reg: &mut RequestRegister, reqs: &[(usize, usize)]) {
+        for &(fiber, w) in reqs {
+            reg.set_request(fiber, w);
+        }
+    }
+
+    #[test]
+    fn grants_are_physically_consistent() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let mut sched = HardwareScheduler::new(4, conv).unwrap();
+        let mut reg = RequestRegister::new(4, 6);
+        // The paper's request vector [2,1,0,1,1,2] spread over fibers.
+        latch(
+            &mut reg,
+            &[(0, 0), (1, 0), (2, 1), (3, 3), (0, 4), (1, 5), (2, 5)],
+        );
+        let total = reg.total();
+        let grants = sched.schedule_slot(&mut reg, &ChannelMask::all_free(6)).unwrap();
+        assert_eq!(grants.len(), 6);
+        assert_eq!(reg.total(), total - grants.len(), "granted bits cleared");
+        // Each output channel used once; each input channel granted once.
+        let outs: HashSet<usize> = grants.iter().map(|g| g.output_wavelength).collect();
+        assert_eq!(outs.len(), grants.len());
+        let ins: HashSet<(usize, usize)> =
+            grants.iter().map(|g| (g.input_fiber, g.input_wavelength)).collect();
+        assert_eq!(ins.len(), grants.len());
+        // Conversion feasibility.
+        for g in &grants {
+            assert!(conv.converts(g.input_wavelength, g.output_wavelength));
+        }
+        assert!(sched.last_cycles() > 0);
+    }
+
+    #[test]
+    fn round_robin_spreads_rejections_across_fibers() {
+        // k = 1, full conversion: 1 channel, 3 persistent requesters. Over
+        // 3 slots each fiber must be granted exactly once.
+        let conv = Conversion::full(1).unwrap();
+        let mut sched = HardwareScheduler::new(3, conv).unwrap();
+        let mut tally = vec![0usize; 3];
+        for _ in 0..3 {
+            let mut reg = RequestRegister::new(3, 1);
+            latch(&mut reg, &[(0, 0), (1, 0), (2, 0)]);
+            let grants = sched.schedule_slot(&mut reg, &ChannelMask::all_free(1)).unwrap();
+            assert_eq!(grants.len(), 1);
+            tally[grants[0].input_fiber] += 1;
+        }
+        assert_eq!(tally, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn non_circular_engine_selected() {
+        let conv = Conversion::non_circular(6, 1, 1).unwrap();
+        let mut sched = HardwareScheduler::new(2, conv).unwrap();
+        let mut reg = RequestRegister::new(2, 6);
+        latch(&mut reg, &[(0, 0), (1, 0)]);
+        let grants = sched.schedule_slot(&mut reg, &ChannelMask::all_free(6)).unwrap();
+        assert_eq!(grants.len(), 2);
+        assert_eq!(sched.last_cycles(), 6, "FA runs in exactly k cycles");
+    }
+
+    #[test]
+    fn zero_fibers_rejected() {
+        let conv = Conversion::full(4).unwrap();
+        assert!(matches!(HardwareScheduler::new(0, conv), Err(Error::ZeroFibers)));
+    }
+
+    #[test]
+    fn mismatched_register_rejected() {
+        let conv = Conversion::full(4).unwrap();
+        let mut sched = HardwareScheduler::new(2, conv).unwrap();
+        let mut reg = RequestRegister::new(3, 4);
+        assert!(sched.schedule_slot(&mut reg, &ChannelMask::all_free(4)).is_err());
+    }
+
+    #[test]
+    fn occupied_channels_respected() {
+        let conv = Conversion::symmetric_circular(4, 3).unwrap();
+        let mut sched = HardwareScheduler::new(2, conv).unwrap();
+        let mut reg = RequestRegister::new(2, 4);
+        latch(&mut reg, &[(0, 0), (1, 1), (0, 2), (1, 3)]);
+        let mask = ChannelMask::with_occupied(4, &[0, 1]).unwrap();
+        let grants = sched.schedule_slot(&mut reg, &mask).unwrap();
+        assert_eq!(grants.len(), 2);
+        for g in &grants {
+            assert!(g.output_wavelength >= 2);
+        }
+    }
+}

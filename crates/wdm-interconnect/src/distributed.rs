@@ -1,0 +1,129 @@
+//! Running the `N` per-output-fiber schedulers in parallel.
+//!
+//! The paper's central architectural point: "the connection requests arrived
+//! at the interconnect in one time slot can be partitioned into N subsets
+//! according to their destinations. The decision of accepting a request or
+//! not in one subset does not affect the decisions in other subsets" — so
+//! the per-fiber schedulers can run concurrently with no coordination.
+//! [`run_per_fiber`] realizes that with crossbeam scoped threads over
+//! disjoint chunks of per-fiber state; with `threads <= 1` it degrades to a
+//! sequential loop that produces bit-identical results (asserted in tests).
+
+/// Applies `f(fiber_index, &mut state, &input)` to every fiber, optionally
+/// across `threads` worker threads, and collects the outputs in fiber order.
+///
+/// `states` and `inputs` must have the same length (one entry per output
+/// fiber).
+///
+/// # Panics
+///
+/// Panics if `states.len() != inputs.len()` or a worker panics.
+pub fn run_per_fiber<S, I, O, F>(
+    states: &mut [S],
+    inputs: &[I],
+    threads: usize,
+    f: F,
+) -> Vec<O>
+where
+    S: Send,
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &mut S, &I) -> O + Sync,
+{
+    assert_eq!(states.len(), inputs.len(), "one state and one input per fiber");
+    let n = states.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(n);
+    if workers == 1 {
+        return states
+            .iter_mut()
+            .zip(inputs)
+            .enumerate()
+            .map(|(i, (s, inp))| f(i, s, inp))
+            .collect();
+    }
+
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let state_chunks = states.chunks_mut(chunk);
+        let input_chunks = inputs.chunks(chunk);
+        let out_chunks = out.chunks_mut(chunk);
+        for (ci, ((sc, ic), oc)) in state_chunks.zip(input_chunks).zip(out_chunks).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = ci * chunk;
+                for (off, ((s, inp), slot)) in
+                    sc.iter_mut().zip(ic).zip(oc.iter_mut()).enumerate()
+                {
+                    *slot = Some(f(base + off, s, inp));
+                }
+            });
+        }
+    })
+    .expect("per-fiber scheduling worker panicked");
+    out.into_iter()
+        .map(|o| o.expect("every fiber produced an output"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let inputs: Vec<usize> = (0..37).collect();
+        let mut states1 = vec![0usize; 37];
+        let mut states2 = vec![0usize; 37];
+        let f = |i: usize, s: &mut usize, inp: &usize| {
+            *s += inp + i;
+            *s * 2
+        };
+        let seq = run_per_fiber(&mut states1, &inputs, 1, f);
+        let par = run_per_fiber(&mut states2, &inputs, 4, f);
+        assert_eq!(seq, par);
+        assert_eq!(states1, states2);
+    }
+
+    #[test]
+    fn outputs_in_fiber_order() {
+        let inputs: Vec<usize> = (0..16).collect();
+        let mut states = vec![(); 16];
+        let out = run_per_fiber(&mut states, &inputs, 8, |i, _, inp| (i, *inp));
+        for (i, &(fi, inp)) in out.iter().enumerate() {
+            assert_eq!(fi, i);
+            assert_eq!(inp, i);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_fibers() {
+        let inputs = vec![1, 2];
+        let mut states = vec![0, 0];
+        let out = run_per_fiber(&mut states, &inputs, 16, |_, s, inp| {
+            *s = *inp;
+            *inp * 10
+        });
+        assert_eq!(out, vec![10, 20]);
+        assert_eq!(states, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_fibers() {
+        let mut states: Vec<()> = Vec::new();
+        let inputs: Vec<()> = Vec::new();
+        let out: Vec<()> = run_per_fiber(&mut states, &inputs, 4, |_, _, _| ());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one state and one input per fiber")]
+    fn mismatched_lengths_panic() {
+        let mut states = vec![0];
+        let inputs: Vec<i32> = vec![];
+        let _: Vec<()> = run_per_fiber(&mut states, &inputs, 1, |_, _, _| ());
+    }
+}

@@ -1,0 +1,213 @@
+//! The optical datapath of the paper's Fig. 1 as a structural model.
+//!
+//! Per output fiber, each of the `k` output wavelength channels has a
+//! combiner (fan-in `N·d`: every input channel whose wavelength converts to
+//! this channel) followed by a wavelength converter and the output
+//! multiplexer. Only one of a combiner's inputs may carry a signal at a
+//! time; the converter shifts the signal to the channel's wavelength, which
+//! must be within the conversion range of the incoming wavelength.
+//!
+//! [`CrossbarState`] is the fabric configuration for one slot — which input
+//! channel drives which output channel — and [`CrossbarState::validate`]
+//! checks every physical constraint. The interconnect asserts this after
+//! every scheduling round, so an algorithmic bug can never configure an
+//! impossible datapath silently.
+
+use wdm_core::{Conversion, Error};
+
+use crate::connection::Grant;
+
+/// The switching-fabric configuration for one time slot.
+///
+/// `map[o][w]` names the input channel `(input_fiber, input_wavelength)`
+/// driving output channel `w` of output fiber `o`, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossbarState {
+    n: usize,
+    k: usize,
+    map: Vec<Vec<Option<(usize, usize)>>>,
+}
+
+impl CrossbarState {
+    /// An idle fabric for an `n × n` interconnect with `k` wavelengths.
+    pub fn new(n: usize, k: usize) -> CrossbarState {
+        CrossbarState { n, k, map: vec![vec![None; k]; n] }
+    }
+
+    /// Number of fibers per side.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of wavelengths per fiber.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Connects input channel `(src_fiber, src_wavelength)` to output
+    /// channel `out_wavelength` of `dst_fiber`.
+    ///
+    /// Returns an error if the output channel is already driven (a combiner
+    /// may carry only one signal).
+    pub fn connect(
+        &mut self,
+        src_fiber: usize,
+        src_wavelength: usize,
+        dst_fiber: usize,
+        out_wavelength: usize,
+    ) -> Result<(), Error> {
+        if src_fiber >= self.n {
+            return Err(Error::InvalidFiber { fiber: src_fiber, n: self.n });
+        }
+        if dst_fiber >= self.n {
+            return Err(Error::InvalidFiber { fiber: dst_fiber, n: self.n });
+        }
+        if src_wavelength >= self.k {
+            return Err(Error::InvalidWavelength { wavelength: src_wavelength, k: self.k });
+        }
+        if out_wavelength >= self.k {
+            return Err(Error::InvalidWavelength { wavelength: out_wavelength, k: self.k });
+        }
+        let slot = &mut self.map[dst_fiber][out_wavelength];
+        if slot.is_some() {
+            return Err(Error::AlreadyMatched { left_side: false, index: out_wavelength });
+        }
+        *slot = Some((src_fiber, src_wavelength));
+        Ok(())
+    }
+
+    /// The input channel driving output channel `w` of fiber `o`, if any.
+    pub fn driver(&self, o: usize, w: usize) -> Option<(usize, usize)> {
+        self.map[o][w]
+    }
+
+    /// Number of active connections in the fabric.
+    pub fn active(&self) -> usize {
+        self.map.iter().flatten().filter(|s| s.is_some()).count()
+    }
+
+    /// Releases output channel `w` of fiber `o` (connection completed).
+    pub fn disconnect(&mut self, o: usize, w: usize) {
+        self.map[o][w] = None;
+    }
+
+    /// Builds the fabric state implied by a slot's grants.
+    pub fn from_grants(n: usize, k: usize, grants: &[Grant]) -> Result<CrossbarState, Error> {
+        let mut state = CrossbarState::new(n, k);
+        for g in grants {
+            state.connect(
+                g.request.src_fiber,
+                g.request.src_wavelength,
+                g.request.dst_fiber,
+                g.output_wavelength,
+            )?;
+        }
+        Ok(state)
+    }
+
+    /// Checks every physical constraint of the Fig. 1 datapath:
+    ///
+    /// 1. combiner exclusivity is structural (one driver per output channel);
+    /// 2. every converter shift is within the conversion range;
+    /// 3. each input channel drives at most one output channel (unicast —
+    ///    a demultiplexed input signal cannot be split).
+    pub fn validate(&self, conv: &Conversion) -> Result<(), Error> {
+        conv.check_k(self.k)?;
+        let mut input_used = vec![false; self.n * self.k];
+        for (o, channels) in self.map.iter().enumerate() {
+            for (w, slot) in channels.iter().enumerate() {
+                let Some((src_fiber, src_wavelength)) = *slot else {
+                    continue;
+                };
+                if !conv.converts(src_wavelength, w) {
+                    return Err(Error::NotAnEdge { left: src_wavelength, right: w });
+                }
+                let idx = src_fiber * self.k + src_wavelength;
+                if input_used[idx] {
+                    return Err(Error::AlreadyMatched { left_side: true, index: idx });
+                }
+                input_used[idx] = true;
+                let _ = o;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::ConnectionRequest;
+
+    #[test]
+    fn connect_and_validate_ok() {
+        let conv = Conversion::symmetric_circular(4, 3).unwrap();
+        let mut xb = CrossbarState::new(2, 4);
+        xb.connect(0, 0, 1, 1).unwrap(); // λ0 → λ1, within range
+        xb.connect(1, 3, 1, 0).unwrap(); // λ3 → λ0, wraps, within range
+        xb.connect(0, 2, 0, 2).unwrap(); // straight
+        assert_eq!(xb.active(), 3);
+        xb.validate(&conv).unwrap();
+        assert_eq!(xb.driver(1, 1), Some((0, 0)));
+    }
+
+    #[test]
+    fn combiner_exclusivity() {
+        let mut xb = CrossbarState::new(2, 4);
+        xb.connect(0, 0, 1, 1).unwrap();
+        assert!(xb.connect(1, 2, 1, 1).is_err(), "output channel already driven");
+    }
+
+    #[test]
+    fn converter_range_enforced() {
+        let conv = Conversion::symmetric_circular(6, 3).unwrap();
+        let mut xb = CrossbarState::new(1, 6);
+        xb.connect(0, 0, 0, 3).unwrap(); // structurally fine…
+        assert!(xb.validate(&conv).is_err(), "…but λ0→λ3 exceeds d = 3");
+    }
+
+    #[test]
+    fn unicast_input_exclusivity() {
+        let conv = Conversion::full(4).unwrap();
+        let mut xb = CrossbarState::new(2, 4);
+        xb.connect(0, 1, 0, 0).unwrap();
+        xb.connect(0, 1, 1, 2).unwrap(); // same input channel twice
+        assert!(xb.validate(&conv).is_err());
+    }
+
+    #[test]
+    fn disconnect_frees_channel() {
+        let mut xb = CrossbarState::new(1, 2);
+        xb.connect(0, 0, 0, 0).unwrap();
+        xb.disconnect(0, 0);
+        assert_eq!(xb.active(), 0);
+        xb.connect(0, 1, 0, 0).unwrap();
+        assert_eq!(xb.active(), 1);
+    }
+
+    #[test]
+    fn from_grants_builds_state() {
+        let grants = vec![
+            Grant { request: ConnectionRequest::packet(0, 0, 1), output_wavelength: 0 },
+            Grant { request: ConnectionRequest::packet(1, 1, 1), output_wavelength: 1 },
+        ];
+        let xb = CrossbarState::from_grants(2, 2, &grants).unwrap();
+        assert_eq!(xb.active(), 2);
+        assert_eq!(xb.driver(1, 0), Some((0, 0)));
+        // Conflicting grants are rejected.
+        let bad = vec![
+            Grant { request: ConnectionRequest::packet(0, 0, 1), output_wavelength: 0 },
+            Grant { request: ConnectionRequest::packet(1, 1, 1), output_wavelength: 0 },
+        ];
+        assert!(CrossbarState::from_grants(2, 2, &bad).is_err());
+    }
+
+    #[test]
+    fn out_of_range_connects_rejected() {
+        let mut xb = CrossbarState::new(2, 2);
+        assert!(xb.connect(2, 0, 0, 0).is_err());
+        assert!(xb.connect(0, 2, 0, 0).is_err());
+        assert!(xb.connect(0, 0, 2, 0).is_err());
+        assert!(xb.connect(0, 0, 0, 2).is_err());
+    }
+}

@@ -1,0 +1,509 @@
+//! The top-level slotted `N×N` interconnect.
+//!
+//! Per time slot: in-flight multi-slot connections age (completed ones free
+//! their channels), new requests are partitioned by destination fiber, the
+//! `N` independent per-fiber schedulers run (optionally in parallel —
+//! [`crate::distributed`]), wavelength-level grants are resolved to concrete
+//! requests with round-robin fairness, and the resulting fabric
+//! configuration is checked against the physical datapath model.
+
+use wdm_core::{ChannelMask, Conversion, Error, FiberScheduler, Policy, RequestVector};
+
+use crate::arbitration::GrantResolver;
+use crate::connection::{ConnectionRequest, Grant, RejectReason, Rejection, SlotResult};
+use crate::distributed::run_per_fiber;
+use crate::fabric::CrossbarState;
+use crate::rearrange::rearrange_fiber;
+
+/// What happens to in-flight multi-slot connections at scheduling time
+/// (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum HoldPolicy {
+    /// In-flight connections keep their channel; occupied channels are
+    /// removed from the request graph (optical burst switching).
+    #[default]
+    NonDisturb,
+    /// In-flight connections may be reassigned to another output channel,
+    /// but are never dropped; all `k` channels participate in scheduling.
+    Rearrange,
+}
+
+/// Configuration of an [`Interconnect`].
+#[derive(Debug, Clone, Copy)]
+pub struct InterconnectConfig {
+    /// Number of input = output fibers (`N`).
+    pub n: usize,
+    /// The wavelength conversion scheme (defines `k` and `d`).
+    pub conversion: Conversion,
+    /// Wavelength-level scheduling policy (used under
+    /// [`HoldPolicy::NonDisturb`]; rearrangement uses augmenting paths).
+    pub policy: Policy,
+    /// Multi-slot holding policy.
+    pub hold: HoldPolicy,
+    /// Worker threads for per-fiber scheduling; `<= 1` runs sequentially.
+    pub threads: usize,
+}
+
+impl InterconnectConfig {
+    /// A synchronous optical packet switch: Auto policy, non-disturb holds,
+    /// sequential scheduling.
+    pub fn packet_switch(n: usize, conversion: Conversion) -> InterconnectConfig {
+        InterconnectConfig {
+            n,
+            conversion,
+            policy: Policy::Auto,
+            hold: HoldPolicy::NonDisturb,
+            threads: 1,
+        }
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the holding policy.
+    pub fn with_hold(mut self, hold: HoldPolicy) -> Self {
+        self.hold = hold;
+        self
+    }
+
+    /// Sets the number of scheduling threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// An in-flight connection on one output fiber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ActiveConn {
+    src_fiber: usize,
+    src_wavelength: usize,
+    output_wavelength: usize,
+    remaining: u32,
+}
+
+/// Per-output-fiber mutable state.
+#[derive(Debug, Clone)]
+struct FiberState {
+    scheduler: FiberScheduler,
+    resolver: GrantResolver,
+    actives: Vec<ActiveConn>,
+}
+
+/// Outcome of scheduling one fiber for one slot.
+#[derive(Debug)]
+struct FiberOutcome {
+    grants: Vec<Grant>,
+    contention: Vec<ConnectionRequest>,
+    rearranged: usize,
+}
+
+/// The slotted `N×N` wavelength-convertible interconnect.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    n: usize,
+    conversion: Conversion,
+    hold: HoldPolicy,
+    threads: usize,
+    fibers: Vec<FiberState>,
+    slot: u64,
+}
+
+impl Interconnect {
+    /// Builds an interconnect from its configuration.
+    pub fn new(config: InterconnectConfig) -> Result<Interconnect, Error> {
+        if config.n == 0 {
+            return Err(Error::ZeroFibers);
+        }
+        let k = config.conversion.k();
+        let fibers = (0..config.n)
+            .map(|_| FiberState {
+                scheduler: FiberScheduler::new(config.conversion, config.policy),
+                resolver: GrantResolver::new(config.n, k),
+                actives: Vec::new(),
+            })
+            .collect();
+        Ok(Interconnect {
+            n: config.n,
+            conversion: config.conversion,
+            hold: config.hold,
+            threads: config.threads,
+            fibers,
+            slot: 0,
+        })
+    }
+
+    /// Number of fibers per side.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of wavelengths per fiber.
+    pub fn k(&self) -> usize {
+        self.conversion.k()
+    }
+
+    /// The conversion scheme.
+    pub fn conversion(&self) -> &Conversion {
+        &self.conversion
+    }
+
+    /// The current slot number (slots completed so far).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Number of in-flight connections.
+    pub fn active_connections(&self) -> usize {
+        self.fibers.iter().map(|f| f.actives.len()).sum()
+    }
+
+    /// The channel availability of output fiber `fiber`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fiber >= n`.
+    pub fn occupied_mask(&self, fiber: usize) -> ChannelMask {
+        let mut mask = ChannelMask::all_free(self.k());
+        for a in &self.fibers[fiber].actives {
+            mask.set_occupied(a.output_wavelength).expect("active channel is in range");
+        }
+        mask
+    }
+
+    /// The current switching-fabric configuration.
+    pub fn crossbar(&self) -> CrossbarState {
+        let mut xb = CrossbarState::new(self.n, self.k());
+        for (o, fiber) in self.fibers.iter().enumerate() {
+            for a in &fiber.actives {
+                xb.connect(a.src_fiber, a.src_wavelength, o, a.output_wavelength)
+                    .expect("active connections are mutually consistent");
+            }
+        }
+        xb
+    }
+
+    /// Advances one time slot: ages in-flight connections, schedules the new
+    /// `requests`, and returns everything that happened.
+    pub fn advance_slot(&mut self, requests: &[ConnectionRequest]) -> Result<SlotResult, Error> {
+        let k = self.k();
+        for r in requests {
+            r.validate(self.n, k)?;
+        }
+
+        // 1. Age in-flight connections; completed ones free their channels
+        //    for this slot's scheduling.
+        let mut completed = 0usize;
+        for fiber in &mut self.fibers {
+            let before = fiber.actives.len();
+            fiber.actives.retain_mut(|a| {
+                a.remaining -= 1;
+                a.remaining > 0
+            });
+            completed += before - fiber.actives.len();
+        }
+
+        // 2. Source-side admission: an input channel still carrying an
+        //    earlier connection (or already claimed by an earlier request in
+        //    this same slot) cannot launch a new one.
+        let mut input_busy = vec![false; self.n * k];
+        for fiber in &self.fibers {
+            for a in &fiber.actives {
+                input_busy[a.src_fiber * k + a.src_wavelength] = true;
+            }
+        }
+        let mut rejections = Vec::new();
+        let mut per_fiber: Vec<Vec<ConnectionRequest>> = vec![Vec::new(); self.n];
+        for &r in requests {
+            let idx = r.src_fiber * k + r.src_wavelength;
+            if input_busy[idx] {
+                rejections.push(Rejection { request: r, reason: RejectReason::SourceBusy });
+            } else {
+                input_busy[idx] = true;
+                per_fiber[r.dst_fiber].push(r);
+            }
+        }
+
+        // 3. The N independent per-fiber schedulers (the paper's
+        //    distributed step), optionally across worker threads.
+        let hold = self.hold;
+        let conversion = self.conversion;
+        let outcomes = run_per_fiber(
+            &mut self.fibers,
+            &per_fiber,
+            self.threads,
+            |_, fiber, candidates| schedule_fiber(&conversion, hold, fiber, candidates),
+        );
+
+        // 4. Latch grants into the fabric state.
+        let mut grants = Vec::new();
+        let mut rearranged = 0usize;
+        for (fiber, outcome) in self.fibers.iter_mut().zip(outcomes) {
+            rearranged += outcome.rearranged;
+            for g in &outcome.grants {
+                fiber.actives.push(ActiveConn {
+                    src_fiber: g.request.src_fiber,
+                    src_wavelength: g.request.src_wavelength,
+                    output_wavelength: g.output_wavelength,
+                    remaining: g.request.duration,
+                });
+            }
+            grants.extend(outcome.grants);
+            rejections.extend(outcome.contention.into_iter().map(|request| Rejection {
+                request,
+                reason: RejectReason::OutputContention,
+            }));
+        }
+
+        debug_assert!(
+            self.crossbar().validate(&self.conversion).is_ok(),
+            "scheduling produced a physically impossible fabric state"
+        );
+        self.slot += 1;
+        Ok(SlotResult { grants, rejections, completed, rearranged })
+    }
+}
+
+/// Schedules one output fiber for one slot.
+fn schedule_fiber(
+    conversion: &Conversion,
+    hold: HoldPolicy,
+    fiber: &mut FiberState,
+    candidates: &[ConnectionRequest],
+) -> FiberOutcome {
+    let k = conversion.k();
+    match hold {
+        HoldPolicy::NonDisturb => {
+            let mut rv = RequestVector::new(k);
+            for c in candidates {
+                rv.add(c.src_wavelength).expect("validated request");
+            }
+            let mut mask = ChannelMask::all_free(k);
+            for a in &fiber.actives {
+                mask.set_occupied(a.output_wavelength).expect("active channel in range");
+            }
+            let schedule = fiber
+                .scheduler
+                .schedule_with_mask(&rv, &mask)
+                .expect("validated dimensions");
+            let (grants, leftovers) =
+                fiber.resolver.resolve(schedule.assignments(), candidates);
+            let contention = leftovers.into_iter().map(|i| candidates[i]).collect();
+            FiberOutcome { grants, contention, rearranged: 0 }
+        }
+        HoldPolicy::Rearrange => {
+            let active_w: Vec<usize> = fiber.actives.iter().map(|a| a.src_wavelength).collect();
+            let new_w: Vec<usize> = candidates.iter().map(|c| c.src_wavelength).collect();
+            let outcome =
+                rearrange_fiber(conversion, &active_w, &new_w, &ChannelMask::all_free(k))
+                    .expect("in-flight connections are always placeable");
+            let mut rearranged = 0usize;
+            for (a, &u) in fiber.actives.iter_mut().zip(&outcome.active_channels) {
+                if a.output_wavelength != u {
+                    a.output_wavelength = u;
+                    rearranged += 1;
+                }
+            }
+            let mut grants = Vec::new();
+            let mut contention = Vec::new();
+            for (c, assigned) in candidates.iter().zip(&outcome.request_channels) {
+                match assigned {
+                    Some(u) => grants.push(Grant { request: *c, output_wavelength: *u }),
+                    None => contention.push(*c),
+                }
+            }
+            FiberOutcome { grants, contention, rearranged }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv() -> Conversion {
+        Conversion::symmetric_circular(6, 3).unwrap()
+    }
+
+    #[test]
+    fn single_slot_packet_switching() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(4, conv())).unwrap();
+        // The paper's request vector toward fiber 0, from distinct inputs.
+        let requests = vec![
+            ConnectionRequest::packet(0, 0, 0),
+            ConnectionRequest::packet(1, 0, 0),
+            ConnectionRequest::packet(2, 1, 0),
+            ConnectionRequest::packet(3, 3, 0),
+            ConnectionRequest::packet(0, 4, 0),
+            ConnectionRequest::packet(1, 5, 0),
+            ConnectionRequest::packet(2, 5, 0),
+        ];
+        let result = ic.advance_slot(&requests).unwrap();
+        assert_eq!(result.grants.len(), 6);
+        assert_eq!(result.contention_losses(), 1);
+        assert_eq!(ic.active_connections(), 6);
+        // Packets complete after one slot.
+        let result = ic.advance_slot(&[]).unwrap();
+        assert_eq!(result.completed, 6);
+        assert_eq!(ic.active_connections(), 0);
+    }
+
+    #[test]
+    fn independent_fibers_do_not_interfere() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(3, conv())).unwrap();
+        // Saturate fiber 0 and send one packet to fiber 1: the fiber-1
+        // packet must be granted regardless.
+        let mut requests: Vec<ConnectionRequest> = (0..6)
+            .map(|w| ConnectionRequest::packet(w % 3, w, 0))
+            .collect();
+        requests.push(ConnectionRequest::packet(0, 2, 1));
+        let result = ic.advance_slot(&requests).unwrap();
+        assert!(result.grants.iter().any(|g| g.request.dst_fiber == 1));
+    }
+
+    #[test]
+    fn multi_slot_connections_occupy_channels() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let burst = ConnectionRequest::burst(0, 2, 0, 3);
+        let r = ic.advance_slot(&[burst]).unwrap();
+        assert_eq!(r.grants.len(), 1);
+        let held = r.grants[0].output_wavelength;
+        // For 2 more slots the channel stays occupied.
+        for _ in 0..2 {
+            let r = ic.advance_slot(&[]).unwrap();
+            assert_eq!(r.completed, 0);
+            assert!(!ic.occupied_mask(0).is_free(held));
+        }
+        let r = ic.advance_slot(&[]).unwrap();
+        assert_eq!(r.completed, 1);
+        assert!(ic.occupied_mask(0).is_free(held));
+    }
+
+    #[test]
+    fn source_busy_rejection() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let burst = ConnectionRequest::burst(0, 2, 0, 5);
+        ic.advance_slot(&[burst]).unwrap();
+        // Same input channel tries again while the burst is in flight.
+        let r = ic.advance_slot(&[ConnectionRequest::packet(0, 2, 1)]).unwrap();
+        assert_eq!(r.source_busy_losses(), 1);
+        assert!(r.grants.is_empty());
+        // A different wavelength on the same fiber is fine.
+        let r = ic.advance_slot(&[ConnectionRequest::packet(0, 3, 1)]).unwrap();
+        assert_eq!(r.grants.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_input_channel_in_one_slot() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let r = ic
+            .advance_slot(&[
+                ConnectionRequest::packet(0, 2, 0),
+                ConnectionRequest::packet(0, 2, 1),
+            ])
+            .unwrap();
+        assert_eq!(r.grants.len(), 1);
+        assert_eq!(r.source_busy_losses(), 1);
+    }
+
+    #[test]
+    fn rearrange_admits_more_than_non_disturb() {
+        // k = 3, d = 2 (e = 0, f = 1). Park a burst on λ0 assigned to
+        // channel 1 by loading channel 0 first, then see whether a λ1
+        // request survives.
+        let conv = Conversion::circular(3, 0, 1).unwrap();
+        let setup = |hold: HoldPolicy| {
+            let cfg = InterconnectConfig::packet_switch(2, conv).with_hold(hold);
+            let mut ic = Interconnect::new(cfg).unwrap();
+            // Slot 1: two bursts on λ0 (distinct inputs) → they take
+            // channels 0 and 1; plus a burst on λ2 → channel 2.
+            let r = ic
+                .advance_slot(&[
+                    ConnectionRequest::burst(0, 0, 0, 4),
+                    ConnectionRequest::burst(1, 0, 0, 4),
+                    ConnectionRequest::burst(0, 2, 0, 2),
+                ])
+                .unwrap();
+            assert_eq!(r.grants.len(), 3);
+            // Slot 2: the λ2 burst still holds (duration 2). Channels 0, 1,
+            // 2 all busy → nothing to do; slot 3: λ2's burst completes,
+            // freeing one channel (2 or 0). A new λ1 request (needs 1 or 2)
+            // arrives.
+            ic.advance_slot(&[]).unwrap();
+            let r = ic.advance_slot(&[ConnectionRequest::packet(1, 1, 0)]).unwrap();
+            r.grants.len()
+        };
+        let non_disturb = setup(HoldPolicy::NonDisturb);
+        let rearrange = setup(HoldPolicy::Rearrange);
+        assert!(rearrange >= non_disturb);
+        assert_eq!(rearrange, 1, "rearrangement can always place the λ1 packet");
+    }
+
+    #[test]
+    fn parallel_and_sequential_schedules_match() {
+        let conv = conv();
+        let mk = |threads: usize| {
+            Interconnect::new(InterconnectConfig::packet_switch(8, conv).with_threads(threads))
+                .unwrap()
+        };
+        let mut seq = mk(1);
+        let mut par = mk(4);
+        // A deterministic multi-slot workload.
+        for slot in 0..50u64 {
+            let requests: Vec<ConnectionRequest> = (0..8)
+                .flat_map(|fiber| {
+                    (0..6).filter_map(move |w| {
+                        let h = fiber * 31 + w * 17 + slot as usize * 7;
+                        h.is_multiple_of(3).then(|| {
+                            ConnectionRequest::burst(
+                                fiber,
+                                w,
+                                (fiber + w + slot as usize) % 8,
+                                1 + (h % 4) as u32,
+                            )
+                        })
+                    })
+                })
+                .collect();
+            let a = seq.advance_slot(&requests).unwrap();
+            let b = par.advance_slot(&requests).unwrap();
+            assert_eq!(a, b, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn invalid_requests_rejected_up_front() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        assert!(ic.advance_slot(&[ConnectionRequest::packet(2, 0, 0)]).is_err());
+        assert!(ic.advance_slot(&[ConnectionRequest::packet(0, 6, 0)]).is_err());
+        assert!(ic.advance_slot(&[ConnectionRequest::burst(0, 0, 0, 0)]).is_err());
+        assert_eq!(ic.slot(), 0, "failed slots do not advance time");
+    }
+
+    #[test]
+    fn zero_fibers_rejected() {
+        assert!(matches!(
+            Interconnect::new(InterconnectConfig::packet_switch(0, conv())),
+            Err(Error::ZeroFibers)
+        ));
+    }
+
+    #[test]
+    fn crossbar_reflects_active_connections() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let r = ic
+            .advance_slot(&[
+                ConnectionRequest::burst(0, 1, 1, 2),
+                ConnectionRequest::burst(1, 4, 0, 3),
+            ])
+            .unwrap();
+        assert_eq!(r.grants.len(), 2);
+        let xb = ic.crossbar();
+        assert_eq!(xb.active(), 2);
+        xb.validate(ic.conversion()).unwrap();
+    }
+}

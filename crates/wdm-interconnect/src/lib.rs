@@ -1,0 +1,40 @@
+//! # wdm-interconnect
+//!
+//! The `N×N` wavelength-convertible WDM optical interconnect of the paper's
+//! Fig. 1, as a slotted state machine:
+//!
+//! * [`connection`] — connection requests (source channel → destination
+//!   fiber, multi-slot durations) and grant/rejection records;
+//! * [`fabric`] — the optical datapath (demux → switching fabric →
+//!   combiners → converters → mux) as a structural validity checker: each
+//!   combiner carries at most one signal, converters only shift within
+//!   their range, each channel carries at most one connection;
+//! * [`arbitration`] — resolution of wavelength-level grants to concrete
+//!   input channels with per-(fiber, wavelength) round-robin fairness;
+//! * [`interconnect`] — the top-level slotted switch: distributed
+//!   per-output-fiber scheduling, §V occupied-channel handling for
+//!   connections that hold across slots;
+//! * [`rearrange`] — the §V "existing connections can be disturbed"
+//!   alternative: in-flight connections may move to a different output
+//!   channel but are never dropped;
+//! * [`distributed`] — running the `N` independent per-fiber schedulers
+//!   across worker threads (the paper's distributed claim, exercised for
+//!   real).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitration;
+pub mod buffered;
+pub mod connection;
+pub mod distributed;
+pub mod fabric;
+pub mod fcfs;
+pub mod interconnect;
+pub mod rearrange;
+
+pub use buffered::{BufferedInterconnect, BufferedSlotResult, QueueDiscipline, Transmission};
+pub use connection::{ConnectionRequest, Grant, RejectReason, Rejection, SlotResult};
+pub use fabric::CrossbarState;
+pub use fcfs::FcfsSwitch;
+pub use interconnect::{HoldPolicy, Interconnect, InterconnectConfig};

@@ -1,0 +1,136 @@
+//! `wdm-sweep` — run a throughput/loss parameter sweep from the command
+//! line and emit CSV (stdout) plus an optional JSON report.
+//!
+//! ```sh
+//! # built-in default sweep (N=8, k=16, d ∈ {1, 3, full}):
+//! cargo run --release -p wdm-sim --bin wdm-sweep
+//!
+//! # fully configured from a JSON file (see --print-config for a template):
+//! cargo run --release -p wdm-sim --bin wdm-sweep -- --config sweep.json
+//! cargo run --release -p wdm-sim --bin wdm-sweep -- --print-config
+//! ```
+
+use std::process::ExitCode;
+
+use wdm_sim::experiment::{run_sweep, to_csv, to_table, DegreeSpec, SweepConfig};
+
+fn default_config() -> SweepConfig {
+    SweepConfig::uniform_packets(
+        8,
+        16,
+        vec![DegreeSpec::None, DegreeSpec::Circular(3), DegreeSpec::Full],
+        (1..=10).map(|i| i as f64 / 10.0).collect(),
+    )
+}
+
+fn usage() -> &'static str {
+    "usage: wdm-sweep [--config <file.json>] [--json <out.json>] [--table] [--print-config]\n\
+     \n\
+     --config <file>   read a SweepConfig (JSON) instead of the default sweep\n\
+     --json <file>     also write the measured rows as JSON\n\
+     --table           print a human-readable table to stderr as well\n\
+     --print-config    print the default config as JSON (a template) and exit"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut table = false;
+    let mut print_config = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => match it.next() {
+                Some(p) => config_path = Some(p.clone()),
+                None => {
+                    eprintln!("--config needs a file argument\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => {
+                    eprintln!("--json needs a file argument\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--table" => table = true,
+            "--print-config" => print_config = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let config = match config_path {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => match serde_json::from_str::<SweepConfig>(&text) {
+                Ok(c) => c,
+                Err(err) => {
+                    eprintln!("failed to parse {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(err) => {
+                eprintln!("failed to read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => default_config(),
+    };
+
+    if print_config {
+        match serde_json::to_string_pretty(&config) {
+            Ok(json) => {
+                println!("{json}");
+                return ExitCode::SUCCESS;
+            }
+            Err(err) => {
+                eprintln!("failed to serialize config: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        "wdm-sweep: N={}, k={}, {} degree configs x {} loads, {} measured slots each",
+        config.n,
+        config.k,
+        config.degrees.len(),
+        config.loads.len(),
+        config.sim.measure_slots
+    );
+    let rows = match run_sweep(&config) {
+        Ok(rows) => rows,
+        Err(err) => {
+            eprintln!("sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", to_csv(&rows));
+    if table {
+        eprint!("{}", to_table(&rows));
+    }
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&rows) {
+            Ok(json) => {
+                if let Err(err) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(err) => {
+                eprintln!("failed to serialize rows: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,211 @@
+//! The simulation engine: interconnect + traffic + clock.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use wdm_core::Error;
+use wdm_interconnect::{Interconnect, InterconnectConfig};
+
+use crate::metrics::{Metrics, SlotObservation};
+use crate::traffic::TrafficModel;
+
+/// Run lengths and seeding for one simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Slots to run before measurement starts (reach steady state).
+    pub warmup_slots: u64,
+    /// Slots measured.
+    pub measure_slots: u64,
+    /// RNG seed (simulations are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig { warmup_slots: 500, measure_slots: 5_000, seed: 0x5eed }
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Interconnect size `N`.
+    pub n: usize,
+    /// Wavelengths per fiber `k`.
+    pub k: usize,
+    /// Conversion degree `d`.
+    pub degree: usize,
+    /// Offered per-channel load of the traffic model.
+    pub offered_load: f64,
+    /// Measured metrics.
+    pub metrics: Metrics,
+}
+
+impl Report {
+    /// Normalized throughput: granted requests per slot divided by the
+    /// interconnect's channel count `n·k` (1.0 = every channel busy with a
+    /// fresh grant every slot).
+    pub fn normalized_throughput(&self) -> f64 {
+        self.metrics.throughput_per_slot() / (self.n * self.k) as f64
+    }
+
+    /// Packet-loss probability due to output contention.
+    pub fn loss_probability(&self) -> f64 {
+        self.metrics.loss_probability()
+    }
+}
+
+/// A runnable simulation: one interconnect driven by one traffic model.
+pub struct Simulation<T: TrafficModel> {
+    interconnect: Interconnect,
+    traffic: T,
+    rng: StdRng,
+    config: SimulationConfig,
+}
+
+impl<T: TrafficModel> Simulation<T> {
+    /// Builds the simulation, checking that the traffic model matches the
+    /// interconnect dimensions.
+    pub fn new(
+        interconnect_config: InterconnectConfig,
+        traffic: T,
+        config: SimulationConfig,
+    ) -> Result<Simulation<T>, Error> {
+        let interconnect = Interconnect::new(interconnect_config)?;
+        if traffic.n() != interconnect.n() {
+            return Err(Error::LengthMismatch {
+                expected: interconnect.n(),
+                actual: traffic.n(),
+            });
+        }
+        if traffic.k() != interconnect.k() {
+            return Err(Error::WavelengthCountMismatch {
+                expected: interconnect.k(),
+                actual: traffic.k(),
+            });
+        }
+        Ok(Simulation {
+            interconnect,
+            traffic,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        })
+    }
+
+    /// Runs warmup + measurement and returns the report.
+    pub fn run(mut self) -> Result<Report, Error> {
+        let mut metrics = Metrics::new();
+        let total = self.config.warmup_slots + self.config.measure_slots;
+        for slot in 0..total {
+            let requests = self.traffic.generate(&mut self.rng, slot);
+            let result = self.interconnect.advance_slot(&requests)?;
+            if slot >= self.config.warmup_slots {
+                metrics.record_slot(SlotObservation {
+                    offered: result.offered(),
+                    granted: result.grants.len(),
+                    contention_losses: result.contention_losses(),
+                    source_busy: result.source_busy_losses(),
+                    completed: result.completed,
+                    rearranged: result.rearranged,
+                    active_now: self.interconnect.active_connections(),
+                });
+            }
+        }
+        Ok(Report {
+            n: self.interconnect.n(),
+            k: self.interconnect.k(),
+            degree: self.interconnect.conversion().degree(),
+            offered_load: self.traffic.offered_load(),
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{BernoulliUniform, DurationModel};
+    use wdm_core::Conversion;
+
+    fn quick(n: usize, k: usize, conv: Conversion, p: f64) -> Report {
+        let traffic = BernoulliUniform::new(n, k, p, DurationModel::Deterministic(1));
+        let cfg = SimulationConfig { warmup_slots: 50, measure_slots: 500, seed: 1 };
+        Simulation::new(InterconnectConfig::packet_switch(n, conv), traffic, cfg)
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_load_zero_everything() {
+        let conv = Conversion::symmetric_circular(8, 3).unwrap();
+        let report = quick(4, 8, conv, 0.0);
+        assert_eq!(report.metrics.offered(), 0);
+        assert_eq!(report.metrics.granted(), 0);
+        assert_eq!(report.loss_probability(), 0.0);
+    }
+
+    #[test]
+    fn low_load_is_nearly_lossless() {
+        let conv = Conversion::symmetric_circular(8, 3).unwrap();
+        let report = quick(4, 8, conv, 0.05);
+        assert!(report.loss_probability() < 0.02, "loss {}", report.loss_probability());
+    }
+
+    #[test]
+    fn conservation_offered_equals_granted_plus_lost() {
+        let conv = Conversion::symmetric_circular(8, 3).unwrap();
+        let report = quick(4, 8, conv, 0.7);
+        let m = &report.metrics;
+        assert_eq!(m.offered(), m.granted() + m.contention_losses() + m.source_busy());
+    }
+
+    #[test]
+    fn more_conversion_never_hurts() {
+        // The headline qualitative result: throughput is monotone in d.
+        let k = 8;
+        let loss_of = |conv: Conversion| quick(4, k, conv, 0.9).loss_probability();
+        let none = loss_of(Conversion::none(k).unwrap());
+        let d3 = loss_of(Conversion::symmetric_circular(k, 3).unwrap());
+        let full = loss_of(Conversion::full(k).unwrap());
+        assert!(d3 <= none + 0.02, "d=3 {d3} vs none {none}");
+        assert!(full <= d3 + 0.02, "full {full} vs d=3 {d3}");
+        assert!(none > full, "conversion must help at 0.9 load");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let conv = Conversion::symmetric_circular(4, 3).unwrap();
+        let run = || {
+            let traffic = BernoulliUniform::new(2, 4, 0.5, DurationModel::Deterministic(1));
+            let cfg = SimulationConfig { warmup_slots: 10, measure_slots: 100, seed: 99 };
+            Simulation::new(InterconnectConfig::packet_switch(2, conv), traffic, cfg)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.metrics.granted(), b.metrics.granted());
+        assert_eq!(a.metrics.offered(), b.metrics.offered());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let conv = Conversion::full(4).unwrap();
+        let traffic = BernoulliUniform::new(3, 4, 0.5, DurationModel::Deterministic(1));
+        assert!(Simulation::new(
+            InterconnectConfig::packet_switch(2, conv),
+            traffic,
+            SimulationConfig::default()
+        )
+        .is_err());
+        let traffic = BernoulliUniform::new(2, 5, 0.5, DurationModel::Deterministic(1));
+        assert!(Simulation::new(
+            InterconnectConfig::packet_switch(2, conv),
+            traffic,
+            SimulationConfig::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Parameter-sweep experiment runner.
+//!
+//! Produces the data series behind EXPERIMENTS.md: throughput and loss
+//! versus offered load for a set of conversion geometries and scheduling
+//! policies, as serializable rows plus CSV output.
+
+use serde::{Deserialize, Serialize};
+use wdm_core::{Conversion, Error, Policy};
+use wdm_interconnect::{HoldPolicy, InterconnectConfig};
+
+use crate::engine::{Simulation, SimulationConfig};
+use crate::traffic::{BernoulliUniform, DurationModel, Hotspot};
+
+/// A conversion geometry under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegreeSpec {
+    /// No conversion (`d = 1`).
+    None,
+    /// Circular symmetrical conversion with odd degree `d`.
+    Circular(usize),
+    /// Non-circular symmetrical conversion with odd degree `d`.
+    NonCircular(usize),
+    /// Full-range conversion (`d = k`).
+    Full,
+}
+
+impl DegreeSpec {
+    /// Resolves the spec to a conversion scheme for `k` wavelengths.
+    pub fn to_conversion(self, k: usize) -> Result<Conversion, Error> {
+        match self {
+            DegreeSpec::None => Conversion::none(k),
+            DegreeSpec::Circular(d) => Conversion::symmetric_circular(k, d),
+            DegreeSpec::NonCircular(d) => Conversion::symmetric_non_circular(k, d),
+            DegreeSpec::Full => Conversion::full(k),
+        }
+    }
+
+    /// A short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            DegreeSpec::None => "d=1".to_string(),
+            DegreeSpec::Circular(d) => format!("circ d={d}"),
+            DegreeSpec::NonCircular(d) => format!("non-circ d={d}"),
+            DegreeSpec::Full => "full".to_string(),
+        }
+    }
+}
+
+/// The workload shape of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Bernoulli arrivals, uniform destinations.
+    Uniform,
+    /// Bernoulli arrivals; the given fraction targets output fiber 0.
+    Hotspot {
+        /// Fraction of traffic aimed at the hotspot.
+        fraction: f64,
+    },
+}
+
+/// One experiment configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Interconnect size `N`.
+    pub n: usize,
+    /// Wavelengths per fiber `k`.
+    pub k: usize,
+    /// Conversion geometries to compare.
+    pub degrees: Vec<DegreeSpec>,
+    /// Offered per-channel loads to sweep.
+    pub loads: Vec<f64>,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Holding policy.
+    pub hold: HoldPolicy,
+    /// Holding-time model.
+    pub duration: DurationModel,
+    /// Workload shape.
+    pub workload: Workload,
+    /// Run lengths and seed.
+    pub sim: SimulationConfig,
+}
+
+impl SweepConfig {
+    /// A packet-switching uniform-traffic sweep with sensible defaults.
+    pub fn uniform_packets(n: usize, k: usize, degrees: Vec<DegreeSpec>, loads: Vec<f64>) -> Self {
+        SweepConfig {
+            n,
+            k,
+            degrees,
+            loads,
+            policy: Policy::Auto,
+            hold: HoldPolicy::NonDisturb,
+            duration: DurationModel::Deterministic(1),
+            workload: Workload::Uniform,
+            sim: SimulationConfig::default(),
+        }
+    }
+}
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Conversion geometry label.
+    pub degree: String,
+    /// Nominal conversion degree `d`.
+    pub d: usize,
+    /// Offered per-channel load.
+    pub load: f64,
+    /// Granted requests per slot.
+    pub throughput: f64,
+    /// Normalized throughput (per channel).
+    pub normalized_throughput: f64,
+    /// Output-contention loss probability.
+    pub loss: f64,
+    /// 95% half-interval on per-slot throughput (batch means), if available.
+    pub throughput_ci95: Option<f64>,
+}
+
+/// Runs the sweep, returning one row per (degree, load) pair, in order.
+pub fn run_sweep(config: &SweepConfig) -> Result<Vec<SweepPoint>, Error> {
+    let mut rows = Vec::with_capacity(config.degrees.len() * config.loads.len());
+    for &spec in &config.degrees {
+        let conversion = spec.to_conversion(config.k)?;
+        for &load in &config.loads {
+            let ic = InterconnectConfig::packet_switch(config.n, conversion)
+                .with_policy(config.policy)
+                .with_hold(config.hold);
+            let report = match config.workload {
+                Workload::Uniform => {
+                    let t =
+                        BernoulliUniform::new(config.n, config.k, load, config.duration);
+                    Simulation::new(ic, t, config.sim)?.run()?
+                }
+                Workload::Hotspot { fraction } => {
+                    let t = Hotspot::new(
+                        config.n,
+                        config.k,
+                        load,
+                        0,
+                        fraction,
+                        config.duration,
+                    );
+                    Simulation::new(ic, t, config.sim)?.run()?
+                }
+            };
+            rows.push(SweepPoint {
+                degree: spec.label(),
+                d: conversion.degree(),
+                load,
+                throughput: report.metrics.throughput_per_slot(),
+                normalized_throughput: report.normalized_throughput(),
+                loss: report.loss_probability(),
+                throughput_ci95: report.metrics.throughput_ci95(20),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders sweep rows as CSV (with header).
+pub fn to_csv(rows: &[SweepPoint]) -> String {
+    let mut out =
+        String::from("degree,d,load,throughput,normalized_throughput,loss,throughput_ci95\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6},{}\n",
+            r.degree,
+            r.d,
+            r.load,
+            r.throughput,
+            r.normalized_throughput,
+            r.loss,
+            r.throughput_ci95.map_or(String::new(), |c| format!("{c:.6}")),
+        ));
+    }
+    out
+}
+
+/// Renders sweep rows as a fixed-width table for terminal output.
+pub fn to_table(rows: &[SweepPoint]) -> String {
+    let mut out = format!(
+        "{:<14} {:>3} {:>6} {:>12} {:>10} {:>10}\n",
+        "degree", "d", "load", "throughput", "norm.tput", "loss"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>3} {:>6.2} {:>12.3} {:>10.4} {:>10.5}\n",
+            r.degree, r.d, r.load, r.throughput, r.normalized_throughput, r.loss
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sim() -> SimulationConfig {
+        SimulationConfig { warmup_slots: 20, measure_slots: 200, seed: 3 }
+    }
+
+    #[test]
+    fn sweep_produces_rows_in_order() {
+        let mut cfg = SweepConfig::uniform_packets(
+            2,
+            4,
+            vec![DegreeSpec::None, DegreeSpec::Full],
+            vec![0.2, 0.8],
+        );
+        cfg.sim = tiny_sim();
+        let rows = run_sweep(&cfg).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].degree, "d=1");
+        assert_eq!(rows[0].load, 0.2);
+        assert_eq!(rows[3].degree, "full");
+        assert_eq!(rows[3].load, 0.8);
+        // Full conversion at the same load loses no more than d = 1.
+        assert!(rows[3].loss <= rows[1].loss + 0.02);
+    }
+
+    #[test]
+    fn csv_and_table_rendering() {
+        let rows = vec![SweepPoint {
+            degree: "circ d=3".into(),
+            d: 3,
+            load: 0.5,
+            throughput: 3.2,
+            normalized_throughput: 0.4,
+            loss: 0.01,
+            throughput_ci95: Some(0.05),
+        }];
+        let csv = to_csv(&rows);
+        assert!(csv.starts_with("degree,"));
+        assert!(csv.contains("circ d=3,3,0.5"));
+        let table = to_table(&rows);
+        assert!(table.contains("circ d=3"));
+    }
+
+    #[test]
+    fn hotspot_workload_runs() {
+        let mut cfg = SweepConfig::uniform_packets(
+            3,
+            4,
+            vec![DegreeSpec::Circular(3)],
+            vec![0.5],
+        );
+        cfg.workload = Workload::Hotspot { fraction: 0.6 };
+        cfg.sim = tiny_sim();
+        let rows = run_sweep(&cfg).unwrap();
+        assert_eq!(rows.len(), 1);
+        // Hotspot contention at fiber 0 should produce nonzero loss.
+        assert!(rows[0].loss > 0.0);
+    }
+
+    #[test]
+    fn degree_spec_resolution() {
+        assert!(DegreeSpec::Circular(3).to_conversion(8).unwrap().is_circular());
+        assert!(DegreeSpec::Full.to_conversion(8).unwrap().is_full());
+        assert_eq!(DegreeSpec::None.to_conversion(8).unwrap().degree(), 1);
+        assert!(DegreeSpec::Circular(4).to_conversion(8).is_err(), "even degree");
+        assert!(DegreeSpec::Circular(9).to_conversion(4).is_err(), "degree > k");
+        assert_eq!(DegreeSpec::NonCircular(5).label(), "non-circ d=5");
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let cfg = SweepConfig::uniform_packets(2, 4, vec![DegreeSpec::Full], vec![0.5]);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SweepConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n, 2);
+        assert_eq!(back.degrees, vec![DegreeSpec::Full]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # wdm-sim
+//!
+//! The slotted simulation harness used to evaluate the scheduling
+//! algorithms on whole-interconnect workloads:
+//!
+//! * [`traffic`] — synthetic arrival processes: i.i.d. Bernoulli with
+//!   uniform destinations, hotspot destinations, bursty on/off sources, and
+//!   deterministic or geometric multi-slot holding times (the models used by
+//!   the paper's citations [11], [13], [14] — no public 2003 OXC traces
+//!   exist, see DESIGN.md);
+//! * [`metrics`] — per-slot accounting: offered load, carried load,
+//!   contention losses, channel utilization, with batch-means confidence
+//!   intervals;
+//! * [`engine`] — ties a [`wdm_interconnect::Interconnect`] to a traffic
+//!   model and runs warmup + measurement phases;
+//! * [`analysis`] — the exact analytical throughput of full-range
+//!   conversion (balls-in-bins), used to validate the simulator;
+//! * [`experiment`] — parameter-sweep runner producing the CSV/JSON tables
+//!   behind EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod engine;
+pub mod experiment;
+pub mod metrics;
+pub mod traffic;
+
+pub use engine::{Report, Simulation, SimulationConfig};
+pub use metrics::{Metrics, SlotObservation};
+pub use traffic::{BernoulliUniform, BurstyOnOff, DurationModel, Hotspot, TrafficModel};

@@ -1,0 +1,380 @@
+//! Synthetic traffic models.
+//!
+//! All models generate, per slot, at most one request per input channel
+//! (an input wavelength channel physically carries one signal). Destinations
+//! are unicast. Holding times come from a [`DurationModel`].
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use wdm_interconnect::ConnectionRequest;
+
+/// Connection holding times (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DurationModel {
+    /// Every connection holds exactly this many slots (1 = optical packets).
+    Deterministic(u32),
+    /// Geometric holding times with the given mean (≥ 1): each slot the
+    /// connection ends with probability `1/mean`.
+    Geometric {
+        /// Mean holding time in slots.
+        mean: f64,
+    },
+}
+
+impl DurationModel {
+    /// Samples a holding time.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        match *self {
+            DurationModel::Deterministic(d) => d.max(1),
+            DurationModel::Geometric { mean } => {
+                let mean = mean.max(1.0);
+                let p = 1.0 / mean;
+                // Geometric on {1, 2, …} via inversion.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let d = (u.ln() / (1.0 - p).ln()).ceil();
+                if d.is_finite() {
+                    (d as u32).max(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// The mean holding time of the model.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DurationModel::Deterministic(d) => d.max(1) as f64,
+            DurationModel::Geometric { mean } => mean.max(1.0),
+        }
+    }
+}
+
+/// A per-slot arrival process for an `n × n` interconnect with `k`
+/// wavelengths per fiber.
+pub trait TrafficModel {
+    /// Number of input fibers.
+    fn n(&self) -> usize;
+    /// Number of wavelengths per fiber.
+    fn k(&self) -> usize;
+    /// Generates the requests arriving at the given slot.
+    fn generate(&mut self, rng: &mut StdRng, slot: u64) -> Vec<ConnectionRequest>;
+    /// The offered load per input channel (probability a channel carries a
+    /// new request in a slot, ignoring source-busy suppression).
+    fn offered_load(&self) -> f64;
+}
+
+/// I.i.d. Bernoulli arrivals with uniform destinations — the standard
+/// synchronous-switch workload: each input channel independently carries a
+/// packet with probability `p`, destined to a uniformly random output fiber.
+#[derive(Debug, Clone)]
+pub struct BernoulliUniform {
+    n: usize,
+    k: usize,
+    p: f64,
+    duration: DurationModel,
+}
+
+impl BernoulliUniform {
+    /// Creates the model with per-channel load `p` (clamped to `[0, 1]`).
+    pub fn new(n: usize, k: usize, p: f64, duration: DurationModel) -> BernoulliUniform {
+        BernoulliUniform { n, k, p: p.clamp(0.0, 1.0), duration }
+    }
+}
+
+impl TrafficModel for BernoulliUniform {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn generate(&mut self, rng: &mut StdRng, _slot: u64) -> Vec<ConnectionRequest> {
+        let mut out = Vec::new();
+        for fiber in 0..self.n {
+            for w in 0..self.k {
+                if rng.gen_bool(self.p) {
+                    out.push(ConnectionRequest::burst(
+                        fiber,
+                        w,
+                        rng.gen_range(0..self.n),
+                        self.duration.sample(rng),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Bernoulli arrivals with a hotspot destination: with probability
+/// `hotspot_fraction` a packet goes to `hotspot_fiber`, otherwise to a
+/// uniformly random fiber. Models client–server traffic skew.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    n: usize,
+    k: usize,
+    p: f64,
+    hotspot_fiber: usize,
+    hotspot_fraction: f64,
+    duration: DurationModel,
+}
+
+impl Hotspot {
+    /// Creates the model. `hotspot_fraction` is clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hotspot_fiber >= n`.
+    pub fn new(
+        n: usize,
+        k: usize,
+        p: f64,
+        hotspot_fiber: usize,
+        hotspot_fraction: f64,
+        duration: DurationModel,
+    ) -> Hotspot {
+        assert!(hotspot_fiber < n, "hotspot fiber out of range");
+        Hotspot {
+            n,
+            k,
+            p: p.clamp(0.0, 1.0),
+            hotspot_fiber,
+            hotspot_fraction: hotspot_fraction.clamp(0.0, 1.0),
+            duration,
+        }
+    }
+}
+
+impl TrafficModel for Hotspot {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn generate(&mut self, rng: &mut StdRng, _slot: u64) -> Vec<ConnectionRequest> {
+        let mut out = Vec::new();
+        for fiber in 0..self.n {
+            for w in 0..self.k {
+                if rng.gen_bool(self.p) {
+                    let dst = if rng.gen_bool(self.hotspot_fraction) {
+                        self.hotspot_fiber
+                    } else {
+                        rng.gen_range(0..self.n)
+                    };
+                    out.push(ConnectionRequest::burst(
+                        fiber,
+                        w,
+                        dst,
+                        self.duration.sample(rng),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Two-state (on/off) Markov-modulated arrivals per input channel: while ON
+/// a channel emits one packet per slot toward a destination fixed for the
+/// burst; OFF channels are silent. Models correlated optical-burst traffic.
+#[derive(Debug, Clone)]
+pub struct BurstyOnOff {
+    n: usize,
+    k: usize,
+    /// P(OFF → ON) per slot.
+    p_on: f64,
+    /// P(ON → OFF) per slot.
+    p_off: f64,
+    duration: DurationModel,
+    /// Per input channel: the destination of the current burst, if ON.
+    state: Vec<Option<usize>>,
+}
+
+impl BurstyOnOff {
+    /// Creates the model. The stationary per-channel load is
+    /// `p_on / (p_on + p_off)`; the mean burst length is `1 / p_off` slots.
+    pub fn new(
+        n: usize,
+        k: usize,
+        p_on: f64,
+        p_off: f64,
+        duration: DurationModel,
+    ) -> BurstyOnOff {
+        BurstyOnOff {
+            n,
+            k,
+            p_on: p_on.clamp(0.0, 1.0),
+            p_off: p_off.clamp(f64::EPSILON, 1.0),
+            duration,
+            state: vec![None; n * k],
+        }
+    }
+
+    /// Mean burst length in slots.
+    pub fn mean_burst_length(&self) -> f64 {
+        1.0 / self.p_off
+    }
+}
+
+impl TrafficModel for BurstyOnOff {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn generate(&mut self, rng: &mut StdRng, _slot: u64) -> Vec<ConnectionRequest> {
+        let mut out = Vec::new();
+        for fiber in 0..self.n {
+            for w in 0..self.k {
+                let idx = fiber * self.k + w;
+                // Emit while ON, then update the chain at slot end: this
+                // makes the stationary emission probability exactly
+                // p_on / (p_on + p_off) and the mean burst length 1/p_off.
+                match self.state[idx] {
+                    Some(dst) => {
+                        out.push(ConnectionRequest::burst(
+                            fiber,
+                            w,
+                            dst,
+                            self.duration.sample(rng),
+                        ));
+                        if rng.gen_bool(self.p_off) {
+                            self.state[idx] = None;
+                        }
+                    }
+                    None => {
+                        if rng.gen_bool(self.p_on) {
+                            // The burst starts emitting next slot, toward a
+                            // destination fixed now.
+                            self.state[idx] = Some(rng.gen_range(0..self.n));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.p_on / (self.p_on + self.p_off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn bernoulli_respects_dimensions_and_load() {
+        let mut model = BernoulliUniform::new(4, 8, 0.5, DurationModel::Deterministic(1));
+        let mut r = rng();
+        let mut total = 0usize;
+        for slot in 0..500 {
+            let reqs = model.generate(&mut r, slot);
+            total += reqs.len();
+            for q in &reqs {
+                q.validate(4, 8).unwrap();
+                assert_eq!(q.duration, 1);
+            }
+            // At most one request per input channel.
+            let mut seen = std::collections::HashSet::new();
+            for q in &reqs {
+                assert!(seen.insert((q.src_fiber, q.src_wavelength)));
+            }
+        }
+        let expected = 500.0 * 4.0 * 8.0 * 0.5;
+        assert!((total as f64) > 0.9 * expected && (total as f64) < 1.1 * expected);
+    }
+
+    #[test]
+    fn hotspot_skews_destinations() {
+        let mut model = Hotspot::new(8, 4, 1.0, 3, 0.5, DurationModel::Deterministic(1));
+        let mut r = rng();
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for slot in 0..200 {
+            for q in model.generate(&mut r, slot) {
+                total += 1;
+                if q.dst_fiber == 3 {
+                    hot += 1;
+                }
+            }
+        }
+        // P(hotspot) = 0.5 + 0.5/8 = 0.5625.
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.52 && frac < 0.61, "hotspot fraction {frac}");
+    }
+
+    #[test]
+    fn bursty_produces_runs() {
+        let mut model = BurstyOnOff::new(1, 1, 0.05, 0.2, DurationModel::Deterministic(1));
+        assert!((model.offered_load() - 0.2).abs() < 1e-9);
+        assert!((model.mean_burst_length() - 5.0).abs() < 1e-9);
+        let mut r = rng();
+        // Consecutive packets of one burst share a destination.
+        let mut last_dst: Option<usize> = None;
+        let mut active: Vec<(u64, usize)> = Vec::new();
+        for slot in 0..2000 {
+            let reqs = model.generate(&mut r, slot);
+            assert!(reqs.len() <= 1);
+            if let Some(q) = reqs.first() {
+                active.push((slot, q.dst_fiber));
+                last_dst = Some(q.dst_fiber);
+            }
+        }
+        assert!(last_dst.is_some(), "the source turned on at least once");
+        // Load roughly matches the stationary distribution.
+        let load = active.len() as f64 / 2000.0;
+        assert!(load > 0.1 && load < 0.3, "measured load {load}");
+    }
+
+    #[test]
+    fn geometric_durations_have_the_right_mean() {
+        let model = DurationModel::Geometric { mean: 8.0 };
+        let mut r = rng();
+        let total: u64 = (0..20_000).map(|_| model.sample(&mut r) as u64).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!(mean > 7.5 && mean < 8.5, "measured mean {mean}");
+        assert_eq!(model.mean(), 8.0);
+    }
+
+    #[test]
+    fn deterministic_durations() {
+        let model = DurationModel::Deterministic(5);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(model.sample(&mut r), 5);
+        }
+        // Zero durations are clamped to one slot.
+        assert_eq!(DurationModel::Deterministic(0).sample(&mut r), 1);
+        assert_eq!(DurationModel::Deterministic(0).mean(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot fiber out of range")]
+    fn hotspot_bounds_checked() {
+        let _ = Hotspot::new(4, 4, 0.5, 4, 0.5, DurationModel::Deterministic(1));
+    }
+}

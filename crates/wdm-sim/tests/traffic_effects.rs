@@ -1,0 +1,101 @@
+//! Qualitative traffic effects the simulator must reproduce: hotspot skew
+//! concentrates loss on the hot fiber, and bursty multi-slot traffic loses
+//! more than smooth packet traffic at equal carried load.
+
+use wdm_core::Conversion;
+use wdm_interconnect::InterconnectConfig;
+use wdm_sim::engine::{Simulation, SimulationConfig};
+use wdm_sim::experiment::{run_sweep, DegreeSpec, SweepConfig, Workload};
+use wdm_sim::traffic::{BernoulliUniform, BurstyOnOff, DurationModel};
+
+#[test]
+fn hotspot_traffic_loses_more_than_uniform() {
+    let mut uniform = SweepConfig::uniform_packets(
+        8,
+        8,
+        vec![DegreeSpec::Circular(3)],
+        vec![0.6],
+    );
+    uniform.sim = SimulationConfig { warmup_slots: 200, measure_slots: 4_000, seed: 17 };
+    let mut hotspot = uniform.clone();
+    hotspot.workload = Workload::Hotspot { fraction: 0.5 };
+    let u = run_sweep(&uniform).unwrap();
+    let h = run_sweep(&hotspot).unwrap();
+    assert!(
+        h[0].loss > u[0].loss + 0.01,
+        "hotspot loss {} must exceed uniform loss {}",
+        h[0].loss,
+        u[0].loss
+    );
+    assert!(h[0].throughput < u[0].throughput);
+}
+
+#[test]
+fn bursty_arrivals_lose_more_than_bernoulli_at_equal_load() {
+    let (n, k) = (8usize, 8usize);
+    let conv = Conversion::symmetric_circular(k, 3).unwrap();
+    let sim = SimulationConfig { warmup_slots: 500, measure_slots: 8_000, seed: 23 };
+    let load = 0.7;
+
+    let bern = Simulation::new(
+        InterconnectConfig::packet_switch(n, conv),
+        BernoulliUniform::new(n, k, load, DurationModel::Deterministic(1)),
+        sim,
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+
+    // Bursty with mean burst length 8 and the same stationary load: while
+    // ON, every packet of a burst aims at the same destination, creating
+    // correlated contention.
+    let p_off = 1.0 / 8.0;
+    let p_on = load * p_off / (1.0 - load);
+    let bursty = Simulation::new(
+        InterconnectConfig::packet_switch(n, conv),
+        BurstyOnOff::new(n, k, p_on, p_off, DurationModel::Deterministic(1)),
+        sim,
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+
+    let measured_load =
+        bursty.metrics.offered() as f64 / (sim.measure_slots as f64 * (n * k) as f64);
+    assert!(
+        (measured_load - load).abs() < 0.05,
+        "bursty load calibration off: {measured_load}"
+    );
+    assert!(
+        bursty.loss_probability() > bern.loss_probability(),
+        "bursty loss {} must exceed Bernoulli loss {}",
+        bursty.loss_probability(),
+        bern.loss_probability()
+    );
+}
+
+#[test]
+fn longer_holds_increase_loss_at_equal_carried_load() {
+    let (n, k) = (8usize, 8usize);
+    let conv = Conversion::symmetric_circular(k, 3).unwrap();
+    let sim = SimulationConfig { warmup_slots: 500, measure_slots: 8_000, seed: 29 };
+    let target = 0.7;
+    let loss_at = |mean_hold: f64| {
+        let p = target / mean_hold;
+        Simulation::new(
+            InterconnectConfig::packet_switch(n, conv),
+            BernoulliUniform::new(n, k, p, DurationModel::Geometric { mean: mean_hold }),
+            sim,
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+        .loss_probability()
+    };
+    let short = loss_at(1.0);
+    let long = loss_at(8.0);
+    assert!(
+        long > short,
+        "8-slot holds ({long}) should lose more than packets ({short})"
+    );
+}

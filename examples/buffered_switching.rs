@@ -1,0 +1,92 @@
+//! Input-buffered operation (extension; the [7]/[8] iSLIP lineage the paper
+//! cites): FIFO head-of-line blocking vs virtual output queues, on top of
+//! the paper's wavelength schedulers.
+//!
+//! ```sh
+//! cargo run --release --example buffered_switching [-- --quick]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdm_optical::core::{Conversion, Policy};
+use wdm_optical::interconnect::{BufferedInterconnect, ConnectionRequest, QueueDiscipline};
+
+struct Outcome {
+    throughput: f64,
+    mean_delay: f64,
+    final_backlog: usize,
+    dropped: usize,
+}
+
+fn run(
+    n: usize,
+    k: usize,
+    conv: Conversion,
+    discipline: QueueDiscipline,
+    load: f64,
+    slots: u64,
+    seed: u64,
+) -> Outcome {
+    let mut sw = BufferedInterconnect::new(n, conv, Policy::Auto, discipline, 256)
+        .expect("valid configuration");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sent = 0u64;
+    let mut delay_sum = 0u64;
+    let mut dropped = 0usize;
+    let mut backlog = 0usize;
+    for _ in 0..slots {
+        let mut arrivals = Vec::new();
+        for fiber in 0..n {
+            for w in 0..k {
+                if rng.gen_bool(load) {
+                    arrivals.push(ConnectionRequest::packet(fiber, w, rng.gen_range(0..n)));
+                }
+            }
+        }
+        let r = sw.advance_slot(&arrivals).expect("slot");
+        sent += r.transmitted.len() as u64;
+        delay_sum += r.transmitted.iter().map(|t| t.delay).sum::<u64>();
+        dropped += r.dropped;
+        backlog = r.backlog;
+    }
+    Outcome {
+        throughput: sent as f64 / (slots as f64 * (n * k) as f64),
+        mean_delay: if sent == 0 { 0.0 } else { delay_sum as f64 / sent as f64 },
+        final_backlog: backlog,
+        dropped,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, k) = (8, 16);
+    let slots: u64 = if quick { 2_000 } else { 20_000 };
+    let conv = Conversion::symmetric_circular(k, 3)?;
+
+    println!("input-buffered switching, N={n}, k={k}, circular d=3, {slots} slots\n");
+    println!(
+        "{:<22} {:>6} {:>12} {:>12} {:>10} {:>9}",
+        "discipline", "load", "throughput", "mean delay", "backlog", "dropped"
+    );
+    for load in [0.6f64, 0.8, 0.95] {
+        for (label, discipline) in [
+            ("FIFO (HOL blocking)", QueueDiscipline::Fifo),
+            ("VOQ, 1 iteration", QueueDiscipline::Voq { iterations: 1 }),
+            ("VOQ, 4 iterations", QueueDiscipline::Voq { iterations: 4 }),
+        ] {
+            let o = run(n, k, conv, discipline, load, slots, 7);
+            println!(
+                "{:<22} {:>6.2} {:>12.4} {:>12.2} {:>10} {:>9}",
+                label, load, o.throughput, o.mean_delay, o.final_backlog, o.dropped
+            );
+        }
+        println!();
+    }
+    println!(
+        "Compared to the bufferless switch, losses become queueing delay. FIFO saturates\n\
+         below capacity (head-of-line blocking); VOQs with a few request/grant iterations\n\
+         close the gap — the same effect iSLIP [8] exploits in electronic switches, here\n\
+         layered over the paper's O(dk) wavelength matching."
+    );
+    Ok(())
+}

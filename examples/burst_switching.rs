@@ -1,0 +1,72 @@
+//! Experiment E10: optical burst switching with multi-slot connections
+//! (paper §V) — loss vs mean holding time, and the non-disturb vs
+//! rearrangement holding policies.
+//!
+//! ```sh
+//! cargo run --release --example burst_switching [-- --quick]
+//! ```
+
+use wdm_optical::core::{Conversion, Policy};
+use wdm_optical::interconnect::{HoldPolicy, InterconnectConfig};
+use wdm_optical::sim::engine::{Report, Simulation, SimulationConfig};
+use wdm_optical::sim::traffic::{BernoulliUniform, DurationModel};
+
+fn run(
+    n: usize,
+    k: usize,
+    conv: Conversion,
+    hold: HoldPolicy,
+    arrival_p: f64,
+    mean_hold: f64,
+    sim: SimulationConfig,
+) -> Report {
+    // Keep the *carried* load comparable across holding times: a channel
+    // that holds for H slots should launch new bursts H times less often.
+    let p = (arrival_p / mean_hold).min(1.0);
+    let traffic = BernoulliUniform::new(n, k, p, DurationModel::Geometric { mean: mean_hold });
+    let cfg = InterconnectConfig::packet_switch(n, conv)
+        .with_policy(Policy::Auto)
+        .with_hold(hold);
+    Simulation::new(cfg, traffic, sim).expect("valid dimensions").run().expect("run")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, k) = (8, 16);
+    let conv = Conversion::symmetric_circular(k, 3)?;
+    let sim = if quick {
+        SimulationConfig { warmup_slots: 200, measure_slots: 2_000, seed: 7 }
+    } else {
+        SimulationConfig { warmup_slots: 2_000, measure_slots: 30_000, seed: 7 }
+    };
+
+    println!("optical burst switching, N={n}, k={k}, circular d=3, target load 0.7\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12}",
+        "mean hold", "loss(non-dist)", "loss(rearr)", "util(non-d)", "rearranges"
+    );
+    for mean_hold in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        let nd = run(n, k, conv, HoldPolicy::NonDisturb, 0.7, mean_hold, sim);
+        let ra = run(n, k, conv, HoldPolicy::Rearrange, 0.7, mean_hold, sim);
+        println!(
+            "{:<12} {:>14.5} {:>14.5} {:>12.4} {:>12}",
+            mean_hold,
+            nd.loss_probability(),
+            ra.loss_probability(),
+            nd.metrics.utilization(n, k),
+            ra.metrics.rearranged(),
+        );
+        // Rearrangement admits a superset per slot: its loss can't be
+        // meaningfully worse.
+        assert!(
+            ra.loss_probability() <= nd.loss_probability() + 0.02,
+            "rearrangement regressed at mean_hold={mean_hold}"
+        );
+    }
+
+    println!(
+        "\nLonger bursts → choppier occupancy → higher contention loss at equal carried \
+         load; rearrangement recovers part of it (paper §V's two holding models)."
+    );
+    Ok(())
+}

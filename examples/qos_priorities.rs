@@ -1,0 +1,64 @@
+//! The paper's §VI future-work item, implemented: strict-priority QoS
+//! scheduling among connection requests.
+//!
+//! ```sh
+//! cargo run --example qos_priorities
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdm_optical::core::priority::PriorityScheduler;
+use wdm_optical::core::{Conversion, Policy, RequestVector};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 16;
+    let conv = Conversion::symmetric_circular(k, 3)?;
+    let sched = PriorityScheduler::new(conv, Policy::Auto);
+    let mut rng = StdRng::seed_from_u64(64);
+
+    // Three classes: premium (light), assured (moderate), best-effort
+    // (heavy). Measure per-class loss over many slots as best-effort load
+    // ramps up — premium must be untouched.
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "BE load", "premium loss", "assured loss", "BE loss"
+    );
+    for be_load in [0.2f64, 0.5, 1.0, 2.0] {
+        let slots = 3_000;
+        let mut requested = [0usize; 3];
+        let mut granted = [0usize; 3];
+        for _ in 0..slots {
+            let mk = |rng: &mut StdRng, mean: f64| {
+                let mut rv = RequestVector::new(k);
+                for w in 0..k {
+                    let copies = (mean.floor() as usize)
+                        + usize::from(rng.gen_bool(mean.fract().clamp(0.0, 1.0)));
+                    for _ in 0..copies {
+                        rv.add(w).expect("in range");
+                    }
+                }
+                rv
+            };
+            let classes =
+                vec![mk(&mut rng, 0.15), mk(&mut rng, 0.35), mk(&mut rng, be_load)];
+            let out = sched.schedule(&classes)?;
+            for c in &out {
+                requested[c.class] += c.requested;
+                granted[c.class] += c.assignments.len();
+            }
+        }
+        let loss = |i: usize| 1.0 - granted[i] as f64 / requested[i].max(1) as f64;
+        println!(
+            "{:>10.2} {:>12.5} {:>12.5} {:>12.5}",
+            be_load,
+            loss(0),
+            loss(1),
+            loss(2)
+        );
+    }
+    println!(
+        "\nPremium-class loss is flat regardless of best-effort pressure — the strict-\n\
+         priority guarantee, built on the same occupied-channel mechanism as §V."
+    );
+    Ok(())
+}

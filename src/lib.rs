@@ -1,0 +1,28 @@
+//! # wdm-optical
+//!
+//! Umbrella crate for the `wdm-optical` workspace: a reproduction of
+//! Zhang & Yang, *"Distributed Scheduling Algorithms for Wavelength
+//! Convertible WDM Optical Interconnects"* (IPDPS 2003) as a production
+//! Rust library.
+//!
+//! The workspace is split into focused crates, re-exported here:
+//!
+//! * [`core`] (`wdm-core`) — request graphs and the paper's matching
+//!   algorithms: First Available (`O(k)`), Break and First Available
+//!   (`O(dk)`), the single-break approximation, and the Hopcroft–Karp /
+//!   Kuhn / Glover baselines.
+//! * [`hardware`] (`wdm-hardware`) — the cycle-counted bit-register model
+//!   of the paper's hardware implementation sketch.
+//! * [`interconnect`] (`wdm-interconnect`) — the `N×N` optical interconnect
+//!   datapath with distributed per-output-fiber scheduling and multi-slot
+//!   connections.
+//! * [`sim`] (`wdm-sim`) — the slotted simulation harness: traffic models,
+//!   metrics, and the experiment runner behind EXPERIMENTS.md.
+//!
+//! See the repository README for a quickstart and DESIGN.md for the
+//! paper-to-module map.
+
+pub use wdm_core as core;
+pub use wdm_hardware as hardware;
+pub use wdm_interconnect as interconnect;
+pub use wdm_sim as sim;

@@ -1,0 +1,129 @@
+//! E8: the distributed-scheduling claim — per-fiber schedulers are
+//! independent, so threading the slot over workers is observationally
+//! equivalent to the sequential loop, and the hardware pipeline agrees with
+//! the software interconnect.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdm_optical::core::{ChannelMask, Conversion, Policy};
+use wdm_optical::hardware::{HardwareScheduler, RequestRegister};
+use wdm_optical::interconnect::{ConnectionRequest, Interconnect, InterconnectConfig};
+
+fn random_requests(rng: &mut StdRng, n: usize, k: usize, p: f64, max_dur: u32) -> Vec<ConnectionRequest> {
+    let mut reqs = Vec::new();
+    for fiber in 0..n {
+        for w in 0..k {
+            if rng.gen_bool(p) {
+                reqs.push(ConnectionRequest::burst(
+                    fiber,
+                    w,
+                    rng.gen_range(0..n),
+                    rng.gen_range(1..=max_dur),
+                ));
+            }
+        }
+    }
+    reqs
+}
+
+/// Sequential and multi-threaded scheduling must produce *identical*
+/// slot-by-slot results for every policy — the fibers share no state.
+#[test]
+fn threaded_equals_sequential_for_all_policies() {
+    let (n, k) = (8, 8);
+    for (conv, policy) in [
+        (Conversion::symmetric_circular(k, 3).unwrap(), Policy::Auto),
+        (Conversion::symmetric_circular(k, 3).unwrap(), Policy::Approximate),
+        (Conversion::non_circular(k, 1, 1).unwrap(), Policy::Auto),
+        (Conversion::full(k).unwrap(), Policy::Auto),
+        (Conversion::symmetric_circular(k, 3).unwrap(), Policy::HopcroftKarp),
+    ] {
+        let mk = |threads| {
+            Interconnect::new(
+                InterconnectConfig::packet_switch(n, conv)
+                    .with_policy(policy)
+                    .with_threads(threads),
+            )
+            .unwrap()
+        };
+        let mut seq = mk(1);
+        let mut par = mk(6);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        for slot in 0..60 {
+            let ra = random_requests(&mut rng_a, n, k, 0.7, 3);
+            let rb = random_requests(&mut rng_b, n, k, 0.7, 3);
+            assert_eq!(ra, rb);
+            let a = seq.advance_slot(&ra).unwrap();
+            let b = par.advance_slot(&rb).unwrap();
+            assert_eq!(a, b, "policy {policy:?} diverged at slot {slot}");
+        }
+    }
+}
+
+/// Per-fiber isolation: removing all traffic to other fibers does not
+/// change one fiber's decisions.
+#[test]
+fn per_fiber_decisions_are_isolated() {
+    let (n, k) = (6, 6);
+    let conv = Conversion::symmetric_circular(k, 3).unwrap();
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..50 {
+        let all = random_requests(&mut rng, n, k, 0.8, 1);
+        let target = 2usize;
+        let only: Vec<ConnectionRequest> =
+            all.iter().copied().filter(|r| r.dst_fiber == target).collect();
+
+        let mut ic_all =
+            Interconnect::new(InterconnectConfig::packet_switch(n, conv)).unwrap();
+        let mut ic_only =
+            Interconnect::new(InterconnectConfig::packet_switch(n, conv)).unwrap();
+        let ra = ic_all.advance_slot(&all).unwrap();
+        let rb = ic_only.advance_slot(&only).unwrap();
+        let grants_a: Vec<_> = ra
+            .grants
+            .iter()
+            .filter(|g| g.request.dst_fiber == target)
+            .collect();
+        let grants_b: Vec<_> = rb.grants.iter().collect();
+        assert_eq!(grants_a, grants_b, "fiber {target}'s schedule depends only on its own requests");
+    }
+}
+
+/// The hardware pipeline (registers, encoders, arbiters) produces the same
+/// per-fiber grants as the software interconnect for single-slot traffic.
+#[test]
+fn hardware_pipeline_matches_software_interconnect() {
+    let (n, k) = (5, 8);
+    let conv = Conversion::symmetric_circular(k, 3).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+
+    let mut software = Interconnect::new(InterconnectConfig::packet_switch(n, conv)).unwrap();
+    let mut hardware: Vec<HardwareScheduler> =
+        (0..n).map(|_| HardwareScheduler::new(n, conv).unwrap()).collect();
+
+    for _ in 0..40 {
+        let reqs = random_requests(&mut rng, n, k, 0.7, 1);
+        let sw = software.advance_slot(&reqs).unwrap();
+        for (dst, hw) in hardware.iter_mut().enumerate() {
+            let mut reg = RequestRegister::new(n, k);
+            for r in reqs.iter().filter(|r| r.dst_fiber == dst) {
+                reg.set_request(r.src_fiber, r.src_wavelength);
+            }
+            let hw_grants = hw.schedule_slot(&mut reg, &ChannelMask::all_free(k)).unwrap();
+            let mut hw_set: Vec<(usize, usize, usize)> = hw_grants
+                .iter()
+                .map(|g| (g.input_fiber, g.input_wavelength, g.output_wavelength))
+                .collect();
+            let mut sw_set: Vec<(usize, usize, usize)> = sw
+                .grants
+                .iter()
+                .filter(|g| g.request.dst_fiber == dst)
+                .map(|g| (g.request.src_fiber, g.request.src_wavelength, g.output_wavelength))
+                .collect();
+            hw_set.sort_unstable();
+            sw_set.sort_unstable();
+            assert_eq!(hw_set, sw_set, "fiber {dst}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! E10: multi-slot connections (paper §V) across the full interconnect —
+//! conservation invariants, occupied-channel correctness, and the
+//! non-disturb vs rearrangement comparison.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdm_optical::core::{Conversion, Policy};
+use wdm_optical::interconnect::{
+    ConnectionRequest, HoldPolicy, Interconnect, InterconnectConfig, RejectReason,
+};
+
+fn random_requests(rng: &mut StdRng, n: usize, k: usize, p: f64, max_dur: u32) -> Vec<ConnectionRequest> {
+    let mut reqs = Vec::new();
+    for fiber in 0..n {
+        for w in 0..k {
+            if rng.gen_bool(p) {
+                reqs.push(ConnectionRequest::burst(
+                    fiber,
+                    w,
+                    rng.gen_range(0..n),
+                    rng.gen_range(1..=max_dur),
+                ));
+            }
+        }
+    }
+    reqs
+}
+
+/// Conservation over a long run: every offered request is granted or
+/// rejected; every grant eventually completes; the active count matches
+/// grants minus completions; the crossbar is physically valid every slot.
+#[test]
+fn long_run_conservation_invariants() {
+    let (n, k) = (6, 8);
+    let conv = Conversion::symmetric_circular(k, 3).unwrap();
+    let mut ic = Interconnect::new(InterconnectConfig::packet_switch(n, conv)).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let (mut offered, mut granted, mut rejected, mut completed) = (0u64, 0u64, 0u64, 0u64);
+    for _ in 0..400 {
+        let reqs = random_requests(&mut rng, n, k, 0.6, 5);
+        offered += reqs.len() as u64;
+        let result = ic.advance_slot(&reqs).unwrap();
+        granted += result.grants.len() as u64;
+        rejected += result.rejections.len() as u64;
+        completed += result.completed as u64;
+        assert_eq!(result.offered(), reqs.len());
+        ic.crossbar().validate(&conv).unwrap();
+        assert_eq!(
+            ic.active_connections() as u64,
+            granted - completed,
+            "active = grants − completions"
+        );
+    }
+    assert_eq!(offered, granted + rejected);
+    // Drain: with no new arrivals everything completes within max duration.
+    for _ in 0..5 {
+        completed += ic.advance_slot(&[]).unwrap().completed as u64;
+    }
+    assert_eq!(ic.active_connections(), 0);
+    assert_eq!(completed, granted);
+}
+
+/// While a burst holds a channel, schedulers must treat it as occupied: no
+/// double-assignment ever happens (checked structurally by the crossbar).
+#[test]
+fn occupied_channels_never_double_assigned() {
+    let (n, k) = (4, 6);
+    let conv = Conversion::symmetric_circular(k, 3).unwrap();
+    let mut ic = Interconnect::new(InterconnectConfig::packet_switch(n, conv)).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..200 {
+        let reqs = random_requests(&mut rng, n, k, 0.8, 8);
+        ic.advance_slot(&reqs).unwrap();
+        // validate() inside the crossbar catches channel reuse; also check
+        // the per-fiber occupancy masks agree with the crossbar state.
+        let xb = ic.crossbar();
+        xb.validate(&conv).unwrap();
+        for fiber in 0..n {
+            let mask = ic.occupied_mask(fiber);
+            for w in 0..k {
+                assert_eq!(xb.driver(fiber, w).is_some(), !mask.is_free(w));
+            }
+        }
+    }
+}
+
+/// Source-busy rejections happen iff the input channel is actually held.
+#[test]
+fn source_busy_accounting() {
+    let conv = Conversion::full(4).unwrap();
+    let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv)).unwrap();
+    ic.advance_slot(&[ConnectionRequest::burst(0, 0, 0, 3)]).unwrap();
+    // Two more slots: the same source channel is busy.
+    for _ in 0..2 {
+        let r = ic.advance_slot(&[ConnectionRequest::packet(0, 0, 1)]).unwrap();
+        assert_eq!(r.rejections.len(), 1);
+        assert_eq!(r.rejections[0].reason, RejectReason::SourceBusy);
+    }
+    // After completion the channel is usable again.
+    let r = ic.advance_slot(&[ConnectionRequest::packet(0, 0, 1)]).unwrap();
+    assert_eq!(r.grants.len(), 1);
+}
+
+/// Rearrangement never carries less traffic than non-disturb on identical
+/// workloads, and never drops an in-flight connection.
+#[test]
+fn rearrangement_dominates_non_disturb() {
+    let (n, k) = (4, 8);
+    let conv = Conversion::symmetric_circular(k, 3).unwrap();
+    for seed in 0..5u64 {
+        let run = |hold: HoldPolicy| {
+            let cfg = InterconnectConfig::packet_switch(n, conv)
+                .with_policy(Policy::Auto)
+                .with_hold(hold);
+            let mut ic = Interconnect::new(cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut granted = 0u64;
+            let mut completed = 0u64;
+            let mut grants_seen = 0u64;
+            for _ in 0..300 {
+                let reqs = random_requests(&mut rng, n, k, 0.5, 6);
+                let r = ic.advance_slot(&reqs).unwrap();
+                granted += r.grants.len() as u64;
+                completed += r.completed as u64;
+                grants_seen += r.grants.len() as u64;
+                ic.crossbar().validate(&conv).unwrap();
+            }
+            // No in-flight connection was ever dropped: grants still active
+            // + completed = all grants.
+            assert_eq!(
+                ic.active_connections() as u64 + completed,
+                grants_seen,
+                "connections conserved"
+            );
+            granted
+        };
+        let nd = run(HoldPolicy::NonDisturb);
+        let ra = run(HoldPolicy::Rearrange);
+        // Rearrangement admits a per-slot superset; trajectories diverge
+        // across slots (different grants change future source-busy
+        // patterns), so allow a 2% tolerance on the aggregate.
+        assert!(
+            ra as f64 >= nd as f64 * 0.98,
+            "seed {seed}: rearrangement ({ra}) must not lose to non-disturb ({nd})"
+        );
+    }
+}
+
+/// Deterministic-duration pipelines fill and drain exactly on schedule.
+#[test]
+fn deterministic_duration_pipeline() {
+    let conv = Conversion::full(4).unwrap();
+    let mut ic = Interconnect::new(InterconnectConfig::packet_switch(1, conv)).unwrap();
+    // Fill all 4 channels with duration-4 bursts, one per slot.
+    for w in 0..4 {
+        let r = ic.advance_slot(&[ConnectionRequest::burst(0, w, 0, 4)]).unwrap();
+        assert_eq!(r.grants.len(), 1, "channel free for wavelength {w}");
+    }
+    assert_eq!(ic.active_connections(), 4);
+    // They complete one per slot, in grant order.
+    for _ in 0..4 {
+        let r = ic.advance_slot(&[]).unwrap();
+        assert_eq!(r.completed, 1);
+    }
+    assert_eq!(ic.active_connections(), 0);
+}

@@ -1,0 +1,97 @@
+//! E1–E4: the paper's worked examples, end to end through the public API
+//! (Figures 2–5 and the §I contention example).
+
+use wdm_optical::core::algorithms::{break_fa_matching, first_available_matching, hopcroft_karp};
+use wdm_optical::core::breaking::break_graph;
+use wdm_optical::core::{Conversion, FiberScheduler, Policy, RequestGraph, RequestVector};
+
+fn paper_requests() -> RequestVector {
+    RequestVector::from_counts(vec![2, 1, 0, 1, 1, 2]).expect("k = 6")
+}
+
+/// Figure 2: conversion graphs for k = 6, d = 3.
+#[test]
+fn figure_2_conversion_graphs() {
+    let circular = Conversion::symmetric_circular(6, 3).unwrap();
+    // λ0 wraps to λ5 under circular conversion…
+    assert!(circular.converts(0, 5));
+    assert!(circular.converts(5, 0));
+    let non_circular = Conversion::non_circular(6, 1, 1).unwrap();
+    // …but not under non-circular conversion.
+    assert!(!non_circular.converts(0, 5));
+    assert!(!non_circular.converts(5, 0));
+    // Interior wavelengths are identical under both.
+    for w in 1..5 {
+        for u in 0..6 {
+            assert_eq!(circular.converts(w, u), non_circular.converts(w, u), "λ{w}→λ{u}");
+        }
+    }
+}
+
+/// Figure 3: request graphs for the vector [2,1,0,1,1,2].
+#[test]
+fn figure_3_request_graphs() {
+    let rv = paper_requests();
+    let g_circ =
+        RequestGraph::new(Conversion::symmetric_circular(6, 3).unwrap(), &rv).unwrap();
+    let g_nc = RequestGraph::new(Conversion::non_circular(6, 1, 1).unwrap(), &rv).unwrap();
+    assert_eq!(g_circ.left_count(), 7);
+    assert_eq!(g_circ.edge_count(), 21, "every request has d = 3 edges");
+    assert_eq!(g_nc.edge_count(), 17, "edge requests lose their wrap edges");
+    // The paper's W() example: W(0) = W(1) = 0, W(2) = 1.
+    assert_eq!(g_circ.wavelength_of(0), 0);
+    assert_eq!(g_circ.wavelength_of(1), 0);
+    assert_eq!(g_circ.wavelength_of(2), 1);
+}
+
+/// Figure 4: both maximum matchings have size 6 — one request must be
+/// rejected because seven requests compete for six channels.
+#[test]
+fn figure_4_maximum_matchings() {
+    let rv = paper_requests();
+    let circular = Conversion::symmetric_circular(6, 3).unwrap();
+    let non_circular = Conversion::non_circular(6, 1, 1).unwrap();
+
+    let g_circ = RequestGraph::new(circular, &rv).unwrap();
+    let m = break_fa_matching(&g_circ);
+    m.validate(&g_circ).unwrap();
+    assert_eq!(m.size(), 6);
+    assert_eq!(hopcroft_karp(&g_circ).size(), 6, "BFA is maximum");
+
+    let g_nc = RequestGraph::new(non_circular, &rv).unwrap();
+    let m = first_available_matching(&g_nc);
+    m.validate(&g_nc).unwrap();
+    assert_eq!(m.size(), 6);
+    assert_eq!(hopcroft_karp(&g_nc).size(), 6, "FA is maximum");
+}
+
+/// Figure 5: breaking at a2–b1 yields a convex reduced graph with monotone
+/// interval endpoints in the rotated vertex order (Lemma 2).
+#[test]
+fn figure_5_breaking() {
+    let g = RequestGraph::new(Conversion::symmetric_circular(6, 3).unwrap(), &paper_requests())
+        .unwrap();
+    let broken = break_graph(&g, 2, 1);
+    assert_eq!(broken.left_map, vec![3, 4, 5, 6, 0, 1]);
+    assert_eq!(broken.right_map, vec![2, 3, 4, 5, 0]);
+    let intervals: Vec<(usize, usize)> = broken.intervals().into_iter().flatten().collect();
+    assert_eq!(intervals.len(), 6, "no vertex is isolated in this example");
+    for w in intervals.windows(2) {
+        assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1, "monotone endpoints");
+    }
+}
+
+/// §I worked example: k = 6, d = 3; requests [0,2,3,0,1,0]. Full-range
+/// grants all six; limited-range can only grant five (λ1/λ2 requests share
+/// four reachable channels).
+#[test]
+fn section_1_motivating_example() {
+    let rv = RequestVector::from_counts(vec![0, 2, 3, 0, 1, 0]).unwrap();
+    let full = FiberScheduler::new(Conversion::full(6).unwrap(), Policy::Auto);
+    assert_eq!(full.schedule(&rv).unwrap().granted(), 6);
+    let limited =
+        FiberScheduler::new(Conversion::symmetric_circular(6, 3).unwrap(), Policy::Auto);
+    let schedule = limited.schedule(&rv).unwrap();
+    assert_eq!(schedule.granted(), 5);
+    assert_eq!(schedule.rejected(), 1);
+}

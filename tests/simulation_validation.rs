@@ -1,0 +1,137 @@
+//! E9 anchors: the simulator is validated against the exact analytical
+//! results for the two closed-form conversion regimes (full-range and no
+//! conversion), and the qualitative orderings the literature establishes
+//! are checked: throughput is monotone in d, and circular conversion
+//! dominates non-circular at equal degree.
+
+use wdm_optical::core::Conversion;
+use wdm_optical::interconnect::InterconnectConfig;
+use wdm_optical::sim::analysis;
+use wdm_optical::sim::engine::{Report, Simulation, SimulationConfig};
+use wdm_optical::sim::traffic::{BernoulliUniform, DurationModel};
+
+fn simulate(n: usize, k: usize, conv: Conversion, p: f64, seed: u64) -> Report {
+    let traffic = BernoulliUniform::new(n, k, p, DurationModel::Deterministic(1));
+    let cfg = SimulationConfig { warmup_slots: 200, measure_slots: 8_000, seed };
+    Simulation::new(InterconnectConfig::packet_switch(n, conv), traffic, cfg)
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn full_conversion_matches_balls_in_bins_analysis() {
+    let (n, k) = (4, 8);
+    for p in [0.3, 0.6, 0.9] {
+        let report = simulate(n, k, Conversion::full(k).unwrap(), p, 1);
+        let sim_tput = report.metrics.throughput_per_slot() / n as f64; // per fiber
+        let exact = analysis::full_conversion_fiber_throughput(n, k, p);
+        let rel = (sim_tput - exact).abs() / exact;
+        assert!(
+            rel < 0.03,
+            "p={p}: simulated {sim_tput:.4} vs exact {exact:.4} ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn no_conversion_matches_per_channel_analysis() {
+    let (n, k) = (4, 8);
+    for p in [0.3, 0.6, 0.9] {
+        let report = simulate(n, k, Conversion::none(k).unwrap(), p, 2);
+        let sim_tput = report.metrics.throughput_per_slot() / n as f64;
+        let exact = analysis::no_conversion_fiber_throughput(n, k, p);
+        let rel = (sim_tput - exact).abs() / exact;
+        assert!(
+            rel < 0.03,
+            "p={p}: simulated {sim_tput:.4} vs exact {exact:.4} ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+/// The limited-range (non-circular) regime also has an exact analysis in
+/// this repository — the deadline-queue DP of `analysis` — and the full
+/// interconnect simulation must match it too.
+#[test]
+fn limited_non_circular_matches_deadline_queue_analysis() {
+    let (n, k) = (4, 8);
+    for p in [0.4, 0.8, 1.0] {
+        let report = simulate(n, k, Conversion::non_circular(k, 1, 1).unwrap(), p, 9);
+        let sim_tput = report.metrics.throughput_per_slot() / n as f64;
+        let exact = analysis::limited_non_circular_fiber_throughput(n, k, p, 1, 1);
+        let rel = (sim_tput - exact).abs() / exact;
+        assert!(
+            rel < 0.03,
+            "p={p}: simulated {sim_tput:.4} vs exact {exact:.4} ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn throughput_is_monotone_in_conversion_degree() {
+    let (n, k) = (4, 8);
+    let p = 0.95;
+    let mut last = 0.0f64;
+    for conv in [
+        Conversion::none(k).unwrap(),
+        Conversion::symmetric_circular(k, 3).unwrap(),
+        Conversion::symmetric_circular(k, 5).unwrap(),
+        Conversion::full(k).unwrap(),
+    ] {
+        let tput = simulate(n, k, conv, p, 3).metrics.throughput_per_slot();
+        assert!(
+            tput >= last - 0.05,
+            "degree {} regressed: {tput} < {last}",
+            conv.degree()
+        );
+        last = tput;
+    }
+}
+
+#[test]
+fn limited_range_lies_between_the_extremes() {
+    let (n, k) = (4, 8);
+    let p = 0.9;
+    let d3 = simulate(n, k, Conversion::symmetric_circular(k, 3).unwrap(), p, 4)
+        .metrics
+        .throughput_per_slot() / n as f64;
+    let lo = analysis::no_conversion_fiber_throughput(n, k, p);
+    let hi = analysis::full_conversion_fiber_throughput(n, k, p);
+    assert!(d3 > lo && d3 < hi + 0.05, "d=3 throughput {d3} outside ({lo}, {hi})");
+    // The headline claim (per [11],[13]): d = 3 recovers most of the gap.
+    let recovered = (d3 - lo) / (hi - lo);
+    assert!(recovered > 0.6, "d=3 recovered only {:.0}%", recovered * 100.0);
+}
+
+#[test]
+fn circular_dominates_non_circular_at_equal_degree() {
+    let (n, k) = (4, 8);
+    let p = 0.95;
+    let circ = simulate(n, k, Conversion::symmetric_circular(k, 3).unwrap(), p, 5)
+        .metrics
+        .throughput_per_slot();
+    let non_circ = simulate(n, k, Conversion::symmetric_non_circular(k, 3).unwrap(), p, 5)
+        .metrics
+        .throughput_per_slot();
+    // Circular conversion strictly contains the non-circular edge set.
+    assert!(
+        circ >= non_circ - 0.05,
+        "circular {circ} vs non-circular {non_circ}"
+    );
+}
+
+#[test]
+fn loss_grows_with_load() {
+    let (n, k) = (4, 8);
+    let conv = Conversion::symmetric_circular(k, 3).unwrap();
+    let mut last = -1.0f64;
+    for p in [0.2, 0.5, 0.8, 1.0] {
+        let loss = simulate(n, k, conv, p, 6).loss_probability();
+        assert!(loss >= last - 0.005, "loss not monotone at p={p}");
+        last = loss;
+    }
+    assert!(last > 0.0, "full load must produce losses");
+}
