@@ -8,6 +8,8 @@
 //!   scheduler computing the identical schedule;
 //! * `ablation_policy` — exact BFA vs the O(k) approximation at equal k.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wdm_bench::{bench_rng, random_request_vector};
@@ -30,10 +32,9 @@ fn bench_break_choice(c: &mut Criterion) {
     let mask = ChannelMask::all_free(K);
     let workloads = inputs();
     let mut group = c.benchmark_group("ablation_break_choice");
-    for (label, choice) in [
-        ("first_request", BreakChoice::FirstRequest),
-        ("densest", BreakChoice::DensestWavelength),
-    ] {
+    for (label, choice) in
+        [("first_request", BreakChoice::FirstRequest), ("densest", BreakChoice::DensestWavelength)]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(label), &workloads, |b, ws| {
             let mut i = 0usize;
             b.iter(|| {
@@ -50,10 +51,8 @@ fn bench_representation(c: &mut Criterion) {
     let conv = Conversion::symmetric_circular(K, 3).expect("valid");
     let mask = ChannelMask::all_free(K);
     let workloads = inputs();
-    let graphs: Vec<RequestGraph> = workloads
-        .iter()
-        .map(|rv| RequestGraph::new(conv, rv).expect("valid"))
-        .collect();
+    let graphs: Vec<RequestGraph> =
+        workloads.iter().map(|rv| RequestGraph::new(conv, rv).expect("valid")).collect();
     let mut group = c.benchmark_group("ablation_representation");
     group.bench_function("compact_vector", |b| {
         let mut i = 0usize;

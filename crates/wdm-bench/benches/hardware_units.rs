@@ -3,6 +3,8 @@
 //! k for FA, d·(k−1)+1 sequential / k−1+⌈log2 d⌉ parallel for BFA — and
 //! asserted in the unit tests; this bench tracks the simulation cost).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wdm_bench::{bench_rng, random_request_vector};
@@ -18,8 +20,7 @@ fn bench_units(c: &mut Criterion) {
         let unit = FirstAvailableUnit::new(conv).expect("non-circular");
         let mask = ChannelMask::all_free(k);
         let mut rng = bench_rng(k as u64);
-        let inputs: Vec<_> =
-            (0..32).map(|_| random_request_vector(&mut rng, 8, k, 0.8)).collect();
+        let inputs: Vec<_> = (0..32).map(|_| random_request_vector(&mut rng, 8, k, 0.8)).collect();
         group.bench_with_input(BenchmarkId::new("k", k), &inputs, |b, inputs| {
             let mut i = 0usize;
             b.iter(|| {
@@ -37,8 +38,7 @@ fn bench_units(c: &mut Criterion) {
         let unit = BreakFaUnit::new(conv).expect("circular");
         let mask = ChannelMask::all_free(k);
         let mut rng = bench_rng(k as u64);
-        let inputs: Vec<_> =
-            (0..32).map(|_| random_request_vector(&mut rng, 8, k, 0.8)).collect();
+        let inputs: Vec<_> = (0..32).map(|_| random_request_vector(&mut rng, 8, k, 0.8)).collect();
         group.bench_with_input(BenchmarkId::new("k", k), &inputs, |b, inputs| {
             let mut i = 0usize;
             b.iter(|| {

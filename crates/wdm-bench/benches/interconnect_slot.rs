@@ -1,6 +1,8 @@
 //! E8 — whole-interconnect slot latency: distributed O(dk) scheduling vs
 //! the Hopcroft–Karp baseline, sequential vs threaded, as N grows.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wdm_bench::bench_rng;

@@ -12,6 +12,8 @@
 //! growth rates (linear in k for FA/BFA, superlinear for HK, flat in N)
 //! reproduce the paper's Table-less complexity claims.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use wdm_bench::{bench_rng, random_request_vector};

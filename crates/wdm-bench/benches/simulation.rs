@@ -2,6 +2,8 @@
 //! interconnect simulation at the configurations the throughput study runs,
 //! so the study's runtime is predictable and regressions are caught.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use wdm_core::Conversion;
@@ -24,17 +26,13 @@ fn bench_uniform(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    let traffic =
-                        BernoulliUniform::new(n, k, 0.8, DurationModel::Deterministic(1));
+                    let traffic = BernoulliUniform::new(n, k, 0.8, DurationModel::Deterministic(1));
                     let cfg = SimulationConfig { warmup_slots: 0, measure_slots: SLOTS, seed };
-                    let report = Simulation::new(
-                        InterconnectConfig::packet_switch(n, conv),
-                        traffic,
-                        cfg,
-                    )
-                    .expect("valid")
-                    .run()
-                    .expect("runs");
+                    let report =
+                        Simulation::new(InterconnectConfig::packet_switch(n, conv), traffic, cfg)
+                            .expect("valid")
+                            .run()
+                            .expect("runs");
                     black_box(report.metrics.granted())
                 });
             },
@@ -66,14 +64,11 @@ fn bench_bursty(c: &mut Criterion) {
                         DurationModel::Deterministic(1),
                     );
                     let cfg = SimulationConfig { warmup_slots: 0, measure_slots: SLOTS, seed };
-                    let report = Simulation::new(
-                        InterconnectConfig::packet_switch(n, conv),
-                        traffic,
-                        cfg,
-                    )
-                    .expect("valid")
-                    .run()
-                    .expect("runs");
+                    let report =
+                        Simulation::new(InterconnectConfig::packet_switch(n, conv), traffic, cfg)
+                            .expect("valid")
+                            .run()
+                            .expect("runs");
                     black_box(report.metrics.granted())
                 });
             },

@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,8 +26,8 @@ pub fn random_request_vector(rng: &mut StdRng, n: usize, k: usize, p: f64) -> Re
     let mut rv = RequestVector::new(k);
     for _ in 0..n {
         for w in 0..k {
-            if rng.gen_bool(p / n as f64) {
-                rv.add(w).expect("wavelength in range");
+            if rng.gen_bool(p / n as f64) && rv.add(w).is_err() {
+                unreachable!("wavelength in range");
             }
         }
     }
@@ -36,8 +37,11 @@ pub fn random_request_vector(rng: &mut StdRng, n: usize, k: usize, p: f64) -> Re
 /// A random channel mask with each channel independently occupied with
 /// probability `p_occupied`.
 pub fn random_mask(rng: &mut StdRng, k: usize, p_occupied: f64) -> ChannelMask {
-    ChannelMask::from_flags((0..k).map(|_| !rng.gen_bool(p_occupied)).collect())
-        .expect("k >= 1")
+    let Ok(mask) = ChannelMask::from_flags((0..k).map(|_| !rng.gen_bool(p_occupied)).collect())
+    else {
+        unreachable!("k >= 1")
+    };
+    mask
 }
 
 #[cfg(test)]
@@ -54,9 +58,8 @@ mod tests {
     #[test]
     fn load_scales_with_p() {
         let mut rng = bench_rng(1);
-        let total: usize = (0..200)
-            .map(|_| random_request_vector(&mut rng, 4, 32, 0.8).total())
-            .sum();
+        let total: usize =
+            (0..200).map(|_| random_request_vector(&mut rng, 4, 32, 0.8).total()).sum();
         let expect = 200.0 * 0.8 * 32.0;
         assert!((total as f64) > 0.8 * expect && (total as f64) < 1.2 * expect);
     }

@@ -58,16 +58,18 @@ pub fn approx_schedule(
     if conv.kind() != ConversionKind::Circular {
         return Err(Error::UnsupportedConversion {
             algorithm: "single-break approximation",
-            requires: "circular conversion (First Available is already exact and O(k) for non-circular)",
+            requires:
+                "circular conversion (First Available is already exact and O(k) for non-circular)",
         });
     }
     let k = conv.k();
 
     // The breaking wavelength: the first wavelength with pending requests
     // and a free adjacent channel.
-    let breaking = requests.iter_nonzero().map(|(w, _)| w).find(|&w| {
-        conv.adjacency(w).iter(k).any(|u| mask.is_free(u))
-    });
+    let breaking = requests
+        .iter_nonzero()
+        .map(|(w, _)| w)
+        .find(|&w| conv.adjacency(w).iter(k).any(|u| mask.is_free(u)));
     let Some(w_i) = breaking else {
         return Ok(ApproxOutcome { assignments: Vec::new(), delta: 0, bound: 0 });
     };
@@ -75,22 +77,38 @@ pub fn approx_schedule(
     // Choose the free adjacent channel minimizing the Theorem 3 bound.
     // δ(u) = e + t + 1 where u = w_i + t; bound = max(e+t, f−t).
     let (e, f) = (conv.e() as isize, conv.f() as isize);
-    let (u, delta, bound) = conv
+    let best = conv
         .adjacency(w_i)
         .iter(k)
         .filter(|&u| mask.is_free(u))
-        .map(|u| {
-            let t = conv.signed_offset(w_i, u).expect("u is adjacent");
+        .filter_map(|u| {
+            let t = conv.signed_offset(w_i, u)?;
             let delta = (e + t + 1) as usize;
             let bound = (e + t).max(f - t) as usize;
-            (u, delta, bound)
+            Some((u, delta, bound))
         })
-        .min_by_key(|&(_, _, bound)| bound)
-        .expect("w_i has a free adjacent channel");
+        .min_by_key(|&(_, _, bound)| bound);
+    let Some((u, delta, bound)) = best else {
+        unreachable!("w_i was chosen to have a free adjacent channel")
+    };
 
     let mut assignments = single_break(conv, requests, mask, w_i, u);
     assignments.push(Assignment { input: w_i, output: u });
     Ok(ApproxOutcome { assignments, delta, bound })
+}
+
+/// [`approx_schedule`] with its certificate: the returned schedule is
+/// verified feasible and within the reported [`ApproxOutcome::bound`] of the
+/// maximum matching (Theorem 3 / Corollary 1), by comparison against a
+/// Hopcroft–Karp run.
+pub fn approx_schedule_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+) -> Result<ApproxOutcome, Error> {
+    let out = approx_schedule(conv, requests, mask)?;
+    crate::verify::certify_assignments_within(conv, requests, mask, &out.assignments, out.bound)?;
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -126,9 +126,7 @@ fn choose_breaking_wavelength(
         .filter(|&(w, _)| conv.adjacency(w).iter(k).any(|u| mask.is_free(u)));
     match choice {
         BreakChoice::FirstRequest => eligible.map(|(w, _)| w).next(),
-        BreakChoice::DensestWavelength => {
-            eligible.max_by_key(|&(_, c)| c).map(|(w, _)| w)
-        }
+        BreakChoice::DensestWavelength => eligible.max_by_key(|&(_, c)| c).map(|(w, _)| w),
     }
 }
 
@@ -192,10 +190,7 @@ pub(crate) fn single_break(
             continue;
         }
         let r_start = (span.start() + k - u - 1) % k;
-        debug_assert!(
-            r_start + span.len() < k,
-            "reduced span must avoid the removed channel"
-        );
+        debug_assert!(r_start + span.len() < k, "reduced span must avoid the removed channel");
         let begin = rot_prefix[r_start];
         let end_excl = rot_prefix[r_start + span.len()];
         if end_excl > begin {
@@ -262,12 +257,16 @@ pub fn break_fa_matching(graph: &RequestGraph) -> Matching {
         let inst = ConvexInstance::from_broken(&broken);
         let match_of_right = first_available(&inst);
         let mut candidate = Matching::empty(nl, nr);
-        candidate.add(i, p).expect("breaking edge endpoints are unused");
+        if candidate.add(i, p).is_err() {
+            unreachable!("breaking edge endpoints are unused");
+        }
         for (new_p, &new_j) in match_of_right.iter().enumerate() {
             if let Some(new_j) = new_j {
-                candidate
-                    .add(broken.left_map[new_j], broken.right_map[new_p])
-                    .expect("reduced-graph matches are vertex-disjoint from the breaking edge");
+                if candidate.add(broken.left_map[new_j], broken.right_map[new_p]).is_err() {
+                    unreachable!(
+                        "reduced-graph matches are vertex-disjoint from the breaking edge"
+                    );
+                }
             }
         }
         if candidate.size() > best.size() {
@@ -275,6 +274,40 @@ pub fn break_fa_matching(graph: &RequestGraph) -> Matching {
         }
     }
     best
+}
+
+/// [`break_fa_schedule`] with its certificate: the returned schedule is
+/// verified feasible and a maximum matching of the slot's request graph
+/// (Theorem 2).
+pub fn break_fa_schedule_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+) -> Result<Vec<Assignment>, Error> {
+    break_fa_schedule_with_checked(conv, requests, mask, BreakChoice::default())
+}
+
+/// [`break_fa_schedule_with`] with the Theorem 2 certificate.
+pub fn break_fa_schedule_with_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    choice: BreakChoice,
+) -> Result<Vec<Assignment>, Error> {
+    let assignments = break_fa_schedule_with(conv, requests, mask, choice)?;
+    crate::verify::certify_assignments(conv, requests, mask, &assignments)?;
+    Ok(assignments)
+}
+
+/// [`break_fa_matching`] with its certificate: the returned matching is
+/// verified valid, maximum (Theorem 2), and — the extra structure breaking
+/// buys — crossing-free (Lemma 1).
+pub fn break_fa_matching_checked(graph: &RequestGraph) -> Result<Matching, Error> {
+    let m = break_fa_matching(graph);
+    let cert = crate::verify::MatchingCertificate::new(graph, &m);
+    cert.check()?;
+    cert.check_crossing_free()?;
+    Ok(m)
 }
 
 #[cfg(test)]
@@ -403,16 +436,15 @@ mod tests {
     #[test]
     fn empty_requests() {
         let conv = paper_conv();
-        let a = break_fa_schedule(&conv, &RequestVector::new(6), &ChannelMask::all_free(6))
-            .unwrap();
+        let a =
+            break_fa_schedule(&conv, &RequestVector::new(6), &ChannelMask::all_free(6)).unwrap();
         assert!(a.is_empty());
     }
 
     #[test]
     fn fully_occupied_fiber() {
         let conv = paper_conv();
-        let a = break_fa_schedule(&conv, &paper_requests(), &ChannelMask::all_occupied(6))
-            .unwrap();
+        let a = break_fa_schedule(&conv, &paper_requests(), &ChannelMask::all_occupied(6)).unwrap();
         assert!(a.is_empty());
     }
 
@@ -435,8 +467,7 @@ mod tests {
         let conv = paper_conv();
         let rv = paper_requests();
         let mask = ChannelMask::all_free(6);
-        let first =
-            break_fa_schedule_with(&conv, &rv, &mask, BreakChoice::FirstRequest).unwrap();
+        let first = break_fa_schedule_with(&conv, &rv, &mask, BreakChoice::FirstRequest).unwrap();
         let densest =
             break_fa_schedule_with(&conv, &rv, &mask, BreakChoice::DensestWavelength).unwrap();
         assert_eq!(first.len(), densest.len());

@@ -37,18 +37,13 @@ impl ConvexInstance {
     /// when every adjacency set is contiguous in position order (always the
     /// case for non-circular conversion).
     pub fn from_graph(graph: &RequestGraph) -> ConvexInstance {
-        let intervals = (0..graph.left_count())
-            .map(|j| graph.position_interval(j))
-            .collect();
+        let intervals = (0..graph.left_count()).map(|j| graph.position_interval(j)).collect();
         ConvexInstance { intervals, right_count: graph.right_count() }
     }
 
     /// Extracts the interval form of a broken (reduced) graph (Lemma 2).
     pub fn from_broken(broken: &crate::breaking::BrokenGraph) -> ConvexInstance {
-        ConvexInstance {
-            intervals: broken.intervals(),
-            right_count: broken.right_count(),
-        }
+        ConvexInstance { intervals: broken.intervals(), right_count: broken.right_count() }
     }
 
     /// Whether both interval endpoints are non-decreasing over the
@@ -96,10 +91,11 @@ pub fn first_available(inst: &ConvexInstance) -> Vec<Option<usize>> {
         }
         while let Some(&j) = active.front() {
             // An interval that ended before p can never match again.
-            if inst.intervals[j].expect("active vertices have intervals").1 < p {
-                active.pop_front();
-            } else {
-                break;
+            match inst.intervals[j] {
+                Some((_, end)) if end >= p => break,
+                _ => {
+                    active.pop_front();
+                }
             }
         }
         if let Some(j) = active.pop_front() {
@@ -117,8 +113,45 @@ pub fn first_available(inst: &ConvexInstance) -> Vec<Option<usize>> {
 pub fn first_available_matching(graph: &RequestGraph) -> Matching {
     let inst = ConvexInstance::from_graph(graph);
     let match_of_right = first_available(&inst);
-    Matching::from_right_assignment(graph.left_count(), match_of_right)
-        .expect("First Available produces a consistent assignment")
+    match Matching::from_right_assignment(graph.left_count(), match_of_right) {
+        Ok(m) => m,
+        Err(_) => unreachable!("First Available produces a consistent assignment"),
+    }
+}
+
+/// [`first_available`] with its certificate: checks the convexity and
+/// monotone-endpoint preconditions of Theorem 1 up front and certifies the
+/// output as a maximum matching of the interval instance before returning
+/// it.
+pub fn first_available_checked(inst: &ConvexInstance) -> Result<Vec<Option<usize>>, Error> {
+    crate::verify::check_convex(inst)?;
+    crate::verify::check_monotone_endpoints(inst)?;
+    let match_of_right = first_available(inst);
+    crate::verify::check_interval_matching(inst, &match_of_right)?;
+    Ok(match_of_right)
+}
+
+/// [`first_available_matching`] with its certificate: the returned matching
+/// is verified valid and maximum (Theorem 1) against the explicit graph.
+pub fn first_available_matching_checked(graph: &RequestGraph) -> Result<Matching, Error> {
+    for j in 0..graph.left_count() {
+        graph.position_interval_checked(j)?;
+    }
+    let m = first_available_matching(graph);
+    crate::verify::MatchingCertificate::new(graph, &m).check()?;
+    Ok(m)
+}
+
+/// [`fa_schedule`] with its certificate: the returned schedule is verified
+/// feasible and a maximum matching of the slot's request graph (Theorem 1).
+pub fn fa_schedule_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+) -> Result<Vec<Assignment>, Error> {
+    let assignments = fa_schedule(conv, requests, mask)?;
+    crate::verify::certify_assignments(conv, requests, mask, &assignments)?;
+    Ok(assignments)
 }
 
 /// The `O(k)` compact First Available scheduler (paper Table 2) for
@@ -256,10 +289,7 @@ mod tests {
         let conv = Conversion::symmetric_circular(6, 3).unwrap();
         let rv = RequestVector::new(6);
         let mask = ChannelMask::all_free(6);
-        assert!(matches!(
-            fa_schedule(&conv, &rv, &mask),
-            Err(Error::UnsupportedConversion { .. })
-        ));
+        assert!(matches!(fa_schedule(&conv, &rv, &mask), Err(Error::UnsupportedConversion { .. })));
     }
 
     #[test]

@@ -44,6 +44,18 @@ pub fn full_range_schedule(
     Ok(assignments)
 }
 
+/// [`full_range_schedule`] with its certificate: the returned schedule is
+/// verified feasible and of maximum size `min(requests, free channels)`.
+pub fn full_range_schedule_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+) -> Result<Vec<Assignment>, Error> {
+    let assignments = full_range_schedule(conv, requests, mask)?;
+    crate::verify::certify_assignments(conv, requests, mask, &assignments)?;
+    Ok(assignments)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,18 +18,20 @@ use super::first_available::ConvexInstance;
 /// right vertices.
 pub fn glover(inst: &ConvexInstance) -> Vec<Option<usize>> {
     // Left vertices sorted by interval begin (stable: ties keep index order).
-    let mut by_begin: Vec<usize> = (0..inst.intervals.len())
-        .filter(|&j| inst.intervals[j].is_some())
+    let mut by_begin: Vec<(usize, usize, usize)> = inst
+        .intervals
+        .iter()
+        .enumerate()
+        .filter_map(|(j, iv)| iv.map(|(begin, end)| (begin, end, j)))
         .collect();
-    by_begin.sort_by_key(|&j| inst.intervals[j].expect("filtered").0);
+    by_begin.sort_by_key(|&(begin, _, j)| (begin, j));
 
     let mut match_of_right = vec![None; inst.right_count];
     let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new(); // (end, left)
     let mut next = 0usize;
     for (p, slot) in match_of_right.iter_mut().enumerate() {
         while next < by_begin.len() {
-            let j = by_begin[next];
-            let (begin, end) = inst.intervals[j].expect("filtered");
+            let (begin, end, j) = by_begin[next];
             if begin <= p {
                 heap.push(Reverse((end, j)));
                 next += 1;
@@ -49,6 +51,18 @@ pub fn glover(inst: &ConvexInstance) -> Vec<Option<usize>> {
         }
     }
     match_of_right
+}
+
+/// [`glover`] with its certificate: checks that the instance is well-formed
+/// convex and that the output is a maximum matching of it. Unlike
+/// [`super::first_available::first_available_checked`] this does not require
+/// monotone endpoints — Glover's min-`END` rule is exact for any convex
+/// instance.
+pub fn glover_checked(inst: &ConvexInstance) -> Result<Vec<Option<usize>>, crate::error::Error> {
+    crate::verify::check_convex(inst)?;
+    let match_of_right = glover(inst);
+    crate::verify::check_interval_matching(inst, &match_of_right)?;
+    Ok(match_of_right)
 }
 
 #[cfg(test)]

@@ -64,8 +64,7 @@ pub fn hopcroft_karp(graph: &RequestGraph) -> Matching {
                 let advance = match match_right[p] {
                     None => true,
                     Some(j2) => {
-                        dist[j2] == dist[j] + 1
-                            && dfs(graph, j2, dist, match_left, match_right)
+                        dist[j2] == dist[j] + 1 && dfs(graph, j2, dist, match_left, match_right)
                     }
                 };
                 if advance {
@@ -84,8 +83,19 @@ pub fn hopcroft_karp(graph: &RequestGraph) -> Matching {
         }
     }
 
-    Matching::from_right_assignment(nl, match_right)
-        .expect("Hopcroft-Karp produces a consistent matching")
+    match Matching::from_right_assignment(nl, match_right) {
+        Ok(m) => m,
+        Err(_) => unreachable!("Hopcroft-Karp produces a consistent matching"),
+    }
+}
+
+/// [`hopcroft_karp`] with its certificate: the returned matching is verified
+/// valid and maximum (no augmenting path, Berge's theorem) before being
+/// returned.
+pub fn hopcroft_karp_checked(graph: &RequestGraph) -> Result<Matching, crate::error::Error> {
+    let m = hopcroft_karp(graph);
+    crate::verify::MatchingCertificate::new(graph, &m).check()?;
+    Ok(m)
 }
 
 #[cfg(test)]

@@ -29,10 +29,11 @@ pub fn kuhn(graph: &RequestGraph) -> Matching {
                 continue;
             }
             visited[p] = stamp;
-            let taken = match_of_right[p];
-            if taken.is_none()
-                || try_augment(graph, taken.expect("checked"), stamp, visited, match_of_right)
-            {
+            let advance = match match_of_right[p] {
+                None => true,
+                Some(j2) => try_augment(graph, j2, stamp, visited, match_of_right),
+            };
+            if advance {
                 match_of_right[p] = Some(j);
                 return true;
             }
@@ -43,8 +44,18 @@ pub fn kuhn(graph: &RequestGraph) -> Matching {
     for j in 0..nl {
         try_augment(graph, j, j, &mut visited, &mut match_of_right);
     }
-    Matching::from_right_assignment(nl, match_of_right)
-        .expect("augmenting paths produce a consistent matching")
+    match Matching::from_right_assignment(nl, match_of_right) {
+        Ok(m) => m,
+        Err(_) => unreachable!("augmenting paths produce a consistent matching"),
+    }
+}
+
+/// [`kuhn`] with its certificate: the returned matching is verified valid
+/// and maximum (no augmenting path, Berge's theorem).
+pub fn kuhn_checked(graph: &RequestGraph) -> Result<Matching, crate::error::Error> {
+    let m = kuhn(graph);
+    crate::verify::MatchingCertificate::new(graph, &m).check()?;
+    Ok(m)
 }
 
 #[cfg(test)]

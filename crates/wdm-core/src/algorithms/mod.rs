@@ -23,15 +23,19 @@ pub mod glover;
 pub mod hopcroft_karp;
 pub mod kuhn;
 
-pub use approx::{approx_schedule, ApproxOutcome};
-pub use break_fa::{break_fa_matching, break_fa_schedule, break_fa_schedule_with, BreakChoice};
-pub use first_available::{
-    fa_schedule, first_available, first_available_matching, ConvexInstance,
+pub use approx::{approx_schedule, approx_schedule_checked, ApproxOutcome};
+pub use break_fa::{
+    break_fa_matching, break_fa_matching_checked, break_fa_schedule, break_fa_schedule_checked,
+    break_fa_schedule_with, break_fa_schedule_with_checked, BreakChoice,
 };
-pub use full_range::full_range_schedule;
-pub use glover::glover;
-pub use hopcroft_karp::hopcroft_karp;
-pub use kuhn::kuhn;
+pub use first_available::{
+    fa_schedule, fa_schedule_checked, first_available, first_available_checked,
+    first_available_matching, first_available_matching_checked, ConvexInstance,
+};
+pub use full_range::{full_range_schedule, full_range_schedule_checked};
+pub use glover::{glover, glover_checked};
+pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_checked};
+pub use kuhn::{kuhn, kuhn_checked};
 
 use crate::conversion::Conversion;
 use crate::error::Error;
@@ -113,10 +117,8 @@ mod tests {
         let conv = Conversion::full(4).unwrap();
         let rv = RequestVector::from_counts(vec![2, 0, 0, 0]).unwrap();
         let mask = ChannelMask::all_free(4);
-        let assignments = vec![
-            Assignment { input: 0, output: 1 },
-            Assignment { input: 0, output: 1 },
-        ];
+        let assignments =
+            vec![Assignment { input: 0, output: 1 }, Assignment { input: 0, output: 1 }];
         assert!(validate_assignments(&conv, &rv, &mask, &assignments).is_err());
     }
 
@@ -125,10 +127,8 @@ mod tests {
         let conv = Conversion::full(4).unwrap();
         let rv = RequestVector::from_counts(vec![1, 0, 0, 0]).unwrap();
         let mask = ChannelMask::all_free(4);
-        let assignments = vec![
-            Assignment { input: 0, output: 1 },
-            Assignment { input: 0, output: 2 },
-        ];
+        let assignments =
+            vec![Assignment { input: 0, output: 1 }, Assignment { input: 0, output: 2 }];
         assert!(validate_assignments(&conv, &rv, &mask, &assignments).is_err());
     }
 
@@ -158,19 +158,11 @@ mod tests {
         let conv = Conversion::full(4).unwrap();
         let rv = RequestVector::from_counts(vec![1, 0, 0, 0]).unwrap();
         let mask = ChannelMask::all_free(4);
-        assert!(validate_assignments(
-            &conv,
-            &rv,
-            &mask,
-            &[Assignment { input: 4, output: 0 }]
-        )
-        .is_err());
-        assert!(validate_assignments(
-            &conv,
-            &rv,
-            &mask,
-            &[Assignment { input: 0, output: 4 }]
-        )
-        .is_err());
+        assert!(
+            validate_assignments(&conv, &rv, &mask, &[Assignment { input: 4, output: 0 }]).is_err()
+        );
+        assert!(
+            validate_assignments(&conv, &rv, &mask, &[Assignment { input: 0, output: 4 }]).is_err()
+        );
     }
 }

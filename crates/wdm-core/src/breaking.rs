@@ -18,6 +18,7 @@
 
 use crate::conversion::Conversion;
 use crate::crossing::{crosses, EdgeRef};
+use crate::error::Error;
 use crate::graph::RequestGraph;
 use crate::interval::Span;
 
@@ -50,18 +51,16 @@ pub fn reduced_span(
 ) -> Span {
     let k = conv.k();
     let (e, f) = (conv.e() as isize, conv.f() as isize);
-    let t = conv
-        .signed_offset(w_i, u)
-        .expect("breaking edge must be conversion-feasible");
+    let Some(t) = conv.signed_offset(w_i, u) else {
+        unreachable!("breaking edge ({w_i}, {u}) must be conversion-feasible")
+    };
 
     if w_j == w_i {
         match same_order {
             // j > i: adjacency becomes [u+1, W(i)+f].
             SameWavelengthOrder::After => Span::on_ring(u as isize + 1, (f - t) as usize, k),
             // j < i: adjacency becomes [W(i)−e, u−1].
-            SameWavelengthOrder::Before => {
-                Span::on_ring(w_i as isize - e, (e + t) as usize, k)
-            }
+            SameWavelengthOrder::Before => Span::on_ring(w_i as isize - e, (e + t) as usize, k),
         }
     } else {
         let sm = ((w_i + k - w_j) % k) as isize; // clockwise distance below W(i)
@@ -120,6 +119,30 @@ impl BrokenGraph {
                 let (&first, &last) = (a.first()?, a.last()?);
                 debug_assert_eq!(last - first + 1, a.len(), "reduced adjacency not an interval");
                 Some((first, last))
+            })
+            .collect()
+    }
+
+    /// Like [`Self::intervals`], but reports a non-contiguous reduced
+    /// adjacency as [`Error::AdjacencyNotContiguous`] — the checked form of
+    /// the Lemma 2 invariant, used by the certificate layer
+    /// ([`crate::verify::check_broken_invariants`]).
+    pub fn intervals_checked(&self) -> Result<Vec<Option<(usize, usize)>>, Error> {
+        self.adj
+            .iter()
+            .enumerate()
+            .map(|(j, a)| {
+                let (Some(&first), Some(&last)) = (a.first(), a.last()) else {
+                    return Ok(None);
+                };
+                if last - first + 1 != a.len() {
+                    return Err(Error::AdjacencyNotContiguous {
+                        left: j,
+                        expected: last - first + 1,
+                        actual: a.len(),
+                    });
+                }
+                Ok(Some((first, last)))
             })
             .collect()
     }
@@ -259,14 +282,14 @@ mod tests {
                 .filter(|&v| v != u)
                 .filter(|&v| !crosses(conv, EdgeRef::new(j_idx, w_j, v), breaking))
                 .collect();
-            let compact: Vec<usize> =
-                reduced_span(conv, w_i, u, w_j, order).iter(k).collect();
+            let compact: Vec<usize> = reduced_span(conv, w_i, u, w_j, order).iter(k).collect();
             let mut explicit_sorted = explicit.clone();
             explicit_sorted.sort_unstable();
             let mut compact_sorted = compact.clone();
             compact_sorted.sort_unstable();
             assert_eq!(
-                explicit_sorted, compact_sorted,
+                explicit_sorted,
+                compact_sorted,
                 "k={k} e={} f={} w_i={w_i} u={u} w_j={w_j} order={order:?}",
                 conv.e(),
                 conv.f()
@@ -318,15 +341,8 @@ mod tests {
         let broken = break_graph(&g, 0, 1);
         let a2_new = broken.left_map.iter().position(|&j| j == 2).unwrap();
         let b0_new_pos = broken.right_map.iter().position(|&q| q == 0).unwrap();
-        assert!(
-            !broken.adj[a2_new].contains(&b0_new_pos),
-            "crossing edge a2–b0 must be deleted"
-        );
+        assert!(!broken.adj[a2_new].contains(&b0_new_pos), "crossing edge a2–b0 must be deleted");
         // Sanity: the crossing predicate agrees.
-        assert!(crosses(
-            &conv,
-            EdgeRef::new(2, 1, 0),
-            EdgeRef::new(0, 0, 1)
-        ));
+        assert!(crosses(&conv, EdgeRef::new(2, 1, 0), EdgeRef::new(0, 0, 1)));
     }
 }

@@ -325,10 +325,7 @@ mod tests {
 
     #[test]
     fn degree_too_large_rejected() {
-        assert_eq!(
-            Conversion::circular(6, 3, 3),
-            Err(Error::DegreeTooLarge { e: 3, f: 3, k: 6 })
-        );
+        assert_eq!(Conversion::circular(6, 3, 3), Err(Error::DegreeTooLarge { e: 3, f: 3, k: 6 }));
         assert_eq!(
             Conversion::non_circular(4, 2, 2),
             Err(Error::DegreeTooLarge { e: 2, f: 2, k: 4 })
@@ -345,10 +342,7 @@ mod tests {
 
     #[test]
     fn even_symmetric_degree_rejected() {
-        assert_eq!(
-            Conversion::symmetric_circular(8, 4),
-            Err(Error::DegreeNotOdd { degree: 4 })
-        );
+        assert_eq!(Conversion::symmetric_circular(8, 4), Err(Error::DegreeNotOdd { degree: 4 }));
         assert_eq!(Conversion::symmetric_circular(8, 0), Err(Error::ZeroDegree));
     }
 

@@ -69,9 +69,9 @@ pub fn crosses(conv: &Conversion, ajv: EdgeRef, aiu: EdgeRef) -> bool {
     let (e, f) = (conv.e() as isize, conv.f() as isize);
     let (w_j, v) = (ajv.left_wavelength, ajv.output_wavelength);
     let (w_i, u) = (aiu.left_wavelength, aiu.output_wavelength);
-    let t = conv
-        .signed_offset(w_i, u)
-        .expect("breaking edge must be conversion-feasible");
+    let Some(t) = conv.signed_offset(w_i, u) else {
+        unreachable!("breaking edge must be conversion-feasible")
+    };
     debug_assert!(
         conv.signed_offset(w_j, v).is_some(),
         "candidate edge must be conversion-feasible"
@@ -148,8 +148,9 @@ pub fn uncross(
             return Ok(current);
         };
         // Replace (a_i b_u, a_j b_v) with (a_i b_v, a_j b_u). Positions:
-        let pa = current.right_of(a.left).expect("matched edge");
-        let pb = current.right_of(b.left).expect("matched edge");
+        let (Some(pa), Some(pb)) = (current.right_of(a.left), current.right_of(b.left)) else {
+            return Err(Error::InconsistentMatching);
+        };
         let mut next = Matching::empty(graph.left_count(), graph.right_count());
         for (j, p) in current.pairs() {
             if j == a.left {
@@ -256,8 +257,8 @@ mod tests {
         m.add(3, 4).unwrap(); // λ3 → b4
         m.add(4, 3).unwrap(); // λ4 → b3
         m.add(5, 2).unwrap(); // hmm — λ5 → b2? not an edge.
-        // λ5 adjacency is {4, 5, 0}; b2 is invalid, so validation must fail
-        // and uncross must reject the input.
+                              // λ5 adjacency is {4, 5, 0}; b2 is invalid, so validation must fail
+                              // and uncross must reject the input.
         assert!(uncross(&conv, &g, &m).is_err());
 
         let mut m = Matching::empty(7, 6);
@@ -268,7 +269,7 @@ mod tests {
         m.add(4, 3).unwrap();
         m.add(6, 4 + 1).unwrap_err(); // b5 already used by a1
         m.add(6, 4).unwrap_err(); // b4 already used by a3
-        // Leave a5/a6 unmatched; uncross the rest.
+                                  // Leave a5/a6 unmatched; uncross the rest.
         let un = uncross(&conv, &g, &m).unwrap();
         assert_eq!(un.size(), m.size());
         un.validate(&g).unwrap();

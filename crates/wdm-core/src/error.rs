@@ -73,6 +73,48 @@ pub enum Error {
     },
     /// The two directions of a matching disagree.
     InconsistentMatching,
+    /// An adjacency set that must form a contiguous position interval
+    /// (convex instance, reduced graph after a break — Lemma 2) does not.
+    AdjacencyNotContiguous {
+        /// Left vertex whose adjacency is broken.
+        left: usize,
+        /// Interval width implied by the first/last positions.
+        expected: usize,
+        /// Actual number of adjacent positions.
+        actual: usize,
+    },
+    /// Interval endpoints are not non-decreasing in left order — the
+    /// precondition of First Available (Theorem 1, Lemma 2).
+    NonMonotoneEndpoints {
+        /// First left vertex at which monotonicity fails.
+        left: usize,
+    },
+    /// The matching admits an augmenting path, so it is not maximum
+    /// (Berge's theorem).
+    NotMaximum {
+        /// An unmatched left vertex at the start of an augmenting path.
+        free_left: usize,
+        /// The unmatched right position the path reaches.
+        free_right: usize,
+    },
+    /// Two matched edges cross (Definition 1) in a matching certified as
+    /// crossing-free (Lemma 1).
+    CrossingMatchedEdges {
+        /// Left vertex of the first crossing edge.
+        left_a: usize,
+        /// Left vertex of the second crossing edge.
+        left_b: usize,
+    },
+    /// An approximate schedule is outside its certified distance from the
+    /// maximum matching (Theorem 3 / Corollary 1).
+    BoundViolated {
+        /// Size of the schedule under certification.
+        size: usize,
+        /// The certified distance bound.
+        bound: usize,
+        /// The maximum matching size.
+        optimal: usize,
+    },
     /// An interconnect dimension (`N`) must be at least 1.
     ZeroFibers,
     /// A fiber index was outside `0..n`.
@@ -119,6 +161,31 @@ impl fmt::Display for Error {
             Error::InconsistentMatching => {
                 write!(out, "matching directions are mutually inconsistent")
             }
+            Error::AdjacencyNotContiguous { left, expected, actual } => write!(
+                out,
+                "adjacency of left vertex {left} is not a contiguous interval: \
+                 spans {expected} positions but has {actual} edges"
+            ),
+            Error::NonMonotoneEndpoints { left } => write!(
+                out,
+                "interval endpoints stop being monotone at left vertex {left} \
+                 (Theorem 1 precondition violated)"
+            ),
+            Error::NotMaximum { free_left, free_right } => write!(
+                out,
+                "matching is not maximum: an augmenting path runs from free \
+                 request {free_left} to free channel position {free_right}"
+            ),
+            Error::CrossingMatchedEdges { left_a, left_b } => write!(
+                out,
+                "matched edges at left vertices {left_a} and {left_b} cross \
+                 (Definition 1) in a matching certified crossing-free"
+            ),
+            Error::BoundViolated { size, bound, optimal } => write!(
+                out,
+                "schedule of size {size} violates its certificate: must be \
+                 within {bound} of the maximum {optimal}"
+            ),
             Error::ZeroFibers => write!(out, "N (fibers) must be >= 1"),
             Error::InvalidFiber { fiber, n } => {
                 write!(out, "fiber index {fiber} out of range 0..{n}")
@@ -149,9 +216,7 @@ mod tests {
         for m in msgs {
             assert!(!m.is_empty());
         }
-        assert!(Error::InvalidWavelength { wavelength: 9, k: 8 }
-            .to_string()
-            .contains("9"));
+        assert!(Error::InvalidWavelength { wavelength: 9, k: 8 }.to_string().contains("9"));
     }
 
     #[test]

@@ -55,6 +55,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod algorithms;
 pub mod breaking;
@@ -69,6 +70,7 @@ pub mod priority;
 pub mod render;
 pub mod request;
 pub mod scheduler;
+pub mod verify;
 
 pub use conversion::{Conversion, ConversionKind};
 pub use error::Error;
@@ -79,6 +81,7 @@ pub use occupancy::ChannelMask;
 pub use priority::{ClassSchedule, PriorityScheduler};
 pub use request::RequestVector;
 pub use scheduler::{FiberScheduler, Policy, Schedule};
+pub use verify::MatchingCertificate;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
@@ -91,4 +94,5 @@ pub mod prelude {
     pub use crate::occupancy::ChannelMask;
     pub use crate::request::RequestVector;
     pub use crate::scheduler::{FiberScheduler, Policy, Schedule};
+    pub use crate::verify::MatchingCertificate;
 }

@@ -21,11 +21,7 @@ impl Matching {
     /// The empty matching on `left_count` requests and `right_count`
     /// channels.
     pub fn empty(left_count: usize, right_count: usize) -> Matching {
-        Matching {
-            of_left: vec![None; left_count],
-            of_right: vec![None; right_count],
-            size: 0,
-        }
+        Matching { of_left: vec![None; left_count], of_right: vec![None; right_count], size: 0 }
     }
 
     /// Builds a matching from the right-side assignment — the paper's
@@ -89,11 +85,7 @@ impl Matching {
 
     /// All matched `(left, right_position)` pairs in left order.
     pub fn pairs(&self) -> Vec<(usize, usize)> {
-        self.of_left
-            .iter()
-            .enumerate()
-            .filter_map(|(j, p)| p.map(|p| (j, p)))
-            .collect()
+        self.of_left.iter().enumerate().filter_map(|(j, p)| p.map(|p| (j, p))).collect()
     }
 
     /// Checks that the matching is a valid matching *of this graph*: sides

@@ -102,19 +102,12 @@ impl ChannelMask {
 
     /// The free channel wavelengths in ascending order.
     pub fn free_channels(&self) -> Vec<usize> {
-        self.free
-            .iter()
-            .enumerate()
-            .filter_map(|(w, &b)| b.then_some(w))
-            .collect()
+        self.free.iter().enumerate().filter_map(|(w, &b)| b.then_some(w)).collect()
     }
 
     /// Iterates free channel wavelengths in ascending order.
     pub fn iter_free(&self) -> impl Iterator<Item = usize> + '_ {
-        self.free
-            .iter()
-            .enumerate()
-            .filter_map(|(w, &b)| b.then_some(w))
+        self.free.iter().enumerate().filter_map(|(w, &b)| b.then_some(w))
     }
 
     /// Prefix counts of free channels: `prefix[w]` is the number of free

@@ -71,10 +71,7 @@ impl PriorityScheduler {
     /// # Ok::<(), wdm_core::Error>(())
     /// ```
     pub fn schedule(&self, classes: &[RequestVector]) -> Result<Vec<ClassSchedule>, Error> {
-        self.schedule_with_mask(
-            classes,
-            &ChannelMask::all_free(self.scheduler.conversion().k()),
-        )
+        self.schedule_with_mask(classes, &ChannelMask::all_free(self.scheduler.conversion().k()))
     }
 
     /// Schedules the classes on the channels free in `mask` (channels held
@@ -156,8 +153,7 @@ mod tests {
                 }
             }
         }
-        let all: Vec<Assignment> =
-            out.iter().flat_map(|c| c.assignments.iter().copied()).collect();
+        let all: Vec<Assignment> = out.iter().flat_map(|c| c.assignments.iter().copied()).collect();
         validate_assignments(&conv(), &merged, &ChannelMask::all_free(6), &all).unwrap();
     }
 

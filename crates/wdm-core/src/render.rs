@@ -15,8 +15,7 @@ pub fn render_conversion(conv: &Conversion) -> String {
     let k = conv.k();
     let mut out = String::new();
     for w in 0..k {
-        let targets: Vec<String> =
-            conv.adjacency(w).iter(k).map(|u| format!("λ{u}")).collect();
+        let targets: Vec<String> = conv.adjacency(w).iter(k).map(|u| format!("λ{u}")).collect();
         let _ = writeln!(out, "λ{w} -> {{{}}}", targets.join(", "));
     }
     out
@@ -39,12 +38,7 @@ pub fn render_request_graph(graph: &RequestGraph) -> String {
             .iter()
             .map(|&p| format!("b{p}(λ{})", graph.output_wavelength(p)))
             .collect();
-        let _ = writeln!(
-            out,
-            "  a{j} (λ{}) -> {{{}}}",
-            graph.wavelength_of(j),
-            targets.join(", ")
-        );
+        let _ = writeln!(out, "  a{j} (λ{}) -> {{{}}}", graph.wavelength_of(j), targets.join(", "));
     }
     out
 }
@@ -53,12 +47,8 @@ pub fn render_request_graph(graph: &RequestGraph) -> String {
 /// assigned channel or `rejected`.
 pub fn render_matching(graph: &RequestGraph, matching: &Matching) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "matching: {} of {} requests granted",
-        matching.size(),
-        graph.left_count()
-    );
+    let _ =
+        writeln!(out, "matching: {} of {} requests granted", matching.size(), graph.left_count());
     for j in 0..graph.left_count() {
         match matching.right_of(j) {
             Some(p) => {
@@ -86,11 +76,8 @@ pub fn render_matching(graph: &RequestGraph, matching: &Matching) -> String {
 pub fn render_dot(graph: &RequestGraph, matching: Option<&Matching>) -> String {
     let mut out = String::from("graph request_graph {\n  rankdir=LR;\n  node [shape=circle];\n");
     for j in 0..graph.left_count() {
-        let _ = writeln!(
-            out,
-            "  a{j} [label=\"a{j}\\n(λ{})\" group=left];",
-            graph.wavelength_of(j)
-        );
+        let _ =
+            writeln!(out, "  a{j} [label=\"a{j}\\n(λ{})\" group=left];", graph.wavelength_of(j));
     }
     for p in 0..graph.right_count() {
         let _ = writeln!(

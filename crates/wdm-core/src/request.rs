@@ -154,10 +154,7 @@ mod tests {
         rv.add(0).unwrap();
         assert_eq!(rv.total(), 3);
         assert_eq!(rv.count(2), 2);
-        assert_eq!(
-            rv.iter_nonzero().collect::<Vec<_>>(),
-            vec![(0, 1), (2, 2)]
-        );
+        assert_eq!(rv.iter_nonzero().collect::<Vec<_>>(), vec![(0, 1), (2, 2)]);
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! crates instantiate `N` of these, one per output fiber.
 
 use crate::algorithms::{
-    self, approx_schedule, break_fa_schedule, fa_schedule, full_range_schedule, hopcroft_karp,
-    Assignment,
+    approx_schedule, break_fa_schedule, fa_schedule, full_range_schedule, hopcroft_karp, Assignment,
 };
 use crate::conversion::{Conversion, ConversionKind};
 use crate::error::Error;
@@ -156,11 +155,57 @@ impl FiberScheduler {
                 (assignments, None)
             }
         };
+        // Debug builds run the full certificate on every slot: exact
+        // policies must produce a feasible *maximum* matching (Theorems 1
+        // and 2), the approximation must stay within its Theorem 3 bound.
         debug_assert!(
-            algorithms::validate_assignments(conv, requests, mask, &assignments).is_ok(),
-            "scheduler produced an infeasible schedule"
+            match approx_bound {
+                None => crate::verify::certify_assignments(conv, requests, mask, &assignments),
+                Some(bound) => crate::verify::certify_assignments_within(
+                    conv,
+                    requests,
+                    mask,
+                    &assignments,
+                    bound,
+                ),
+            }
+            .is_ok(),
+            "scheduler produced an uncertifiable schedule under {:?}",
+            self.policy
         );
         Ok(Schedule { assignments, requested: requests.total(), approx_bound })
+    }
+
+    /// [`Self::schedule_with_mask`] with the certificate run unconditionally
+    /// (release builds included): the returned schedule is verified feasible
+    /// and maximum — or, under [`Policy::Approximate`], within its Theorem 3
+    /// bound of the maximum.
+    pub fn schedule_with_mask_checked(
+        &self,
+        requests: &RequestVector,
+        mask: &ChannelMask,
+    ) -> Result<Schedule, Error> {
+        let schedule = self.schedule_with_mask(requests, mask)?;
+        match schedule.approx_bound {
+            None => {
+                crate::verify::certify_assignments(
+                    &self.conversion,
+                    requests,
+                    mask,
+                    &schedule.assignments,
+                )?;
+            }
+            Some(bound) => {
+                crate::verify::certify_assignments_within(
+                    &self.conversion,
+                    requests,
+                    mask,
+                    &schedule.assignments,
+                    bound,
+                )?;
+            }
+        }
+        Ok(schedule)
     }
 }
 
@@ -192,10 +237,8 @@ mod tests {
     fn all_policies_agree_with_baseline_on_paper_example() {
         let conv = Conversion::symmetric_circular(6, 3).unwrap();
         let rv = paper_requests();
-        let baseline = FiberScheduler::new(conv, Policy::HopcroftKarp)
-            .schedule(&rv)
-            .unwrap()
-            .granted();
+        let baseline =
+            FiberScheduler::new(conv, Policy::HopcroftKarp).schedule(&rv).unwrap().granted();
         for policy in [Policy::Auto, Policy::BreakFirstAvailable] {
             let got = FiberScheduler::new(conv, policy).schedule(&rv).unwrap().granted();
             assert_eq!(got, baseline, "{policy:?}");
@@ -233,9 +276,8 @@ mod tests {
         let conv = Conversion::symmetric_circular(6, 3).unwrap();
         let rv = paper_requests();
         let mask = ChannelMask::with_occupied(6, &[0, 1]).unwrap();
-        let hk = FiberScheduler::new(conv, Policy::HopcroftKarp)
-            .schedule_with_mask(&rv, &mask)
-            .unwrap();
+        let hk =
+            FiberScheduler::new(conv, Policy::HopcroftKarp).schedule_with_mask(&rv, &mask).unwrap();
         let bfa = FiberScheduler::new(conv, Policy::BreakFirstAvailable)
             .schedule_with_mask(&rv, &mask)
             .unwrap();

@@ -13,15 +13,21 @@
 //! * §V — all of the above continue to hold when output channels are
 //!   occupied.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use proptest::prelude::*;
 
 use wdm_core::algorithms::{
-    approx_schedule, break_fa_matching, break_fa_schedule, break_fa_schedule_with, fa_schedule,
-    first_available_matching, glover, hopcroft_karp, kuhn, validate_assignments, BreakChoice,
-    ConvexInstance,
+    approx_schedule, approx_schedule_checked, break_fa_matching, break_fa_matching_checked,
+    break_fa_schedule, break_fa_schedule_checked, break_fa_schedule_with, fa_schedule,
+    fa_schedule_checked, first_available_matching, first_available_matching_checked, glover,
+    hopcroft_karp, hopcroft_karp_checked, kuhn, validate_assignments, BreakChoice, ConvexInstance,
 };
 use wdm_core::crossing::{find_crossing_pair, uncross};
-use wdm_core::{ChannelMask, Conversion, FiberScheduler, Policy, RequestGraph, RequestVector};
+use wdm_core::verify::{certify_assignments, MatchingCertificate};
+use wdm_core::{
+    ChannelMask, Conversion, Error, FiberScheduler, Policy, RequestGraph, RequestVector,
+};
 
 /// Strategy: a conversion geometry plus matching request vector and mask.
 #[derive(Debug, Clone)]
@@ -42,7 +48,13 @@ fn instance(max_k: usize, max_count: usize) -> impl Strategy<Value = Instance> {
             proptest::collection::vec(0..=max_count, k),
             proptest::collection::vec(proptest::bool::weighted(0.2), k),
         )
-            .prop_map(|(k, (e, f), counts, occupied)| Instance { k, e, f, counts, occupied })
+            .prop_map(|(k, (e, f), counts, occupied)| Instance {
+                k,
+                e,
+                f,
+                counts,
+                occupied,
+            })
     })
 }
 
@@ -199,5 +211,83 @@ proptest! {
         let g1 = RequestGraph::with_mask(conv, &rv, &mask).unwrap();
         let g2 = RequestGraph::with_mask(conv, &clamped, &mask).unwrap();
         prop_assert_eq!(kuhn(&g1).size(), kuhn(&g2).size());
+    }
+}
+
+// The certificate suite: every algorithm output must pass its
+// `MatchingCertificate`, on ≥1000 random graphs per conversion kind. The
+// `*_checked` twins return `Err` on any violation, so a plain `.unwrap()`
+// here is the assertion.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Theorem 1 via certificates: on random non-circular graphs,
+    /// `fa_schedule_checked` succeeds (validity + maximality certified
+    /// against the residual graph) and |FA| equals |Hopcroft–Karp|.
+    #[test]
+    fn certified_fa_matches_hopcroft_karp(inst in instance(20, 4)) {
+        let conv = Conversion::non_circular(inst.k, inst.e, inst.f).unwrap();
+        let rv = RequestVector::from_counts(inst.counts.clone()).unwrap();
+        let mask = mask_of(&inst);
+        let a = fa_schedule_checked(&conv, &rv, &mask).unwrap();
+        let g = RequestGraph::with_mask(conv, &rv, &mask).unwrap();
+        let hk = hopcroft_karp_checked(&g).unwrap();
+        prop_assert_eq!(a.len(), hk.size());
+        let m = first_available_matching_checked(&g).unwrap();
+        prop_assert_eq!(m.size(), hk.size());
+        MatchingCertificate::new(&g, &m).check().unwrap();
+    }
+
+    /// Theorem 2 via certificates: on random circular graphs,
+    /// `break_fa_schedule_checked` succeeds and |BFA| equals
+    /// |Hopcroft–Karp|; the explicit matching is additionally certified
+    /// crossing-free (Lemma 1 / Definition 1).
+    #[test]
+    fn certified_bfa_matches_hopcroft_karp(inst in instance(20, 4)) {
+        let conv = Conversion::circular(inst.k, inst.e, inst.f).unwrap();
+        let rv = RequestVector::from_counts(inst.counts.clone()).unwrap();
+        let mask = mask_of(&inst);
+        let a = break_fa_schedule_checked(&conv, &rv, &mask).unwrap();
+        let g = RequestGraph::with_mask(conv, &rv, &mask).unwrap();
+        let hk = hopcroft_karp_checked(&g).unwrap();
+        prop_assert_eq!(a.len(), hk.size());
+        let m = break_fa_matching_checked(&g).unwrap();
+        prop_assert_eq!(m.size(), hk.size());
+    }
+
+    /// Theorem 3 via certificates: `approx_schedule_checked` certifies the
+    /// schedule is within its reported bound of the optimum, and with a
+    /// symmetric conversion range the bound is at most (d−1)/2.
+    #[test]
+    fn certified_approx_within_bound(inst in instance(20, 4)) {
+        let conv = Conversion::circular(inst.k, inst.e, inst.f).unwrap();
+        let rv = RequestVector::from_counts(inst.counts.clone()).unwrap();
+        let mask = mask_of(&inst);
+        let out = approx_schedule_checked(&conv, &rv, &mask).unwrap();
+        // Corollary 1: with a symmetric range and every channel free, the
+        // chosen break achieves the (d−1)/2 bound. (Occupied channels can
+        // force a worse break, which Theorem 3 still covers via `bound`.)
+        if inst.e == inst.f && mask.is_all_free() {
+            prop_assert!(out.bound <= (conv.degree() - 1) / 2);
+        }
+    }
+
+    /// Negative direction: the certificate actually rejects. Dropping any
+    /// assignment from a non-empty maximum schedule leaves an augmenting
+    /// path, which `certify_assignments` must report as `NotMaximum`.
+    #[test]
+    fn certificate_rejects_truncated_schedules(inst in instance(16, 4)) {
+        let conv = Conversion::circular(inst.k, inst.e, inst.f).unwrap();
+        let rv = RequestVector::from_counts(inst.counts.clone()).unwrap();
+        let mask = mask_of(&inst);
+        let mut a = break_fa_schedule(&conv, &rv, &mask).unwrap();
+        certify_assignments(&conv, &rv, &mask, &a).unwrap();
+        if let Some(dropped) = a.pop() {
+            let err = certify_assignments(&conv, &rv, &mask, &a).unwrap_err();
+            prop_assert!(
+                matches!(err, Error::NotMaximum { .. }),
+                "dropping {:?} gave {:?}, expected NotMaximum", dropped, err
+            );
+        }
     }
 }

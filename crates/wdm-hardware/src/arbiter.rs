@@ -45,9 +45,7 @@ impl RoundRobinArbiter {
     pub fn grant(&mut self, w: usize, requesters: &BitRegister) -> Option<usize> {
         assert_eq!(requesters.width(), self.n, "requester register must be n bits");
         let ptr = self.pointers[w];
-        let fiber = requesters
-            .first_set_from(ptr)
-            .or_else(|| requesters.first_set())?;
+        let fiber = requesters.first_set_from(ptr).or_else(|| requesters.first_set())?;
         self.pointers[w] = (fiber + 1) % self.n;
         Some(fiber)
     }

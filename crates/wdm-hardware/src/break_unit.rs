@@ -116,8 +116,8 @@ impl BreakFaUnit {
         let k = self.conv.k();
         let mut counters: Vec<usize> = requests.counts().to_vec();
         counters[w_i] -= 1; // the breaking vertex is granted separately
-        // Pending register in *rotated* wavelength order so that "first
-        // pending" means first in the reduced graph's left order.
+                            // Pending register in *rotated* wavelength order so that "first
+                            // pending" means first in the reduced graph's left order.
         let mut pending = BitRegister::new(k);
         for off in 0..k {
             let w = (w_i + off) % k;
@@ -177,12 +177,7 @@ impl BreakFaUnit {
                 }
             }
         }
-        BreakResult {
-            assignments,
-            units: 1,
-            cycles_sequential: k,
-            cycles_parallel: k,
-        }
+        BreakResult { assignments, units: 1, cycles_sequential: k, cycles_parallel: k }
     }
 }
 

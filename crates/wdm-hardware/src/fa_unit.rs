@@ -141,10 +141,7 @@ mod tests {
         let unit = FirstAvailableUnit::new(conv).unwrap();
         let empty = unit.run(&RequestVector::new(16), &ChannelMask::all_free(16)).unwrap();
         let full = unit
-            .run(
-                &RequestVector::from_counts(vec![10; 16]).unwrap(),
-                &ChannelMask::all_free(16),
-            )
+            .run(&RequestVector::from_counts(vec![10; 16]).unwrap(), &ChannelMask::all_free(16))
             .unwrap();
         assert_eq!(empty.cycles, 16);
         assert_eq!(full.cycles, 16);

@@ -184,9 +184,7 @@ impl RequestRegister {
     /// request-vector entry, as a population count over the wavelength's
     /// column.
     pub fn count_on_wavelength(&self, wavelength: usize) -> usize {
-        (0..self.n)
-            .filter(|&fiber| self.bits.get(fiber * self.k + wavelength))
-            .count()
+        (0..self.n).filter(|&fiber| self.bits.get(fiber * self.k + wavelength)).count()
     }
 
     /// The fibers with a pending request on `wavelength`, as a `n`-bit
@@ -204,7 +202,10 @@ impl RequestRegister {
     /// The request vector of this register (paper §II-B).
     pub fn to_request_vector(&self) -> wdm_core::RequestVector {
         let counts = (0..self.k).map(|w| self.count_on_wavelength(w)).collect();
-        wdm_core::RequestVector::from_counts(counts).expect("k >= 1")
+        match wdm_core::RequestVector::from_counts(counts) {
+            Ok(rv) => rv,
+            Err(_) => unreachable!("k >= 1"),
+        }
     }
 
     /// Total pending requests.

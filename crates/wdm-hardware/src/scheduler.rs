@@ -107,10 +107,9 @@ impl HardwareScheduler {
         let mut grants = Vec::with_capacity(assignments.len());
         for a in assignments {
             let requesters = register.fibers_on_wavelength(a.input);
-            let fiber = self
-                .arbiter
-                .grant(a.input, &requesters)
-                .expect("scheduler granted a wavelength with pending requests");
+            let Some(fiber) = self.arbiter.grant(a.input, &requesters) else {
+                unreachable!("scheduler granted a wavelength with pending requests")
+            };
             register.clear_request(fiber, a.input);
             grants.push(HardwareGrant {
                 input_fiber: fiber,
@@ -139,10 +138,7 @@ mod tests {
         let mut sched = HardwareScheduler::new(4, conv).unwrap();
         let mut reg = RequestRegister::new(4, 6);
         // The paper's request vector [2,1,0,1,1,2] spread over fibers.
-        latch(
-            &mut reg,
-            &[(0, 0), (1, 0), (2, 1), (3, 3), (0, 4), (1, 5), (2, 5)],
-        );
+        latch(&mut reg, &[(0, 0), (1, 0), (2, 1), (3, 3), (0, 4), (1, 5), (2, 5)]);
         let total = reg.total();
         let grants = sched.schedule_slot(&mut reg, &ChannelMask::all_free(6)).unwrap();
         assert_eq!(grants.len(), 6);

@@ -2,6 +2,8 @@
 //! produce exactly the schedules the software algorithms produce (the RTL
 //! and the reference implementation compute the same function).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use proptest::prelude::*;
 
 use wdm_core::algorithms::{break_fa_schedule, fa_schedule, validate_assignments};
@@ -26,7 +28,13 @@ fn instance(max_k: usize, max_count: usize) -> impl Strategy<Value = Instance> {
             proptest::collection::vec(0..=max_count, k),
             proptest::collection::vec(proptest::bool::weighted(0.2), k),
         )
-            .prop_map(|(k, (e, f), counts, occupied)| Instance { k, e, f, counts, occupied })
+            .prop_map(|(k, (e, f), counts, occupied)| Instance {
+                k,
+                e,
+                f,
+                counts,
+                occupied,
+            })
     })
 }
 

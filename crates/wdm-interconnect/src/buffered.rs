@@ -172,10 +172,7 @@ impl BufferedInterconnect {
             if queue.len() >= self.capacity {
                 dropped += 1;
             } else {
-                queue.push_back(QueuedPacket {
-                    dst_fiber: r.dst_fiber,
-                    arrived_slot: self.slot,
-                });
+                queue.push_back(QueuedPacket { dst_fiber: r.dst_fiber, arrived_slot: self.slot });
             }
         }
 
@@ -239,7 +236,7 @@ impl BufferedInterconnect {
                     cursor[ch] = (dst + 1) % self.n;
                 }
             }
-            if grants.iter().all(|g| g.is_empty()) {
+            if grants.iter().all(Vec::is_empty) {
                 continue;
             }
             for (dst, fiber_grants) in grants.iter().enumerate() {
@@ -301,9 +298,9 @@ impl BufferedInterconnect {
                     QueueDiscipline::Fifo => 0,
                     QueueDiscipline::Voq { .. } => dst,
                 };
-                let packet = self.queues[ch][queue_idx]
-                    .pop_front()
-                    .expect("granted channels have a queued packet");
+                let Some(packet) = self.queues[ch][queue_idx].pop_front() else {
+                    unreachable!("granted channels have a queued packet")
+                };
                 debug_assert_eq!(packet.dst_fiber, dst);
                 out.push(Transmission {
                     src_fiber: ch / k,
@@ -347,14 +344,8 @@ mod tests {
         // k=4, d=3; five packets on the same wavelength to the same fiber:
         // only 3 channels are reachable from one wavelength, so at most 3
         // go through; the rest wait (bufferless mode would drop them).
-        let mut sw = BufferedInterconnect::new(
-            8,
-            conv(),
-            Policy::Auto,
-            QueueDiscipline::Fifo,
-            64,
-        )
-        .unwrap();
+        let mut sw =
+            BufferedInterconnect::new(8, conv(), Policy::Auto, QueueDiscipline::Fifo, 64).unwrap();
         let arrivals: Vec<ConnectionRequest> =
             (0..5).map(|fiber| ConnectionRequest::packet(fiber, 0, 0)).collect();
         let r1 = sw.advance_slot(&arrivals).unwrap();
@@ -373,14 +364,8 @@ mod tests {
         // inputs this slot; FIFO blocks the fiber-1 packet behind the HOL,
         // VOQ sends it.
         let run = |discipline| {
-            let mut sw = BufferedInterconnect::new(
-                8,
-                conv(),
-                Policy::Auto,
-                discipline,
-                64,
-            )
-            .unwrap();
+            let mut sw =
+                BufferedInterconnect::new(8, conv(), Policy::Auto, discipline, 64).unwrap();
             // Slot 0: queue the two packets on (0, λ0) plus three competitors
             // on distinct channels that saturate fiber 0's λ0-range {3,0,1}…
             // Competitors on λ3, λ0, λ1 from other fibers, arriving first is
@@ -414,14 +399,8 @@ mod tests {
 
     #[test]
     fn drop_tail_respects_capacity() {
-        let mut sw = BufferedInterconnect::new(
-            2,
-            conv(),
-            Policy::Auto,
-            QueueDiscipline::Fifo,
-            2,
-        )
-        .unwrap();
+        let mut sw =
+            BufferedInterconnect::new(2, conv(), Policy::Auto, QueueDiscipline::Fifo, 2).unwrap();
         // 4 arrivals on one channel in one slot: capacity 2 → 2 dropped.
         let arrivals = vec![ConnectionRequest::packet(0, 0, 1); 4];
         let r = sw.advance_slot(&arrivals).unwrap();
@@ -435,10 +414,12 @@ mod tests {
         let mut sw = mk(QueueDiscipline::Fifo);
         assert!(sw.advance_slot(&[ConnectionRequest::burst(0, 0, 0, 2)]).is_err());
         assert!(sw.advance_slot(&[ConnectionRequest::packet(2, 0, 0)]).is_err());
-        assert!(BufferedInterconnect::new(0, conv(), Policy::Auto, QueueDiscipline::Fifo, 4)
-            .is_err());
-        assert!(BufferedInterconnect::new(2, conv(), Policy::Auto, QueueDiscipline::Fifo, 0)
-            .is_err());
+        assert!(
+            BufferedInterconnect::new(0, conv(), Policy::Auto, QueueDiscipline::Fifo, 4).is_err()
+        );
+        assert!(
+            BufferedInterconnect::new(2, conv(), Policy::Auto, QueueDiscipline::Fifo, 0).is_err()
+        );
     }
 
     #[test]

@@ -29,12 +29,7 @@ impl ConnectionRequest {
     }
 
     /// A multi-slot (burst/circuit) request.
-    pub fn burst(
-        src_fiber: usize,
-        src_wavelength: usize,
-        dst_fiber: usize,
-        duration: u32,
-    ) -> Self {
+    pub fn burst(src_fiber: usize, src_wavelength: usize, dst_fiber: usize, duration: u32) -> Self {
         ConnectionRequest { src_fiber, src_wavelength, dst_fiber, duration }
     }
 
@@ -108,18 +103,12 @@ impl SlotResult {
 
     /// Rejections due to output contention only.
     pub fn contention_losses(&self) -> usize {
-        self.rejections
-            .iter()
-            .filter(|r| r.reason == RejectReason::OutputContention)
-            .count()
+        self.rejections.iter().filter(|r| r.reason == RejectReason::OutputContention).count()
     }
 
     /// Rejections because the source channel was busy.
     pub fn source_busy_losses(&self) -> usize {
-        self.rejections
-            .iter()
-            .filter(|r| r.reason == RejectReason::SourceBusy)
-            .count()
+        self.rejections.iter().filter(|r| r.reason == RejectReason::SourceBusy).count()
     }
 }
 

@@ -5,8 +5,8 @@
 //! according to their destinations. The decision of accepting a request or
 //! not in one subset does not affect the decisions in other subsets" — so
 //! the per-fiber schedulers can run concurrently with no coordination.
-//! [`run_per_fiber`] realizes that with crossbeam scoped threads over
-//! disjoint chunks of per-fiber state; with `threads <= 1` it degrades to a
+//! [`run_per_fiber`] realizes that with `std::thread::scope` over disjoint
+//! chunks of per-fiber state; with `threads <= 1` it degrades to a
 //! sequential loop that produces bit-identical results (asserted in tests).
 
 /// Applies `f(fiber_index, &mut state, &input)` to every fiber, optionally
@@ -18,12 +18,7 @@
 /// # Panics
 ///
 /// Panics if `states.len() != inputs.len()` or a worker panics.
-pub fn run_per_fiber<S, I, O, F>(
-    states: &mut [S],
-    inputs: &[I],
-    threads: usize,
-    f: F,
-) -> Vec<O>
+pub fn run_per_fiber<S, I, O, F>(states: &mut [S], inputs: &[I], threads: usize, f: F) -> Vec<O>
 where
     S: Send,
     I: Sync,
@@ -47,25 +42,27 @@ where
 
     let chunk = n.div_ceil(workers);
     let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    // A panicking worker propagates when the scope joins it.
+    std::thread::scope(|scope| {
         let state_chunks = states.chunks_mut(chunk);
         let input_chunks = inputs.chunks(chunk);
         let out_chunks = out.chunks_mut(chunk);
         for (ci, ((sc, ic), oc)) in state_chunks.zip(input_chunks).zip(out_chunks).enumerate() {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = ci * chunk;
-                for (off, ((s, inp), slot)) in
-                    sc.iter_mut().zip(ic).zip(oc.iter_mut()).enumerate()
+                for (off, ((s, inp), slot)) in sc.iter_mut().zip(ic).zip(oc.iter_mut()).enumerate()
                 {
                     *slot = Some(f(base + off, s, inp));
                 }
             });
         }
-    })
-    .expect("per-fiber scheduling worker panicked");
+    });
     out.into_iter()
-        .map(|o| o.expect("every fiber produced an output"))
+        .map(|o| match o {
+            Some(o) => o,
+            None => unreachable!("every fiber produced an output"),
+        })
         .collect()
 }
 

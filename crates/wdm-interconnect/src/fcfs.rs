@@ -70,10 +70,7 @@ impl FcfsSwitch {
         }
         let k = self.k();
         let span = self.conversion.adjacency(request.src_wavelength);
-        let free = span
-            .iter(k)
-            .filter(|&u| self.channel_hold[request.dst_fiber][u] == 0)
-            .min();
+        let free = span.iter(k).filter(|&u| self.channel_hold[request.dst_fiber][u] == 0).min();
         match free {
             Some(u) => {
                 self.channel_hold[request.dst_fiber][u] = request.duration;
@@ -133,10 +130,7 @@ mod tests {
         // 0, then 1, then 5.
         let channels: Vec<usize> = (0..3)
             .map(|fiber| {
-                sw.admit(ConnectionRequest::packet(fiber, 0, 0))
-                    .unwrap()
-                    .unwrap()
-                    .output_wavelength
+                sw.admit(ConnectionRequest::packet(fiber, 0, 0)).unwrap().unwrap().output_wavelength
             })
             .collect();
         assert_eq!(channels, vec![0, 1, 5]);

@@ -170,7 +170,9 @@ impl Interconnect {
     pub fn occupied_mask(&self, fiber: usize) -> ChannelMask {
         let mut mask = ChannelMask::all_free(self.k());
         for a in &self.fibers[fiber].actives {
-            mask.set_occupied(a.output_wavelength).expect("active channel is in range");
+            if mask.set_occupied(a.output_wavelength).is_err() {
+                unreachable!("active channel is in range");
+            }
         }
         mask
     }
@@ -180,8 +182,9 @@ impl Interconnect {
         let mut xb = CrossbarState::new(self.n, self.k());
         for (o, fiber) in self.fibers.iter().enumerate() {
             for a in &fiber.actives {
-                xb.connect(a.src_fiber, a.src_wavelength, o, a.output_wavelength)
-                    .expect("active connections are mutually consistent");
+                if xb.connect(a.src_fiber, a.src_wavelength, o, a.output_wavelength).is_err() {
+                    unreachable!("active connections are mutually consistent");
+                }
             }
         }
         xb
@@ -232,12 +235,10 @@ impl Interconnect {
         //    distributed step), optionally across worker threads.
         let hold = self.hold;
         let conversion = self.conversion;
-        let outcomes = run_per_fiber(
-            &mut self.fibers,
-            &per_fiber,
-            self.threads,
-            |_, fiber, candidates| schedule_fiber(&conversion, hold, fiber, candidates),
-        );
+        let outcomes =
+            run_per_fiber(&mut self.fibers, &per_fiber, self.threads, |_, fiber, candidates| {
+                schedule_fiber(&conversion, hold, fiber, candidates)
+            });
 
         // 4. Latch grants into the fabric state.
         let mut grants = Vec::new();
@@ -253,10 +254,12 @@ impl Interconnect {
                 });
             }
             grants.extend(outcome.grants);
-            rejections.extend(outcome.contention.into_iter().map(|request| Rejection {
-                request,
-                reason: RejectReason::OutputContention,
-            }));
+            rejections.extend(
+                outcome
+                    .contention
+                    .into_iter()
+                    .map(|request| Rejection { request, reason: RejectReason::OutputContention }),
+            );
         }
 
         debug_assert!(
@@ -280,27 +283,54 @@ fn schedule_fiber(
         HoldPolicy::NonDisturb => {
             let mut rv = RequestVector::new(k);
             for c in candidates {
-                rv.add(c.src_wavelength).expect("validated request");
+                if rv.add(c.src_wavelength).is_err() {
+                    unreachable!("validated request");
+                }
             }
             let mut mask = ChannelMask::all_free(k);
             for a in &fiber.actives {
-                mask.set_occupied(a.output_wavelength).expect("active channel in range");
+                if mask.set_occupied(a.output_wavelength).is_err() {
+                    unreachable!("active channel in range");
+                }
             }
-            let schedule = fiber
-                .scheduler
-                .schedule_with_mask(&rv, &mask)
-                .expect("validated dimensions");
-            let (grants, leftovers) =
-                fiber.resolver.resolve(schedule.assignments(), candidates);
+            // `schedule_with_mask` runs the full matching certificate behind
+            // a debug assertion, so every per-fiber scheduling decision is
+            // verified maximum in debug builds.
+            let Ok(schedule) = fiber.scheduler.schedule_with_mask(&rv, &mask) else {
+                unreachable!("validated dimensions")
+            };
+            let (grants, leftovers) = fiber.resolver.resolve(schedule.assignments(), candidates);
             let contention = leftovers.into_iter().map(|i| candidates[i]).collect();
             FiberOutcome { grants, contention, rearranged: 0 }
         }
         HoldPolicy::Rearrange => {
             let active_w: Vec<usize> = fiber.actives.iter().map(|a| a.src_wavelength).collect();
             let new_w: Vec<usize> = candidates.iter().map(|c| c.src_wavelength).collect();
-            let outcome =
+            let Ok(outcome) =
                 rearrange_fiber(conversion, &active_w, &new_w, &ChannelMask::all_free(k))
-                    .expect("in-flight connections are always placeable");
+            else {
+                unreachable!("in-flight connections are always placeable")
+            };
+            // Debug-build certificate: every assigned channel is used once
+            // and every placement respects the conversion range.
+            debug_assert!(
+                {
+                    let mut used = vec![false; k];
+                    let all =
+                        outcome.active_channels.iter().zip(&active_w).map(|(&u, &w)| (w, u)).chain(
+                            outcome
+                                .request_channels
+                                .iter()
+                                .zip(&new_w)
+                                .filter_map(|(u, &w)| u.map(|u| (w, u))),
+                        );
+                    all.fold(true, |ok, (w, u)| {
+                        let fresh = !std::mem::replace(&mut used[u], true);
+                        ok && fresh && conversion.converts(w, u)
+                    })
+                },
+                "rearrangement produced an infeasible channel assignment"
+            );
             let mut rearranged = 0usize;
             for (a, &u) in fiber.actives.iter_mut().zip(&outcome.active_channels) {
                 if a.output_wavelength != u {
@@ -357,9 +387,8 @@ mod tests {
         let mut ic = Interconnect::new(InterconnectConfig::packet_switch(3, conv())).unwrap();
         // Saturate fiber 0 and send one packet to fiber 1: the fiber-1
         // packet must be granted regardless.
-        let mut requests: Vec<ConnectionRequest> = (0..6)
-            .map(|w| ConnectionRequest::packet(w % 3, w, 0))
-            .collect();
+        let mut requests: Vec<ConnectionRequest> =
+            (0..6).map(|w| ConnectionRequest::packet(w % 3, w, 0)).collect();
         requests.push(ConnectionRequest::packet(0, 2, 1));
         let result = ic.advance_slot(&requests).unwrap();
         assert!(result.grants.iter().any(|g| g.request.dst_fiber == 1));
@@ -401,10 +430,7 @@ mod tests {
     fn duplicate_input_channel_in_one_slot() {
         let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
         let r = ic
-            .advance_slot(&[
-                ConnectionRequest::packet(0, 2, 0),
-                ConnectionRequest::packet(0, 2, 1),
-            ])
+            .advance_slot(&[ConnectionRequest::packet(0, 2, 0), ConnectionRequest::packet(0, 2, 1)])
             .unwrap();
         assert_eq!(r.grants.len(), 1);
         assert_eq!(r.source_busy_losses(), 1);

@@ -54,15 +54,10 @@ pub fn rearrange_fiber(
     };
 
     // Adjacency of a left vertex (by wavelength) over free-channel positions.
-    let adjacency = |w: usize| -> Vec<usize> {
-        conv.adjacency(w)
-            .iter(k)
-            .filter_map(|u| pos_of[u])
-            .collect()
-    };
+    let adjacency =
+        |w: usize| -> Vec<usize> { conv.adjacency(w).iter(k).filter_map(|u| pos_of[u]).collect() };
 
-    let lefts: Vec<Vec<usize>> =
-        active.iter().chain(new).map(|&w| adjacency(w)).collect();
+    let lefts: Vec<Vec<usize>> = active.iter().chain(new).map(|&w| adjacency(w)).collect();
     let mut match_of_right: Vec<Option<usize>> = vec![None; free.len()];
     let mut match_of_left: Vec<Option<usize>> = vec![None; lefts.len()];
 
@@ -105,12 +100,15 @@ pub fn rearrange_fiber(
         let _ = augment(&lefts, j, &mut visited, &mut match_of_right, &mut match_of_left);
     }
 
-    let active_channels = (0..active.len())
-        .map(|j| free[match_of_left[j].expect("phase 1 placed every active")])
+    let active_channels = match_of_left[..active.len()]
+        .iter()
+        .map(|p| match p {
+            Some(p) => free[*p],
+            None => unreachable!("phase 1 placed every active"),
+        })
         .collect();
-    let request_channels = (active.len()..lefts.len())
-        .map(|j| match_of_left[j].map(|p| free[p]))
-        .collect();
+    let request_channels =
+        (active.len()..lefts.len()).map(|j| match_of_left[j].map(|p| free[p])).collect();
     Ok(RearrangeOutcome { active_channels, request_channels })
 }
 
@@ -149,8 +147,7 @@ mod tests {
         // Non-disturb would reject the new λ1 request iff actives sit on
         // {1, 2}. Rearrangement moves λ0's active to channel 0 and admits
         // everything.
-        let out =
-            rearrange_fiber(&conv, &[0, 1], &[1], &ChannelMask::all_free(3)).unwrap();
+        let out = rearrange_fiber(&conv, &[0, 1], &[1], &ChannelMask::all_free(3)).unwrap();
         assert!(out.request_channels[0].is_some(), "rearrangement admits the new λ1 request");
         // All three placements are distinct, feasible channels.
         let channels: Vec<usize> = out
@@ -179,18 +176,13 @@ mod tests {
             (vec![5, 5, 0], vec![4, 4, 1, 1]),
         ];
         for (active, new) in cases {
-            let out =
-                rearrange_fiber(&conv, &active, &new, &ChannelMask::all_free(6)).unwrap();
+            let out = rearrange_fiber(&conv, &active, &new, &ChannelMask::all_free(6)).unwrap();
             let granted_new = out.request_channels.iter().flatten().count();
             let all: Vec<usize> = active.iter().chain(&new).copied().collect();
             let rv = RequestVector::from_wavelengths(6, &all).unwrap();
             let g = RequestGraph::new(conv, &rv).unwrap();
             let optimal = hopcroft_karp(&g).size();
-            assert_eq!(
-                active.len() + granted_new,
-                optimal,
-                "active={active:?} new={new:?}"
-            );
+            assert_eq!(active.len() + granted_new, optimal, "active={active:?} new={new:?}");
         }
     }
 

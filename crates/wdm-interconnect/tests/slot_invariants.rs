@@ -2,6 +2,8 @@
 //! workloads, physical and accounting invariants hold at every slot, under
 //! both holding policies and any thread count.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use proptest::prelude::*;
 use wdm_core::{Conversion, Policy};
 use wdm_interconnect::{
@@ -23,21 +25,15 @@ struct Workload {
 fn workload() -> impl Strategy<Value = Workload> {
     (2usize..6, 2usize..8).prop_flat_map(|(n, k)| {
         let reach = (0..k, 0..k).prop_filter("degree <= k", move |(e, f)| e + f < k);
-        let slot = proptest::collection::vec(
-            (0..n, 0..k, 0..n, 1u32..5),
-            0..(n * k).min(12),
-        );
-        (Just(n), Just(k), reach, proptest::collection::vec(slot, 1..25)).prop_map(
-            |(n, k, (e, f), slots)| Workload { n, k, e, f, slots },
-        )
+        let slot = proptest::collection::vec((0..n, 0..k, 0..n, 1u32..5), 0..(n * k).min(12));
+        (Just(n), Just(k), reach, proptest::collection::vec(slot, 1..25))
+            .prop_map(|(n, k, (e, f), slots)| Workload { n, k, e, f, slots })
     })
 }
 
 fn dedupe_sources(reqs: Vec<ConnectionRequest>) -> Vec<ConnectionRequest> {
     let mut seen = std::collections::HashSet::new();
-    reqs.into_iter()
-        .filter(|r| seen.insert((r.src_fiber, r.src_wavelength)))
-        .collect()
+    reqs.into_iter().filter(|r| seen.insert((r.src_fiber, r.src_wavelength))).collect()
 }
 
 fn run_and_check(w: &Workload, hold: HoldPolicy, threads: usize) {

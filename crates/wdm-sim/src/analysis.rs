@@ -35,11 +35,7 @@ pub fn binomial_pmf(n: usize, q: f64) -> Vec<f64> {
 
 /// `E[min(X, cap)]` for `X ~ Binomial(n, q)`.
 pub fn expected_min_binomial(n: usize, q: f64, cap: usize) -> f64 {
-    binomial_pmf(n, q)
-        .iter()
-        .enumerate()
-        .map(|(x, p)| p * x.min(cap) as f64)
-        .sum()
+    binomial_pmf(n, q).iter().enumerate().map(|(x, p)| p * x.min(cap) as f64).sum()
 }
 
 /// Exact per-slot throughput of one output fiber under full-range
@@ -307,10 +303,7 @@ mod tests {
                 total += fa_schedule(&conv, &rv, &mask).unwrap().len();
             }
             let mc = total as f64 / trials as f64;
-            assert!(
-                (mc - exact).abs() < 0.05,
-                "p={p}: Monte Carlo {mc:.4} vs exact DP {exact:.4}"
-            );
+            assert!((mc - exact).abs() < 0.05, "p={p}: Monte Carlo {mc:.4} vs exact DP {exact:.4}");
         }
     }
 

@@ -63,6 +63,18 @@ pub struct Simulation<T: TrafficModel> {
     config: SimulationConfig,
 }
 
+// Manual impl: deriving would require `T: Debug`, which traffic models
+// need not provide.
+impl<T: TrafficModel> std::fmt::Debug for Simulation<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.interconnect.n())
+            .field("k", &self.interconnect.k())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T: TrafficModel> Simulation<T> {
     /// Builds the simulation, checking that the traffic model matches the
     /// interconnect dimensions.
@@ -73,10 +85,7 @@ impl<T: TrafficModel> Simulation<T> {
     ) -> Result<Simulation<T>, Error> {
         let interconnect = Interconnect::new(interconnect_config)?;
         if traffic.n() != interconnect.n() {
-            return Err(Error::LengthMismatch {
-                expected: interconnect.n(),
-                actual: traffic.n(),
-            });
+            return Err(Error::LengthMismatch { expected: interconnect.n(), actual: traffic.n() });
         }
         if traffic.k() != interconnect.k() {
             return Err(Error::WavelengthCountMismatch {
@@ -84,12 +93,7 @@ impl<T: TrafficModel> Simulation<T> {
                 actual: traffic.k(),
             });
         }
-        Ok(Simulation {
-            interconnect,
-            traffic,
-            rng: StdRng::seed_from_u64(config.seed),
-            config,
-        })
+        Ok(Simulation { interconnect, traffic, rng: StdRng::seed_from_u64(config.seed), config })
     }
 
     /// Runs warmup + measurement and returns the report.

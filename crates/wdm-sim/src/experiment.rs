@@ -128,19 +128,11 @@ pub fn run_sweep(config: &SweepConfig) -> Result<Vec<SweepPoint>, Error> {
                 .with_hold(config.hold);
             let report = match config.workload {
                 Workload::Uniform => {
-                    let t =
-                        BernoulliUniform::new(config.n, config.k, load, config.duration);
+                    let t = BernoulliUniform::new(config.n, config.k, load, config.duration);
                     Simulation::new(ic, t, config.sim)?.run()?
                 }
                 Workload::Hotspot { fraction } => {
-                    let t = Hotspot::new(
-                        config.n,
-                        config.k,
-                        load,
-                        0,
-                        fraction,
-                        config.duration,
-                    );
+                    let t = Hotspot::new(config.n, config.k, load, 0, fraction, config.duration);
                     Simulation::new(ic, t, config.sim)?.run()?
                 }
             };
@@ -239,12 +231,7 @@ mod tests {
 
     #[test]
     fn hotspot_workload_runs() {
-        let mut cfg = SweepConfig::uniform_packets(
-            3,
-            4,
-            vec![DegreeSpec::Circular(3)],
-            vec![0.5],
-        );
+        let mut cfg = SweepConfig::uniform_packets(3, 4, vec![DegreeSpec::Circular(3)], vec![0.5]);
         cfg.workload = Workload::Hotspot { fraction: 0.6 };
         cfg.sim = tiny_sim();
         let rows = run_sweep(&cfg).unwrap();

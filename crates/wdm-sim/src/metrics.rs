@@ -137,8 +137,7 @@ impl Metrics {
             .map(|c| c.iter().map(|&g| g as f64).sum::<f64>() / per as f64)
             .collect();
         let m = means.iter().sum::<f64>() / means.len() as f64;
-        let var = means.iter().map(|x| (x - m).powi(2)).sum::<f64>()
-            / (means.len() as f64 - 1.0);
+        let var = means.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (means.len() as f64 - 1.0);
         // t ≈ 2.09 for 19 degrees of freedom; 1.96 asymptotically. Use 2.1
         // as a conservative constant for the default batch count.
         Some(2.1 * (var / means.len() as f64).sqrt())

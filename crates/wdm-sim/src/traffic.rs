@@ -171,12 +171,7 @@ impl TrafficModel for Hotspot {
                     } else {
                         rng.gen_range(0..self.n)
                     };
-                    out.push(ConnectionRequest::burst(
-                        fiber,
-                        w,
-                        dst,
-                        self.duration.sample(rng),
-                    ));
+                    out.push(ConnectionRequest::burst(fiber, w, dst, self.duration.sample(rng)));
                 }
             }
         }
@@ -207,13 +202,7 @@ pub struct BurstyOnOff {
 impl BurstyOnOff {
     /// Creates the model. The stationary per-channel load is
     /// `p_on / (p_on + p_off)`; the mean burst length is `1 / p_off` slots.
-    pub fn new(
-        n: usize,
-        k: usize,
-        p_on: f64,
-        p_off: f64,
-        duration: DurationModel,
-    ) -> BurstyOnOff {
+    pub fn new(n: usize, k: usize, p_on: f64, p_off: f64, duration: DurationModel) -> BurstyOnOff {
         BurstyOnOff {
             n,
             k,

@@ -1,6 +1,10 @@
 //! Qualitative traffic effects the simulator must reproduce: hotspot skew
-//! concentrates loss on the hot fiber, and bursty multi-slot traffic loses
-//! more than smooth packet traffic at equal carried load.
+//! concentrates loss on the hot fiber, multi-slot holds lose more than
+//! packets at equal carried load, and with 1-slot packets the loss is
+//! insensitive to temporal burst correlation (the per-slot request
+//! distribution is all that matters to a memoryless per-slot scheduler).
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use wdm_core::Conversion;
 use wdm_interconnect::InterconnectConfig;
@@ -10,12 +14,7 @@ use wdm_sim::traffic::{BernoulliUniform, BurstyOnOff, DurationModel};
 
 #[test]
 fn hotspot_traffic_loses_more_than_uniform() {
-    let mut uniform = SweepConfig::uniform_packets(
-        8,
-        8,
-        vec![DegreeSpec::Circular(3)],
-        vec![0.6],
-    );
+    let mut uniform = SweepConfig::uniform_packets(8, 8, vec![DegreeSpec::Circular(3)], vec![0.6]);
     uniform.sim = SimulationConfig { warmup_slots: 200, measure_slots: 4_000, seed: 17 };
     let mut hotspot = uniform.clone();
     hotspot.workload = Workload::Hotspot { fraction: 0.5 };
@@ -31,7 +30,16 @@ fn hotspot_traffic_loses_more_than_uniform() {
 }
 
 #[test]
-fn bursty_arrivals_lose_more_than_bernoulli_at_equal_load() {
+fn bursty_packet_loss_matches_bernoulli_at_equal_load() {
+    // With 1-slot packets every slot is scheduled independently and no
+    // occupancy carries over, so loss depends only on the single-slot
+    // distribution of requests. A stationary on/off process whose ON
+    // fraction equals the Bernoulli rate (destinations uniform in both)
+    // has the *same* single-slot distribution — temporal burst correlation
+    // is invisible to a memoryless per-slot maximum-matching scheduler.
+    // This cross-validates the two traffic models against each other;
+    // burstiness only matters through occupancy memory, which
+    // `longer_holds_increase_loss_at_equal_carried_load` covers.
     let (n, k) = (8usize, 8usize);
     let conv = Conversion::symmetric_circular(k, 3).unwrap();
     let sim = SimulationConfig { warmup_slots: 500, measure_slots: 8_000, seed: 23 };
@@ -46,9 +54,7 @@ fn bursty_arrivals_lose_more_than_bernoulli_at_equal_load() {
     .run()
     .unwrap();
 
-    // Bursty with mean burst length 8 and the same stationary load: while
-    // ON, every packet of a burst aims at the same destination, creating
-    // correlated contention.
+    // Mean burst length 8 at the same stationary load.
     let p_off = 1.0 / 8.0;
     let p_on = load * p_off / (1.0 - load);
     let bursty = Simulation::new(
@@ -62,15 +68,11 @@ fn bursty_arrivals_lose_more_than_bernoulli_at_equal_load() {
 
     let measured_load =
         bursty.metrics.offered() as f64 / (sim.measure_slots as f64 * (n * k) as f64);
+    assert!((measured_load - load).abs() < 0.05, "bursty load calibration off: {measured_load}");
+    let (b, u) = (bursty.loss_probability(), bern.loss_probability());
     assert!(
-        (measured_load - load).abs() < 0.05,
-        "bursty load calibration off: {measured_load}"
-    );
-    assert!(
-        bursty.loss_probability() > bern.loss_probability(),
-        "bursty loss {} must exceed Bernoulli loss {}",
-        bursty.loss_probability(),
-        bern.loss_probability()
+        (b - u).abs() < 0.01,
+        "1-slot packet loss must be insensitive to burst correlation: bursty {b} vs Bernoulli {u}"
     );
 }
 
@@ -94,8 +96,5 @@ fn longer_holds_increase_loss_at_equal_carried_load() {
     };
     let short = loss_at(1.0);
     let long = loss_at(8.0);
-    assert!(
-        long > short,
-        "8-slot holds ({long}) should lose more than packets ({short})"
-    );
+    assert!(long > short, "8-slot holds ({long}) should lose more than packets ({short})");
 }

@@ -1,0 +1,385 @@
+//! The workspace's static-analysis gate, in the cargo-xtask pattern:
+//! `cargo xtask check` (via the alias in `.cargo/config.toml`) runs every
+//! check a PR must pass, and each sub-check is runnable on its own.
+//!
+//! | command | what it enforces |
+//! |---------|------------------|
+//! | `cargo xtask fmt` | `rustfmt` conformance (`rustfmt.toml`) |
+//! | `cargo xtask clippy` | the `[workspace.lints]` deny wall |
+//! | `cargo xtask build` | the workspace compiles, all targets |
+//! | `cargo xtask test` | the full test suite in the dev profile, so `debug_assert!`-gated `MatchingCertificate` checks execute |
+//! | `cargo xtask scan` | no `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!` / `dbg!` / `unsafe` in library source of the five `wdm-*` crates (test modules exempt) |
+//! | `cargo xtask twins` | every public algorithm entry point in `wdm-core::algorithms` has a `*_checked` certificate twin |
+//! | `cargo xtask check` | all of the above, in that order |
+//!
+//! The source scan is a belt-and-braces complement to the clippy wall: it
+//! also catches occurrences clippy cannot see (e.g. inside macro
+//! definitions or `cfg`d-out code) and enforces the `_checked`-twin
+//! convention, which no off-the-shelf lint knows about.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Library crates covered by the source scan: every `.rs` file under each
+/// crate's `src/` is checked, except `#[cfg(test)]` modules.
+const LIBRARY_CRATES: [&str; 5] =
+    ["wdm-core", "wdm-hardware", "wdm-interconnect", "wdm-sim", "wdm-bench"];
+
+/// Directory holding the algorithm modules checked for `_checked` twins.
+const ALGORITHMS_DIR: &str = "crates/wdm-core/src/algorithms";
+
+/// Public algorithm-module functions that deliberately have no `_checked`
+/// twin, with the reason recorded here.
+const TWIN_EXEMPT: [(&str, &str); 1] =
+    [("validate_assignments", "is itself a validator, not an algorithm")];
+
+/// Macro invocations and constructs banned from library source.
+const BANNED: [(&str, &str); 7] = [
+    (".unwrap()", "propagate wdm_core::Error or use `let .. else { unreachable!(..) }`"),
+    (".expect(", "propagate wdm_core::Error or use `let .. else { unreachable!(..) }`"),
+    ("panic!(", "return an Err or use `unreachable!`/`assert!` with an invariant message"),
+    ("todo!(", "no placeholders in library code"),
+    ("unimplemented!(", "no placeholders in library code"),
+    ("dbg!(", "no debug prints in library code"),
+    ("unsafe ", "the workspace forbids unsafe code"),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map_or("check", String::as_str);
+    let root = workspace_root();
+    let ok = match cmd {
+        "check" => {
+            run_fmt(&root)
+                && run_clippy(&root)
+                && run_build(&root)
+                && run_tests(&root)
+                && run_scan(&root)
+                && run_twins(&root)
+        }
+        "fmt" => run_fmt(&root),
+        "clippy" => run_clippy(&root),
+        "build" => run_build(&root),
+        "test" => run_tests(&root),
+        "scan" => run_scan(&root),
+        "twins" => run_twins(&root),
+        other => {
+            eprintln!("unknown xtask command `{other}`");
+            eprintln!("usage: cargo xtask [check|fmt|clippy|build|test|scan|twins]");
+            return ExitCode::FAILURE;
+        }
+    };
+    if ok {
+        println!("xtask {cmd}: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask {cmd}: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: this file is compiled from `crates/xtask`, and the
+/// alias always runs from inside the workspace, so walking up from the
+/// manifest directory is reliable without any cargo-metadata dependency.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map_or(manifest.clone(), Path::to_path_buf)
+}
+
+fn run_step(root: &Path, name: &str, program: &str, args: &[&str]) -> bool {
+    println!("==> {name}: {program} {}", args.join(" "));
+    match Command::new(program).args(args).current_dir(root).status() {
+        Ok(status) if status.success() => true,
+        Ok(status) => {
+            eprintln!("{name} failed with {status}");
+            false
+        }
+        Err(err) => {
+            eprintln!("{name} failed to start: {err}");
+            false
+        }
+    }
+}
+
+fn run_fmt(root: &Path) -> bool {
+    run_step(root, "fmt", "cargo", &["fmt", "--check"])
+}
+
+fn run_clippy(root: &Path) -> bool {
+    // The deny wall lives in `[workspace.lints]`; any violation is an error.
+    run_step(root, "clippy", "cargo", &["clippy", "--offline", "--workspace", "--all-targets"])
+}
+
+fn run_build(root: &Path) -> bool {
+    run_step(root, "build", "cargo", &["build", "--offline", "--workspace", "--all-targets"])
+}
+
+fn run_tests(root: &Path) -> bool {
+    // Dev profile: debug assertions are on, so every schedule computed by
+    // the suite passes through the MatchingCertificate hot-path checks.
+    run_step(root, "test", "cargo", &["test", "--offline", "--workspace", "--quiet"])
+}
+
+/// One banned-construct occurrence found by the scan.
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    pattern: &'static str,
+    hint: &'static str,
+}
+
+fn run_scan(root: &Path) -> bool {
+    println!("==> scan: banned constructs in library source of {LIBRARY_CRATES:?}");
+    let mut violations = Vec::new();
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files);
+        files.sort();
+        for file in files {
+            match std::fs::read_to_string(&file) {
+                Ok(text) => scan_file(&file, &text, &mut violations),
+                Err(err) => {
+                    eprintln!("scan: cannot read {}: {err}", file.display());
+                    return false;
+                }
+            }
+        }
+    }
+    for v in &violations {
+        let rel = v.file.strip_prefix(root).unwrap_or(&v.file);
+        eprintln!("scan: {}:{}: banned `{}` — {}", rel.display(), v.line, v.pattern, v.hint);
+    }
+    if violations.is_empty() {
+        true
+    } else {
+        eprintln!("scan: {} violation(s)", violations.len());
+        false
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans one file, skipping `#[cfg(test)]` modules (tests may use
+/// `unwrap`/`expect` freely), comments, and string literals.
+fn scan_file(file: &Path, text: &str, out: &mut Vec<Violation>) {
+    // Depth of the brace nesting, and the depth at which a `#[cfg(test)]`
+    // module body started (None when not inside one).
+    let mut depth: usize = 0;
+    let mut test_mod_depth: Option<usize> = None;
+    let mut pending_cfg_test = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comments_and_strings(raw);
+        let trimmed = line.trim();
+        if test_mod_depth.is_none() {
+            if trimmed.starts_with("#[cfg(test)]") {
+                pending_cfg_test = true;
+            } else if pending_cfg_test {
+                if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                    test_mod_depth = Some(depth);
+                }
+                if !trimmed.starts_with("#[") {
+                    pending_cfg_test = false;
+                }
+            }
+        }
+        if test_mod_depth.is_none() {
+            for (pattern, hint) in BANNED {
+                if line.contains(pattern) {
+                    out.push(Violation { file: file.to_path_buf(), line: idx + 1, pattern, hint });
+                }
+            }
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if test_mod_depth == Some(depth) {
+                        test_mod_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Blanks out line comments and the contents of string literals so the
+/// banned-pattern match only sees code. Handles `"…"`, escapes, and `//`;
+/// good enough for this codebase (no raw strings with quotes in library
+/// paths, and block comments are not used there).
+fn strip_comments_and_strings(line: &str) -> String {
+    let mut result = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_string = false;
+                    result.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if in_char {
+            if c == '\\' {
+                chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                result.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            // A char literal only ever follows non-identifier context; a
+            // lone `'` after an identifier is a lifetime, which has no
+            // closing quote — treat as literal only when it closes shortly.
+            '\'' if looks_like_char_literal(line, line.len() - chars.clone().count() - 1) => {
+                in_char = true;
+            }
+            _ => result.push(c),
+        }
+    }
+    result
+}
+
+/// Whether the `'` at byte `pos` starts a char literal (rather than a
+/// lifetime): a char literal closes with another `'` within a few bytes.
+fn looks_like_char_literal(line: &str, pos: usize) -> bool {
+    let rest = &line[pos + 1..];
+    let mut seen = 0;
+    for c in rest.chars() {
+        if c == '\'' {
+            return seen > 0;
+        }
+        seen += 1;
+        if seen > 3 {
+            return false;
+        }
+    }
+    false
+}
+
+fn run_twins(root: &Path) -> bool {
+    println!("==> twins: every public algorithm in {ALGORITHMS_DIR} has a _checked twin");
+    let dir = root.join(ALGORITHMS_DIR);
+    let mut files = Vec::new();
+    collect_rs_files(&dir, &mut files);
+    files.sort();
+    let mut names = Vec::new();
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            eprintln!("twins: cannot read {}", file.display());
+            return false;
+        };
+        for line in text.lines() {
+            // Only module-level functions (column 0): associated functions
+            // inside `impl` blocks are constructors/accessors, not
+            // algorithm entry points.
+            if let Some(rest) = line.strip_prefix("pub fn ") {
+                let name: String =
+                    rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+                if !name.is_empty() {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    let mut missing = Vec::new();
+    for name in &names {
+        if name.ends_with("_checked") {
+            continue;
+        }
+        if TWIN_EXEMPT.iter().any(|(exempt, _)| exempt == name) {
+            continue;
+        }
+        let twin = format!("{name}_checked");
+        if !names.contains(&twin) {
+            missing.push((name.clone(), twin));
+        }
+    }
+    if missing.is_empty() {
+        let mut listed = String::new();
+        let count = names.iter().filter(|n| n.ends_with("_checked")).count();
+        let _ = write!(listed, "{count} twins cover {} entry points", names.len() - count);
+        println!("twins: {listed}");
+        true
+    } else {
+        for (name, twin) in &missing {
+            eprintln!("twins: `pub fn {name}` has no `{twin}` certificate twin");
+        }
+        eprintln!("twins: {} missing twin(s)", missing.len());
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        assert_eq!(strip_comments_and_strings("let x = 1; // .unwrap()"), "let x = 1; ");
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        assert_eq!(strip_comments_and_strings(r#"err(".unwrap() is banned")"#), r#"err("")"#);
+    }
+
+    #[test]
+    fn keeps_code_outside_strings() {
+        let s = strip_comments_and_strings(r#"x.unwrap(); err("msg")"#);
+        assert!(s.contains(".unwrap()"));
+        assert!(!s.contains("msg"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = strip_comments_and_strings("fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }");
+        assert!(s.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn char_literals_are_skipped() {
+        let s = strip_comments_and_strings("if c == '\"' { x() }");
+        assert!(s.contains("x()"));
+        assert!(!s.contains('"'));
+    }
+
+    #[test]
+    fn scan_flags_banned_and_skips_test_mods() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn lib2() { panic!(\"boom\"); }\n";
+        let mut out = Vec::new();
+        scan_file(Path::new("mem.rs"), src, &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 6]);
+    }
+}

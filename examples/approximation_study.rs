@@ -6,6 +6,8 @@
 //! cargo run --release --example approximation_study
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wdm_optical::core::algorithms::{approx_schedule, break_fa_schedule};

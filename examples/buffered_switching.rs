@@ -6,6 +6,8 @@
 //! cargo run --release --example buffered_switching [-- --quick]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wdm_optical::core::{Conversion, Policy};

@@ -6,6 +6,8 @@
 //! cargo run --release --example burst_switching [-- --quick]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wdm_optical::core::{Conversion, Policy};
 use wdm_optical::interconnect::{HoldPolicy, InterconnectConfig};
 use wdm_optical::sim::engine::{Report, Simulation, SimulationConfig};
@@ -24,9 +26,7 @@ fn run(
     // that holds for H slots should launch new bursts H times less often.
     let p = (arrival_p / mean_hold).min(1.0);
     let traffic = BernoulliUniform::new(n, k, p, DurationModel::Geometric { mean: mean_hold });
-    let cfg = InterconnectConfig::packet_switch(n, conv)
-        .with_policy(Policy::Auto)
-        .with_hold(hold);
+    let cfg = InterconnectConfig::packet_switch(n, conv).with_policy(Policy::Auto).with_hold(hold);
     Simulation::new(cfg, traffic, sim).expect("valid dimensions").run().expect("run")
 }
 

@@ -15,6 +15,8 @@
 //! cargo run --release --example distributed_scaling
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -83,7 +85,7 @@ fn part2_threaded_slots() {
         })
         .collect();
 
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!("part 2: whole-switch slot latency, N={n}, k={k}, load 0.8, {cores} core(s)\n");
     println!("{:>9} {:>18}", "threads", "ms per slot");
     for threads in [1usize, 2, 4, 8] {
@@ -94,7 +96,7 @@ fn part2_threaded_slots() {
             ic.advance_slot(reqs).expect("slot");
         }
         let ms = start.elapsed().as_secs_f64() * 1e3 / slots as f64;
-        println!("{:>9} {:>18.2}", threads, ms);
+        println!("{threads:>9} {ms:>18.2}");
     }
     println!(
         "\nThe N per-fiber schedulers share no state, so the decomposition parallelizes\n\

@@ -6,6 +6,8 @@
 //! cargo run --example hardware_pipeline
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wdm_optical::core::{ChannelMask, Conversion};
 use wdm_optical::hardware::{BreakFaUnit, FirstAvailableUnit, HardwareScheduler, RequestRegister};
 

@@ -6,6 +6,8 @@
 //! cargo run --example paper_figures
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wdm_optical::core::algorithms::{break_fa_matching, first_available_matching};
 use wdm_optical::core::breaking::break_graph;
 use wdm_optical::core::render::{

@@ -5,6 +5,8 @@
 //! cargo run --example qos_priorities
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wdm_optical::core::priority::PriorityScheduler;
@@ -19,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three classes: premium (light), assured (moderate), best-effort
     // (heavy). Measure per-class loss over many slots as best-effort load
     // ramps up — premium must be untouched.
-    println!(
-        "{:>10} {:>12} {:>12} {:>12}",
-        "BE load", "premium loss", "assured loss", "BE loss"
-    );
+    println!("{:>10} {:>12} {:>12} {:>12}", "BE load", "premium loss", "assured loss", "BE loss");
     for be_load in [0.2f64, 0.5, 1.0, 2.0] {
         let slots = 3_000;
         let mut requested = [0usize; 3];
@@ -39,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 rv
             };
-            let classes =
-                vec![mk(&mut rng, 0.15), mk(&mut rng, 0.35), mk(&mut rng, be_load)];
+            let classes = vec![mk(&mut rng, 0.15), mk(&mut rng, 0.35), mk(&mut rng, be_load)];
             let out = sched.schedule(&classes)?;
             for c in &out {
                 requested[c.class] += c.requested;
@@ -48,13 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let loss = |i: usize| 1.0 - granted[i] as f64 / requested[i].max(1) as f64;
-        println!(
-            "{:>10.2} {:>12.5} {:>12.5} {:>12.5}",
-            be_load,
-            loss(0),
-            loss(1),
-            loss(2)
-        );
+        println!("{:>10.2} {:>12.5} {:>12.5} {:>12.5}", be_load, loss(0), loss(1), loss(2));
     }
     println!(
         "\nPremium-class loss is flat regardless of best-effort pressure — the strict-\n\

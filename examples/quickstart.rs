@@ -4,6 +4,8 @@
 //! cargo run --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wdm_optical::core::{ChannelMask, Conversion, FiberScheduler, Policy, RequestVector};
 use wdm_optical::interconnect::{ConnectionRequest, Interconnect, InterconnectConfig};
 

@@ -9,6 +9,8 @@
 //!
 //! Writes `throughput_study.csv` next to the terminal table.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wdm_optical::sim::analysis;
 use wdm_optical::sim::engine::SimulationConfig;
 use wdm_optical::sim::experiment::{run_sweep, to_csv, to_table, DegreeSpec, SweepConfig};
@@ -16,11 +18,8 @@ use wdm_optical::sim::experiment::{run_sweep, to_csv, to_table, DegreeSpec, Swee
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
     let (n, k) = (8, 16);
-    let loads: Vec<f64> = if quick {
-        vec![0.4, 0.8]
-    } else {
-        (1..=10).map(|i| i as f64 / 10.0).collect()
-    };
+    let loads: Vec<f64> =
+        if quick { vec![0.4, 0.8] } else { (1..=10).map(|i| i as f64 / 10.0).collect() };
     let mut config = SweepConfig::uniform_packets(
         n,
         k,

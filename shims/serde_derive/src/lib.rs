@@ -1,0 +1,428 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! The build environment has no network access, so `syn`/`quote` are not
+//! available; this crate parses the derive input token stream directly. It
+//! supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields (including private fields),
+//! * enums whose variants are unit, single-field tuple, multi-field tuple,
+//!   or struct-like,
+//!
+//! and emits impls of the tree-based `serde` shim traits using upstream
+//! serde's externally-tagged enum representation. Generic types and
+//! `#[serde(...)]` attributes are rejected with a compile error rather than
+//! silently mishandled.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    data: Data,
+}
+
+#[derive(Debug)]
+enum Data {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the serde shim's `Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.data {
+        Data::Struct(fields) => serialize_struct_body(&input.name, fields),
+        Data::Enum(variants) => serialize_enum_body(&input.name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n",
+        name = input.name,
+    );
+    parse_generated(&code)
+}
+
+/// Derives the serde shim's `Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.data {
+        Data::Struct(fields) => deserialize_struct_body(&input.name, fields),
+        Data::Enum(variants) => deserialize_enum_body(&input.name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n",
+        name = input.name,
+    );
+    parse_generated(&code)
+}
+
+fn parse_generated(code: &str) -> TokenStream {
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(err) => panic!("serde_derive shim produced unparseable code: {err}\n{code}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let group = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!(
+                    "serde_derive shim: only named-field structs are supported for `{name}`, \
+                     got {other:?}"
+                ),
+            };
+            Input { name, data: Data::Struct(parse_named_fields(group.stream())) }
+        }
+        "enum" => {
+            let group = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive shim: malformed enum `{name}`: {other:?}"),
+            };
+            Input { name, data: Data::Enum(parse_variants(group.stream())) }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+type Tokens = core::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`) and a `pub` / `pub(...)` visibility.
+fn skip_attributes_and_visibility(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, tracking `<...>` depth so commas
+/// inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let field = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{field}`, got {other:?}"),
+        }
+        fields.push(field);
+        skip_type_until_comma(&mut tokens);
+    }
+    fields
+}
+
+fn skip_type_until_comma(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to the next variant (past discriminants and the comma).
+        let mut angle_depth = 0usize;
+        while let Some(token) = tokens.peek() {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        tokens.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            tokens.next();
+        }
+    }
+    variants
+}
+
+/// Counts the fields of a tuple variant: top-level commas + 1 (ignoring a
+/// trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut fields = 0usize;
+    let mut saw_tokens_since_comma = false;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if saw_tokens_since_comma {
+        fields += 1;
+    }
+    fields
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::Value";
+const STRING_FROM: &str = "::std::string::String::from";
+
+fn map_expr(entries: &[(String, String)]) -> String {
+    if entries.is_empty() {
+        return format!("{VALUE}::Map(::std::vec::Vec::<(::std::string::String, {VALUE})>::new())");
+    }
+    let body: Vec<String> =
+        entries.iter().map(|(key, value)| format!("({STRING_FROM}(\"{key}\"), {value})")).collect();
+    format!("{VALUE}::Map(::std::vec::Vec::from([{}]))", body.join(", "))
+}
+
+fn seq_expr(items: &[String]) -> String {
+    if items.is_empty() {
+        return format!("{VALUE}::Seq(::std::vec::Vec::<{VALUE}>::new())");
+    }
+    format!("{VALUE}::Seq(::std::vec::Vec::from([{}]))", items.join(", "))
+}
+
+fn serialize_struct_body(_name: &str, fields: &[String]) -> String {
+    let entries: Vec<(String, String)> = fields
+        .iter()
+        .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})")))
+        .collect();
+    map_expr(&entries)
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let arm = match &v.kind {
+            VariantKind::Unit => {
+                format!("{name}::{vname} => {VALUE}::Str({STRING_FROM}(\"{vname}\")),")
+            }
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                let payload = if *arity == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    seq_expr(&items)
+                };
+                format!(
+                    "{name}::{vname}({binds}) => {map},",
+                    binds = binders.join(", "),
+                    map = map_expr(&[(vname.clone(), payload)]),
+                )
+            }
+            VariantKind::Struct(fields) => {
+                let entries: Vec<(String, String)> = fields
+                    .iter()
+                    .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {binds} }} => {map},",
+                    binds = fields.join(", "),
+                    map = map_expr(&[(vname.clone(), map_expr(&entries))]),
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn deserialize_struct_body(name: &str, fields: &[String]) -> String {
+    let field_inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     ::serde::struct_field(entries, \"{f}\", \"{name}\")?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "let entries = match value {{\n\
+             {VALUE}::Map(entries) => entries,\n\
+             other => return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"map\", \"{name}\", other)),\n\
+         }};\n\
+         ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+        fields = field_inits.join("\n"),
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => unit_arms
+                .push(format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")),
+            VariantKind::Tuple(1) => tagged_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok(\
+                     {name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+            )),
+            VariantKind::Tuple(arity) => {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let items = payload.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\
+                                 \"sequence\", \"{name}::{vname}\", payload))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::message(\
+                                 \"wrong tuple arity for {name}::{vname}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                     }}",
+                    elems = elems.join(", "),
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let field_inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::struct_field(fields, \"{f}\", \"{name}::{vname}\")?)?,"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let fields = payload.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"map\", \"{name}::{vname}\", payload))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{\n{field_inits}\n}})\n\
+                     }}",
+                    field_inits = field_inits.join("\n"),
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+             {VALUE}::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::message(\
+                     ::std::format!(\"unknown unit variant `{{other}}` of {name}\"))),\n\
+             }},\n\
+             {VALUE}::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 let _ = payload; // unused when every variant is a unit variant\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::message(\
+                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"variant\", \"{name}\", other)),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n"),
+    )
+}

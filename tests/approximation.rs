@@ -5,6 +5,8 @@
 //! where the approximation loses exactly (d−1)/2 = 1 match, so Theorem 3 is
 //! tight and the exhaustive search confirms nothing worse exists.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wdm_optical::core::algorithms::{approx_schedule, break_fa_schedule};
 use wdm_optical::core::{ChannelMask, Conversion, RequestVector};
 

@@ -3,13 +3,21 @@
 //! equivalent to the sequential loop, and the hardware pipeline agrees with
 //! the software interconnect.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wdm_optical::core::{ChannelMask, Conversion, Policy};
 use wdm_optical::hardware::{HardwareScheduler, RequestRegister};
 use wdm_optical::interconnect::{ConnectionRequest, Interconnect, InterconnectConfig};
 
-fn random_requests(rng: &mut StdRng, n: usize, k: usize, p: f64, max_dur: u32) -> Vec<ConnectionRequest> {
+fn random_requests(
+    rng: &mut StdRng,
+    n: usize,
+    k: usize,
+    p: f64,
+    max_dur: u32,
+) -> Vec<ConnectionRequest> {
     let mut reqs = Vec::new();
     for fiber in 0..n {
         for w in 0..k {
@@ -74,19 +82,16 @@ fn per_fiber_decisions_are_isolated() {
         let only: Vec<ConnectionRequest> =
             all.iter().copied().filter(|r| r.dst_fiber == target).collect();
 
-        let mut ic_all =
-            Interconnect::new(InterconnectConfig::packet_switch(n, conv)).unwrap();
-        let mut ic_only =
-            Interconnect::new(InterconnectConfig::packet_switch(n, conv)).unwrap();
+        let mut ic_all = Interconnect::new(InterconnectConfig::packet_switch(n, conv)).unwrap();
+        let mut ic_only = Interconnect::new(InterconnectConfig::packet_switch(n, conv)).unwrap();
         let ra = ic_all.advance_slot(&all).unwrap();
         let rb = ic_only.advance_slot(&only).unwrap();
-        let grants_a: Vec<_> = ra
-            .grants
-            .iter()
-            .filter(|g| g.request.dst_fiber == target)
-            .collect();
+        let grants_a: Vec<_> = ra.grants.iter().filter(|g| g.request.dst_fiber == target).collect();
         let grants_b: Vec<_> = rb.grants.iter().collect();
-        assert_eq!(grants_a, grants_b, "fiber {target}'s schedule depends only on its own requests");
+        assert_eq!(
+            grants_a, grants_b,
+            "fiber {target}'s schedule depends only on its own requests"
+        );
     }
 }
 

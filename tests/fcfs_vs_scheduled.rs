@@ -4,6 +4,8 @@
 //! it is at most optimal and at least half of it (maximal-matching bound);
 //! under sustained contention the scheduled switch carries strictly more.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wdm_optical::core::algorithms::{break_fa_schedule, validate_assignments};
@@ -17,9 +19,7 @@ fn fcfs_admit_slot(conv: Conversion, requests: &[(usize, usize)]) -> usize {
     requests
         .iter()
         .enumerate()
-        .filter(|&(i, &(_, w))| {
-            sw.admit(ConnectionRequest::packet(i, w, 0)).unwrap().is_ok()
-        })
+        .filter(|&(i, &(_, w))| sw.admit(ConnectionRequest::packet(i, w, 0)).unwrap().is_ok())
         .count()
 }
 
@@ -31,9 +31,8 @@ fn fcfs_bounded_by_maximum_matching() {
     let mask = ChannelMask::all_free(k);
     let mut rng = StdRng::seed_from_u64(71);
     for _ in 0..500 {
-        let reqs: Vec<(usize, usize)> = (0..rng.gen_range(0..2 * k))
-            .map(|i| (i, rng.gen_range(0..k)))
-            .collect();
+        let reqs: Vec<(usize, usize)> =
+            (0..rng.gen_range(0..2 * k)).map(|i| (i, rng.gen_range(0..k))).collect();
         let rv =
             RequestVector::from_wavelengths(k, &reqs.iter().map(|&(_, w)| w).collect::<Vec<_>>())
                 .unwrap();
@@ -97,8 +96,5 @@ fn scheduled_switch_outperforms_fcfs_under_load() {
     }
     assert!(granted_sched >= granted_fcfs);
     let gain = granted_sched as f64 / granted_fcfs as f64;
-    assert!(
-        gain > 1.005,
-        "scheduling should measurably beat FCFS at 0.9 load (gain {gain:.4})"
-    );
+    assert!(gain > 1.005, "scheduling should measurably beat FCFS at 0.9 load (gain {gain:.4})");
 }

@@ -2,6 +2,8 @@
 //! conservation invariants, occupied-channel correctness, and the
 //! non-disturb vs rearrangement comparison.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wdm_optical::core::{Conversion, Policy};
@@ -9,7 +11,13 @@ use wdm_optical::interconnect::{
     ConnectionRequest, HoldPolicy, Interconnect, InterconnectConfig, RejectReason,
 };
 
-fn random_requests(rng: &mut StdRng, n: usize, k: usize, p: f64, max_dur: u32) -> Vec<ConnectionRequest> {
+fn random_requests(
+    rng: &mut StdRng,
+    n: usize,
+    k: usize,
+    p: f64,
+    max_dur: u32,
+) -> Vec<ConnectionRequest> {
     let mut reqs = Vec::new();
     for fiber in 0..n {
         for w in 0..k {

@@ -6,6 +6,8 @@
 //! paper's schedulers must produce exactly the Hopcroft–Karp maximum,
 //! and the approximation must stay within Theorem 3's bound.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wdm_optical::core::algorithms::{
     approx_schedule, break_fa_schedule, fa_schedule, kuhn, validate_assignments,
 };
@@ -46,11 +48,7 @@ fn check_instance(conv: Conversion, counts: &[usize], mask: &ChannelMask) {
         let out = approx_schedule(&conv, &rv, mask).unwrap();
         validate_assignments(&conv, &rv, mask, &out.assignments).unwrap();
         assert!(out.assignments.len() <= optimal, "approx overshoot: {}", ctx());
-        assert!(
-            out.assignments.len() + out.bound >= optimal,
-            "Theorem 3 violated: {}",
-            ctx()
-        );
+        assert!(out.assignments.len() + out.bound >= optimal, "Theorem 3 violated: {}", ctx());
     } else {
         let a = fa_schedule(&conv, &rv, mask).unwrap();
         validate_assignments(&conv, &rv, mask, &a).unwrap();
@@ -80,26 +78,16 @@ fn exhaustive_all_channels_free() {
 fn exhaustive_with_occupied_channels() {
     for k in 1..=4usize {
         for mask_bits in 0..(1usize << k) {
-            let mask = ChannelMask::from_flags(
-                (0..k).map(|w| mask_bits & (1 << w) != 0).collect(),
-            )
-            .unwrap();
+            let mask = ChannelMask::from_flags((0..k).map(|w| mask_bits & (1 << w) != 0).collect())
+                .unwrap();
             for e in 0..k {
                 for f in 0..k {
                     if e + f + 1 > k {
                         continue;
                     }
                     for counts in count_vectors(k, 2) {
-                        check_instance(
-                            Conversion::circular(k, e, f).unwrap(),
-                            &counts,
-                            &mask,
-                        );
-                        check_instance(
-                            Conversion::non_circular(k, e, f).unwrap(),
-                            &counts,
-                            &mask,
-                        );
+                        check_instance(Conversion::circular(k, e, f).unwrap(), &counts, &mask);
+                        check_instance(Conversion::non_circular(k, e, f).unwrap(), &counts, &mask);
                     }
                 }
             }

@@ -1,6 +1,8 @@
 //! E1–E4: the paper's worked examples, end to end through the public API
 //! (Figures 2–5 and the §I contention example).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wdm_optical::core::algorithms::{break_fa_matching, first_available_matching, hopcroft_karp};
 use wdm_optical::core::breaking::break_graph;
 use wdm_optical::core::{Conversion, FiberScheduler, Policy, RequestGraph, RequestVector};
@@ -32,8 +34,7 @@ fn figure_2_conversion_graphs() {
 #[test]
 fn figure_3_request_graphs() {
     let rv = paper_requests();
-    let g_circ =
-        RequestGraph::new(Conversion::symmetric_circular(6, 3).unwrap(), &rv).unwrap();
+    let g_circ = RequestGraph::new(Conversion::symmetric_circular(6, 3).unwrap(), &rv).unwrap();
     let g_nc = RequestGraph::new(Conversion::non_circular(6, 1, 1).unwrap(), &rv).unwrap();
     assert_eq!(g_circ.left_count(), 7);
     assert_eq!(g_circ.edge_count(), 21, "every request has d = 3 edges");
@@ -89,8 +90,7 @@ fn section_1_motivating_example() {
     let rv = RequestVector::from_counts(vec![0, 2, 3, 0, 1, 0]).unwrap();
     let full = FiberScheduler::new(Conversion::full(6).unwrap(), Policy::Auto);
     assert_eq!(full.schedule(&rv).unwrap().granted(), 6);
-    let limited =
-        FiberScheduler::new(Conversion::symmetric_circular(6, 3).unwrap(), Policy::Auto);
+    let limited = FiberScheduler::new(Conversion::symmetric_circular(6, 3).unwrap(), Policy::Auto);
     let schedule = limited.schedule(&rv).unwrap();
     assert_eq!(schedule.granted(), 5);
     assert_eq!(schedule.rejected(), 1);

@@ -4,6 +4,8 @@
 //! are checked: throughput is monotone in d, and circular conversion
 //! dominates non-circular at equal degree.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use wdm_optical::core::Conversion;
 use wdm_optical::interconnect::InterconnectConfig;
 use wdm_optical::sim::analysis;
@@ -82,11 +84,7 @@ fn throughput_is_monotone_in_conversion_degree() {
         Conversion::full(k).unwrap(),
     ] {
         let tput = simulate(n, k, conv, p, 3).metrics.throughput_per_slot();
-        assert!(
-            tput >= last - 0.05,
-            "degree {} regressed: {tput} < {last}",
-            conv.degree()
-        );
+        assert!(tput >= last - 0.05, "degree {} regressed: {tput} < {last}", conv.degree());
         last = tput;
     }
 }
@@ -97,7 +95,8 @@ fn limited_range_lies_between_the_extremes() {
     let p = 0.9;
     let d3 = simulate(n, k, Conversion::symmetric_circular(k, 3).unwrap(), p, 4)
         .metrics
-        .throughput_per_slot() / n as f64;
+        .throughput_per_slot()
+        / n as f64;
     let lo = analysis::no_conversion_fiber_throughput(n, k, p);
     let hi = analysis::full_conversion_fiber_throughput(n, k, p);
     assert!(d3 > lo && d3 < hi + 0.05, "d=3 throughput {d3} outside ({lo}, {hi})");
@@ -117,10 +116,7 @@ fn circular_dominates_non_circular_at_equal_degree() {
         .metrics
         .throughput_per_slot();
     // Circular conversion strictly contains the non-circular edge set.
-    assert!(
-        circ >= non_circ - 0.05,
-        "circular {circ} vs non-circular {non_circ}"
-    );
+    assert!(circ >= non_circ - 0.05, "circular {circ} vs non-circular {non_circ}");
 }
 
 #[test]
