@@ -1,0 +1,127 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The tentpole property of the scheduling hot path is that steady-state
+//! [`FiberScheduler::schedule_slot`][schedule_slot] performs **zero heap
+//! allocations** once its [`ScratchArena`][arena] has warmed up. A claim
+//! like that silently regresses the moment someone adds a stray `Vec::new()`
+//! to an algorithm — so this crate provides [`CountingAlloc`], a
+//! `GlobalAlloc` wrapper around the system allocator that counts every
+//! `alloc`/`realloc` call, and the integration test in
+//! `tests/zero_alloc.rs` pins the property.
+//!
+//! Registering the allocator is ordinary safe code:
+//!
+//! ```ignore
+//! use wdm_alloc_count::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! let before = ALLOC.allocations();
+//! // ... code under test ...
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! Counters are global to the process: measurement windows are only
+//! meaningful while no other thread allocates, which is why the regression
+//! test keeps everything in a single `#[test]`.
+//!
+//! This is the one crate in the workspace that opts out of the
+//! `unsafe_code = "forbid"` wall (see its `Cargo.toml`): a `GlobalAlloc`
+//! impl is necessarily unsafe, and keeping it in its own leaf crate keeps
+//! the wall intact everywhere else.
+//!
+//! [schedule_slot]: ../wdm_core/scheduler/struct.FiberScheduler.html#method.schedule_slot
+//! [arena]: ../wdm_core/arena/struct.ScratchArena.html
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A global allocator that forwards to [`System`] and counts calls.
+///
+/// All counters use relaxed atomics: the allocator adds a few nanoseconds
+/// per call and never lies about totals observed after the counted code has
+/// finished (reads on the measuring thread happen after the allocating calls
+/// on the same thread).
+#[derive(Debug)]
+pub struct CountingAlloc {
+    allocations: AtomicU64,
+    reallocations: AtomicU64,
+    deallocations: AtomicU64,
+    allocated_bytes: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A new counter-wrapped system allocator with all counters at zero.
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc {
+            allocations: AtomicU64::new(0),
+            reallocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+            allocated_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of `alloc`/`alloc_zeroed` calls so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Number of `realloc` calls so far (counted separately from
+    /// [`Self::allocations`]; a growth-free hot path must add to neither).
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations.load(Ordering::Relaxed)
+    }
+
+    /// Number of `dealloc` calls so far.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested across `alloc`/`alloc_zeroed`/`realloc`.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// `allocations() + reallocations()` — the number that must stay flat
+    /// across an allocation-free region.
+    pub fn heap_events(&self) -> u64 {
+        self.allocations() + self.reallocations()
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates have no effect on the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.allocated_bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.allocated_bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.reallocations.fetch_add(1, Ordering::Relaxed);
+        self.allocated_bytes.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

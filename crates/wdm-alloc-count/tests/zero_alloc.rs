@@ -1,0 +1,110 @@
+//! Allocation-regression test: steady-state `schedule_slot` is
+//! allocation-free.
+//!
+//! The whole measurement lives in a single `#[test]` because the counters
+//! are process-global: a second test allocating concurrently on a harness
+//! thread would show up inside the measurement window.
+//!
+//! The assertion only runs in builds without debug assertions: with them
+//! enabled, `schedule_slot` runs the full matching certificate every slot
+//! (rebuilding the request graph and running Hopcroft–Karp), which allocates
+//! by design. CI therefore runs this test with a plain `--release` pass in
+//! addition to the release-with-debug-assertions matrix leg.
+
+#![allow(clippy::unwrap_used)]
+
+use wdm_alloc_count::CountingAlloc;
+use wdm_core::{ChannelMask, Conversion, FiberScheduler, Policy, RequestVector, ScratchArena};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Minimal deterministic generator (xorshift64*) — no `rand` dependency, no
+/// allocations.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Fills `rv` and `mask` with a pseudo-random slot pattern, allocation-free.
+fn fill_slot(rng: &mut Rng, k: usize, rv: &mut RequestVector, mask: &mut ChannelMask) {
+    rv.clear();
+    mask.reset_all_free();
+    for w in 0..k {
+        // ~60% of wavelengths carry 1–2 requests.
+        let r = rng.next();
+        if r % 10 < 6 {
+            rv.add(w).unwrap();
+            if r % 10 < 2 {
+                rv.add(w).unwrap();
+            }
+        }
+        // ~20% of channels are occupied by earlier multi-slot connections.
+        if (r >> 32) % 10 < 2 {
+            mask.set_occupied(w).unwrap();
+        }
+    }
+}
+
+#[test]
+fn schedule_slot_steady_state_is_allocation_free() {
+    const WARMUP: usize = 8;
+    const MEASURED: usize = 512;
+    let k = 32;
+
+    let configs = [
+        ("auto/non-circular", Conversion::symmetric_non_circular(k, 7).unwrap(), Policy::Auto),
+        ("auto/circular", Conversion::symmetric_circular(k, 7).unwrap(), Policy::Auto),
+        ("auto/full-range", Conversion::full(k).unwrap(), Policy::Auto),
+        ("fa", Conversion::symmetric_non_circular(k, 5).unwrap(), Policy::FirstAvailable),
+        ("bfa", Conversion::symmetric_circular(k, 5).unwrap(), Policy::BreakFirstAvailable),
+        ("approx", Conversion::symmetric_circular(k, 7).unwrap(), Policy::Approximate),
+    ];
+
+    for (name, conv, policy) in configs {
+        let scheduler = FiberScheduler::new(conv, policy);
+        let mut arena = ScratchArena::for_k(k);
+        let mut rv = RequestVector::new(k);
+        let mut mask = ChannelMask::all_free(k);
+        let mut rng = Rng(0x5EED_0001);
+
+        let mut granted = 0usize;
+        for _ in 0..WARMUP {
+            fill_slot(&mut rng, k, &mut rv, &mut mask);
+            granted += scheduler.schedule_slot(&rv, &mask, &mut arena).unwrap().granted;
+        }
+
+        let before = ALLOC.heap_events();
+        for _ in 0..MEASURED {
+            fill_slot(&mut rng, k, &mut rv, &mut mask);
+            granted += scheduler.schedule_slot(&rv, &mask, &mut arena).unwrap().granted;
+        }
+        let events = ALLOC.heap_events() - before;
+
+        assert!(granted > 0, "{name}: workload must exercise the scheduler");
+        if cfg!(debug_assertions) {
+            // The per-slot debug_assert certificate allocates by design;
+            // only the smoke run above is meaningful in this build.
+            continue;
+        }
+        assert_eq!(
+            events, 0,
+            "{name}: {events} heap allocations in {MEASURED} steady-state schedule_slot calls"
+        );
+    }
+
+    // Sanity-check the counter itself: a deliberate allocation must be seen
+    // (done last so it cannot pollute the measurement windows above).
+    let before = ALLOC.heap_events();
+    let v: Vec<u64> = Vec::with_capacity(64);
+    assert!(ALLOC.heap_events() > before, "counter must observe an explicit allocation");
+    drop(v);
+}

@@ -1,0 +1,317 @@
+//! `bench-report` — measure the scheduling hot path and the sweep runner,
+//! and emit a machine-readable `BENCH_2.json`.
+//!
+//! ```sh
+//! cargo run --release -p wdm-bench --bin bench-report            # writes BENCH_2.json
+//! cargo run --release -p wdm-bench --bin bench-report -- --out custom.json
+//! ```
+//!
+//! The report covers:
+//!
+//! * **ns/slot** for FA (non-circular), BFA and the single-break
+//!   approximation (circular) at representative `(N, k, d)` points, driven
+//!   through [`FiberScheduler::schedule_slot`] with a warm
+//!   [`ScratchArena`].
+//! * **allocations/slot** over the measured window, observed by the
+//!   [`wdm_alloc_count::CountingAlloc`] global allocator. In a release
+//!   build this is 0 by construction (the allocation-regression test pins
+//!   it); with debug assertions the per-slot certificate allocates, and the
+//!   report records which build it measured.
+//! * **sweep wall-clock** for the sequential runner vs
+//!   [`run_sweep_with_threads`], plus a bit-identity check on the rows.
+//!   Thread-level speedup is hardware-dependent: on a single-core runner
+//!   the parallel figure includes thread setup for no gain, and the JSON
+//!   reports whatever the machine actually delivered.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+use wdm_alloc_count::CountingAlloc;
+use wdm_bench::{bench_rng, random_mask, random_request_vector};
+use wdm_core::{
+    ChannelMask, Conversion, Error, FiberScheduler, Policy, RequestVector, ScratchArena,
+};
+use wdm_sim::experiment::{run_sweep_with_threads, DegreeSpec, SweepConfig};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Distinct request/mask patterns cycled through during measurement, so the
+/// timings average over slot shapes instead of replaying one instance.
+const POOL: usize = 64;
+const WARMUP_SLOTS: usize = 256;
+
+#[derive(Debug, Serialize)]
+struct SlotBench {
+    algorithm: String,
+    n: usize,
+    k: usize,
+    degree: usize,
+    circular: bool,
+    load: f64,
+    slots: usize,
+    ns_per_slot: f64,
+    allocs_per_slot: f64,
+    grant_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepBench {
+    grid_points: usize,
+    measure_slots: u64,
+    sequential_ms: f64,
+    parallel_threads: usize,
+    parallel_ms: f64,
+    speedup: f64,
+    rows_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: String,
+    debug_assertions: bool,
+    available_parallelism: usize,
+    slot_benchmarks: Vec<SlotBench>,
+    sweep: SweepBench,
+}
+
+struct SlotSpec {
+    algorithm: &'static str,
+    policy: Policy,
+    circular: bool,
+    n: usize,
+    k: usize,
+    degree: usize,
+    slots: usize,
+}
+
+fn bench_slot(spec: &SlotSpec, load: f64) -> Result<SlotBench, Error> {
+    let conv = if spec.circular {
+        Conversion::symmetric_circular(spec.k, spec.degree)?
+    } else {
+        Conversion::symmetric_non_circular(spec.k, spec.degree)?
+    };
+    let scheduler = FiberScheduler::new(conv, spec.policy);
+    let mut rng = bench_rng(0xB2_u64.wrapping_add(spec.k as u64));
+    let pool: Vec<(RequestVector, ChannelMask)> = (0..POOL)
+        .map(|_| {
+            (
+                random_request_vector(&mut rng, spec.n, spec.k, load),
+                random_mask(&mut rng, spec.k, 0.2),
+            )
+        })
+        .collect();
+
+    let mut arena = ScratchArena::for_k(spec.k);
+    for (rv, mask) in pool.iter().cycle().take(WARMUP_SLOTS) {
+        scheduler.schedule_slot(rv, mask, &mut arena)?;
+    }
+
+    let mut granted = 0usize;
+    let mut requested = 0usize;
+    let allocs_before = ALLOC.heap_events();
+    let start = Instant::now();
+    for i in 0..spec.slots {
+        let (rv, mask) = &pool[i % POOL];
+        let stats = scheduler.schedule_slot(rv, mask, &mut arena)?;
+        granted += stats.granted;
+        requested += stats.requested;
+    }
+    let elapsed = start.elapsed();
+    let allocs = ALLOC.heap_events() - allocs_before;
+
+    Ok(SlotBench {
+        algorithm: spec.algorithm.to_string(),
+        n: spec.n,
+        k: spec.k,
+        degree: spec.degree,
+        circular: spec.circular,
+        load,
+        slots: spec.slots,
+        ns_per_slot: elapsed.as_nanos() as f64 / spec.slots as f64,
+        allocs_per_slot: allocs as f64 / spec.slots as f64,
+        grant_rate: if requested == 0 { 1.0 } else { granted as f64 / requested as f64 },
+    })
+}
+
+fn sweep_config() -> SweepConfig {
+    let mut config = SweepConfig::uniform_packets(
+        8,
+        16,
+        vec![DegreeSpec::None, DegreeSpec::Circular(3), DegreeSpec::Full],
+        vec![0.2, 0.4, 0.6, 0.8, 1.0],
+    );
+    config.sim.warmup_slots = 200;
+    config.sim.measure_slots = 2_000;
+    config
+}
+
+fn bench_sweep(available: usize) -> Result<SweepBench, Error> {
+    let config = sweep_config();
+    let grid_points = config.degrees.len() * config.loads.len();
+
+    let start = Instant::now();
+    let sequential = run_sweep_with_threads(&config, 1)?;
+    let sequential_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+    // Exercise the threaded path even on a single-core runner.
+    let parallel_threads = available.max(2);
+    let start = Instant::now();
+    let parallel = run_sweep_with_threads(&config, parallel_threads)?;
+    let parallel_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+    let rows_identical =
+        match (serde_json::to_string(&sequential), serde_json::to_string(&parallel)) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => false,
+        };
+
+    Ok(SweepBench {
+        grid_points,
+        measure_slots: config.sim.measure_slots,
+        sequential_ms,
+        parallel_threads,
+        parallel_ms,
+        speedup: sequential_ms / parallel_ms,
+        rows_identical,
+    })
+}
+
+fn run(out_path: &str) -> Result<(), String> {
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let specs = [
+        SlotSpec {
+            algorithm: "fa",
+            policy: Policy::FirstAvailable,
+            circular: false,
+            n: 8,
+            k: 16,
+            degree: 3,
+            slots: 20_000,
+        },
+        SlotSpec {
+            algorithm: "fa",
+            policy: Policy::FirstAvailable,
+            circular: false,
+            n: 8,
+            k: 64,
+            degree: 7,
+            slots: 10_000,
+        },
+        SlotSpec {
+            algorithm: "bfa",
+            policy: Policy::BreakFirstAvailable,
+            circular: true,
+            n: 8,
+            k: 16,
+            degree: 3,
+            slots: 20_000,
+        },
+        SlotSpec {
+            algorithm: "bfa",
+            policy: Policy::BreakFirstAvailable,
+            circular: true,
+            n: 8,
+            k: 64,
+            degree: 7,
+            slots: 5_000,
+        },
+        SlotSpec {
+            algorithm: "approx",
+            policy: Policy::Approximate,
+            circular: true,
+            n: 8,
+            k: 16,
+            degree: 3,
+            slots: 20_000,
+        },
+        SlotSpec {
+            algorithm: "approx",
+            policy: Policy::Approximate,
+            circular: true,
+            n: 8,
+            k: 64,
+            degree: 7,
+            slots: 10_000,
+        },
+    ];
+
+    let mut slot_benchmarks = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let bench =
+            bench_slot(spec, 0.8).map_err(|err| format!("slot bench {}: {err}", spec.algorithm))?;
+        eprintln!(
+            "{:>6} N={} k={:<2} d={}: {:>8.1} ns/slot, {:.3} allocs/slot, grant rate {:.3}",
+            bench.algorithm,
+            bench.n,
+            bench.k,
+            bench.degree,
+            bench.ns_per_slot,
+            bench.allocs_per_slot,
+            bench.grant_rate
+        );
+        slot_benchmarks.push(bench);
+    }
+
+    let sweep = bench_sweep(available).map_err(|err| format!("sweep bench: {err}"))?;
+    eprintln!(
+        "sweep ({} points x {} slots): sequential {:.1} ms, {} threads {:.1} ms (speedup {:.2}, rows identical: {})",
+        sweep.grid_points,
+        sweep.measure_slots,
+        sweep.sequential_ms,
+        sweep.parallel_threads,
+        sweep.parallel_ms,
+        sweep.speedup,
+        sweep.rows_identical
+    );
+    if !sweep.rows_identical {
+        return Err("parallel sweep rows differ from the sequential rows".to_string());
+    }
+
+    let report = BenchReport {
+        schema: "wdm-bench/BENCH_2".to_string(),
+        debug_assertions: cfg!(debug_assertions),
+        available_parallelism: available,
+        slot_benchmarks,
+        sweep,
+    };
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|err| format!("serialize report: {err}"))?;
+    std::fs::write(out_path, json).map_err(|err| format!("write {out_path}: {err}"))?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_2.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bench-report [--out <file.json>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}\nusage: bench-report [--out <file.json>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run(&out_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("bench-report failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

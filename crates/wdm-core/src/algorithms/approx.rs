@@ -12,13 +12,14 @@
 //! `(d−1)/2` (Corollary 1) — at most 1 lost match for the practical `d = 3`,
 //! at most 2 for `d = 5`.
 
+use crate::arena::ScratchArena;
 use crate::conversion::{Conversion, ConversionKind};
 use crate::error::Error;
 use crate::occupancy::ChannelMask;
 use crate::request::RequestVector;
 
-use super::break_fa::single_break;
-use super::full_range::full_range_schedule;
+use super::break_fa::single_break_into;
+use super::full_range::full_range_schedule_into;
 use super::Assignment;
 
 /// Result of the approximation scheduler.
@@ -32,6 +33,16 @@ pub struct ApproxOutcome {
     pub delta: usize,
     /// Theorem 3's bound: the matching is within `max(δ(u)−1, d−δ(u))` of a
     /// maximum matching.
+    pub bound: usize,
+}
+
+/// The scalar part of an [`ApproxOutcome`], returned by the buffer-reusing
+/// [`approx_schedule_into`] (the assignments live in the caller's buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxStats {
+    /// `δ(u)` of the chosen breaking edge (see [`ApproxOutcome::delta`]).
+    pub delta: usize,
+    /// Theorem 3's bound (see [`ApproxOutcome::bound`]).
     pub bound: usize,
 }
 
@@ -49,11 +60,32 @@ pub fn approx_schedule(
     requests: &RequestVector,
     mask: &ChannelMask,
 ) -> Result<ApproxOutcome, Error> {
+    let mut scratch = ScratchArena::new();
+    let mut assignments = Vec::new();
+    let stats = approx_schedule_into(conv, requests, mask, &mut scratch, &mut assignments)?;
+    Ok(ApproxOutcome { assignments, delta: stats.delta, bound: stats.bound })
+}
+
+/// [`approx_schedule`] writing into caller-provided buffers.
+///
+/// `out` is cleared and receives the granted assignments (breaking edge
+/// included); the scalar δ and bound come back as [`ApproxStats`]. Once the
+/// buffers have reached steady-state capacity for the fiber's `k` the call
+/// performs zero heap allocations — this is the per-slot production path
+/// used by [`crate::FiberScheduler::schedule_slot`].
+pub fn approx_schedule_into(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Assignment>,
+) -> Result<ApproxStats, Error> {
+    out.clear();
     conv.check_k(requests.k())?;
     conv.check_k(mask.k())?;
     if conv.is_full() {
-        let assignments = full_range_schedule(conv, requests, mask)?;
-        return Ok(ApproxOutcome { assignments, delta: 0, bound: 0 });
+        full_range_schedule_into(conv, requests, mask, out)?;
+        return Ok(ApproxStats { delta: 0, bound: 0 });
     }
     if conv.kind() != ConversionKind::Circular {
         return Err(Error::UnsupportedConversion {
@@ -71,7 +103,7 @@ pub fn approx_schedule(
         .map(|(w, _)| w)
         .find(|&w| conv.adjacency(w).iter(k).any(|u| mask.is_free(u)));
     let Some(w_i) = breaking else {
-        return Ok(ApproxOutcome { assignments: Vec::new(), delta: 0, bound: 0 });
+        return Ok(ApproxStats { delta: 0, bound: 0 });
     };
 
     // Choose the free adjacent channel minimizing the Theorem 3 bound.
@@ -92,9 +124,9 @@ pub fn approx_schedule(
         unreachable!("w_i was chosen to have a free adjacent channel")
     };
 
-    let mut assignments = single_break(conv, requests, mask, w_i, u);
-    assignments.push(Assignment { input: w_i, output: u });
-    Ok(ApproxOutcome { assignments, delta, bound })
+    single_break_into(conv, requests, mask, w_i, u, scratch, out);
+    out.push(Assignment { input: w_i, output: u });
+    Ok(ApproxStats { delta, bound })
 }
 
 /// [`approx_schedule`] with its certificate: the returned schedule is
@@ -109,6 +141,21 @@ pub fn approx_schedule_checked(
     let out = approx_schedule(conv, requests, mask)?;
     crate::verify::certify_assignments_within(conv, requests, mask, &out.assignments, out.bound)?;
     Ok(out)
+}
+
+/// [`approx_schedule_into`] with the Theorem 3 / Corollary 1 certificate.
+/// The certificate itself allocates (it runs the Hopcroft–Karp oracle); use
+/// the unchecked variant on the zero-allocation hot path.
+pub fn approx_schedule_into_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Assignment>,
+) -> Result<ApproxStats, Error> {
+    let stats = approx_schedule_into(conv, requests, mask, scratch, out)?;
+    crate::verify::certify_assignments_within(conv, requests, mask, out, stats.bound)?;
+    Ok(stats)
 }
 
 #[cfg(test)]

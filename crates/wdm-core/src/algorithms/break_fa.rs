@@ -20,8 +20,7 @@
 //! [`crate::breaking::break_graph`]. The test suite checks both against the
 //! Hopcroft–Karp/Kuhn oracles.
 
-use std::collections::VecDeque;
-
+use crate::arena::{ScratchArena, ScratchItem};
 use crate::breaking::{break_graph, reduced_span, SameWavelengthOrder};
 use crate::conversion::{Conversion, ConversionKind};
 use crate::error::Error;
@@ -31,7 +30,7 @@ use crate::occupancy::ChannelMask;
 use crate::request::RequestVector;
 
 use super::first_available::{first_available, ConvexInstance};
-use super::full_range::full_range_schedule;
+use super::full_range::full_range_schedule_into;
 use super::Assignment;
 
 /// How the breaking vertex `a_i` is chosen. Any choice yields a maximum
@@ -79,10 +78,45 @@ pub fn break_fa_schedule_with(
     mask: &ChannelMask,
     choice: BreakChoice,
 ) -> Result<Vec<Assignment>, Error> {
+    let mut scratch = ScratchArena::new();
+    let mut out = Vec::new();
+    break_fa_schedule_with_into(conv, requests, mask, choice, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`break_fa_schedule`] writing into caller-provided buffers, with the
+/// default breaking-vertex policy. See [`break_fa_schedule_with_into`].
+pub fn break_fa_schedule_into(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Assignment>,
+) -> Result<(), Error> {
+    break_fa_schedule_with_into(conv, requests, mask, BreakChoice::default(), scratch, out)
+}
+
+/// [`break_fa_schedule_with`] writing into caller-provided buffers.
+///
+/// `out` is cleared and receives the winning schedule (breaking edge
+/// included); the `d` candidate schedules are evaluated in `scratch` without
+/// materializing a graph. Once the buffers have reached steady-state
+/// capacity for the fiber's `k` the call performs zero heap allocations —
+/// this is the per-slot production path used by
+/// [`crate::FiberScheduler::schedule_slot`].
+pub fn break_fa_schedule_with_into(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    choice: BreakChoice,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Assignment>,
+) -> Result<(), Error> {
+    out.clear();
     conv.check_k(requests.k())?;
     conv.check_k(mask.k())?;
     if conv.is_full() {
-        return full_range_schedule(conv, requests, mask);
+        return full_range_schedule_into(conv, requests, mask, out);
     }
     if conv.kind() != ConversionKind::Circular {
         return Err(Error::UnsupportedConversion {
@@ -93,21 +127,27 @@ pub fn break_fa_schedule_with(
     let k = conv.k();
 
     let Some(w_i) = choose_breaking_wavelength(conv, requests, mask, choice) else {
-        return Ok(Vec::new());
+        return Ok(());
     };
 
-    let mut best: Option<Vec<Assignment>> = None;
+    // `out` holds the best schedule so far; `candidate` is the workspace of
+    // the break currently being evaluated. Swapping the two vecs promotes a
+    // better candidate without copying or allocating.
+    let mut candidate = std::mem::take(&mut scratch.candidate);
+    let mut found = false;
     for u in conv.adjacency(w_i).iter(k) {
         if !mask.is_free(u) {
             continue;
         }
-        let mut candidate = single_break(conv, requests, mask, w_i, u);
+        single_break_into(conv, requests, mask, w_i, u, scratch, &mut candidate);
         candidate.push(Assignment { input: w_i, output: u });
-        if best.as_ref().is_none_or(|b| candidate.len() > b.len()) {
-            best = Some(candidate);
+        if !found || candidate.len() > out.len() {
+            std::mem::swap(out, &mut candidate);
+            found = true;
         }
     }
-    Ok(best.unwrap_or_default())
+    scratch.candidate = candidate;
+    Ok(())
 }
 
 /// Picks the breaking wavelength: a wavelength with pending requests and at
@@ -131,27 +171,32 @@ fn choose_breaking_wavelength(
 }
 
 /// Runs First Available on the reduced graph obtained by breaking at
-/// `(w_i, u)` — without the breaking edge itself — and returns the granted
-/// assignments. `O(k)`.
+/// `(w_i, u)` — without the breaking edge itself — and writes the granted
+/// assignments into `out`. `O(k)`, allocation-free at steady state.
 ///
 /// Shared by Break-and-FA (which tries every `u`) and the approximation
 /// scheduler (which tries one).
-pub(crate) fn single_break(
+pub(crate) fn single_break_into(
     conv: &Conversion,
     requests: &RequestVector,
     mask: &ChannelMask,
     w_i: usize,
     u: usize,
-) -> Vec<Assignment> {
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Assignment>,
+) {
     let k = conv.k();
     let d = conv.degree();
     debug_assert!(mask.is_free(u));
+    out.clear();
 
     // Free channels in the rotated wavelength order u+1, …, u−1 (u removed).
     // rot_prefix[r] = number of free rotated channels with rotated index <
     // r; rot_out[p] = original wavelength of the p-th free rotated channel.
-    let mut rot_prefix = Vec::with_capacity(k);
-    let mut rot_out = Vec::new();
+    let rot_prefix = &mut scratch.prefix;
+    let rot_out = &mut scratch.outputs;
+    rot_prefix.clear();
+    rot_out.clear();
     let mut acc = 0usize;
     rot_prefix.push(0);
     for r in 0..k - 1 {
@@ -163,13 +208,8 @@ pub(crate) fn single_break(
         rot_prefix.push(acc);
     }
 
-    struct Item {
-        wavelength: usize,
-        remaining: usize,
-        begin: usize,
-        end: usize,
-    }
-    let mut items: Vec<Item> = Vec::new();
+    let items = &mut scratch.items;
+    items.clear();
     // Left vertices in the rotated order: wavelengths ascending by
     // (w − w_i) mod k, starting with the remaining copies on w_i itself
     // (the breaking vertex is the first copy, so the others are all After).
@@ -195,7 +235,7 @@ pub(crate) fn single_break(
         let end_excl = rot_prefix[r_start + span.len()];
         if end_excl > begin {
             let width = end_excl - begin;
-            items.push(Item {
+            items.push(ScratchItem {
                 wavelength: w,
                 remaining: count.min(d).min(width),
                 begin,
@@ -209,8 +249,8 @@ pub(crate) fn single_break(
     );
 
     // First Available over the rotated free channels.
-    let mut assignments = Vec::new();
-    let mut active: VecDeque<usize> = VecDeque::new();
+    let active = &mut scratch.active;
+    active.clear();
     let mut next = 0usize;
     for (p, &out_w) in rot_out.iter().enumerate() {
         while next < items.len() && items[next].begin <= p {
@@ -225,14 +265,13 @@ pub(crate) fn single_break(
             }
         }
         if let Some(&i) = active.front() {
-            assignments.push(Assignment { input: items[i].wavelength, output: out_w });
+            out.push(Assignment { input: items[i].wavelength, output: out_w });
             items[i].remaining -= 1;
             if items[i].remaining == 0 {
                 active.pop_front();
             }
         }
     }
-    assignments
 }
 
 /// The explicit reference implementation of Break and First Available on a
@@ -297,6 +336,33 @@ pub fn break_fa_schedule_with_checked(
     let assignments = break_fa_schedule_with(conv, requests, mask, choice)?;
     crate::verify::certify_assignments(conv, requests, mask, &assignments)?;
     Ok(assignments)
+}
+
+/// [`break_fa_schedule_into`] with the Theorem 2 certificate. The
+/// certificate itself allocates; use the unchecked variant on the
+/// zero-allocation hot path.
+pub fn break_fa_schedule_into_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Assignment>,
+) -> Result<(), Error> {
+    break_fa_schedule_with_into_checked(conv, requests, mask, BreakChoice::default(), scratch, out)
+}
+
+/// [`break_fa_schedule_with_into`] with the Theorem 2 certificate.
+pub fn break_fa_schedule_with_into_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    choice: BreakChoice,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Assignment>,
+) -> Result<(), Error> {
+    break_fa_schedule_with_into(conv, requests, mask, choice, scratch, out)?;
+    crate::verify::certify_assignments(conv, requests, mask, out)?;
+    Ok(())
 }
 
 /// [`break_fa_matching`] with its certificate: the returned matching is

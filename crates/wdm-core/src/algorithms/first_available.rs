@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 
+use crate::arena::{ScratchArena, ScratchItem};
 use crate::conversion::{Conversion, ConversionKind};
 use crate::error::Error;
 use crate::graph::RequestGraph;
@@ -71,12 +72,29 @@ impl ConvexInstance {
 /// (checked with a debug assertion); without monotonicity use
 /// [`super::glover`].
 pub fn first_available(inst: &ConvexInstance) -> Vec<Option<usize>> {
+    let mut scratch = ScratchArena::new();
+    let mut match_of_right = Vec::new();
+    first_available_into(inst, &mut scratch, &mut match_of_right);
+    match_of_right
+}
+
+/// [`first_available`] writing into caller-provided buffers: `out` receives
+/// the `MATCH[]` array and `scratch` provides the active-vertex queue.
+/// Allocation-free once both have steady-state capacity.
+pub fn first_available_into(
+    inst: &ConvexInstance,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Option<usize>>,
+) {
     debug_assert!(inst.has_monotone_endpoints(), "First Available requires monotone endpoints");
-    let mut match_of_right = vec![None; inst.right_count];
+    out.clear();
+    out.resize(inst.right_count, None);
+    let match_of_right = out;
     // Active left vertices whose interval has begun, in index order. The
     // front is both the first adjacent vertex and (by monotonicity) the one
     // with minimum END.
-    let mut active: VecDeque<usize> = VecDeque::new();
+    let active: &mut VecDeque<usize> = &mut scratch.active;
+    active.clear();
     let mut next = 0usize;
     for (p, slot) in match_of_right.iter_mut().enumerate() {
         while next < inst.intervals.len() {
@@ -102,7 +120,6 @@ pub fn first_available(inst: &ConvexInstance) -> Vec<Option<usize>> {
             *slot = Some(j);
         }
     }
-    match_of_right
 }
 
 /// First Available on an explicit request graph, returning a [`Matching`].
@@ -129,6 +146,21 @@ pub fn first_available_checked(inst: &ConvexInstance) -> Result<Vec<Option<usize
     let match_of_right = first_available(inst);
     crate::verify::check_interval_matching(inst, &match_of_right)?;
     Ok(match_of_right)
+}
+
+/// [`first_available_into`] with the [`first_available_checked`]
+/// certificate. The certificate itself allocates; use the unchecked variant
+/// on the zero-allocation hot path.
+pub fn first_available_into_checked(
+    inst: &ConvexInstance,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Option<usize>>,
+) -> Result<(), Error> {
+    crate::verify::check_convex(inst)?;
+    crate::verify::check_monotone_endpoints(inst)?;
+    first_available_into(inst, scratch, out);
+    crate::verify::check_interval_matching(inst, out)?;
+    Ok(())
 }
 
 /// [`first_available_matching`] with its certificate: the returned matching
@@ -180,6 +212,28 @@ pub fn fa_schedule(
     requests: &RequestVector,
     mask: &ChannelMask,
 ) -> Result<Vec<Assignment>, Error> {
+    let mut scratch = ScratchArena::new();
+    let mut out = Vec::new();
+    fa_schedule_into(conv, requests, mask, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`fa_schedule`] writing into caller-provided buffers.
+///
+/// `out` is cleared and receives the granted assignments in
+/// output-wavelength order; every intermediate lives in `scratch`. Once both
+/// have reached steady-state capacity for the fiber's `k` (one warmup slot,
+/// or [`ScratchArena::for_k`]) the call performs zero heap allocations —
+/// this is the per-slot production path used by
+/// [`crate::FiberScheduler::schedule_slot`].
+pub fn fa_schedule_into(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Assignment>,
+) -> Result<(), Error> {
+    out.clear();
     conv.check_k(requests.k())?;
     conv.check_k(mask.k())?;
     if conv.kind() != ConversionKind::NonCircular {
@@ -189,16 +243,13 @@ pub fn fa_schedule(
         });
     }
     let k = conv.k();
-    let outputs = mask.free_channels();
-    let prefix = mask.free_prefix_counts();
+    mask.free_channels_into(&mut scratch.outputs);
+    mask.free_prefix_counts_into(&mut scratch.prefix);
+    let outputs = &scratch.outputs;
+    let prefix = &scratch.prefix;
 
-    struct Item {
-        wavelength: usize,
-        remaining: usize,
-        begin: usize,
-        end: usize,
-    }
-    let mut items: Vec<Item> = Vec::new();
+    let items = &mut scratch.items;
+    items.clear();
     for (w, count) in requests.iter_nonzero() {
         let span = conv.adjacency(w);
         debug_assert!(!span.wraps(k), "non-circular spans never wrap");
@@ -208,7 +259,7 @@ pub fn fa_schedule(
         let end_excl = prefix[hi + 1];
         if end_excl > begin {
             let width = end_excl - begin;
-            items.push(Item {
+            items.push(ScratchItem {
                 wavelength: w,
                 remaining: count.min(width),
                 begin,
@@ -217,8 +268,8 @@ pub fn fa_schedule(
         }
     }
 
-    let mut assignments = Vec::new();
-    let mut active: VecDeque<usize> = VecDeque::new();
+    let active = &mut scratch.active;
+    active.clear();
     let mut next = 0usize;
     for (p, &out_w) in outputs.iter().enumerate() {
         while next < items.len() && items[next].begin <= p {
@@ -233,14 +284,29 @@ pub fn fa_schedule(
             }
         }
         if let Some(&i) = active.front() {
-            assignments.push(Assignment { input: items[i].wavelength, output: out_w });
+            out.push(Assignment { input: items[i].wavelength, output: out_w });
             items[i].remaining -= 1;
             if items[i].remaining == 0 {
                 active.pop_front();
             }
         }
     }
-    Ok(assignments)
+    Ok(())
+}
+
+/// [`fa_schedule_into`] with the Theorem 1 certificate. The certificate
+/// itself allocates (it rebuilds the request graph and runs the oracle); use
+/// the unchecked variant on the zero-allocation hot path.
+pub fn fa_schedule_into_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Assignment>,
+) -> Result<(), Error> {
+    fa_schedule_into(conv, requests, mask, scratch, out)?;
+    crate::verify::certify_assignments(conv, requests, mask, out)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -23,6 +23,22 @@ pub fn full_range_schedule(
     requests: &RequestVector,
     mask: &ChannelMask,
 ) -> Result<Vec<Assignment>, Error> {
+    let mut out = Vec::new();
+    full_range_schedule_into(conv, requests, mask, &mut out)?;
+    Ok(out)
+}
+
+/// [`full_range_schedule`] writing into a caller-provided buffer. `out` is
+/// cleared first; the call is allocation-free once `out` has capacity for
+/// `min(requests, free channels)` grants. Needs no scratch — the trivial
+/// scheduler has no intermediate state.
+pub fn full_range_schedule_into(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    out: &mut Vec<Assignment>,
+) -> Result<(), Error> {
+    out.clear();
     conv.check_k(requests.k())?;
     conv.check_k(mask.k())?;
     if !conv.is_full() {
@@ -31,17 +47,30 @@ pub fn full_range_schedule(
             requires: "full-range conversion (degree d = k, circular)",
         });
     }
-    let mut assignments = Vec::new();
     let mut free = mask.iter_free();
     'outer: for (w, count) in requests.iter_nonzero() {
         for _ in 0..count {
             match free.next() {
-                Some(out) => assignments.push(Assignment { input: w, output: out }),
+                Some(ch) => out.push(Assignment { input: w, output: ch }),
                 None => break 'outer,
             }
         }
     }
-    Ok(assignments)
+    Ok(())
+}
+
+/// [`full_range_schedule_into`] with the feasibility-and-maximality
+/// certificate. The certificate itself allocates; use the unchecked variant
+/// on the zero-allocation hot path.
+pub fn full_range_schedule_into_checked(
+    conv: &Conversion,
+    requests: &RequestVector,
+    mask: &ChannelMask,
+    out: &mut Vec<Assignment>,
+) -> Result<(), Error> {
+    full_range_schedule_into(conv, requests, mask, out)?;
+    crate::verify::certify_assignments(conv, requests, mask, out)?;
+    Ok(())
 }
 
 /// [`full_range_schedule`] with its certificate: the returned schedule is

@@ -7,7 +7,8 @@
 //! endpoints need not be monotone — at the cost of a priority queue.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+
+use crate::arena::ScratchArena;
 
 use super::first_available::ConvexInstance;
 
@@ -17,17 +18,38 @@ use super::first_available::ConvexInstance;
 /// vertex (or `None`). Runs in `O((n + m) log n)` for `n` left and `m`
 /// right vertices.
 pub fn glover(inst: &ConvexInstance) -> Vec<Option<usize>> {
-    // Left vertices sorted by interval begin (stable: ties keep index order).
-    let mut by_begin: Vec<(usize, usize, usize)> = inst
-        .intervals
-        .iter()
-        .enumerate()
-        .filter_map(|(j, iv)| iv.map(|(begin, end)| (begin, end, j)))
-        .collect();
-    by_begin.sort_by_key(|&(begin, _, j)| (begin, j));
+    let mut scratch = ScratchArena::new();
+    let mut match_of_right = Vec::new();
+    glover_into(inst, &mut scratch, &mut match_of_right);
+    match_of_right
+}
 
-    let mut match_of_right = vec![None; inst.right_count];
-    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new(); // (end, left)
+/// [`glover`] writing into caller-provided buffers: `out` receives the
+/// `MATCH[]` array; the begin-sorted vertex list and the min-`END` heap live
+/// in `scratch`. Allocation-free once both have steady-state capacity.
+pub fn glover_into(
+    inst: &ConvexInstance,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Option<usize>>,
+) {
+    // Left vertices sorted by interval begin (stable: ties keep index order).
+    let by_begin = &mut scratch.by_begin;
+    by_begin.clear();
+    by_begin.extend(
+        inst.intervals
+            .iter()
+            .enumerate()
+            .filter_map(|(j, iv)| iv.map(|(begin, end)| (begin, end, j))),
+    );
+    // Unstable sort: the (begin, j) keys are unique, and unlike the stable
+    // sort it needs no temporary buffer.
+    by_begin.sort_unstable_by_key(|&(begin, _, j)| (begin, j));
+
+    out.clear();
+    out.resize(inst.right_count, None);
+    let match_of_right = out;
+    let heap = &mut scratch.heap; // (end, left)
+    heap.clear();
     let mut next = 0usize;
     for (p, slot) in match_of_right.iter_mut().enumerate() {
         while next < by_begin.len() {
@@ -50,7 +72,6 @@ pub fn glover(inst: &ConvexInstance) -> Vec<Option<usize>> {
             *slot = Some(j);
         }
     }
-    match_of_right
 }
 
 /// [`glover`] with its certificate: checks that the instance is well-formed
@@ -63,6 +84,20 @@ pub fn glover_checked(inst: &ConvexInstance) -> Result<Vec<Option<usize>>, crate
     let match_of_right = glover(inst);
     crate::verify::check_interval_matching(inst, &match_of_right)?;
     Ok(match_of_right)
+}
+
+/// [`glover_into`] with the [`glover_checked`] certificate. The certificate
+/// itself allocates; use the unchecked variant when reusing buffers for
+/// speed.
+pub fn glover_into_checked(
+    inst: &ConvexInstance,
+    scratch: &mut ScratchArena,
+    out: &mut Vec<Option<usize>>,
+) -> Result<(), crate::error::Error> {
+    crate::verify::check_convex(inst)?;
+    glover_into(inst, scratch, out);
+    crate::verify::check_interval_matching(inst, out)?;
+    Ok(())
 }
 
 #[cfg(test)]

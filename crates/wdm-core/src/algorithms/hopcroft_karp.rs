@@ -6,8 +6,7 @@
 //! schedulers are measured against (and what the benchmark suite reproduces
 //! empirically).
 
-use std::collections::VecDeque;
-
+use crate::arena::ScratchArena;
 use crate::graph::RequestGraph;
 use crate::matching::Matching;
 
@@ -16,12 +15,30 @@ const INF: usize = usize::MAX;
 /// Finds a maximum matching in an arbitrary request graph with the
 /// Hopcroft–Karp algorithm.
 pub fn hopcroft_karp(graph: &RequestGraph) -> Matching {
+    let mut scratch = ScratchArena::new();
+    hopcroft_karp_in(graph, &mut scratch)
+}
+
+/// [`hopcroft_karp`] running its BFS layering and match arrays out of a
+/// caller-provided arena.
+///
+/// The returned [`Matching`] still owns its arrays (one allocation pair per
+/// call): Hopcroft–Karp is the oracle and the `Policy::HopcroftKarp`
+/// baseline, not part of the certified zero-allocation hot path — reusing
+/// the arena only trims its constant factor.
+pub fn hopcroft_karp_in(graph: &RequestGraph, scratch: &mut ScratchArena) -> Matching {
     let nl = graph.left_count();
     let nr = graph.right_count();
-    let mut match_left: Vec<Option<usize>> = vec![None; nl];
-    let mut match_right: Vec<Option<usize>> = vec![None; nr];
-    let mut dist = vec![INF; nl];
-    let mut queue = VecDeque::new();
+    let match_left = &mut scratch.match_left;
+    match_left.clear();
+    match_left.resize(nl, None);
+    let match_right = &mut scratch.match_right;
+    match_right.clear();
+    match_right.resize(nr, None);
+    let dist = &mut scratch.dist;
+    dist.clear();
+    dist.resize(nl, INF);
+    let queue = &mut scratch.queue;
 
     loop {
         // BFS phase: layer the free left vertices.
@@ -78,15 +95,26 @@ pub fn hopcroft_karp(graph: &RequestGraph) -> Matching {
         }
         for j in 0..nl {
             if match_left[j].is_none() {
-                dfs(graph, j, &mut dist, &mut match_left, &mut match_right);
+                dfs(graph, j, dist, match_left, match_right);
             }
         }
     }
 
-    match Matching::from_right_assignment(nl, match_right) {
+    match Matching::from_right_assignment(nl, match_right.clone()) {
         Ok(m) => m,
         Err(_) => unreachable!("Hopcroft-Karp produces a consistent matching"),
     }
+}
+
+/// [`hopcroft_karp_in`] with the Berge-certificate of
+/// [`hopcroft_karp_checked`].
+pub fn hopcroft_karp_in_checked(
+    graph: &RequestGraph,
+    scratch: &mut ScratchArena,
+) -> Result<Matching, crate::error::Error> {
+    let m = hopcroft_karp_in(graph, scratch);
+    crate::verify::MatchingCertificate::new(graph, &m).check()?;
+    Ok(m)
 }
 
 /// [`hopcroft_karp`] with its certificate: the returned matching is verified

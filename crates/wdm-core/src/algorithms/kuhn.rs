@@ -6,16 +6,30 @@
 //! [`super::hopcroft_karp`]) as the ground truth the paper's fast schedulers
 //! are checked against.
 
+use crate::arena::ScratchArena;
 use crate::graph::RequestGraph;
 use crate::matching::Matching;
 
 /// Finds a maximum matching in an arbitrary request graph by repeated
 /// augmenting-path search from each left vertex.
 pub fn kuhn(graph: &RequestGraph) -> Matching {
+    let mut scratch = ScratchArena::new();
+    kuhn_in(graph, &mut scratch)
+}
+
+/// [`kuhn`] running its visited stamps and match array out of a
+/// caller-provided arena. Like [`super::hopcroft_karp_in`], the returned
+/// [`Matching`] still owns its arrays — Kuhn is an oracle, not part of the
+/// certified zero-allocation hot path.
+pub fn kuhn_in(graph: &RequestGraph, scratch: &mut ScratchArena) -> Matching {
     let nl = graph.left_count();
     let nr = graph.right_count();
-    let mut match_of_right: Vec<Option<usize>> = vec![None; nr];
-    let mut visited = vec![usize::MAX; nr];
+    let match_of_right = &mut scratch.match_right;
+    match_of_right.clear();
+    match_of_right.resize(nr, None);
+    let visited = &mut scratch.visited;
+    visited.clear();
+    visited.resize(nr, usize::MAX);
 
     fn try_augment(
         graph: &RequestGraph,
@@ -42,12 +56,22 @@ pub fn kuhn(graph: &RequestGraph) -> Matching {
     }
 
     for j in 0..nl {
-        try_augment(graph, j, j, &mut visited, &mut match_of_right);
+        try_augment(graph, j, j, visited, match_of_right);
     }
-    match Matching::from_right_assignment(nl, match_of_right) {
+    match Matching::from_right_assignment(nl, match_of_right.clone()) {
         Ok(m) => m,
         Err(_) => unreachable!("augmenting paths produce a consistent matching"),
     }
+}
+
+/// [`kuhn_in`] with the Berge-certificate of [`kuhn_checked`].
+pub fn kuhn_in_checked(
+    graph: &RequestGraph,
+    scratch: &mut ScratchArena,
+) -> Result<Matching, crate::error::Error> {
+    let m = kuhn_in(graph, scratch);
+    crate::verify::MatchingCertificate::new(graph, &m).check()?;
+    Ok(m)
 }
 
 /// [`kuhn`] with its certificate: the returned matching is verified valid

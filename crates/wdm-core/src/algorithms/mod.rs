@@ -14,6 +14,11 @@
 //! [`crate::RequestVector`] and [`crate::ChannelMask`] without materializing
 //! the request graph; the graph-based entry points (`*_matching`) operate on
 //! an explicit [`crate::RequestGraph`] and are used for verification.
+//!
+//! Every compact scheduler also has a buffer-reusing form (`*_into`, or
+//! `*_in` for the graph oracles) that takes a [`crate::ScratchArena`] and an
+//! output buffer instead of allocating: the production per-slot path. The
+//! allocating entry points are thin wrappers over these.
 
 pub mod approx;
 pub mod break_fa;
@@ -23,19 +28,30 @@ pub mod glover;
 pub mod hopcroft_karp;
 pub mod kuhn;
 
-pub use approx::{approx_schedule, approx_schedule_checked, ApproxOutcome};
+pub use approx::{
+    approx_schedule, approx_schedule_checked, approx_schedule_into, approx_schedule_into_checked,
+    ApproxOutcome, ApproxStats,
+};
 pub use break_fa::{
     break_fa_matching, break_fa_matching_checked, break_fa_schedule, break_fa_schedule_checked,
-    break_fa_schedule_with, break_fa_schedule_with_checked, BreakChoice,
+    break_fa_schedule_into, break_fa_schedule_into_checked, break_fa_schedule_with,
+    break_fa_schedule_with_checked, break_fa_schedule_with_into,
+    break_fa_schedule_with_into_checked, BreakChoice,
 };
 pub use first_available::{
-    fa_schedule, fa_schedule_checked, first_available, first_available_checked,
+    fa_schedule, fa_schedule_checked, fa_schedule_into, fa_schedule_into_checked, first_available,
+    first_available_checked, first_available_into, first_available_into_checked,
     first_available_matching, first_available_matching_checked, ConvexInstance,
 };
-pub use full_range::{full_range_schedule, full_range_schedule_checked};
-pub use glover::{glover, glover_checked};
-pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_checked};
-pub use kuhn::{kuhn, kuhn_checked};
+pub use full_range::{
+    full_range_schedule, full_range_schedule_checked, full_range_schedule_into,
+    full_range_schedule_into_checked,
+};
+pub use glover::{glover, glover_checked, glover_into, glover_into_checked};
+pub use hopcroft_karp::{
+    hopcroft_karp, hopcroft_karp_checked, hopcroft_karp_in, hopcroft_karp_in_checked,
+};
+pub use kuhn::{kuhn, kuhn_checked, kuhn_in, kuhn_in_checked};
 
 use crate::conversion::Conversion;
 use crate::error::Error;

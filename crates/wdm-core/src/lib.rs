@@ -58,6 +58,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod algorithms;
+pub mod arena;
 pub mod breaking;
 pub mod conversion;
 pub mod crossing;
@@ -72,6 +73,7 @@ pub mod request;
 pub mod scheduler;
 pub mod verify;
 
+pub use arena::ScratchArena;
 pub use conversion::{Conversion, ConversionKind};
 pub use error::Error;
 pub use graph::RequestGraph;
@@ -80,12 +82,13 @@ pub use matching::Matching;
 pub use occupancy::ChannelMask;
 pub use priority::{ClassSchedule, PriorityScheduler};
 pub use request::RequestVector;
-pub use scheduler::{FiberScheduler, Policy, Schedule};
+pub use scheduler::{FiberScheduler, Policy, Schedule, SlotStats};
 pub use verify::MatchingCertificate;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::algorithms;
+    pub use crate::arena::ScratchArena;
     pub use crate::conversion::{Conversion, ConversionKind};
     pub use crate::error::Error;
     pub use crate::graph::RequestGraph;
@@ -93,6 +96,6 @@ pub mod prelude {
     pub use crate::matching::Matching;
     pub use crate::occupancy::ChannelMask;
     pub use crate::request::RequestVector;
-    pub use crate::scheduler::{FiberScheduler, Policy, Schedule};
+    pub use crate::scheduler::{FiberScheduler, Policy, Schedule, SlotStats};
     pub use crate::verify::MatchingCertificate;
 }

@@ -105,6 +105,23 @@ impl ChannelMask {
         self.free.iter().enumerate().filter_map(|(w, &b)| b.then_some(w)).collect()
     }
 
+    /// Fills `out` with the free channel wavelengths in ascending order.
+    ///
+    /// Allocation-free once `out` has capacity `k`: the buffer is cleared
+    /// (keeping capacity) and refilled.
+    pub fn free_channels_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.iter_free());
+    }
+
+    /// Marks every channel free again, keeping the mask's `k`.
+    ///
+    /// The reusable counterpart of [`ChannelMask::all_free`] for per-slot
+    /// state that must not re-allocate.
+    pub fn reset_all_free(&mut self) {
+        self.free.fill(true);
+    }
+
     /// Iterates free channel wavelengths in ascending order.
     pub fn iter_free(&self) -> impl Iterator<Item = usize> + '_ {
         self.free.iter().enumerate().filter_map(|(w, &b)| b.then_some(w))
@@ -118,13 +135,21 @@ impl ChannelMask {
     /// trick that keeps the compact schedulers linear-time under occupancy.
     pub fn free_prefix_counts(&self) -> Vec<usize> {
         let mut prefix = Vec::with_capacity(self.free.len() + 1);
+        self.free_prefix_counts_into(&mut prefix);
+        prefix
+    }
+
+    /// Fills `out` with the free-channel prefix counts (see
+    /// [`ChannelMask::free_prefix_counts`]). Allocation-free once `out` has
+    /// capacity `k + 1`.
+    pub fn free_prefix_counts_into(&self, out: &mut Vec<usize>) {
+        out.clear();
         let mut acc = 0usize;
-        prefix.push(0);
+        out.push(0);
         for &b in &self.free {
             acc += usize::from(b);
-            prefix.push(acc);
+            out.push(acc);
         }
-        prefix
     }
 }
 

@@ -7,8 +7,10 @@
 //! crates instantiate `N` of these, one per output fiber.
 
 use crate::algorithms::{
-    approx_schedule, break_fa_schedule, fa_schedule, full_range_schedule, hopcroft_karp, Assignment,
+    approx_schedule_into, break_fa_schedule_into, fa_schedule_into, full_range_schedule_into,
+    hopcroft_karp_in, Assignment,
 };
+use crate::arena::ScratchArena;
 use crate::conversion::{Conversion, ConversionKind};
 use crate::error::Error;
 use crate::graph::RequestGraph;
@@ -88,6 +90,33 @@ impl Schedule {
     }
 }
 
+/// The scalar outcome of one [`FiberScheduler::schedule_slot`] call; the
+/// assignments themselves stay in the arena
+/// ([`ScratchArena::assignments`]), so the steady-state slot loop never
+/// allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Number of granted requests.
+    pub granted: usize,
+    /// Total number of requests that were presented.
+    pub requested: usize,
+    /// For the approximation policy: Theorem 3's bound on the distance to a
+    /// maximum matching. `Some(0)` or `None` means the schedule is maximum.
+    pub approx_bound: Option<usize>,
+}
+
+impl SlotStats {
+    /// Number of rejected requests (output contention losses).
+    pub fn rejected(&self) -> usize {
+        self.requested - self.granted
+    }
+
+    /// Whether the schedule is guaranteed to be a maximum matching.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.approx_bound, None | Some(0))
+    }
+}
+
 /// A scheduler for one output fiber.
 #[derive(Debug, Clone, Copy)]
 pub struct FiberScheduler {
@@ -123,57 +152,152 @@ impl FiberScheduler {
         requests: &RequestVector,
         mask: &ChannelMask,
     ) -> Result<Schedule, Error> {
-        let conv = &self.conversion;
-        let (assignments, approx_bound) = match self.policy {
-            Policy::Auto => {
-                let a = if conv.is_full() {
-                    full_range_schedule(conv, requests, mask)?
-                } else if conv.kind() == ConversionKind::Circular {
-                    break_fa_schedule(conv, requests, mask)?
-                } else {
-                    fa_schedule(conv, requests, mask)?
-                };
-                (a, None)
+        let mut arena = ScratchArena::new();
+        let stats = self.schedule_slot(requests, mask, &mut arena)?;
+        Ok(Schedule {
+            assignments: std::mem::take(&mut arena.assignments),
+            requested: stats.requested,
+            approx_bound: stats.approx_bound,
+        })
+    }
+
+    /// Schedules a slot out of a caller-provided [`ScratchArena`]: the
+    /// production per-slot path.
+    ///
+    /// The granted assignments are left in [`ScratchArena::assignments`] and
+    /// only the scalar [`SlotStats`] is returned, so the steady state — once
+    /// the arena's buffers have grown to the fiber's `k`, or from the first
+    /// slot with [`ScratchArena::for_k`] — performs **zero heap
+    /// allocations** (exception: [`Policy::HopcroftKarp`] materializes the
+    /// explicit request graph, which is the cost the paper's compact
+    /// schedulers exist to avoid). The zero-allocation property is pinned by
+    /// the counting-allocator test in `wdm-alloc-count`.
+    ///
+    /// On error the arena's assignment buffer is left empty.
+    pub fn schedule_slot(
+        &self,
+        requests: &RequestVector,
+        mask: &ChannelMask,
+        arena: &mut ScratchArena,
+    ) -> Result<SlotStats, Error> {
+        // The assignment buffer is moved out for the duration of the call so
+        // the algorithms can borrow the rest of the arena mutably alongside
+        // it; `take`/restore moves pointers, not data.
+        let mut out = std::mem::take(&mut arena.assignments);
+        let result = self.dispatch_into(requests, mask, arena, &mut out);
+        let stats = match result {
+            Ok(approx_bound) => {
+                // Debug builds run the full certificate on every slot: exact
+                // policies must produce a feasible *maximum* matching
+                // (Theorems 1 and 2), the approximation must stay within its
+                // Theorem 3 bound.
+                debug_assert!(
+                    match approx_bound {
+                        None => crate::verify::certify_assignments(
+                            &self.conversion,
+                            requests,
+                            mask,
+                            &out
+                        ),
+                        Some(bound) => crate::verify::certify_assignments_within(
+                            &self.conversion,
+                            requests,
+                            mask,
+                            &out,
+                            bound,
+                        ),
+                    }
+                    .is_ok(),
+                    "scheduler produced an uncertifiable schedule under {:?}",
+                    self.policy
+                );
+                Ok(SlotStats { granted: out.len(), requested: requests.total(), approx_bound })
             }
-            Policy::FirstAvailable => (fa_schedule(conv, requests, mask)?, None),
-            Policy::BreakFirstAvailable => (break_fa_schedule(conv, requests, mask)?, None),
+            Err(e) => {
+                out.clear();
+                Err(e)
+            }
+        };
+        arena.assignments = out;
+        stats
+    }
+
+    /// [`Self::schedule_slot`] with the certificate run unconditionally
+    /// (release builds included). The certificate allocates — this is the
+    /// verification twin, not the hot path.
+    pub fn schedule_slot_checked(
+        &self,
+        requests: &RequestVector,
+        mask: &ChannelMask,
+        arena: &mut ScratchArena,
+    ) -> Result<SlotStats, Error> {
+        let stats = self.schedule_slot(requests, mask, arena)?;
+        match stats.approx_bound {
+            None => {
+                crate::verify::certify_assignments(
+                    &self.conversion,
+                    requests,
+                    mask,
+                    &arena.assignments,
+                )?;
+            }
+            Some(bound) => {
+                crate::verify::certify_assignments_within(
+                    &self.conversion,
+                    requests,
+                    mask,
+                    &arena.assignments,
+                    bound,
+                )?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Runs the configured policy's buffer-reusing scheduler, returning the
+    /// approximation bound (if any).
+    fn dispatch_into(
+        &self,
+        requests: &RequestVector,
+        mask: &ChannelMask,
+        arena: &mut ScratchArena,
+        out: &mut Vec<Assignment>,
+    ) -> Result<Option<usize>, Error> {
+        let conv = &self.conversion;
+        match self.policy {
+            Policy::Auto => {
+                if conv.is_full() {
+                    full_range_schedule_into(conv, requests, mask, out)?;
+                } else if conv.kind() == ConversionKind::Circular {
+                    break_fa_schedule_into(conv, requests, mask, arena, out)?;
+                } else {
+                    fa_schedule_into(conv, requests, mask, arena, out)?;
+                }
+                Ok(None)
+            }
+            Policy::FirstAvailable => {
+                fa_schedule_into(conv, requests, mask, arena, out)?;
+                Ok(None)
+            }
+            Policy::BreakFirstAvailable => {
+                break_fa_schedule_into(conv, requests, mask, arena, out)?;
+                Ok(None)
+            }
             Policy::Approximate => {
-                let out = approx_schedule(conv, requests, mask)?;
-                (out.assignments, Some(out.bound))
+                let stats = approx_schedule_into(conv, requests, mask, arena, out)?;
+                Ok(Some(stats.bound))
             }
             Policy::HopcroftKarp => {
                 let graph = RequestGraph::with_mask(*conv, requests, mask)?;
-                let matching = hopcroft_karp(&graph);
-                let assignments = matching
-                    .pairs()
-                    .into_iter()
-                    .map(|(j, p)| Assignment {
-                        input: graph.wavelength_of(j),
-                        output: graph.output_wavelength(p),
-                    })
-                    .collect();
-                (assignments, None)
+                let matching = hopcroft_karp_in(&graph, arena);
+                out.clear();
+                out.extend(matching.pairs().into_iter().map(|(j, p)| Assignment {
+                    input: graph.wavelength_of(j),
+                    output: graph.output_wavelength(p),
+                }));
+                Ok(None)
             }
-        };
-        // Debug builds run the full certificate on every slot: exact
-        // policies must produce a feasible *maximum* matching (Theorems 1
-        // and 2), the approximation must stay within its Theorem 3 bound.
-        debug_assert!(
-            match approx_bound {
-                None => crate::verify::certify_assignments(conv, requests, mask, &assignments),
-                Some(bound) => crate::verify::certify_assignments_within(
-                    conv,
-                    requests,
-                    mask,
-                    &assignments,
-                    bound,
-                ),
-            }
-            .is_ok(),
-            "scheduler produced an uncertifiable schedule under {:?}",
-            self.policy
-        );
-        Ok(Schedule { assignments, requested: requests.total(), approx_bound })
+        }
     }
 
     /// [`Self::schedule_with_mask`] with the certificate run unconditionally

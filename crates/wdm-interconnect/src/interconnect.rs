@@ -7,7 +7,9 @@
 //! requests with round-robin fairness, and the resulting fabric
 //! configuration is checked against the physical datapath model.
 
-use wdm_core::{ChannelMask, Conversion, Error, FiberScheduler, Policy, RequestVector};
+use wdm_core::{
+    ChannelMask, Conversion, Error, FiberScheduler, Policy, RequestVector, ScratchArena,
+};
 
 use crate::arbitration::GrantResolver;
 use crate::connection::{ConnectionRequest, Grant, RejectReason, Rejection, SlotResult};
@@ -87,11 +89,20 @@ struct ActiveConn {
 }
 
 /// Per-output-fiber mutable state.
+///
+/// Each fiber owns its [`ScratchArena`] and the reusable request/mask
+/// buffers, so the per-slot scheduling loop allocates nothing at steady
+/// state. [`crate::distributed::run_per_fiber`] hands each worker thread a
+/// disjoint chunk of `FiberState`s: a worker owns the arenas of exactly the
+/// fibers it schedules — no sharing, no locks.
 #[derive(Debug, Clone)]
 struct FiberState {
     scheduler: FiberScheduler,
     resolver: GrantResolver,
     actives: Vec<ActiveConn>,
+    arena: ScratchArena,
+    requests: RequestVector,
+    mask: ChannelMask,
 }
 
 /// Outcome of scheduling one fiber for one slot.
@@ -125,6 +136,9 @@ impl Interconnect {
                 scheduler: FiberScheduler::new(config.conversion, config.policy),
                 resolver: GrantResolver::new(config.n, k),
                 actives: Vec::new(),
+                arena: ScratchArena::for_k(k),
+                requests: RequestVector::new(k),
+                mask: ChannelMask::all_free(k),
             })
             .collect();
         Ok(Interconnect {
@@ -281,25 +295,28 @@ fn schedule_fiber(
     let k = conversion.k();
     match hold {
         HoldPolicy::NonDisturb => {
-            let mut rv = RequestVector::new(k);
+            fiber.requests.clear();
             for c in candidates {
-                if rv.add(c.src_wavelength).is_err() {
+                if fiber.requests.add(c.src_wavelength).is_err() {
                     unreachable!("validated request");
                 }
             }
-            let mut mask = ChannelMask::all_free(k);
+            fiber.mask.reset_all_free();
             for a in &fiber.actives {
-                if mask.set_occupied(a.output_wavelength).is_err() {
+                if fiber.mask.set_occupied(a.output_wavelength).is_err() {
                     unreachable!("active channel in range");
                 }
             }
-            // `schedule_with_mask` runs the full matching certificate behind
-            // a debug assertion, so every per-fiber scheduling decision is
+            // `schedule_slot` reuses the fiber's arena (no allocations at
+            // steady state) and runs the full matching certificate behind a
+            // debug assertion, so every per-fiber scheduling decision is
             // verified maximum in debug builds.
-            let Ok(schedule) = fiber.scheduler.schedule_with_mask(&rv, &mask) else {
+            let Ok(_stats) =
+                fiber.scheduler.schedule_slot(&fiber.requests, &fiber.mask, &mut fiber.arena)
+            else {
                 unreachable!("validated dimensions")
             };
-            let (grants, leftovers) = fiber.resolver.resolve(schedule.assignments(), candidates);
+            let (grants, leftovers) = fiber.resolver.resolve(fiber.arena.assignments(), candidates);
             let contention = leftovers.into_iter().map(|i| candidates[i]).collect();
             FiberOutcome { grants, contention, rearranged: 0 }
         }

@@ -1,0 +1,88 @@
+//! Worker-thread determinism: scheduling the fibers of one interconnect on
+//! 1 vs 8 worker threads must be observationally identical, slot for slot.
+//!
+//! The distributed step partitions output fibers across threads, each with
+//! its own [`ScratchArena`]; since fibers never share state inside a slot,
+//! the thread count can only change *when* a fiber is scheduled, never
+//! *what* it computes. These tests drive two interconnects through a long
+//! deterministic request schedule (multi-slot bursts included, so held
+//! connections interact with later slots) and compare every `SlotResult`
+//! and every per-fiber occupancy mask bit for bit.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use wdm_core::Conversion;
+use wdm_interconnect::{ConnectionRequest, HoldPolicy, Interconnect, InterconnectConfig};
+
+/// Deterministic xorshift64* request generator (no dependency on `rand`'s
+/// distribution code, so the schedule is stable by construction).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn slot_requests(rng: &mut Rng, n: usize, k: usize) -> Vec<ConnectionRequest> {
+    let mut requests = Vec::new();
+    for src in 0..n {
+        for w in 0..k {
+            let r = rng.next();
+            if r % 10 < 7 {
+                let dst = (r >> 8) as usize % n;
+                let duration = 1 + (r >> 24) as u32 % 4;
+                requests.push(ConnectionRequest::burst(src, w, dst, duration));
+            }
+        }
+    }
+    requests
+}
+
+fn run_lockstep(conv: Conversion, hold: HoldPolicy, slots: usize) {
+    let n = 6;
+    let k = conv.k();
+    let mk = |threads: usize| {
+        let config =
+            InterconnectConfig::packet_switch(n, conv).with_hold(hold).with_threads(threads);
+        Interconnect::new(config).unwrap()
+    };
+    let mut single = mk(1);
+    let mut eight = mk(8);
+    let mut rng = Rng(0xD17E_0001);
+
+    for slot in 0..slots {
+        let requests = slot_requests(&mut rng, n, k);
+        let a = single.advance_slot(&requests).unwrap();
+        let b = eight.advance_slot(&requests).unwrap();
+        assert_eq!(a, b, "slot {slot}: SlotResult diverged between 1 and 8 threads");
+        for fiber in 0..n {
+            assert_eq!(
+                single.occupied_mask(fiber),
+                eight.occupied_mask(fiber),
+                "slot {slot}: occupancy of fiber {fiber} diverged"
+            );
+        }
+        assert_eq!(single.active_connections(), eight.active_connections(), "slot {slot}");
+    }
+}
+
+#[test]
+fn thread_count_is_invisible_non_circular() {
+    run_lockstep(Conversion::symmetric_non_circular(10, 3).unwrap(), HoldPolicy::NonDisturb, 64);
+}
+
+#[test]
+fn thread_count_is_invisible_circular() {
+    run_lockstep(Conversion::symmetric_circular(10, 3).unwrap(), HoldPolicy::NonDisturb, 64);
+}
+
+#[test]
+fn thread_count_is_invisible_full_range() {
+    run_lockstep(Conversion::full(8).unwrap(), HoldPolicy::NonDisturb, 64);
+}

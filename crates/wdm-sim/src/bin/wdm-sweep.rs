@@ -12,7 +12,7 @@
 
 use std::process::ExitCode;
 
-use wdm_sim::experiment::{run_sweep, to_csv, to_table, DegreeSpec, SweepConfig};
+use wdm_sim::experiment::{run_sweep_with_threads, to_csv, to_table, DegreeSpec, SweepConfig};
 
 fn default_config() -> SweepConfig {
     SweepConfig::uniform_packets(
@@ -24,10 +24,12 @@ fn default_config() -> SweepConfig {
 }
 
 fn usage() -> &'static str {
-    "usage: wdm-sweep [--config <file.json>] [--json <out.json>] [--table] [--print-config]\n\
+    "usage: wdm-sweep [--config <file.json>] [--json <out.json>] [--threads <n>] [--table] [--print-config]\n\
      \n\
      --config <file>   read a SweepConfig (JSON) instead of the default sweep\n\
      --json <file>     also write the measured rows as JSON\n\
+     --threads <n>     run grid points across n worker threads (0 = all cores);\n\
+     \x20                 the rows are bit-identical to a single-threaded run\n\
      --table           print a human-readable table to stderr as well\n\
      --print-config    print the default config as JSON (a template) and exit"
 }
@@ -38,9 +40,21 @@ fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut table = false;
     let mut print_config = false;
+    let mut threads = 1usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--threads" => match it.next().map(|t| t.parse::<usize>()) {
+                Some(Ok(0)) => {
+                    threads =
+                        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+                }
+                Some(Ok(t)) => threads = t,
+                _ => {
+                    eprintln!("--threads needs a numeric argument\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--config" => match it.next() {
                 Some(p) => config_path = Some(p.clone()),
                 None => {
@@ -99,14 +113,15 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "wdm-sweep: N={}, k={}, {} degree configs x {} loads, {} measured slots each",
+        "wdm-sweep: N={}, k={}, {} degree configs x {} loads, {} measured slots each, {} thread(s)",
         config.n,
         config.k,
         config.degrees.len(),
         config.loads.len(),
-        config.sim.measure_slots
+        config.sim.measure_slots,
+        threads
     );
-    let rows = match run_sweep(&config) {
+    let rows = match run_sweep_with_threads(&config, threads) {
         Ok(rows) => rows,
         Err(err) => {
             eprintln!("sweep failed: {err}");

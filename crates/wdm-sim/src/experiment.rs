@@ -117,37 +117,117 @@ pub struct SweepPoint {
     pub throughput_ci95: Option<f64>,
 }
 
-/// Runs the sweep, returning one row per (degree, load) pair, in order.
+/// Derives the simulation seed of grid point `index` from the sweep's base
+/// seed (a splitmix64 step).
+///
+/// Both the sequential and the parallel runner seed point `index` with this
+/// value, so a sweep's rows are bit-identical regardless of how many worker
+/// threads computed them — and each grid point is statistically independent
+/// instead of replaying the base seed's arrival pattern at every load.
+pub fn point_seed(base: u64, index: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs one grid point with its derived per-point seed.
+fn run_point(
+    config: &SweepConfig,
+    spec: DegreeSpec,
+    conversion: Conversion,
+    load: f64,
+    seed: u64,
+) -> Result<SweepPoint, Error> {
+    let ic = InterconnectConfig::packet_switch(config.n, conversion)
+        .with_policy(config.policy)
+        .with_hold(config.hold);
+    let sim = SimulationConfig { seed, ..config.sim };
+    let report = match config.workload {
+        Workload::Uniform => {
+            let t = BernoulliUniform::new(config.n, config.k, load, config.duration);
+            Simulation::new(ic, t, sim)?.run()?
+        }
+        Workload::Hotspot { fraction } => {
+            let t = Hotspot::new(config.n, config.k, load, 0, fraction, config.duration);
+            Simulation::new(ic, t, sim)?.run()?
+        }
+    };
+    Ok(SweepPoint {
+        degree: spec.label(),
+        d: conversion.degree(),
+        load,
+        throughput: report.metrics.throughput_per_slot(),
+        normalized_throughput: report.normalized_throughput(),
+        loss: report.loss_probability(),
+        throughput_ci95: report.metrics.throughput_ci95(20),
+    })
+}
+
+/// Runs the sweep sequentially, returning one row per (degree, load) pair,
+/// in grid order. Equivalent to [`run_sweep_with_threads`] with one thread.
 pub fn run_sweep(config: &SweepConfig) -> Result<Vec<SweepPoint>, Error> {
-    let mut rows = Vec::with_capacity(config.degrees.len() * config.loads.len());
+    run_sweep_with_threads(config, 1)
+}
+
+/// Runs the sweep across up to `threads` worker threads.
+///
+/// The (degree, load) grid is split into contiguous chunks, one per worker,
+/// under [`std::thread::scope`]; each point is seeded with
+/// [`point_seed`]`(config.sim.seed, index)` and the rows are merged back in
+/// grid order, so the result is bit-identical to the sequential runner's.
+/// `threads <= 1` runs inline without spawning.
+pub fn run_sweep_with_threads(
+    config: &SweepConfig,
+    threads: usize,
+) -> Result<Vec<SweepPoint>, Error> {
+    // Resolve conversions up front: configuration errors surface before any
+    // simulation runs, on every code path.
+    let mut grid = Vec::with_capacity(config.degrees.len() * config.loads.len());
     for &spec in &config.degrees {
         let conversion = spec.to_conversion(config.k)?;
         for &load in &config.loads {
-            let ic = InterconnectConfig::packet_switch(config.n, conversion)
-                .with_policy(config.policy)
-                .with_hold(config.hold);
-            let report = match config.workload {
-                Workload::Uniform => {
-                    let t = BernoulliUniform::new(config.n, config.k, load, config.duration);
-                    Simulation::new(ic, t, config.sim)?.run()?
-                }
-                Workload::Hotspot { fraction } => {
-                    let t = Hotspot::new(config.n, config.k, load, 0, fraction, config.duration);
-                    Simulation::new(ic, t, config.sim)?.run()?
-                }
-            };
-            rows.push(SweepPoint {
-                degree: spec.label(),
-                d: conversion.degree(),
-                load,
-                throughput: report.metrics.throughput_per_slot(),
-                normalized_throughput: report.normalized_throughput(),
-                loss: report.loss_probability(),
-                throughput_ci95: report.metrics.throughput_ci95(20),
-            });
+            grid.push((spec, conversion, load));
         }
     }
-    Ok(rows)
+    let workers = threads.max(1).min(grid.len().max(1));
+    if workers <= 1 {
+        return grid
+            .iter()
+            .enumerate()
+            .map(|(i, &(spec, conversion, load))| {
+                run_point(config, spec, conversion, load, point_seed(config.sim.seed, i))
+            })
+            .collect();
+    }
+
+    let chunk_len = grid.len().div_ceil(workers);
+    let mut results: Vec<Option<Result<SweepPoint, Error>>> = Vec::new();
+    results.resize_with(grid.len(), || None);
+    std::thread::scope(|s| {
+        for (ci, (grid_chunk, result_chunk)) in
+            grid.chunks(chunk_len).zip(results.chunks_mut(chunk_len)).enumerate()
+        {
+            let first = ci * chunk_len;
+            s.spawn(move || {
+                for (j, (&(spec, conversion, load), slot)) in
+                    grid_chunk.iter().zip(result_chunk.iter_mut()).enumerate()
+                {
+                    let seed = point_seed(config.sim.seed, first + j);
+                    *slot = Some(run_point(config, spec, conversion, load, seed));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| match r {
+            Some(point) => point,
+            None => unreachable!("every grid point is covered by exactly one chunk"),
+        })
+        .collect()
 }
 
 /// Renders sweep rows as CSV (with header).

@@ -106,19 +106,37 @@ fn run_fmt(root: &Path) -> bool {
     run_step(root, "fmt", "cargo", &["fmt", "--check"])
 }
 
+/// Extra cargo flags from `XTASK_PROFILE`: `release` switches the compile
+/// steps to the release profile. CI's release-with-debug-assertions matrix
+/// leg combines this with `RUSTFLAGS=-C debug-assertions=on`, so the
+/// `debug_assert!`-gated matching certificates also run inside optimized
+/// code; the default (dev profile) has them on anyway.
+fn profile_args() -> &'static [&'static str] {
+    match std::env::var("XTASK_PROFILE").as_deref() {
+        Ok("release") => &["--release"],
+        _ => &[],
+    }
+}
+
 fn run_clippy(root: &Path) -> bool {
     // The deny wall lives in `[workspace.lints]`; any violation is an error.
-    run_step(root, "clippy", "cargo", &["clippy", "--offline", "--workspace", "--all-targets"])
+    let mut args = vec!["clippy", "--offline", "--workspace", "--all-targets"];
+    args.extend_from_slice(profile_args());
+    run_step(root, "clippy", "cargo", &args)
 }
 
 fn run_build(root: &Path) -> bool {
-    run_step(root, "build", "cargo", &["build", "--offline", "--workspace", "--all-targets"])
+    let mut args = vec!["build", "--offline", "--workspace", "--all-targets"];
+    args.extend_from_slice(profile_args());
+    run_step(root, "build", "cargo", &args)
 }
 
 fn run_tests(root: &Path) -> bool {
     // Dev profile: debug assertions are on, so every schedule computed by
     // the suite passes through the MatchingCertificate hot-path checks.
-    run_step(root, "test", "cargo", &["test", "--offline", "--workspace", "--quiet"])
+    let mut args = vec!["test", "--offline", "--workspace", "--quiet"];
+    args.extend_from_slice(profile_args());
+    run_step(root, "test", "cargo", &args)
 }
 
 /// One banned-construct occurrence found by the scan.
