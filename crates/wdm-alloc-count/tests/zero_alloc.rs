@@ -58,18 +58,33 @@ fn fill_slot(rng: &mut Rng, k: usize, rv: &mut RequestVector, mask: &mut Channel
 fn schedule_slot_steady_state_is_allocation_free() {
     const WARMUP: usize = 8;
     const MEASURED: usize = 512;
-    let k = 32;
 
     let configs = [
-        ("auto/non-circular", Conversion::symmetric_non_circular(k, 7).unwrap(), Policy::Auto),
-        ("auto/circular", Conversion::symmetric_circular(k, 7).unwrap(), Policy::Auto),
-        ("auto/full-range", Conversion::full(k).unwrap(), Policy::Auto),
-        ("fa", Conversion::symmetric_non_circular(k, 5).unwrap(), Policy::FirstAvailable),
-        ("bfa", Conversion::symmetric_circular(k, 5).unwrap(), Policy::BreakFirstAvailable),
-        ("approx", Conversion::symmetric_circular(k, 7).unwrap(), Policy::Approximate),
+        ("auto/non-circular", 32, Conversion::symmetric_non_circular(32, 7).unwrap(), Policy::Auto),
+        ("auto/circular", 32, Conversion::symmetric_circular(32, 7).unwrap(), Policy::Auto),
+        ("auto/full-range", 32, Conversion::full(32).unwrap(), Policy::Auto),
+        ("fa", 32, Conversion::symmetric_non_circular(32, 5).unwrap(), Policy::FirstAvailable),
+        ("bfa", 32, Conversion::symmetric_circular(32, 5).unwrap(), Policy::BreakFirstAvailable),
+        ("approx", 32, Conversion::symmetric_circular(32, 7).unwrap(), Policy::Approximate),
+        // Multi-word masks (k > 64 bits would need 2+ words; k = 64 fills a
+        // whole word, the bench's hot point): the BFA entry drives the
+        // shared-prefix candidate path with word-parallel window probes.
+        ("fa/k64", 64, Conversion::symmetric_non_circular(64, 7).unwrap(), Policy::FirstAvailable),
+        (
+            "bfa/k64-shared",
+            64,
+            Conversion::symmetric_circular(64, 7).unwrap(),
+            Policy::BreakFirstAvailable,
+        ),
+        (
+            "bfa/k130-multiword",
+            130,
+            Conversion::symmetric_circular(130, 9).unwrap(),
+            Policy::BreakFirstAvailable,
+        ),
     ];
 
-    for (name, conv, policy) in configs {
+    for (name, k, conv, policy) in configs {
         let scheduler = FiberScheduler::new(conv, policy);
         let mut arena = ScratchArena::for_k(k);
         let mut rv = RequestVector::new(k);
@@ -101,10 +116,60 @@ fn schedule_slot_steady_state_is_allocation_free() {
         );
     }
 
+    sweep_slot_loop_is_allocation_free();
+
     // Sanity-check the counter itself: a deliberate allocation must be seen
     // (done last so it cannot pollute the measurement windows above).
     let before = ALLOC.heap_events();
     let v: Vec<u64> = Vec::with_capacity(64);
     assert!(ALLOC.heap_events() > before, "counter must observe an explicit allocation");
     drop(v);
+}
+
+/// The persistent-worker sweep's *per-slot* loop must not allocate: running
+/// the same grid with more measured slots may only add the amortized metric
+/// buffer growth, not per-slot heap traffic.
+///
+/// Called from the single `#[test]` above — the counters are process-global,
+/// so a separate test running on a parallel harness thread would pollute the
+/// measurement windows.
+fn sweep_slot_loop_is_allocation_free() {
+    use wdm_sim::experiment::{run_sweep_with_threads, DegreeSpec, SweepConfig};
+
+    let mut config = SweepConfig::uniform_packets(
+        4,
+        16,
+        vec![DegreeSpec::None, DegreeSpec::Circular(3), DegreeSpec::Full],
+        vec![0.4, 0.9],
+    );
+    config.sim.warmup_slots = 16;
+
+    let mut measure = |slots: u64| {
+        config.sim.measure_slots = slots;
+        let before = ALLOC.heap_events();
+        let rows = run_sweep_with_threads(&config, 2).unwrap();
+        let events = ALLOC.heap_events() - before;
+        assert_eq!(rows.len(), 6, "sweep must produce one row per grid point");
+        events
+    };
+
+    // Same grid, same workers — the fixed costs (thread spawn, channel,
+    // result slots, row vec) are identical, so the difference isolates what
+    // the extra measured slots allocated.
+    let short = measure(64);
+    let long = measure(64 + 512);
+    let marginal = long.saturating_sub(short);
+    if cfg!(debug_assertions) {
+        // The per-slot matching certificate allocates by design in this
+        // build; the runs above were a smoke pass only.
+        return;
+    }
+    // Amortized Vec growth inside the metrics accumulators (the per-slot
+    // grant samples double as they grow) is tolerated: doubling means
+    // O(log slots) events per grid point. Per-slot allocation — anything
+    // linear in the extra 512 slots — is not.
+    assert!(
+        marginal <= 64,
+        "sweep slot loop allocated {marginal} times for 512 extra slots across 6 grid points"
+    );
 }

@@ -97,11 +97,10 @@ pub fn approx_schedule_into(
     let k = conv.k();
 
     // The breaking wavelength: the first wavelength with pending requests
-    // and a free adjacent channel.
-    let breaking = requests
-        .iter_nonzero()
-        .map(|(w, _)| w)
-        .find(|&w| conv.adjacency(w).iter(k).any(|u| mask.is_free(u)));
+    // and a free adjacent channel (two word-masked window probes per
+    // wavelength, not a per-channel loop).
+    let breaking =
+        requests.iter_nonzero().map(|(w, _)| w).find(|&w| conv.any_adjacent_free(w, mask));
     let Some(w_i) = breaking else {
         return Ok(ApproxStats { delta: 0, bound: 0 });
     };

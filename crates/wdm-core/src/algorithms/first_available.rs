@@ -272,6 +272,11 @@ pub fn fa_schedule_into(
     active.clear();
     let mut next = 0usize;
     for (p, &out_w) in outputs.iter().enumerate() {
+        // All request intervals consumed or expired: no later free channel
+        // can be granted, so the scan is done.
+        if next >= items.len() && active.is_empty() {
+            break;
+        }
         while next < items.len() && items[next].begin <= p {
             active.push_back(next);
             next += 1;

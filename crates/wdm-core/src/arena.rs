@@ -59,6 +59,10 @@ pub struct ScratchArena {
     pub(crate) outputs: Vec<usize>,
     /// Free-channel prefix counts (possibly rotated for a break).
     pub(crate) prefix: Vec<usize>,
+    /// Break-and-FA: nonzero-request wavelengths in rotated left order
+    /// (starting at the breaking wavelength, its breaking copy removed).
+    /// Built once per slot and shared by all `d` break candidates.
+    pub(crate) rot_requests: Vec<(usize, usize)>,
     /// Break-and-FA: the candidate schedule of the break being evaluated.
     pub(crate) candidate: Vec<Assignment>,
     /// The final schedule of the slot (read via [`Self::assignments`]).
@@ -99,6 +103,7 @@ impl ScratchArena {
             active: VecDeque::with_capacity(k),
             outputs: Vec::with_capacity(k),
             prefix: Vec::with_capacity(k + 1),
+            rot_requests: Vec::with_capacity(k),
             candidate: Vec::with_capacity(k + 1),
             assignments: Vec::with_capacity(k + 1),
             dist: Vec::with_capacity(k),

@@ -154,6 +154,17 @@ impl Conversion {
         }
     }
 
+    /// Whether any channel adjacent to wavelength `w` is free in `mask`:
+    /// at most two word-masked window probes, never a per-channel loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= k` or the mask's `k` differs from the conversion's.
+    pub fn any_adjacent_free(&self, w: usize, mask: &crate::occupancy::ChannelMask) -> bool {
+        assert_eq!(mask.k(), self.k, "mask size {} != conversion k {}", mask.k(), self.k);
+        mask.any_free_in_span(self.adjacency(w))
+    }
+
     /// The inverse adjacency set of output wavelength `u`: the input
     /// wavelengths that can be converted *to* `u`.
     ///

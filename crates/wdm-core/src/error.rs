@@ -124,6 +124,14 @@ pub enum Error {
         /// The number of fibers.
         n: usize,
     },
+    /// A packed channel mask carries set bits beyond its `k` channels.
+    ///
+    /// The word-parallel kernels rely on padding bits staying zero; a set
+    /// padding bit would silently corrupt popcounts and window probes.
+    MaskPaddingCorrupt {
+        /// Index of the backing word holding the stray bit.
+        word: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -190,6 +198,9 @@ impl fmt::Display for Error {
             Error::InvalidFiber { fiber, n } => {
                 write!(out, "fiber index {fiber} out of range 0..{n}")
             }
+            Error::MaskPaddingCorrupt { word } => {
+                write!(out, "channel mask padding bits set in backing word {word}")
+            }
         }
     }
 }
@@ -212,6 +223,7 @@ mod tests {
             Error::LengthMismatch { expected: 8, actual: 6 }.to_string(),
             Error::ZeroFibers.to_string(),
             Error::InvalidFiber { fiber: 5, n: 4 }.to_string(),
+            Error::MaskPaddingCorrupt { word: 1 }.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -267,6 +267,36 @@ pub fn lift_assignments(
     Ok(m)
 }
 
+/// Certifies the word-parallel mask kernels against the per-channel
+/// semantics for one slot: the packed representation's invariants hold
+/// ([`ChannelMask::check_integrity`]), and for every wavelength the
+/// word-masked adjacency-span probes agree with a channel-by-channel scan of
+/// the same span.
+///
+/// The schedulers trust `any_free_in_span`/`free_in_span` and the prefix
+/// tables on the hot path; this check keeps the `_checked` twins in lockstep
+/// with the bit-level kernels, so a drifted word mask fails certification
+/// instead of silently corrupting schedules.
+pub fn check_mask_kernels(conv: &Conversion, mask: &ChannelMask) -> Result<(), Error> {
+    mask.check_integrity()?;
+    let k = conv.k();
+    let prefix = mask.free_prefix_counts();
+    if prefix[k] != mask.free_count() {
+        return Err(Error::LengthMismatch { expected: mask.free_count(), actual: prefix[k] });
+    }
+    for w in 0..k {
+        let span = conv.adjacency(w);
+        let scanned = span.iter(k).filter(|&u| mask.is_free(u)).count();
+        if mask.free_in_span(span) != scanned
+            || mask.any_free_in_span(span) != (scanned > 0)
+            || mask.first_free_in_span(span) != span.iter(k).find(|&u| mask.is_free(u))
+        {
+            return Err(Error::MaskPaddingCorrupt { word: w / 64 });
+        }
+    }
+    Ok(())
+}
+
 /// Certifies that a compact schedule is feasible **and** a maximum matching
 /// of the slot's request graph.
 ///
@@ -274,13 +304,15 @@ pub fn lift_assignments(
 /// feasibility ([`validate_assignments`]), lifts the schedule onto the
 /// explicit [`RequestGraph`], and runs the Berge/Hopcroft–Karp augmenting
 /// path test. `O(k·d)` — independent of the interconnect size, like the
-/// schedulers themselves.
+/// schedulers themselves. Also cross-checks the word-parallel mask kernels
+/// the schedulers relied on ([`check_mask_kernels`]).
 pub fn certify_assignments(
     conv: &Conversion,
     requests: &RequestVector,
     mask: &ChannelMask,
     assignments: &[Assignment],
 ) -> Result<(), Error> {
+    check_mask_kernels(conv, mask)?;
     validate_assignments(conv, requests, mask, assignments)?;
     let graph = RequestGraph::with_mask(*conv, requests, mask)?;
     let matching = lift_assignments(&graph, assignments)?;
@@ -300,6 +332,7 @@ pub fn certify_assignments_within(
     assignments: &[Assignment],
     bound: usize,
 ) -> Result<(), Error> {
+    check_mask_kernels(conv, mask)?;
     validate_assignments(conv, requests, mask, assignments)?;
     let graph = RequestGraph::with_mask(*conv, requests, mask)?;
     // Feasibility implies |assignments| <= optimal; check the gap.

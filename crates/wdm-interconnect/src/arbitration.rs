@@ -12,18 +12,33 @@ use wdm_core::algorithms::Assignment;
 use crate::connection::{ConnectionRequest, Grant};
 
 /// Round-robin resolver for one output fiber.
+///
+/// The bucket/cursor scratch lives in the resolver so steady-state
+/// resolution allocates nothing — this runs once per fiber per slot.
 #[derive(Debug, Clone)]
 pub struct GrantResolver {
     n: usize,
     /// One rotating pointer per input wavelength.
     pointers: Vec<usize>,
+    /// Per-wavelength candidate buckets, reused across slots.
+    buckets: Vec<Vec<usize>>,
+    /// Next unserved entry of each bucket, reused across slots.
+    next_in_bucket: Vec<usize>,
+    /// Which candidates were granted, reused across slots.
+    taken: Vec<bool>,
 }
 
 impl GrantResolver {
     /// A resolver over `n` source fibers and `k` wavelengths, pointers at
     /// fiber 0.
     pub fn new(n: usize, k: usize) -> GrantResolver {
-        GrantResolver { n, pointers: vec![0; k] }
+        GrantResolver {
+            n,
+            pointers: vec![0; k],
+            buckets: vec![Vec::new(); k],
+            next_in_bucket: vec![0; k],
+            taken: Vec::new(),
+        }
     }
 
     /// The current pointer for `wavelength`.
@@ -44,36 +59,59 @@ impl GrantResolver {
         assignments: &[Assignment],
         candidates: &[ConnectionRequest],
     ) -> (Vec<Grant>, Vec<usize>) {
+        let mut grants = Vec::with_capacity(assignments.len());
+        let mut contention = Vec::new();
+        self.resolve_into(assignments, candidates, &mut grants, &mut contention);
+        let leftovers = (0..candidates.len()).filter(|&i| !self.taken[i]).collect();
+        (grants, leftovers)
+    }
+
+    /// [`Self::resolve`] writing into caller-provided buffers: `grants` and
+    /// `contention` are cleared and refilled (`contention` receives the
+    /// ungranted candidates themselves, in candidate order). Allocation-free
+    /// at steady state — this is the per-slot production path.
+    pub fn resolve_into(
+        &mut self,
+        assignments: &[Assignment],
+        candidates: &[ConnectionRequest],
+        grants: &mut Vec<Grant>,
+        contention: &mut Vec<ConnectionRequest>,
+    ) {
+        grants.clear();
+        contention.clear();
         // Bucket candidates by wavelength once and sort each bucket in
         // round-robin order from the wavelength's current pointer. Because
         // the pointer always advances to (winner + 1), successive grants on
         // one wavelength take successive bucket entries, so serving each
         // bucket front-to-back reproduces the per-grant
         // min-(fiber − pointer) rule in O(C log C + A) instead of O(A·C).
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.pointers.len()];
-        for (i, c) in candidates.iter().enumerate() {
-            buckets[c.src_wavelength].push(i);
+        for bucket in &mut self.buckets {
+            bucket.clear();
         }
-        for (w, bucket) in buckets.iter_mut().enumerate() {
+        for (i, c) in candidates.iter().enumerate() {
+            self.buckets[c.src_wavelength].push(i);
+        }
+        for (w, bucket) in self.buckets.iter_mut().enumerate() {
             let ptr = self.pointers[w];
             bucket.sort_by_key(|&i| (candidates[i].src_fiber + self.n - ptr) % self.n);
         }
-        let mut next_in_bucket = vec![0usize; buckets.len()];
-        let mut taken = vec![false; candidates.len()];
-        let mut grants = Vec::with_capacity(assignments.len());
+        self.next_in_bucket.fill(0);
+        self.taken.clear();
+        self.taken.resize(candidates.len(), false);
         for a in assignments {
-            let cursor = &mut next_in_bucket[a.input];
-            let Some(&idx) = buckets[a.input].get(*cursor) else {
+            let cursor = &mut self.next_in_bucket[a.input];
+            let Some(&idx) = self.buckets[a.input].get(*cursor) else {
                 debug_assert!(false, "schedule granted more than requested on λ{}", a.input);
                 continue;
             };
             *cursor += 1;
-            taken[idx] = true;
+            self.taken[idx] = true;
             self.pointers[a.input] = (candidates[idx].src_fiber + 1) % self.n;
             grants.push(Grant { request: candidates[idx], output_wavelength: a.output });
         }
-        let leftovers = (0..candidates.len()).filter(|&i| !taken[i]).collect();
-        (grants, leftovers)
+        contention.extend(
+            candidates.iter().enumerate().filter(|&(i, _)| !self.taken[i]).map(|(_, c)| *c),
+        );
     }
 }
 

@@ -103,10 +103,14 @@ struct FiberState {
     arena: ScratchArena,
     requests: RequestVector,
     mask: ChannelMask,
+    /// This slot's outcome, written in place by [`schedule_fiber`] so the
+    /// per-slot loop reuses the buffers instead of returning fresh `Vec`s.
+    outcome: FiberOutcome,
 }
 
-/// Outcome of scheduling one fiber for one slot.
-#[derive(Debug)]
+/// Outcome of scheduling one fiber for one slot. The vectors are cleared
+/// and refilled each slot.
+#[derive(Debug, Clone, Default)]
 struct FiberOutcome {
     grants: Vec<Grant>,
     contention: Vec<ConnectionRequest>,
@@ -122,6 +126,11 @@ pub struct Interconnect {
     threads: usize,
     fibers: Vec<FiberState>,
     slot: u64,
+    /// Per-slot scratch: which input channels already carry a connection
+    /// (or claimed a request earlier this slot). Reused across slots.
+    input_busy: Vec<bool>,
+    /// Per-slot scratch: requests partitioned by destination fiber.
+    per_fiber: Vec<Vec<ConnectionRequest>>,
 }
 
 impl Interconnect {
@@ -139,6 +148,7 @@ impl Interconnect {
                 arena: ScratchArena::for_k(k),
                 requests: RequestVector::new(k),
                 mask: ChannelMask::all_free(k),
+                outcome: FiberOutcome::default(),
             })
             .collect();
         Ok(Interconnect {
@@ -148,6 +158,8 @@ impl Interconnect {
             threads: config.threads,
             fibers,
             slot: 0,
+            input_busy: vec![false; config.n * k],
+            per_fiber: vec![Vec::new(); config.n],
         })
     }
 
@@ -207,10 +219,28 @@ impl Interconnect {
     /// Advances one time slot: ages in-flight connections, schedules the new
     /// `requests`, and returns everything that happened.
     pub fn advance_slot(&mut self, requests: &[ConnectionRequest]) -> Result<SlotResult, Error> {
+        let mut out = SlotResult::default();
+        self.advance_slot_into(requests, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::advance_slot`] writing into a caller-provided result whose
+    /// vectors are cleared and refilled. At steady state (buffers grown to
+    /// their working sizes) a packet-switch slot performs zero heap
+    /// allocations end to end — this is the per-slot production path the
+    /// simulation engine drives.
+    pub fn advance_slot_into(
+        &mut self,
+        requests: &[ConnectionRequest],
+        out: &mut SlotResult,
+    ) -> Result<(), Error> {
         let k = self.k();
         for r in requests {
             r.validate(self.n, k)?;
         }
+        out.grants.clear();
+        out.rejections.clear();
+        out.rearranged = 0;
 
         // 1. Age in-flight connections; completed ones free their channels
         //    for this slot's scheduling.
@@ -223,43 +253,43 @@ impl Interconnect {
             });
             completed += before - fiber.actives.len();
         }
+        out.completed = completed;
 
         // 2. Source-side admission: an input channel still carrying an
         //    earlier connection (or already claimed by an earlier request in
         //    this same slot) cannot launch a new one.
-        let mut input_busy = vec![false; self.n * k];
+        self.input_busy.fill(false);
         for fiber in &self.fibers {
             for a in &fiber.actives {
-                input_busy[a.src_fiber * k + a.src_wavelength] = true;
+                self.input_busy[a.src_fiber * k + a.src_wavelength] = true;
             }
         }
-        let mut rejections = Vec::new();
-        let mut per_fiber: Vec<Vec<ConnectionRequest>> = vec![Vec::new(); self.n];
+        for bucket in &mut self.per_fiber {
+            bucket.clear();
+        }
         for &r in requests {
             let idx = r.src_fiber * k + r.src_wavelength;
-            if input_busy[idx] {
-                rejections.push(Rejection { request: r, reason: RejectReason::SourceBusy });
+            if self.input_busy[idx] {
+                out.rejections.push(Rejection { request: r, reason: RejectReason::SourceBusy });
             } else {
-                input_busy[idx] = true;
-                per_fiber[r.dst_fiber].push(r);
+                self.input_busy[idx] = true;
+                self.per_fiber[r.dst_fiber].push(r);
             }
         }
 
         // 3. The N independent per-fiber schedulers (the paper's
-        //    distributed step), optionally across worker threads.
+        //    distributed step), optionally across worker threads. Each
+        //    fiber's outcome lands in its own reused buffers.
         let hold = self.hold;
         let conversion = self.conversion;
-        let outcomes =
-            run_per_fiber(&mut self.fibers, &per_fiber, self.threads, |_, fiber, candidates| {
-                schedule_fiber(&conversion, hold, fiber, candidates)
-            });
+        run_per_fiber(&mut self.fibers, &self.per_fiber, self.threads, |_, fiber, candidates| {
+            schedule_fiber(&conversion, hold, fiber, candidates);
+        });
 
         // 4. Latch grants into the fabric state.
-        let mut grants = Vec::new();
-        let mut rearranged = 0usize;
-        for (fiber, outcome) in self.fibers.iter_mut().zip(outcomes) {
-            rearranged += outcome.rearranged;
-            for g in &outcome.grants {
+        for fiber in &mut self.fibers {
+            out.rearranged += fiber.outcome.rearranged;
+            for g in &fiber.outcome.grants {
                 fiber.actives.push(ActiveConn {
                     src_fiber: g.request.src_fiber,
                     src_wavelength: g.request.src_wavelength,
@@ -267,12 +297,13 @@ impl Interconnect {
                     remaining: g.request.duration,
                 });
             }
-            grants.extend(outcome.grants);
-            rejections.extend(
-                outcome
+            out.grants.extend_from_slice(&fiber.outcome.grants);
+            out.rejections.extend(
+                fiber
+                    .outcome
                     .contention
-                    .into_iter()
-                    .map(|request| Rejection { request, reason: RejectReason::OutputContention }),
+                    .iter()
+                    .map(|&request| Rejection { request, reason: RejectReason::OutputContention }),
             );
         }
 
@@ -281,17 +312,19 @@ impl Interconnect {
             "scheduling produced a physically impossible fabric state"
         );
         self.slot += 1;
-        Ok(SlotResult { grants, rejections, completed, rearranged })
+        Ok(())
     }
 }
 
-/// Schedules one output fiber for one slot.
+/// Schedules one output fiber for one slot, writing into `fiber.outcome`
+/// (buffers reused across slots; allocation-free at steady state on the
+/// non-disturb packet path).
 fn schedule_fiber(
     conversion: &Conversion,
     hold: HoldPolicy,
     fiber: &mut FiberState,
     candidates: &[ConnectionRequest],
-) -> FiberOutcome {
+) {
     let k = conversion.k();
     match hold {
         HoldPolicy::NonDisturb => {
@@ -316,9 +349,13 @@ fn schedule_fiber(
             else {
                 unreachable!("validated dimensions")
             };
-            let (grants, leftovers) = fiber.resolver.resolve(fiber.arena.assignments(), candidates);
-            let contention = leftovers.into_iter().map(|i| candidates[i]).collect();
-            FiberOutcome { grants, contention, rearranged: 0 }
+            fiber.resolver.resolve_into(
+                fiber.arena.assignments(),
+                candidates,
+                &mut fiber.outcome.grants,
+                &mut fiber.outcome.contention,
+            );
+            fiber.outcome.rearranged = 0;
         }
         HoldPolicy::Rearrange => {
             let active_w: Vec<usize> = fiber.actives.iter().map(|a| a.src_wavelength).collect();
@@ -355,15 +392,17 @@ fn schedule_fiber(
                     rearranged += 1;
                 }
             }
-            let mut grants = Vec::new();
-            let mut contention = Vec::new();
+            fiber.outcome.grants.clear();
+            fiber.outcome.contention.clear();
             for (c, assigned) in candidates.iter().zip(&outcome.request_channels) {
                 match assigned {
-                    Some(u) => grants.push(Grant { request: *c, output_wavelength: *u }),
-                    None => contention.push(*c),
+                    Some(u) => {
+                        fiber.outcome.grants.push(Grant { request: *c, output_wavelength: *u });
+                    }
+                    None => fiber.outcome.contention.push(*c),
                 }
             }
-            FiberOutcome { grants, contention, rearranged }
+            fiber.outcome.rearranged = rearranged;
         }
     }
 }

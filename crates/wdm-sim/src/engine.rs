@@ -100,9 +100,13 @@ impl<T: TrafficModel> Simulation<T> {
     pub fn run(mut self) -> Result<Report, Error> {
         let mut metrics = Metrics::new();
         let total = self.config.warmup_slots + self.config.measure_slots;
+        // One request buffer and one result for the whole run: the slot loop
+        // reuses them, so steady-state simulation is allocation-free.
+        let mut requests = Vec::new();
+        let mut result = wdm_interconnect::SlotResult::default();
         for slot in 0..total {
-            let requests = self.traffic.generate(&mut self.rng, slot);
-            let result = self.interconnect.advance_slot(&requests)?;
+            self.traffic.generate_into(&mut self.rng, slot, &mut requests);
+            self.interconnect.advance_slot_into(&requests, &mut result)?;
             if slot >= self.config.warmup_slots {
                 metrics.record_slot(SlotObservation {
                     offered: result.offered(),

@@ -4,6 +4,8 @@
 //! versus offered load for a set of conversion geometries and scheduling
 //! policies, as serializable rows plus CSV output.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use serde::{Deserialize, Serialize};
 use wdm_core::{Conversion, Error, Policy};
 use wdm_interconnect::{HoldPolicy, InterconnectConfig};
@@ -174,11 +176,17 @@ pub fn run_sweep(config: &SweepConfig) -> Result<Vec<SweepPoint>, Error> {
 
 /// Runs the sweep across up to `threads` worker threads.
 ///
-/// The (degree, load) grid is split into contiguous chunks, one per worker,
-/// under [`std::thread::scope`]; each point is seeded with
-/// [`point_seed`]`(config.sim.seed, index)` and the rows are merged back in
-/// grid order, so the result is bit-identical to the sequential runner's.
-/// `threads <= 1` runs inline without spawning.
+/// The workers are *persistent*: each is spawned once under
+/// [`std::thread::scope`] and pulls small contiguous chunks of grid indices
+/// off a shared atomic cursor until the grid is exhausted. Dynamic chunking
+/// keeps all workers busy even when grid points have wildly different costs
+/// (a full-range point finishes long before a circular one at the same
+/// load), which is what static per-worker partitioning got wrong.
+///
+/// Each point is seeded with [`point_seed`]`(config.sim.seed, index)` and
+/// completed rows are written into indexed result slots, so the output is
+/// bit-identical to the sequential runner's regardless of worker count or
+/// completion order. `threads <= 1` runs inline without spawning.
 pub fn run_sweep_with_threads(
     config: &SweepConfig,
     threads: usize,
@@ -203,29 +211,47 @@ pub fn run_sweep_with_threads(
             .collect();
     }
 
-    let chunk_len = grid.len().div_ceil(workers);
+    // Small chunks (a few per worker) balance steal overhead against skew;
+    // one atomic fetch_add claims a whole chunk.
+    let chunk_len = grid.len().div_ceil(workers * 4).max(1);
+    let cursor = AtomicUsize::new(0);
     let mut results: Vec<Option<Result<SweepPoint, Error>>> = Vec::new();
     results.resize_with(grid.len(), || None);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<SweepPoint, Error>)>();
     std::thread::scope(|s| {
-        for (ci, (grid_chunk, result_chunk)) in
-            grid.chunks(chunk_len).zip(results.chunks_mut(chunk_len)).enumerate()
-        {
-            let first = ci * chunk_len;
-            s.spawn(move || {
-                for (j, (&(spec, conversion, load), slot)) in
-                    grid_chunk.iter().zip(result_chunk.iter_mut()).enumerate()
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let grid = &grid;
+            s.spawn(move || loop {
+                let start = cursor.fetch_add(chunk_len, Ordering::Relaxed);
+                if start >= grid.len() {
+                    return;
+                }
+                let end = (start + chunk_len).min(grid.len());
+                for (i, &(spec, conversion, load)) in
+                    grid[start..end].iter().enumerate().map(|(j, g)| (start + j, g))
                 {
-                    let seed = point_seed(config.sim.seed, first + j);
-                    *slot = Some(run_point(config, spec, conversion, load, seed));
+                    let seed = point_seed(config.sim.seed, i);
+                    let point = run_point(config, spec, conversion, load, seed);
+                    if tx.send((i, point)).is_err() {
+                        return;
+                    }
                 }
             });
+        }
+        // The workers hold the clones; dropping the original lets `rx` end
+        // once the last worker finishes.
+        drop(tx);
+        for (i, point) in rx {
+            results[i] = Some(point);
         }
     });
     results
         .into_iter()
         .map(|r| match r {
             Some(point) => point,
-            None => unreachable!("every grid point is covered by exactly one chunk"),
+            None => unreachable!("every grid index is claimed by exactly one cursor chunk"),
         })
         .collect()
 }

@@ -57,8 +57,18 @@ pub trait TrafficModel {
     fn n(&self) -> usize;
     /// Number of wavelengths per fiber.
     fn k(&self) -> usize;
-    /// Generates the requests arriving at the given slot.
-    fn generate(&mut self, rng: &mut StdRng, slot: u64) -> Vec<ConnectionRequest>;
+    /// Generates the requests arriving at the given slot into `out`, which
+    /// is cleared first. Implementations must not allocate beyond growing
+    /// `out` — the engine reuses one buffer across every slot.
+    fn generate_into(&mut self, rng: &mut StdRng, slot: u64, out: &mut Vec<ConnectionRequest>);
+
+    /// Convenience wrapper around [`Self::generate_into`] returning a fresh
+    /// vector.
+    fn generate(&mut self, rng: &mut StdRng, slot: u64) -> Vec<ConnectionRequest> {
+        let mut out = Vec::new();
+        self.generate_into(rng, slot, &mut out);
+        out
+    }
     /// The offered load per input channel (probability a channel carries a
     /// new request in a slot, ignoring source-busy suppression).
     fn offered_load(&self) -> f64;
@@ -91,8 +101,8 @@ impl TrafficModel for BernoulliUniform {
         self.k
     }
 
-    fn generate(&mut self, rng: &mut StdRng, _slot: u64) -> Vec<ConnectionRequest> {
-        let mut out = Vec::new();
+    fn generate_into(&mut self, rng: &mut StdRng, _slot: u64, out: &mut Vec<ConnectionRequest>) {
+        out.clear();
         for fiber in 0..self.n {
             for w in 0..self.k {
                 if rng.gen_bool(self.p) {
@@ -105,7 +115,6 @@ impl TrafficModel for BernoulliUniform {
                 }
             }
         }
-        out
     }
 
     fn offered_load(&self) -> f64 {
@@ -161,8 +170,8 @@ impl TrafficModel for Hotspot {
         self.k
     }
 
-    fn generate(&mut self, rng: &mut StdRng, _slot: u64) -> Vec<ConnectionRequest> {
-        let mut out = Vec::new();
+    fn generate_into(&mut self, rng: &mut StdRng, _slot: u64, out: &mut Vec<ConnectionRequest>) {
+        out.clear();
         for fiber in 0..self.n {
             for w in 0..self.k {
                 if rng.gen_bool(self.p) {
@@ -175,7 +184,6 @@ impl TrafficModel for Hotspot {
                 }
             }
         }
-        out
     }
 
     fn offered_load(&self) -> f64 {
@@ -228,8 +236,8 @@ impl TrafficModel for BurstyOnOff {
         self.k
     }
 
-    fn generate(&mut self, rng: &mut StdRng, _slot: u64) -> Vec<ConnectionRequest> {
-        let mut out = Vec::new();
+    fn generate_into(&mut self, rng: &mut StdRng, _slot: u64, out: &mut Vec<ConnectionRequest>) {
+        out.clear();
         for fiber in 0..self.n {
             for w in 0..self.k {
                 let idx = fiber * self.k + w;
@@ -258,7 +266,6 @@ impl TrafficModel for BurstyOnOff {
                 }
             }
         }
-        out
     }
 
     fn offered_load(&self) -> f64 {
