@@ -1,0 +1,120 @@
+//! Exercises every `unsafe` path of [`CountingAlloc`] — `alloc`,
+//! `alloc_zeroed`, `realloc`, and `dealloc` — both through the global
+//! allocator registration (every `Vec` below goes through it) and through
+//! direct raw calls with hand-rolled layouts.
+//!
+//! This is the test `cargo xtask miri` pins on the crate: the allocator is
+//! the workspace's single `unsafe` exception, and Miri checks the raw
+//! pointer arithmetic, layout handling, and provenance of each forwarded
+//! call under the interpreter's strictest rules. Natively it doubles as a
+//! counter-accounting test.
+//!
+//! Everything lives in one `#[test]`: the counters are process-global, so a
+//! concurrently running second test would allocate inside the measurement
+//! windows.
+
+#![allow(clippy::unwrap_used)]
+
+use std::alloc::{GlobalAlloc, Layout};
+
+use wdm_alloc_count::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// A snapshot of all four counters, for delta assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Counts {
+    allocs: u64,
+    reallocs: u64,
+    deallocs: u64,
+    bytes: u64,
+}
+
+fn snapshot() -> Counts {
+    Counts {
+        allocs: ALLOC.allocations(),
+        reallocs: ALLOC.reallocations(),
+        deallocs: ALLOC.deallocations(),
+        bytes: ALLOC.allocated_bytes(),
+    }
+}
+
+#[test]
+fn all_allocator_paths_forward_and_count() {
+    // --- alloc + dealloc via the registration: a boxed value. -------------
+    let before = snapshot();
+    let boxed = Box::new([0u64; 8]);
+    let after_alloc = snapshot();
+    assert!(after_alloc.allocs > before.allocs, "Box::new must hit alloc");
+    assert!(after_alloc.bytes >= before.bytes + 64, "64 payload bytes counted");
+    drop(boxed);
+    let after_drop = snapshot();
+    assert!(after_drop.deallocs > after_alloc.deallocs, "drop must hit dealloc");
+
+    // --- alloc_zeroed via the registration: a zero-filled Vec. ------------
+    // `vec![0u8; n]` lowers to `alloc_zeroed`, which `allocations()` counts
+    // together with `alloc`.
+    let before = snapshot();
+    let zeroes = vec![0u8; 1024];
+    let after = snapshot();
+    assert!(zeroes.iter().all(|&b| b == 0));
+    assert!(after.allocs > before.allocs, "vec![0; n] must hit alloc_zeroed");
+    assert!(after.bytes >= before.bytes + 1024);
+    drop(zeroes);
+
+    // --- realloc via the registration: growing a Vec in place. ------------
+    let before = snapshot();
+    let mut growing: Vec<u8> = Vec::with_capacity(4);
+    growing.extend_from_slice(&[1, 2, 3, 4]);
+    assert_eq!(snapshot().reallocs, before.reallocs, "within capacity: no realloc");
+    growing.extend_from_slice(&[5, 6, 7, 8, 9]);
+    let after = snapshot();
+    assert!(after.reallocs > before.reallocs, "growth past capacity must hit realloc");
+    assert_eq!(growing, [1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    drop(growing);
+
+    // --- the same four paths through direct raw calls. --------------------
+    // SAFETY: layouts are non-zero-sized; every pointer is null-checked,
+    // written only within its layout, reallocated with the layout it was
+    // allocated with, and freed exactly once.
+    unsafe {
+        let before = snapshot();
+        let layout = Layout::from_size_align(32, 8).unwrap();
+
+        let p = ALLOC.alloc(layout);
+        assert!(!p.is_null());
+        for i in 0..32 {
+            p.add(i).write(0xA5);
+        }
+
+        let grown = ALLOC.realloc(p, layout, 64);
+        assert!(!grown.is_null());
+        // The old prefix must survive the move; the tail is ours to write.
+        for i in 0..32 {
+            assert_eq!(grown.add(i).read(), 0xA5, "realloc must preserve the prefix");
+        }
+        for i in 32..64 {
+            grown.add(i).write(0x5A);
+        }
+        let grown_layout = Layout::from_size_align(64, 8).unwrap();
+        ALLOC.dealloc(grown, grown_layout);
+
+        let z = ALLOC.alloc_zeroed(layout);
+        assert!(!z.is_null());
+        for i in 0..32 {
+            assert_eq!(z.add(i).read(), 0, "alloc_zeroed must return zeroed memory");
+        }
+        ALLOC.dealloc(z, layout);
+
+        let after = snapshot();
+        assert_eq!(after.allocs, before.allocs + 2, "one alloc + one alloc_zeroed");
+        assert_eq!(after.reallocs, before.reallocs + 1);
+        assert_eq!(after.deallocs, before.deallocs + 2);
+        assert_eq!(after.bytes, before.bytes + 32 + 64 + 32, "requested bytes accumulate");
+    }
+
+    // Counters never decrease and heap_events is the documented sum.
+    let last = snapshot();
+    assert_eq!(ALLOC.heap_events(), last.allocs + last.reallocs);
+}

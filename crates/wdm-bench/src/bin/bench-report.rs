@@ -131,7 +131,8 @@ fn bench_slot(spec: &SlotSpec, load: f64) -> Result<SlotBench, Error> {
 
     let mut arena = ScratchArena::for_k(spec.k);
     for (rv, mask) in pool.iter().cycle().take(WARMUP_SLOTS) {
-        scheduler.schedule_slot(rv, mask, &mut arena)?;
+        // Warm-up: the stats are deliberately dropped.
+        let _ = scheduler.schedule_slot(rv, mask, &mut arena)?;
     }
 
     let mut granted = 0usize;

@@ -23,6 +23,7 @@ use super::full_range::full_range_schedule_into;
 use super::Assignment;
 
 /// Result of the approximation scheduler.
+#[must_use]
 #[derive(Debug, Clone)]
 pub struct ApproxOutcome {
     /// The granted assignments.
@@ -55,6 +56,8 @@ pub struct ApproxStats {
 /// Returns an empty schedule when there are no requests or no free adjacent
 /// channels; full-range conversion is dispatched to the trivial scheduler
 /// (with `bound = 0` — it is exact).
+///
+/// Paper: Theorem 3 and Corollary 1 (§IV-C, single-break approximation).
 pub fn approx_schedule(
     conv: &Conversion,
     requests: &RequestVector,
@@ -73,6 +76,8 @@ pub fn approx_schedule(
 /// buffers have reached steady-state capacity for the fiber's `k` the call
 /// performs zero heap allocations — this is the per-slot production path
 /// used by [`crate::FiberScheduler::schedule_slot`].
+///
+/// Paper: Theorem 3 and Corollary 1 (§IV-C, single-break approximation).
 pub fn approx_schedule_into(
     conv: &Conversion,
     requests: &RequestVector,
@@ -132,6 +137,8 @@ pub fn approx_schedule_into(
 /// verified feasible and within the reported [`ApproxOutcome::bound`] of the
 /// maximum matching (Theorem 3 / Corollary 1), by comparison against a
 /// Hopcroft–Karp run.
+///
+/// Paper: Theorem 3 and Corollary 1 (§IV-C, single-break approximation).
 pub fn approx_schedule_checked(
     conv: &Conversion,
     requests: &RequestVector,
@@ -145,6 +152,8 @@ pub fn approx_schedule_checked(
 /// [`approx_schedule_into`] with the Theorem 3 / Corollary 1 certificate.
 /// The certificate itself allocates (it runs the Hopcroft–Karp oracle); use
 /// the unchecked variant on the zero-allocation hot path.
+///
+/// Paper: Theorem 3 and Corollary 1 (§IV-C, single-break approximation).
 pub fn approx_schedule_into_checked(
     conv: &Conversion,
     requests: &RequestVector,

@@ -63,6 +63,8 @@ pub enum BreakChoice {
 /// assert_eq!(grants.len(), 6); // the maximum matching of paper Fig. 4(a)
 /// # Ok::<(), wdm_core::Error>(())
 /// ```
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_schedule(
     conv: &Conversion,
     requests: &RequestVector,
@@ -72,6 +74,8 @@ pub fn break_fa_schedule(
 }
 
 /// [`break_fa_schedule`] with an explicit breaking-vertex policy.
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_schedule_with(
     conv: &Conversion,
     requests: &RequestVector,
@@ -86,6 +90,8 @@ pub fn break_fa_schedule_with(
 
 /// [`break_fa_schedule`] writing into caller-provided buffers, with the
 /// default breaking-vertex policy. See [`break_fa_schedule_with_into`].
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_schedule_into(
     conv: &Conversion,
     requests: &RequestVector,
@@ -104,6 +110,8 @@ pub fn break_fa_schedule_into(
 /// capacity for the fiber's `k` the call performs zero heap allocations —
 /// this is the per-slot production path used by
 /// [`crate::FiberScheduler::schedule_slot`].
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_schedule_with_into(
     conv: &Conversion,
     requests: &RequestVector,
@@ -442,6 +450,8 @@ pub(crate) fn single_break_into(
 /// Builds every reduced graph with [`break_graph`] (Definition 1 applied
 /// edge by edge) and runs the interval First Available on it. `O(d·E)` —
 /// used for verification, not production.
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_matching(graph: &RequestGraph) -> Matching {
     let nl = graph.left_count();
     let nr = graph.right_count();
@@ -480,6 +490,8 @@ pub fn break_fa_matching(graph: &RequestGraph) -> Matching {
 /// [`break_fa_schedule`] with its certificate: the returned schedule is
 /// verified feasible and a maximum matching of the slot's request graph
 /// (Theorem 2).
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_schedule_checked(
     conv: &Conversion,
     requests: &RequestVector,
@@ -489,6 +501,8 @@ pub fn break_fa_schedule_checked(
 }
 
 /// [`break_fa_schedule_with`] with the Theorem 2 certificate.
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_schedule_with_checked(
     conv: &Conversion,
     requests: &RequestVector,
@@ -503,6 +517,8 @@ pub fn break_fa_schedule_with_checked(
 /// [`break_fa_schedule_into`] with the Theorem 2 certificate. The
 /// certificate itself allocates; use the unchecked variant on the
 /// zero-allocation hot path.
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_schedule_into_checked(
     conv: &Conversion,
     requests: &RequestVector,
@@ -514,6 +530,8 @@ pub fn break_fa_schedule_into_checked(
 }
 
 /// [`break_fa_schedule_with_into`] with the Theorem 2 certificate.
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_schedule_with_into_checked(
     conv: &Conversion,
     requests: &RequestVector,
@@ -530,6 +548,8 @@ pub fn break_fa_schedule_with_into_checked(
 /// [`break_fa_matching`] with its certificate: the returned matching is
 /// verified valid, maximum (Theorem 2), and — the extra structure breaking
 /// buys — crossing-free (Lemma 1).
+///
+/// Paper: Theorem 2 (Break and First Available, Table 3; Lemmas 2–4).
 pub fn break_fa_matching_checked(graph: &RequestGraph) -> Result<Matching, Error> {
     let m = break_fa_matching(graph);
     let cert = crate::verify::MatchingCertificate::new(graph, &m);

@@ -71,6 +71,9 @@ impl ConvexInstance {
 /// The instance must satisfy [`ConvexInstance::has_monotone_endpoints`]
 /// (checked with a debug assertion); without monotonicity use
 /// [`super::glover`].
+///
+/// Paper: Theorem 1 (First Available, Table 2).
+#[must_use]
 pub fn first_available(inst: &ConvexInstance) -> Vec<Option<usize>> {
     let mut scratch = ScratchArena::new();
     let mut match_of_right = Vec::new();
@@ -81,6 +84,8 @@ pub fn first_available(inst: &ConvexInstance) -> Vec<Option<usize>> {
 /// [`first_available`] writing into caller-provided buffers: `out` receives
 /// the `MATCH[]` array and `scratch` provides the active-vertex queue.
 /// Allocation-free once both have steady-state capacity.
+///
+/// Paper: Theorem 1 (First Available, Table 2).
 pub fn first_available_into(
     inst: &ConvexInstance,
     scratch: &mut ScratchArena,
@@ -127,6 +132,8 @@ pub fn first_available_into(
 /// The graph must be convex with monotone endpoints — guaranteed for
 /// non-circular conversion (Theorem 1), and for reduced graphs produced by
 /// breaking (Lemma 2).
+///
+/// Paper: Theorem 1 (First Available, Table 2).
 pub fn first_available_matching(graph: &RequestGraph) -> Matching {
     let inst = ConvexInstance::from_graph(graph);
     let match_of_right = first_available(&inst);
@@ -140,6 +147,8 @@ pub fn first_available_matching(graph: &RequestGraph) -> Matching {
 /// monotone-endpoint preconditions of Theorem 1 up front and certifies the
 /// output as a maximum matching of the interval instance before returning
 /// it.
+///
+/// Paper: Theorem 1 (First Available, Table 2).
 pub fn first_available_checked(inst: &ConvexInstance) -> Result<Vec<Option<usize>>, Error> {
     crate::verify::check_convex(inst)?;
     crate::verify::check_monotone_endpoints(inst)?;
@@ -151,6 +160,8 @@ pub fn first_available_checked(inst: &ConvexInstance) -> Result<Vec<Option<usize
 /// [`first_available_into`] with the [`first_available_checked`]
 /// certificate. The certificate itself allocates; use the unchecked variant
 /// on the zero-allocation hot path.
+///
+/// Paper: Theorem 1 (First Available, Table 2).
 pub fn first_available_into_checked(
     inst: &ConvexInstance,
     scratch: &mut ScratchArena,
@@ -165,6 +176,8 @@ pub fn first_available_into_checked(
 
 /// [`first_available_matching`] with its certificate: the returned matching
 /// is verified valid and maximum (Theorem 1) against the explicit graph.
+///
+/// Paper: Theorem 1 (First Available, Table 2).
 pub fn first_available_matching_checked(graph: &RequestGraph) -> Result<Matching, Error> {
     for j in 0..graph.left_count() {
         graph.position_interval_checked(j)?;
@@ -176,6 +189,8 @@ pub fn first_available_matching_checked(graph: &RequestGraph) -> Result<Matching
 
 /// [`fa_schedule`] with its certificate: the returned schedule is verified
 /// feasible and a maximum matching of the slot's request graph (Theorem 1).
+///
+/// Paper: Theorem 1 (First Available, Table 2).
 pub fn fa_schedule_checked(
     conv: &Conversion,
     requests: &RequestVector,
@@ -207,6 +222,8 @@ pub fn fa_schedule_checked(
 /// assert_eq!(grants.len(), 6); // the maximum matching of paper Fig. 4(b)
 /// # Ok::<(), wdm_core::Error>(())
 /// ```
+///
+/// Paper: Theorem 1 (First Available, Table 2).
 pub fn fa_schedule(
     conv: &Conversion,
     requests: &RequestVector,
@@ -226,6 +243,8 @@ pub fn fa_schedule(
 /// or [`ScratchArena::for_k`]) the call performs zero heap allocations —
 /// this is the per-slot production path used by
 /// [`crate::FiberScheduler::schedule_slot`].
+///
+/// Paper: Theorem 1 (First Available, Table 2).
 pub fn fa_schedule_into(
     conv: &Conversion,
     requests: &RequestVector,
@@ -302,6 +321,8 @@ pub fn fa_schedule_into(
 /// [`fa_schedule_into`] with the Theorem 1 certificate. The certificate
 /// itself allocates (it rebuilds the request graph and runs the oracle); use
 /// the unchecked variant on the zero-allocation hot path.
+///
+/// Paper: Theorem 1 (First Available, Table 2).
 pub fn fa_schedule_into_checked(
     conv: &Conversion,
     requests: &RequestVector,

@@ -18,6 +18,8 @@ use super::Assignment;
 /// Grants requests in ascending wavelength order (the "arbitrary pick") and
 /// assigns free channels in ascending order. Returns an error if `conv` is
 /// not full-range.
+///
+/// Paper: §I (full-range conversion: grant min(requests, free channels)).
 pub fn full_range_schedule(
     conv: &Conversion,
     requests: &RequestVector,
@@ -32,6 +34,8 @@ pub fn full_range_schedule(
 /// cleared first; the call is allocation-free once `out` has capacity for
 /// `min(requests, free channels)` grants. Needs no scratch — the trivial
 /// scheduler has no intermediate state.
+///
+/// Paper: §I (full-range conversion: grant min(requests, free channels)).
 pub fn full_range_schedule_into(
     conv: &Conversion,
     requests: &RequestVector,
@@ -62,6 +66,8 @@ pub fn full_range_schedule_into(
 /// [`full_range_schedule_into`] with the feasibility-and-maximality
 /// certificate. The certificate itself allocates; use the unchecked variant
 /// on the zero-allocation hot path.
+///
+/// Paper: §I (full-range conversion: grant min(requests, free channels)).
 pub fn full_range_schedule_into_checked(
     conv: &Conversion,
     requests: &RequestVector,
@@ -75,6 +81,8 @@ pub fn full_range_schedule_into_checked(
 
 /// [`full_range_schedule`] with its certificate: the returned schedule is
 /// verified feasible and of maximum size `min(requests, free channels)`.
+///
+/// Paper: §I (full-range conversion: grant min(requests, free channels)).
 pub fn full_range_schedule_checked(
     conv: &Conversion,
     requests: &RequestVector,

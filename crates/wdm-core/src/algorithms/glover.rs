@@ -17,6 +17,9 @@ use super::first_available::ConvexInstance;
 /// Returns the `MATCH[]` array: for each right position, the matched left
 /// vertex (or `None`). Runs in `O((n + m) log n)` for `n` left and `m`
 /// right vertices.
+///
+/// Paper: Table 1 (Glover's min-END rule for convex bipartite graphs).
+#[must_use]
 pub fn glover(inst: &ConvexInstance) -> Vec<Option<usize>> {
     let mut scratch = ScratchArena::new();
     let mut match_of_right = Vec::new();
@@ -27,6 +30,8 @@ pub fn glover(inst: &ConvexInstance) -> Vec<Option<usize>> {
 /// [`glover`] writing into caller-provided buffers: `out` receives the
 /// `MATCH[]` array; the begin-sorted vertex list and the min-`END` heap live
 /// in `scratch`. Allocation-free once both have steady-state capacity.
+///
+/// Paper: Table 1 (Glover's min-END rule for convex bipartite graphs).
 pub fn glover_into(
     inst: &ConvexInstance,
     scratch: &mut ScratchArena,
@@ -79,6 +84,8 @@ pub fn glover_into(
 /// [`super::first_available::first_available_checked`] this does not require
 /// monotone endpoints — Glover's min-`END` rule is exact for any convex
 /// instance.
+///
+/// Paper: Table 1 (Glover's min-END rule for convex bipartite graphs).
 pub fn glover_checked(inst: &ConvexInstance) -> Result<Vec<Option<usize>>, crate::error::Error> {
     crate::verify::check_convex(inst)?;
     let match_of_right = glover(inst);
@@ -89,6 +96,8 @@ pub fn glover_checked(inst: &ConvexInstance) -> Result<Vec<Option<usize>>, crate
 /// [`glover_into`] with the [`glover_checked`] certificate. The certificate
 /// itself allocates; use the unchecked variant when reusing buffers for
 /// speed.
+///
+/// Paper: Table 1 (Glover's min-END rule for convex bipartite graphs).
 pub fn glover_into_checked(
     inst: &ConvexInstance,
     scratch: &mut ScratchArena,

@@ -14,6 +14,8 @@ const INF: usize = usize::MAX;
 
 /// Finds a maximum matching in an arbitrary request graph with the
 /// Hopcroft–Karp algorithm.
+///
+/// Paper: reference [1] baseline (Hopcroft–Karp, O(sqrt(V)*E)).
 pub fn hopcroft_karp(graph: &RequestGraph) -> Matching {
     let mut scratch = ScratchArena::new();
     hopcroft_karp_in(graph, &mut scratch)
@@ -26,6 +28,8 @@ pub fn hopcroft_karp(graph: &RequestGraph) -> Matching {
 /// call): Hopcroft–Karp is the oracle and the `Policy::HopcroftKarp`
 /// baseline, not part of the certified zero-allocation hot path — reusing
 /// the arena only trims its constant factor.
+///
+/// Paper: reference [1] baseline (Hopcroft–Karp, O(sqrt(V)*E)).
 pub fn hopcroft_karp_in(graph: &RequestGraph, scratch: &mut ScratchArena) -> Matching {
     let nl = graph.left_count();
     let nr = graph.right_count();
@@ -108,6 +112,8 @@ pub fn hopcroft_karp_in(graph: &RequestGraph, scratch: &mut ScratchArena) -> Mat
 
 /// [`hopcroft_karp_in`] with the Berge-certificate of
 /// [`hopcroft_karp_checked`].
+///
+/// Paper: reference [1] baseline (Hopcroft–Karp, O(sqrt(V)*E)).
 pub fn hopcroft_karp_in_checked(
     graph: &RequestGraph,
     scratch: &mut ScratchArena,
@@ -120,6 +126,8 @@ pub fn hopcroft_karp_in_checked(
 /// [`hopcroft_karp`] with its certificate: the returned matching is verified
 /// valid and maximum (no augmenting path, Berge's theorem) before being
 /// returned.
+///
+/// Paper: reference [1] baseline (Hopcroft–Karp, O(sqrt(V)*E)).
 pub fn hopcroft_karp_checked(graph: &RequestGraph) -> Result<Matching, crate::error::Error> {
     let m = hopcroft_karp(graph);
     crate::verify::MatchingCertificate::new(graph, &m).check()?;

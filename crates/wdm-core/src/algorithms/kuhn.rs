@@ -12,6 +12,8 @@ use crate::matching::Matching;
 
 /// Finds a maximum matching in an arbitrary request graph by repeated
 /// augmenting-path search from each left vertex.
+///
+/// Paper: maximum-matching oracle for Theorems 1–3 (§II formulation).
 pub fn kuhn(graph: &RequestGraph) -> Matching {
     let mut scratch = ScratchArena::new();
     kuhn_in(graph, &mut scratch)
@@ -21,6 +23,8 @@ pub fn kuhn(graph: &RequestGraph) -> Matching {
 /// caller-provided arena. Like [`super::hopcroft_karp_in`], the returned
 /// [`Matching`] still owns its arrays — Kuhn is an oracle, not part of the
 /// certified zero-allocation hot path.
+///
+/// Paper: maximum-matching oracle for Theorems 1–3 (§II formulation).
 pub fn kuhn_in(graph: &RequestGraph, scratch: &mut ScratchArena) -> Matching {
     let nl = graph.left_count();
     let nr = graph.right_count();
@@ -65,6 +69,8 @@ pub fn kuhn_in(graph: &RequestGraph, scratch: &mut ScratchArena) -> Matching {
 }
 
 /// [`kuhn_in`] with the Berge-certificate of [`kuhn_checked`].
+///
+/// Paper: maximum-matching oracle for Theorems 1–3 (§II formulation).
 pub fn kuhn_in_checked(
     graph: &RequestGraph,
     scratch: &mut ScratchArena,
@@ -76,6 +82,8 @@ pub fn kuhn_in_checked(
 
 /// [`kuhn`] with its certificate: the returned matching is verified valid
 /// and maximum (no augmenting path, Berge's theorem).
+///
+/// Paper: maximum-matching oracle for Theorems 1–3 (§II formulation).
 pub fn kuhn_checked(graph: &RequestGraph) -> Result<Matching, crate::error::Error> {
     let m = kuhn(graph);
     crate::verify::MatchingCertificate::new(graph, &m).check()?;

@@ -75,6 +75,8 @@ pub struct Assignment {
 /// * every assigned output channel is free and used at most once,
 /// * at most `requests.count(w)` grants are issued per input wavelength,
 /// * every grant respects the conversion range.
+///
+/// Paper: §II (assignment validity: one grant per request and per channel, within conversion range).
 pub fn validate_assignments(
     conv: &Conversion,
     requests: &RequestVector,

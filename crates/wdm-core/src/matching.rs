@@ -10,6 +10,7 @@ use crate::graph::RequestGraph;
 
 /// A matching between left vertices (requests) and right positions
 /// (free output channels).
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Matching {
     of_left: Vec<Option<usize>>,

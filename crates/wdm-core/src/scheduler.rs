@@ -94,6 +94,7 @@ impl Schedule {
 /// assignments themselves stay in the arena
 /// ([`ScratchArena::assignments`]), so the steady-state slot loop never
 /// allocates.
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlotStats {
     /// Number of granted requests.

@@ -43,6 +43,7 @@ use crate::request::RequestVector;
 
 /// A matching paired with the request graph it claims to solve, exposing
 /// the certificate checks as methods.
+#[must_use]
 #[derive(Debug, Clone, Copy)]
 pub struct MatchingCertificate<'a> {
     graph: &'a RequestGraph,

@@ -73,8 +73,15 @@ fn dirty_arena(k: usize) -> ScratchArena {
     scratch
 }
 
+/// Proptest sample size, shrunk under Miri: the interpreter runs each case
+/// orders of magnitude slower than native code, and `cargo xtask miri` needs
+/// the whole file inside the CI budget while still crossing every code path.
+fn cases(native: u32) -> ProptestConfig {
+    ProptestConfig::with_cases(if cfg!(miri) { 16 } else { native })
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(cases(256))]
 
     /// Non-circular: `|FA| == |Glover| == |Hopcroft–Karp|`, all through the
     /// arena-backed entry points, plus arena-vs-fresh bit-identity for each.

@@ -54,8 +54,15 @@ fn model_span(model: &[bool], span: Span) -> Vec<usize> {
     span.iter(model.len()).filter(|&w| model[w]).collect()
 }
 
+/// Proptest sample size, shrunk under Miri: the interpreter runs each case
+/// orders of magnitude slower than native code, and `cargo xtask miri` needs
+/// the whole file inside the CI budget while still crossing every code path.
+fn cases(native: u32) -> ProptestConfig {
+    ProptestConfig::with_cases(if cfg!(miri) { 16 } else { native })
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(cases(256))]
 
     /// Construction + every read-only query agrees with the flags model,
     /// across word boundaries (k up to 3 words + partial).

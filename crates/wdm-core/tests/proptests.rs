@@ -62,8 +62,15 @@ fn mask_of(inst: &Instance) -> ChannelMask {
     ChannelMask::from_flags(inst.occupied.iter().map(|&o| !o).collect()).unwrap()
 }
 
+/// Proptest sample size, shrunk under Miri: the interpreter runs each case
+/// orders of magnitude slower than native code, and `cargo xtask miri` needs
+/// the whole file inside the CI budget while still crossing every code path.
+fn cases(native: u32) -> ProptestConfig {
+    ProptestConfig::with_cases(if cfg!(miri) { 16 } else { native })
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(cases(256))]
 
     /// Theorem 1: First Available is maximum for non-circular conversion,
     /// with and without occupied channels.
@@ -219,7 +226,7 @@ proptest! {
 // `*_checked` twins return `Err` on any violation, so a plain `.unwrap()`
 // here is the assertion.
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(1000))]
+    #![proptest_config(cases(1000))]
 
     /// Theorem 1 via certificates: on random non-circular graphs,
     /// `fa_schedule_checked` succeeds (validity + maximality certified

@@ -81,6 +81,7 @@ pub struct Rejection {
 }
 
 /// The outcome of one time slot.
+#[must_use]
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SlotResult {
     /// Newly granted connections this slot.

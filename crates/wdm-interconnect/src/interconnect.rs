@@ -472,7 +472,7 @@ mod tests {
     fn source_busy_rejection() {
         let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
         let burst = ConnectionRequest::burst(0, 2, 0, 5);
-        ic.advance_slot(&[burst]).unwrap();
+        let _ = ic.advance_slot(&[burst]).unwrap();
         // Same input channel tries again while the burst is in flight.
         let r = ic.advance_slot(&[ConnectionRequest::packet(0, 2, 1)]).unwrap();
         assert_eq!(r.source_busy_losses(), 1);
@@ -515,7 +515,7 @@ mod tests {
             // 2 all busy → nothing to do; slot 3: λ2's burst completes,
             // freeing one channel (2 or 0). A new λ1 request (needs 1 or 2)
             // arrives.
-            ic.advance_slot(&[]).unwrap();
+            let _ = ic.advance_slot(&[]).unwrap();
             let r = ic.advance_slot(&[ConnectionRequest::packet(1, 1, 0)]).unwrap();
             r.grants.len()
         };

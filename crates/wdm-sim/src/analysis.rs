@@ -59,7 +59,7 @@ pub fn full_conversion_loss(n: usize, k: usize, p: f64) -> f64 {
 /// (`d = 1`): `k · P(Y ≥ 1)` with `Y ~ Binomial(N, p/N)`.
 pub fn no_conversion_fiber_throughput(n: usize, k: usize, p: f64) -> f64 {
     let q = p / n as f64;
-    k as f64 * (1.0 - (1.0 - q).powi(n as i32))
+    k as f64 * (1.0 - (1.0 - q).powi(i32::try_from(n).unwrap_or(i32::MAX)))
 }
 
 /// Exact contention-loss probability with no conversion.
@@ -137,8 +137,9 @@ pub fn limited_non_circular_fiber_throughput(
                         continue;
                     }
                     let mut s = state.clone();
-                    let cap = residual as u8;
-                    s[residual - 1] = (s[residual - 1] + x.min(255) as u8).min(cap);
+                    let cap = u8::try_from(residual).unwrap_or(u8::MAX);
+                    let arriving = u8::try_from(x).unwrap_or(u8::MAX);
+                    s[residual - 1] = s[residual - 1].saturating_add(arriving).min(cap);
                     *next.entry(s).or_insert(0.0) += prob * px;
                 }
             }
@@ -161,7 +162,7 @@ pub fn limited_non_circular_fiber_throughput(
             let mut s = vec![0u8; d];
             for r in 2..=d {
                 // After ageing, class r−1 can hold at most r−1 servable.
-                s[r - 2] = state[r - 1].min((r - 1) as u8);
+                s[r - 2] = state[r - 1].min(u8::try_from(r - 1).unwrap_or(u8::MAX));
             }
             *next.entry(s).or_insert(0.0) += prob;
         }

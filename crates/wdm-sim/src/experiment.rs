@@ -4,13 +4,12 @@
 //! versus offered load for a set of conversion geometries and scheduling
 //! policies, as serializable rows plus CSV output.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use serde::{Deserialize, Serialize};
 use wdm_core::{Conversion, Error, Policy};
 use wdm_interconnect::{HoldPolicy, InterconnectConfig};
 
 use crate::engine::{Simulation, SimulationConfig};
+use crate::sweep_sync::{ChunkCursor, SlotBoard};
 use crate::traffic::{BernoulliUniform, DurationModel, Hotspot};
 
 /// A conversion geometry under test.
@@ -178,15 +177,18 @@ pub fn run_sweep(config: &SweepConfig) -> Result<Vec<SweepPoint>, Error> {
 ///
 /// The workers are *persistent*: each is spawned once under
 /// [`std::thread::scope`] and pulls small contiguous chunks of grid indices
-/// off a shared atomic cursor until the grid is exhausted. Dynamic chunking
-/// keeps all workers busy even when grid points have wildly different costs
-/// (a full-range point finishes long before a circular one at the same
-/// load), which is what static per-worker partitioning got wrong.
+/// off a shared [`ChunkCursor`] until the grid is exhausted. Dynamic
+/// chunking keeps all workers busy even when grid points have wildly
+/// different costs (a full-range point finishes long before a circular one
+/// at the same load), which is what static per-worker partitioning got
+/// wrong.
 ///
 /// Each point is seeded with [`point_seed`]`(config.sim.seed, index)` and
-/// completed rows are written into indexed result slots, so the output is
-/// bit-identical to the sequential runner's regardless of worker count or
-/// completion order. `threads <= 1` runs inline without spawning.
+/// completed rows are written into the indexed [`SlotBoard`], so the output
+/// is bit-identical to the sequential runner's regardless of worker count
+/// or completion order. `threads <= 1` runs inline without spawning. The
+/// cursor/board protocol is model-checked exhaustively under loom — see
+/// [`crate::sweep_sync`].
 pub fn run_sweep_with_threads(
     config: &SweepConfig,
     threads: usize,
@@ -211,43 +213,26 @@ pub fn run_sweep_with_threads(
             .collect();
     }
 
-    // Small chunks (a few per worker) balance steal overhead against skew;
-    // one atomic fetch_add claims a whole chunk.
-    let chunk_len = grid.len().div_ceil(workers * 4).max(1);
-    let cursor = AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<SweepPoint, Error>>> = Vec::new();
-    results.resize_with(grid.len(), || None);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<SweepPoint, Error>)>();
+    let cursor = ChunkCursor::new(grid.len(), ChunkCursor::balanced_chunk(grid.len(), workers));
+    let board: SlotBoard<Result<SweepPoint, Error>> = SlotBoard::new(grid.len());
     std::thread::scope(|s| {
         for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let grid = &grid;
-            s.spawn(move || loop {
-                let start = cursor.fetch_add(chunk_len, Ordering::Relaxed);
-                if start >= grid.len() {
-                    return;
-                }
-                let end = (start + chunk_len).min(grid.len());
-                for (i, &(spec, conversion, load)) in
-                    grid[start..end].iter().enumerate().map(|(j, g)| (start + j, g))
-                {
-                    let seed = point_seed(config.sim.seed, i);
-                    let point = run_point(config, spec, conversion, load, seed);
-                    if tx.send((i, point)).is_err() {
-                        return;
+            s.spawn(|| {
+                while let Some(range) = cursor.claim() {
+                    for (i, &(spec, conversion, load)) in
+                        grid[range.clone()].iter().enumerate().map(|(j, g)| (range.start + j, g))
+                    {
+                        let seed = point_seed(config.sim.seed, i);
+                        let point = run_point(config, spec, conversion, load, seed);
+                        let fresh = board.put(i, point);
+                        debug_assert!(fresh, "grid index {i} claimed by two workers");
                     }
                 }
             });
         }
-        // The workers hold the clones; dropping the original lets `rx` end
-        // once the last worker finishes.
-        drop(tx);
-        for (i, point) in rx {
-            results[i] = Some(point);
-        }
     });
-    results
+    board
+        .into_rows()
         .into_iter()
         .map(|r| match r {
             Some(point) => point,

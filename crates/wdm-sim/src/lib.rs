@@ -16,7 +16,10 @@
 //! * [`analysis`] — the exact analytical throughput of full-range
 //!   conversion (balls-in-bins), used to validate the simulator;
 //! * [`experiment`] — parameter-sweep runner producing the CSV/JSON tables
-//!   behind EXPERIMENTS.md.
+//!   behind EXPERIMENTS.md;
+//! * [`sweep_sync`] — the cursor/slot coordination protocol behind the
+//!   multi-threaded sweep, model-checked exhaustively under loom
+//!   (`cargo xtask loom`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +29,7 @@ pub mod analysis;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
+pub mod sweep_sync;
 pub mod traffic;
 
 pub use engine::{Report, Simulation, SimulationConfig};

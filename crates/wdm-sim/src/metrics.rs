@@ -58,7 +58,7 @@ impl Metrics {
         self.completed += slot.completed as u64;
         self.rearranged += slot.rearranged as u64;
         self.active_slot_sum += slot.active_now as u64;
-        self.granted_per_slot.push(slot.granted as u32);
+        self.granted_per_slot.push(u32::try_from(slot.granted).unwrap_or(u32::MAX));
     }
 
     /// Number of measured slots.

@@ -1,0 +1,220 @@
+//! Sweep coordination primitives, model-checkable under loom.
+//!
+//! [`experiment::run_sweep_with_threads`](crate::experiment::run_sweep_with_threads)
+//! coordinates its persistent workers with exactly two shared structures,
+//! both defined here so the protocol is isolated from the simulation code
+//! and small enough to model-check exhaustively:
+//!
+//! * [`ChunkCursor`] — a single atomic cursor over the grid; each
+//!   [`ChunkCursor::claim`] hands the calling worker a contiguous chunk of
+//!   indices that no other worker can observe (the `fetch_add` is the
+//!   linearization point);
+//! * [`SlotBoard`] — one result slot per grid index; each worker writes the
+//!   slot for every index it claimed, and the board is drained only after
+//!   all workers have been joined.
+//!
+//! Under `--cfg loom` (set by `cargo xtask loom` via `RUSTFLAGS`), the
+//! atomics and mutexes below come from the in-tree `loom` shim instead of
+//! `std`, and `wdm-sim/tests/loom_sweep.rs` explores **every** sequentially
+//! consistent interleaving of the worker protocol, proving:
+//!
+//! 1. **no double-claim** — the claimed chunks are pairwise disjoint;
+//! 2. **no lost slot** — the claimed chunks cover the whole grid;
+//! 3. **written-before-joined** — after the join, every slot holds a result.
+//!
+//! The loom shim explores sequentially consistent interleavings only; the
+//! ThreadSanitizer CI job (`cargo xtask tsan`) complements it on real
+//! weak-memory hardware.
+
+use core::ops::Range;
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(loom)]
+use loom::sync::Mutex;
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::Mutex;
+
+/// A shared work cursor handing out contiguous index chunks of a fixed-size
+/// grid. Cheap enough to sit in the sweep's inner loop: one `fetch_add` per
+/// chunk, not per index.
+#[derive(Debug)]
+pub struct ChunkCursor {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkCursor {
+    /// A cursor over `0..len` handing out chunks of at most `chunk`
+    /// indices (`chunk` is clamped to at least 1).
+    pub fn new(len: usize, chunk: usize) -> ChunkCursor {
+        ChunkCursor { next: AtomicUsize::new(0), len, chunk: chunk.max(1) }
+    }
+
+    /// The chunk size used by the sweep: a few chunks per worker balances
+    /// claim overhead against cost skew between grid points (a full-range
+    /// point finishes long before a circular one at the same load).
+    pub fn balanced_chunk(len: usize, workers: usize) -> usize {
+        len.div_ceil(workers.max(1) * 4).max(1)
+    }
+
+    /// Claims the next chunk, or `None` once the grid is exhausted.
+    ///
+    /// The single `fetch_add` is the linearization point: two claimants can
+    /// never observe overlapping ranges, and every index below `len` is
+    /// covered by exactly one returned range. `Relaxed` suffices because
+    /// the cursor orders nothing but itself — result visibility is carried
+    /// by the [`SlotBoard`] locks and the thread join.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+
+    /// Number of indices the cursor hands out in total.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cursor has nothing to hand out at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One write-once result slot per grid index.
+///
+/// Workers fill disjoint slot sets (the indices they claimed from the
+/// [`ChunkCursor`]), so the per-slot mutexes are never contended; they exist
+/// to make the cross-thread writes safe without `unsafe` code, and their
+/// cost is irrelevant next to a simulation run. Results leave the board only
+/// through [`SlotBoard::into_rows`], which consumes it — the caller must
+/// have joined the workers to get the board back by value, which is exactly
+/// the written-before-joined discipline the loom model checks.
+#[derive(Debug)]
+pub struct SlotBoard<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T> SlotBoard<T> {
+    /// A board of `len` empty slots.
+    pub fn new(len: usize) -> SlotBoard<T> {
+        let mut slots = Vec::with_capacity(len);
+        slots.resize_with(len, || Mutex::new(None));
+        SlotBoard { slots }
+    }
+
+    /// Writes the result for slot `index`; returns `false` if the slot was
+    /// already filled (a protocol violation — the caller asserts on it).
+    pub fn put(&self, index: usize, value: T) -> bool {
+        let Ok(mut slot) = self.slots[index].lock() else {
+            // Poisoned: a sibling worker panicked mid-write. The sweep is
+            // already failing; refuse the slot so the caller's assert trips.
+            return false;
+        };
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(value);
+        true
+    }
+
+    /// Drains the board into grid order. Call after joining the workers;
+    /// unfilled slots come out as `None`.
+    pub fn into_rows(self) -> Vec<Option<T>> {
+        self.slots.into_iter().map(|m| m.into_inner().unwrap_or(None)).collect()
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the board has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::{ChunkCursor, SlotBoard};
+
+    #[test]
+    fn claims_are_ordered_disjoint_and_exhaustive() {
+        let cursor = ChunkCursor::new(10, 3);
+        assert_eq!(cursor.claim(), Some(0..3));
+        assert_eq!(cursor.claim(), Some(3..6));
+        assert_eq!(cursor.claim(), Some(6..9));
+        assert_eq!(cursor.claim(), Some(9..10), "final chunk is clipped to len");
+        assert_eq!(cursor.claim(), None);
+        assert_eq!(cursor.claim(), None, "exhaustion is sticky");
+    }
+
+    #[test]
+    fn empty_grid_claims_nothing() {
+        let cursor = ChunkCursor::new(0, 4);
+        assert!(cursor.is_empty());
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn zero_chunk_is_clamped_to_one() {
+        let cursor = ChunkCursor::new(2, 0);
+        assert_eq!(cursor.claim(), Some(0..1));
+        assert_eq!(cursor.claim(), Some(1..2));
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn balanced_chunk_gives_a_few_chunks_per_worker() {
+        assert_eq!(ChunkCursor::balanced_chunk(64, 4), 4);
+        assert_eq!(ChunkCursor::balanced_chunk(3, 8), 1, "never zero");
+        assert_eq!(ChunkCursor::balanced_chunk(0, 4), 1, "empty grid still valid");
+        assert_eq!(ChunkCursor::balanced_chunk(64, 0), 16, "workers clamped to one");
+    }
+
+    #[test]
+    fn slot_board_rejects_double_writes_and_drains_in_order() {
+        let board: SlotBoard<&str> = SlotBoard::new(3);
+        assert!(board.put(1, "b"));
+        assert!(!board.put(1, "b again"), "second write to a slot is refused");
+        assert!(board.put(0, "a"));
+        assert_eq!(board.into_rows(), vec![Some("a"), Some("b"), None]);
+    }
+
+    #[test]
+    fn threaded_claims_partition_the_grid() {
+        // Deterministic-outcome concurrency smoke test (the exhaustive
+        // version lives in tests/loom_sweep.rs): whatever the interleaving,
+        // the claims must partition 0..len and every slot must get written.
+        let len = 23;
+        let cursor = ChunkCursor::new(len, 2);
+        let board: SlotBoard<usize> = SlotBoard::new(len);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(range) = cursor.claim() {
+                        for i in range {
+                            assert!(board.put(i, i), "slot {i} claimed twice");
+                        }
+                    }
+                });
+            }
+        });
+        let rows = board.into_rows();
+        assert_eq!(rows.len(), len);
+        for (i, row) in rows.into_iter().enumerate() {
+            assert_eq!(row, Some(i), "slot {i} lost");
+        }
+    }
+}

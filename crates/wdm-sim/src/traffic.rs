@@ -23,6 +23,7 @@ pub enum DurationModel {
 
 impl DurationModel {
     /// Samples a holding time.
+    #[allow(clippy::cast_possible_truncation)] // clamped to u32's range below
     pub fn sample(&self, rng: &mut StdRng) -> u32 {
         match *self {
             DurationModel::Deterministic(d) => d.max(1),
@@ -33,7 +34,7 @@ impl DurationModel {
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let d = (u.ln() / (1.0 - p).ln()).ceil();
                 if d.is_finite() {
-                    (d as u32).max(1)
+                    d.clamp(1.0, f64::from(u32::MAX)) as u32
                 } else {
                     1
                 }

@@ -1,0 +1,92 @@
+//! Exhaustive loom models of the sweep coordination protocol.
+//!
+//! Compiled (and meaningful) only under `RUSTFLAGS=--cfg loom` — run via
+//! `cargo xtask loom`. Each model spawns the worker protocol from
+//! [`wdm_sim::sweep_sync`] inside `loom::model`, which executes it once per
+//! distinct sequentially consistent interleaving of the cursor and slot
+//! operations, asserting in every one of them:
+//!
+//! * **no double-claim** — [`SlotBoard::put`] never sees a filled slot
+//!   (two workers never hold the same grid index);
+//! * **no lost slot** — after all workers are joined, every slot holds a
+//!   result (every index was claimed by someone);
+//! * **written-before-joined** — the assertions read the board *after*
+//!   `join`, so any interleaving in which a worker could be joined before
+//!   its writes landed would surface as a missing slot.
+
+#![cfg(loom)]
+
+use std::sync::Arc;
+
+use wdm_sim::sweep_sync::{ChunkCursor, SlotBoard};
+
+/// Runs `workers` model threads over a `len`-point grid with the given
+/// chunk size and checks the full protocol in every interleaving.
+fn check_sweep_protocol(workers: usize, len: usize, chunk: usize) {
+    loom::model(move || {
+        let cursor = Arc::new(ChunkCursor::new(len, chunk));
+        let board: Arc<SlotBoard<usize>> = Arc::new(SlotBoard::new(len));
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let cursor = Arc::clone(&cursor);
+                let board = Arc::clone(&board);
+                loom::thread::spawn(move || {
+                    while let Some(range) = cursor.claim() {
+                        for i in range {
+                            // Workers write `w`, so a double-claim is also
+                            // visible as a slot refusing a second writer.
+                            assert!(board.put(i, w), "slot {i} double-claimed");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let board = Arc::into_inner(board).expect("workers are joined, board is unshared");
+        let rows = board.into_rows();
+        assert_eq!(rows.len(), len);
+        for (i, row) in rows.into_iter().enumerate() {
+            assert!(row.is_some(), "slot {i} lost (claimed by nobody)");
+        }
+    });
+}
+
+/// The acceptance-bar model: 3 workers racing over a 4-point grid,
+/// single-index chunks (maximal cursor contention).
+#[test]
+fn three_workers_four_points_chunked_one() {
+    check_sweep_protocol(3, 4, 1);
+}
+
+/// Clipped final chunk: chunk 2 over 5 points exercises the `min(len)`
+/// boundary in every interleaving.
+#[test]
+fn three_workers_five_points_chunked_two() {
+    check_sweep_protocol(3, 5, 2);
+}
+
+/// More workers than grid points: the surplus workers must shut down
+/// cleanly on an exhausted cursor in every interleaving.
+#[test]
+fn more_workers_than_points() {
+    check_sweep_protocol(4, 2, 1);
+}
+
+/// Empty grid: every worker's first claim is `None`; nothing is written.
+#[test]
+fn empty_grid() {
+    loom::model(|| {
+        let cursor = Arc::new(ChunkCursor::new(0, 1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let cursor = Arc::clone(&cursor);
+                loom::thread::spawn(move || assert!(cursor.claim().is_none()))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+}

@@ -1,0 +1,213 @@
+//! The retired line-based string scanner, kept **test-only** as a foil.
+//!
+//! This module preserves the scanner that `cargo xtask scan` ran before the
+//! AST lint pass replaced it, so the regression tests below can demonstrate
+//! — side by side, on the same sources — exactly which constructs defeated
+//! it and that the `syn`-based [`banned`](super::banned) pass handles them:
+//!
+//! * `unsafe{` with no trailing space (the scanner matched `"unsafe "`) —
+//!   **false negative**;
+//! * banned names inside `/* … */` block comments (the scanner only
+//!   stripped `//` line comments) — **false positive**;
+//! * raw strings with interior quotes (`r#"… " .unwrap() …"#` — the
+//!   scanner's quote toggling desyncs on the interior `"`) — **false
+//!   positive**;
+//! * method calls split across lines (`.\nunwrap()`) — **false negative**.
+//!
+//! Nothing here is wired into any gate; it exists to pin the motivation for
+//! the rewrite.
+
+/// One banned-construct occurrence found by the legacy scan.
+#[derive(Debug, PartialEq, Eq)]
+pub struct LegacyViolation {
+    /// 1-based line.
+    pub line: usize,
+    /// The matched pattern.
+    pub pattern: &'static str,
+}
+
+/// The legacy banned-pattern list, verbatim.
+const BANNED: [&str; 7] =
+    [".unwrap()", ".expect(", "panic!(", "todo!(", "unimplemented!(", "dbg!(", "unsafe "];
+
+/// The legacy scanner, verbatim (modulo violation bookkeeping): per-line
+/// pattern match over comment/string-stripped text, with brace-depth
+/// tracking to skip `#[cfg(test)]` modules.
+pub fn scan_source(text: &str) -> Vec<LegacyViolation> {
+    let mut out = Vec::new();
+    let mut depth: usize = 0;
+    let mut test_mod_depth: Option<usize> = None;
+    let mut pending_cfg_test = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comments_and_strings(raw);
+        let trimmed = line.trim();
+        if test_mod_depth.is_none() {
+            if trimmed.starts_with("#[cfg(test)]") {
+                pending_cfg_test = true;
+            } else if pending_cfg_test {
+                if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                    test_mod_depth = Some(depth);
+                }
+                if !trimmed.starts_with("#[") {
+                    pending_cfg_test = false;
+                }
+            }
+        }
+        if test_mod_depth.is_none() {
+            for pattern in BANNED {
+                if line.contains(pattern) {
+                    out.push(LegacyViolation { line: idx + 1, pattern });
+                }
+            }
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if test_mod_depth == Some(depth) {
+                        test_mod_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// The legacy per-line comment/string stripper, verbatim. Its documented
+/// caveat — "no raw strings … and block comments are not used there" — is
+/// precisely the blind spot the AST pass closes.
+fn strip_comments_and_strings(line: &str) -> String {
+    let mut result = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_string = false;
+                    result.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if in_char {
+            if c == '\\' {
+                chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                result.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            '\'' if looks_like_char_literal(line, line.len() - chars.clone().count() - 1) => {
+                in_char = true;
+            }
+            _ => result.push(c),
+        }
+    }
+    result
+}
+
+fn looks_like_char_literal(line: &str, pos: usize) -> bool {
+    let rest = &line[pos + 1..];
+    let mut seen = 0;
+    for c in rest.chars() {
+        if c == '\'' {
+            return seen > 0;
+        }
+        seen += 1;
+        if seen > 3 {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{banned, SourceFile};
+    use super::*;
+    use std::path::PathBuf;
+
+    /// Lines the new AST pass flags for `src`.
+    fn ast_lines(src: &str) -> Vec<usize> {
+        let source =
+            SourceFile { path: PathBuf::from("mem.rs"), file: syn::parse_file(src).unwrap() };
+        let mut out = Vec::new();
+        banned::check(&source, &mut out);
+        let mut lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Lines the legacy scanner flags for `src`.
+    fn legacy_lines(src: &str) -> Vec<usize> {
+        scan_source(src).iter().map(|v| v.line).collect()
+    }
+
+    #[test]
+    fn regression_unsafe_without_trailing_space() {
+        // FALSE NEGATIVE in the legacy scanner: it matched "unsafe " with a
+        // trailing space, so `unsafe{` sailed through the gate.
+        let src = "fn f() { unsafe{ std::hint::unreachable_unchecked() } }";
+        assert_eq!(legacy_lines(src), Vec::<usize>::new(), "legacy misses unsafe{{");
+        assert_eq!(ast_lines(src), vec![1], "AST pass catches it");
+    }
+
+    #[test]
+    fn regression_banned_name_inside_block_comment() {
+        // FALSE POSITIVE in the legacy scanner: it only understood `//`
+        // line comments, so a block comment mentioning a banned call —
+        // entirely legitimate documentation — failed the gate.
+        let src = "fn f() {\n/* never call x.unwrap() here,\n   it panics under load */\nok()\n}";
+        assert_eq!(legacy_lines(src), vec![2], "legacy false-positives inside /* */");
+        assert_eq!(ast_lines(src), Vec::<usize>::new(), "AST pass sees no code there");
+    }
+
+    #[test]
+    fn regression_raw_string_with_interior_quote() {
+        // FALSE POSITIVE in the legacy scanner: its quote toggling does not
+        // know `r#"…"#` delimiters, so the interior `"` flips it out of
+        // string mode and the `.unwrap()` *text* scans as code.
+        let src = "fn f() -> &'static str {\n    r#\"don't \" .unwrap() in docs\"#\n}";
+        assert_eq!(legacy_lines(src), vec![2], "legacy false-positives in raw strings");
+        assert_eq!(ast_lines(src), Vec::<usize>::new(), "AST pass lexes one literal");
+    }
+
+    #[test]
+    fn regression_multi_line_method_call() {
+        // FALSE NEGATIVE in the legacy scanner: `.unwrap()` split across
+        // lines never matches a per-line pattern.
+        let src = "fn f() {\n    compute()\n        .\n        unwrap();\n}";
+        assert_eq!(legacy_lines(src), Vec::<usize>::new(), "legacy misses split calls");
+        assert_eq!(ast_lines(src).len(), 1, "AST pass sees the token sequence");
+    }
+
+    #[test]
+    fn both_agree_on_the_plain_cases() {
+        // The rewrite keeps the old scanner's green-path behavior: plain
+        // violations and `#[cfg(test)]` exemption line up exactly.
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn lib2() { panic!(\"boom\"); }\n";
+        assert_eq!(legacy_lines(src), vec![1, 6]);
+        assert_eq!(ast_lines(src), vec![1, 6]);
+    }
+}

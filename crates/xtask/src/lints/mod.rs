@@ -1,0 +1,194 @@
+//! The AST-level lint pass behind `cargo xtask lint`.
+//!
+//! Replaces the old line-based string scanner: every library source file is
+//! parsed into items with the offline `syn` shim, so the lints understand
+//! block comments, raw strings, `#[cfg(test)]` scoping, and multi-line
+//! constructs that defeat per-line pattern matching. Each lint lives in its
+//! own module:
+//!
+//! | module | lint |
+//! |--------|------|
+//! | [`banned`] | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`dbg!`/`unsafe` in library code |
+//! | [`twins`] | every public algorithm entry point has a `_checked` certificate twin |
+//! | [`casts`] | no narrowing `as` casts (to sub-64-bit integers) in library code |
+//! | [`must_use`] | certificate/matching/slot result types and entry points are `#[must_use]` |
+//! | [`doc_tags`] | every algorithm entry point cites the paper (`Paper: …` doc tag) |
+//!
+//! Test code — `#[cfg(test)]` modules and items, at any nesting depth — is
+//! exempt from `banned` and `casts`, exactly like the clippy wall's
+//! `cfg_attr` opt-outs.
+
+pub mod banned;
+pub mod casts;
+pub mod doc_tags;
+#[cfg(test)]
+pub mod legacy;
+pub mod must_use;
+pub mod twins;
+
+use std::path::{Path, PathBuf};
+
+/// Library crates the lint pass covers (same set the old scanner covered:
+/// `wdm-alloc-count` is deliberately excluded — it is test infrastructure
+/// and the one sanctioned `unsafe` impl in the workspace).
+pub const LIBRARY_CRATES: [&str; 5] =
+    ["wdm-core", "wdm-hardware", "wdm-interconnect", "wdm-sim", "wdm-bench"];
+
+/// Directory holding the algorithm modules checked by [`twins`],
+/// [`doc_tags`], and [`must_use`]'s entry-point rule.
+pub const ALGORITHMS_DIR: &str = "crates/wdm-core/src/algorithms";
+
+/// One lint finding.
+#[derive(Debug)]
+pub struct Violation {
+    /// Which lint fired (short name for the report).
+    pub lint: &'static str,
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+/// A parsed source file ready for linting.
+pub struct SourceFile {
+    /// Path on disk.
+    pub path: PathBuf,
+    /// Parsed items.
+    pub file: syn::File,
+}
+
+impl std::fmt::Debug for SourceFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceFile").field("path", &self.path).finish_non_exhaustive()
+    }
+}
+
+/// Whether an item's attributes gate it to test builds (`#[cfg(test)]`,
+/// `#[cfg(any(test, …))]`, `#[cfg_attr(test, …)]`, `#[test]`).
+pub fn is_test_gated(attrs: &[syn::Attribute]) -> bool {
+    attrs.iter().any(|a| match a.path.as_str() {
+        "cfg" | "cfg_attr" => a.contains_ident("test"),
+        "test" => true,
+        _ => false,
+    })
+}
+
+/// Context handed to per-function lint callbacks by [`walk_fns`].
+#[derive(Debug, Clone, Copy)]
+pub struct FnCtx<'a> {
+    /// The function item.
+    pub fun: &'a syn::ItemFn,
+    /// Inside a `#[cfg(test)]` module/item (lints exempting tests skip it).
+    pub in_test: bool,
+    /// Directly at file or `mod` level (not an associated function).
+    pub at_module_level: bool,
+}
+
+/// Walks every function item (free and associated) in `items`, tracking
+/// test-gating, and every non-structural item's raw token stream via
+/// `other`, so token-level lints also see inside macro definitions and
+/// `static` initializers.
+pub fn walk_items<'a>(
+    items: &'a [syn::Item],
+    in_test: bool,
+    at_module_level: bool,
+    on_fn: &mut impl FnMut(FnCtx<'a>),
+    on_other_tokens: &mut impl FnMut(&'a syn::TokenStream, bool),
+) {
+    for item in items {
+        let gated = in_test || is_test_gated(item.attrs());
+        match item {
+            syn::Item::Fn(f) => on_fn(FnCtx { fun: f, in_test: gated, at_module_level }),
+            syn::Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    walk_items(content, gated, true, on_fn, on_other_tokens);
+                }
+            }
+            syn::Item::Impl(i) => {
+                walk_items(&i.items, gated, false, on_fn, on_other_tokens);
+            }
+            syn::Item::Trait(t) => {
+                walk_items(&t.items, gated, false, on_fn, on_other_tokens);
+            }
+            syn::Item::Struct(_) => {}
+            syn::Item::Other(o) => on_other_tokens(&o.tokens, gated),
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Parses every library source file. Parse failures are themselves lint
+/// violations (the gate must never silently skip a file it cannot read).
+pub fn parse_library_sources(root: &Path) -> (Vec<SourceFile>, Vec<Violation>) {
+    let mut sources = Vec::new();
+    let mut violations = Vec::new();
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files);
+        files.sort();
+        for path in files {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => match syn::parse_file(&text) {
+                    Ok(file) => sources.push(SourceFile { path, file }),
+                    Err(err) => violations.push(Violation {
+                        lint: "parse",
+                        file: path,
+                        line: err.line,
+                        message: format!("cannot parse: {}", err.message),
+                    }),
+                },
+                Err(err) => violations.push(Violation {
+                    lint: "parse",
+                    file: path,
+                    line: 0,
+                    message: format!("cannot read: {err}"),
+                }),
+            }
+        }
+    }
+    (sources, violations)
+}
+
+/// Runs the whole lint pass, printing violations. Returns `true` when clean.
+pub fn run(root: &Path) -> bool {
+    println!("==> lint: AST lint pass over {LIBRARY_CRATES:?} (syn-based)");
+    let (sources, mut violations) = parse_library_sources(root);
+    for source in &sources {
+        banned::check(source, &mut violations);
+        casts::check(source, &mut violations);
+        must_use::check_types(source, &mut violations);
+    }
+    let algorithms: Vec<&SourceFile> =
+        sources.iter().filter(|s| s.path.starts_with(root.join(ALGORITHMS_DIR))).collect();
+    twins::check(&algorithms, &mut violations);
+    doc_tags::check(&algorithms, &mut violations);
+    must_use::check_entry_fns(&algorithms, &mut violations);
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    for v in &violations {
+        let rel = v.file.strip_prefix(root).unwrap_or(&v.file);
+        eprintln!("lint({}): {}:{}: {}", v.lint, rel.display(), v.line, v.message);
+    }
+    if violations.is_empty() {
+        println!("lint: {} files clean across banned/twins/casts/must_use/doc_tags", sources.len());
+        true
+    } else {
+        eprintln!("lint: {} violation(s)", violations.len());
+        false
+    }
+}

@@ -1,0 +1,92 @@
+//! `_checked`-twin audit: every public algorithm entry point has a
+//! certificate-checked twin.
+//!
+//! Operates on real `ItemFn`s at module level (associated functions inside
+//! `impl` blocks are constructors/accessors, not algorithm entry points),
+//! so — unlike the old column-0 string match — indented functions, odd
+//! formatting, and `#[cfg(test)]` helpers are classified correctly.
+
+use syn::Visibility;
+
+use super::{FnCtx, SourceFile, Violation};
+
+/// Public algorithm-module functions that deliberately have no `_checked`
+/// twin, with the reason recorded here.
+pub const TWIN_EXEMPT: [(&str, &str); 1] =
+    [("validate_assignments", "is itself a validator, not an algorithm")];
+
+/// Collects module-level public non-test function names across the
+/// algorithm sources.
+pub fn entry_points<'a>(sources: &[&'a SourceFile]) -> Vec<(&'a SourceFile, FnCtx<'a>)> {
+    let mut fns = Vec::new();
+    for source in sources {
+        let mut on_fn = |ctx: FnCtx<'a>| {
+            if ctx.at_module_level && !ctx.in_test && ctx.fun.vis == Visibility::Public {
+                fns.push((*source, ctx));
+            }
+        };
+        super::walk_items(&source.file.items, false, true, &mut on_fn, &mut |_, _| {});
+    }
+    fns
+}
+
+/// Runs the twin audit over the algorithm sources.
+pub fn check(sources: &[&SourceFile], out: &mut Vec<Violation>) {
+    let fns = entry_points(sources);
+    let names: Vec<&str> = fns.iter().map(|(_, ctx)| ctx.fun.sig.ident.text.as_str()).collect();
+    for (source, ctx) in &fns {
+        let name = ctx.fun.sig.ident.text.as_str();
+        if name.ends_with("_checked") || TWIN_EXEMPT.iter().any(|(exempt, _)| *exempt == name) {
+            continue;
+        }
+        let twin = format!("{name}_checked");
+        if !names.contains(&twin.as_str()) {
+            out.push(Violation {
+                lint: "twins",
+                file: source.path.clone(),
+                line: ctx.fun.span.line,
+                message: format!("`pub fn {name}` has no `{twin}` certificate twin"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SourceFile;
+    use std::path::PathBuf;
+
+    fn audit(src: &str) -> Vec<String> {
+        let source =
+            SourceFile { path: PathBuf::from("mem.rs"), file: syn::parse_file(src).unwrap() };
+        let mut out = Vec::new();
+        super::check(&[&source], &mut out);
+        out.iter().map(|v| v.message.clone()).collect()
+    }
+
+    #[test]
+    fn missing_twin_is_reported() {
+        let msgs = audit("pub fn solve() {}\npub fn other() {}\npub fn other_checked() {}");
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("solve_checked"));
+    }
+
+    #[test]
+    fn impl_fns_and_private_fns_are_not_entry_points() {
+        let msgs = audit(
+            "impl Foo {\n    pub fn helper(&self) {}\n}\nfn private() {}\npub fn a() {}\npub fn a_checked() {}",
+        );
+        assert!(msgs.is_empty());
+    }
+
+    #[test]
+    fn exempt_list_is_honored() {
+        assert!(audit("pub fn validate_assignments() {}").is_empty());
+    }
+
+    #[test]
+    fn test_gated_fns_are_ignored() {
+        let msgs = audit("#[cfg(test)]\npub fn fixture() {}\npub fn x() {}\npub fn x_checked() {}");
+        assert!(msgs.is_empty());
+    }
+}

@@ -1,6 +1,6 @@
-//! The workspace's static-analysis gate, in the cargo-xtask pattern:
-//! `cargo xtask check` (via the alias in `.cargo/config.toml`) runs every
-//! check a PR must pass, and each sub-check is runnable on its own.
+//! The workspace's static-analysis and soundness gate, in the cargo-xtask
+//! pattern: `cargo xtask check` (via the alias in `.cargo/config.toml`) runs
+//! every check a PR must pass, and each sub-check is runnable on its own.
 //!
 //! | command | what it enforces |
 //! |---------|------------------|
@@ -8,42 +8,33 @@
 //! | `cargo xtask clippy` | the `[workspace.lints]` deny wall |
 //! | `cargo xtask build` | the workspace compiles, all targets |
 //! | `cargo xtask test` | the full test suite in the dev profile, so `debug_assert!`-gated `MatchingCertificate` checks execute |
-//! | `cargo xtask scan` | no `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!` / `dbg!` / `unsafe` in library source of the five `wdm-*` crates (test modules exempt) |
-//! | `cargo xtask twins` | every public algorithm entry point in `wdm-core::algorithms` has a `*_checked` certificate twin |
+//! | `cargo xtask lint` | the `syn`-based AST lint pass: banned constructs, `_checked`-twin audit, no narrowing casts, `#[must_use]` coverage, paper doc tags (see `lints/`) |
 //! | `cargo xtask check` | all of the above, in that order |
 //!
-//! The source scan is a belt-and-braces complement to the clippy wall: it
-//! also catches occurrences clippy cannot see (e.g. inside macro
-//! definitions or `cfg`d-out code) and enforces the `_checked`-twin
-//! convention, which no off-the-shelf lint knows about.
+//! The **soundness** prongs run the whole-program verifiers; each one probes
+//! for its toolchain and — outside CI (`XTASK_SOUNDNESS=require`) — skips
+//! with a notice when it is unavailable, so `cargo xtask soundness` is
+//! always runnable locally:
+//!
+//! | command | what it proves |
+//! |---------|----------------|
+//! | `cargo xtask loom` | exhaustively model-checks the sweep's cursor/slot protocol (every SC interleaving) — stable toolchain, offline |
+//! | `cargo xtask miri` | UB-checks `wdm-core` unit/property tests and the `wdm-alloc-count` `GlobalAlloc` paths — nightly + miri component |
+//! | `cargo xtask tsan` | ThreadSanitizer over the threaded-sweep and determinism tests — nightly + rust-src (`-Zbuild-std`) |
+//! | `cargo xtask deny` | `cargo-deny` advisories/licenses/bans against the committed `deny.toml` |
+//! | `cargo xtask soundness` | all four, in that order |
+//!
+//! The AST lint pass replaced the original line-based string scanner, which
+//! was blind to block comments, raw strings, `unsafe{` without a trailing
+//! space, and multi-line calls; `lints/legacy.rs` keeps the old scanner
+//! test-only with regression tests pinning exactly those failure modes.
 
-use std::fmt::Write as _;
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+mod lints;
+
 use std::path::{Path, PathBuf};
-use std::process::{Command, ExitCode};
-
-/// Library crates covered by the source scan: every `.rs` file under each
-/// crate's `src/` is checked, except `#[cfg(test)]` modules.
-const LIBRARY_CRATES: [&str; 5] =
-    ["wdm-core", "wdm-hardware", "wdm-interconnect", "wdm-sim", "wdm-bench"];
-
-/// Directory holding the algorithm modules checked for `_checked` twins.
-const ALGORITHMS_DIR: &str = "crates/wdm-core/src/algorithms";
-
-/// Public algorithm-module functions that deliberately have no `_checked`
-/// twin, with the reason recorded here.
-const TWIN_EXEMPT: [(&str, &str); 1] =
-    [("validate_assignments", "is itself a validator, not an algorithm")];
-
-/// Macro invocations and constructs banned from library source.
-const BANNED: [(&str, &str); 7] = [
-    (".unwrap()", "propagate wdm_core::Error or use `let .. else { unreachable!(..) }`"),
-    (".expect(", "propagate wdm_core::Error or use `let .. else { unreachable!(..) }`"),
-    ("panic!(", "return an Err or use `unreachable!`/`assert!` with an invariant message"),
-    ("todo!(", "no placeholders in library code"),
-    ("unimplemented!(", "no placeholders in library code"),
-    ("dbg!(", "no debug prints in library code"),
-    ("unsafe ", "the workspace forbids unsafe code"),
-];
+use std::process::{Command, ExitCode, Stdio};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,18 +46,31 @@ fn main() -> ExitCode {
                 && run_clippy(&root)
                 && run_build(&root)
                 && run_tests(&root)
-                && run_scan(&root)
-                && run_twins(&root)
+                && lints::run(&root)
         }
         "fmt" => run_fmt(&root),
         "clippy" => run_clippy(&root),
         "build" => run_build(&root),
         "test" => run_tests(&root),
-        "scan" => run_scan(&root),
-        "twins" => run_twins(&root),
+        "lint" => lints::run(&root),
+        "loom" => run_loom(&root),
+        "miri" => run_miri(&root),
+        "tsan" => run_tsan(&root),
+        "deny" => run_deny(&root),
+        "soundness" => {
+            // Run all prongs even when an early one fails: a CI log showing
+            // every red prong beats stopping at the first.
+            let loom = run_loom(&root);
+            let miri = run_miri(&root);
+            let tsan = run_tsan(&root);
+            let deny = run_deny(&root);
+            loom && miri && tsan && deny
+        }
         other => {
             eprintln!("unknown xtask command `{other}`");
-            eprintln!("usage: cargo xtask [check|fmt|clippy|build|test|scan|twins]");
+            eprintln!(
+                "usage: cargo xtask [check|fmt|clippy|build|test|lint|loom|miri|tsan|deny|soundness]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -88,8 +92,23 @@ fn workspace_root() -> PathBuf {
 }
 
 fn run_step(root: &Path, name: &str, program: &str, args: &[&str]) -> bool {
+    run_step_env(root, name, program, args, &[])
+}
+
+fn run_step_env(
+    root: &Path,
+    name: &str,
+    program: &str,
+    args: &[&str],
+    envs: &[(&str, String)],
+) -> bool {
     println!("==> {name}: {program} {}", args.join(" "));
-    match Command::new(program).args(args).current_dir(root).status() {
+    let mut command = Command::new(program);
+    command.args(args).current_dir(root);
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    match command.status() {
         Ok(status) if status.success() => true,
         Ok(status) => {
             eprintln!("{name} failed with {status}");
@@ -139,265 +158,163 @@ fn run_tests(root: &Path) -> bool {
     run_step(root, "test", "cargo", &args)
 }
 
-/// One banned-construct occurrence found by the scan.
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    pattern: &'static str,
-    hint: &'static str,
+// ---------------------------------------------------------------------------
+// Soundness prongs
+// ---------------------------------------------------------------------------
+
+/// Whether a missing soundness toolchain is a hard failure (CI sets
+/// `XTASK_SOUNDNESS=require`) or a skip-with-notice (local default — the
+/// offline container cannot install nightly components).
+fn soundness_required() -> bool {
+    std::env::var("XTASK_SOUNDNESS").as_deref() == Ok("require")
 }
 
-fn run_scan(root: &Path) -> bool {
-    println!("==> scan: banned constructs in library source of {LIBRARY_CRATES:?}");
-    let mut violations = Vec::new();
-    for krate in LIBRARY_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files);
-        files.sort();
-        for file in files {
-            match std::fs::read_to_string(&file) {
-                Ok(text) => scan_file(&file, &text, &mut violations),
-                Err(err) => {
-                    eprintln!("scan: cannot read {}: {err}", file.display());
-                    return false;
-                }
-            }
-        }
-    }
-    for v in &violations {
-        let rel = v.file.strip_prefix(root).unwrap_or(&v.file);
-        eprintln!("scan: {}:{}: banned `{}` — {}", rel.display(), v.line, v.pattern, v.hint);
-    }
-    if violations.is_empty() {
-        true
-    } else {
-        eprintln!("scan: {} violation(s)", violations.len());
+/// Handles an unavailable soundness tool: `false` (fail) when required,
+/// `true` (skip) otherwise.
+fn skip_or_fail(name: &str, needs: &str) -> bool {
+    if soundness_required() {
+        eprintln!("{name}: {needs} unavailable and XTASK_SOUNDNESS=require — failing");
         false
-    }
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Scans one file, skipping `#[cfg(test)]` modules (tests may use
-/// `unwrap`/`expect` freely), comments, and string literals.
-fn scan_file(file: &Path, text: &str, out: &mut Vec<Violation>) {
-    // Depth of the brace nesting, and the depth at which a `#[cfg(test)]`
-    // module body started (None when not inside one).
-    let mut depth: usize = 0;
-    let mut test_mod_depth: Option<usize> = None;
-    let mut pending_cfg_test = false;
-    for (idx, raw) in text.lines().enumerate() {
-        let line = strip_comments_and_strings(raw);
-        let trimmed = line.trim();
-        if test_mod_depth.is_none() {
-            if trimmed.starts_with("#[cfg(test)]") {
-                pending_cfg_test = true;
-            } else if pending_cfg_test {
-                if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
-                    test_mod_depth = Some(depth);
-                }
-                if !trimmed.starts_with("#[") {
-                    pending_cfg_test = false;
-                }
-            }
-        }
-        if test_mod_depth.is_none() {
-            for (pattern, hint) in BANNED {
-                if line.contains(pattern) {
-                    out.push(Violation { file: file.to_path_buf(), line: idx + 1, pattern, hint });
-                }
-            }
-        }
-        for ch in line.chars() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth = depth.saturating_sub(1);
-                    if test_mod_depth == Some(depth) {
-                        test_mod_depth = None;
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-}
-
-/// Blanks out line comments and the contents of string literals so the
-/// banned-pattern match only sees code. Handles `"…"`, escapes, and `//`;
-/// good enough for this codebase (no raw strings with quotes in library
-/// paths, and block comments are not used there).
-fn strip_comments_and_strings(line: &str) -> String {
-    let mut result = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_string = false;
-    let mut in_char = false;
-    while let Some(c) = chars.next() {
-        if in_string {
-            match c {
-                '\\' => {
-                    chars.next();
-                }
-                '"' => {
-                    in_string = false;
-                    result.push('"');
-                }
-                _ => {}
-            }
-            continue;
-        }
-        if in_char {
-            if c == '\\' {
-                chars.next();
-            } else if c == '\'' {
-                in_char = false;
-            }
-            continue;
-        }
-        match c {
-            '"' => {
-                in_string = true;
-                result.push('"');
-            }
-            '/' if chars.peek() == Some(&'/') => break,
-            // A char literal only ever follows non-identifier context; a
-            // lone `'` after an identifier is a lifetime, which has no
-            // closing quote — treat as literal only when it closes shortly.
-            '\'' if looks_like_char_literal(line, line.len() - chars.clone().count() - 1) => {
-                in_char = true;
-            }
-            _ => result.push(c),
-        }
-    }
-    result
-}
-
-/// Whether the `'` at byte `pos` starts a char literal (rather than a
-/// lifetime): a char literal closes with another `'` within a few bytes.
-fn looks_like_char_literal(line: &str, pos: usize) -> bool {
-    let rest = &line[pos + 1..];
-    let mut seen = 0;
-    for c in rest.chars() {
-        if c == '\'' {
-            return seen > 0;
-        }
-        seen += 1;
-        if seen > 3 {
-            return false;
-        }
-    }
-    false
-}
-
-fn run_twins(root: &Path) -> bool {
-    println!("==> twins: every public algorithm in {ALGORITHMS_DIR} has a _checked twin");
-    let dir = root.join(ALGORITHMS_DIR);
-    let mut files = Vec::new();
-    collect_rs_files(&dir, &mut files);
-    files.sort();
-    let mut names = Vec::new();
-    for file in &files {
-        let Ok(text) = std::fs::read_to_string(file) else {
-            eprintln!("twins: cannot read {}", file.display());
-            return false;
-        };
-        for line in text.lines() {
-            // Only module-level functions (column 0): associated functions
-            // inside `impl` blocks are constructors/accessors, not
-            // algorithm entry points.
-            if let Some(rest) = line.strip_prefix("pub fn ") {
-                let name: String =
-                    rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
-                if !name.is_empty() {
-                    names.push(name);
-                }
-            }
-        }
-    }
-    let mut missing = Vec::new();
-    for name in &names {
-        if name.ends_with("_checked") {
-            continue;
-        }
-        if TWIN_EXEMPT.iter().any(|(exempt, _)| exempt == name) {
-            continue;
-        }
-        let twin = format!("{name}_checked");
-        if !names.contains(&twin) {
-            missing.push((name.clone(), twin));
-        }
-    }
-    if missing.is_empty() {
-        let mut listed = String::new();
-        let count = names.iter().filter(|n| n.ends_with("_checked")).count();
-        let _ = write!(listed, "{count} twins cover {} entry points", names.len() - count);
-        println!("twins: {listed}");
-        true
     } else {
-        for (name, twin) in &missing {
-            eprintln!("twins: `pub fn {name}` has no `{twin}` certificate twin");
-        }
-        eprintln!("twins: {} missing twin(s)", missing.len());
-        false
+        println!("{name}: SKIPPED ({needs} unavailable; set XTASK_SOUNDNESS=require to enforce)");
+        true
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+/// Whether `program args…` runs successfully, swallowing all output.
+fn probe(program: &str, args: &[&str]) -> bool {
+    Command::new(program)
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .is_ok_and(|s| s.success())
+}
 
-    #[test]
-    fn strips_line_comments() {
-        assert_eq!(strip_comments_and_strings("let x = 1; // .unwrap()"), "let x = 1; ");
+/// Appends to an inherited environment variable (space-separated), so CI
+/// legs that already set `RUSTFLAGS` compose with the soundness flags.
+fn env_append(key: &str, extra: &str) -> String {
+    let mut value = std::env::var(key).unwrap_or_default();
+    if !value.is_empty() {
+        value.push(' ');
     }
+    value.push_str(extra);
+    value
+}
 
-    #[test]
-    fn strips_string_contents() {
-        assert_eq!(strip_comments_and_strings(r#"err(".unwrap() is banned")"#), r#"err("")"#);
-    }
+/// Loom: exhaustive model checking of the sweep coordination protocol.
+/// Stable-toolchain and offline (the `loom` shim is in-tree), so this prong
+/// never skips. `--cfg loom` swaps `wdm_sim::sweep_sync` onto the modeled
+/// atomics; release profile keeps the interleaving exploration fast.
+fn run_loom(root: &Path) -> bool {
+    let rustflags = env_append("RUSTFLAGS", "--cfg loom");
+    run_step_env(
+        root,
+        "loom",
+        "cargo",
+        &["test", "--offline", "--release", "-p", "wdm-sim", "--test", "loom_sweep"],
+        &[("RUSTFLAGS", rustflags)],
+    )
+}
 
-    #[test]
-    fn keeps_code_outside_strings() {
-        let s = strip_comments_and_strings(r#"x.unwrap(); err("msg")"#);
-        assert!(s.contains(".unwrap()"));
-        assert!(!s.contains("msg"));
+/// Miri: UB detection over `wdm-core`'s unit tests and property suites
+/// (case counts shrink under `cfg(miri)`) and the dedicated
+/// `wdm-alloc-count` test driving every `unsafe GlobalAlloc` path.
+fn run_miri(root: &Path) -> bool {
+    if !probe("rustup", &["run", "nightly", "cargo", "miri", "--version"]) {
+        return skip_or_fail("miri", "nightly toolchain with the miri component");
     }
+    run_step(
+        root,
+        "miri (wdm-core)",
+        "rustup",
+        &[
+            "run",
+            "nightly",
+            "cargo",
+            "miri",
+            "test",
+            "-p",
+            "wdm-core",
+            "--lib",
+            "--test",
+            "proptests",
+        ],
+    ) && run_step(
+        root,
+        "miri (wdm-alloc-count)",
+        "rustup",
+        &[
+            "run",
+            "nightly",
+            "cargo",
+            "miri",
+            "test",
+            "-p",
+            "wdm-alloc-count",
+            "--test",
+            "alloc_paths",
+        ],
+    )
+}
 
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let s = strip_comments_and_strings("fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }");
-        assert!(s.contains(".unwrap()"));
+/// ThreadSanitizer: the threaded-sweep and interconnect determinism tests
+/// under `-Zsanitizer=thread`, with std rebuilt (`-Zbuild-std`) so the
+/// runtime is instrumented too. Complements loom: real weak-memory
+/// hardware, unbounded schedules, probabilistic instead of exhaustive.
+fn run_tsan(root: &Path) -> bool {
+    if !probe("rustup", &["run", "nightly", "rustc", "--version"]) {
+        return skip_or_fail("tsan", "nightly toolchain");
     }
+    if !nightly_rust_src_present() {
+        return skip_or_fail("tsan", "nightly rust-src component (-Zbuild-std)");
+    }
+    let rustflags = env_append("RUSTFLAGS", "-Zsanitizer=thread");
+    run_step_env(
+        root,
+        "tsan",
+        "rustup",
+        &[
+            "run",
+            "nightly",
+            "cargo",
+            "test",
+            "-Zbuild-std",
+            "--target",
+            "x86_64-unknown-linux-gnu",
+            "--release",
+            "-p",
+            "wdm-sim",
+            "--test",
+            "parallel_sweep",
+            "-p",
+            "wdm-interconnect",
+            "--test",
+            "determinism",
+        ],
+        &[("RUSTFLAGS", rustflags)],
+    )
+}
 
-    #[test]
-    fn char_literals_are_skipped() {
-        let s = strip_comments_and_strings("if c == '\"' { x() }");
-        assert!(s.contains("x()"));
-        assert!(!s.contains('"'));
+/// Whether the nightly toolchain has rust-src (required by `-Zbuild-std`).
+fn nightly_rust_src_present() -> bool {
+    let output = Command::new("rustup")
+        .args(["run", "nightly", "rustc", "--print", "sysroot"])
+        .stderr(Stdio::null())
+        .output();
+    let Ok(output) = output else { return false };
+    if !output.status.success() {
+        return false;
     }
+    let sysroot = String::from_utf8_lossy(&output.stdout);
+    Path::new(sysroot.trim()).join("lib/rustlib/src/rust/library/std").is_dir()
+}
 
-    #[test]
-    fn scan_flags_banned_and_skips_test_mods() {
-        let src = "fn lib() { x.unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn t() { y.unwrap(); }\n\
-                   }\n\
-                   fn lib2() { panic!(\"boom\"); }\n";
-        let mut out = Vec::new();
-        scan_file(Path::new("mem.rs"), src, &mut out);
-        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
-        assert_eq!(lines, vec![1, 6]);
+/// cargo-deny: advisory database, license allow-list, and duplicate-version
+/// bans against the committed `deny.toml`.
+fn run_deny(root: &Path) -> bool {
+    if !probe("cargo", &["deny", "--version"]) {
+        return skip_or_fail("deny", "the cargo-deny binary");
     }
+    run_step(root, "deny", "cargo", &["deny", "check"])
 }

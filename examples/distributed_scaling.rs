@@ -93,7 +93,7 @@ fn part2_threaded_slots() {
         let mut ic = Interconnect::new(cfg).expect("valid config");
         let start = Instant::now();
         for reqs in &workloads {
-            ic.advance_slot(reqs).expect("slot");
+            let _ = ic.advance_slot(reqs).expect("slot");
         }
         let ms = start.elapsed().as_secs_f64() * 1e3 / slots as f64;
         println!("{threads:>9} {ms:>18.2}");

@@ -1,0 +1,61 @@
+//! Offline shim of the `loom` model checker.
+//!
+//! The build environment has no crates.io access, so — like the other
+//! `shims/` crates — this is a minimal API-compatible stand-in for the parts
+//! of `loom` the workspace uses: [`model`], `sync::atomic::AtomicUsize`,
+//! `sync::Mutex`, and `thread::{spawn, JoinHandle}`.
+//!
+//! # How it explores
+//!
+//! [`model`] runs the closure repeatedly under a quiescence scheduler.
+//! Every shared-memory operation (an atomic op, a mutex acquisition)
+//! *parks* its thread; when every live thread is parked, the scheduler
+//! picks one parked thread to perform its pending operation and run until
+//! it parks again. Whenever two or more threads sit parked at a pending
+//! operation, that choice is a branch; the scheduler records the decision
+//! path and, across iterations, backtracks depth-first until **every** path
+//! has been executed — one decision per shared operation, so joins, exits,
+//! and mutex releases cost the tree nothing. Blocked threads (waiting on a
+//! held mutex or an unfinished join target) are not choosable, so the
+//! explored tree stays finite, and quiescence where no thread is choosable
+//! but some are blocked is reported as a deadlock.
+//!
+//! # Scope (honest differences from real loom)
+//!
+//! * **Sequential consistency only.** Exhaustive operation interleaving
+//!   explores every SC execution; it cannot produce the additional
+//!   weak-memory behaviors `Relaxed`/`Acquire`/`Release` allow on real
+//!   hardware. The workspace compensates by also running ThreadSanitizer
+//!   over the real `std` atomics in CI (`cargo xtask tsan`).
+//! * **No partial-order reduction.** Interleavings that differ only in the
+//!   order of commuting operations are re-run rather than pruned, so keep
+//!   modeled protocols small (the sweep model is ~11 operations across
+//!   3 workers — on the order of 10⁴ interleavings).
+//! * Only the types the sweep protocol needs are provided.
+//!
+//! Like real loom, the shimmed primitives also work *outside* [`model`]
+//! (they fall through to plain `std` operations), so library code compiled
+//! with `--cfg loom` but executed without a model — e.g. doctests — does
+//! not hang.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+mod scheduler;
+
+pub use scheduler::model;
+
+/// Shimmed `loom::sync`.
+pub mod sync {
+    pub use crate::scheduler::{Mutex, MutexGuard};
+
+    /// Shimmed `loom::sync::atomic`.
+    pub mod atomic {
+        pub use crate::scheduler::AtomicUsize;
+        pub use std::sync::atomic::Ordering;
+    }
+}
+
+/// Shimmed `loom::thread`.
+pub mod thread {
+    pub use crate::scheduler::{spawn, JoinHandle};
+}

@@ -1,0 +1,403 @@
+//! Offline drop-in subset of the `syn` crate.
+//!
+//! The build environment has no network access, so this workspace ships the
+//! slice of a Rust-parsing API that the `xtask` AST lint pass needs:
+//! [`parse_file`] producing a [`File`] of item-level AST nodes
+//! ([`Item::Fn`], [`Item::Mod`], [`Item::Impl`], [`Item::Struct`], …) with
+//! attributes (doc comments included, exactly as rustc desugars them to
+//! `#[doc = "…"]`), visibility, and line-accurate [`Span`]s, over a lossless
+//! token-tree layer ([`TokenStream`], [`TokenTree`], [`Group`]).
+//!
+//! Differences from upstream: expressions and types inside function bodies,
+//! signatures, and initializers are kept as raw token trees rather than
+//! parsed into `Expr`/`Type` nodes — the lint pass walks tokens with
+//! structural context (which item, which attributes, test or library code)
+//! instead of pattern-matching strings. Items the parser does not model
+//! (`use`, `static`, macro definitions/invocations, …) are preserved as
+//! [`Item::Other`] with their full token stream so lints still see inside
+//! them. The lexer is complete over the constructs that defeat line-based
+//! scanning: nested block comments, raw strings/identifiers, byte and char
+//! literals versus lifetimes, and doc comments.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+mod lexer;
+mod parser;
+
+pub use lexer::lex_to_stream;
+
+/// A source location: 1-based line number in the parsed file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line of the first character of the spanned token.
+    pub line: usize,
+}
+
+/// A parse error with the line it was detected on.
+#[derive(Debug, Clone)]
+pub struct Error {
+    /// 1-based line of the offending construct.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The delimiter of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( … )`
+    Parenthesis,
+    /// `{ … }`
+    Brace,
+    /// `[ … ]`
+    Bracket,
+}
+
+/// One node of the token-tree layer.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    /// A delimited subtree.
+    Group(Group),
+    /// An identifier or keyword (keywords are not distinguished).
+    Ident(Ident),
+    /// A single punctuation character (multi-char operators arrive as
+    /// consecutive `Punct`s, e.g. `->` is `-` then `>`).
+    Punct(Punct),
+    /// A literal: string (raw or not), char, byte, or number.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The token's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span,
+            TokenTree::Ident(i) => i.span,
+            TokenTree::Punct(p) => p.span,
+            TokenTree::Literal(l) => l.span,
+        }
+    }
+
+    /// The identifier text, if this token is an [`Ident`].
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenTree::Ident(i) => Some(&i.text),
+            _ => None,
+        }
+    }
+
+    /// The punctuation character, if this token is a [`Punct`].
+    pub fn as_punct(&self) -> Option<char> {
+        match self {
+            TokenTree::Punct(p) => Some(p.ch),
+            _ => None,
+        }
+    }
+}
+
+/// A delimited token subtree.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The surrounding delimiter.
+    pub delimiter: Delimiter,
+    /// The tokens between the delimiters.
+    pub stream: TokenStream,
+    /// Span of the opening delimiter.
+    pub span: Span,
+}
+
+/// An identifier (or keyword) token.
+#[derive(Debug, Clone)]
+pub struct Ident {
+    /// The identifier text (raw identifiers arrive without the `r#`).
+    pub text: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A single punctuation character.
+#[derive(Debug, Clone)]
+pub struct Punct {
+    /// The character.
+    pub ch: char,
+    /// Source location.
+    pub span: Span,
+}
+
+/// What kind of literal a [`Literal`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitKind {
+    /// String, raw string, byte string, or C string.
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Integer or float literal.
+    Num,
+}
+
+/// A literal token. `text` is the contents (for strings: without the quotes
+/// and raw-string hashes, escapes left unprocessed).
+#[derive(Debug, Clone)]
+pub struct Literal {
+    /// Literal kind.
+    pub kind: LitKind,
+    /// Literal contents, see type-level docs.
+    pub text: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A sequence of token trees.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    /// The top-level trees in order.
+    pub trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// Calls `f` on every token tree, depth-first, including group members.
+    pub fn walk(&self, f: &mut impl FnMut(&TokenTree)) {
+        for tree in &self.trees {
+            f(tree);
+            if let TokenTree::Group(g) = tree {
+                g.stream.walk(f);
+            }
+        }
+    }
+
+    /// Whether any identifier token (at any depth) equals `name`.
+    pub fn contains_ident(&self, name: &str) -> bool {
+        let mut found = false;
+        self.walk(&mut |t| {
+            if t.as_ident() == Some(name) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// One attribute, e.g. `#[cfg(test)]` or a doc comment (desugared to
+/// `#[doc = "…"]` exactly as rustc does).
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// First path segment inside the brackets: `cfg`, `doc`, `must_use`,
+    /// `allow`, `derive`, `cfg_attr`, ….
+    pub path: String,
+    /// The full token stream between the brackets (including the path).
+    pub tokens: TokenStream,
+    /// `true` for inner attributes (`#![…]`, `//!`, `/*! … */`).
+    pub inner: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Attribute {
+    /// For `#[doc = "…"]` attributes: the doc text. `None` otherwise.
+    pub fn doc_text(&self) -> Option<&str> {
+        if self.path != "doc" {
+            return None;
+        }
+        self.tokens.trees.iter().find_map(|t| match t {
+            TokenTree::Literal(l) if l.kind == LitKind::Str => Some(l.text.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Whether any identifier inside the attribute arguments equals `name`
+    /// (e.g. `test` in `#[cfg(test)]` or `#[cfg(any(test, fuzzing))]`).
+    pub fn contains_ident(&self, name: &str) -> bool {
+        self.tokens.contains_ident(name)
+    }
+}
+
+/// Item visibility. Only the distinction "public at module level" matters to
+/// the lint pass; `pub(crate)` and friends are [`Visibility::Restricted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// `pub`
+    Public,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)`
+    Restricted,
+    /// No `pub`.
+    Inherited,
+}
+
+/// A function signature: name, raw argument tokens, raw return-type tokens.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// The function name.
+    pub ident: Ident,
+    /// The parenthesized argument list, unparsed.
+    pub inputs: Group,
+    /// The tokens after `->` up to the body / `where` clause; empty when the
+    /// function returns `()`.
+    pub output: TokenStream,
+    /// `const fn`.
+    pub is_const: bool,
+    /// `unsafe fn`.
+    pub is_unsafe: bool,
+    /// `async fn`.
+    pub is_async: bool,
+}
+
+/// A `fn` item (free function, or associated function inside an `impl` /
+/// `trait` body).
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    /// Attributes, doc comments included.
+    pub attrs: Vec<Attribute>,
+    /// Visibility.
+    pub vis: Visibility,
+    /// Signature.
+    pub sig: Signature,
+    /// The body block; `None` for trait-method declarations.
+    pub block: Option<Group>,
+    /// Source location of the `fn` keyword.
+    pub span: Span,
+}
+
+/// A `mod` item.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    /// Attributes, doc comments included.
+    pub attrs: Vec<Attribute>,
+    /// Visibility.
+    pub vis: Visibility,
+    /// The module name.
+    pub ident: Ident,
+    /// `Some(items)` for inline modules, `None` for `mod name;`.
+    pub content: Option<Vec<Item>>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An `impl` block; associated items are parsed with the same item parser.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    /// Attributes.
+    pub attrs: Vec<Attribute>,
+    /// Whether the block is `unsafe impl`.
+    pub is_unsafe: bool,
+    /// The tokens between `impl` and the body (generics, trait, self type).
+    pub self_tokens: TokenStream,
+    /// The associated items.
+    pub items: Vec<Item>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `struct`, `enum`, or `union` declaration.
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    /// Attributes, doc comments included.
+    pub attrs: Vec<Attribute>,
+    /// Visibility.
+    pub vis: Visibility,
+    /// Which keyword declared it: `struct`, `enum`, or `union`.
+    pub keyword: String,
+    /// The type name.
+    pub ident: Ident,
+    /// Everything after the name (generics, fields / variants), unparsed.
+    pub body: TokenStream,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `trait` declaration; methods are parsed with the same item parser.
+#[derive(Debug, Clone)]
+pub struct ItemTrait {
+    /// Attributes.
+    pub attrs: Vec<Attribute>,
+    /// Whether the declaration is `unsafe trait`.
+    pub is_unsafe: bool,
+    /// Visibility.
+    pub vis: Visibility,
+    /// The trait name.
+    pub ident: Ident,
+    /// The associated items (methods may have no body).
+    pub items: Vec<Item>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Any item the parser does not model structurally (`use`, `static`,
+/// `const`, `type`, macro definitions and invocations, `extern` blocks, …),
+/// preserved as its raw token stream so lints can still walk inside.
+#[derive(Debug, Clone)]
+pub struct ItemOther {
+    /// Attributes.
+    pub attrs: Vec<Attribute>,
+    /// The item's full token stream.
+    pub tokens: TokenStream,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One item of a file, module, `impl`, or `trait` body.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A function.
+    Fn(ItemFn),
+    /// A module.
+    Mod(ItemMod),
+    /// An `impl` block.
+    Impl(ItemImpl),
+    /// A `struct` / `enum` / `union`.
+    Struct(ItemStruct),
+    /// A `trait`.
+    Trait(ItemTrait),
+    /// Anything else, kept as tokens.
+    Other(ItemOther),
+}
+
+impl Item {
+    /// The item's attributes.
+    pub fn attrs(&self) -> &[Attribute] {
+        match self {
+            Item::Fn(i) => &i.attrs,
+            Item::Mod(i) => &i.attrs,
+            Item::Impl(i) => &i.attrs,
+            Item::Struct(i) => &i.attrs,
+            Item::Trait(i) => &i.attrs,
+            Item::Other(i) => &i.attrs,
+        }
+    }
+
+    /// The item's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Fn(i) => i.span,
+            Item::Mod(i) => i.span,
+            Item::Impl(i) => i.span,
+            Item::Struct(i) => i.span,
+            Item::Trait(i) => i.span,
+            Item::Other(i) => i.span,
+        }
+    }
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Inner attributes (`#![…]`, `//!`).
+    pub attrs: Vec<Attribute>,
+    /// The top-level items.
+    pub items: Vec<Item>,
+}
+
+/// Parses a Rust source file into items. See the crate docs for the exact
+/// subset modeled; this never panics on valid Rust — constructs outside the
+/// subset degrade to [`Item::Other`] with their tokens preserved.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let stream = lexer::lex_to_stream(src)?;
+    parser::parse_items_toplevel(&stream)
+}

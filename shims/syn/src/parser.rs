@@ -1,0 +1,539 @@
+//! The item-level parser: a grouped [`TokenStream`] to [`File`] items.
+//!
+//! Parses enough structure for the lint pass — functions (with name,
+//! visibility, attributes, raw signature tokens, body group), modules
+//! (recursing into inline bodies), `impl`/`trait` blocks (associated items
+//! parsed with the same machinery), and type declarations. Anything else is
+//! preserved as [`Item::Other`] with its tokens, never dropped, so
+//! token-walking lints still see inside `use`/`static`/macro items.
+
+use crate::{
+    Attribute, Delimiter, Error, File, Item, ItemFn, ItemImpl, ItemMod, ItemOther, ItemStruct,
+    ItemTrait, Signature, Span, TokenStream, TokenTree, Visibility,
+};
+
+/// Parses the top level of a file.
+pub fn parse_items_toplevel(stream: &TokenStream) -> Result<File, Error> {
+    let (attrs, items) = parse_items(&stream.trees)?;
+    Ok(File { attrs, items })
+}
+
+/// Parses a brace-delimited body (file, module, `impl`, or `trait` level).
+/// Returns `(inner_attrs, items)`.
+fn parse_items(trees: &[TokenTree]) -> Result<(Vec<Attribute>, Vec<Item>), Error> {
+    let mut parser = Parser { trees, pos: 0 };
+    let mut inner_attrs = Vec::new();
+    let mut items = Vec::new();
+    while !parser.at_end() {
+        let mut attrs = parser.take_attributes(&mut inner_attrs);
+        if parser.at_end() {
+            // Trailing attributes with no item: keep them visible as Other.
+            if !attrs.is_empty() {
+                let span = attrs[0].span;
+                items.push(Item::Other(ItemOther { attrs, tokens: TokenStream::default(), span }));
+            }
+            break;
+        }
+        let vis = parser.take_visibility();
+        let item = parser.take_item(std::mem::take(&mut attrs), vis)?;
+        items.push(item);
+    }
+    Ok((inner_attrs, items))
+}
+
+struct Parser<'a> {
+    trees: &'a [TokenTree],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.trees.len()
+    }
+
+    fn peek(&self, ahead: usize) -> Option<&'a TokenTree> {
+        self.trees.get(self.pos + ahead)
+    }
+
+    fn peek_ident(&self, ahead: usize) -> Option<&'a str> {
+        self.peek(ahead).and_then(TokenTree::as_ident)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.trees.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn span_here(&self) -> Span {
+        self.peek(0).map_or(Span { line: 0 }, TokenTree::span)
+    }
+
+    /// Collects leading `#[…]` (outer) attributes; `#![…]` inner attributes
+    /// are appended to `inner` instead.
+    fn take_attributes(&mut self, inner: &mut Vec<Attribute>) -> Vec<Attribute> {
+        let mut attrs = Vec::new();
+        while self.peek(0).and_then(TokenTree::as_punct) == Some('#') {
+            let is_inner = self.peek(1).and_then(TokenTree::as_punct) == Some('!');
+            let group_at = if is_inner { 2 } else { 1 };
+            let Some(TokenTree::Group(g)) = self.peek(group_at) else { break };
+            if g.delimiter != Delimiter::Bracket {
+                break;
+            }
+            let path =
+                g.stream.trees.first().and_then(TokenTree::as_ident).unwrap_or("").to_string();
+            let attr = Attribute { path, tokens: g.stream.clone(), inner: is_inner, span: g.span };
+            self.pos += group_at + 1;
+            if is_inner {
+                inner.push(attr);
+            } else {
+                attrs.push(attr);
+            }
+        }
+        attrs
+    }
+
+    fn take_visibility(&mut self) -> Visibility {
+        if self.peek_ident(0) != Some("pub") {
+            return Visibility::Inherited;
+        }
+        self.bump();
+        if let Some(TokenTree::Group(g)) = self.peek(0) {
+            if g.delimiter == Delimiter::Parenthesis {
+                self.bump();
+                return Visibility::Restricted;
+            }
+        }
+        Visibility::Public
+    }
+
+    fn take_item(&mut self, attrs: Vec<Attribute>, vis: Visibility) -> Result<Item, Error> {
+        let span = self.span_here();
+        // Function modifiers: `const? async? unsafe? (extern "…"?)? fn`.
+        let mut is_const = false;
+        let mut is_async = false;
+        let mut is_unsafe = false;
+        let mut ahead = 0;
+        loop {
+            match self.peek_ident(ahead) {
+                Some("const") if self.peek_ident(ahead + 1).is_some() => {
+                    is_const = true;
+                    ahead += 1;
+                }
+                Some("async") => {
+                    is_async = true;
+                    ahead += 1;
+                }
+                Some("unsafe") => {
+                    is_unsafe = true;
+                    ahead += 1;
+                }
+                Some("extern") => {
+                    ahead += 1;
+                    if matches!(self.peek(ahead), Some(TokenTree::Literal(_))) {
+                        ahead += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.peek_ident(ahead) == Some("fn") {
+            self.pos += ahead;
+            return self.take_fn(attrs, vis, span, is_const, is_unsafe, is_async);
+        }
+        // Not a function: the modifier scan is abandoned, dispatch on the
+        // first token (`unsafe impl`, `unsafe trait`, `const NAME: …`, …).
+        let dispatch_at = if self.peek_ident(0) == Some("unsafe") { 1 } else { 0 };
+        match self.peek_ident(dispatch_at) {
+            Some("mod") => {
+                self.pos += dispatch_at;
+                self.take_mod(attrs, vis, span)
+            }
+            Some("impl") => {
+                self.pos += dispatch_at;
+                self.take_impl(attrs, span, dispatch_at == 1)
+            }
+            Some("trait") => {
+                self.pos += dispatch_at;
+                self.take_trait(attrs, vis, span, dispatch_at == 1)
+            }
+            Some(kw @ ("struct" | "enum" | "union")) => {
+                self.pos += dispatch_at;
+                self.take_struct(attrs, vis, span, kw)
+            }
+            Some("use" | "static" | "const" | "type" | "extern" | "macro") => {
+                Ok(self.take_other_until_semi(attrs, span))
+            }
+            _ => Ok(self.take_other_fallback(attrs, span)),
+        }
+    }
+
+    fn take_fn(
+        &mut self,
+        attrs: Vec<Attribute>,
+        vis: Visibility,
+        span: Span,
+        is_const: bool,
+        is_unsafe: bool,
+        is_async: bool,
+    ) -> Result<Item, Error> {
+        self.bump(); // `fn`
+        let Some(TokenTree::Ident(name)) = self.bump() else {
+            return Err(Error {
+                line: span.line,
+                message: "expected function name after `fn`".to_string(),
+            });
+        };
+        // Optional generics `<…>`: depth-counted over single-char puncts.
+        if self.peek(0).and_then(TokenTree::as_punct) == Some('<') {
+            let mut depth = 0usize;
+            let mut prev_dash = false;
+            while let Some(t) = self.bump() {
+                match t.as_punct() {
+                    Some('<') => depth += 1,
+                    // `->` inside generic bounds (`F: Fn() -> U`) is not a
+                    // closing angle bracket.
+                    Some('>') if !prev_dash => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                prev_dash = t.as_punct() == Some('-');
+            }
+        }
+        let Some(TokenTree::Group(inputs)) = self.bump() else {
+            return Err(Error {
+                line: span.line,
+                message: format!("expected argument list after `fn {}`", name.text),
+            });
+        };
+        // Return type: tokens after `->`, up to `where` / body / `;`.
+        let mut output = TokenStream::default();
+        if self.peek(0).and_then(TokenTree::as_punct) == Some('-')
+            && self.peek(1).and_then(TokenTree::as_punct) == Some('>')
+        {
+            self.bump();
+            self.bump();
+            while let Some(t) = self.peek(0) {
+                if t.as_punct() == Some(';')
+                    || t.as_ident() == Some("where")
+                    || matches!(t, TokenTree::Group(g) if g.delimiter == Delimiter::Brace)
+                {
+                    break;
+                }
+                output.trees.push(t.clone());
+                self.pos += 1;
+            }
+        }
+        // Where clause: skip to body or `;`.
+        while let Some(t) = self.peek(0) {
+            if t.as_punct() == Some(';')
+                || matches!(t, TokenTree::Group(g) if g.delimiter == Delimiter::Brace)
+            {
+                break;
+            }
+            self.pos += 1;
+        }
+        let block = match self.bump() {
+            Some(TokenTree::Group(g)) => Some(g.clone()),
+            _ => None, // `;` — trait method declaration
+        };
+        Ok(Item::Fn(ItemFn {
+            attrs,
+            vis,
+            sig: Signature {
+                ident: name.clone(),
+                inputs: inputs.clone(),
+                output,
+                is_const,
+                is_unsafe,
+                is_async,
+            },
+            block,
+            span,
+        }))
+    }
+
+    fn take_mod(
+        &mut self,
+        mut attrs: Vec<Attribute>,
+        vis: Visibility,
+        span: Span,
+    ) -> Result<Item, Error> {
+        self.bump(); // `mod`
+        let Some(TokenTree::Ident(name)) = self.bump() else {
+            return Err(Error {
+                line: span.line,
+                message: "expected module name after `mod`".to_string(),
+            });
+        };
+        let content = match self.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                let (inner, items) = parse_items(&g.stream.trees)?;
+                attrs.extend(inner);
+                Some(items)
+            }
+            _ => None, // `mod name;`
+        };
+        Ok(Item::Mod(ItemMod { attrs, vis, ident: name.clone(), content, span }))
+    }
+
+    fn take_impl(
+        &mut self,
+        mut attrs: Vec<Attribute>,
+        span: Span,
+        is_unsafe: bool,
+    ) -> Result<Item, Error> {
+        self.bump(); // `impl`
+        let mut self_tokens = TokenStream::default();
+        loop {
+            match self.peek(0) {
+                Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => break,
+                Some(t) => {
+                    self_tokens.trees.push(t.clone());
+                    self.pos += 1;
+                }
+                None => {
+                    return Err(Error {
+                        line: span.line,
+                        message: "`impl` block without a body".to_string(),
+                    });
+                }
+            }
+        }
+        let Some(TokenTree::Group(body)) = self.bump() else {
+            return Err(Error { line: span.line, message: "`impl` body vanished".to_string() });
+        };
+        let (inner, items) = parse_items(&body.stream.trees)?;
+        attrs.extend(inner);
+        Ok(Item::Impl(ItemImpl { attrs, is_unsafe, self_tokens, items, span }))
+    }
+
+    fn take_trait(
+        &mut self,
+        mut attrs: Vec<Attribute>,
+        vis: Visibility,
+        span: Span,
+        is_unsafe: bool,
+    ) -> Result<Item, Error> {
+        self.bump(); // `trait`
+        let Some(TokenTree::Ident(name)) = self.bump() else {
+            return Err(Error {
+                line: span.line,
+                message: "expected trait name after `trait`".to_string(),
+            });
+        };
+        // Skip generics / supertraits / where clause up to the body.
+        while let Some(t) = self.peek(0) {
+            if matches!(t, TokenTree::Group(g) if g.delimiter == Delimiter::Brace) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let Some(TokenTree::Group(body)) = self.bump() else {
+            return Err(Error {
+                line: span.line,
+                message: format!("`trait {}` without a body", name.text),
+            });
+        };
+        let (inner, items) = parse_items(&body.stream.trees)?;
+        attrs.extend(inner);
+        Ok(Item::Trait(ItemTrait { attrs, is_unsafe, vis, ident: name.clone(), items, span }))
+    }
+
+    fn take_struct(
+        &mut self,
+        attrs: Vec<Attribute>,
+        vis: Visibility,
+        span: Span,
+        keyword: &str,
+    ) -> Result<Item, Error> {
+        self.bump(); // keyword
+        let Some(TokenTree::Ident(name)) = self.bump() else {
+            return Err(Error {
+                line: span.line,
+                message: format!("expected type name after `{keyword}`"),
+            });
+        };
+        // Body: everything up to and including the brace group (fields /
+        // variants) or the terminating `;` (unit / tuple structs).
+        let mut body = TokenStream::default();
+        while let Some(t) = self.peek(0) {
+            match t {
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
+                    body.trees.push(t.clone());
+                    self.pos += 1;
+                    break;
+                }
+                TokenTree::Punct(p) if p.ch == ';' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    body.trees.push(t.clone());
+                    self.pos += 1;
+                }
+            }
+        }
+        Ok(Item::Struct(ItemStruct {
+            attrs,
+            vis,
+            keyword: keyword.to_string(),
+            ident: name.clone(),
+            body,
+            span,
+        }))
+    }
+
+    /// `use` / `static` / `const NAME` / `type` / `extern` / `macro` items:
+    /// consume to the terminating `;`, or — for block forms such as
+    /// `extern "C" { … }` and `macro_rules! name { … }` — through the final
+    /// brace group. Groups are atomic trees, so initializer braces inside a
+    /// `static`'s expression never end the item early.
+    fn take_other_until_semi(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        let mut tokens = TokenStream::default();
+        let mut saw_eq = false;
+        while let Some(t) = self.bump() {
+            match t {
+                TokenTree::Punct(p) if p.ch == ';' => break,
+                TokenTree::Punct(p) if p.ch == '=' => {
+                    saw_eq = true;
+                    tokens.trees.push(t.clone());
+                }
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace && !saw_eq => {
+                    // Before any `=`, a brace group terminates block items
+                    // (`extern { … }`, `macro_rules! m { … }`); after one it
+                    // is part of an initializer expression and `;` ends the
+                    // item.
+                    tokens.trees.push(t.clone());
+                    break;
+                }
+                _ => tokens.trees.push(t.clone()),
+            }
+        }
+        Item::Other(ItemOther { attrs, tokens, span })
+    }
+
+    /// Unknown leading token: consume to `;` or through the first brace
+    /// group, whichever comes first, so parsing always makes progress.
+    fn take_other_fallback(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        let mut tokens = TokenStream::default();
+        while let Some(t) = self.bump() {
+            match t {
+                TokenTree::Punct(p) if p.ch == ';' => break,
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
+                    tokens.trees.push(t.clone());
+                    break;
+                }
+                _ => tokens.trees.push(t.clone()),
+            }
+        }
+        Item::Other(ItemOther { attrs, tokens, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_file, Item, Visibility};
+
+    #[test]
+    fn parses_functions_with_attrs_vis_and_bodies() {
+        let file = parse_file(
+            "/// Paper: Lemma 2.\n#[must_use]\npub fn f(x: usize) -> usize { x + 1 }\nfn g() {}",
+        )
+        .unwrap();
+        assert_eq!(file.items.len(), 2);
+        let Item::Fn(f) = &file.items[0] else { panic!("expected fn") };
+        assert_eq!(f.sig.ident.text, "f");
+        assert_eq!(f.vis, Visibility::Public);
+        assert_eq!(f.attrs.len(), 2);
+        assert_eq!(f.attrs[0].doc_text(), Some(" Paper: Lemma 2."));
+        assert_eq!(f.attrs[1].path, "must_use");
+        assert!(f.sig.output.contains_ident("usize"));
+        assert_eq!(f.span.line, 3);
+    }
+
+    #[test]
+    fn parses_cfg_test_modules_recursively() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}";
+        let file = parse_file(src).unwrap();
+        let Item::Mod(m) = &file.items[1] else { panic!("expected mod") };
+        assert_eq!(m.ident.text, "tests");
+        assert!(m.attrs[0].path == "cfg" && m.attrs[0].contains_ident("test"));
+        let items = m.content.as_ref().unwrap();
+        let Item::Fn(t) = &items[0] else { panic!("expected fn in mod") };
+        assert_eq!(t.attrs[0].path, "test");
+    }
+
+    #[test]
+    fn parses_impl_blocks_with_associated_fns() {
+        let src = "impl<'a> Foo<'a> {\n    pub fn new() -> Foo<'a> { Foo { x: 1 } }\n    fn helper(&self) {}\n}";
+        let file = parse_file(src).unwrap();
+        let Item::Impl(i) = &file.items[0] else { panic!("expected impl") };
+        assert!(i.self_tokens.contains_ident("Foo"));
+        assert_eq!(i.items.len(), 2);
+        let Item::Fn(new) = &i.items[0] else { panic!("expected fn") };
+        assert_eq!(new.sig.ident.text, "new");
+        assert_eq!(new.vis, Visibility::Public);
+    }
+
+    #[test]
+    fn parses_struct_enum_and_keeps_statics_as_other() {
+        let src = "#[must_use]\npub struct S { x: usize }\npub enum E { A, B }\nstatic X: S = S { x: 1 };\nuse std::fmt;";
+        let file = parse_file(src).unwrap();
+        assert_eq!(file.items.len(), 4);
+        let Item::Struct(s) = &file.items[0] else { panic!("expected struct") };
+        assert_eq!(s.ident.text, "S");
+        assert_eq!(s.attrs[0].path, "must_use");
+        let Item::Struct(e) = &file.items[1] else { panic!("expected enum") };
+        assert_eq!(e.keyword, "enum");
+        assert!(matches!(&file.items[2], Item::Other(_)));
+        assert!(matches!(&file.items[3], Item::Other(_)));
+    }
+
+    #[test]
+    fn trait_methods_without_bodies() {
+        let src = "pub trait T {\n    fn required(&self) -> usize;\n    fn provided(&self) {}\n}";
+        let file = parse_file(src).unwrap();
+        let Item::Trait(t) = &file.items[0] else { panic!("expected trait") };
+        let Item::Fn(req) = &t.items[0] else { panic!("expected fn") };
+        assert!(req.block.is_none());
+        let Item::Fn(prov) = &t.items[1] else { panic!("expected fn") };
+        assert!(prov.block.is_some());
+    }
+
+    #[test]
+    fn const_fn_and_generic_fn_with_where_clause() {
+        let src = "pub const fn k() -> usize { 1 }\npub fn g<T: Clone>(x: T) -> Vec<T> where T: Send { vec![x] }";
+        let file = parse_file(src).unwrap();
+        let Item::Fn(k) = &file.items[0] else { panic!("expected fn") };
+        assert!(k.sig.is_const);
+        let Item::Fn(g) = &file.items[1] else { panic!("expected fn") };
+        assert_eq!(g.sig.ident.text, "g");
+        assert!(g.sig.output.contains_ident("Vec"));
+        assert!(g.block.is_some());
+    }
+
+    #[test]
+    fn macro_definitions_keep_their_tokens_visible() {
+        let src = "macro_rules! bad {\n    () => { x.unwrap() };\n}";
+        let file = parse_file(src).unwrap();
+        let Item::Other(o) = &file.items[0] else { panic!("expected other") };
+        assert!(o.tokens.contains_ident("unwrap"));
+    }
+
+    #[test]
+    fn inner_attrs_are_separated() {
+        let file = parse_file("#![warn(missing_docs)]\n//! Crate docs.\nfn f() {}").unwrap();
+        assert_eq!(file.attrs.len(), 2);
+        assert!(file.attrs[0].contains_ident("missing_docs"));
+        assert_eq!(file.attrs[1].doc_text(), Some(" Crate docs."));
+        assert_eq!(file.items.len(), 1);
+    }
+}

@@ -79,7 +79,7 @@ fn occupied_channels_never_double_assigned() {
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..200 {
         let reqs = random_requests(&mut rng, n, k, 0.8, 8);
-        ic.advance_slot(&reqs).unwrap();
+        let _ = ic.advance_slot(&reqs).unwrap();
         // validate() inside the crossbar catches channel reuse; also check
         // the per-fiber occupancy masks agree with the crossbar state.
         let xb = ic.crossbar();
@@ -98,7 +98,7 @@ fn occupied_channels_never_double_assigned() {
 fn source_busy_accounting() {
     let conv = Conversion::full(4).unwrap();
     let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv)).unwrap();
-    ic.advance_slot(&[ConnectionRequest::burst(0, 0, 0, 3)]).unwrap();
+    let _ = ic.advance_slot(&[ConnectionRequest::burst(0, 0, 0, 3)]).unwrap();
     // Two more slots: the same source channel is busy.
     for _ in 0..2 {
         let r = ic.advance_slot(&[ConnectionRequest::packet(0, 0, 1)]).unwrap();
