@@ -37,7 +37,7 @@
 #![warn(missing_docs)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A global allocator that forwards to [`System`] and counts calls.
 ///
@@ -51,6 +51,7 @@ pub struct CountingAlloc {
     reallocations: AtomicU64,
     deallocations: AtomicU64,
     allocated_bytes: AtomicU64,
+    trap: AtomicBool,
 }
 
 impl CountingAlloc {
@@ -61,6 +62,7 @@ impl CountingAlloc {
             reallocations: AtomicU64::new(0),
             deallocations: AtomicU64::new(0),
             allocated_bytes: AtomicU64::new(0),
+            trap: AtomicBool::new(false),
         }
     }
 
@@ -90,6 +92,35 @@ impl CountingAlloc {
     pub fn heap_events(&self) -> u64 {
         self.allocations() + self.reallocations()
     }
+
+    /// Debug aid: while enabled, every `alloc`/`realloc` prints a captured
+    /// backtrace to stderr (re-entrantly safe — allocations made while
+    /// printing are not reported). Point a failing zero-allocation window at
+    /// the offending call site by enabling this just around it.
+    pub fn trap_backtraces(&self, enabled: bool) {
+        self.trap.store(enabled, Ordering::Relaxed);
+    }
+
+    fn report_trap(&self, kind: &str, size: usize) {
+        if !self.trap.load(Ordering::Relaxed) {
+            return;
+        }
+        IN_TRAP.with(|flag| {
+            if flag.get() {
+                return;
+            }
+            flag.set(true);
+            eprintln!(
+                "wdm-alloc-count trap: {kind} of {size} bytes\n{}",
+                std::backtrace::Backtrace::force_capture()
+            );
+            flag.set(false);
+        });
+    }
+}
+
+thread_local! {
+    static IN_TRAP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 impl Default for CountingAlloc {
@@ -105,18 +136,21 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         self.allocations.fetch_add(1, Ordering::Relaxed);
         self.allocated_bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        self.report_trap("alloc", layout.size());
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         self.allocations.fetch_add(1, Ordering::Relaxed);
         self.allocated_bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        self.report_trap("alloc_zeroed", layout.size());
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         self.reallocations.fetch_add(1, Ordering::Relaxed);
         self.allocated_bytes.fetch_add(new_size as u64, Ordering::Relaxed);
+        self.report_trap("realloc", new_size);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 

@@ -117,6 +117,7 @@ fn schedule_slot_steady_state_is_allocation_free() {
     }
 
     sweep_slot_loop_is_allocation_free();
+    serve_slot_loop_is_allocation_free();
 
     // Sanity-check the counter itself: a deliberate allocation must be seen
     // (done last so it cannot pollute the measurement windows above).
@@ -172,4 +173,134 @@ fn sweep_slot_loop_is_allocation_free() {
         marginal <= 64,
         "sweep slot loop allocated {marginal} times for 512 extra slots across 6 grid points"
     );
+}
+
+/// The daemon's steady-state shard slot loop (`SlotEngine::submit` +
+/// `SlotEngine::run_slot`, recording off) must be allocation-free: the
+/// bounded queues, batch/tag buffers, reply vector, and every `FiberUnit`
+/// arena reach their high-water marks during warmup and are reused
+/// thereafter.
+///
+/// Called from the single `#[test]` above — the counters are process-global.
+fn serve_slot_loop_is_allocation_free() {
+    use wdm_core::Policy as P;
+    use wdm_serve::protocol::SubmitRequest;
+    use wdm_serve::{EngineConfig, SlotEngine};
+
+    const N: usize = 4;
+    const K: usize = 32;
+    const WARMUP: u64 = 32;
+    const MEASURED: u64 = 512;
+
+    let configs = [
+        ("serve/auto-circular", Conversion::symmetric_circular(K, 5).unwrap(), P::Auto),
+        ("serve/fa", Conversion::symmetric_non_circular(K, 5).unwrap(), P::FirstAvailable),
+        ("serve/bfa", Conversion::symmetric_circular(K, 5).unwrap(), P::BreakFirstAvailable),
+        ("serve/approx", Conversion::symmetric_circular(K, 5).unwrap(), P::Approximate),
+    ];
+
+    // One slot of submissions: same shape every slot (~60% of (fiber,
+    // wavelength) pairs), so buffer high-water marks are hit in warmup.
+    let mut submit_slot = |engine: &mut SlotEngine, rng: &mut Rng, next_id: &mut u64| {
+        for fiber in 0..N {
+            for w in 0..K {
+                let r = rng.next();
+                if r % 10 >= 6 {
+                    continue;
+                }
+                let req = SubmitRequest {
+                    id: *next_id,
+                    src_fiber: fiber as u32,
+                    src_wavelength: w as u32,
+                    dst_fiber: ((r >> 8) % N as u64) as u32,
+                    duration: 1 + ((r >> 16) % 3) as u32,
+                };
+                *next_id += 1;
+                if let Some(_reply) = engine.submit(0, req) {
+                    // Admission denies are normal here (duplicate source
+                    // channels); the reply is plain data, not an allocation.
+                }
+            }
+        }
+    };
+
+    for (name, conv, policy) in configs {
+        let mut engine = SlotEngine::new(EngineConfig::new(N, conv, policy)).unwrap();
+        let mut out = Vec::new();
+        let mut rng = Rng(0x5EED_0002);
+        let mut next_id = 0u64;
+
+        let mut grants = 0usize;
+        // Prime every buffer to its structural maximum: one slot sending
+        // all N*K source channels to a single destination grows that shard's
+        // queue, the batch/tag/reply buffers, and the per-fiber partition to
+        // the largest size any slot can produce; the fiber→fiber slot maxes
+        // the grant vector (all N*K grants) and, with duration 3, the active
+        // tables (bounded by K occupied output channels per fiber).
+        for fiber in 0..N {
+            for w in 0..K {
+                let req = SubmitRequest {
+                    id: next_id,
+                    src_fiber: fiber as u32,
+                    src_wavelength: w as u32,
+                    dst_fiber: fiber as u32,
+                    duration: 3,
+                };
+                next_id += 1;
+                if let Some(_reply) = engine.submit(0, req) {}
+            }
+        }
+        out.clear();
+        grants += engine.run_slot(&mut out).grants;
+        // Let the duration-3 actives expire (they hold every source channel,
+        // which would starve the all-to-one priming slots below of
+        // candidates) — empty slots age them out.
+        for _ in 0..3 {
+            out.clear();
+            grants += engine.run_slot(&mut out).grants;
+        }
+        for dst in 0..N {
+            for fiber in 0..N {
+                for w in 0..K {
+                    let req = SubmitRequest {
+                        id: next_id,
+                        src_fiber: fiber as u32,
+                        src_wavelength: w as u32,
+                        dst_fiber: dst as u32,
+                        duration: 3,
+                    };
+                    next_id += 1;
+                    if let Some(_reply) = engine.submit(0, req) {}
+                }
+            }
+            out.clear();
+            grants += engine.run_slot(&mut out).grants;
+        }
+        for _ in 0..WARMUP {
+            submit_slot(&mut engine, &mut rng, &mut next_id);
+            out.clear();
+            grants += engine.run_slot(&mut out).grants;
+        }
+
+        // The trap prints a backtrace for any stray heap event, so a
+        // regression names its call site instead of just a count.
+        let before = ALLOC.heap_events();
+        ALLOC.trap_backtraces(!cfg!(debug_assertions));
+        for _ in 0..MEASURED {
+            submit_slot(&mut engine, &mut rng, &mut next_id);
+            out.clear();
+            grants += engine.run_slot(&mut out).grants;
+        }
+        ALLOC.trap_backtraces(false);
+        let events = ALLOC.heap_events() - before;
+
+        assert!(grants > 0, "{name}: workload must exercise the daemon engine");
+        if cfg!(debug_assertions) {
+            continue;
+        }
+        assert_eq!(
+            events, 0,
+            "{name}: {events} heap allocations in {MEASURED} steady-state daemon slots"
+        );
+    }
 }

@@ -1,8 +1,8 @@
-//! `bench-report` — measure the scheduling hot path and the sweep runner,
-//! and emit a machine-readable `BENCH_3.json`.
+//! `bench-report` — measure the scheduling hot path, the sweep runner, and
+//! the `wdm-serve` daemon, and emit a machine-readable `BENCH_4.json`.
 //!
 //! ```sh
-//! cargo run --release -p wdm-bench --bin bench-report            # writes BENCH_3.json
+//! cargo run --release -p wdm-bench --bin bench-report            # writes BENCH_4.json
 //! cargo run --release -p wdm-bench --bin bench-report -- --out custom.json
 //! cargo run --release -p wdm-bench --bin bench-report -- --smoke # CI-sized run
 //! ```
@@ -27,12 +27,19 @@
 //!   (the run fails on any mismatch). Speedup is hardware-dependent: on a
 //!   single-core runner the threaded figures include coordination overhead
 //!   for no gain, and the JSON reports whatever the machine delivered.
+//! * **serve-mode grant latency** at `k = 64, d = 7`: an in-process
+//!   `wdm-serve` daemon on a loopback socket, free-running its slot clock,
+//!   driven closed-loop by `wdm_loadgen::run` for each of FA (non-circular),
+//!   BFA and the approximation (circular). The rows report p50/p99 grant
+//!   latency (submit → GRANT frame, whole TCP round trip included) and the
+//!   observed slots/sec — the end-to-end numbers that sit alongside the
+//!   ns-per-slot rows above. A run with any `InvalidRequest` deny fails.
 //!
 //! `--smoke` shrinks the slot counts ~10× for CI smoke jobs: same checks,
 //! same schema, noisier timings.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use wdm_alloc_count::CountingAlloc;
@@ -40,6 +47,8 @@ use wdm_bench::{bench_rng, random_mask, random_request_vector};
 use wdm_core::{
     ChannelMask, Conversion, Error, FiberScheduler, Policy, RequestVector, ScratchArena,
 };
+use wdm_loadgen::{LoadgenConfig, Mode};
+use wdm_serve::{EngineConfig, Server, ServerConfig};
 use wdm_sim::experiment::{run_sweep_with_threads, DegreeSpec, SweepConfig};
 
 #[global_allocator]
@@ -93,12 +102,30 @@ struct SweepBench {
 }
 
 #[derive(Debug, Serialize)]
+struct ServeBench {
+    algorithm: String,
+    n: usize,
+    k: usize,
+    degree: usize,
+    circular: bool,
+    load: f64,
+    batches: u64,
+    requests: u64,
+    grants: u64,
+    slots: u64,
+    slots_per_sec: f64,
+    p50_grant_latency_ns: u64,
+    p99_grant_latency_ns: u64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     schema: String,
     debug_assertions: bool,
     smoke: bool,
     available_parallelism: usize,
     slot_benchmarks: Vec<SlotBench>,
+    serve_benchmarks: Vec<ServeBench>,
     sweep: SweepBench,
 }
 
@@ -182,6 +209,95 @@ fn fill_ratios(benches: &mut [SlotBench]) {
             .find(|&&(k, d, _)| k == bench.k && d == bench.degree)
             .map(|&(_, _, fa_ns)| bench.ns_per_slot / fa_ns);
     }
+}
+
+/// Serve-mode grid: the bench hot point (`k = 64, d = 7`) at a small fiber
+/// count so the loopback session, not the matching, dominates the cost being
+/// measured. FA requires a non-circular converter; BFA and the
+/// approximation require a circular one (enforced at engine construction).
+const SERVE_N: usize = 2;
+const SERVE_K: usize = 64;
+const SERVE_DEGREE: usize = 7;
+const SERVE_LOAD: f64 = 0.5;
+
+fn bench_serve_one(
+    algorithm: &str,
+    policy: Policy,
+    circular: bool,
+    batches: u64,
+) -> Result<ServeBench, String> {
+    let conv = if circular {
+        Conversion::symmetric_circular(SERVE_K, SERVE_DEGREE)
+    } else {
+        Conversion::symmetric_non_circular(SERVE_K, SERVE_DEGREE)
+    }
+    .map_err(|err| err.to_string())?;
+    let config = ServerConfig {
+        engine: EngineConfig::new(SERVE_N, conv, policy),
+        slot_period: Duration::ZERO,
+        max_slots: None,
+    };
+    let server = Server::bind("127.0.0.1:0", config).map_err(|err| err.to_string())?;
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let report = wdm_loadgen::run(&LoadgenConfig {
+        addr,
+        mode: Mode::Closed,
+        load: SERVE_LOAD,
+        batches,
+        seed: 0xB4,
+        mean_duration: 2.0,
+        shutdown_server: true,
+    })
+    .map_err(|err| err.to_string())?;
+    let server_report = handle
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|err| err.to_string())?;
+
+    if server_report.grants != report.grants {
+        return Err(format!(
+            "{algorithm}: server granted {} but the load generator observed {}",
+            server_report.grants, report.grants
+        ));
+    }
+    if !report.clean() {
+        return Err(format!(
+            "{algorithm}: {} InvalidRequest denies — a protocol or admission bug",
+            report.denies_invalid
+        ));
+    }
+    if report.grants == 0 {
+        return Err(format!("{algorithm}: a {SERVE_LOAD}-load session granted nothing"));
+    }
+    Ok(ServeBench {
+        algorithm: algorithm.to_string(),
+        n: SERVE_N,
+        k: SERVE_K,
+        degree: SERVE_DEGREE,
+        circular,
+        load: SERVE_LOAD,
+        batches,
+        requests: report.requests,
+        grants: report.grants,
+        slots: report.slots,
+        slots_per_sec: report.slots_per_sec,
+        p50_grant_latency_ns: report.p50_grant_latency_ns,
+        p99_grant_latency_ns: report.p99_grant_latency_ns,
+    })
+}
+
+fn bench_serve(smoke: bool) -> Result<Vec<ServeBench>, String> {
+    let batches: u64 = if smoke { 200 } else { 2_000 };
+    [
+        ("fa", Policy::FirstAvailable, false),
+        ("bfa", Policy::BreakFirstAvailable, true),
+        ("approx", Policy::Approximate, true),
+    ]
+    .into_iter()
+    .map(|(algorithm, policy, circular)| bench_serve_one(algorithm, policy, circular, batches))
+    .collect()
 }
 
 fn sweep_config(smoke: bool) -> SweepConfig {
@@ -328,6 +444,22 @@ fn run(out_path: &str, smoke: bool) -> Result<(), String> {
         }
     }
 
+    let serve_benchmarks = bench_serve(smoke).map_err(|err| format!("serve bench: {err}"))?;
+    for bench in &serve_benchmarks {
+        eprintln!(
+            "serve {:>6} N={} k={} d={}: p50 {:>9} ns, p99 {:>9} ns, {:>8.0} slots/s ({} grants/{} requests)",
+            bench.algorithm,
+            bench.n,
+            bench.k,
+            bench.degree,
+            bench.p50_grant_latency_ns,
+            bench.p99_grant_latency_ns,
+            bench.slots_per_sec,
+            bench.grants,
+            bench.requests
+        );
+    }
+
     let sweep = bench_sweep(smoke).map_err(|err| format!("sweep bench: {err}"))?;
     eprintln!(
         "sweep ({} points x {} slots): sequential {:.1} ms",
@@ -347,11 +479,12 @@ fn run(out_path: &str, smoke: bool) -> Result<(), String> {
     }
 
     let report = BenchReport {
-        schema: "wdm-bench/BENCH_3".to_string(),
+        schema: "wdm-bench/BENCH_4".to_string(),
         debug_assertions: cfg!(debug_assertions),
         smoke,
         available_parallelism: available,
         slot_benchmarks,
+        serve_benchmarks,
         sweep,
     };
     let json =
@@ -363,7 +496,7 @@ fn run(out_path: &str, smoke: bool) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_3.json".to_string();
+    let mut out_path = "BENCH_4.json".to_string();
     let mut smoke = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {

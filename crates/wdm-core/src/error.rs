@@ -132,11 +132,17 @@ pub enum Error {
         /// Index of the backing word holding the stray bit.
         word: usize,
     },
+    /// A policy name (CLI flag, trace file, wire frame) did not match any
+    /// [`crate::Policy`] variant.
+    UnknownPolicy {
+        /// The unrecognized name.
+        name: String,
+    },
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
+        match self {
             Error::ZeroWavelengths => write!(out, "k (wavelengths per fiber) must be >= 1"),
             Error::InvalidWavelength { wavelength, k } => {
                 write!(out, "wavelength index {wavelength} out of range 0..{k}")
@@ -144,7 +150,7 @@ impl fmt::Display for Error {
             Error::DegreeTooLarge { e, f, k } => write!(
                 out,
                 "conversion degree e + f + 1 = {} exceeds k = {k}; use Conversion::full for full-range",
-                e + f + 1
+                *e + *f + 1
             ),
             Error::DegreeNotOdd { degree } => {
                 write!(out, "symmetric conversion degree must be odd, got {degree}")
@@ -160,7 +166,7 @@ impl fmt::Display for Error {
                 write!(out, "{algorithm} requires {requires}")
             }
             Error::AlreadyMatched { left_side, index } => {
-                let side = if left_side { "left (request)" } else { "right (channel)" };
+                let side = if *left_side { "left (request)" } else { "right (channel)" };
                 write!(out, "{side} vertex {index} is already matched")
             }
             Error::NotAnEdge { left, right } => {
@@ -200,6 +206,9 @@ impl fmt::Display for Error {
             }
             Error::MaskPaddingCorrupt { word } => {
                 write!(out, "channel mask padding bits set in backing word {word}")
+            }
+            Error::UnknownPolicy { name } => {
+                write!(out, "unknown scheduling policy `{name}` (expected auto|fa|bfa|approx|hk)")
             }
         }
     }

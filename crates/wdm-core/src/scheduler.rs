@@ -39,6 +39,41 @@ pub enum Policy {
     HopcroftKarp,
 }
 
+impl Policy {
+    /// The stable short name used in CLI flags, trace files, and wire
+    /// frames. Round-trips through [`Policy::from_str`].
+    pub const fn name(self) -> &'static str {
+        match self {
+            Policy::Auto => "auto",
+            Policy::FirstAvailable => "fa",
+            Policy::BreakFirstAvailable => "bfa",
+            Policy::Approximate => "approx",
+            Policy::HopcroftKarp => "hk",
+        }
+    }
+}
+
+impl core::fmt::Display for Policy {
+    fn fmt(&self, out: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        out.write_str(self.name())
+    }
+}
+
+impl core::str::FromStr for Policy {
+    type Err = Error;
+
+    fn from_str(name: &str) -> Result<Policy, Error> {
+        match name {
+            "auto" => Ok(Policy::Auto),
+            "fa" => Ok(Policy::FirstAvailable),
+            "bfa" => Ok(Policy::BreakFirstAvailable),
+            "approx" => Ok(Policy::Approximate),
+            "hk" => Ok(Policy::HopcroftKarp),
+            other => Err(Error::UnknownPolicy { name: other.to_owned() }),
+        }
+    }
+}
+
 /// The decision for one output fiber in one time slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
@@ -407,5 +442,24 @@ mod tests {
             .schedule_with_mask(&rv, &mask)
             .unwrap();
         assert_eq!(hk.granted(), bfa.granted());
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        let all = [
+            Policy::Auto,
+            Policy::FirstAvailable,
+            Policy::BreakFirstAvailable,
+            Policy::Approximate,
+            Policy::HopcroftKarp,
+        ];
+        for p in all {
+            assert_eq!(p.name().parse::<Policy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert!(matches!(
+            "nonsense".parse::<Policy>(),
+            Err(Error::UnknownPolicy { ref name }) if name == "nonsense"
+        ));
     }
 }

@@ -7,15 +7,12 @@
 //! requests with round-robin fairness, and the resulting fabric
 //! configuration is checked against the physical datapath model.
 
-use wdm_core::{
-    ChannelMask, Conversion, Error, FiberScheduler, Policy, RequestVector, ScratchArena,
-};
+use wdm_core::{ChannelMask, Conversion, Error, Policy};
 
-use crate::arbitration::GrantResolver;
-use crate::connection::{ConnectionRequest, Grant, RejectReason, Rejection, SlotResult};
+use crate::connection::{ConnectionRequest, RejectReason, Rejection, SlotResult};
 use crate::distributed::run_per_fiber;
 use crate::fabric::CrossbarState;
-use crate::rearrange::rearrange_fiber;
+use crate::shard::FiberUnit;
 
 /// What happens to in-flight multi-slot connections at scheduling time
 /// (paper §V).
@@ -79,52 +76,21 @@ impl InterconnectConfig {
     }
 }
 
-/// An in-flight connection on one output fiber.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ActiveConn {
-    src_fiber: usize,
-    src_wavelength: usize,
-    output_wavelength: usize,
-    remaining: u32,
-}
-
-/// Per-output-fiber mutable state.
-///
-/// Each fiber owns its [`ScratchArena`] and the reusable request/mask
-/// buffers, so the per-slot scheduling loop allocates nothing at steady
-/// state. [`crate::distributed::run_per_fiber`] hands each worker thread a
-/// disjoint chunk of `FiberState`s: a worker owns the arenas of exactly the
-/// fibers it schedules — no sharing, no locks.
-#[derive(Debug, Clone)]
-struct FiberState {
-    scheduler: FiberScheduler,
-    resolver: GrantResolver,
-    actives: Vec<ActiveConn>,
-    arena: ScratchArena,
-    requests: RequestVector,
-    mask: ChannelMask,
-    /// This slot's outcome, written in place by [`schedule_fiber`] so the
-    /// per-slot loop reuses the buffers instead of returning fresh `Vec`s.
-    outcome: FiberOutcome,
-}
-
-/// Outcome of scheduling one fiber for one slot. The vectors are cleared
-/// and refilled each slot.
-#[derive(Debug, Clone, Default)]
-struct FiberOutcome {
-    grants: Vec<Grant>,
-    contention: Vec<ConnectionRequest>,
-    rearranged: usize,
-}
-
 /// The slotted `N×N` wavelength-convertible interconnect.
+///
+/// Each output fiber is a [`FiberUnit`] — the same shard type the
+/// `wdm-serve` daemon runs — owning its arena and reusable buffers, so the
+/// per-slot scheduling loop allocates nothing at steady state.
+/// [`crate::distributed::run_per_fiber`] hands each worker thread a disjoint
+/// chunk of units: a worker owns the arenas of exactly the fibers it
+/// schedules — no sharing, no locks.
 #[derive(Debug, Clone)]
 pub struct Interconnect {
     n: usize,
     conversion: Conversion,
     hold: HoldPolicy,
     threads: usize,
-    fibers: Vec<FiberState>,
+    fibers: Vec<FiberUnit>,
     slot: u64,
     /// Per-slot scratch: which input channels already carry a connection
     /// (or claimed a request earlier this slot). Reused across slots.
@@ -141,16 +107,8 @@ impl Interconnect {
         }
         let k = config.conversion.k();
         let fibers = (0..config.n)
-            .map(|_| FiberState {
-                scheduler: FiberScheduler::new(config.conversion, config.policy),
-                resolver: GrantResolver::new(config.n, k),
-                actives: Vec::new(),
-                arena: ScratchArena::for_k(k),
-                requests: RequestVector::new(k),
-                mask: ChannelMask::all_free(k),
-                outcome: FiberOutcome::default(),
-            })
-            .collect();
+            .map(|_| FiberUnit::new(config.n, config.conversion, config.policy))
+            .collect::<Result<Vec<_>, Error>>()?;
         Ok(Interconnect {
             n: config.n,
             conversion: config.conversion,
@@ -185,7 +143,7 @@ impl Interconnect {
 
     /// Number of in-flight connections.
     pub fn active_connections(&self) -> usize {
-        self.fibers.iter().map(|f| f.actives.len()).sum()
+        self.fibers.iter().map(|f| f.actives().len()).sum()
     }
 
     /// The channel availability of output fiber `fiber`.
@@ -194,20 +152,14 @@ impl Interconnect {
     ///
     /// Panics if `fiber >= n`.
     pub fn occupied_mask(&self, fiber: usize) -> ChannelMask {
-        let mut mask = ChannelMask::all_free(self.k());
-        for a in &self.fibers[fiber].actives {
-            if mask.set_occupied(a.output_wavelength).is_err() {
-                unreachable!("active channel is in range");
-            }
-        }
-        mask
+        self.fibers[fiber].occupied_mask()
     }
 
     /// The current switching-fabric configuration.
     pub fn crossbar(&self) -> CrossbarState {
         let mut xb = CrossbarState::new(self.n, self.k());
         for (o, fiber) in self.fibers.iter().enumerate() {
-            for a in &fiber.actives {
+            for a in fiber.actives() {
                 if xb.connect(a.src_fiber, a.src_wavelength, o, a.output_wavelength).is_err() {
                     unreachable!("active connections are mutually consistent");
                 }
@@ -244,23 +196,14 @@ impl Interconnect {
 
         // 1. Age in-flight connections; completed ones free their channels
         //    for this slot's scheduling.
-        let mut completed = 0usize;
-        for fiber in &mut self.fibers {
-            let before = fiber.actives.len();
-            fiber.actives.retain_mut(|a| {
-                a.remaining -= 1;
-                a.remaining > 0
-            });
-            completed += before - fiber.actives.len();
-        }
-        out.completed = completed;
+        out.completed = self.fibers.iter_mut().map(FiberUnit::age).sum();
 
         // 2. Source-side admission: an input channel still carrying an
         //    earlier connection (or already claimed by an earlier request in
         //    this same slot) cannot launch a new one.
         self.input_busy.fill(false);
         for fiber in &self.fibers {
-            for a in &fiber.actives {
+            for a in fiber.actives() {
                 self.input_busy[a.src_fiber * k + a.src_wavelength] = true;
             }
         }
@@ -279,29 +222,21 @@ impl Interconnect {
 
         // 3. The N independent per-fiber schedulers (the paper's
         //    distributed step), optionally across worker threads. Each
-        //    fiber's outcome lands in its own reused buffers.
+        //    unit's outcome lands in its own reused buffers, and granted
+        //    connections latch into the unit's active table in place.
         let hold = self.hold;
-        let conversion = self.conversion;
         run_per_fiber(&mut self.fibers, &self.per_fiber, self.threads, |_, fiber, candidates| {
-            schedule_fiber(&conversion, hold, fiber, candidates);
+            let _ = fiber.schedule(hold, candidates);
         });
 
-        // 4. Latch grants into the fabric state.
-        for fiber in &mut self.fibers {
-            out.rearranged += fiber.outcome.rearranged;
-            for g in &fiber.outcome.grants {
-                fiber.actives.push(ActiveConn {
-                    src_fiber: g.request.src_fiber,
-                    src_wavelength: g.request.src_wavelength,
-                    output_wavelength: g.output_wavelength,
-                    remaining: g.request.duration,
-                });
-            }
-            out.grants.extend_from_slice(&fiber.outcome.grants);
+        // 4. Aggregate the per-fiber outcomes in fiber order.
+        for fiber in &self.fibers {
+            let outcome = fiber.outcome();
+            out.rearranged += outcome.rearranged();
+            out.grants.extend_from_slice(outcome.grants());
             out.rejections.extend(
-                fiber
-                    .outcome
-                    .contention
+                outcome
+                    .contention()
                     .iter()
                     .map(|&request| Rejection { request, reason: RejectReason::OutputContention }),
             );
@@ -313,97 +248,6 @@ impl Interconnect {
         );
         self.slot += 1;
         Ok(())
-    }
-}
-
-/// Schedules one output fiber for one slot, writing into `fiber.outcome`
-/// (buffers reused across slots; allocation-free at steady state on the
-/// non-disturb packet path).
-fn schedule_fiber(
-    conversion: &Conversion,
-    hold: HoldPolicy,
-    fiber: &mut FiberState,
-    candidates: &[ConnectionRequest],
-) {
-    let k = conversion.k();
-    match hold {
-        HoldPolicy::NonDisturb => {
-            fiber.requests.clear();
-            for c in candidates {
-                if fiber.requests.add(c.src_wavelength).is_err() {
-                    unreachable!("validated request");
-                }
-            }
-            fiber.mask.reset_all_free();
-            for a in &fiber.actives {
-                if fiber.mask.set_occupied(a.output_wavelength).is_err() {
-                    unreachable!("active channel in range");
-                }
-            }
-            // `schedule_slot` reuses the fiber's arena (no allocations at
-            // steady state) and runs the full matching certificate behind a
-            // debug assertion, so every per-fiber scheduling decision is
-            // verified maximum in debug builds.
-            let Ok(_stats) =
-                fiber.scheduler.schedule_slot(&fiber.requests, &fiber.mask, &mut fiber.arena)
-            else {
-                unreachable!("validated dimensions")
-            };
-            fiber.resolver.resolve_into(
-                fiber.arena.assignments(),
-                candidates,
-                &mut fiber.outcome.grants,
-                &mut fiber.outcome.contention,
-            );
-            fiber.outcome.rearranged = 0;
-        }
-        HoldPolicy::Rearrange => {
-            let active_w: Vec<usize> = fiber.actives.iter().map(|a| a.src_wavelength).collect();
-            let new_w: Vec<usize> = candidates.iter().map(|c| c.src_wavelength).collect();
-            let Ok(outcome) =
-                rearrange_fiber(conversion, &active_w, &new_w, &ChannelMask::all_free(k))
-            else {
-                unreachable!("in-flight connections are always placeable")
-            };
-            // Debug-build certificate: every assigned channel is used once
-            // and every placement respects the conversion range.
-            debug_assert!(
-                {
-                    let mut used = vec![false; k];
-                    let all =
-                        outcome.active_channels.iter().zip(&active_w).map(|(&u, &w)| (w, u)).chain(
-                            outcome
-                                .request_channels
-                                .iter()
-                                .zip(&new_w)
-                                .filter_map(|(u, &w)| u.map(|u| (w, u))),
-                        );
-                    all.fold(true, |ok, (w, u)| {
-                        let fresh = !std::mem::replace(&mut used[u], true);
-                        ok && fresh && conversion.converts(w, u)
-                    })
-                },
-                "rearrangement produced an infeasible channel assignment"
-            );
-            let mut rearranged = 0usize;
-            for (a, &u) in fiber.actives.iter_mut().zip(&outcome.active_channels) {
-                if a.output_wavelength != u {
-                    a.output_wavelength = u;
-                    rearranged += 1;
-                }
-            }
-            fiber.outcome.grants.clear();
-            fiber.outcome.contention.clear();
-            for (c, assigned) in candidates.iter().zip(&outcome.request_channels) {
-                match assigned {
-                    Some(u) => {
-                        fiber.outcome.grants.push(Grant { request: *c, output_wavelength: *u });
-                    }
-                    None => fiber.outcome.contention.push(*c),
-                }
-            }
-            fiber.outcome.rearranged = rearranged;
-        }
     }
 }
 

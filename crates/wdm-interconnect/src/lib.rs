@@ -19,7 +19,10 @@
 //!   channel but are never dropped;
 //! * [`distributed`] — running the `N` independent per-fiber schedulers
 //!   across worker threads (the paper's distributed claim, exercised for
-//!   real).
+//!   real);
+//! * [`shard`] — the per-output-fiber scheduling unit ([`FiberUnit`])
+//!   shared by the offline [`Interconnect`] and the `wdm-serve` daemon's
+//!   destination shards, so both drive the identical decision path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,9 +36,11 @@ pub mod fabric;
 pub mod fcfs;
 pub mod interconnect;
 pub mod rearrange;
+pub mod shard;
 
 pub use buffered::{BufferedInterconnect, BufferedSlotResult, QueueDiscipline, Transmission};
 pub use connection::{ConnectionRequest, Grant, RejectReason, Rejection, SlotResult};
 pub use fabric::CrossbarState;
 pub use fcfs::FcfsSwitch;
 pub use interconnect::{HoldPolicy, Interconnect, InterconnectConfig};
+pub use shard::{ActiveLink, FiberOutcome, FiberUnit};

@@ -1,0 +1,394 @@
+//! The per-output-fiber scheduling unit — the shard API.
+//!
+//! A [`FiberUnit`] bundles everything one output fiber needs to make its
+//! per-slot decision: the [`FiberScheduler`] for the wavelength-level
+//! matching, the [`GrantResolver`] for round-robin request arbitration, the
+//! in-flight connection table, and the reused [`ScratchArena`] / request /
+//! mask buffers that keep the steady-state slot loop allocation-free.
+//!
+//! Both consumers of the paper's distributed architecture run on this one
+//! type: [`crate::Interconnect`] instantiates `N` units for the offline
+//! engine, and the `wdm-serve` daemon wraps one unit per destination-fiber
+//! shard. Sharing the code path is what makes a recorded daemon session
+//! replayable bit-for-bit through the offline engine — there is no second
+//! implementation to drift.
+
+use wdm_core::{
+    ChannelMask, Conversion, ConversionKind, Error, FiberScheduler, Policy, RequestVector,
+    ScratchArena,
+};
+
+use crate::arbitration::GrantResolver;
+use crate::connection::{ConnectionRequest, Grant};
+use crate::interconnect::HoldPolicy;
+use crate::rearrange::rearrange_fiber;
+
+/// An in-flight connection held on one output fiber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveLink {
+    /// Source input fiber.
+    pub src_fiber: usize,
+    /// Source wavelength.
+    pub src_wavelength: usize,
+    /// Output channel the connection occupies on this fiber.
+    pub output_wavelength: usize,
+    /// Slots left including the current one.
+    pub remaining: u32,
+}
+
+/// Outcome of scheduling one fiber for one slot. The vectors are cleared
+/// and refilled each slot — hold a reference only until the next
+/// [`FiberUnit::schedule`] call.
+#[derive(Debug, Clone, Default)]
+pub struct FiberOutcome {
+    grants: Vec<Grant>,
+    contention: Vec<ConnectionRequest>,
+    rearranged: usize,
+}
+
+impl FiberOutcome {
+    /// Requests granted this slot, in resolver order.
+    pub fn grants(&self) -> &[Grant] {
+        &self.grants
+    }
+
+    /// Requests that lost the output contention this slot, in candidate
+    /// order.
+    pub fn contention(&self) -> &[ConnectionRequest] {
+        &self.contention
+    }
+
+    /// In-flight connections moved to a different output channel this slot
+    /// (always 0 under [`HoldPolicy::NonDisturb`]).
+    pub fn rearranged(&self) -> usize {
+        self.rearranged
+    }
+}
+
+/// One output fiber's scheduling state: the paper's independent
+/// per-destination scheduler, packaged so `N` of them can run with no
+/// shared state (each unit owns its arena and buffers outright).
+#[derive(Debug, Clone)]
+pub struct FiberUnit {
+    n: usize,
+    conversion: Conversion,
+    scheduler: FiberScheduler,
+    resolver: GrantResolver,
+    actives: Vec<ActiveLink>,
+    arena: ScratchArena,
+    requests: RequestVector,
+    mask: ChannelMask,
+    outcome: FiberOutcome,
+}
+
+impl FiberUnit {
+    /// A unit for one output fiber of an `n`-fiber interconnect under the
+    /// given conversion scheme and policy.
+    /// Rejects a policy/conversion-kind mismatch up front (the same typed
+    /// [`Error::UnsupportedConversion`] the algorithms raise at schedule
+    /// time), so a misconfigured engine fails at construction rather than
+    /// mid-slot.
+    pub fn new(n: usize, conversion: Conversion, policy: Policy) -> Result<FiberUnit, Error> {
+        if n == 0 {
+            return Err(Error::ZeroFibers);
+        }
+        check_policy_kind(&conversion, policy)?;
+        let k = conversion.k();
+        Ok(FiberUnit {
+            n,
+            conversion,
+            scheduler: FiberScheduler::new(conversion, policy),
+            resolver: GrantResolver::new(n, k),
+            actives: Vec::new(),
+            arena: ScratchArena::for_k(k),
+            requests: RequestVector::new(k),
+            mask: ChannelMask::all_free(k),
+            outcome: FiberOutcome::default(),
+        })
+    }
+
+    /// Number of fibers per interconnect side.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The conversion scheme.
+    pub fn conversion(&self) -> &Conversion {
+        &self.conversion
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> Policy {
+        self.scheduler.policy()
+    }
+
+    /// The in-flight connections on this fiber.
+    pub fn actives(&self) -> &[ActiveLink] {
+        &self.actives
+    }
+
+    /// The channel availability implied by the in-flight connections.
+    pub fn occupied_mask(&self) -> ChannelMask {
+        let mut mask = ChannelMask::all_free(self.conversion.k());
+        for a in &self.actives {
+            if mask.set_occupied(a.output_wavelength).is_err() {
+                unreachable!("active channel is in range");
+            }
+        }
+        mask
+    }
+
+    /// Ages in-flight connections by one slot at slot start; completed
+    /// connections free their channels for this slot's scheduling. Returns
+    /// how many completed.
+    pub fn age(&mut self) -> usize {
+        let before = self.actives.len();
+        self.actives.retain_mut(|a| {
+            a.remaining -= 1;
+            a.remaining > 0
+        });
+        before - self.actives.len()
+    }
+
+    /// The outcome written by the last [`Self::schedule`] call.
+    pub fn outcome(&self) -> &FiberOutcome {
+        &self.outcome
+    }
+
+    /// Schedules this fiber for one slot: `candidates` are the already
+    /// source-validated requests destined to this fiber, in arrival order.
+    /// Granted connections are latched into the active table immediately.
+    ///
+    /// The outcome lands in reused buffers ([`Self::outcome`]); at steady
+    /// state the non-disturb path performs zero heap allocations (pinned by
+    /// the counting-allocator tests in `wdm-alloc-count`). In debug builds
+    /// every schedule passes the full matching certificate inside
+    /// [`FiberScheduler::schedule_slot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (via `unreachable!`) if a candidate was not validated against
+    /// this unit's dimensions — callers must validate first.
+    pub fn schedule(
+        &mut self,
+        hold: HoldPolicy,
+        candidates: &[ConnectionRequest],
+    ) -> &FiberOutcome {
+        match hold {
+            HoldPolicy::NonDisturb => self.schedule_non_disturb(candidates),
+            HoldPolicy::Rearrange => self.schedule_rearrange(candidates),
+        }
+        for g in &self.outcome.grants {
+            self.actives.push(ActiveLink {
+                src_fiber: g.request.src_fiber,
+                src_wavelength: g.request.src_wavelength,
+                output_wavelength: g.output_wavelength,
+                remaining: g.request.duration,
+            });
+        }
+        &self.outcome
+    }
+
+    /// §V non-disturb: occupied channels leave the request graph; the
+    /// wavelength-level matching runs over the free ones.
+    fn schedule_non_disturb(&mut self, candidates: &[ConnectionRequest]) {
+        self.requests.clear();
+        for c in candidates {
+            if self.requests.add(c.src_wavelength).is_err() {
+                unreachable!("validated request");
+            }
+        }
+        self.mask.reset_all_free();
+        for a in &self.actives {
+            if self.mask.set_occupied(a.output_wavelength).is_err() {
+                unreachable!("active channel in range");
+            }
+        }
+        // `schedule_slot` reuses the unit's arena (no allocations at steady
+        // state) and runs the full matching certificate behind a debug
+        // assertion, so every per-fiber scheduling decision is verified
+        // maximum in debug builds.
+        let Ok(_stats) = self.scheduler.schedule_slot(&self.requests, &self.mask, &mut self.arena)
+        else {
+            unreachable!("validated dimensions")
+        };
+        self.resolver.resolve_into(
+            self.arena.assignments(),
+            candidates,
+            &mut self.outcome.grants,
+            &mut self.outcome.contention,
+        );
+        self.outcome.rearranged = 0;
+    }
+
+    /// §V rearrangement: in-flight connections may move to another channel
+    /// (never dropped); all `k` channels participate.
+    fn schedule_rearrange(&mut self, candidates: &[ConnectionRequest]) {
+        let k = self.conversion.k();
+        let active_w: Vec<usize> = self.actives.iter().map(|a| a.src_wavelength).collect();
+        let new_w: Vec<usize> = candidates.iter().map(|c| c.src_wavelength).collect();
+        let Ok(outcome) =
+            rearrange_fiber(&self.conversion, &active_w, &new_w, &ChannelMask::all_free(k))
+        else {
+            unreachable!("in-flight connections are always placeable")
+        };
+        // Debug-build certificate: every assigned channel is used once and
+        // every placement respects the conversion range.
+        debug_assert!(
+            {
+                let mut used = vec![false; k];
+                let all =
+                    outcome.active_channels.iter().zip(&active_w).map(|(&u, &w)| (w, u)).chain(
+                        outcome
+                            .request_channels
+                            .iter()
+                            .zip(&new_w)
+                            .filter_map(|(u, &w)| u.map(|u| (w, u))),
+                    );
+                all.fold(true, |ok, (w, u)| {
+                    let fresh = !std::mem::replace(&mut used[u], true);
+                    ok && fresh && self.conversion.converts(w, u)
+                })
+            },
+            "rearrangement produced an infeasible channel assignment"
+        );
+        let mut rearranged = 0usize;
+        for (a, &u) in self.actives.iter_mut().zip(&outcome.active_channels) {
+            if a.output_wavelength != u {
+                a.output_wavelength = u;
+                rearranged += 1;
+            }
+        }
+        self.outcome.grants.clear();
+        self.outcome.contention.clear();
+        for (c, assigned) in candidates.iter().zip(&outcome.request_channels) {
+            match assigned {
+                Some(u) => {
+                    self.outcome.grants.push(Grant { request: *c, output_wavelength: *u });
+                }
+                None => self.outcome.contention.push(*c),
+            }
+        }
+        self.outcome.rearranged = rearranged;
+    }
+}
+
+/// The policy/conversion-kind compatibility matrix (mirrors the guards
+/// inside the per-slot algorithms, which this check makes unreachable):
+/// FA needs non-circular; BFA and the approximation need circular (full
+/// range included); Auto and Hopcroft–Karp accept everything.
+fn check_policy_kind(conversion: &Conversion, policy: Policy) -> Result<(), Error> {
+    match policy {
+        Policy::Auto | Policy::HopcroftKarp => Ok(()),
+        Policy::FirstAvailable => {
+            if conversion.kind() == ConversionKind::NonCircular {
+                Ok(())
+            } else {
+                Err(Error::UnsupportedConversion {
+                    algorithm: "First Available",
+                    requires:
+                        "non-circular conversion (use Break and First Available for circular)",
+                })
+            }
+        }
+        Policy::BreakFirstAvailable => {
+            if conversion.is_full() || conversion.kind() == ConversionKind::Circular {
+                Ok(())
+            } else {
+                Err(Error::UnsupportedConversion {
+                    algorithm: "Break and First Available",
+                    requires: "circular conversion (use First Available for non-circular)",
+                })
+            }
+        }
+        Policy::Approximate => {
+            if conversion.is_full() || conversion.kind() == ConversionKind::Circular {
+                Ok(())
+            } else {
+                Err(Error::UnsupportedConversion {
+                    algorithm: "single-break approximation",
+                    requires:
+                        "circular conversion (First Available is already exact and O(k) for non-circular)",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv() -> Conversion {
+        Conversion::symmetric_circular(6, 3).unwrap()
+    }
+
+    #[test]
+    fn grants_latch_into_actives() {
+        let mut unit = FiberUnit::new(4, conv(), Policy::Auto).unwrap();
+        let candidates =
+            vec![ConnectionRequest::burst(0, 0, 0, 3), ConnectionRequest::packet(1, 2, 0)];
+        let outcome = unit.schedule(HoldPolicy::NonDisturb, &candidates);
+        assert_eq!(outcome.grants().len(), 2);
+        assert_eq!(outcome.contention().len(), 0);
+        assert_eq!(unit.actives().len(), 2);
+        // Ageing completes the packet but not the burst.
+        assert_eq!(unit.age(), 1);
+        assert_eq!(unit.actives().len(), 1);
+        assert_eq!(unit.actives()[0].remaining, 2);
+    }
+
+    #[test]
+    fn occupied_mask_tracks_actives() {
+        let mut unit = FiberUnit::new(2, conv(), Policy::Auto).unwrap();
+        let _ = unit.schedule(HoldPolicy::NonDisturb, &[ConnectionRequest::burst(0, 2, 0, 5)]);
+        let held = unit.actives()[0].output_wavelength;
+        assert!(!unit.occupied_mask().is_free(held));
+        assert_eq!(unit.occupied_mask().free_count(), 5);
+    }
+
+    #[test]
+    fn contention_reported_in_candidate_order() {
+        // 7 requests into 6 channels: exactly one loses.
+        let mut unit = FiberUnit::new(4, conv(), Policy::Auto).unwrap();
+        let candidates: Vec<ConnectionRequest> =
+            [(0, 0), (1, 0), (2, 1), (3, 3), (0, 4), (1, 5), (2, 5)]
+                .iter()
+                .map(|&(fiber, w)| ConnectionRequest::packet(fiber, w, 0))
+                .collect();
+        let outcome = unit.schedule(HoldPolicy::NonDisturb, &candidates);
+        assert_eq!(outcome.grants().len(), 6);
+        assert_eq!(outcome.contention().len(), 1);
+    }
+
+    #[test]
+    fn zero_fibers_rejected() {
+        assert!(FiberUnit::new(0, conv(), Policy::Auto).is_err());
+    }
+
+    #[test]
+    fn policy_kind_mismatch_rejected_at_construction() {
+        let circular = Conversion::symmetric_circular(6, 3).unwrap();
+        let non_circular = Conversion::symmetric_non_circular(6, 1).unwrap();
+        let full = Conversion::full(6).unwrap();
+        assert!(matches!(
+            FiberUnit::new(2, circular, Policy::FirstAvailable),
+            Err(Error::UnsupportedConversion { .. })
+        ));
+        assert!(matches!(
+            FiberUnit::new(2, non_circular, Policy::BreakFirstAvailable),
+            Err(Error::UnsupportedConversion { .. })
+        ));
+        assert!(matches!(
+            FiberUnit::new(2, non_circular, Policy::Approximate),
+            Err(Error::UnsupportedConversion { .. })
+        ));
+        // Full range counts as circular for BFA/approx; every policy-less
+        // pairing still constructs.
+        assert!(FiberUnit::new(2, full, Policy::BreakFirstAvailable).is_ok());
+        assert!(FiberUnit::new(2, full, Policy::Approximate).is_ok());
+        assert!(FiberUnit::new(2, non_circular, Policy::FirstAvailable).is_ok());
+        assert!(FiberUnit::new(2, circular, Policy::Auto).is_ok());
+        assert!(FiberUnit::new(2, non_circular, Policy::HopcroftKarp).is_ok());
+    }
+}

@@ -1,0 +1,184 @@
+//! An HDR-style log-linear latency histogram.
+//!
+//! Values (nanoseconds) land in buckets whose width doubles every power of
+//! two but is subdivided into `2^5 = 32` linear sub-buckets, so any
+//! recorded value is reproduced at a quantile with at most ~3% relative
+//! error while the whole `u64` range fits in a couple of thousand counters.
+//! Recording is a shift, a mask, and an increment — cheap enough to sit on
+//! the load generator's per-reply path without perturbing what it measures.
+
+/// Linear sub-bucket bits per power-of-two range.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// One range of 32 sub-buckets per shift amount 0..=59, plus the 32 exact
+/// low buckets.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_COUNT as usize;
+
+/// A fixed-footprint log-linear histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram { counts: vec![0; BUCKETS], total: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at the given percentile (0–100): the lower bound of the
+    /// bucket holding the `ceil(total * p / 100)`-th recorded value, i.e.
+    /// within ~3% below the true order statistic. Returns 0 when empty.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // ceil without floats drifting: rank in 1..=total.
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0);
+        let rank = if rank.is_finite() { rank as u64 } else { self.total };
+        let rank = rank.min(self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_low(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB_COUNT {
+            return value as usize;
+        }
+        let exp = 63 - u64::from(value.leading_zeros());
+        let shift = exp - u64::from(SUB_BITS);
+        let mantissa = (value >> shift) - SUB_COUNT;
+        ((shift + 1) * SUB_COUNT + mantissa) as usize
+    }
+
+    fn bucket_low(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB_COUNT {
+            return index;
+        }
+        let shift = index / SUB_COUNT - 1;
+        let mantissa = index % SUB_COUNT;
+        (SUB_COUNT + mantissa) << shift
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_sub_count() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.value_at_percentile(50.0), 15);
+        assert_eq!(h.value_at_percentile(100.0), 31);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = LatencyHistogram::new();
+        let values = [100u64, 1_000, 10_000, 123_456, 9_876_543, 1_000_000_000];
+        for &v in &values {
+            h.record(v);
+        }
+        // Each recorded value round-trips through its bucket's lower bound
+        // within 1/32 relative error.
+        for (i, &v) in values.iter().enumerate() {
+            let p = 100.0 * (i + 1) as f64 / values.len() as f64;
+            let got = h.value_at_percentile(p);
+            let err = (v as f64 - got as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "v={v} got={got} err={err}");
+            assert!(got <= v, "bucket lower bound never overshoots");
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_range() {
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0..63 {
+            for off in [0u64, 1, 3] {
+                values.push((1u64 << shift) + off);
+            }
+        }
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let idx = LatencyHistogram::index(v);
+            assert!(idx < BUCKETS, "v={v} idx={idx}");
+            assert!(idx >= last, "index must not decrease");
+            last = idx;
+        }
+        let _ = LatencyHistogram::index(u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.value_at_percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn skewed_distribution_percentiles_ordered() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..10_000u64 {
+            h.record(1_000 + i * 17 % 50_000);
+        }
+        let p50 = h.value_at_percentile(50.0);
+        let p99 = h.value_at_percentile(99.0);
+        let p999 = h.value_at_percentile(99.9);
+        assert!(p50 <= p99 && p99 <= p999);
+        assert!(p999 <= h.max());
+    }
+}

@@ -1,0 +1,17 @@
+//! # wdm-loadgen
+//!
+//! Measures a running `wdm-serve` daemon: seeded [`wdm_sim::traffic`]
+//! request streams in open- or closed-loop pacing, with an HDR-style
+//! log-linear histogram of submit→GRANT latency (p50/p99/p999) and the
+//! observed slot rate. The [`LoadReport`] JSON is what BENCH_4's
+//! serve-mode rows and the CI smoke gate consume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod histogram;
+pub mod runner;
+
+pub use histogram::LatencyHistogram;
+pub use runner::{run, LoadReport, LoadgenConfig, Mode};

@@ -1,0 +1,316 @@
+//! The load-generation drivers: closed-loop (wait for every reply before
+//! the next batch) and open-loop (submit on a fixed cadence regardless of
+//! replies), both over seeded [`wdm_sim::traffic`] models so a run is
+//! reproducible from its seed.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use wdm_interconnect::ConnectionRequest;
+use wdm_serve::protocol::{DenyReason, Frame, ProtocolError, SubmitRequest};
+use wdm_serve::Client;
+use wdm_sim::traffic::{BernoulliUniform, DurationModel, TrafficModel};
+
+use crate::histogram::LatencyHistogram;
+
+/// How the generator paces itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Submit a batch, wait for all its replies, repeat — measures grant
+    /// latency under lockstep load (latency ≈ slot period).
+    Closed,
+    /// Submit a batch every `interval`, reading replies on a separate
+    /// thread — measures behavior when arrivals don't wait for service.
+    Open {
+        /// Gap between consecutive batch submissions.
+        interval: Duration,
+    },
+}
+
+/// Configuration of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Pacing mode.
+    pub mode: Mode,
+    /// Per-channel Bernoulli load in `[0, 1]`.
+    pub load: f64,
+    /// Traffic batches (slots of arrivals) to generate.
+    pub batches: u64,
+    /// RNG seed — same seed, same request stream.
+    pub seed: u64,
+    /// Mean connection holding time in slots (1 = optical packets).
+    pub mean_duration: f64,
+    /// Send SHUTDOWN to the daemon when done.
+    pub shutdown_server: bool,
+}
+
+/// What a run observed — the measurement artifact consumed by BENCH_4 and
+/// the CI smoke gate. Every field is load-bearing: dropping the report
+/// silently discards the measurement, hence `must_use`.
+#[derive(Debug, Clone, Serialize)]
+#[must_use]
+pub struct LoadReport {
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// Scheduling policy the server advertised.
+    pub policy: String,
+    /// Fibers per side.
+    pub n: u32,
+    /// Wavelengths per fiber.
+    pub k: u32,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests granted.
+    pub grants: u64,
+    /// Denies: shard admission queue full (overload, retryable).
+    pub denies_queue_full: u64,
+    /// Denies: source channel busy with an in-flight connection.
+    pub denies_source_busy: u64,
+    /// Denies: lost the wavelength-level output contention.
+    pub denies_contention: u64,
+    /// Denies: malformed/out-of-range request — always a bug somewhere.
+    pub denies_invalid: u64,
+    /// SLOT_COMPLETE frames observed.
+    pub slots: u64,
+    /// Wall-clock seconds over the measured section.
+    pub elapsed_s: f64,
+    /// Observed slot rate.
+    pub slots_per_sec: f64,
+    /// Grant latency percentiles, submit → GRANT frame received, in ns.
+    pub p50_grant_latency_ns: u64,
+    /// 99th percentile grant latency (ns).
+    pub p99_grant_latency_ns: u64,
+    /// 99.9th percentile grant latency (ns).
+    pub p999_grant_latency_ns: u64,
+    /// Largest observed grant latency (ns).
+    pub max_grant_latency_ns: u64,
+}
+
+impl LoadReport {
+    /// True when no reply indicated a bug (denies are fine; *invalid*
+    /// denies and protocol errors are not — that's the CI smoke gate).
+    pub fn clean(&self) -> bool {
+        self.denies_invalid == 0
+    }
+}
+
+/// Shared reply bookkeeping.
+#[derive(Debug, Default)]
+struct Tally {
+    grants: u64,
+    queue_full: u64,
+    source_busy: u64,
+    contention: u64,
+    invalid: u64,
+    slots: u64,
+}
+
+impl Tally {
+    /// Folds one frame in; returns how many outstanding replies it settled.
+    fn observe(&mut self, frame: &Frame) -> u64 {
+        match frame {
+            Frame::Grant { .. } => {
+                self.grants += 1;
+                1
+            }
+            Frame::Deny { reason, .. } => {
+                match reason {
+                    DenyReason::QueueFull => self.queue_full += 1,
+                    DenyReason::SourceBusy => self.source_busy += 1,
+                    DenyReason::OutputContention => self.contention += 1,
+                    DenyReason::InvalidRequest => self.invalid += 1,
+                }
+                1
+            }
+            Frame::SlotComplete { .. } => {
+                self.slots += 1;
+                0
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Runs one load-generation session against a live daemon.
+pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ProtocolError> {
+    let client = Client::connect(&config.addr)?;
+    let (n, k) = (client.n(), client.k());
+    let policy = client.policy().to_owned();
+    let duration = if config.mean_duration <= 1.0 {
+        DurationModel::Deterministic(1)
+    } else {
+        DurationModel::Geometric { mean: config.mean_duration }
+    };
+    let mut traffic = BernoulliUniform::new(n as usize, k as usize, config.load, duration);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let (mode_name, tally, hist, requests, elapsed) = match config.mode {
+        Mode::Closed => {
+            let (t, h, r, e) = run_closed(client, config, &mut traffic, &mut rng)?;
+            ("closed", t, h, r, e)
+        }
+        Mode::Open { interval } => {
+            let (t, h, r, e) = run_open(client, config, interval, &mut traffic, &mut rng)?;
+            ("open", t, h, r, e)
+        }
+    };
+
+    let elapsed_s = elapsed.as_secs_f64();
+    Ok(LoadReport {
+        mode: mode_name.to_owned(),
+        policy,
+        n,
+        k,
+        requests,
+        grants: tally.grants,
+        denies_queue_full: tally.queue_full,
+        denies_source_busy: tally.source_busy,
+        denies_contention: tally.contention,
+        denies_invalid: tally.invalid,
+        slots: tally.slots,
+        elapsed_s,
+        slots_per_sec: if elapsed_s > 0.0 { tally.slots as f64 / elapsed_s } else { 0.0 },
+        p50_grant_latency_ns: hist.value_at_percentile(50.0),
+        p99_grant_latency_ns: hist.value_at_percentile(99.0),
+        p999_grant_latency_ns: hist.value_at_percentile(99.9),
+        max_grant_latency_ns: hist.max(),
+    })
+}
+
+/// Converts one generated slot of traffic into a SUBMIT batch, assigning
+/// sequential ids starting at `next_id`.
+fn to_batch(requests: &[ConnectionRequest], next_id: &mut u64, out: &mut Vec<SubmitRequest>) {
+    out.clear();
+    for r in requests {
+        out.push(SubmitRequest {
+            id: *next_id,
+            src_fiber: u32::try_from(r.src_fiber).unwrap_or(u32::MAX),
+            src_wavelength: u32::try_from(r.src_wavelength).unwrap_or(u32::MAX),
+            dst_fiber: u32::try_from(r.dst_fiber).unwrap_or(u32::MAX),
+            duration: r.duration,
+        });
+        *next_id += 1;
+    }
+}
+
+fn run_closed(
+    mut client: Client,
+    config: &LoadgenConfig,
+    traffic: &mut BernoulliUniform,
+    rng: &mut StdRng,
+) -> Result<(Tally, LatencyHistogram, u64, Duration), ProtocolError> {
+    let mut tally = Tally::default();
+    let mut hist = LatencyHistogram::new();
+    let mut generated = Vec::new();
+    let mut batch = Vec::new();
+    let mut next_id = 0u64;
+    let mut requests = 0u64;
+    let start = Instant::now();
+    for slot in 0..config.batches {
+        traffic.generate_into(rng, slot, &mut generated);
+        to_batch(&generated, &mut next_id, &mut batch);
+        if batch.is_empty() {
+            continue;
+        }
+        requests += batch.len() as u64;
+        let submitted = Instant::now();
+        client.submit(&batch)?;
+        let mut outstanding = batch.len() as u64;
+        while outstanding > 0 {
+            let frame = client.next_frame()?;
+            if let Frame::Error { code, message } = frame {
+                return Err(ProtocolError::ServerError { code, message });
+            }
+            let settled = tally.observe(&frame);
+            if settled > 0 {
+                if matches!(frame, Frame::Grant { .. }) {
+                    let ns = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    hist.record(ns);
+                }
+                outstanding -= settled;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    if config.shutdown_server {
+        client.send_shutdown()?;
+        drain_until_close(&mut client);
+    }
+    Ok((tally, hist, requests, elapsed))
+}
+
+fn run_open(
+    client: Client,
+    config: &LoadgenConfig,
+    interval: Duration,
+    traffic: &mut BernoulliUniform,
+    rng: &mut StdRng,
+) -> Result<(Tally, LatencyHistogram, u64, Duration), ProtocolError> {
+    let (mut reader, mut writer) = client.into_split();
+    // Submit instants flow to the reader thread alongside the wire; ids are
+    // sequential so the reader indexes a growing Vec.
+    let (time_tx, time_rx) = std::sync::mpsc::channel::<Instant>();
+    let collector = std::thread::spawn(move || {
+        let mut tally = Tally::default();
+        let mut hist = LatencyHistogram::new();
+        let mut submit_times: Vec<Instant> = Vec::new();
+        // A read error — the server closing the socket after SHUTDOWN — is
+        // the normal end of an open-loop run.
+        while let Ok(frame) = reader.next_frame() {
+            let _ = tally.observe(&frame);
+            if let Frame::Grant { id, .. } = frame {
+                submit_times.extend(time_rx.try_iter());
+                if let Some(t0) = submit_times.get(id as usize) {
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    hist.record(ns);
+                }
+            }
+        }
+        (tally, hist)
+    });
+
+    let mut generated = Vec::new();
+    let mut batch = Vec::new();
+    let mut next_id = 0u64;
+    let mut requests = 0u64;
+    let start = Instant::now();
+    let mut next_send = start;
+    for slot in 0..config.batches {
+        traffic.generate_into(rng, slot, &mut generated);
+        to_batch(&generated, &mut next_id, &mut batch);
+        let now = Instant::now();
+        if let Some(sleep) = next_send.checked_duration_since(now) {
+            std::thread::sleep(sleep);
+        }
+        next_send += interval;
+        for _ in 0..batch.len() {
+            let _ = time_tx.send(Instant::now());
+        }
+        if !batch.is_empty() {
+            writer.submit(&batch)?;
+            requests += batch.len() as u64;
+        }
+    }
+    // Give in-flight replies a grace period, then stop the daemon (which
+    // closes the socket and ends the collector).
+    std::thread::sleep(interval.max(Duration::from_millis(20)) * 4);
+    let elapsed = start.elapsed();
+    if config.shutdown_server {
+        writer.send_shutdown()?;
+    }
+    drop(writer);
+    drop(time_tx);
+    let Ok((tally, hist)) = collector.join() else {
+        return Err(ProtocolError::Disconnected);
+    };
+    Ok((tally, hist, requests, elapsed))
+}
+
+/// Reads until the server closes the socket (post-SHUTDOWN drain).
+fn drain_until_close(client: &mut Client) {
+    while client.next_frame().is_ok() {}
+}

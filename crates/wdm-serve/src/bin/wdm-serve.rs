@@ -1,0 +1,173 @@
+//! `wdm-serve` — the slot-clocked scheduling daemon, plus offline trace
+//! replay.
+//!
+//! ```sh
+//! wdm-serve serve --addr 127.0.0.1:4780 --n 8 --k 64 --degree 7 \
+//!     --policy bfa --period-us 1000 --trace session.json
+//! wdm-serve replay --trace session.json      # differential gate
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use wdm_core::{Conversion, Policy};
+use wdm_serve::{EngineConfig, Server, ServerConfig};
+use wdm_sim::trace::SessionTrace;
+
+fn usage() -> &'static str {
+    "usage:\n  wdm-serve serve --addr <host:port> [--n <fibers>] [--k <wavelengths>]\n               [--degree <d>] [--non-circular] [--policy auto|fa|bfa|approx|hk]\n               [--period-us <us>] [--max-slots <slots>] [--queue-capacity <cap>]\n               [--trace <out.json>]\n  wdm-serve replay --trace <session.json>"
+}
+
+struct ServeArgs {
+    addr: String,
+    n: usize,
+    k: usize,
+    degree: usize,
+    circular: bool,
+    policy: Policy,
+    period_us: u64,
+    max_slots: Option<u64>,
+    queue_capacity: usize,
+    trace_path: Option<String>,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs {
+        addr: "127.0.0.1:4780".to_owned(),
+        n: 8,
+        k: 64,
+        degree: 7,
+        circular: true,
+        policy: Policy::Auto,
+        period_us: 1000,
+        max_slots: None,
+        queue_capacity: 1024,
+        trace_path: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => out.addr = value("--addr")?,
+            "--n" => out.n = parse_num(&value("--n")?, "--n")?,
+            "--k" => out.k = parse_num(&value("--k")?, "--k")?,
+            "--degree" => out.degree = parse_num(&value("--degree")?, "--degree")?,
+            "--non-circular" => out.circular = false,
+            "--policy" => {
+                let name = value("--policy")?;
+                out.policy = name.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--period-us" => out.period_us = parse_num(&value("--period-us")?, "--period-us")?,
+            "--max-slots" => {
+                out.max_slots = Some(parse_num(&value("--max-slots")?, "--max-slots")?);
+            }
+            "--queue-capacity" => {
+                out.queue_capacity = parse_num(&value("--queue-capacity")?, "--queue-capacity")?;
+            }
+            "--trace" => out.trace_path = Some(value("--trace")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse().map_err(|_| format!("{flag}: not a number: {text}"))
+}
+
+fn run_serve(args: &ServeArgs) -> Result<(), String> {
+    let conversion = if args.circular {
+        Conversion::symmetric_circular(args.k, args.degree)
+    } else {
+        Conversion::symmetric_non_circular(args.k, args.degree)
+    }
+    .map_err(|e| format!("conversion: {e}"))?;
+    let mut engine =
+        EngineConfig::new(args.n, conversion, args.policy).with_queue_capacity(args.queue_capacity);
+    if args.trace_path.is_some() {
+        engine = engine.with_trace();
+    }
+    let config = ServerConfig {
+        engine,
+        slot_period: Duration::from_micros(args.period_us),
+        max_slots: args.max_slots,
+    };
+    let server =
+        Server::bind(&args.addr, config).map_err(|e| format!("bind {}: {e}", args.addr))?;
+    eprintln!(
+        "wdm-serve: listening on {} (n={} k={} d={} {} policy={} period={}us)",
+        server.local_addr(),
+        args.n,
+        args.k,
+        args.degree,
+        if args.circular { "circular" } else { "non-circular" },
+        args.policy,
+        args.period_us,
+    );
+    let report = server.run().map_err(|e| format!("server: {e}"))?;
+    eprintln!(
+        "wdm-serve: done — {} slots, {} grants, {} denies, {} admission denies, {} connections",
+        report.slots, report.grants, report.denies, report.admission_denies, report.connections,
+    );
+    if let Some(path) = &args.trace_path {
+        let Some(trace) = report.trace else {
+            return Err("server produced no trace".to_owned());
+        };
+        let json = trace.to_json().map_err(|e| format!("serialize trace: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wdm-serve: wrote session trace to {path}");
+    }
+    Ok(())
+}
+
+fn run_replay(trace_path: &str) -> Result<(), String> {
+    let json =
+        std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
+    let trace = SessionTrace::from_json(&json).map_err(|e| format!("parse {trace_path}: {e}"))?;
+    let report = trace.replay().map_err(|e| format!("replay diverged: {e}"))?;
+    println!(
+        "replay ok: {} slots, {} grants bit-identical (policy {})",
+        report.slots, report.grants, trace.config.policy,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) if cmd == "serve" => parse_serve(rest).and_then(|a| run_serve(&a)),
+        Some((cmd, rest)) if cmd == "replay" => {
+            let mut trace_path = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                if arg == "--trace" {
+                    trace_path = it.next().cloned();
+                } else {
+                    eprintln!("unknown argument: {arg}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+            match trace_path {
+                Some(path) => run_replay(&path),
+                None => Err("replay needs --trace <session.json>".to_owned()),
+            }
+        }
+        Some((cmd, _)) if cmd == "--help" || cmd == "-h" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("wdm-serve: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

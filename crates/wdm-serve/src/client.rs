@@ -1,0 +1,115 @@
+//! A blocking protocol client, used by `wdm-loadgen` and the smoke tests.
+
+use std::net::TcpStream;
+
+use crate::protocol::{
+    read_frame, write_frame, Frame, ProtocolError, SubmitRequest, PROTOCOL_VERSION,
+};
+
+/// A connected, handshaken client.
+#[derive(Debug)]
+pub struct Client {
+    reader: ClientReader,
+    writer: ClientWriter,
+    n: u32,
+    k: u32,
+    policy: String,
+}
+
+/// The read half of a split [`Client`] (open-loop mode reads replies on a
+/// separate thread from the paced writer).
+#[derive(Debug)]
+pub struct ClientReader {
+    reader: std::io::BufReader<TcpStream>,
+}
+
+/// The write half of a split [`Client`].
+#[derive(Debug)]
+pub struct ClientWriter {
+    writer: std::io::BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects and runs the HELLO handshake.
+    pub fn connect(addr: &str) -> Result<Client, ProtocolError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone()?;
+        let mut writer = ClientWriter { writer: std::io::BufWriter::new(write_half) };
+        let mut reader = ClientReader { reader: std::io::BufReader::new(stream) };
+        writer.send(&Frame::Hello { version: PROTOCOL_VERSION })?;
+        match reader.next_frame()? {
+            Frame::HelloAck { version, n, k, policy } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ProtocolError::VersionMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+                Ok(Client { reader, writer, n, k, policy })
+            }
+            Frame::Error { code, message } => Err(ProtocolError::ServerError { code, message }),
+            _ => Err(ProtocolError::UnexpectedFrame { got: "frame", expected: "HELLO_ACK" }),
+        }
+    }
+
+    /// Fibers per side, as advertised by the server.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Wavelengths per fiber, as advertised by the server.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The server's scheduling policy short name.
+    pub fn policy(&self) -> &str {
+        &self.policy
+    }
+
+    /// Submits a batch of requests (one SUBMIT frame, flushed).
+    pub fn submit(&mut self, requests: &[SubmitRequest]) -> Result<(), ProtocolError> {
+        self.writer.submit(requests)
+    }
+
+    /// Reads the next server frame (GRANT, DENY, SLOT_COMPLETE, ERROR).
+    pub fn next_frame(&mut self) -> Result<Frame, ProtocolError> {
+        self.reader.next_frame()
+    }
+
+    /// Asks the daemon to finish the current slot and shut down.
+    pub fn send_shutdown(&mut self) -> Result<(), ProtocolError> {
+        self.writer.send(&Frame::Shutdown)
+    }
+
+    /// Splits into independently-owned read and write halves.
+    pub fn into_split(self) -> (ClientReader, ClientWriter) {
+        (self.reader, self.writer)
+    }
+}
+
+impl ClientReader {
+    /// Reads the next server frame.
+    pub fn next_frame(&mut self) -> Result<Frame, ProtocolError> {
+        read_frame(&mut self.reader)
+    }
+}
+
+impl ClientWriter {
+    /// Submits a batch of requests (one SUBMIT frame, flushed).
+    pub fn submit(&mut self, requests: &[SubmitRequest]) -> Result<(), ProtocolError> {
+        self.send(&Frame::Submit { requests: requests.to_vec() })
+    }
+
+    /// Asks the daemon to finish the current slot and shut down.
+    pub fn send_shutdown(&mut self) -> Result<(), ProtocolError> {
+        self.send(&Frame::Shutdown)
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ProtocolError> {
+        write_frame(&mut self.writer, frame)?;
+        std::io::Write::flush(&mut self.writer)?;
+        Ok(())
+    }
+}

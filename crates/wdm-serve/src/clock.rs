@@ -1,0 +1,100 @@
+//! The deterministic slot clock.
+//!
+//! The daemon's time base is a fixed-period tick: slot boundaries land at
+//! `start + i * period` regardless of how long each slot's scheduling took,
+//! so a slow slot is followed by shorter waits (catch-up) rather than by a
+//! drifting cadence. A zero period free-runs: slots fire back to back with
+//! no sleeping, which is what the load generator's throughput mode and the
+//! CI smoke job use.
+
+use std::time::{Duration, Instant};
+
+/// A fixed-cadence slot ticker.
+#[derive(Debug, Clone)]
+pub struct SlotClock {
+    period: Duration,
+    next: Instant,
+}
+
+impl SlotClock {
+    /// A clock ticking every `period`, starting one period from now.
+    /// `Duration::ZERO` free-runs.
+    pub fn new(period: Duration) -> SlotClock {
+        SlotClock { period, next: Instant::now() + period }
+    }
+
+    /// The slot period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Whether the clock free-runs (zero period).
+    pub fn free_running(&self) -> bool {
+        self.period.is_zero()
+    }
+
+    /// Time remaining until the next slot boundary (zero when overdue or
+    /// free-running) — how long intake may keep draining submissions.
+    pub fn remaining(&self) -> Duration {
+        if self.free_running() {
+            return Duration::ZERO;
+        }
+        self.next.saturating_duration_since(Instant::now())
+    }
+
+    /// Blocks until the next slot boundary and schedules the one after.
+    /// When the loop is behind, returns immediately (no sleep) but still
+    /// advances the boundary by exactly one period, so lateness is worked
+    /// off over subsequent slots instead of compounding.
+    pub fn wait(&mut self) {
+        if self.free_running() {
+            return;
+        }
+        let now = Instant::now();
+        if let Some(sleep) = self.next.checked_duration_since(now) {
+            std::thread::sleep(sleep);
+        }
+        self.next += self.period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_run_never_sleeps() {
+        let mut clock = SlotClock::new(Duration::ZERO);
+        let start = Instant::now();
+        for _ in 0..1000 {
+            clock.wait();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert!(clock.free_running());
+        assert_eq!(clock.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn cadence_is_fixed_not_drifting() {
+        let mut clock = SlotClock::new(Duration::from_millis(2));
+        let start = Instant::now();
+        for _ in 0..5 {
+            clock.wait();
+        }
+        let elapsed = start.elapsed();
+        // 5 ticks of 2 ms: at least 10 ms, and catch-up keeps it close.
+        assert!(elapsed >= Duration::from_millis(10), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn lateness_is_worked_off() {
+        let mut clock = SlotClock::new(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        // Several overdue boundaries: each wait returns without sleeping.
+        let start = Instant::now();
+        for _ in 0..4 {
+            clock.wait();
+        }
+        assert!(start.elapsed() < Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,507 @@
+//! The TCP-free slot engine: bounded per-destination admission queues in
+//! front of the offline [`Interconnect`].
+//!
+//! This is the daemon's whole decision core, deliberately free of any I/O
+//! so the differential and zero-allocation tests can drive it directly.
+//! Requests are admitted into one bounded queue per destination fiber (the
+//! shard boundary — the paper's per-output-fiber partition); each slot
+//! drains the queues in fiber order, FIFO within a fiber, and feeds the
+//! batch to [`Interconnect::advance_slot_into`], which runs the `N`
+//! independent [`wdm_interconnect::FiberUnit`] schedulers. Because the
+//! daemon and the offline engine execute the *same* code on the *same*
+//! input order, a recorded session replays bit-for-bit.
+//!
+//! Overload policy: admission never buffers without bound. A full shard
+//! queue denies immediately with [`DenyReason::QueueFull`] and a
+//! retry-after hint of one slot (queues drain fully every slot, so the
+//! hint is exact, not heuristic).
+//!
+//! At steady state (queues and scratch buffers grown to their working
+//! sizes, trace recording off) [`SlotEngine::run_slot`] performs zero heap
+//! allocations — pinned by the `wdm-alloc-count` regression.
+
+use std::collections::VecDeque;
+
+use wdm_core::{Conversion, ConversionKind, Error, Policy};
+use wdm_interconnect::{
+    ConnectionRequest, Interconnect, InterconnectConfig, RejectReason, SlotResult,
+};
+use wdm_sim::trace::{SessionTrace, TraceConfig};
+
+use crate::protocol::{DenyReason, SubmitRequest};
+
+/// Configuration of a [`SlotEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of input = output fibers (`N`).
+    pub n: usize,
+    /// The wavelength conversion scheme.
+    pub conversion: Conversion,
+    /// Wavelength-level scheduling policy.
+    pub policy: Policy,
+    /// Bounded admission-queue capacity per destination-fiber shard.
+    pub queue_capacity: usize,
+    /// Record a [`SessionTrace`] for offline replay (allocates per slot —
+    /// leave off when pinning the zero-allocation path).
+    pub record_trace: bool,
+}
+
+impl EngineConfig {
+    /// A config with the daemon's default shard queue capacity (1024).
+    pub fn new(n: usize, conversion: Conversion, policy: Policy) -> EngineConfig {
+        EngineConfig { n, conversion, policy, queue_capacity: 1024, record_trace: false }
+    }
+
+    /// Sets the per-shard admission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> EngineConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Enables session-trace recording.
+    pub fn with_trace(mut self) -> EngineConfig {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// The daemon's answer to one submitted request. Must be delivered — a
+/// dropped reply strands the client's request forever, hence `must_use`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub struct Reply {
+    /// Connection the submitting client arrived on.
+    pub conn: u64,
+    /// The client-chosen request id.
+    pub id: u64,
+    /// Slot the decision was made.
+    pub slot: u64,
+    /// Grant or deny.
+    pub verdict: Verdict,
+}
+
+/// The decision inside a [`Reply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Granted: an output channel was assigned on the destination fiber.
+    Granted {
+        /// Per-slot grant sequence number.
+        seq: u64,
+        /// The assigned output wavelength.
+        output_wavelength: u32,
+    },
+    /// Denied, with the reason and a retry hint.
+    Denied {
+        /// Why.
+        reason: DenyReason,
+        /// Slots to wait before resubmitting (0 = don't retry).
+        retry_after_slots: u32,
+    },
+}
+
+/// What one slot did, in aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub struct SlotSummary {
+    /// The slot that just ran (0-based).
+    pub slot: u64,
+    /// Requests drained from the shard queues into the engine.
+    pub admitted: usize,
+    /// Requests granted.
+    pub grants: usize,
+    /// Requests denied (source-busy + output contention).
+    pub denies: usize,
+    /// Earlier connections that completed at the start of this slot.
+    pub completed: usize,
+}
+
+/// A queued request remembering which connection and client id it answers.
+#[derive(Debug, Clone, Copy)]
+struct Tagged {
+    conn: u64,
+    id: u64,
+    request: ConnectionRequest,
+}
+
+/// Bounded per-destination admission queues feeding the offline engine —
+/// see the module docs for the full slot discipline.
+#[derive(Debug)]
+pub struct SlotEngine {
+    engine: Interconnect,
+    policy: Policy,
+    queue_capacity: usize,
+    queues: Vec<VecDeque<Tagged>>,
+    // Per-slot scratch, reused across slots (zero allocations at steady
+    // state): the drained batch, its (conn, id) tags, the engine result,
+    // and the consumed flags used to map grants back to tags.
+    batch: Vec<ConnectionRequest>,
+    tags: Vec<(u64, u64)>,
+    result: SlotResult,
+    consumed: Vec<bool>,
+    trace: Option<SessionTrace>,
+}
+
+impl SlotEngine {
+    /// Builds the engine. Fails on a zero-fiber config or if `n`/`k` do not
+    /// fit the wire protocol's `u32` fields.
+    pub fn new(config: EngineConfig) -> Result<SlotEngine, Error> {
+        let k = config.conversion.k();
+        if u32::try_from(config.n).is_err() || u32::try_from(k).is_err() {
+            return Err(Error::LengthMismatch {
+                expected: u32::MAX as usize,
+                actual: config.n.max(k),
+            });
+        }
+        let engine = Interconnect::new(
+            InterconnectConfig::packet_switch(config.n, config.conversion)
+                .with_policy(config.policy),
+        )?;
+        let trace = config.record_trace.then(|| {
+            let (e, f) = (config.conversion.e(), config.conversion.f());
+            let tc = if config.conversion.is_full() {
+                TraceConfig {
+                    n: config.n,
+                    k,
+                    e,
+                    f,
+                    kind: "full".to_owned(),
+                    policy: config.policy.name().to_owned(),
+                }
+            } else {
+                match config.conversion.kind() {
+                    ConversionKind::Circular => {
+                        TraceConfig::circular(config.n, k, e, f, config.policy)
+                    }
+                    ConversionKind::NonCircular => {
+                        TraceConfig::non_circular(config.n, k, e, f, config.policy)
+                    }
+                }
+            };
+            SessionTrace::new(tc)
+        });
+        Ok(SlotEngine {
+            engine,
+            policy: config.policy,
+            queue_capacity: config.queue_capacity.max(1),
+            queues: (0..config.n).map(|_| VecDeque::new()).collect(),
+            batch: Vec::new(),
+            tags: Vec::new(),
+            result: SlotResult::default(),
+            consumed: Vec::new(),
+            trace,
+        })
+    }
+
+    /// Number of fibers per side.
+    pub fn n(&self) -> usize {
+        self.engine.n()
+    }
+
+    /// Wavelengths per fiber.
+    pub fn k(&self) -> usize {
+        self.engine.k()
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The next slot to run (slots completed so far).
+    pub fn slot(&self) -> u64 {
+        self.engine.slot()
+    }
+
+    /// Requests waiting in the shard queues.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// In-flight multi-slot connections.
+    pub fn active_connections(&self) -> usize {
+        self.engine.active_connections()
+    }
+
+    /// True when running a slot would be a semantic no-op: nothing queued
+    /// and nothing in flight to age. Free-running servers skip these slots
+    /// (skipping is sound precisely because the engine state is untouched).
+    pub fn is_idle(&self) -> bool {
+        self.engine.active_connections() == 0 && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// The recorded session so far, if recording is on.
+    pub fn trace(&self) -> Option<&SessionTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Takes the recorded session, leaving recording off.
+    pub fn take_trace(&mut self) -> Option<SessionTrace> {
+        self.trace.take()
+    }
+
+    /// Admits one request into its destination shard's bounded queue.
+    /// Returns an immediate deny [`Reply`] when the request is invalid for
+    /// this interconnect or the shard queue is full; `None` means queued —
+    /// the verdict arrives from the next [`Self::run_slot`].
+    pub fn submit(&mut self, conn: u64, req: SubmitRequest) -> Option<Reply> {
+        let slot = self.engine.slot();
+        let deny = |reason, retry| {
+            Some(Reply {
+                conn,
+                id: req.id,
+                slot,
+                verdict: Verdict::Denied { reason, retry_after_slots: retry },
+            })
+        };
+        let (n, k) = (self.engine.n(), self.engine.k());
+        let (src_fiber, src_wavelength, dst_fiber) =
+            (req.src_fiber as usize, req.src_wavelength as usize, req.dst_fiber as usize);
+        if src_fiber >= n || dst_fiber >= n || src_wavelength >= k || req.duration == 0 {
+            return deny(DenyReason::InvalidRequest, 0);
+        }
+        let Some(queue) = self.queues.get_mut(dst_fiber) else {
+            return deny(DenyReason::InvalidRequest, 0);
+        };
+        if queue.len() >= self.queue_capacity {
+            // Queues drain fully every slot, so "one slot" is exact.
+            return deny(DenyReason::QueueFull, 1);
+        }
+        queue.push_back(Tagged {
+            conn,
+            id: req.id,
+            request: ConnectionRequest {
+                src_fiber,
+                src_wavelength,
+                dst_fiber,
+                duration: req.duration,
+            },
+        });
+        None
+    }
+
+    /// Runs one slot: drains every shard queue (fiber order, FIFO within a
+    /// fiber), schedules the batch through the offline engine, and appends
+    /// one [`Reply`] per drained request to `out` — grants first in
+    /// per-slot sequence order, then denies in engine rejection order.
+    pub fn run_slot(&mut self, out: &mut Vec<Reply>) -> SlotSummary {
+        let slot = self.engine.slot();
+        self.batch.clear();
+        self.tags.clear();
+        for queue in &mut self.queues {
+            while let Some(t) = queue.pop_front() {
+                self.batch.push(t.request);
+                self.tags.push((t.conn, t.id));
+            }
+        }
+        let Ok(()) = self.engine.advance_slot_into(&self.batch, &mut self.result) else {
+            unreachable!("submit() validated every queued request")
+        };
+        self.consumed.clear();
+        self.consumed.resize(self.batch.len(), false);
+        let mut grants = 0usize;
+        for (seq, g) in self.result.grants.iter().enumerate() {
+            let (conn, id) = claim_tag(&self.batch, &mut self.consumed, &self.tags, &g.request);
+            let Ok(output_wavelength) = u32::try_from(g.output_wavelength) else {
+                unreachable!("k fits in u32 (checked at construction)")
+            };
+            out.push(Reply {
+                conn,
+                id,
+                slot,
+                verdict: Verdict::Granted { seq: seq as u64, output_wavelength },
+            });
+            grants += 1;
+        }
+        let mut denies = 0usize;
+        for r in &self.result.rejections {
+            let (conn, id) = claim_tag(&self.batch, &mut self.consumed, &self.tags, &r.request);
+            let reason = match r.reason {
+                RejectReason::SourceBusy => DenyReason::SourceBusy,
+                RejectReason::OutputContention => DenyReason::OutputContention,
+            };
+            out.push(Reply {
+                conn,
+                id,
+                slot,
+                verdict: Verdict::Denied { reason, retry_after_slots: 1 },
+            });
+            denies += 1;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record_slot(&self.batch, &self.result.grants);
+        }
+        SlotSummary {
+            slot,
+            admitted: self.batch.len(),
+            grants,
+            denies,
+            completed: self.result.completed,
+        }
+    }
+}
+
+/// Maps an engine grant/rejection back to the (conn, id) tag of the first
+/// unconsumed batch entry carrying the same request. Exhaustive: the engine
+/// answers every admitted request exactly once per slot.
+fn claim_tag(
+    batch: &[ConnectionRequest],
+    consumed: &mut [bool],
+    tags: &[(u64, u64)],
+    request: &ConnectionRequest,
+) -> (u64, u64) {
+    for (j, b) in batch.iter().enumerate() {
+        if !consumed[j] && b == request {
+            consumed[j] = true;
+            return tags[j];
+        }
+    }
+    unreachable!("engine replied to a request that was never admitted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(record: bool) -> SlotEngine {
+        let conversion = Conversion::symmetric_circular(6, 3).unwrap();
+        let mut config = EngineConfig::new(4, conversion, Policy::Auto).with_queue_capacity(4);
+        if record {
+            config = config.with_trace();
+        }
+        SlotEngine::new(config).unwrap()
+    }
+
+    fn req(id: u64, src_fiber: u32, w: u32, dst: u32, duration: u32) -> SubmitRequest {
+        SubmitRequest { id, src_fiber, src_wavelength: w, dst_fiber: dst, duration }
+    }
+
+    #[test]
+    fn grant_and_deny_replies_carry_tags() {
+        let mut e = engine(false);
+        assert!(e.submit(1, req(10, 0, 0, 0, 1)).is_none());
+        assert!(e.submit(2, req(20, 1, 0, 0, 3)).is_none());
+        // Same input channel as id 10: engine denies one as SourceBusy.
+        assert!(e.submit(1, req(11, 0, 0, 1, 1)).is_none());
+        let mut out = Vec::new();
+        let summary = e.run_slot(&mut out);
+        assert_eq!(summary.admitted, 3);
+        assert_eq!(summary.grants, 2);
+        assert_eq!(summary.denies, 1);
+        assert_eq!(out.len(), 3);
+        let granted: Vec<u64> = out
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Granted { .. }))
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(granted, vec![10, 20]);
+        let denied = out.iter().find(|r| matches!(r.verdict, Verdict::Denied { .. })).unwrap();
+        assert_eq!(denied.id, 11);
+        assert_eq!(denied.conn, 1);
+        assert!(matches!(denied.verdict, Verdict::Denied { reason: DenyReason::SourceBusy, .. }));
+    }
+
+    #[test]
+    fn invalid_requests_denied_at_admission() {
+        let mut e = engine(false);
+        for bad in [
+            req(1, 4, 0, 0, 1), // src fiber out of range
+            req(2, 0, 6, 0, 1), // wavelength out of range
+            req(3, 0, 0, 4, 1), // dst fiber out of range
+            req(4, 0, 0, 0, 0), // zero duration
+        ] {
+            let reply = e.submit(0, bad).unwrap();
+            assert!(matches!(
+                reply.verdict,
+                Verdict::Denied { reason: DenyReason::InvalidRequest, retry_after_slots: 0 }
+            ));
+        }
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn full_queue_denies_with_retry_hint() {
+        let mut e = engine(false);
+        for id in 0..4 {
+            assert!(e.submit(0, req(id, 0, id as u32, 2, 1)).is_none());
+        }
+        let reply = e.submit(0, req(9, 1, 0, 2, 1)).unwrap();
+        assert!(matches!(
+            reply.verdict,
+            Verdict::Denied { reason: DenyReason::QueueFull, retry_after_slots: 1 }
+        ));
+        // Other shards are unaffected by one full queue.
+        assert!(e.submit(0, req(10, 1, 0, 3, 1)).is_none());
+        // The queue drains next slot, reopening admission.
+        let mut out = Vec::new();
+        let _ = e.run_slot(&mut out);
+        assert_eq!(e.pending(), 0);
+        assert!(e.submit(0, req(11, 1, 1, 2, 1)).is_none());
+    }
+
+    #[test]
+    fn multi_slot_connections_hold_and_complete() {
+        let mut e = engine(false);
+        assert!(e.submit(0, req(1, 0, 2, 0, 3)).is_none());
+        let mut out = Vec::new();
+        let s = e.run_slot(&mut out);
+        assert_eq!(s.grants, 1);
+        assert_eq!(e.active_connections(), 1);
+        out.clear();
+        // The same input channel is busy while the burst holds.
+        assert!(e.submit(0, req(2, 0, 2, 1, 1)).is_none());
+        let s = e.run_slot(&mut out);
+        assert_eq!(s.denies, 1);
+        out.clear();
+        let s = e.run_slot(&mut out);
+        assert_eq!(s.completed, 0);
+        let s = e.run_slot(&mut out);
+        assert_eq!(s.completed, 1);
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn recorded_trace_replays_bit_identically() {
+        let mut e = engine(true);
+        let mut out = Vec::new();
+        for slot in 0..30u64 {
+            for i in 0..8u64 {
+                let h = slot * 7 + i * 3;
+                let _ = e.submit(
+                    i % 2,
+                    req(
+                        slot * 100 + i,
+                        (h % 4) as u32,
+                        (h % 6) as u32,
+                        ((h / 5) % 4) as u32,
+                        1 + (h % 3) as u32,
+                    ),
+                );
+            }
+            out.clear();
+            let _ = e.run_slot(&mut out);
+        }
+        let trace = e.take_trace().unwrap();
+        assert!(trace.grant_count() > 0);
+        let report = trace.replay().unwrap();
+        assert_eq!(report.slots, 30);
+    }
+
+    #[test]
+    fn reply_slot_and_seq_are_dense() {
+        let mut e = engine(false);
+        let mut out = Vec::new();
+        for id in 0..3 {
+            assert!(e.submit(0, req(id, id as u32, id as u32, 0, 1)).is_none());
+        }
+        let _ = e.run_slot(&mut out);
+        let seqs: Vec<u64> = out
+            .iter()
+            .filter_map(|r| match r.verdict {
+                Verdict::Granted { seq, .. } => Some(seq),
+                Verdict::Denied { .. } => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert!(out.iter().all(|r| r.slot == 0));
+    }
+}

@@ -1,0 +1,39 @@
+//! # wdm-serve
+//!
+//! A slot-clocked TCP scheduling daemon over the paper's distributed
+//! per-output-fiber architecture — std threads and bounded queues only, no
+//! async runtime:
+//!
+//! * [`protocol`] — the versioned length-prefixed binary wire protocol
+//!   (SUBMIT batches in, per-slot GRANT/DENY streams out), with every
+//!   malformed input mapped to a typed [`protocol::ProtocolError`];
+//! * [`clock`] — the deterministic fixed-cadence slot clock (catch-up
+//!   without drift; zero period free-runs);
+//! * [`engine`] — the TCP-free decision core: bounded per-destination-fiber
+//!   admission queues (deny-with-reason + retry-after on overload, never
+//!   unbounded buffering) draining each slot into the offline
+//!   [`wdm_interconnect::Interconnect`], which runs the same
+//!   [`wdm_interconnect::FiberUnit`] shards as every other consumer — the
+//!   steady-state slot loop allocates nothing and a recorded session
+//!   replays bit-for-bit through [`wdm_sim::trace`];
+//! * [`server`] — the daemon: acceptor + per-connection reader threads
+//!   feeding a bounded intake channel, the coordinator slot loop, and a
+//!   results thread streaming grant/deny frames back;
+//! * [`client`] — a blocking client used by `wdm-loadgen` and the smoke
+//!   tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod client;
+pub mod clock;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use clock::SlotClock;
+pub use engine::{EngineConfig, Reply, SlotEngine, SlotSummary, Verdict};
+pub use protocol::{DenyReason, Frame, ProtocolError, SubmitRequest, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ServerReport};

@@ -1,0 +1,625 @@
+//! The versioned length-prefixed binary wire protocol.
+//!
+//! Every frame is `u32` little-endian payload length, then the payload:
+//! a one-byte frame tag followed by the tag's fixed-layout little-endian
+//! fields (see the README frame-layout table). The handshake is
+//! `HELLO(magic, version)` → `HELLO_ACK(version, n, k, policy)`; a version
+//! mismatch is answered with an `ERROR` frame and the connection closes.
+//!
+//! All decoding errors are typed [`ProtocolError`]s — the lint wall bans
+//! panics in this crate, so a malformed frame can never take the daemon
+//! down, only the offending connection.
+
+use std::io::{Read, Write};
+
+/// `"WDM1"` — first field of the HELLO frame.
+pub const MAGIC: u32 = 0x5744_4D31;
+
+/// Current wire-protocol version, checked in both directions.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame payload; anything larger is rejected before
+/// allocation (a corrupt length prefix must not OOM the daemon).
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// One request inside a SUBMIT batch. `id` is chosen by the client and
+/// echoed verbatim on the matching GRANT/DENY frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitRequest {
+    /// Client-chosen request identifier, echoed on the reply.
+    pub id: u64,
+    /// Source input fiber.
+    pub src_fiber: u32,
+    /// Wavelength the request arrives on.
+    pub src_wavelength: u32,
+    /// Destination output fiber.
+    pub dst_fiber: u32,
+    /// Slots the connection holds once granted (min 1).
+    pub duration: u32,
+}
+
+/// Why the daemon denied a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum DenyReason {
+    /// The destination shard's bounded admission queue was full — resubmit
+    /// after the retry-after hint. This is overload, not an error.
+    QueueFull = 1,
+    /// The source input channel already carries an in-flight connection (or
+    /// an earlier request in the same slot claimed it).
+    SourceBusy = 2,
+    /// Lost the wavelength-level output contention — the loss the paper's
+    /// matching algorithms minimize.
+    OutputContention = 3,
+    /// The request's fiber/wavelength indices or duration are out of range
+    /// for the served interconnect.
+    InvalidRequest = 4,
+}
+
+impl DenyReason {
+    /// The wire byte for this reason (inverse of [`Self::from_wire`]).
+    pub fn wire(self) -> u8 {
+        match self {
+            DenyReason::QueueFull => 1,
+            DenyReason::SourceBusy => 2,
+            DenyReason::OutputContention => 3,
+            DenyReason::InvalidRequest => 4,
+        }
+    }
+
+    /// Decodes the wire byte.
+    pub fn from_wire(byte: u8) -> Result<DenyReason, ProtocolError> {
+        match byte {
+            1 => Ok(DenyReason::QueueFull),
+            2 => Ok(DenyReason::SourceBusy),
+            3 => Ok(DenyReason::OutputContention),
+            4 => Ok(DenyReason::InvalidRequest),
+            other => Err(ProtocolError::BadField {
+                frame: "DENY",
+                field: "reason",
+                value: u64::from(other),
+            }),
+        }
+    }
+}
+
+/// A decoded protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server opener: magic + protocol version.
+    Hello {
+        /// Client protocol version.
+        version: u16,
+    },
+    /// Server → client handshake reply with the served topology.
+    HelloAck {
+        /// Server protocol version.
+        version: u16,
+        /// Number of fibers per side.
+        n: u32,
+        /// Wavelengths per fiber.
+        k: u32,
+        /// Scheduling policy short-name byte length + UTF-8 bytes.
+        policy: String,
+    },
+    /// Client → server: a batch of requests for the next slot.
+    Submit {
+        /// The batched requests.
+        requests: Vec<SubmitRequest>,
+    },
+    /// Server → client: a request was granted an output channel.
+    Grant {
+        /// Slot the grant took effect.
+        slot: u64,
+        /// Per-slot sequence number (position in the slot's grant stream).
+        seq: u64,
+        /// The client-chosen request id.
+        id: u64,
+        /// Assigned output wavelength channel on the destination fiber.
+        output_wavelength: u32,
+    },
+    /// Server → client: a request was denied this slot.
+    Deny {
+        /// Slot the denial was decided.
+        slot: u64,
+        /// The client-chosen request id.
+        id: u64,
+        /// Why.
+        reason: DenyReason,
+        /// Hint: slots to wait before resubmitting (0 = don't retry).
+        retry_after_slots: u32,
+    },
+    /// Server → client: all replies for `slot` have been sent.
+    SlotComplete {
+        /// The completed slot.
+        slot: u64,
+    },
+    /// Client → server: finish the current slot, then shut the daemon down.
+    Shutdown,
+    /// Server → client: terminal protocol error; the connection closes.
+    Error {
+        /// Stable numeric code (1 = bad magic, 2 = version mismatch,
+        /// 3 = malformed frame).
+        code: u32,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_SUBMIT: u8 = 3;
+const TAG_GRANT: u8 = 4;
+const TAG_DENY: u8 = 5;
+const TAG_SLOT_COMPLETE: u8 = 6;
+const TAG_SHUTDOWN: u8 = 7;
+const TAG_ERROR: u8 = 8;
+
+/// Errors crossing the wire boundary: transport failures and malformed or
+/// unexpected frames. I/O errors never panic; they close the connection.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// Transport-level read/write failure.
+    Io(std::io::Error),
+    /// The peer closed the connection mid-frame or before one.
+    Disconnected,
+    /// HELLO did not open with [`MAGIC`].
+    BadMagic {
+        /// The four bytes received instead.
+        got: u32,
+    },
+    /// The two sides speak different protocol versions.
+    VersionMismatch {
+        /// Our version.
+        ours: u16,
+        /// The peer's version.
+        theirs: u16,
+    },
+    /// Unknown frame tag byte.
+    UnknownTag {
+        /// The tag received.
+        tag: u8,
+    },
+    /// Length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The advertised payload length.
+        len: u32,
+    },
+    /// Payload shorter or longer than its tag's layout requires.
+    Malformed {
+        /// Frame name.
+        frame: &'static str,
+    },
+    /// A field carried an out-of-domain value.
+    BadField {
+        /// Frame name.
+        frame: &'static str,
+        /// Field name.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// The peer sent a frame that is valid but not allowed in the current
+    /// protocol state (e.g. SUBMIT before HELLO).
+    UnexpectedFrame {
+        /// What arrived.
+        got: &'static str,
+        /// What the state machine expected.
+        expected: &'static str,
+    },
+    /// The server reported a terminal error.
+    ServerError {
+        /// The ERROR frame's code.
+        code: u32,
+        /// The ERROR frame's message.
+        message: String,
+    },
+    /// The scheduling engine rejected a configuration.
+    Engine(wdm_core::Error),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(out, "transport error: {e}"),
+            ProtocolError::Disconnected => write!(out, "peer disconnected"),
+            ProtocolError::BadMagic { got } => {
+                write!(out, "bad HELLO magic 0x{got:08x} (expected 0x{MAGIC:08x})")
+            }
+            ProtocolError::VersionMismatch { ours, theirs } => {
+                write!(out, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
+            ProtocolError::UnknownTag { tag } => write!(out, "unknown frame tag {tag}"),
+            ProtocolError::FrameTooLarge { len } => {
+                write!(out, "frame payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            ProtocolError::Malformed { frame } => write!(out, "malformed {frame} frame"),
+            ProtocolError::BadField { frame, field, value } => {
+                write!(out, "{frame} frame field {field} has out-of-domain value {value}")
+            }
+            ProtocolError::UnexpectedFrame { got, expected } => {
+                write!(out, "unexpected {got} frame (expected {expected})")
+            }
+            ProtocolError::ServerError { code, message } => {
+                write!(out, "server error {code}: {message}")
+            }
+            ProtocolError::Engine(e) => write!(out, "engine configuration rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<wdm_core::Error> for ProtocolError {
+    fn from(e: wdm_core::Error) -> ProtocolError {
+        ProtocolError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> ProtocolError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtocolError::Disconnected
+        } else {
+            ProtocolError::Io(e)
+        }
+    }
+}
+
+/// A little-endian payload writer over a reused byte buffer.
+#[derive(Debug, Default)]
+struct Payload {
+    buf: Vec<u8>,
+}
+
+impl Payload {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// A little-endian payload reader.
+#[derive(Debug)]
+struct Cursor<'a> {
+    buf: &'a [u8],
+    frame: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() < len {
+            return Err(ProtocolError::Malformed { frame: self.frame });
+        }
+        let (head, rest) = self.buf.split_at(len);
+        self.buf = rest;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        let b = self.take(2)?;
+        let Ok(arr) = <[u8; 2]>::try_from(b) else {
+            return Err(ProtocolError::Malformed { frame: self.frame });
+        };
+        Ok(u16::from_le_bytes(arr))
+    }
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.take(4)?;
+        let Ok(arr) = <[u8; 4]>::try_from(b) else {
+            return Err(ProtocolError::Malformed { frame: self.frame });
+        };
+        Ok(u32::from_le_bytes(arr))
+    }
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.take(8)?;
+        let Ok(arr) = <[u8; 8]>::try_from(b) else {
+            return Err(ProtocolError::Malformed { frame: self.frame });
+        };
+        Ok(u64::from_le_bytes(arr))
+    }
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed { frame: self.frame })
+        }
+    }
+}
+
+/// Encodes and writes one frame (length prefix + payload). The writer is
+/// not flushed — batch frames, then flush once per slot.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtocolError> {
+    let mut p = Payload::default();
+    match frame {
+        Frame::Hello { version } => {
+            p.u8(TAG_HELLO);
+            p.u32(MAGIC);
+            p.u16(*version);
+        }
+        Frame::HelloAck { version, n, k, policy } => {
+            p.u8(TAG_HELLO_ACK);
+            p.u16(*version);
+            p.u32(*n);
+            p.u32(*k);
+            let name = policy.as_bytes();
+            let Ok(len) = u8::try_from(name.len()) else {
+                return Err(ProtocolError::Malformed { frame: "HELLO_ACK" });
+            };
+            p.u8(len);
+            p.bytes(name);
+        }
+        Frame::Submit { requests } => {
+            p.u8(TAG_SUBMIT);
+            let Ok(count) = u32::try_from(requests.len()) else {
+                return Err(ProtocolError::Malformed { frame: "SUBMIT" });
+            };
+            p.u32(count);
+            for r in requests {
+                p.u64(r.id);
+                p.u32(r.src_fiber);
+                p.u32(r.src_wavelength);
+                p.u32(r.dst_fiber);
+                p.u32(r.duration);
+            }
+        }
+        Frame::Grant { slot, seq, id, output_wavelength } => {
+            p.u8(TAG_GRANT);
+            p.u64(*slot);
+            p.u64(*seq);
+            p.u64(*id);
+            p.u32(*output_wavelength);
+        }
+        Frame::Deny { slot, id, reason, retry_after_slots } => {
+            p.u8(TAG_DENY);
+            p.u64(*slot);
+            p.u64(*id);
+            p.u8(reason.wire());
+            p.u32(*retry_after_slots);
+        }
+        Frame::SlotComplete { slot } => {
+            p.u8(TAG_SLOT_COMPLETE);
+            p.u64(*slot);
+        }
+        Frame::Shutdown => p.u8(TAG_SHUTDOWN),
+        Frame::Error { code, message } => {
+            p.u8(TAG_ERROR);
+            p.u32(*code);
+            let msg = message.as_bytes();
+            let Ok(len) = u16::try_from(msg.len()) else {
+                return Err(ProtocolError::Malformed { frame: "ERROR" });
+            };
+            p.u16(len);
+            p.bytes(msg);
+        }
+    }
+    let Ok(len) = u32::try_from(p.buf.len()) else {
+        return Err(ProtocolError::FrameTooLarge { len: u32::MAX });
+    };
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge { len });
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&p.buf)?;
+    Ok(())
+}
+
+/// Reads and decodes one frame. Blocks until a full frame arrives; a clean
+/// EOF before the length prefix maps to [`ProtocolError::Disconnected`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtocolError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge { len });
+    }
+    if len == 0 {
+        return Err(ProtocolError::Malformed { frame: "empty" });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode(&payload)
+}
+
+fn decode(payload: &[u8]) -> Result<Frame, ProtocolError> {
+    let Some((&tag, body)) = payload.split_first() else {
+        return Err(ProtocolError::Malformed { frame: "empty" });
+    };
+    match tag {
+        TAG_HELLO => {
+            let mut c = Cursor { buf: body, frame: "HELLO" };
+            let magic = c.u32()?;
+            if magic != MAGIC {
+                return Err(ProtocolError::BadMagic { got: magic });
+            }
+            let version = c.u16()?;
+            c.finish()?;
+            Ok(Frame::Hello { version })
+        }
+        TAG_HELLO_ACK => {
+            let mut c = Cursor { buf: body, frame: "HELLO_ACK" };
+            let version = c.u16()?;
+            let n = c.u32()?;
+            let k = c.u32()?;
+            let len = c.u8()? as usize;
+            let name = c.take(len)?;
+            let Ok(policy) = std::str::from_utf8(name) else {
+                return Err(ProtocolError::Malformed { frame: "HELLO_ACK" });
+            };
+            let policy = policy.to_owned();
+            c.finish()?;
+            Ok(Frame::HelloAck { version, n, k, policy })
+        }
+        TAG_SUBMIT => {
+            let mut c = Cursor { buf: body, frame: "SUBMIT" };
+            let count = c.u32()?;
+            // 24 bytes per request: a cheap sanity bound before allocating.
+            if u64::from(count) * 24 > u64::from(MAX_FRAME_LEN) {
+                return Err(ProtocolError::BadField {
+                    frame: "SUBMIT",
+                    field: "count",
+                    value: u64::from(count),
+                });
+            }
+            let mut requests = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                requests.push(SubmitRequest {
+                    id: c.u64()?,
+                    src_fiber: c.u32()?,
+                    src_wavelength: c.u32()?,
+                    dst_fiber: c.u32()?,
+                    duration: c.u32()?,
+                });
+            }
+            c.finish()?;
+            Ok(Frame::Submit { requests })
+        }
+        TAG_GRANT => {
+            let mut c = Cursor { buf: body, frame: "GRANT" };
+            let frame = Frame::Grant {
+                slot: c.u64()?,
+                seq: c.u64()?,
+                id: c.u64()?,
+                output_wavelength: c.u32()?,
+            };
+            c.finish()?;
+            Ok(frame)
+        }
+        TAG_DENY => {
+            let mut c = Cursor { buf: body, frame: "DENY" };
+            let slot = c.u64()?;
+            let id = c.u64()?;
+            let reason = DenyReason::from_wire(c.u8()?)?;
+            let retry_after_slots = c.u32()?;
+            c.finish()?;
+            Ok(Frame::Deny { slot, id, reason, retry_after_slots })
+        }
+        TAG_SLOT_COMPLETE => {
+            let mut c = Cursor { buf: body, frame: "SLOT_COMPLETE" };
+            let slot = c.u64()?;
+            c.finish()?;
+            Ok(Frame::SlotComplete { slot })
+        }
+        TAG_SHUTDOWN => {
+            let c = Cursor { buf: body, frame: "SHUTDOWN" };
+            c.finish()?;
+            Ok(Frame::Shutdown)
+        }
+        TAG_ERROR => {
+            let mut c = Cursor { buf: body, frame: "ERROR" };
+            let code = c.u32()?;
+            let len = c.u16()? as usize;
+            let msg = c.take(len)?;
+            let message = String::from_utf8_lossy(msg).into_owned();
+            c.finish()?;
+            Ok(Frame::Error { code, message })
+        }
+        tag => Err(ProtocolError::UnknownTag { tag }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), frame);
+        assert!(r.is_empty(), "frame consumed exactly");
+    }
+
+    #[test]
+    fn all_frames_round_trip() {
+        round_trip(Frame::Hello { version: PROTOCOL_VERSION });
+        round_trip(Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            n: 8,
+            k: 64,
+            policy: "bfa".to_owned(),
+        });
+        round_trip(Frame::Submit {
+            requests: vec![
+                SubmitRequest { id: 7, src_fiber: 0, src_wavelength: 3, dst_fiber: 1, duration: 2 },
+                SubmitRequest { id: 8, src_fiber: 1, src_wavelength: 0, dst_fiber: 0, duration: 1 },
+            ],
+        });
+        round_trip(Frame::Submit { requests: vec![] });
+        round_trip(Frame::Grant { slot: 12, seq: 0, id: 7, output_wavelength: 4 });
+        round_trip(Frame::Deny {
+            slot: 12,
+            id: 8,
+            reason: DenyReason::QueueFull,
+            retry_after_slots: 1,
+        });
+        round_trip(Frame::SlotComplete { slot: 12 });
+        round_trip(Frame::Shutdown);
+        round_trip(Frame::Error { code: 2, message: "version mismatch".to_owned() });
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Hello { version: 1 }).unwrap();
+        wire[5] ^= 0xff; // corrupt the magic inside the payload
+        assert!(matches!(read_frame(&mut &wire[..]), Err(ProtocolError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Grant { slot: 1, seq: 2, id: 3, output_wavelength: 4 })
+            .unwrap();
+        // Shrink the payload but keep the length prefix honest about it.
+        let short = (wire.len() - 4 - 2) as u32;
+        wire.truncate(wire.len() - 2);
+        wire[..4].copy_from_slice(&short.to_le_bytes());
+        assert!(matches!(read_frame(&mut &wire[..]), Err(ProtocolError::Malformed { .. })));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let wire = (MAX_FRAME_LEN + 1).to_le_bytes();
+        assert!(matches!(read_frame(&mut &wire[..]), Err(ProtocolError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn eof_maps_to_disconnected() {
+        assert!(matches!(read_frame(&mut &[][..]), Err(ProtocolError::Disconnected)));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(99);
+        assert!(matches!(read_frame(&mut &wire[..]), Err(ProtocolError::UnknownTag { tag: 99 })));
+    }
+
+    #[test]
+    fn deny_reasons_round_trip() {
+        for reason in [
+            DenyReason::QueueFull,
+            DenyReason::SourceBusy,
+            DenyReason::OutputContention,
+            DenyReason::InvalidRequest,
+        ] {
+            assert_eq!(DenyReason::from_wire(reason.wire()).unwrap(), reason);
+        }
+        assert!(DenyReason::from_wire(0).is_err());
+    }
+}

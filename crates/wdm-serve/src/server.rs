@@ -1,0 +1,479 @@
+//! The daemon: acceptor, per-connection readers, coordinator slot loop,
+//! and the results writer.
+//!
+//! Thread layout (all std threads, no async runtime — see DESIGN.md §11):
+//!
+//! * **acceptor** — polls a non-blocking listener, assigns connection ids,
+//!   registers the write half with the results thread, and spawns one
+//!   **reader** thread per connection;
+//! * **readers** — run the HELLO handshake, then forward SUBMIT requests
+//!   into a *bounded* intake channel (a blocking send is the backpressure:
+//!   a flooding client stalls its own reader, never the daemon's memory);
+//! * **coordinator** (the [`Server::run`] thread) — drains intake until the
+//!   slot boundary, ticks the [`crate::SlotClock`], runs
+//!   [`SlotEngine::run_slot`], and hands the reply stream to the results
+//!   thread;
+//! * **results** — owns every connection's buffered write half, encodes
+//!   grant/deny frames, broadcasts SLOT_COMPLETE, and flushes whenever its
+//!   queue goes momentarily empty (prompt when quiet, batched under load).
+//!
+//! Shutdown: a client SHUTDOWN frame or the configured `max_slots` stops
+//! the loop after the in-flight slot; queued requests are answered before
+//! the sockets close.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use wdm_sim::trace::SessionTrace;
+
+use crate::clock::SlotClock;
+use crate::engine::{EngineConfig, Reply, SlotEngine, Verdict};
+use crate::protocol::{
+    read_frame, write_frame, Frame, ProtocolError, SubmitRequest, PROTOCOL_VERSION,
+};
+
+/// How many in-flight intake events the readers may buffer ahead of the
+/// coordinator before blocking (per server, not per connection).
+const INTAKE_DEPTH: usize = 4096;
+
+/// Acceptor poll interval while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_micros(500);
+
+/// How long an idle free-running coordinator parks waiting for work.
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The scheduling core.
+    pub engine: EngineConfig,
+    /// Slot period; `Duration::ZERO` free-runs (slots fire whenever work
+    /// is queued).
+    pub slot_period: Duration,
+    /// Stop after this many executed slots (`None` = run until SHUTDOWN).
+    pub max_slots: Option<u64>,
+}
+
+/// What a finished server run did.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct ServerReport {
+    /// Slots executed.
+    pub slots: u64,
+    /// Requests granted.
+    pub grants: u64,
+    /// Requests denied at scheduling time (source-busy + contention).
+    pub denies: u64,
+    /// Requests denied at admission (invalid + queue-full).
+    pub admission_denies: u64,
+    /// Connections accepted over the run.
+    pub connections: u64,
+    /// The recorded session, when the engine was configured to record.
+    pub trace: Option<SessionTrace>,
+}
+
+/// Events flowing readers → coordinator. A SUBMIT frame travels as one
+/// event so a client's batch is admitted atomically — it can never be
+/// split across a slot boundary, which keeps single-client closed-loop
+/// sessions fully deterministic.
+#[derive(Debug)]
+enum InEvent {
+    Submit { conn: u64, requests: Vec<SubmitRequest> },
+    Shutdown,
+}
+
+/// Events flowing acceptor/readers/coordinator → results writer.
+#[derive(Debug)]
+enum OutEvent {
+    Register { conn: u64, stream: TcpStream },
+    HelloOk { conn: u64 },
+    Fatal { conn: u64, code: u32, message: String },
+    Reply(Reply),
+    SlotDone { slot: u64 },
+    Close { conn: u64 },
+    Finish,
+}
+
+/// A bound-but-not-yet-running daemon. Binding is separate from running so
+/// callers (tests, the loadgen smoke) can learn the ephemeral port first.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listening socket (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str, config: ServerConfig) -> Result<Server, ProtocolError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server { listener, addr, config })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the daemon until SHUTDOWN or `max_slots`, then tears every
+    /// thread down and reports. Blocking — spawn a thread to run it
+    /// alongside clients in-process.
+    pub fn run(self) -> Result<ServerReport, ProtocolError> {
+        let Server { listener, addr: _, config } = self;
+        let mut engine = SlotEngine::new(config.engine)?;
+        let hello = HelloInfo {
+            n: u32::try_from(engine.n()).unwrap_or(u32::MAX),
+            k: u32::try_from(engine.k()).unwrap_or(u32::MAX),
+            policy: engine.policy().name().to_owned(),
+        };
+
+        let stop_accepting = Arc::new(AtomicBool::new(false));
+        let (in_tx, in_rx) = mpsc::sync_channel::<InEvent>(INTAKE_DEPTH);
+        let (out_tx, out_rx) = mpsc::channel::<OutEvent>();
+
+        let results = std::thread::spawn(move || results_loop(&out_rx, &hello));
+        let acceptor = {
+            let stop = Arc::clone(&stop_accepting);
+            let out_tx = out_tx.clone();
+            std::thread::spawn(move || acceptor_loop(&listener, &stop, &in_tx, &out_tx))
+        };
+
+        let mut clock = SlotClock::new(config.slot_period);
+        let mut report = ServerReport {
+            slots: 0,
+            grants: 0,
+            denies: 0,
+            admission_denies: 0,
+            connections: 0,
+            trace: None,
+        };
+        let mut out: Vec<Reply> = Vec::new();
+        let mut stop = false;
+
+        'slots: loop {
+            // 1. Intake window: admit submissions until the slot boundary.
+            if clock.free_running() {
+                loop {
+                    match in_rx.try_recv() {
+                        Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop),
+                        Err(mpsc::TryRecvError::Empty) => break,
+                        Err(mpsc::TryRecvError::Disconnected) => break 'slots,
+                    }
+                }
+            } else {
+                loop {
+                    let remaining = clock.remaining();
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    match in_rx.recv_timeout(remaining) {
+                        Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop),
+                        Err(mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break 'slots,
+                    }
+                }
+            }
+            clock.wait();
+
+            if stop && engine.pending() == 0 {
+                break;
+            }
+            if engine.pending() == 0 && clock.free_running() {
+                // Free-run advances time only when there is work: slots are
+                // work units, so in-flight connections age one slot per
+                // executed slot — timing can never leak into the trace.
+                match in_rx.recv_timeout(IDLE_PARK) {
+                    Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break 'slots,
+                }
+                continue;
+            }
+
+            // 2. The slot: drain shards, schedule, stream replies.
+            out.clear();
+            let summary = engine.run_slot(&mut out);
+            report.grants += summary.grants as u64;
+            report.denies += summary.denies as u64;
+            for r in &out {
+                let _ = out_tx.send(OutEvent::Reply(*r));
+            }
+            let _ = out_tx.send(OutEvent::SlotDone { slot: summary.slot });
+            report.slots += 1;
+
+            if stop && engine.pending() == 0 {
+                break;
+            }
+            if let Some(max) = config.max_slots {
+                if report.slots >= max {
+                    break;
+                }
+            }
+        }
+
+        // Teardown: stop accepting, close sockets (which unblocks the
+        // readers), then join everything.
+        stop_accepting.store(true, Ordering::SeqCst);
+        let reader_handles = match acceptor.join() {
+            Ok(handles) => handles,
+            Err(_) => Vec::new(),
+        };
+        report.connections = reader_handles.len() as u64;
+        let _ = out_tx.send(OutEvent::Finish);
+        drop(out_tx);
+        if results.join().is_err() {
+            return Err(ProtocolError::Disconnected);
+        }
+        for h in reader_handles {
+            let _ = h.join();
+        }
+        drop(in_rx);
+        report.trace = engine.take_trace();
+        Ok(report)
+    }
+}
+
+/// Topology advertised in HELLO_ACK.
+#[derive(Debug, Clone)]
+struct HelloInfo {
+    n: u32,
+    k: u32,
+    policy: String,
+}
+
+fn handle_in(
+    ev: InEvent,
+    engine: &mut SlotEngine,
+    out_tx: &mpsc::Sender<OutEvent>,
+    report: &mut ServerReport,
+    stop: &mut bool,
+) {
+    match ev {
+        InEvent::Submit { conn, requests } => {
+            for req in requests {
+                if let Some(reply) = engine.submit(conn, req) {
+                    report.admission_denies += 1;
+                    let _ = out_tx.send(OutEvent::Reply(reply));
+                }
+            }
+        }
+        InEvent::Shutdown => *stop = true,
+    }
+}
+
+/// Accepts connections until told to stop; returns the reader handles so
+/// the coordinator can join them after the sockets are shut down.
+fn acceptor_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    in_tx: &mpsc::SyncSender<InEvent>,
+    out_tx: &mpsc::Sender<OutEvent>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let mut handles = Vec::new();
+    if listener.set_nonblocking(true).is_err() {
+        return handles;
+    }
+    let mut next_conn: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn = next_conn;
+                next_conn += 1;
+                let _ = stream.set_nodelay(true);
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                let _ = out_tx.send(OutEvent::Register { conn, stream: write_half });
+                let in_tx = in_tx.clone();
+                let out_tx = out_tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    reader_loop(conn, stream, &in_tx, &out_tx);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+    handles
+}
+
+/// One connection's read side: HELLO handshake, then SUBMIT/SHUTDOWN until
+/// disconnect or a protocol violation (which closes only this connection).
+fn reader_loop(
+    conn: u64,
+    stream: TcpStream,
+    in_tx: &mpsc::SyncSender<InEvent>,
+    out_tx: &mpsc::Sender<OutEvent>,
+) {
+    let mut reader = std::io::BufReader::new(stream);
+    match read_frame(&mut reader) {
+        Ok(Frame::Hello { version }) if version == PROTOCOL_VERSION => {
+            let _ = out_tx.send(OutEvent::HelloOk { conn });
+        }
+        Ok(Frame::Hello { version }) => {
+            let _ = out_tx.send(OutEvent::Fatal {
+                conn,
+                code: 2,
+                message: format!(
+                    "protocol version mismatch: server {PROTOCOL_VERSION}, client {version}"
+                ),
+            });
+            return;
+        }
+        Ok(_) => {
+            let _ = out_tx.send(OutEvent::Fatal {
+                conn,
+                code: 3,
+                message: "expected HELLO as the first frame".to_owned(),
+            });
+            return;
+        }
+        Err(_) => {
+            let _ = out_tx.send(OutEvent::Close { conn });
+            return;
+        }
+    }
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Frame::Submit { requests }) => {
+                if in_tx.send(InEvent::Submit { conn, requests }).is_err() {
+                    let _ = out_tx.send(OutEvent::Close { conn });
+                    return;
+                }
+            }
+            Ok(Frame::Shutdown) => {
+                let _ = in_tx.send(InEvent::Shutdown);
+            }
+            Ok(_) => {
+                let _ = out_tx.send(OutEvent::Fatal {
+                    conn,
+                    code: 3,
+                    message: "clients may only send SUBMIT or SHUTDOWN".to_owned(),
+                });
+                return;
+            }
+            Err(_) => {
+                let _ = out_tx.send(OutEvent::Close { conn });
+                return;
+            }
+        }
+    }
+}
+
+/// The single writer thread: owns every connection's buffered write half.
+fn results_loop(out_rx: &mpsc::Receiver<OutEvent>, hello: &HelloInfo) {
+    // Connection ids are dense and small; a Vec doubles as the map.
+    let mut writers: Vec<Option<std::io::BufWriter<TcpStream>>> = Vec::new();
+    let mut dirty = false;
+    loop {
+        // Flush-on-quiet: batch while the queue has depth, flush the moment
+        // it empties so a lone reply never waits for the next slot.
+        let ev = match out_rx.try_recv() {
+            Ok(ev) => ev,
+            Err(mpsc::TryRecvError::Empty) => {
+                if dirty {
+                    flush_all(&mut writers);
+                    dirty = false;
+                }
+                match out_rx.recv() {
+                    Ok(ev) => ev,
+                    Err(_) => return,
+                }
+            }
+            Err(mpsc::TryRecvError::Disconnected) => return,
+        };
+        match ev {
+            OutEvent::Register { conn, stream } => {
+                let idx = conn as usize;
+                if writers.len() <= idx {
+                    writers.resize_with(idx + 1, || None);
+                }
+                writers[idx] = Some(std::io::BufWriter::new(stream));
+            }
+            OutEvent::HelloOk { conn } => {
+                let ack = Frame::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    n: hello.n,
+                    k: hello.k,
+                    policy: hello.policy.clone(),
+                };
+                send_to(&mut writers, conn, &ack);
+                dirty = true;
+            }
+            OutEvent::Fatal { conn, code, message } => {
+                send_to(&mut writers, conn, &Frame::Error { code, message });
+                close_conn(&mut writers, conn);
+            }
+            OutEvent::Reply(reply) => {
+                let frame = match reply.verdict {
+                    Verdict::Granted { seq, output_wavelength } => {
+                        Frame::Grant { slot: reply.slot, seq, id: reply.id, output_wavelength }
+                    }
+                    Verdict::Denied { reason, retry_after_slots } => {
+                        Frame::Deny { slot: reply.slot, id: reply.id, reason, retry_after_slots }
+                    }
+                };
+                send_to(&mut writers, reply.conn, &frame);
+                dirty = true;
+            }
+            OutEvent::SlotDone { slot } => {
+                for conn in 0..writers.len() as u64 {
+                    send_to(&mut writers, conn, &Frame::SlotComplete { slot });
+                }
+                dirty = true;
+            }
+            OutEvent::Close { conn } => close_conn(&mut writers, conn),
+            OutEvent::Finish => {
+                flush_all(&mut writers);
+                for conn in 0..writers.len() as u64 {
+                    close_conn(&mut writers, conn);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Writes a frame to one connection; a write failure drops the writer (the
+/// reader side notices the closed socket and unwinds the connection).
+fn send_to(writers: &mut [Option<std::io::BufWriter<TcpStream>>], conn: u64, frame: &Frame) {
+    let idx = conn as usize;
+    let Some(slot) = writers.get_mut(idx) else {
+        return;
+    };
+    let Some(w) = slot.as_mut() else {
+        return;
+    };
+    if write_frame(w, frame).is_err() {
+        *slot = None;
+    }
+}
+
+fn flush_all(writers: &mut [Option<std::io::BufWriter<TcpStream>>]) {
+    for slot in writers.iter_mut() {
+        if let Some(w) = slot.as_mut() {
+            if std::io::Write::flush(w).is_err() {
+                *slot = None;
+            }
+        }
+    }
+}
+
+/// Flushes, shuts the socket down both ways (unblocking the reader thread),
+/// and forgets the writer.
+fn close_conn(writers: &mut [Option<std::io::BufWriter<TcpStream>>], conn: u64) {
+    let idx = conn as usize;
+    let Some(slot) = writers.get_mut(idx) else {
+        return;
+    };
+    if let Some(mut w) = slot.take() {
+        let _ = std::io::Write::flush(&mut w);
+        let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+}

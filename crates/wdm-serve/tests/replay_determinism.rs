@@ -1,0 +1,172 @@
+//! The differential gate: a session served over real TCP, recorded by the
+//! daemon, must replay bit-identically through the offline engine — for
+//! FA (non-circular), BFA, and the approximate policy.
+//!
+//! Beyond `SessionTrace::replay`'s internal check, every GRANT frame the
+//! client saw on the wire is matched against the recorded trace at the same
+//! `(slot, seq)`, so the wire stream, the recording, and the offline replay
+//! are all pinned to each other.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use wdm_core::{Conversion, Policy};
+use wdm_serve::protocol::{Frame, SubmitRequest};
+use wdm_serve::{Client, EngineConfig, Server, ServerConfig};
+
+const N: usize = 4;
+const K: usize = 8;
+const SLOTS: u64 = 120;
+
+/// A deterministic request stream: same formula regardless of policy.
+fn batch_for(slot: u64, next_id: &mut u64) -> Vec<SubmitRequest> {
+    let mut out = Vec::new();
+    for i in 0..6u64 {
+        let h = slot * 13 + i * 7;
+        if h % 3 == 0 {
+            continue;
+        }
+        out.push(SubmitRequest {
+            id: *next_id,
+            src_fiber: (h % N as u64) as u32,
+            src_wavelength: ((h / 3) % K as u64) as u32,
+            dst_fiber: ((h / 5) % N as u64) as u32,
+            duration: 1 + (h % 4) as u32,
+        });
+        *next_id += 1;
+    }
+    out
+}
+
+fn drive(policy: Policy, conversion: Conversion) {
+    let config = ServerConfig {
+        engine: EngineConfig::new(N, conversion, policy).with_trace(),
+        slot_period: Duration::ZERO,
+        max_slots: None,
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.n() as usize, N);
+    assert_eq!(client.k() as usize, K);
+    assert_eq!(client.policy(), policy.name());
+
+    // id → submitted request, and the grants seen on the wire.
+    let mut submitted: HashMap<u64, SubmitRequest> = HashMap::new();
+    let mut wire_grants: Vec<(u64, u64, u64, u32)> = Vec::new();
+    let mut next_id = 0u64;
+    for slot in 0..SLOTS {
+        let batch = batch_for(slot, &mut next_id);
+        if batch.is_empty() {
+            continue;
+        }
+        for r in &batch {
+            submitted.insert(r.id, *r);
+        }
+        client.submit(&batch).unwrap();
+        let mut outstanding = batch.len();
+        while outstanding > 0 {
+            match client.next_frame().unwrap() {
+                Frame::Grant { slot, seq, id, output_wavelength } => {
+                    wire_grants.push((slot, seq, id, output_wavelength));
+                    outstanding -= 1;
+                }
+                Frame::Deny { .. } => outstanding -= 1,
+                Frame::SlotComplete { .. } => {}
+                other => panic!("unexpected frame: {other:?}"),
+            }
+        }
+    }
+    client.send_shutdown().unwrap();
+    while client.next_frame().is_ok() {}
+
+    let report = server_thread.join().unwrap().unwrap();
+    let trace = report.trace.expect("server was configured to record");
+    assert_eq!(report.grants, wire_grants.len() as u64, "wire and report agree");
+    assert_eq!(trace.grant_count(), wire_grants.len(), "trace and wire agree");
+
+    // 1. Offline replay is bit-identical.
+    let replay = trace.replay().unwrap();
+    assert_eq!(replay.grants, wire_grants.len());
+
+    // 2. Every wire grant matches the recorded grant at (slot, seq).
+    let mut by_slot_seq = HashMap::new();
+    for ts in &trace.slots {
+        for g in &ts.grants {
+            by_slot_seq.insert((ts.slot, g.seq), *g);
+        }
+    }
+    for &(slot, seq, id, output_wavelength) in &wire_grants {
+        let recorded = by_slot_seq
+            .get(&(slot, seq))
+            .unwrap_or_else(|| panic!("no recorded grant at slot {slot} seq {seq}"));
+        assert_eq!(recorded.output_wavelength as u32, output_wavelength);
+        let sub = submitted[&id];
+        assert_eq!(recorded.request.src_fiber as u32, sub.src_fiber);
+        assert_eq!(recorded.request.src_wavelength as u32, sub.src_wavelength);
+        assert_eq!(recorded.request.dst_fiber as u32, sub.dst_fiber);
+        assert_eq!(recorded.request.duration, sub.duration);
+    }
+}
+
+#[test]
+fn fa_session_replays_bit_identically() {
+    drive(Policy::FirstAvailable, Conversion::symmetric_non_circular(K, 3).unwrap());
+}
+
+#[test]
+fn bfa_session_replays_bit_identically() {
+    drive(Policy::BreakFirstAvailable, Conversion::symmetric_circular(K, 3).unwrap());
+}
+
+#[test]
+fn approx_session_replays_bit_identically() {
+    drive(Policy::Approximate, Conversion::symmetric_circular(K, 3).unwrap());
+}
+
+/// Two daemon sessions fed the identical request stream produce identical
+/// traces — the server itself is deterministic, not just replayable.
+#[test]
+fn identical_sessions_produce_identical_traces() {
+    let run_once = || {
+        let config = ServerConfig {
+            engine: EngineConfig::new(
+                N,
+                Conversion::symmetric_circular(K, 3).unwrap(),
+                Policy::Auto,
+            )
+            .with_trace(),
+            slot_period: Duration::ZERO,
+            max_slots: None,
+        };
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().to_string();
+        let t = std::thread::spawn(move || server.run());
+        let mut client = Client::connect(&addr).unwrap();
+        let mut next_id = 0u64;
+        for slot in 0..40 {
+            let batch = batch_for(slot, &mut next_id);
+            if batch.is_empty() {
+                continue;
+            }
+            client.submit(&batch).unwrap();
+            let mut outstanding = batch.len();
+            while outstanding > 0 {
+                match client.next_frame().unwrap() {
+                    Frame::Grant { .. } | Frame::Deny { .. } => outstanding -= 1,
+                    _ => {}
+                }
+            }
+        }
+        client.send_shutdown().unwrap();
+        while client.next_frame().is_ok() {}
+        t.join().unwrap().unwrap().trace.unwrap()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b);
+}

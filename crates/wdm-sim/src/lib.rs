@@ -30,8 +30,12 @@ pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod sweep_sync;
+pub mod trace;
 pub mod traffic;
 
 pub use engine::{Report, Simulation, SimulationConfig};
 pub use metrics::{Metrics, SlotObservation};
+pub use trace::{
+    ReplayError, ReplayReport, SessionTrace, TraceConfig, TraceGrant, TraceRequest, TraceSlot,
+};
 pub use traffic::{BernoulliUniform, BurstyOnOff, DurationModel, Hotspot, TrafficModel};

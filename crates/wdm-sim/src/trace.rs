@@ -1,0 +1,362 @@
+//! Record/replay session traces — the differential contract between the
+//! `wdm-serve` daemon and the offline engine.
+//!
+//! A [`SessionTrace`] captures, per slot, exactly the request list the
+//! daemon's coordinator fed to its engine (in coordinator processing order)
+//! plus the grant stream it served back (fiber order, resolver order within
+//! a fiber, numbered by per-slot sequence). Because the daemon and
+//! [`Interconnect`] run the *same* `FiberUnit` decision path, replaying the
+//! recorded inputs through a fresh offline engine must reproduce the grant
+//! stream bit for bit; [`SessionTrace::replay`] asserts that and reports the
+//! first divergence otherwise. This is the server's differential test — a
+//! shard-ordering bug, a dropped request, or a resolver-state leak all show
+//! up as a [`ReplayError`].
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+use wdm_core::{Conversion, Error, Policy};
+use wdm_interconnect::{ConnectionRequest, Grant, Interconnect, InterconnectConfig};
+
+/// The engine configuration a trace was recorded under — everything needed
+/// to rebuild an identical [`Interconnect`] offline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of input = output fibers (`N`).
+    pub n: usize,
+    /// Wavelengths per fiber (`k`).
+    pub k: usize,
+    /// Wavelengths convertible on the "minus" side.
+    pub e: usize,
+    /// Wavelengths convertible on the "plus" side.
+    pub f: usize,
+    /// Conversion kind: `"circular"`, `"non_circular"`, or `"full"`.
+    pub kind: String,
+    /// Scheduling policy short name ([`Policy::name`]).
+    pub policy: String,
+}
+
+impl TraceConfig {
+    /// Describes a circular-conversion engine.
+    pub fn circular(n: usize, k: usize, e: usize, f: usize, policy: Policy) -> TraceConfig {
+        TraceConfig { n, k, e, f, kind: "circular".to_owned(), policy: policy.name().to_owned() }
+    }
+
+    /// Describes a non-circular-conversion engine.
+    pub fn non_circular(n: usize, k: usize, e: usize, f: usize, policy: Policy) -> TraceConfig {
+        TraceConfig {
+            n,
+            k,
+            e,
+            f,
+            kind: "non_circular".to_owned(),
+            policy: policy.name().to_owned(),
+        }
+    }
+
+    /// The conversion scheme this trace was recorded under.
+    pub fn conversion(&self) -> Result<Conversion, Error> {
+        match self.kind.as_str() {
+            "circular" => Conversion::circular(self.k, self.e, self.f),
+            "non_circular" => Conversion::non_circular(self.k, self.e, self.f),
+            "full" => Conversion::full(self.k),
+            other => Err(Error::UnknownPolicy { name: format!("conversion kind `{other}`") }),
+        }
+    }
+
+    /// Builds a fresh offline engine matching this configuration.
+    pub fn build_engine(&self) -> Result<Interconnect, Error> {
+        let conversion = self.conversion()?;
+        let policy: Policy = self.policy.parse()?;
+        Interconnect::new(InterconnectConfig::packet_switch(self.n, conversion).with_policy(policy))
+    }
+}
+
+/// One connection request as recorded on the wire (a serializable mirror of
+/// [`ConnectionRequest`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRequest {
+    /// Source input fiber.
+    pub src_fiber: usize,
+    /// Wavelength the request arrives on.
+    pub src_wavelength: usize,
+    /// Destination output fiber.
+    pub dst_fiber: usize,
+    /// Slots the connection holds once granted.
+    pub duration: u32,
+}
+
+impl From<ConnectionRequest> for TraceRequest {
+    fn from(r: ConnectionRequest) -> TraceRequest {
+        TraceRequest {
+            src_fiber: r.src_fiber,
+            src_wavelength: r.src_wavelength,
+            dst_fiber: r.dst_fiber,
+            duration: r.duration,
+        }
+    }
+}
+
+impl From<TraceRequest> for ConnectionRequest {
+    fn from(r: TraceRequest) -> ConnectionRequest {
+        ConnectionRequest {
+            src_fiber: r.src_fiber,
+            src_wavelength: r.src_wavelength,
+            dst_fiber: r.dst_fiber,
+            duration: r.duration,
+        }
+    }
+}
+
+/// One served grant: the per-slot sequence number the daemon stamped on the
+/// GRANT frame, the granted request, and the assigned output channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceGrant {
+    /// Position in the slot's grant stream (0-based).
+    pub seq: u64,
+    /// The granted request.
+    pub request: TraceRequest,
+    /// The output wavelength channel assigned on `request.dst_fiber`.
+    pub output_wavelength: usize,
+}
+
+/// Everything one slot did: the coordinator's input list (processing order,
+/// *before* source-busy admission — the engine re-derives rejections) and
+/// the grant stream served back.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSlot {
+    /// Slot number (0-based, dense).
+    pub slot: u64,
+    /// Requests fed to the engine this slot, in coordinator order.
+    pub inputs: Vec<TraceRequest>,
+    /// Grants served this slot, in sequence order.
+    pub grants: Vec<TraceGrant>,
+}
+
+/// A recorded daemon session: configuration plus the per-slot input/grant
+/// streams, replayable offline bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionTrace {
+    /// The engine configuration the session ran under.
+    pub config: TraceConfig,
+    /// The recorded slots, in slot order.
+    pub slots: Vec<TraceSlot>,
+}
+
+/// Summary of a successful replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
+pub struct ReplayReport {
+    /// Slots replayed.
+    pub slots: usize,
+    /// Grants compared (all bit-identical).
+    pub grants: usize,
+}
+
+/// Why a replay diverged from the recorded session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplayError {
+    /// The trace's configuration could not rebuild an engine, or a recorded
+    /// input was invalid for it.
+    Setup(Error),
+    /// A slot granted a different number of requests than recorded.
+    GrantCountMismatch {
+        /// The diverging slot.
+        slot: u64,
+        /// Grants in the recorded stream.
+        recorded: usize,
+        /// Grants the offline engine produced.
+        replayed: usize,
+    },
+    /// A grant differs from the recorded one at the same sequence number.
+    GrantMismatch {
+        /// The diverging slot.
+        slot: u64,
+        /// The recorded grant.
+        recorded: TraceGrant,
+        /// What the offline engine produced at that sequence number.
+        replayed: TraceGrant,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Setup(e) => write!(out, "trace cannot rebuild its engine: {e}"),
+            ReplayError::GrantCountMismatch { slot, recorded, replayed } => write!(
+                out,
+                "slot {slot}: recorded {recorded} grants but replay produced {replayed}"
+            ),
+            ReplayError::GrantMismatch { slot, recorded, replayed } => write!(
+                out,
+                "slot {slot} seq {}: recorded {recorded:?} but replay produced {replayed:?}",
+                recorded.seq
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<Error> for ReplayError {
+    fn from(e: Error) -> ReplayError {
+        ReplayError::Setup(e)
+    }
+}
+
+impl SessionTrace {
+    /// An empty trace for the given configuration.
+    pub fn new(config: TraceConfig) -> SessionTrace {
+        SessionTrace { config, slots: Vec::new() }
+    }
+
+    /// Appends one slot: the engine inputs in coordinator order and the
+    /// grant stream served back (sequence numbers are assigned here, in
+    /// stream order).
+    pub fn record_slot(&mut self, inputs: &[ConnectionRequest], grants: &[Grant]) {
+        let slot = self.slots.len() as u64;
+        self.slots.push(TraceSlot {
+            slot,
+            inputs: inputs.iter().map(|&r| TraceRequest::from(r)).collect(),
+            grants: grants
+                .iter()
+                .enumerate()
+                .map(|(seq, g)| TraceGrant {
+                    seq: seq as u64,
+                    request: TraceRequest::from(g.request),
+                    output_wavelength: g.output_wavelength,
+                })
+                .collect(),
+        });
+    }
+
+    /// Total grants recorded across all slots.
+    pub fn grant_count(&self) -> usize {
+        self.slots.iter().map(|s| s.grants.len()).sum()
+    }
+
+    /// Replays the recorded inputs through a fresh offline engine and
+    /// compares the resulting grant stream bit for bit against the recorded
+    /// one. Returns the first divergence, if any.
+    pub fn replay(&self) -> Result<ReplayReport, ReplayError> {
+        let mut engine = self.config.build_engine()?;
+        let mut inputs: Vec<ConnectionRequest> = Vec::new();
+        let mut grants = 0usize;
+        for recorded in &self.slots {
+            inputs.clear();
+            inputs.extend(recorded.inputs.iter().map(|&r| ConnectionRequest::from(r)));
+            let result = engine.advance_slot(&inputs)?;
+            if result.grants.len() != recorded.grants.len() {
+                return Err(ReplayError::GrantCountMismatch {
+                    slot: recorded.slot,
+                    recorded: recorded.grants.len(),
+                    replayed: result.grants.len(),
+                });
+            }
+            for (seq, (rec, got)) in recorded.grants.iter().zip(&result.grants).enumerate() {
+                let got = TraceGrant {
+                    seq: seq as u64,
+                    request: TraceRequest::from(got.request),
+                    output_wavelength: got.output_wavelength,
+                };
+                if *rec != got {
+                    return Err(ReplayError::GrantMismatch {
+                        slot: recorded.slot,
+                        recorded: *rec,
+                        replayed: got,
+                    });
+                }
+                grants += 1;
+            }
+        }
+        Ok(ReplayReport { slots: self.slots.len(), grants })
+    }
+
+    /// Serializes the trace to pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a trace from JSON.
+    pub fn from_json(text: &str) -> Result<SessionTrace, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorded_session(policy: Policy) -> SessionTrace {
+        let config = TraceConfig::circular(4, 6, 1, 1, policy);
+        let mut engine = config.build_engine().unwrap();
+        let mut trace = SessionTrace::new(config);
+        for slot in 0..20u64 {
+            let inputs: Vec<ConnectionRequest> = (0..4usize)
+                .flat_map(|fiber| {
+                    (0..6usize).filter_map(move |w| {
+                        let h = fiber * 13 + w * 5 + slot as usize * 11;
+                        (h % 3 == 0).then(|| {
+                            ConnectionRequest::burst(fiber, w, (fiber + w) % 4, 1 + (h % 3) as u32)
+                        })
+                    })
+                })
+                .collect();
+            let result = engine.advance_slot(&inputs).unwrap();
+            trace.record_slot(&inputs, &result.grants);
+        }
+        trace
+    }
+
+    #[test]
+    fn replay_matches_recording() {
+        for policy in [Policy::BreakFirstAvailable, Policy::Approximate, Policy::Auto] {
+            let trace = recorded_session(policy);
+            assert!(trace.grant_count() > 0);
+            let report = trace.replay().unwrap();
+            assert_eq!(report.slots, 20);
+            assert_eq!(report.grants, trace.grant_count());
+        }
+    }
+
+    #[test]
+    fn tampered_grant_detected() {
+        let mut trace = recorded_session(Policy::Auto);
+        let slot = trace.slots.iter_mut().find(|s| !s.grants.is_empty()).unwrap();
+        slot.grants[0].output_wavelength ^= 1;
+        assert!(matches!(trace.replay(), Err(ReplayError::GrantMismatch { .. })));
+    }
+
+    #[test]
+    fn dropped_grant_detected() {
+        let mut trace = recorded_session(Policy::Auto);
+        let slot = trace.slots.iter_mut().find(|s| !s.grants.is_empty()).unwrap();
+        slot.grants.pop();
+        assert!(matches!(trace.replay(), Err(ReplayError::GrantCountMismatch { .. })));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let trace = recorded_session(Policy::BreakFirstAvailable);
+        let json = trace.to_json().unwrap();
+        let back = SessionTrace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+        let _ = back.replay().unwrap();
+    }
+
+    #[test]
+    fn bad_config_is_setup_error() {
+        let mut trace = recorded_session(Policy::Auto);
+        trace.config.policy = "nonsense".to_owned();
+        assert!(matches!(trace.replay(), Err(ReplayError::Setup(_))));
+    }
+
+    #[test]
+    fn non_circular_config_builds() {
+        let config = TraceConfig::non_circular(2, 8, 1, 1, Policy::FirstAvailable);
+        let mut engine = config.build_engine().unwrap();
+        let r = engine.advance_slot(&[ConnectionRequest::packet(0, 3, 1)]).unwrap();
+        assert_eq!(r.grants.len(), 1);
+    }
+}

@@ -31,8 +31,15 @@ use std::path::{Path, PathBuf};
 /// Library crates the lint pass covers (same set the old scanner covered:
 /// `wdm-alloc-count` is deliberately excluded — it is test infrastructure
 /// and the one sanctioned `unsafe` impl in the workspace).
-pub const LIBRARY_CRATES: [&str; 5] =
-    ["wdm-core", "wdm-hardware", "wdm-interconnect", "wdm-sim", "wdm-bench"];
+pub const LIBRARY_CRATES: [&str; 7] = [
+    "wdm-core",
+    "wdm-hardware",
+    "wdm-interconnect",
+    "wdm-sim",
+    "wdm-bench",
+    "wdm-serve",
+    "wdm-loadgen",
+];
 
 /// Directory holding the algorithm modules checked by [`twins`],
 /// [`doc_tags`], and [`must_use`]'s entry-point rule.

@@ -17,8 +17,17 @@ use syn::Item;
 use super::{twins, SourceFile, Violation};
 
 /// Result types whose declarations must be `#[must_use]`.
-pub const MUST_USE_TYPES: [&str; 5] =
-    ["MatchingCertificate", "Matching", "ApproxOutcome", "SlotStats", "SlotResult"];
+pub const MUST_USE_TYPES: [&str; 9] = [
+    "MatchingCertificate",
+    "Matching",
+    "ApproxOutcome",
+    "SlotStats",
+    "SlotResult",
+    "Reply",
+    "SlotSummary",
+    "ServerReport",
+    "LoadReport",
+];
 
 /// Rule 1: type declarations.
 pub fn check_types(source: &SourceFile, out: &mut Vec<Violation>) {
