@@ -1,0 +1,25 @@
+//! Marker attributes consumed by the `cargo xtask lint` AST pass.
+//!
+//! The attributes expand to their item unchanged — they carry *static*
+//! meaning, not runtime behavior. `#[hot_path]` marks a function as part of
+//! a per-slot scheduling loop: the `hot_path` lint bans allocating calls
+//! (`Vec::new`, `collect`, `format!`, `Box::new`, …) in its body and one
+//! call level into same-file callees, the static complement to the runtime
+//! zero-alloc pins in `tests/alloc.rs` (wdm-sim) and the daemon slot loop.
+//!
+//! Built on the compiler's own `proc_macro` crate only, so it needs no
+//! external dependencies (the workspace is offline).
+
+use proc_macro::TokenStream;
+
+/// Marks a function as slot-loop hot-path code.
+///
+/// Expansion is the identity — the attribute exists so (a) the marking is
+/// compiler-checked (a typo like `#[hot_pth]` fails to build) and (b) the
+/// `cargo xtask lint` hot-path allocation lint knows which functions must
+/// stay allocation-free. Apply it to the per-slot entry points only, never
+/// to setup/teardown code that legitimately allocates.
+#[proc_macro_attribute]
+pub fn hot_path(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -6,6 +6,8 @@
 //! packages the matching algorithms behind one interface; the interconnect
 //! crates instantiate `N` of these, one per output fiber.
 
+use wdm_attr::hot_path;
+
 use crate::algorithms::{
     approx_schedule_into, break_fa_schedule_into, fa_schedule_into, full_range_schedule_into,
     hopcroft_karp_in, Assignment,
@@ -210,6 +212,7 @@ impl FiberScheduler {
     /// the counting-allocator test in `wdm-alloc-count`.
     ///
     /// On error the arena's assignment buffer is left empty.
+    #[hot_path]
     pub fn schedule_slot(
         &self,
         requests: &RequestVector,

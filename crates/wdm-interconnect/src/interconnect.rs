@@ -7,6 +7,7 @@
 //! requests with round-robin fairness, and the resulting fabric
 //! configuration is checked against the physical datapath model.
 
+use wdm_attr::hot_path;
 use wdm_core::{ChannelMask, Conversion, Error, Policy};
 
 use crate::connection::{ConnectionRequest, RejectReason, Rejection, SlotResult};
@@ -181,6 +182,7 @@ impl Interconnect {
     /// their working sizes) a packet-switch slot performs zero heap
     /// allocations end to end — this is the per-slot production path the
     /// simulation engine drives.
+    #[hot_path]
     pub fn advance_slot_into(
         &mut self,
         requests: &[ConnectionRequest],

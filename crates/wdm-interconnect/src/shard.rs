@@ -13,6 +13,7 @@
 //! replayable bit-for-bit through the offline engine — there is no second
 //! implementation to drift.
 
+use wdm_attr::hot_path;
 use wdm_core::{
     ChannelMask, Conversion, ConversionKind, Error, FiberScheduler, Policy, RequestVector,
     ScratchArena,
@@ -191,6 +192,7 @@ impl FiberUnit {
 
     /// §V non-disturb: occupied channels leave the request graph; the
     /// wavelength-level matching runs over the free ones.
+    #[hot_path]
     fn schedule_non_disturb(&mut self, candidates: &[ConnectionRequest]) {
         self.requests.clear();
         for c in candidates {

@@ -243,6 +243,12 @@ fn run_closed(
     Ok((tally, hist, requests, elapsed))
 }
 
+/// Depth of the bounded submit-instant queue feeding the open-loop
+/// collector. It holds the in-flight window only (the collector drains on
+/// every grant), so this covers thousands of outstanding requests before
+/// any latency sample is shed.
+const TIME_QUEUE_DEPTH: usize = 16 * 1024;
+
 fn run_open(
     client: Client,
     config: &LoadgenConfig,
@@ -251,20 +257,26 @@ fn run_open(
     rng: &mut StdRng,
 ) -> Result<(Tally, LatencyHistogram, u64, Duration), ProtocolError> {
     let (mut reader, mut writer) = client.into_split();
-    // Submit instants flow to the reader thread alongside the wire; ids are
-    // sequential so the reader indexes a growing Vec.
-    let (time_tx, time_rx) = std::sync::mpsc::channel::<Instant>();
+    // Submit instants flow to the reader thread alongside the wire, keyed
+    // by request id so a dropped sample cannot misalign later ones. The
+    // channel is bounded (the workspace bans unbounded queues): under
+    // normal pacing the collector drains it every grant, and if it ever
+    // fills, `try_send` sheds the latency *sample* — never the request.
+    let (time_tx, time_rx) = std::sync::mpsc::sync_channel::<(u64, Instant)>(TIME_QUEUE_DEPTH);
     let collector = std::thread::spawn(move || {
         let mut tally = Tally::default();
         let mut hist = LatencyHistogram::new();
-        let mut submit_times: Vec<Instant> = Vec::new();
+        let mut submit_times: std::collections::HashMap<u64, Instant> =
+            std::collections::HashMap::new();
         // A read error — the server closing the socket after SHUTDOWN — is
         // the normal end of an open-loop run.
         while let Ok(frame) = reader.next_frame() {
             let _ = tally.observe(&frame);
             if let Frame::Grant { id, .. } = frame {
-                submit_times.extend(time_rx.try_iter());
-                if let Some(t0) = submit_times.get(id as usize) {
+                for (sent_id, t0) in time_rx.try_iter() {
+                    submit_times.insert(sent_id, t0);
+                }
+                if let Some(t0) = submit_times.remove(&id) {
                     let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     hist.record(ns);
                 }
@@ -277,6 +289,7 @@ fn run_open(
     let mut batch = Vec::new();
     let mut next_id = 0u64;
     let mut requests = 0u64;
+    let mut shed_samples = 0u64;
     let start = Instant::now();
     let mut next_send = start;
     for slot in 0..config.batches {
@@ -287,8 +300,14 @@ fn run_open(
             std::thread::sleep(sleep);
         }
         next_send += interval;
-        for _ in 0..batch.len() {
-            let _ = time_tx.send(Instant::now());
+        let first_id = next_id - batch.len() as u64;
+        for offset in 0..batch.len() as u64 {
+            // A full queue or a finished collector loses only this latency
+            // sample; the request itself still goes on the wire below.
+            match time_tx.try_send((first_id + offset, Instant::now())) {
+                Ok(()) => {}
+                Err(_) => shed_samples += 1,
+            }
         }
         if !batch.is_empty() {
             writer.submit(&batch)?;
@@ -307,6 +326,9 @@ fn run_open(
     let Ok((tally, hist)) = collector.join() else {
         return Err(ProtocolError::Disconnected);
     };
+    if shed_samples > 0 {
+        eprintln!("loadgen: shed {shed_samples} latency samples (submit-instant queue full)");
+    }
     Ok((tally, hist, requests, elapsed))
 }
 

@@ -20,7 +20,14 @@ impl SlotClock {
     /// A clock ticking every `period`, starting one period from now.
     /// `Duration::ZERO` free-runs.
     pub fn new(period: Duration) -> SlotClock {
-        SlotClock { period, next: Instant::now() + period }
+        SlotClock::starting_at(period, Instant::now())
+    }
+
+    /// A clock whose slot boundaries land at `start + i * period` for
+    /// `i >= 1`. With [`Self::tick_at`] this makes the catch-up arithmetic
+    /// testable against synthetic instants, with no real sleeping.
+    pub fn starting_at(period: Duration, start: Instant) -> SlotClock {
+        SlotClock { period, next: start + period }
     }
 
     /// The slot period.
@@ -42,19 +49,33 @@ impl SlotClock {
         self.next.saturating_duration_since(Instant::now())
     }
 
+    /// The pure tick step: given the current instant, returns how long to
+    /// sleep until the next slot boundary (zero when overdue or
+    /// free-running) and advances the boundary by exactly one period.
+    ///
+    /// Boundaries stay on the fixed `start + i * period` grid no matter how
+    /// late the caller is, so lateness is worked off over subsequent slots
+    /// (each overdue tick returns zero) instead of shifting the cadence.
+    /// This is the deterministic seam the catch-up tests drive with
+    /// synthetic instants; [`Self::wait`] is the thin sleeping wrapper.
+    pub fn tick_at(&mut self, now: Instant) -> Duration {
+        if self.free_running() {
+            return Duration::ZERO;
+        }
+        let sleep = self.next.saturating_duration_since(now);
+        self.next += self.period;
+        sleep
+    }
+
     /// Blocks until the next slot boundary and schedules the one after.
     /// When the loop is behind, returns immediately (no sleep) but still
     /// advances the boundary by exactly one period, so lateness is worked
     /// off over subsequent slots instead of compounding.
     pub fn wait(&mut self) {
-        if self.free_running() {
-            return;
-        }
-        let now = Instant::now();
-        if let Some(sleep) = self.next.checked_duration_since(now) {
+        let sleep = self.tick_at(Instant::now());
+        if !sleep.is_zero() {
             std::thread::sleep(sleep);
         }
-        self.next += self.period;
     }
 }
 
@@ -96,5 +117,79 @@ mod tests {
             clock.wait();
         }
         assert!(start.elapsed() < Duration::from_millis(4));
+    }
+
+    // The remaining tests drive tick_at with synthetic instants: no real
+    // sleeping, every duration assertion exact.
+
+    const P: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn tick_at_on_time_sleeps_one_period() {
+        let start = Instant::now();
+        let mut clock = SlotClock::starting_at(P, start);
+        // Arriving exactly at each boundary: the next sleep is one period.
+        assert_eq!(clock.tick_at(start), P);
+        assert_eq!(clock.tick_at(start + P), P);
+        assert_eq!(clock.tick_at(start + 2 * P), P);
+    }
+
+    #[test]
+    fn tick_at_early_arrival_sleeps_the_remainder() {
+        let start = Instant::now();
+        let mut clock = SlotClock::starting_at(P, start);
+        // 3 ms into the first slot: sleep the remaining 7 ms.
+        assert_eq!(clock.tick_at(start + Duration::from_millis(3)), Duration::from_millis(7));
+        // 1 ms into the second: 9 ms remain to the boundary at start+2P.
+        assert_eq!(clock.tick_at(start + P + Duration::from_millis(1)), Duration::from_millis(9));
+    }
+
+    #[test]
+    fn tick_at_under_lag_returns_zero_until_caught_up() {
+        let start = Instant::now();
+        let mut clock = SlotClock::starting_at(P, start);
+        // A 35 ms stall straddles boundaries at 10, 20 and 30 ms: the next
+        // three ticks are overdue (zero sleep) and the fourth sleeps only
+        // the 5 ms back to the fixed grid — lateness never compounds.
+        let late = start + Duration::from_millis(35);
+        assert_eq!(clock.tick_at(late), Duration::ZERO);
+        assert_eq!(clock.tick_at(late), Duration::ZERO);
+        assert_eq!(clock.tick_at(late), Duration::ZERO);
+        assert_eq!(clock.tick_at(late), Duration::from_millis(5));
+        // Fully caught up: the cadence is the original grid, not late+i*P.
+        assert_eq!(clock.tick_at(start + 4 * P), P);
+    }
+
+    #[test]
+    fn tick_at_boundaries_stay_on_the_grid_after_repeated_lag() {
+        let start = Instant::now();
+        let mut clock = SlotClock::starting_at(P, start);
+        // Alternate on-time and 2.5-periods-late arrivals; sum of sleeps
+        // over i ticks must equal i*P minus total lag absorbed — i.e. the
+        // grid never drifts.
+        let mut slept = Duration::ZERO;
+        let mut now = start;
+        for i in 1..=20u32 {
+            if i % 4 == 0 {
+                now += 2 * P + P / 2; // fall behind
+            }
+            let sleep = clock.tick_at(now);
+            slept += sleep;
+            now += sleep; // waking exactly at the boundary (ideal sleeper)
+        }
+        // After 20 ticks the boundary is exactly start + 21*P regardless of
+        // the lag pattern: next tick from `now` sleeps (start+21P) - now.
+        let expected = (start + 21 * P).saturating_duration_since(now);
+        assert_eq!(clock.tick_at(now), expected);
+    }
+
+    #[test]
+    fn tick_at_free_running_never_advances_or_sleeps() {
+        let start = Instant::now();
+        let mut clock = SlotClock::starting_at(Duration::ZERO, start);
+        for offset in [0u64, 1, 100] {
+            assert_eq!(clock.tick_at(start + Duration::from_millis(offset)), Duration::ZERO);
+        }
+        assert!(clock.free_running());
     }
 }

@@ -20,8 +20,7 @@
 //! sizes, trace recording off) [`SlotEngine::run_slot`] performs zero heap
 //! allocations — pinned by the `wdm-alloc-count` regression.
 
-use std::collections::VecDeque;
-
+use wdm_attr::hot_path;
 use wdm_core::{Conversion, ConversionKind, Error, Policy};
 use wdm_interconnect::{
     ConnectionRequest, Interconnect, InterconnectConfig, RejectReason, SlotResult,
@@ -29,6 +28,7 @@ use wdm_interconnect::{
 use wdm_sim::trace::{SessionTrace, TraceConfig};
 
 use crate::protocol::{DenyReason, SubmitRequest};
+use crate::serve_sync::{AdmitRejection, ShardQueues};
 
 /// Configuration of a [`SlotEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -129,8 +129,7 @@ struct Tagged {
 pub struct SlotEngine {
     engine: Interconnect,
     policy: Policy,
-    queue_capacity: usize,
-    queues: Vec<VecDeque<Tagged>>,
+    queues: ShardQueues<Tagged>,
     // Per-slot scratch, reused across slots (zero allocations at steady
     // state): the drained batch, its (conn, id) tags, the engine result,
     // and the consumed flags used to map grants back to tags.
@@ -182,8 +181,7 @@ impl SlotEngine {
         Ok(SlotEngine {
             engine,
             policy: config.policy,
-            queue_capacity: config.queue_capacity.max(1),
-            queues: (0..config.n).map(|_| VecDeque::new()).collect(),
+            queues: ShardQueues::new(config.n, config.queue_capacity),
             batch: Vec::new(),
             tags: Vec::new(),
             result: SlotResult::default(),
@@ -214,7 +212,7 @@ impl SlotEngine {
 
     /// Requests waiting in the shard queues.
     pub fn pending(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.queues.pending()
     }
 
     /// In-flight multi-slot connections.
@@ -226,7 +224,7 @@ impl SlotEngine {
     /// and nothing in flight to age. Free-running servers skip these slots
     /// (skipping is sound precisely because the engine state is untouched).
     pub fn is_idle(&self) -> bool {
-        self.engine.active_connections() == 0 && self.queues.iter().all(VecDeque::is_empty)
+        self.engine.active_connections() == 0 && self.queues.is_empty()
     }
 
     /// The recorded session so far, if recording is on.
@@ -243,6 +241,7 @@ impl SlotEngine {
     /// Returns an immediate deny [`Reply`] when the request is invalid for
     /// this interconnect or the shard queue is full; `None` means queued —
     /// the verdict arrives from the next [`Self::run_slot`].
+    #[hot_path]
     pub fn submit(&mut self, conn: u64, req: SubmitRequest) -> Option<Reply> {
         let slot = self.engine.slot();
         let deny = |reason, retry| {
@@ -259,14 +258,7 @@ impl SlotEngine {
         if src_fiber >= n || dst_fiber >= n || src_wavelength >= k || req.duration == 0 {
             return deny(DenyReason::InvalidRequest, 0);
         }
-        let Some(queue) = self.queues.get_mut(dst_fiber) else {
-            return deny(DenyReason::InvalidRequest, 0);
-        };
-        if queue.len() >= self.queue_capacity {
-            // Queues drain fully every slot, so "one slot" is exact.
-            return deny(DenyReason::QueueFull, 1);
-        }
-        queue.push_back(Tagged {
+        let tagged = Tagged {
             conn,
             id: req.id,
             request: ConnectionRequest {
@@ -275,24 +267,29 @@ impl SlotEngine {
                 dst_fiber,
                 duration: req.duration,
             },
-        });
-        None
+        };
+        match self.queues.try_admit(dst_fiber, tagged) {
+            Ok(()) => None,
+            Err(AdmitRejection::InvalidShard(_)) => deny(DenyReason::InvalidRequest, 0),
+            // Queues drain fully every slot, so "one slot" is exact.
+            Err(AdmitRejection::Full(_)) => deny(DenyReason::QueueFull, 1),
+        }
     }
 
     /// Runs one slot: drains every shard queue (fiber order, FIFO within a
     /// fiber), schedules the batch through the offline engine, and appends
     /// one [`Reply`] per drained request to `out` — grants first in
     /// per-slot sequence order, then denies in engine rejection order.
+    #[hot_path]
     pub fn run_slot(&mut self, out: &mut Vec<Reply>) -> SlotSummary {
         let slot = self.engine.slot();
         self.batch.clear();
         self.tags.clear();
-        for queue in &mut self.queues {
-            while let Some(t) = queue.pop_front() {
-                self.batch.push(t.request);
-                self.tags.push((t.conn, t.id));
-            }
-        }
+        let SlotEngine { queues, batch, tags, .. } = self;
+        queues.drain_into(|t| {
+            batch.push(t.request);
+            tags.push((t.conn, t.id));
+        });
         let Ok(()) = self.engine.advance_slot_into(&self.batch, &mut self.result) else {
             unreachable!("submit() validated every queued request")
         };

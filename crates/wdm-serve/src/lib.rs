@@ -16,6 +16,11 @@
 //!   [`wdm_interconnect::FiberUnit`] shards as every other consumer — the
 //!   steady-state slot loop allocates nothing and a recorded session
 //!   replays bit-for-bit through [`wdm_sim::trace`];
+//! * [`serve_sync`] — the cross-thread coordination primitives (bounded
+//!   channel, stop flag, slot-sequence counter, shard admission queues) on
+//!   `cfg(loom)`-swappable atomics/mutexes/condvars, exhaustively
+//!   model-checked by `tests/loom_serve.rs` under `cargo xtask loom`; the
+//!   canonical shutdown drain order is documented there;
 //! * [`server`] — the daemon: acceptor + per-connection reader threads
 //!   feeding a bounded intake channel, the coordinator slot loop, and a
 //!   results thread streaming grant/deny frames back;
@@ -30,6 +35,7 @@ pub mod client;
 pub mod clock;
 pub mod engine;
 pub mod protocol;
+pub mod serve_sync;
 pub mod server;
 
 pub use client::Client;

@@ -1,7 +1,8 @@
 //! The daemon: acceptor, per-connection readers, coordinator slot loop,
 //! and the results writer.
 //!
-//! Thread layout (all std threads, no async runtime — see DESIGN.md §11):
+//! Thread layout (all std threads, no async runtime — see DESIGN.md §11
+//! and §12):
 //!
 //! * **acceptor** — polls a non-blocking listener, assigns connection ids,
 //!   registers the write half with the results thread, and spawns one
@@ -11,19 +12,21 @@
 //!   a flooding client stalls its own reader, never the daemon's memory);
 //! * **coordinator** (the [`Server::run`] thread) — drains intake until the
 //!   slot boundary, ticks the [`crate::SlotClock`], runs
-//!   [`SlotEngine::run_slot`], and hands the reply stream to the results
-//!   thread;
+//!   [`SlotEngine::run_slot`], publishes the slot to the shared
+//!   [`SlotSequence`], and hands the reply stream to the results thread;
 //! * **results** — owns every connection's buffered write half, encodes
-//!   grant/deny frames, broadcasts SLOT_COMPLETE, and flushes whenever its
-//!   queue goes momentarily empty (prompt when quiet, batched under load).
+//!   grant/deny frames, broadcasts SLOT_COMPLETE (confirming each slot
+//!   against the [`SlotSequence`]), and flushes whenever its queue goes
+//!   momentarily empty (prompt when quiet, batched under load).
 //!
-//! Shutdown: a client SHUTDOWN frame or the configured `max_slots` stops
-//! the loop after the in-flight slot; queued requests are answered before
-//! the sockets close.
+//! Every cross-thread structure here comes from [`crate::serve_sync`],
+//! whose loom model (`tests/loom_serve.rs`) exhaustively checks the
+//! intake → admit → slot → results protocol; the shutdown sequence
+//! follows the drain order documented there — a client SHUTDOWN frame or
+//! the configured `max_slots` stops the loop after the in-flight slot, and
+//! queued requests are answered before the sockets close.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -34,10 +37,20 @@ use crate::engine::{EngineConfig, Reply, SlotEngine, Verdict};
 use crate::protocol::{
     read_frame, write_frame, Frame, ProtocolError, SubmitRequest, PROTOCOL_VERSION,
 };
+use crate::serve_sync::{
+    self, Receiver, RecvTimeoutError, Sender, SlotSequence, StopFlag, TryRecvError,
+};
 
 /// How many in-flight intake events the readers may buffer ahead of the
 /// coordinator before blocking (per server, not per connection).
 const INTAKE_DEPTH: usize = 4096;
+
+/// How many un-encoded result events the producers may buffer ahead of the
+/// results writer. Bounded like every other queue in the daemon; this can
+/// never deadlock because events flow into the results thread only — it
+/// sends nothing back — so a full queue merely paces the coordinator to
+/// the write side's drain rate.
+const RESULTS_DEPTH: usize = 8192;
 
 /// Acceptor poll interval while no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_micros(500);
@@ -131,11 +144,15 @@ impl Server {
             policy: engine.policy().name().to_owned(),
         };
 
-        let stop_accepting = Arc::new(AtomicBool::new(false));
-        let (in_tx, in_rx) = mpsc::sync_channel::<InEvent>(INTAKE_DEPTH);
-        let (out_tx, out_rx) = mpsc::channel::<OutEvent>();
+        let stop_accepting = Arc::new(StopFlag::new());
+        let slot_seq = Arc::new(SlotSequence::new());
+        let (in_tx, in_rx) = serve_sync::bounded::<InEvent>(INTAKE_DEPTH);
+        let (out_tx, out_rx) = serve_sync::bounded::<OutEvent>(RESULTS_DEPTH);
 
-        let results = std::thread::spawn(move || results_loop(&out_rx, &hello));
+        let results = {
+            let slot_seq = Arc::clone(&slot_seq);
+            std::thread::spawn(move || results_loop(&out_rx, &hello, &slot_seq))
+        };
         let acceptor = {
             let stop = Arc::clone(&stop_accepting);
             let out_tx = out_tx.clone();
@@ -159,9 +176,9 @@ impl Server {
             if clock.free_running() {
                 loop {
                     match in_rx.try_recv() {
-                        Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop),
-                        Err(mpsc::TryRecvError::Empty) => break,
-                        Err(mpsc::TryRecvError::Disconnected) => break 'slots,
+                        Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop)?,
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => break 'slots,
                     }
                 }
             } else {
@@ -171,9 +188,9 @@ impl Server {
                         break;
                     }
                     match in_rx.recv_timeout(remaining) {
-                        Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop),
-                        Err(mpsc::RecvTimeoutError::Timeout) => break,
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break 'slots,
+                        Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop)?,
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => break 'slots,
                     }
                 }
             }
@@ -187,22 +204,25 @@ impl Server {
                 // work units, so in-flight connections age one slot per
                 // executed slot — timing can never leak into the trace.
                 match in_rx.recv_timeout(IDLE_PARK) {
-                    Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop),
-                    Err(mpsc::RecvTimeoutError::Timeout) => {}
-                    Err(mpsc::RecvTimeoutError::Disconnected) => break 'slots,
+                    Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop)?,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break 'slots,
                 }
                 continue;
             }
 
-            // 2. The slot: drain shards, schedule, stream replies.
+            // 2. The slot: drain shards, schedule, stream replies. The slot
+            // is published to the shared sequence *before* its SlotDone
+            // event is enqueued (the results thread confirms the order).
             out.clear();
             let summary = engine.run_slot(&mut out);
             report.grants += summary.grants as u64;
             report.denies += summary.denies as u64;
             for r in &out {
-                let _ = out_tx.send(OutEvent::Reply(*r));
+                send_out(&out_tx, OutEvent::Reply(*r))?;
             }
-            let _ = out_tx.send(OutEvent::SlotDone { slot: summary.slot });
+            slot_seq.publish(summary.slot);
+            send_out(&out_tx, OutEvent::SlotDone { slot: summary.slot })?;
             report.slots += 1;
 
             if stop && engine.pending() == 0 {
@@ -215,20 +235,24 @@ impl Server {
             }
         }
 
-        // Teardown: stop accepting, close sockets (which unblocks the
-        // readers), then join everything.
-        stop_accepting.store(true, Ordering::SeqCst);
-        let reader_handles = match acceptor.join() {
-            Ok(handles) => handles,
-            Err(_) => Vec::new(),
-        };
+        // Teardown, in the serve_sync drain order: raise the stop flag and
+        // join the acceptor (no new readers past this point), send Finish
+        // and drop the results sender (the writer drains, flushes, closes
+        // every socket — unblocking the readers), join the results writer,
+        // join the readers, and only then drop the intake receiver.
+        stop_accepting.raise();
+        let reader_handles: Vec<std::thread::JoinHandle<()>> = acceptor.join().unwrap_or_default();
         report.connections = reader_handles.len() as u64;
-        let _ = out_tx.send(OutEvent::Finish);
+        // A failed Finish send means the results thread already exited —
+        // it only does that early by panicking, which the join surfaces.
+        let finish_sent = out_tx.send(OutEvent::Finish).is_ok();
         drop(out_tx);
-        if results.join().is_err() {
+        if results.join().is_err() || !finish_sent {
             return Err(ProtocolError::Disconnected);
         }
         for h in reader_handles {
+            // A reader that panicked already closed its connection; the
+            // report is still sound, so keep joining the rest.
             let _ = h.join();
         }
         drop(in_rx);
@@ -245,40 +269,56 @@ struct HelloInfo {
     policy: String,
 }
 
+/// Forwards an event to the results writer, typing the only failure —
+/// the writer is gone — as a disconnect for the coordinator to propagate.
+fn send_out(out_tx: &Sender<OutEvent>, ev: OutEvent) -> Result<(), ProtocolError> {
+    out_tx.send(ev).map_err(|_| ProtocolError::Disconnected)
+}
+
+/// Best-effort send for paths that terminate regardless of delivery: a
+/// failed send means the receiving thread is already tearing down, which
+/// also ends the caller's code path. Absorbing the typed error *here*, in
+/// one audited place, is the handled alternative to `let _ = tx.send(..)`
+/// at call sites (which the `channels` lint bans).
+fn send_final<T>(tx: &Sender<T>, ev: T) {
+    let Ok(()) = tx.send(ev) else { return };
+}
+
 fn handle_in(
     ev: InEvent,
     engine: &mut SlotEngine,
-    out_tx: &mpsc::Sender<OutEvent>,
+    out_tx: &Sender<OutEvent>,
     report: &mut ServerReport,
     stop: &mut bool,
-) {
+) -> Result<(), ProtocolError> {
     match ev {
         InEvent::Submit { conn, requests } => {
             for req in requests {
                 if let Some(reply) = engine.submit(conn, req) {
                     report.admission_denies += 1;
-                    let _ = out_tx.send(OutEvent::Reply(reply));
+                    send_out(out_tx, OutEvent::Reply(reply))?;
                 }
             }
         }
         InEvent::Shutdown => *stop = true,
     }
+    Ok(())
 }
 
 /// Accepts connections until told to stop; returns the reader handles so
 /// the coordinator can join them after the sockets are shut down.
 fn acceptor_loop(
     listener: &TcpListener,
-    stop: &AtomicBool,
-    in_tx: &mpsc::SyncSender<InEvent>,
-    out_tx: &mpsc::Sender<OutEvent>,
+    stop: &StopFlag,
+    in_tx: &Sender<InEvent>,
+    out_tx: &Sender<OutEvent>,
 ) -> Vec<std::thread::JoinHandle<()>> {
     let mut handles = Vec::new();
     if listener.set_nonblocking(true).is_err() {
         return handles;
     }
     let mut next_conn: u64 = 0;
-    while !stop.load(Ordering::SeqCst) {
+    while !stop.is_raised() {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let conn = next_conn;
@@ -287,7 +327,10 @@ fn acceptor_loop(
                 let Ok(write_half) = stream.try_clone() else {
                     continue;
                 };
-                let _ = out_tx.send(OutEvent::Register { conn, stream: write_half });
+                if out_tx.send(OutEvent::Register { conn, stream: write_half }).is_err() {
+                    // Results writer gone: the daemon is tearing down.
+                    break;
+                }
                 let in_tx = in_tx.clone();
                 let out_tx = out_tx.clone();
                 handles.push(std::thread::spawn(move || {
@@ -305,61 +348,71 @@ fn acceptor_loop(
 
 /// One connection's read side: HELLO handshake, then SUBMIT/SHUTDOWN until
 /// disconnect or a protocol violation (which closes only this connection).
-fn reader_loop(
-    conn: u64,
-    stream: TcpStream,
-    in_tx: &mpsc::SyncSender<InEvent>,
-    out_tx: &mpsc::Sender<OutEvent>,
-) {
+///
+/// Every event send is handled: a failed send means the receiving thread is
+/// tearing down, which ends this connection too — readers exit, they never
+/// drop an event silently.
+fn reader_loop(conn: u64, stream: TcpStream, in_tx: &Sender<InEvent>, out_tx: &Sender<OutEvent>) {
     let mut reader = std::io::BufReader::new(stream);
-    match read_frame(&mut reader) {
+    let handshake_sent = match read_frame(&mut reader) {
         Ok(Frame::Hello { version }) if version == PROTOCOL_VERSION => {
-            let _ = out_tx.send(OutEvent::HelloOk { conn });
+            out_tx.send(OutEvent::HelloOk { conn }).is_ok()
         }
         Ok(Frame::Hello { version }) => {
-            let _ = out_tx.send(OutEvent::Fatal {
+            let fatal = OutEvent::Fatal {
                 conn,
                 code: 2,
                 message: format!(
                     "protocol version mismatch: server {PROTOCOL_VERSION}, client {version}"
                 ),
-            });
+            };
+            send_final(out_tx, fatal);
             return;
         }
         Ok(_) => {
-            let _ = out_tx.send(OutEvent::Fatal {
+            let fatal = OutEvent::Fatal {
                 conn,
                 code: 3,
                 message: "expected HELLO as the first frame".to_owned(),
-            });
+            };
+            send_final(out_tx, fatal);
             return;
         }
         Err(_) => {
-            let _ = out_tx.send(OutEvent::Close { conn });
+            send_final(out_tx, OutEvent::Close { conn });
             return;
         }
+    };
+    if !handshake_sent {
+        return;
     }
     loop {
         match read_frame(&mut reader) {
             Ok(Frame::Submit { requests }) => {
                 if in_tx.send(InEvent::Submit { conn, requests }).is_err() {
-                    let _ = out_tx.send(OutEvent::Close { conn });
+                    send_final(out_tx, OutEvent::Close { conn });
                     return;
                 }
             }
             Ok(Frame::Shutdown) => {
-                let _ = in_tx.send(InEvent::Shutdown);
+                if in_tx.send(InEvent::Shutdown).is_err() {
+                    // The coordinator is already past its intake loop —
+                    // shutdown is in progress, which is what was asked for.
+                    send_final(out_tx, OutEvent::Close { conn });
+                    return;
+                }
             }
             Ok(_) => {
-                let _ = out_tx.send(OutEvent::Fatal {
+                let fatal = OutEvent::Fatal {
                     conn,
                     code: 3,
                     message: "clients may only send SUBMIT or SHUTDOWN".to_owned(),
-                });
+                };
+                send_final(out_tx, fatal);
                 return;
             }
             Err(_) => {
-                let _ = out_tx.send(OutEvent::Close { conn });
+                send_final(out_tx, OutEvent::Close { conn });
                 return;
             }
         }
@@ -367,7 +420,7 @@ fn reader_loop(
 }
 
 /// The single writer thread: owns every connection's buffered write half.
-fn results_loop(out_rx: &mpsc::Receiver<OutEvent>, hello: &HelloInfo) {
+fn results_loop(out_rx: &Receiver<OutEvent>, hello: &HelloInfo, slot_seq: &SlotSequence) {
     // Connection ids are dense and small; a Vec doubles as the map.
     let mut writers: Vec<Option<std::io::BufWriter<TcpStream>>> = Vec::new();
     let mut dirty = false;
@@ -376,7 +429,7 @@ fn results_loop(out_rx: &mpsc::Receiver<OutEvent>, hello: &HelloInfo) {
         // it empties so a lone reply never waits for the next slot.
         let ev = match out_rx.try_recv() {
             Ok(ev) => ev,
-            Err(mpsc::TryRecvError::Empty) => {
+            Err(TryRecvError::Empty) => {
                 if dirty {
                     flush_all(&mut writers);
                     dirty = false;
@@ -386,7 +439,7 @@ fn results_loop(out_rx: &mpsc::Receiver<OutEvent>, hello: &HelloInfo) {
                     Err(_) => return,
                 }
             }
-            Err(mpsc::TryRecvError::Disconnected) => return,
+            Err(TryRecvError::Disconnected) => return,
         };
         match ev {
             OutEvent::Register { conn, stream } => {
@@ -423,6 +476,9 @@ fn results_loop(out_rx: &mpsc::Receiver<OutEvent>, hello: &HelloInfo) {
                 dirty = true;
             }
             OutEvent::SlotDone { slot } => {
+                // Publish-before-notify: the coordinator published this
+                // slot before enqueuing the event.
+                slot_seq.confirm(slot);
                 for conn in 0..writers.len() as u64 {
                     send_to(&mut writers, conn, &Frame::SlotComplete { slot });
                 }

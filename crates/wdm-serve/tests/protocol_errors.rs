@@ -1,0 +1,354 @@
+//! The decode-error matrix: every [`ProtocolError`] variant is reachable
+//! from hostile input, and each maps to the *right* variant — a corrupt
+//! length prefix must not masquerade as an I/O error, a truncated payload
+//! must not read past the frame, and the 1 MiB frame cap must reject at
+//! exactly cap+1 while cap-sized and cap−1-sized frames are still read in
+//! full and judged on their contents.
+//!
+//! The transport-level variants the pure decoder cannot produce
+//! (`VersionMismatch`, `ServerError`, `UnexpectedFrame`) are driven through
+//! [`Client::connect`] against a scripted loopback listener; `Engine` comes
+//! from the engine-config conversion.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::io::Read;
+use std::net::TcpListener;
+
+use wdm_serve::protocol::{
+    read_frame, write_frame, DenyReason, Frame, ProtocolError, SubmitRequest, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use wdm_serve::Client;
+
+/// Encodes one frame to wire bytes (length prefix included).
+fn wire(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, frame).unwrap();
+    buf
+}
+
+/// Decodes wire bytes, expecting an error.
+fn decode_err(bytes: &[u8]) -> ProtocolError {
+    match read_frame(&mut &bytes[..]) {
+        Ok(frame) => panic!("expected a decode error, got {frame:?}"),
+        Err(e) => e,
+    }
+}
+
+/// A reader that fails with a non-EOF transport error on first read.
+#[derive(Debug)]
+struct FailingReader;
+
+impl Read for FailingReader {
+    fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::new(std::io::ErrorKind::ConnectionReset, "injected"))
+    }
+}
+
+#[test]
+fn transport_failure_is_io_not_disconnected() {
+    match read_frame(&mut FailingReader) {
+        Err(ProtocolError::Io(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset);
+        }
+        other => panic!("expected Io, got {other:?}"),
+    }
+}
+
+#[test]
+fn eof_anywhere_is_disconnected() {
+    // Before any byte, mid-length-prefix, and mid-payload: all Disconnected.
+    let full = wire(&Frame::SlotComplete { slot: 9 });
+    for cut in [0, 2, full.len() - 1] {
+        match read_frame(&mut &full[..cut]) {
+            Err(ProtocolError::Disconnected) => {}
+            other => panic!("cut at {cut}: expected Disconnected, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_reports_received_bytes() {
+    let mut bytes = wire(&Frame::Hello { version: PROTOCOL_VERSION });
+    bytes[5] = 0xAA; // first magic byte, just past prefix + tag
+    match decode_err(&bytes) {
+        ProtocolError::BadMagic { got } => assert_ne!(got, wdm_serve::protocol::MAGIC),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_tag_reports_the_tag() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&2u32.to_le_bytes());
+    bytes.push(0xF3);
+    bytes.push(0);
+    match decode_err(&bytes) {
+        ProtocolError::UnknownTag { tag: 0xF3 } => {}
+        other => panic!("expected UnknownTag, got {other:?}"),
+    }
+}
+
+/// A length prefix of `len` followed by a SHUTDOWN tag and zero padding, so
+/// the payload must be read in full and then rejected on structure.
+fn padded_shutdown(len: u32) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(4 + len as usize);
+    bytes.extend_from_slice(&len.to_le_bytes());
+    bytes.push(7); // TAG_SHUTDOWN
+    bytes.resize(4 + len as usize, 0);
+    bytes
+}
+
+#[test]
+fn frame_cap_rejects_at_exactly_cap_plus_one() {
+    // cap+1: rejected from the prefix alone — no payload bytes are even
+    // present, yet the error is FrameTooLarge, not a read failure, which is
+    // what proves the cap check runs before allocation.
+    let prefix_only = (MAX_FRAME_LEN + 1).to_le_bytes();
+    match read_frame(&mut &prefix_only[..]) {
+        Err(ProtocolError::FrameTooLarge { len }) => assert_eq!(len, MAX_FRAME_LEN + 1),
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+
+    // cap and cap−1: the length passes the cap check, the payload is read
+    // to the last byte, and the verdict comes from frame structure (a
+    // SHUTDOWN payload must be exactly one byte).
+    for len in [MAX_FRAME_LEN, MAX_FRAME_LEN - 1] {
+        let bytes = padded_shutdown(len);
+        match read_frame(&mut &bytes[..]) {
+            Err(ProtocolError::Malformed { frame: "SHUTDOWN" }) => {}
+            other => panic!("len {len}: expected Malformed SHUTDOWN, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn near_cap_valid_submit_still_decodes() {
+    // A genuinely valid frame close to the cap: 43,000 requests is a
+    // 1,032,005-byte payload, within 2% of MAX_FRAME_LEN.
+    let requests: Vec<SubmitRequest> = (0..43_000u64)
+        .map(|id| SubmitRequest {
+            id,
+            src_fiber: (id % 7) as u32,
+            src_wavelength: (id % 3) as u32,
+            dst_fiber: (id % 5) as u32,
+            duration: 1 + (id % 4) as u32,
+        })
+        .collect();
+    let bytes = wire(&Frame::Submit { requests: requests.clone() });
+    assert!(bytes.len() > (MAX_FRAME_LEN as usize * 98) / 100);
+    match read_frame(&mut &bytes[..]) {
+        Ok(Frame::Submit { requests: decoded }) => assert_eq!(decoded, requests),
+        other => panic!("expected the SUBMIT back, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_length_frame_is_malformed() {
+    let bytes = 0u32.to_le_bytes();
+    match read_frame(&mut &bytes[..]) {
+        Err(ProtocolError::Malformed { frame: "empty" }) => {}
+        other => panic!("expected Malformed empty, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_payloads_are_malformed_per_frame() {
+    // Shorten each frame's payload by one byte (keeping the prefix honest)
+    // and check the error names the right frame.
+    let cases: Vec<(Frame, &str)> = vec![
+        (Frame::Hello { version: PROTOCOL_VERSION }, "HELLO"),
+        (
+            Frame::HelloAck { version: PROTOCOL_VERSION, n: 4, k: 8, policy: "bfa".to_owned() },
+            "HELLO_ACK",
+        ),
+        (
+            Frame::Submit {
+                requests: vec![SubmitRequest {
+                    id: 1,
+                    src_fiber: 0,
+                    src_wavelength: 0,
+                    dst_fiber: 0,
+                    duration: 1,
+                }],
+            },
+            "SUBMIT",
+        ),
+        (Frame::Grant { slot: 1, seq: 0, id: 2, output_wavelength: 3 }, "GRANT"),
+        (
+            Frame::Deny { slot: 1, id: 2, reason: DenyReason::SourceBusy, retry_after_slots: 0 },
+            "DENY",
+        ),
+        (Frame::SlotComplete { slot: 1 }, "SLOT_COMPLETE"),
+        (Frame::Error { code: 3, message: "m".to_owned() }, "ERROR"),
+    ];
+    for (frame, name) in cases {
+        let mut bytes = wire(&frame);
+        bytes.truncate(bytes.len() - 1);
+        let short = u32::try_from(bytes.len() - 4).unwrap();
+        bytes[..4].copy_from_slice(&short.to_le_bytes());
+        match decode_err(&bytes) {
+            ProtocolError::Malformed { frame } => assert_eq!(frame, name),
+            other => panic!("{name}: expected Malformed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_are_malformed() {
+    // A structurally complete frame followed by junk inside the same
+    // payload: `finish()` must reject, not silently drop the tail.
+    for (frame, name) in [
+        (Frame::Shutdown, "SHUTDOWN"),
+        (Frame::Grant { slot: 1, seq: 0, id: 2, output_wavelength: 3 }, "GRANT"),
+        (Frame::Hello { version: PROTOCOL_VERSION }, "HELLO"),
+    ] {
+        let mut bytes = wire(&frame);
+        bytes.push(0xEE);
+        let long = u32::try_from(bytes.len() - 4).unwrap();
+        bytes[..4].copy_from_slice(&long.to_le_bytes());
+        match decode_err(&bytes) {
+            ProtocolError::Malformed { frame } => assert_eq!(frame, name),
+            other => panic!("{name}: expected Malformed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn non_utf8_policy_is_malformed() {
+    let mut bytes = Vec::new();
+    bytes.push(2); // TAG_HELLO_ACK
+    bytes.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&4u32.to_le_bytes()); // n
+    bytes.extend_from_slice(&8u32.to_le_bytes()); // k
+    bytes.push(2); // policy length
+    bytes.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8
+    let mut framed = Vec::new();
+    framed.extend_from_slice(&u32::try_from(bytes.len()).unwrap().to_le_bytes());
+    framed.extend_from_slice(&bytes);
+    match decode_err(&framed) {
+        ProtocolError::Malformed { frame: "HELLO_ACK" } => {}
+        other => panic!("expected Malformed HELLO_ACK, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_domain_deny_reason_is_bad_field() {
+    for bad in [0u8, 5, 0xFF] {
+        let mut bytes = wire(&Frame::Deny {
+            slot: 1,
+            id: 2,
+            reason: DenyReason::QueueFull,
+            retry_after_slots: 0,
+        });
+        bytes[4 + 1 + 8 + 8] = bad; // prefix + tag + slot + id → reason byte
+        match decode_err(&bytes) {
+            ProtocolError::BadField { frame: "DENY", field: "reason", value } => {
+                assert_eq!(value, u64::from(bad));
+            }
+            other => panic!("reason {bad}: expected BadField, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn absurd_submit_count_is_bad_field_before_allocation() {
+    // count = u32::MAX would claim a 96 GiB body: rejected from the count
+    // field alone, inside a small (9-byte) payload.
+    let mut payload = Vec::new();
+    payload.push(3); // TAG_SUBMIT
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    payload.extend_from_slice(&[0, 0, 0, 0]); // a few stray body bytes
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&u32::try_from(payload.len()).unwrap().to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    match decode_err(&bytes) {
+        ProtocolError::BadField { frame: "SUBMIT", field: "count", value } => {
+            assert_eq!(value, u64::from(u32::MAX));
+        }
+        other => panic!("expected BadField count, got {other:?}"),
+    }
+}
+
+/// Spawns a loopback listener that answers the first connection's HELLO
+/// with the scripted reply frame, then runs `Client::connect` against it.
+fn connect_against(reply: Frame) -> Result<Client, ProtocolError> {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let hello = read_frame(&mut stream).unwrap();
+        assert!(matches!(hello, Frame::Hello { version: PROTOCOL_VERSION }));
+        write_frame(&mut stream, &reply).unwrap();
+        use std::io::Write as _;
+        stream.flush().unwrap();
+    });
+    let result = Client::connect(&addr.to_string());
+    server.join().unwrap();
+    result
+}
+
+#[test]
+fn skewed_handshake_version_is_version_mismatch() {
+    let reply =
+        Frame::HelloAck { version: PROTOCOL_VERSION + 1, n: 4, k: 8, policy: "bfa".to_owned() };
+    match connect_against(reply) {
+        Err(ProtocolError::VersionMismatch { ours, theirs }) => {
+            assert_eq!(ours, PROTOCOL_VERSION);
+            assert_eq!(theirs, PROTOCOL_VERSION + 1);
+        }
+        Ok(_) => panic!("handshake should not succeed across versions"),
+        Err(other) => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_reply_to_hello_is_server_error() {
+    let reply = Frame::Error { code: 2, message: "go away".to_owned() };
+    match connect_against(reply) {
+        Err(ProtocolError::ServerError { code: 2, message }) => assert_eq!(message, "go away"),
+        Ok(_) => panic!("handshake should not succeed on ERROR"),
+        Err(other) => panic!("expected ServerError, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_frame_during_handshake_is_unexpected_frame() {
+    let reply = Frame::Grant { slot: 0, seq: 0, id: 0, output_wavelength: 0 };
+    match connect_against(reply) {
+        Err(ProtocolError::UnexpectedFrame { expected, .. }) => assert_eq!(expected, "HELLO_ACK"),
+        Ok(_) => panic!("handshake should not succeed on GRANT"),
+        Err(other) => panic!("expected UnexpectedFrame, got {other:?}"),
+    }
+}
+
+#[test]
+fn engine_rejection_wraps_the_core_error() {
+    let core_err = wdm_core::Conversion::symmetric_non_circular(4, 9).unwrap_err();
+    let err = ProtocolError::from(core_err.clone());
+    match &err {
+        ProtocolError::Engine(inner) => assert_eq!(*inner, core_err),
+        other => panic!("expected Engine, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_variant_displays_without_panicking() {
+    let variants: Vec<ProtocolError> = vec![
+        ProtocolError::Io(std::io::Error::other("x")),
+        ProtocolError::Disconnected,
+        ProtocolError::BadMagic { got: 0xDEAD_BEEF },
+        ProtocolError::VersionMismatch { ours: 1, theirs: 2 },
+        ProtocolError::UnknownTag { tag: 99 },
+        ProtocolError::FrameTooLarge { len: MAX_FRAME_LEN + 1 },
+        ProtocolError::Malformed { frame: "GRANT" },
+        ProtocolError::BadField { frame: "DENY", field: "reason", value: 7 },
+        ProtocolError::UnexpectedFrame { got: "GRANT", expected: "HELLO_ACK" },
+        ProtocolError::ServerError { code: 3, message: "m".to_owned() },
+        ProtocolError::Engine(wdm_core::Error::ZeroWavelengths),
+    ];
+    for v in variants {
+        assert!(!v.to_string().is_empty(), "{v:?} must render");
+    }
+}

@@ -25,7 +25,7 @@ fn batch_for(slot: u64, next_id: &mut u64) -> Vec<SubmitRequest> {
     let mut out = Vec::new();
     for i in 0..6u64 {
         let h = slot * 13 + i * 7;
-        if h % 3 == 0 {
+        if h.is_multiple_of(3) {
             continue;
         }
         out.push(SubmitRequest {

@@ -1,0 +1,414 @@
+//! Lock-order lint: every mutex in library code must be declared in the
+//! workspace lock hierarchy, and no function may acquire a second declared
+//! lock while a guard on an equal-or-lower-ranked one is still live.
+//!
+//! The hierarchy is small by design — the threading model keeps every
+//! mutex a *leaf* (rank 0): a thread holds at most one lock at a time, so
+//! lock-order deadlocks are impossible by construction. This lint is the
+//! static half of that argument (the loom models in `loom_sweep` /
+//! `loom_serve` are the dynamic half): an undeclared mutex field, or a
+//! nested acquisition the hierarchy does not allow, fails `cargo xtask
+//! lint` before it can deadlock in production.
+//!
+//! Guard liveness is tracked per lexical block: a guard bound by `let` is
+//! held until `drop(guard)` or the end of its block; an unbound guard
+//! (a temporary like `lock(&m).field`) is released at its statement's `;`.
+
+use syn::{Delimiter, TokenStream, TokenTree};
+
+use super::{walk_items, FnCtx, SourceFile, Violation};
+
+/// The declared lock hierarchy: `(file suffix, lock name, rank)`.
+///
+/// Acquiring lock B while holding lock A requires `rank(B) < rank(A)`;
+/// every current lock is rank 0 (leaf), so nesting is always a violation.
+/// Adding a mutex anywhere in the library crates means adding a row here —
+/// and explaining, in the module that owns it, where it sits and why.
+pub const HIERARCHY: [(&str, &str, u32); 2] = [
+    // Per-cell result slots of the sweep fan-out; only ever taken around a
+    // single read-or-write, never while another lock is held.
+    ("wdm-sim/src/sweep_sync.rs", "slots", 0),
+    // The one channel-state mutex in serve_sync; both condvars notify
+    // while holding it, nothing else is ever taken under it.
+    ("wdm-serve/src/serve_sync.rs", "state", 0),
+];
+
+/// Rank of a lock name, if declared anywhere in the hierarchy.
+fn rank_of(name: &str) -> Option<u32> {
+    HIERARCHY.iter().find(|(_, lock, _)| *lock == name).map(|&(_, _, rank)| rank)
+}
+
+/// Whether `path` matches the declaring file of `name`.
+fn declared_in(path: &std::path::Path, name: &str) -> bool {
+    HIERARCHY
+        .iter()
+        .any(|(suffix, lock, _)| *lock == name && path.to_string_lossy().ends_with(suffix))
+}
+
+/// Runs the lock-order lint over one parsed file.
+pub fn check(source: &SourceFile, out: &mut Vec<Violation>) {
+    check_declarations(&source.file.items, false, source, out);
+    walk_items(
+        &source.file.items,
+        false,
+        true,
+        &mut |ctx: FnCtx<'_>| {
+            if ctx.in_test {
+                return;
+            }
+            if let Some(block) = &ctx.fun.block {
+                let mut held: Vec<HeldLock> = Vec::new();
+                check_block(&block.stream, &mut held, source, out);
+            }
+        },
+        &mut |_, _| {},
+    );
+}
+
+/// Every struct field or static of mutex type must be in the hierarchy.
+fn check_declarations(
+    items: &[syn::Item],
+    in_test: bool,
+    source: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    for item in items {
+        let gated = in_test || super::is_test_gated(item.attrs());
+        match item {
+            syn::Item::Struct(s) if !gated => {
+                for (name, line) in mutex_fields(&s.body) {
+                    if !declared_in(&source.path, &name) {
+                        out.push(Violation {
+                            lint: "lock_order",
+                            file: source.path.clone(),
+                            line,
+                            message: format!(
+                                "mutex field `{name}` is not in the declared lock hierarchy — \
+                                 add it to lints::lock_order::HIERARCHY with a rank and document \
+                                 its place in the threading model"
+                            ),
+                        });
+                    }
+                }
+            }
+            syn::Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    check_declarations(content, gated, source, out);
+                }
+            }
+            syn::Item::Impl(i) => check_declarations(&i.items, gated, source, out),
+            syn::Item::Trait(t) => check_declarations(&t.items, gated, source, out),
+            syn::Item::Other(o) if !gated => {
+                // `static NAME: Mutex<..>` at module level.
+                for (name, line) in static_mutexes(&o.tokens) {
+                    if !declared_in(&source.path, &name) {
+                        out.push(Violation {
+                            lint: "lock_order",
+                            file: source.path.clone(),
+                            line,
+                            message: format!(
+                                "static mutex `{name}` is not in the declared lock hierarchy — \
+                                 add it to lints::lock_order::HIERARCHY"
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `name: Mutex<..>` fields in a struct body's token stream.
+fn mutex_fields(body: &TokenStream) -> Vec<(String, usize)> {
+    // The struct body is one brace group; fields split on top-level commas.
+    let Some(TokenTree::Group(fields)) = body
+        .trees
+        .iter()
+        .find(|t| matches!(t, TokenTree::Group(g) if g.delimiter == Delimiter::Brace))
+    else {
+        return Vec::new();
+    };
+    let mut found = Vec::new();
+    for field in split_on(&fields.stream.trees, ',') {
+        // `#[attr]* pub? name : type..` — the ident right before the colon.
+        let colon = field.iter().position(|t| t.as_punct() == Some(':'));
+        let Some(colon) = colon else { continue };
+        let Some(TokenTree::Ident(name)) = colon.checked_sub(1).and_then(|i| field.get(i)) else {
+            continue;
+        };
+        let ty = &field[colon + 1..];
+        if ty.iter().any(|t| t.as_ident() == Some("Mutex")) {
+            found.push((name.text.clone(), name.span.line));
+        }
+    }
+    found
+}
+
+/// `static NAME: ..Mutex..` declarations in a raw token stream.
+fn static_mutexes(tokens: &TokenStream) -> Vec<(String, usize)> {
+    let trees = &tokens.trees;
+    let mut found = Vec::new();
+    for (i, tree) in trees.iter().enumerate() {
+        if tree.as_ident() == Some("static")
+            && trees[i..].iter().any(|t| t.as_ident() == Some("Mutex"))
+        {
+            if let Some(TokenTree::Ident(name)) =
+                trees.get(i + 1).filter(|t| t.as_ident() != Some("mut")).or(trees.get(i + 2))
+            {
+                found.push((name.text.clone(), name.span.line));
+            }
+        }
+    }
+    found
+}
+
+/// One live guard: which lock, where taken, and the binding (if any).
+#[derive(Debug, Clone)]
+struct HeldLock {
+    name: String,
+    rank: u32,
+    line: usize,
+    guard: Option<String>,
+}
+
+/// Splits top-level trees on a punct, keeping nested groups intact.
+fn split_on(trees: &[TokenTree], sep: char) -> Vec<&[TokenTree]> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    for (i, tree) in trees.iter().enumerate() {
+        if tree.as_punct() == Some(sep) {
+            parts.push(&trees[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < trees.len() {
+        parts.push(&trees[start..]);
+    }
+    parts
+}
+
+/// Walks one block's statements, tracking held guards; `held` carries the
+/// guards inherited from enclosing blocks.
+fn check_block(
+    stream: &TokenStream,
+    held: &mut Vec<HeldLock>,
+    source: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    let depth_at_entry = held.len();
+    for stmt in split_on(&stream.trees, ';') {
+        let binding = let_binding(stmt);
+        let stmt_start = held.len();
+        scan_stmt(stmt, held, binding.as_deref(), source, out);
+        // Unbound guards acquired in this statement die at the `;`.
+        let mut i = stmt_start;
+        while i < held.len() {
+            if held[i].guard.is_none() {
+                held.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Block end: every guard bound in this block is released.
+    held.truncate(depth_at_entry);
+}
+
+/// Scans one statement's trees in token order: releases on `drop(guard)`,
+/// records and checks acquisitions, and recurses into nested blocks at the
+/// point they appear (so `if c { lock A } lock B` is sequential, not
+/// nested). `.lock(..)` names the lock by the ident before the dot
+/// (`self.state.lock()` → `state`); the free `lock(&..)` helper by the
+/// last non-`self` ident in its argument (`lock(&self.state)` → `state`).
+fn scan_stmt(
+    trees: &[TokenTree],
+    held: &mut Vec<HeldLock>,
+    binding: Option<&str>,
+    source: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    for (i, tree) in trees.iter().enumerate() {
+        match tree {
+            TokenTree::Ident(ident) if ident.text == "drop" => {
+                if let Some(TokenTree::Group(args)) = trees.get(i + 1) {
+                    if args.delimiter == Delimiter::Parenthesis {
+                        if let Some(name) = args.stream.trees.iter().find_map(|t| t.as_ident()) {
+                            held.retain(|h| h.guard.as_deref() != Some(name));
+                        }
+                    }
+                }
+            }
+            TokenTree::Ident(ident) if ident.text == "lock" => {
+                let Some(TokenTree::Group(args)) = trees.get(i + 1) else { continue };
+                if args.delimiter != Delimiter::Parenthesis {
+                    continue;
+                }
+                let after_dot = i > 0 && trees[i - 1].as_punct() == Some('.');
+                let name = if after_dot {
+                    // `receiver . lock ( )` — possibly `self . field . lock`.
+                    trees[..i - 1]
+                        .iter()
+                        .rev()
+                        .find_map(|t| t.as_ident())
+                        .filter(|n| *n != "self")
+                        .map(str::to_owned)
+                } else {
+                    // `lock(&self.state)` — last ident inside the args.
+                    let mut last = None;
+                    args.stream.walk(&mut |t| {
+                        if let Some(id) = t.as_ident() {
+                            if id != "self" {
+                                last = Some(id.to_owned());
+                            }
+                        }
+                    });
+                    last
+                };
+                let Some(name) = name else { continue };
+                let rank = rank_of(&name).unwrap_or(0);
+                for prior in held.iter() {
+                    if rank >= prior.rank {
+                        out.push(Violation {
+                            lint: "lock_order",
+                            file: source.path.clone(),
+                            line: ident.span.line,
+                            message: format!(
+                                "acquiring lock `{name}` (rank {rank}) while holding `{}` \
+                                 (rank {}, taken at line {}) — the hierarchy only allows \
+                                 strictly descending acquisition; drop the first guard first",
+                                prior.name, prior.rank, prior.line
+                            ),
+                        });
+                    }
+                }
+                held.push(HeldLock {
+                    name,
+                    rank,
+                    line: ident.span.line,
+                    guard: binding.map(str::to_owned),
+                });
+            }
+            TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
+                check_block(&g.stream, held, source, out);
+            }
+            TokenTree::Group(g) => scan_stmt(&g.stream.trees, held, binding, source, out),
+            _ => {}
+        }
+    }
+}
+
+/// The ident bound by a `let name = ..` statement, if any.
+fn let_binding(stmt: &[TokenTree]) -> Option<String> {
+    let mut it = stmt.iter();
+    loop {
+        match it.next()? {
+            TokenTree::Ident(id) if id.text == "let" => break,
+            TokenTree::Punct(_) | TokenTree::Group(_) => {} // attrs etc.
+            _ => return None,
+        }
+    }
+    let mut name = None;
+    for tree in it {
+        match tree {
+            TokenTree::Ident(id) if id.text == "mut" => {}
+            TokenTree::Ident(id) => {
+                name = Some(id.text.clone());
+                break;
+            }
+            _ => break,
+        }
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{SourceFile, Violation};
+    use std::path::PathBuf;
+
+    fn lint_at(path: &str, src: &str) -> Vec<Violation> {
+        let source = SourceFile { path: PathBuf::from(path), file: syn::parse_file(src).unwrap() };
+        let mut out = Vec::new();
+        super::check(&source, &mut out);
+        out
+    }
+
+    #[test]
+    fn declared_mutex_field_is_clean() {
+        let src = "struct Chan { state: Mutex<u32>, cap: usize }";
+        assert!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undeclared_mutex_field_is_flagged() {
+        let src = "struct Rogue { cache: Mutex<u32> }";
+        let out = lint_at("crates/wdm-serve/src/server.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`cache`"));
+    }
+
+    #[test]
+    fn declared_name_in_wrong_file_is_flagged() {
+        // `state` is declared for serve_sync.rs only.
+        let src = "struct Copycat { state: Mutex<u32> }";
+        assert_eq!(lint_at("crates/wdm-sim/src/other.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn nested_acquisition_is_flagged() {
+        let src = "fn f(&self) {\n\
+                       let a = self.state.lock();\n\
+                       let b = self.slots.lock();\n\
+                   }";
+        let out = lint_at("crates/wdm-serve/src/serve_sync.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("while holding `state`"));
+    }
+
+    #[test]
+    fn sequential_acquisition_after_drop_is_clean() {
+        let src = "fn f(&self) {\n\
+                       let a = self.state.lock();\n\
+                       drop(a);\n\
+                       let b = self.slots.lock();\n\
+                   }";
+        assert!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_released_at_statement_end() {
+        let src = "fn f(&self) {\n\
+                       lock(&self.state).queue.push(1);\n\
+                       lock(&self.slots).queue.push(2);\n\
+                   }";
+        assert!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn free_lock_helper_nesting_is_flagged() {
+        let src = "fn f(&self) {\n\
+                       let st = lock(&self.state);\n\
+                       let other = lock(&self.slots);\n\
+                   }";
+        assert_eq!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn block_scoped_guard_releases_at_block_end() {
+        let src = "fn f(&self) {\n\
+                       { let a = self.state.lock(); }\n\
+                       let b = self.slots.lock();\n\
+                   }";
+        assert!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_gated_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   struct T { rogue: Mutex<u32> }\n\
+                   fn f(a: &Mutex<u32>, b: &Mutex<u32>) { let x = a.lock(); let y = b.lock(); }\n\
+                   }";
+        assert!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).is_empty());
+    }
+}

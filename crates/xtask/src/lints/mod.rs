@@ -13,16 +13,22 @@
 //! | [`casts`] | no narrowing `as` casts (to sub-64-bit integers) in library code |
 //! | [`must_use`] | certificate/matching/slot result types and entry points are `#[must_use]` |
 //! | [`doc_tags`] | every algorithm entry point cites the paper (`Paper: …` doc tag) |
+//! | [`hot_path`] | `#[hot_path]` functions (and their same-file callees) never allocate |
+//! | [`lock_order`] | every mutex is in the declared lock hierarchy; no nested acquisition outside it |
+//! | [`channels`] | no unbounded `mpsc::channel`; no discarded `.send(..)` results |
 //!
 //! Test code — `#[cfg(test)]` modules and items, at any nesting depth — is
-//! exempt from `banned` and `casts`, exactly like the clippy wall's
-//! `cfg_attr` opt-outs.
+//! exempt from `banned`, `casts`, `hot_path`, `lock_order`, and
+//! `channels`, exactly like the clippy wall's `cfg_attr` opt-outs.
 
 pub mod banned;
 pub mod casts;
+pub mod channels;
 pub mod doc_tags;
+pub mod hot_path;
 #[cfg(test)]
 pub mod legacy;
+pub mod lock_order;
 pub mod must_use;
 pub mod twins;
 
@@ -31,7 +37,7 @@ use std::path::{Path, PathBuf};
 /// Library crates the lint pass covers (same set the old scanner covered:
 /// `wdm-alloc-count` is deliberately excluded — it is test infrastructure
 /// and the one sanctioned `unsafe` impl in the workspace).
-pub const LIBRARY_CRATES: [&str; 7] = [
+pub const LIBRARY_CRATES: [&str; 8] = [
     "wdm-core",
     "wdm-hardware",
     "wdm-interconnect",
@@ -39,6 +45,7 @@ pub const LIBRARY_CRATES: [&str; 7] = [
     "wdm-bench",
     "wdm-serve",
     "wdm-loadgen",
+    "wdm-attr",
 ];
 
 /// Directory holding the algorithm modules checked by [`twins`],
@@ -179,6 +186,9 @@ pub fn run(root: &Path) -> bool {
         banned::check(source, &mut violations);
         casts::check(source, &mut violations);
         must_use::check_types(source, &mut violations);
+        hot_path::check(source, &mut violations);
+        lock_order::check(source, &mut violations);
+        channels::check(source, &mut violations);
     }
     let algorithms: Vec<&SourceFile> =
         sources.iter().filter(|s| s.path.starts_with(root.join(ALGORITHMS_DIR))).collect();
@@ -192,7 +202,11 @@ pub fn run(root: &Path) -> bool {
         eprintln!("lint({}): {}:{}: {}", v.lint, rel.display(), v.line, v.message);
     }
     if violations.is_empty() {
-        println!("lint: {} files clean across banned/twins/casts/must_use/doc_tags", sources.len());
+        println!(
+            "lint: {} files clean across banned/twins/casts/must_use/doc_tags/\
+             hot_path/lock_order/channels",
+            sources.len()
+        );
         true
     } else {
         eprintln!("lint: {} violation(s)", violations.len());

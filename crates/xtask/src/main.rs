@@ -18,11 +18,12 @@
 //!
 //! | command | what it proves |
 //! |---------|----------------|
-//! | `cargo xtask loom` | exhaustively model-checks the sweep's cursor/slot protocol (every SC interleaving) — stable toolchain, offline |
+//! | `cargo xtask loom` | exhaustively model-checks the sweep's cursor/slot protocol *and* the daemon's shutdown/drain protocol (every SC interleaving) — stable toolchain, offline |
+//! | `cargo xtask fuzz` | the adversarial wire-decoder harness: structure-aware mutations plus the committed `tests/corpus/` frames, every input must yield a typed `ProtocolError` — stable toolchain, offline |
 //! | `cargo xtask miri` | UB-checks `wdm-core` unit/property tests and the `wdm-alloc-count` `GlobalAlloc` paths — nightly + miri component |
 //! | `cargo xtask tsan` | ThreadSanitizer over the threaded-sweep and determinism tests — nightly + rust-src (`-Zbuild-std`) |
 //! | `cargo xtask deny` | `cargo-deny` advisories/licenses/bans against the committed `deny.toml` |
-//! | `cargo xtask soundness` | all four, in that order |
+//! | `cargo xtask soundness` | all five, in that order |
 //!
 //! The AST lint pass replaced the original line-based string scanner, which
 //! was blind to block comments, raw strings, `unsafe{` without a trailing
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
         "test" => run_tests(&root),
         "lint" => lints::run(&root),
         "loom" => run_loom(&root),
+        "fuzz" => run_fuzz(&root),
         "miri" => run_miri(&root),
         "tsan" => run_tsan(&root),
         "deny" => run_deny(&root),
@@ -61,15 +63,17 @@ fn main() -> ExitCode {
             // Run all prongs even when an early one fails: a CI log showing
             // every red prong beats stopping at the first.
             let loom = run_loom(&root);
+            let fuzz = run_fuzz(&root);
             let miri = run_miri(&root);
             let tsan = run_tsan(&root);
             let deny = run_deny(&root);
-            loom && miri && tsan && deny
+            loom && fuzz && miri && tsan && deny
         }
         other => {
             eprintln!("unknown xtask command `{other}`");
             eprintln!(
-                "usage: cargo xtask [check|fmt|clippy|build|test|lint|loom|miri|tsan|deny|soundness]"
+                "usage: cargo xtask \
+                 [check|fmt|clippy|build|test|lint|loom|fuzz|miri|tsan|deny|soundness]"
             );
             return ExitCode::FAILURE;
         }
@@ -202,18 +206,40 @@ fn env_append(key: &str, extra: &str) -> String {
     value
 }
 
-/// Loom: exhaustive model checking of the sweep coordination protocol.
-/// Stable-toolchain and offline (the `loom` shim is in-tree), so this prong
-/// never skips. `--cfg loom` swaps `wdm_sim::sweep_sync` onto the modeled
+/// Loom: exhaustive model checking of the sweep coordination protocol
+/// (`wdm-sim`) and the daemon's engine/completion/shutdown protocol
+/// (`wdm-serve`). Stable-toolchain and offline (the `loom` shim is
+/// in-tree), so this prong never skips. `--cfg loom` swaps
+/// `wdm_sim::sweep_sync` / `wdm_serve::serve_sync` onto the modeled
 /// atomics; release profile keeps the interleaving exploration fast.
 fn run_loom(root: &Path) -> bool {
     let rustflags = env_append("RUSTFLAGS", "--cfg loom");
     run_step_env(
         root,
-        "loom",
+        "loom (wdm-sim)",
         "cargo",
         &["test", "--offline", "--release", "-p", "wdm-sim", "--test", "loom_sweep"],
+        &[("RUSTFLAGS", rustflags.clone())],
+    ) && run_step_env(
+        root,
+        "loom (wdm-serve)",
+        "cargo",
+        &["test", "--offline", "--release", "-p", "wdm-serve", "--test", "loom_serve"],
         &[("RUSTFLAGS", rustflags)],
+    )
+}
+
+/// Fuzz: the adversarial wire-decoder harness over `wdm-serve`'s framing
+/// layer — structure-aware proptest mutations plus the committed
+/// `tests/corpus/` frames, with an over-read guard on every decode.
+/// Stable-toolchain and offline, so this prong never skips. Release
+/// profile matches how the daemon actually parses untrusted bytes.
+fn run_fuzz(root: &Path) -> bool {
+    run_step(
+        root,
+        "fuzz (decoder corpus)",
+        "cargo",
+        &["test", "--offline", "--release", "-p", "wdm-serve", "--test", "decoder_adversarial"],
     )
 }
 

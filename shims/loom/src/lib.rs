@@ -27,6 +27,9 @@
 //!   weak-memory behaviors `Relaxed`/`Acquire`/`Release` allow on real
 //!   hardware. The workspace compensates by also running ThreadSanitizer
 //!   over the real `std` atomics in CI (`cargo xtask tsan`).
+//! * **Condvar notifies must hold the lock.** `sync::Condvar` models
+//!   wait/notify without making `notify_all` a decision point, which is
+//!   sound only when notifiers hold the associated mutex (see its docs).
 //! * **No partial-order reduction.** Interleavings that differ only in the
 //!   order of commuting operations are re-run rather than pruned, so keep
 //!   modeled protocols small (the sweep model is ~11 operations across
@@ -46,7 +49,7 @@ pub use scheduler::model;
 
 /// Shimmed `loom::sync`.
 pub mod sync {
-    pub use crate::scheduler::{Mutex, MutexGuard};
+    pub use crate::scheduler::{Condvar, Mutex, MutexGuard};
 
     /// Shimmed `loom::sync::atomic`.
     pub mod atomic {

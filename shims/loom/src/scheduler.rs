@@ -30,7 +30,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::{Condvar, LockResult, OnceLock, PoisonError};
+use std::sync::{Condvar as StdCondvar, LockResult, OnceLock, PoisonError};
 
 /// Hard cap on explored interleavings — a runaway-model backstop far above
 /// anything the in-tree models need.
@@ -51,6 +51,8 @@ enum BlockOn {
     Mutex(usize),
     /// Another model thread (by slot) that has not finished.
     Join(usize),
+    /// A condition variable (keyed by address) awaiting a notify.
+    Condvar(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +87,7 @@ struct State {
 #[derive(Debug, Default)]
 struct Scheduler {
     state: std::sync::Mutex<State>,
-    cv: Condvar,
+    cv: StdCondvar,
 }
 
 fn scheduler() -> &'static Scheduler {
@@ -211,13 +213,15 @@ impl Scheduler {
 }
 
 /// Runs `f` under the exhaustive scheduler, once per distinct interleaving,
-/// until the whole decision tree is explored. Panics from any model thread
-/// (a failed assertion in some interleaving) are propagated to the caller
-/// with the schedule already torn down.
+/// until the whole decision tree is explored, and returns how many
+/// interleavings were executed (so model tests can record and assert their
+/// coverage). Panics from any model thread (a failed assertion in some
+/// interleaving) are propagated to the caller with the schedule already torn
+/// down.
 ///
 /// The closure is `Fn` (not `FnOnce`) because it runs many times; shared
 /// state must be created *inside* it so every iteration starts fresh.
-pub fn model<F>(f: F)
+pub fn model<F>(f: F) -> u64
 where
     F: Fn() + Send + Sync + 'static,
 {
@@ -261,7 +265,7 @@ where
         }
         if !backtrack(&mut st.schedule) {
             eprintln!("loom: model complete, {} interleavings explored", st.iterations);
-            return;
+            return st.iterations;
         }
     }
 }
@@ -345,10 +349,24 @@ pub struct Mutex<T> {
 }
 
 /// Guard for a modeled [`Mutex`]; releases the scheduler-level hold on drop.
+/// Holds the mutex itself (not just its address) so [`Condvar::wait`] can
+/// re-acquire the same lock after being woken.
 #[derive(Debug)]
 pub struct MutexGuard<'a, T> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
-    addr: usize,
+    mutex: &'a Mutex<T>,
+}
+
+/// Releases the logical (scheduler-level) hold on mutex `addr` and frees its
+/// waiters back to `Pending`, so their retried acquisitions are re-chosen
+/// like any pending operation (contended acquisition order is explored).
+fn release_logical(st: &mut State, addr: usize) {
+    st.mutexes.insert(addr, false);
+    for t in &mut st.threads {
+        if *t == ThreadState::Blocked(BlockOn::Mutex(addr)) {
+            *t = ThreadState::Pending;
+        }
+    }
 }
 
 impl<T> Mutex<T> {
@@ -361,36 +379,50 @@ impl<T> Mutex<T> {
         std::ptr::from_ref(self) as usize
     }
 
-    /// Modeled `lock`.
-    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+    /// Takes the scheduler-level (logical) lock for model thread `me`,
+    /// blocking at the scheduler while it is held. The *caller* supplies the
+    /// scheduling point: [`Mutex::lock`] parks at `pre_op` first, while a
+    /// [`Condvar::wait`] relock uses the wakeup choice itself.
+    fn logical_acquire(&self, me: usize) {
         let sched = scheduler();
         let addr = self.addr();
+        // Loop: a release frees every waiter back to Pending, and a later
+        // choice may let another waiter win.
+        loop {
+            let mut st = sched.lock_state();
+            if !st.active {
+                break;
+            }
+            let held = st.mutexes.entry(addr).or_insert(false);
+            if !*held {
+                *held = true;
+                break;
+            }
+            sched.block_on(st, me, BlockOn::Mutex(addr));
+        }
+    }
+
+    /// Takes the std lock (guaranteed uncontended while the logical lock is
+    /// held) and wraps it in the modeled guard.
+    fn std_lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match self.inner.lock() {
+            Ok(guard) => Ok(MutexGuard { inner: Some(guard), mutex: self }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                inner: Some(poisoned.into_inner()),
+                mutex: self,
+            })),
+        }
+    }
+
+    /// Modeled `lock`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
         if let Some(me) = SLOT.with(Cell::get) {
             // The acquisition is the shared operation: park, get chosen,
-            // then take the logical lock — blocking at the scheduler level
-            // while it is held. Loop: a release frees every waiter back to
-            // Pending, and a later choice may let another waiter win.
-            sched.pre_op();
-            loop {
-                let mut st = sched.lock_state();
-                if !st.active {
-                    break;
-                }
-                let held = st.mutexes.entry(addr).or_insert(false);
-                if !*held {
-                    *held = true;
-                    break;
-                }
-                sched.block_on(st, me, BlockOn::Mutex(addr));
-            }
+            // then take the logical lock.
+            scheduler().pre_op();
+            self.logical_acquire(me);
         }
-        // The logical hold guarantees the std lock is uncontended.
-        match self.inner.lock() {
-            Ok(guard) => Ok(MutexGuard { inner: Some(guard), addr }),
-            Err(poisoned) => {
-                Err(PoisonError::new(MutexGuard { inner: Some(poisoned.into_inner()), addr }))
-            }
-        }
+        self.std_lock()
     }
 
     /// Modeled `into_inner` (no scheduling: exclusive access is static).
@@ -426,18 +458,108 @@ impl<T> Drop for MutexGuard<'_, T> {
             let sched = scheduler();
             let mut st = sched.lock_state();
             if st.active {
-                st.mutexes.insert(self.addr, false);
-                // Waiters go back to Pending: their retried acquisition is
-                // re-chosen like any pending operation, so the order in
-                // which contending threads win the lock is explored.
                 // Releasing itself is not a decision point.
-                for t in &mut st.threads {
-                    if *t == ThreadState::Blocked(BlockOn::Mutex(self.addr)) {
-                        *t = ThreadState::Pending;
-                    }
+                release_logical(&mut st, self.mutex.addr());
+            }
+        }
+    }
+}
+
+/// Modeled condition variable.
+///
+/// `wait` atomically (under the scheduler's state lock) releases the guard's
+/// mutex and parks the thread as `Blocked(Condvar)`; [`Condvar::notify_all`]
+/// frees every such waiter back to `Pending`, and the scheduler's choice of
+/// *which* freed waiter runs first is the explored decision. The relock after
+/// wakeup reuses that choice as its scheduling point, so an uncontended
+/// wait/notify pair costs the decision tree exactly one branch.
+///
+/// # Soundness requirement
+///
+/// `notify_all` is **not** itself a decision point. That is sound only when
+/// every notify is issued *while holding the mutex* associated with the
+/// waiters' condition (as `serve_sync`'s channel does): the notify is then
+/// ordered against every waiter by the mutex itself, and a waiter can never
+/// be parked "between" its predicate check and its wait — the shim makes
+/// release-and-park atomic, so modeled wakeups are never lost. Notifying
+/// without the lock held would let the shim miss interleavings a real
+/// condvar allows; don't do it in modeled code.
+///
+/// Like the other primitives, a `Condvar` used outside [`model`] falls
+/// through to `std::sync::Condvar` (which may wake spuriously — callers must
+/// loop on their predicate either way). `notify_one` is deliberately not
+/// provided: modeled code uses `notify_all` so no wakeup-targeting bug can
+/// hide behind a lucky scheduler.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new modeled condvar.
+    pub const fn new() -> Condvar {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Modeled `wait`: atomically releases `guard`'s mutex and blocks until
+    /// a `notify_all`, then re-acquires the mutex and returns a fresh guard.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        let std_guard = guard.inner.take();
+        // The logical release is performed manually below (model path) or
+        // not needed (std path); the guard must not release it again.
+        std::mem::forget(guard);
+        if let Some(me) = SLOT.with(Cell::get) {
+            let sched = scheduler();
+            let st = sched.lock_state();
+            // After a deadlock tears the iteration down, a free-running
+            // drain thread that waits again would hang forever (no modeled
+            // notifier is coming) — fail fast instead; the spawn wrapper
+            // still marks the thread finished so `model` can report the
+            // primary deadlock.
+            assert!(st.active, "loom: Condvar::wait during model teardown");
+            // Atomically (under the scheduler state lock): drop the std
+            // lock, release the logical lock, park on the condvar.
+            drop(std_guard);
+            let mut st = st;
+            release_logical(&mut st, mutex.addr());
+            sched.block_on(st, me, BlockOn::Condvar(self.addr()));
+            // Woken: re-acquire. The wakeup choice was the scheduling
+            // point, so no extra pre_op here.
+            mutex.logical_acquire(me);
+            mutex.std_lock()
+        } else {
+            let Some(std_guard) = std_guard else { unreachable!("guard accessed after drop") };
+            match self.inner.wait(std_guard) {
+                Ok(g) => Ok(MutexGuard { inner: Some(g), mutex }),
+                Err(poisoned) => {
+                    Err(PoisonError::new(MutexGuard { inner: Some(poisoned.into_inner()), mutex }))
                 }
             }
         }
+    }
+
+    /// Modeled `notify_all`: frees every waiter parked on this condvar back
+    /// to `Pending`. Not a decision point (see the soundness note above).
+    pub fn notify_all(&self) {
+        if SLOT.with(Cell::get).is_some() {
+            let sched = scheduler();
+            let mut st = sched.lock_state();
+            if st.active {
+                let addr = self.addr();
+                for t in &mut st.threads {
+                    if *t == ThreadState::Blocked(BlockOn::Condvar(addr)) {
+                        *t = ThreadState::Pending;
+                    }
+                }
+                return;
+            }
+        }
+        self.inner.notify_all();
     }
 }
 
@@ -505,7 +627,7 @@ mod tests {
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
-    use super::{model, spawn, AtomicUsize, Mutex};
+    use super::{model, spawn, AtomicUsize, Condvar, Mutex};
 
     #[test]
     fn single_thread_model_runs_once() {
@@ -577,6 +699,51 @@ mod tests {
         let finals = FINALS.lock().unwrap();
         assert!(finals.contains(&1), "store(1)-last interleaving explored");
         assert!(finals.contains(&2), "store(2)-last interleaving explored");
+    }
+
+    #[test]
+    fn condvar_handoff_is_never_lost() {
+        // Producer sets the flag and notifies while holding the mutex; the
+        // consumer loops on wait. Every interleaving must hand the value
+        // over — a lost wakeup would surface as a modeled deadlock.
+        let interleavings = model(|| {
+            let shared = Arc::new((Mutex::new(false), Condvar::new()));
+            let producer = {
+                let shared = Arc::clone(&shared);
+                spawn(move || {
+                    let (lock, cv) = &*shared;
+                    let mut ready = lock.lock().unwrap();
+                    *ready = true;
+                    cv.notify_all();
+                })
+            };
+            let (lock, cv) = &*shared;
+            let mut ready = lock.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            producer.join().unwrap();
+        });
+        assert!(interleavings >= 2, "wait-first and notify-first orders both explored");
+    }
+
+    #[test]
+    fn model_reports_interleaving_count() {
+        let count = model(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let h1 = {
+                let a = Arc::clone(&a);
+                spawn(move || a.store(1, Ordering::SeqCst))
+            };
+            let h2 = {
+                let a = Arc::clone(&a);
+                spawn(move || a.store(2, Ordering::SeqCst))
+            };
+            h1.join().unwrap();
+            h2.join().unwrap();
+        });
+        assert!(count >= 2, "two racing stores need at least two interleavings, got {count}");
     }
 
     #[test]
