@@ -248,6 +248,8 @@ fn bench_serve_one(
         batches,
         seed: 0xB4,
         mean_duration: 2.0,
+        reserve_fraction: 0.0,
+        reserve_lead: 4,
         shutdown_server: true,
     })
     .map_err(|err| err.to_string())?;

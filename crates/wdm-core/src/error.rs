@@ -138,6 +138,31 @@ pub enum Error {
         /// The unrecognized name.
         name: String,
     },
+    /// An advance reservation's start slot is already in the past —
+    /// admission is now-or-future only.
+    ReservationInPast {
+        /// The requested start slot.
+        start_slot: u64,
+        /// The current slot at admission time.
+        now: u64,
+    },
+    /// An advance reservation extends beyond the admission horizon: the
+    /// store only tracks capacity for slots in `[now, now + horizon)`.
+    ReservationHorizonExceeded {
+        /// The first slot *after* the reservation (`start + duration`).
+        end_slot: u64,
+        /// The first slot beyond the horizon (`now + horizon`).
+        horizon_end: u64,
+    },
+    /// Some slot inside an advance reservation's interval has no free
+    /// channel capacity left on the contended fiber (output capacity) or
+    /// input channel (source conflict).
+    ReservationCapacityExhausted {
+        /// The fiber whose capacity is exhausted.
+        fiber: usize,
+        /// The first slot of the interval at which admission fails.
+        slot: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -210,6 +235,18 @@ impl fmt::Display for Error {
             Error::UnknownPolicy { name } => {
                 write!(out, "unknown scheduling policy `{name}` (expected auto|fa|bfa|approx|hk)")
             }
+            Error::ReservationInPast { start_slot, now } => {
+                write!(out, "reservation start slot {start_slot} is in the past (now = {now})")
+            }
+            Error::ReservationHorizonExceeded { end_slot, horizon_end } => write!(
+                out,
+                "reservation ends at slot {end_slot}, beyond the admission \
+                 horizon ending at slot {horizon_end}"
+            ),
+            Error::ReservationCapacityExhausted { fiber, slot } => write!(
+                out,
+                "no reservable channel capacity left on fiber {fiber} at slot {slot}"
+            ),
         }
     }
 }
@@ -233,6 +270,9 @@ mod tests {
             Error::ZeroFibers.to_string(),
             Error::InvalidFiber { fiber: 5, n: 4 }.to_string(),
             Error::MaskPaddingCorrupt { word: 1 }.to_string(),
+            Error::ReservationInPast { start_slot: 3, now: 5 }.to_string(),
+            Error::ReservationHorizonExceeded { end_slot: 2000, horizon_end: 1024 }.to_string(),
+            Error::ReservationCapacityExhausted { fiber: 2, slot: 17 }.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -8,6 +8,8 @@
 
 use wdm_core::Error;
 
+use crate::reservation::{ReservationExpiry, ReservationGrant};
+
 /// A unicast connection request for one time slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConnectionRequest {
@@ -94,12 +96,25 @@ pub struct SlotResult {
     /// In-flight connections moved to a different output channel this slot
     /// (always 0 under [`crate::HoldPolicy::NonDisturb`]).
     pub rearranged: usize,
+    /// Advance reservations that activated and were granted their channel
+    /// this slot (their holds are now in flight).
+    pub reservation_grants: Vec<ReservationGrant>,
+    /// Advance reservations that expired at activation this slot (source
+    /// channel busy, or no conversion-reachable channel free).
+    pub reservation_expired: Vec<ReservationExpiry>,
 }
 
 impl SlotResult {
-    /// Number of requests presented this slot.
+    /// Number of cell requests presented this slot (reservation
+    /// activations are counted separately).
     pub fn offered(&self) -> usize {
         self.grants.len() + self.rejections.len()
+    }
+
+    /// Number of advance reservations that reached their start slot this
+    /// slot (granted or expired).
+    pub fn reservations_due(&self) -> usize {
+        self.reservation_grants.len() + self.reservation_expired.len()
     }
 
     /// Rejections due to output contention only.
@@ -146,6 +161,7 @@ mod tests {
             ],
             completed: 2,
             rearranged: 0,
+            ..SlotResult::default()
         };
         assert_eq!(result.offered(), 3);
         assert_eq!(result.contention_losses(), 1);

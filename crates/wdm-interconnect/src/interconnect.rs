@@ -13,6 +13,10 @@ use wdm_core::{ChannelMask, Conversion, Error, Policy};
 use crate::connection::{ConnectionRequest, RejectReason, Rejection, SlotResult};
 use crate::distributed::run_per_fiber;
 use crate::fabric::CrossbarState;
+use crate::reservation::{
+    PreemptionPolicy, Reservation, ReservationExpiry, ReservationGrant, ReservationRequest,
+    ReservationStore, DEFAULT_RESERVATION_HORIZON,
+};
 use crate::shard::FiberUnit;
 
 /// What happens to in-flight multi-slot connections at scheduling time
@@ -43,6 +47,11 @@ pub struct InterconnectConfig {
     pub hold: HoldPolicy,
     /// Worker threads for per-fiber scheduling; `<= 1` runs sequentially.
     pub threads: usize,
+    /// How activating advance reservations meet the slot's cell traffic.
+    pub preemption: PreemptionPolicy,
+    /// Admission horizon for advance reservations (slots ahead of `now`
+    /// the [`ReservationStore`] will book).
+    pub reservation_horizon: u64,
 }
 
 impl InterconnectConfig {
@@ -55,6 +64,8 @@ impl InterconnectConfig {
             policy: Policy::Auto,
             hold: HoldPolicy::NonDisturb,
             threads: 1,
+            preemption: PreemptionPolicy::ReservedFirst,
+            reservation_horizon: DEFAULT_RESERVATION_HORIZON,
         }
     }
 
@@ -75,6 +86,18 @@ impl InterconnectConfig {
         self.threads = threads;
         self
     }
+
+    /// Sets the reservation preemption policy.
+    pub fn with_preemption(mut self, preemption: PreemptionPolicy) -> Self {
+        self.preemption = preemption;
+        self
+    }
+
+    /// Sets the reservation admission horizon.
+    pub fn with_reservation_horizon(mut self, horizon: u64) -> Self {
+        self.reservation_horizon = horizon;
+        self
+    }
 }
 
 /// The slotted `N×N` wavelength-convertible interconnect.
@@ -93,11 +116,19 @@ pub struct Interconnect {
     threads: usize,
     fibers: Vec<FiberUnit>,
     slot: u64,
+    preemption: PreemptionPolicy,
+    /// The advance-reservation capacity ledger (paper §V).
+    store: ReservationStore,
     /// Per-slot scratch: which input channels already carry a connection
     /// (or claimed a request earlier this slot). Reused across slots.
     input_busy: Vec<bool>,
     /// Per-slot scratch: requests partitioned by destination fiber.
     per_fiber: Vec<Vec<ConnectionRequest>>,
+    /// Per-slot scratch: reservations whose start slot has arrived.
+    due: Vec<Reservation>,
+    /// Per-slot scratch: activating reservations partitioned by
+    /// destination fiber (used under [`PreemptionPolicy::ReservedFirst`]).
+    resv_per_fiber: Vec<Vec<ConnectionRequest>>,
 }
 
 impl Interconnect {
@@ -117,8 +148,12 @@ impl Interconnect {
             threads: config.threads,
             fibers,
             slot: 0,
+            preemption: config.preemption,
+            store: ReservationStore::new(config.n, k, config.reservation_horizon),
             input_busy: vec![false; config.n * k],
             per_fiber: vec![Vec::new(); config.n],
+            due: Vec::new(),
+            resv_per_fiber: vec![Vec::new(); config.n],
         })
     }
 
@@ -145,6 +180,41 @@ impl Interconnect {
     /// Number of in-flight connections.
     pub fn active_connections(&self) -> usize {
         self.fibers.iter().map(|f| f.actives().len()).sum()
+    }
+
+    /// The advance-reservation ledger (pending reservations, horizon).
+    pub fn reservations(&self) -> &ReservationStore {
+        &self.store
+    }
+
+    /// The reservation preemption policy in force.
+    pub fn preemption(&self) -> PreemptionPolicy {
+        self.preemption
+    }
+
+    /// Admits an advance reservation against future slot capacity (paper
+    /// §V), returning its id, or a typed denial
+    /// ([`Error::ReservationInPast`], [`Error::ReservationHorizonExceeded`],
+    /// [`Error::ReservationCapacityExhausted`], field validation).
+    ///
+    /// The reservation activates automatically at its start slot during
+    /// [`Self::advance_slot_into`]; its outcome is reported in
+    /// [`SlotResult::reservation_grants`] /
+    /// [`SlotResult::reservation_expired`].
+    pub fn reserve(&mut self, request: ReservationRequest) -> Result<u64, Error> {
+        self.store.try_reserve(self.slot, request, &self.fibers)
+    }
+
+    /// [`Self::reserve`] through the store's certificate twin
+    /// ([`ReservationStore::try_reserve_checked`]): the whole ledger is
+    /// re-verified after admission.
+    pub fn reserve_checked(&mut self, request: ReservationRequest) -> Result<u64, Error> {
+        self.store.try_reserve_checked(self.slot, request, &self.fibers)
+    }
+
+    /// Cancels a pending reservation. Returns whether `id` was pending.
+    pub fn cancel_reservation(&mut self, id: u64) -> bool {
+        self.store.cancel(id)
     }
 
     /// The channel availability of output fiber `fiber`.
@@ -195,6 +265,8 @@ impl Interconnect {
         out.grants.clear();
         out.rejections.clear();
         out.rearranged = 0;
+        out.reservation_grants.clear();
+        out.reservation_expired.clear();
 
         // 1. Age in-flight connections; completed ones free their channels
         //    for this slot's scheduling.
@@ -202,7 +274,9 @@ impl Interconnect {
 
         // 2. Source-side admission: an input channel still carrying an
         //    earlier connection (or already claimed by an earlier request in
-        //    this same slot) cannot launch a new one.
+        //    this same slot) cannot launch a new one. Activating
+        //    reservations claim their input channels ahead of the slot's
+        //    cell traffic — they were admitted in advance.
         self.input_busy.fill(false);
         for fiber in &self.fibers {
             for a in fiber.actives() {
@@ -211,6 +285,31 @@ impl Interconnect {
         }
         for bucket in &mut self.per_fiber {
             bucket.clear();
+        }
+        for bucket in &mut self.resv_per_fiber {
+            bucket.clear();
+        }
+        self.due.clear();
+        self.store.drain_due(self.slot, &mut self.due);
+        for r in &self.due {
+            let request = r.request.connection();
+            let idx = request.src_fiber * k + request.src_wavelength;
+            if self.input_busy[idx] {
+                // Timeout expiry: the booked input channel is still held
+                // by an earlier connection that outlived its booking gap.
+                out.reservation_expired.push(ReservationExpiry {
+                    reservation: r.id,
+                    rejection: Rejection { request, reason: RejectReason::SourceBusy },
+                });
+            } else {
+                self.input_busy[idx] = true;
+                match self.preemption {
+                    PreemptionPolicy::ReservedFirst => {
+                        self.resv_per_fiber[request.dst_fiber].push(request);
+                    }
+                    PreemptionPolicy::Compete => self.per_fiber[request.dst_fiber].push(request),
+                }
+            }
         }
         for &r in requests {
             let idx = r.src_fiber * k + r.src_wavelength;
@@ -226,30 +325,113 @@ impl Interconnect {
         //    distributed step), optionally across worker threads. Each
         //    unit's outcome lands in its own reused buffers, and granted
         //    connections latch into the unit's active table in place.
+        //    Under ReservedFirst, activating reservations run in a
+        //    dedicated first pass, so cell traffic only sees the leftover
+        //    channels; the extra pass is skipped entirely on slots with no
+        //    due reservations (the common case — and the benched one).
         let hold = self.hold;
+        let reserved_first =
+            !self.due.is_empty() && self.preemption == PreemptionPolicy::ReservedFirst;
+        if reserved_first {
+            run_per_fiber(
+                &mut self.fibers,
+                &self.resv_per_fiber,
+                self.threads,
+                |_, fiber, candidates| {
+                    let _ = fiber.schedule(hold, candidates);
+                },
+            );
+            for fiber in &self.fibers {
+                let outcome = fiber.outcome();
+                out.rearranged += outcome.rearranged();
+                for g in outcome.grants() {
+                    out.reservation_grants.push(ReservationGrant {
+                        reservation: due_reservation_id(&self.due, &g.request),
+                        grant: *g,
+                    });
+                }
+                for &request in outcome.contention() {
+                    out.reservation_expired.push(ReservationExpiry {
+                        reservation: due_reservation_id(&self.due, &request),
+                        rejection: Rejection { request, reason: RejectReason::OutputContention },
+                    });
+                }
+            }
+        }
         run_per_fiber(&mut self.fibers, &self.per_fiber, self.threads, |_, fiber, candidates| {
             let _ = fiber.schedule(hold, candidates);
         });
 
-        // 4. Aggregate the per-fiber outcomes in fiber order.
+        // 4. Aggregate the per-fiber outcomes in fiber order. Under
+        //    Compete, activating reservations were matched alongside the
+        //    cells, so their outcomes are routed back by input channel
+        //    (unique within a slot: source-side admission is exclusive).
+        let route_reservations =
+            !self.due.is_empty() && self.preemption == PreemptionPolicy::Compete;
         for fiber in &self.fibers {
             let outcome = fiber.outcome();
             out.rearranged += outcome.rearranged();
-            out.grants.extend_from_slice(outcome.grants());
-            out.rejections.extend(
-                outcome
-                    .contention()
-                    .iter()
-                    .map(|&request| Rejection { request, reason: RejectReason::OutputContention }),
-            );
+            if route_reservations {
+                for g in outcome.grants() {
+                    match try_due_reservation_id(&self.due, &g.request) {
+                        Some(id) => out
+                            .reservation_grants
+                            .push(ReservationGrant { reservation: id, grant: *g }),
+                        None => out.grants.push(*g),
+                    }
+                }
+                for &request in outcome.contention() {
+                    let rejection = Rejection { request, reason: RejectReason::OutputContention };
+                    match try_due_reservation_id(&self.due, &request) {
+                        Some(id) => out
+                            .reservation_expired
+                            .push(ReservationExpiry { reservation: id, rejection }),
+                        None => out.rejections.push(rejection),
+                    }
+                }
+            } else {
+                out.grants.extend_from_slice(outcome.grants());
+                out.rejections.extend(
+                    outcome.contention().iter().map(|&request| Rejection {
+                        request,
+                        reason: RejectReason::OutputContention,
+                    }),
+                );
+            }
         }
 
         debug_assert!(
             self.crossbar().validate(&self.conversion).is_ok(),
             "scheduling produced a physically impossible fabric state"
         );
+        debug_assert_eq!(
+            out.reservations_due(),
+            self.due.len(),
+            "every due reservation is granted or expired, exactly once"
+        );
         self.slot += 1;
         Ok(())
+    }
+}
+
+/// The id of the due reservation activating on `request`'s input channel.
+/// Input channels are claimed exclusively during source-side admission, so
+/// the match is unique within a slot.
+fn try_due_reservation_id(due: &[Reservation], request: &ConnectionRequest) -> Option<u64> {
+    due.iter()
+        .find(|r| {
+            r.request.src_fiber == request.src_fiber
+                && r.request.src_wavelength == request.src_wavelength
+        })
+        .map(|r| r.id)
+}
+
+/// [`try_due_reservation_id`] for outcomes known to be reservations (the
+/// ReservedFirst pass schedules nothing else).
+fn due_reservation_id(due: &[Reservation], request: &ConnectionRequest) -> u64 {
+    match try_due_reservation_id(due, request) {
+        Some(id) => id,
+        None => unreachable!("ReservedFirst pass outcomes all map back to a due reservation"),
     }
 }
 
@@ -418,6 +600,153 @@ mod tests {
             Interconnect::new(InterconnectConfig::packet_switch(0, conv())),
             Err(Error::ZeroFibers)
         ));
+    }
+
+    fn resv(sf: usize, sw: usize, df: usize, start: u64, dur: u32) -> ReservationRequest {
+        ReservationRequest {
+            src_fiber: sf,
+            src_wavelength: sw,
+            dst_fiber: df,
+            start_slot: start,
+            duration: dur,
+        }
+    }
+
+    #[test]
+    fn reservation_activates_at_start_slot_and_holds() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let id = ic.reserve_checked(resv(0, 2, 1, 2, 3)).unwrap();
+        // Slots 0 and 1: nothing happens yet.
+        for _ in 0..2 {
+            let r = ic.advance_slot(&[]).unwrap();
+            assert!(r.reservation_grants.is_empty() && r.reservation_expired.is_empty());
+        }
+        assert_eq!(ic.reservations().len(), 1);
+        // Slot 2: activation.
+        let r = ic.advance_slot(&[]).unwrap();
+        assert_eq!(r.reservation_grants.len(), 1);
+        assert_eq!(r.reservation_grants[0].reservation, id);
+        assert!(r.grants.is_empty(), "reservation grants are reported separately");
+        assert_eq!(ic.active_connections(), 1);
+        assert!(ic.reservations().is_empty());
+        // The hold lives out its 3-slot duration.
+        let held = r.reservation_grants[0].grant.output_wavelength;
+        for _ in 0..2 {
+            let r = ic.advance_slot(&[]).unwrap();
+            assert_eq!(r.completed, 0);
+            assert!(!ic.occupied_mask(1).is_free(held));
+        }
+        let r = ic.advance_slot(&[]).unwrap();
+        assert_eq!(r.completed, 1);
+        assert_eq!(ic.active_connections(), 0);
+    }
+
+    #[test]
+    fn cancelled_reservation_never_activates() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let id = ic.reserve(resv(0, 2, 1, 1, 2)).unwrap();
+        assert!(ic.cancel_reservation(id));
+        assert!(!ic.cancel_reservation(id));
+        for _ in 0..3 {
+            let r = ic.advance_slot(&[]).unwrap();
+            assert_eq!(r.reservations_due(), 0);
+        }
+        assert_eq!(ic.active_connections(), 0);
+    }
+
+    #[test]
+    fn reserved_first_preempts_cells() {
+        // k = 3, full conversion on a tiny fabric: three cells saturate
+        // fiber 0; an activating reservation must still win its channel.
+        let conv = Conversion::full(3).unwrap();
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv)).unwrap();
+        let id = ic.reserve_checked(resv(1, 0, 0, 0, 2)).unwrap();
+        let cells = vec![
+            ConnectionRequest::packet(0, 0, 0),
+            ConnectionRequest::packet(0, 1, 0),
+            ConnectionRequest::packet(0, 2, 0),
+        ];
+        let r = ic.advance_slot(&cells).unwrap();
+        assert_eq!(r.reservation_grants.len(), 1, "reservation wins under ReservedFirst");
+        assert_eq!(r.reservation_grants[0].reservation, id);
+        // Only 2 channels remain for the 3 cells.
+        assert_eq!(r.grants.len(), 2);
+        assert_eq!(r.contention_losses(), 1);
+    }
+
+    #[test]
+    fn compete_lets_cells_contend_with_reservations() {
+        // Same setup, Compete: the matching maximizes cardinality over all
+        // four candidates on 3 channels — exactly 3 granted in total.
+        let conv = Conversion::full(3).unwrap();
+        let cfg =
+            InterconnectConfig::packet_switch(2, conv).with_preemption(PreemptionPolicy::Compete);
+        let mut ic = Interconnect::new(cfg).unwrap();
+        ic.reserve_checked(resv(1, 0, 0, 0, 2)).unwrap();
+        let cells = vec![
+            ConnectionRequest::packet(0, 0, 0),
+            ConnectionRequest::packet(0, 1, 0),
+            ConnectionRequest::packet(0, 2, 0),
+        ];
+        let r = ic.advance_slot(&cells).unwrap();
+        assert_eq!(r.grants.len() + r.reservation_grants.len(), 3);
+        assert_eq!(r.contention_losses() + r.reservation_expired.len(), 1);
+    }
+
+    #[test]
+    fn reservation_source_busy_expires() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        // A long burst occupies input channel (0, 2) through slot 3.
+        let _ = ic.advance_slot(&[ConnectionRequest::burst(0, 2, 0, 5)]).unwrap();
+        // The store sees the hold, so an overlapping booking is denied...
+        assert!(matches!(
+            ic.reserve(resv(0, 2, 1, 2, 1)),
+            Err(Error::ReservationCapacityExhausted { .. })
+        ));
+        // ...but a cell admitted *after* a booking can still collide: book
+        // first, then launch the burst.
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let id = ic.reserve(resv(0, 2, 1, 2, 1)).unwrap();
+        let _ = ic.advance_slot(&[ConnectionRequest::burst(0, 2, 0, 5)]).unwrap();
+        let _ = ic.advance_slot(&[]).unwrap();
+        let r = ic.advance_slot(&[]).unwrap();
+        assert_eq!(r.reservation_expired.len(), 1);
+        assert_eq!(r.reservation_expired[0].reservation, id);
+        assert_eq!(r.reservation_expired[0].rejection.reason, RejectReason::SourceBusy);
+    }
+
+    #[test]
+    fn reservation_blocks_same_slot_cell_on_input_channel() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        ic.reserve(resv(0, 2, 1, 0, 1)).unwrap();
+        // A cell on the same input channel in the activation slot loses
+        // source admission to the reservation.
+        let r = ic.advance_slot(&[ConnectionRequest::packet(0, 2, 0)]).unwrap();
+        assert_eq!(r.reservation_grants.len(), 1);
+        assert_eq!(r.source_busy_losses(), 1);
+    }
+
+    #[test]
+    fn capacity_admission_respects_active_holds() {
+        // k = 3 full conversion; fill fiber 0 with three 4-slot bursts,
+        // then try to book overlapping capacity.
+        let conv = Conversion::full(3).unwrap();
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv)).unwrap();
+        let r = ic
+            .advance_slot(&[
+                ConnectionRequest::burst(0, 0, 0, 4),
+                ConnectionRequest::burst(0, 1, 0, 4),
+                ConnectionRequest::burst(0, 2, 0, 4),
+            ])
+            .unwrap();
+        assert_eq!(r.grants.len(), 3);
+        // Slots 1..4 are fully booked on fiber 0.
+        assert!(matches!(
+            ic.reserve(resv(1, 0, 0, 2, 1)),
+            Err(Error::ReservationCapacityExhausted { fiber: 0, slot: 2 })
+        ));
+        // After the bursts complete (slot 4), capacity is bookable again.
+        assert!(ic.reserve_checked(resv(1, 0, 0, 4, 2)).is_ok());
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //!   real);
 //! * [`shard`] — the per-output-fiber scheduling unit ([`FiberUnit`])
 //!   shared by the offline [`Interconnect`] and the `wdm-serve` daemon's
-//!   destination shards, so both drive the identical decision path.
+//!   destination shards, so both drive the identical decision path;
+//! * [`reservation`] — §V advance reservations: a capacity ledger
+//!   ([`ReservationStore`]) admitting future multi-slot holds against an
+//!   admission horizon, with cancellation, timeout expiry, and a
+//!   [`PreemptionPolicy`] knob deciding how activating reservations meet
+//!   cell traffic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +41,7 @@ pub mod fabric;
 pub mod fcfs;
 pub mod interconnect;
 pub mod rearrange;
+pub mod reservation;
 pub mod shard;
 
 pub use buffered::{BufferedInterconnect, BufferedSlotResult, QueueDiscipline, Transmission};
@@ -43,4 +49,8 @@ pub use connection::{ConnectionRequest, Grant, RejectReason, Rejection, SlotResu
 pub use fabric::CrossbarState;
 pub use fcfs::FcfsSwitch;
 pub use interconnect::{HoldPolicy, Interconnect, InterconnectConfig};
+pub use reservation::{
+    PreemptionPolicy, Reservation, ReservationExpiry, ReservationGrant, ReservationRequest,
+    ReservationStore, DEFAULT_RESERVATION_HORIZON,
+};
 pub use shard::{ActiveLink, FiberOutcome, FiberUnit};

@@ -1,0 +1,551 @@
+//! Advance reservations of future channel capacity (paper §V).
+//!
+//! A reservation asks, ahead of time, for a multi-slot connection starting
+//! at a specific future slot: "input channel (fiber, wavelength) to output
+//! fiber `dst`, for `duration` slots, starting at slot `start`". Admission
+//! is decided immediately against the store's capacity ledger — the
+//! already-admitted reservations plus the in-flight holds — over every
+//! slot of the requested interval, bounded by an **admission horizon**
+//! (the store only reasons about slots in `[now, now + horizon)`).
+//!
+//! Admission is a *capacity* check, not a full feasibility proof: it
+//! guarantees at most `k` holds ever overlap on one fiber-slot and that no
+//! input channel is double-booked, but a degree-`d` converter may still be
+//! unable to reach any free channel at activation time. A reservation that
+//! cannot be placed at its start slot — source channel still busy, or no
+//! conversion-reachable channel — **expires** (timeout expiry): it is
+//! dropped and reported, never retried. Reservations can also be
+//! [cancelled](ReservationStore::cancel) any time before their start slot.
+//!
+//! At its start slot a reservation is activated by
+//! [`crate::Interconnect::advance_slot_into`]: it claims its input channel
+//! ahead of the slot's cell traffic and enters the per-fiber matching
+//! according to the [`PreemptionPolicy`] knob — either in a dedicated
+//! first pass that cell traffic cannot contend with
+//! ([`PreemptionPolicy::ReservedFirst`]), or merged into the cell matching
+//! on equal terms ([`PreemptionPolicy::Compete`]). A granted activation
+//! becomes an ordinary in-flight hold ([`crate::ActiveLink`]) and lives
+//! out its duration under the configured [`crate::HoldPolicy`].
+//!
+//! [`ReservationStore::try_reserve`] has a
+//! [`try_reserve_checked`](ReservationStore::try_reserve_checked) twin
+//! that re-certifies admission from scratch: the whole-ledger
+//! time-invariants ([`ReservationStore::check_ledger`] — no fiber-slot
+//! with more than `k` pending bookings, no input channel double-booked by
+//! two reservations, every entry inside the horizon) plus the fresh
+//! admission's consistency with in-flight holds (older bookings carry no
+//! vs-active guarantee — later cell grants may legally collide with them
+//! and resolve as timeout expiries at activation).
+
+use wdm_core::Error;
+
+use crate::connection::{ConnectionRequest, Grant, Rejection};
+use crate::shard::FiberUnit;
+
+/// Default admission horizon (slots ahead of `now` the store will book).
+pub const DEFAULT_RESERVATION_HORIZON: u64 = 1024;
+
+/// What happens when an activating reservation meets cell traffic wanting
+/// the same output fiber in the same slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PreemptionPolicy {
+    /// Activating reservations are matched in a dedicated first pass; the
+    /// slot's cell traffic only sees the leftover channels. Reserved
+    /// capacity preempts cells — a reservation can only fail activation
+    /// against other holds, never against a cell.
+    #[default]
+    ReservedFirst,
+    /// Activating reservations compete with cell traffic in one combined
+    /// matching. The matching maximizes granted connections overall, so a
+    /// reservation may lose output contention to a cell at its start slot
+    /// and expire.
+    Compete,
+}
+
+/// A request for an advance reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReservationRequest {
+    /// Source input fiber.
+    pub src_fiber: usize,
+    /// Wavelength the connection will arrive on.
+    pub src_wavelength: usize,
+    /// Destination output fiber.
+    pub dst_fiber: usize,
+    /// First slot of the hold (must be `>= now` at admission).
+    pub start_slot: u64,
+    /// How many slots the connection holds (`>= 1`).
+    pub duration: u32,
+}
+
+impl ReservationRequest {
+    /// The connection request this reservation turns into at activation.
+    pub fn connection(&self) -> ConnectionRequest {
+        ConnectionRequest {
+            src_fiber: self.src_fiber,
+            src_wavelength: self.src_wavelength,
+            dst_fiber: self.dst_fiber,
+            duration: self.duration,
+        }
+    }
+
+    /// The first slot *after* the hold (`start + duration`), saturating.
+    pub fn end_slot(&self) -> u64 {
+        self.start_slot.saturating_add(u64::from(self.duration))
+    }
+
+    /// Whether this reservation books slot `slot`.
+    pub fn covers(&self, slot: u64) -> bool {
+        self.start_slot <= slot && slot < self.end_slot()
+    }
+}
+
+/// An admitted, not-yet-started reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reservation {
+    /// Store-assigned identifier, strictly increasing in admission order.
+    pub id: u64,
+    /// The admitted request.
+    pub request: ReservationRequest,
+}
+
+/// A reservation that activated and was granted its channel this slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReservationGrant {
+    /// The reservation's id.
+    pub reservation: u64,
+    /// The granted connection (the hold now in flight).
+    pub grant: Grant,
+}
+
+/// A reservation that expired at activation time (timeout expiry): its
+/// source channel was still busy, or no conversion-reachable output
+/// channel was free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReservationExpiry {
+    /// The reservation's id.
+    pub reservation: u64,
+    /// The failed activation with its reason.
+    pub rejection: Rejection,
+}
+
+/// The advance-reservation ledger of one interconnect.
+///
+/// Holds the admitted, not-yet-started reservations and answers admission
+/// queries against future slot capacity. In-flight holds (connections
+/// already on channels) are accounted by probing the [`FiberUnit`]s at
+/// admission time, so the ledger never duplicates the active table.
+#[derive(Debug, Clone)]
+pub struct ReservationStore {
+    n: usize,
+    k: usize,
+    horizon: u64,
+    next_id: u64,
+    /// Admitted, not yet activated, in admission order.
+    pending: Vec<Reservation>,
+}
+
+impl ReservationStore {
+    /// An empty store for an `n × n` interconnect with `k` wavelengths and
+    /// the given admission horizon. A horizon of 0 denies everything.
+    pub fn new(n: usize, k: usize, horizon: u64) -> ReservationStore {
+        ReservationStore { n, k, horizon, next_id: 0, pending: Vec::new() }
+    }
+
+    /// The admission horizon in slots.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// The admitted, not-yet-started reservations in admission order.
+    pub fn pending(&self) -> &[Reservation] {
+        &self.pending
+    }
+
+    /// Number of pending reservations.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no reservations are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Pending reservations booking output fiber `fiber` at slot `slot`.
+    pub fn count_overlapping(&self, fiber: usize, slot: u64) -> usize {
+        self.pending
+            .iter()
+            .filter(|r| r.request.dst_fiber == fiber && r.request.covers(slot))
+            .count()
+    }
+
+    /// In-flight holds on output fiber `fiber` still occupying a channel
+    /// at future slot `slot` (`slot >= now`). An active with `remaining`
+    /// slots at time `now` occupies its channel during
+    /// `[now, now + remaining - 1)`: ageing at the start of slot `now`
+    /// consumes one slot before the channel is contested.
+    fn active_overlap(fibers: &[FiberUnit], fiber: usize, now: u64, slot: u64) -> usize {
+        fibers[fiber].actives().iter().filter(|a| u64::from(a.remaining) > (slot - now) + 1).count()
+    }
+
+    /// Whether the input channel of `req` is free over the whole requested
+    /// interval: not booked by a pending reservation and not held past
+    /// `req.start_slot` by an in-flight connection. On conflict returns
+    /// the first contested slot.
+    fn input_channel_conflict(
+        &self,
+        now: u64,
+        req: &ReservationRequest,
+        fibers: &[FiberUnit],
+    ) -> Option<u64> {
+        for fiber in fibers {
+            for a in fiber.actives() {
+                if a.src_fiber == req.src_fiber
+                    && a.src_wavelength == req.src_wavelength
+                    && now + u64::from(a.remaining) - 1 > req.start_slot
+                {
+                    return Some(req.start_slot);
+                }
+            }
+        }
+        for r in &self.pending {
+            let o = &r.request;
+            if o.src_fiber == req.src_fiber
+                && o.src_wavelength == req.src_wavelength
+                && o.start_slot < req.end_slot()
+                && req.start_slot < o.end_slot()
+            {
+                return Some(req.start_slot.max(o.start_slot));
+            }
+        }
+        None
+    }
+
+    /// Admits an advance reservation against the capacity ledger, or
+    /// explains why not. `now` is the interconnect's current slot; `fibers`
+    /// carry the in-flight holds that already book future capacity.
+    ///
+    /// Admission guarantees: start in the future, whole interval inside
+    /// the horizon, input channel unbooked over the interval, and at most
+    /// `k - 1` other holds booked on the destination fiber at every slot
+    /// of the interval (so at least one channel is numerically free —
+    /// conversion reachability is decided at activation). Denials are
+    /// typed: [`Error::ReservationInPast`],
+    /// [`Error::ReservationHorizonExceeded`],
+    /// [`Error::ReservationCapacityExhausted`], plus the field validation
+    /// errors of [`ConnectionRequest::validate`].
+    ///
+    /// On success returns the reservation id (strictly increasing in
+    /// admission order; denied attempts consume no id).
+    pub fn try_reserve(
+        &mut self,
+        now: u64,
+        req: ReservationRequest,
+        fibers: &[FiberUnit],
+    ) -> Result<u64, Error> {
+        req.connection().validate(self.n, self.k)?;
+        if req.start_slot < now {
+            return Err(Error::ReservationInPast { start_slot: req.start_slot, now });
+        }
+        let horizon_end = now.saturating_add(self.horizon);
+        let end = match req.start_slot.checked_add(u64::from(req.duration)) {
+            Some(end) if end <= horizon_end => end,
+            _ => {
+                return Err(Error::ReservationHorizonExceeded {
+                    end_slot: req.end_slot(),
+                    horizon_end,
+                })
+            }
+        };
+        if let Some(slot) = self.input_channel_conflict(now, &req, fibers) {
+            return Err(Error::ReservationCapacityExhausted { fiber: req.src_fiber, slot });
+        }
+        for slot in req.start_slot..end {
+            let booked = self.count_overlapping(req.dst_fiber, slot)
+                + Self::active_overlap(fibers, req.dst_fiber, now, slot);
+            if booked >= self.k {
+                return Err(Error::ReservationCapacityExhausted { fiber: req.dst_fiber, slot });
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(Reservation { id, request: req });
+        Ok(id)
+    }
+
+    /// [`Self::try_reserve`] followed by two certificates, re-derived
+    /// independently of the fast path's bookkeeping: the whole-ledger
+    /// invariants ([`Self::check_ledger`]) and the fresh admission's
+    /// consistency with in-flight holds. The vs-active part is only
+    /// provable for the reservation admitted *now* — cell traffic granted
+    /// after an older booking may legitimately collide with it (resolved
+    /// at activation as timeout expiry), so older bookings carry no
+    /// vs-active guarantee. On a certificate failure the admission is
+    /// rolled back before the error propagates, so a bookkeeping bug
+    /// fails loudly without leaving the ledger oversubscribed.
+    pub fn try_reserve_checked(
+        &mut self,
+        now: u64,
+        req: ReservationRequest,
+        fibers: &[FiberUnit],
+    ) -> Result<u64, Error> {
+        let id = self.try_reserve(now, req, fibers)?;
+        if let Err(err) =
+            self.check_ledger(now).and_then(|()| self.certify_fresh_admission(now, &req, fibers))
+        {
+            self.cancel(id);
+            return Err(err);
+        }
+        Ok(id)
+    }
+
+    /// Certifies the reservation just admitted against in-flight holds:
+    /// its input channel is not held past its start slot, and every slot
+    /// of its interval keeps total bookings (pending reservations plus
+    /// actives still occupying then) within `k`.
+    fn certify_fresh_admission(
+        &self,
+        now: u64,
+        req: &ReservationRequest,
+        fibers: &[FiberUnit],
+    ) -> Result<(), Error> {
+        for fiber in fibers {
+            for a in fiber.actives() {
+                if a.src_fiber == req.src_fiber
+                    && a.src_wavelength == req.src_wavelength
+                    && now + u64::from(a.remaining) - 1 > req.start_slot
+                {
+                    return Err(Error::ReservationCapacityExhausted {
+                        fiber: req.src_fiber,
+                        slot: req.start_slot,
+                    });
+                }
+            }
+        }
+        for slot in req.start_slot..req.end_slot() {
+            let booked = self.count_overlapping(req.dst_fiber, slot)
+                + Self::active_overlap(fibers, req.dst_fiber, now, slot);
+            if booked > self.k {
+                return Err(Error::ReservationCapacityExhausted { fiber: req.dst_fiber, slot });
+            }
+        }
+        Ok(())
+    }
+
+    /// Certifies the ledger's time-invariants from scratch: every pending
+    /// reservation is field-valid, starts at or after `now`, ends inside
+    /// the horizon; ids are strictly increasing; no input channel is
+    /// booked twice at any slot by two reservations; and no fiber-slot
+    /// carries more than `k` pending bookings.
+    ///
+    /// Deliberately *not* checked here: pending bookings against
+    /// in-flight holds. Cell admission is best-effort and does not
+    /// consult the ledger, so a burst granted after a booking can occupy
+    /// its input channel or its fiber's capacity — that is a legal state
+    /// that resolves at activation as a timeout expiry, not ledger
+    /// corruption. The vs-active certificate therefore only applies to a
+    /// freshly admitted reservation, inside [`Self::try_reserve_checked`].
+    pub fn check_ledger(&self, now: u64) -> Result<(), Error> {
+        let horizon_end = now.saturating_add(self.horizon);
+        for (i, r) in self.pending.iter().enumerate() {
+            r.request.connection().validate(self.n, self.k)?;
+            if r.request.start_slot < now {
+                return Err(Error::ReservationInPast { start_slot: r.request.start_slot, now });
+            }
+            if r.request.end_slot() > horizon_end {
+                return Err(Error::ReservationHorizonExceeded {
+                    end_slot: r.request.end_slot(),
+                    horizon_end,
+                });
+            }
+            if let Some(prev) = i.checked_sub(1).and_then(|p| self.pending.get(p)) {
+                if prev.id >= r.id {
+                    return Err(Error::LengthMismatch {
+                        expected: prev.id as usize + 1,
+                        actual: r.id as usize,
+                    });
+                }
+            }
+            // Pairwise input-channel booking (reservation vs reservation).
+            for o in &self.pending[i + 1..] {
+                if o.request.src_fiber == r.request.src_fiber
+                    && o.request.src_wavelength == r.request.src_wavelength
+                    && o.request.start_slot < r.request.end_slot()
+                    && r.request.start_slot < o.request.end_slot()
+                {
+                    return Err(Error::ReservationCapacityExhausted {
+                        fiber: r.request.src_fiber,
+                        slot: r.request.start_slot.max(o.request.start_slot),
+                    });
+                }
+            }
+            // Pending-only capacity per fiber-slot. Each admission held
+            // pending + actives < k at its own admission time, so pending
+            // alone can never exceed k — unlike the sum with actives,
+            // which later cell grants may legally push past k.
+            for slot in r.request.start_slot..r.request.end_slot() {
+                let booked = self.count_overlapping(r.request.dst_fiber, slot);
+                if booked > self.k {
+                    return Err(Error::ReservationCapacityExhausted {
+                        fiber: r.request.dst_fiber,
+                        slot,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cancels a pending reservation. Returns whether `id` was pending
+    /// (activated, expired, or unknown reservations return `false`).
+    pub fn cancel(&mut self, id: u64) -> bool {
+        let before = self.pending.len();
+        self.pending.retain(|r| r.id != id);
+        self.pending.len() < before
+    }
+
+    /// Moves every reservation whose start slot has arrived (`start <=
+    /// now`) into `out` in admission order, removing it from the ledger.
+    /// Called once per slot by the interconnect; allocation-free once
+    /// `out` has grown to its working size.
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<Reservation>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        out.extend(self.pending.iter().filter(|r| r.request.start_slot <= now).copied());
+        self.pending.retain(|r| r.request.start_slot > now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_core::Conversion;
+
+    fn store(k: usize, horizon: u64) -> (ReservationStore, Vec<FiberUnit>) {
+        let conv = Conversion::full(k).unwrap();
+        let fibers = (0..2).map(|_| FiberUnit::new(2, conv, wdm_core::Policy::Auto).unwrap());
+        (ReservationStore::new(2, k, horizon), fibers.collect::<Vec<_>>())
+    }
+
+    fn req(sf: usize, sw: usize, df: usize, start: u64, dur: u32) -> ReservationRequest {
+        ReservationRequest {
+            src_fiber: sf,
+            src_wavelength: sw,
+            dst_fiber: df,
+            start_slot: start,
+            duration: dur,
+        }
+    }
+
+    #[test]
+    fn admission_assigns_increasing_ids() {
+        let (mut s, fibers) = store(4, 100);
+        let a = s.try_reserve_checked(0, req(0, 0, 1, 5, 3), &fibers).unwrap();
+        let b = s.try_reserve_checked(0, req(0, 1, 1, 5, 3), &fibers).unwrap();
+        assert!(b > a);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn past_start_denied() {
+        let (mut s, fibers) = store(4, 100);
+        assert!(matches!(
+            s.try_reserve(10, req(0, 0, 1, 9, 1), &fibers),
+            Err(Error::ReservationInPast { start_slot: 9, now: 10 })
+        ));
+    }
+
+    #[test]
+    fn horizon_denied() {
+        let (mut s, fibers) = store(4, 10);
+        assert!(matches!(
+            s.try_reserve(0, req(0, 0, 1, 8, 3), &fibers),
+            Err(Error::ReservationHorizonExceeded { end_slot: 11, horizon_end: 10 })
+        ));
+        // Exactly at the horizon edge is fine.
+        assert!(s.try_reserve(0, req(0, 0, 1, 8, 2), &fibers).is_ok());
+        // Overflowing start + duration is a horizon denial, not a panic.
+        assert!(matches!(
+            s.try_reserve(0, req(0, 1, 1, u64::MAX - 1, 4), &fibers),
+            Err(Error::ReservationHorizonExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_horizon_denies_everything() {
+        let (mut s, fibers) = store(4, 0);
+        assert!(s.try_reserve(0, req(0, 0, 1, 0, 1), &fibers).is_err());
+    }
+
+    #[test]
+    fn output_capacity_exhaustion() {
+        let (mut s, fibers) = store(2, 100);
+        // k = 2: two overlapping holds fill fiber 1 at slot 6.
+        s.try_reserve_checked(0, req(0, 0, 1, 5, 3), &fibers).unwrap();
+        s.try_reserve_checked(0, req(0, 1, 1, 6, 3), &fibers).unwrap();
+        assert!(matches!(
+            s.try_reserve(0, req(1, 0, 1, 4, 3), &fibers),
+            Err(Error::ReservationCapacityExhausted { fiber: 1, slot: 6 })
+        ));
+        // A disjoint interval on the same fiber is fine.
+        assert!(s.try_reserve_checked(0, req(1, 0, 1, 9, 3), &fibers).is_ok());
+    }
+
+    #[test]
+    fn input_channel_conflict_denied() {
+        let (mut s, fibers) = store(4, 100);
+        s.try_reserve_checked(0, req(0, 0, 1, 5, 3), &fibers).unwrap();
+        // Same input channel, overlapping interval, different destination.
+        assert!(matches!(
+            s.try_reserve(0, req(0, 0, 0, 7, 2), &fibers),
+            Err(Error::ReservationCapacityExhausted { fiber: 0, slot: 7 })
+        ));
+        // Back-to-back on the same input channel is fine.
+        assert!(s.try_reserve_checked(0, req(0, 0, 0, 8, 2), &fibers).is_ok());
+    }
+
+    #[test]
+    fn field_validation_denied() {
+        let (mut s, fibers) = store(4, 100);
+        assert!(s.try_reserve(0, req(2, 0, 1, 5, 1), &fibers).is_err());
+        assert!(s.try_reserve(0, req(0, 4, 1, 5, 1), &fibers).is_err());
+        assert!(s.try_reserve(0, req(0, 0, 2, 5, 1), &fibers).is_err());
+        assert!(s.try_reserve(0, req(0, 0, 1, 5, 0), &fibers).is_err());
+        assert!(s.is_empty(), "denied attempts leave no trace");
+    }
+
+    #[test]
+    fn cancel_removes_pending() {
+        let (mut s, fibers) = store(4, 100);
+        let id = s.try_reserve(0, req(0, 0, 1, 5, 3), &fibers).unwrap();
+        assert!(s.cancel(id));
+        assert!(!s.cancel(id), "double cancel is a no-op");
+        assert!(s.is_empty());
+        // The freed capacity is reusable.
+        assert!(s.try_reserve_checked(0, req(0, 0, 1, 5, 3), &fibers).is_ok());
+    }
+
+    #[test]
+    fn drain_due_preserves_admission_order() {
+        let (mut s, fibers) = store(4, 100);
+        let a = s.try_reserve(0, req(0, 0, 1, 3, 1), &fibers).unwrap();
+        let b = s.try_reserve(0, req(0, 1, 1, 7, 1), &fibers).unwrap();
+        let c = s.try_reserve(0, req(0, 2, 1, 3, 1), &fibers).unwrap();
+        let mut due = Vec::new();
+        s.drain_due(3, &mut due);
+        assert_eq!(due.iter().map(|r| r.id).collect::<Vec<_>>(), vec![a, c]);
+        assert_eq!(s.pending().len(), 1);
+        assert_eq!(s.pending()[0].id, b);
+    }
+
+    #[test]
+    fn denied_attempts_consume_no_id() {
+        let (mut s, fibers) = store(4, 10);
+        let a = s.try_reserve(0, req(0, 0, 1, 2, 1), &fibers).unwrap();
+        assert!(s.try_reserve(0, req(0, 1, 1, 50, 1), &fibers).is_err());
+        let b = s.try_reserve(0, req(0, 1, 1, 2, 1), &fibers).unwrap();
+        assert_eq!(b, a + 1);
+    }
+}

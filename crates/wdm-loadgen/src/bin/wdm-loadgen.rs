@@ -18,7 +18,7 @@ use std::time::Duration;
 use wdm_loadgen::{run, LoadgenConfig, Mode};
 
 fn usage() -> &'static str {
-    "usage: wdm-loadgen --addr <host:port> [--mode closed|open] [--interval-us <us>]\n       [--batches <count>] [--load <0..1>] [--seed <u64>] [--mean-duration <slots>]\n       [--out <report.json>] [--shutdown] [--expect-clean]"
+    "usage: wdm-loadgen --addr <host:port> [--mode closed|open] [--interval-us <us>]\n       [--batches <count>] [--load <0..1>] [--seed <u64>] [--mean-duration <slots>]\n       [--reserve-fraction <0..1>] [--reserve-lead <slots>]\n       [--out <report.json>] [--shutdown] [--expect-clean]"
 }
 
 struct Args {
@@ -35,6 +35,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         batches: 500,
         seed: 42,
         mean_duration: 1.0,
+        reserve_fraction: 0.0,
+        reserve_lead: 4,
         shutdown_server: false,
     };
     let mut out = None;
@@ -62,6 +64,13 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--mean-duration" => {
                 config.mean_duration = parse_num(&value("--mean-duration")?, "--mean-duration")?;
             }
+            "--reserve-fraction" => {
+                config.reserve_fraction =
+                    parse_num(&value("--reserve-fraction")?, "--reserve-fraction")?;
+            }
+            "--reserve-lead" => {
+                config.reserve_lead = parse_num(&value("--reserve-lead")?, "--reserve-lead")?;
+            }
             "--out" => out = Some(value("--out")?),
             "--shutdown" => config.shutdown_server = true,
             "--expect-clean" => expect_clean = true,
@@ -72,6 +81,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         return Err("--addr is required".to_owned());
     }
     if open {
+        if config.reserve_fraction > 0.0 {
+            return Err("--reserve-fraction requires --mode closed".to_owned());
+        }
         config.mode = Mode::Open { interval: Duration::from_micros(interval_us) };
     }
     Ok(Args { config, out, expect_clean })
@@ -128,6 +140,17 @@ fn main() -> ExitCode {
         report.p99_grant_latency_ns,
         report.p999_grant_latency_ns,
     );
+    if report.reservations > 0 {
+        eprintln!(
+            "wdm-loadgen: {} reservations: {} acked, {} granted, {} expired, {} denied (capacity) / {} (horizon)",
+            report.reservations,
+            report.reservation_acks,
+            report.reservation_grants,
+            report.reservation_expiries,
+            report.reserve_denied_capacity,
+            report.reserve_denied_horizon,
+        );
+    }
     if args.expect_clean && !report.clean() {
         eprintln!(
             "wdm-loadgen: --expect-clean failed: {} InvalidRequest denies",

@@ -3,8 +3,10 @@
 //! Measures a running `wdm-serve` daemon: seeded [`wdm_sim::traffic`]
 //! request streams in open- or closed-loop pacing, with an HDR-style
 //! log-linear histogram of submit→GRANT latency (p50/p99/p999) and the
-//! observed slot rate. The [`LoadReport`] JSON is what BENCH_4's
-//! serve-mode rows and the CI smoke gate consume.
+//! observed slot rate. Closed-loop runs can mix in advance-reservation
+//! sessions (`reserve_fraction`), reporting per-duration
+//! RESERVE→activation-GRANT latency buckets. The [`LoadReport`] JSON is
+//! what BENCH_4's serve-mode rows and the CI smoke gate consume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,4 +16,4 @@ pub mod histogram;
 pub mod runner;
 
 pub use histogram::LatencyHistogram;
-pub use runner::{run, LoadReport, LoadgenConfig, Mode};
+pub use runner::{run, DurationLatency, LoadReport, LoadgenConfig, Mode, RESERVE_ID_BASE};

@@ -6,14 +6,20 @@
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use wdm_interconnect::ConnectionRequest;
-use wdm_serve::protocol::{DenyReason, Frame, ProtocolError, SubmitRequest};
+use wdm_serve::protocol::{DenyReason, Frame, ProtocolError, ReserveRequest, SubmitRequest};
 use wdm_serve::Client;
 use wdm_sim::traffic::{BernoulliUniform, DurationModel, TrafficModel};
 
 use crate::histogram::LatencyHistogram;
+
+/// Reservation wire ids live in their own namespace so a reply can be
+/// classified as cell-path or reservation-path by its id alone — cell ids
+/// count up from zero and would need ~146 years at 10⁹ requests/s to reach
+/// this base.
+pub const RESERVE_ID_BASE: u64 = 1 << 62;
 
 /// How the generator paces itself.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +50,12 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Mean connection holding time in slots (1 = optical packets).
     pub mean_duration: f64,
+    /// Probability per batch of also placing one advance reservation
+    /// (closed mode only; `0.0` disables and is the default path).
+    pub reserve_fraction: f64,
+    /// How many slots ahead each reservation books its start (RESERVE
+    /// `start_in`).
+    pub reserve_lead: u32,
     /// Send SHUTDOWN to the daemon when done.
     pub shutdown_server: bool,
 }
@@ -88,6 +100,37 @@ pub struct LoadReport {
     pub p999_grant_latency_ns: u64,
     /// Largest observed grant latency (ns).
     pub max_grant_latency_ns: u64,
+    /// RESERVE frames sent.
+    pub reservations: u64,
+    /// Reservations admitted (RESERVE_ACK received).
+    pub reservation_acks: u64,
+    /// Reservations that activated into a granted connection.
+    pub reservation_grants: u64,
+    /// Reservations that expired at their start slot (hold timed out
+    /// against live contention — normal under load, not a bug).
+    pub reservation_expiries: u64,
+    /// Reservations denied at admission: no future slot capacity.
+    pub reserve_denied_capacity: u64,
+    /// Reservations denied at admission: start slot beyond the horizon.
+    pub reserve_denied_horizon: u64,
+    /// Reservation latency (RESERVE sent → activation GRANT received)
+    /// percentiles, bucketed by requested hold duration.
+    pub reservation_latency_by_duration: Vec<DurationLatency>,
+}
+
+/// Reservation-grant latency percentiles for one requested hold duration.
+#[derive(Debug, Clone, Serialize)]
+pub struct DurationLatency {
+    /// Requested hold duration in slots.
+    pub duration: u32,
+    /// Activation grants observed in this bucket.
+    pub count: u64,
+    /// Median latency (ns), RESERVE sent → GRANT received.
+    pub p50_ns: u64,
+    /// 99th percentile latency (ns).
+    pub p99_ns: u64,
+    /// Largest observed latency (ns).
+    pub max_ns: u64,
 }
 
 impl LoadReport {
@@ -123,6 +166,12 @@ impl Tally {
                     DenyReason::SourceBusy => self.source_busy += 1,
                     DenyReason::OutputContention => self.contention += 1,
                     DenyReason::InvalidRequest => self.invalid += 1,
+                    // Reservation-admission reasons never apply to the
+                    // cell path; one leaking here is a protocol bug, and
+                    // `invalid` is the counter the CI clean gate watches.
+                    DenyReason::CapacityExhausted | DenyReason::HorizonExceeded => {
+                        self.invalid += 1;
+                    }
                 }
                 1
             }
@@ -135,8 +184,47 @@ impl Tally {
     }
 }
 
+/// Reservation-session bookkeeping (closed mode only; stays all-zero when
+/// `reserve_fraction` is 0 or the run is open-loop).
+#[derive(Debug, Default)]
+struct ReserveStats {
+    requested: u64,
+    acks: u64,
+    grants: u64,
+    expiries: u64,
+    denied_capacity: u64,
+    denied_horizon: u64,
+    by_duration: std::collections::BTreeMap<u32, LatencyHistogram>,
+}
+
+impl ReserveStats {
+    fn report_buckets(&self) -> Vec<DurationLatency> {
+        self.by_duration
+            .iter()
+            .map(|(&duration, hist)| DurationLatency {
+                duration,
+                count: hist.count(),
+                p50_ns: hist.value_at_percentile(50.0),
+                p99_ns: hist.value_at_percentile(99.0),
+                max_ns: hist.max(),
+            })
+            .collect()
+    }
+}
+
 /// Runs one load-generation session against a live daemon.
+///
+/// Reservation sessions (`reserve_fraction > 0`) require closed-loop
+/// pacing: the open-loop collector has no submit-instant bookkeeping for
+/// multi-slot holds, so mixing them is rejected up front rather than
+/// silently mismeasured.
 pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ProtocolError> {
+    if config.reserve_fraction > 0.0 && matches!(config.mode, Mode::Open { .. }) {
+        return Err(ProtocolError::UnexpectedFrame {
+            got: "open-loop pacing with --reserve-fraction",
+            expected: "closed mode for reservation sessions",
+        });
+    }
     let client = Client::connect(&config.addr)?;
     let (n, k) = (client.n(), client.k());
     let policy = client.policy().to_owned();
@@ -148,14 +236,14 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ProtocolError> {
     let mut traffic = BernoulliUniform::new(n as usize, k as usize, config.load, duration);
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let (mode_name, tally, hist, requests, elapsed) = match config.mode {
+    let (mode_name, tally, hist, requests, elapsed, reserve) = match config.mode {
         Mode::Closed => {
-            let (t, h, r, e) = run_closed(client, config, &mut traffic, &mut rng)?;
-            ("closed", t, h, r, e)
+            let (t, h, r, e, rs) = run_closed(client, config, duration, &mut traffic, &mut rng)?;
+            ("closed", t, h, r, e, rs)
         }
         Mode::Open { interval } => {
             let (t, h, r, e) = run_open(client, config, interval, &mut traffic, &mut rng)?;
-            ("open", t, h, r, e)
+            ("open", t, h, r, e, ReserveStats::default())
         }
     };
 
@@ -178,6 +266,13 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ProtocolError> {
         p99_grant_latency_ns: hist.value_at_percentile(99.0),
         p999_grant_latency_ns: hist.value_at_percentile(99.9),
         max_grant_latency_ns: hist.max(),
+        reservations: reserve.requested,
+        reservation_acks: reserve.acks,
+        reservation_grants: reserve.grants,
+        reservation_expiries: reserve.expiries,
+        reserve_denied_capacity: reserve.denied_capacity,
+        reserve_denied_horizon: reserve.denied_horizon,
+        reservation_latency_by_duration: reserve.report_buckets(),
     })
 }
 
@@ -197,33 +292,146 @@ fn to_batch(requests: &[ConnectionRequest], next_id: &mut u64, out: &mut Vec<Sub
     }
 }
 
+/// In-flight reservation state on the client side, keyed by wire id.
+/// `awaiting_ack` holds RESERVE frames whose admission verdict hasn't
+/// arrived; `awaiting_activation` holds admitted reservations waiting for
+/// their start slot's GRANT (or expiry DENY).
+#[derive(Debug, Default)]
+struct ReserveTracker {
+    awaiting_ack: std::collections::HashMap<u64, (Instant, u32)>,
+    awaiting_activation: std::collections::HashMap<u64, (Instant, u32)>,
+}
+
+impl ReserveTracker {
+    /// Folds one frame in if it belongs to the reservation id namespace.
+    /// Returns `Some(settled)` — how many *admission-outstanding* replies
+    /// it settled (activation grants/expiries arrive slots later and
+    /// settle 0) — or `None` for cell-path frames the caller should hand
+    /// to [`Tally::observe`].
+    fn observe(
+        &mut self,
+        frame: &Frame,
+        stats: &mut ReserveStats,
+        tally: &mut Tally,
+    ) -> Option<u64> {
+        match frame {
+            Frame::ReserveAck { id, .. } => {
+                if let Some(info) = self.awaiting_ack.remove(id) {
+                    self.awaiting_activation.insert(*id, info);
+                    stats.acks += 1;
+                }
+                Some(1)
+            }
+            Frame::Grant { id, .. } if *id >= RESERVE_ID_BASE => {
+                if let Some((sent, duration)) = self.awaiting_activation.remove(id) {
+                    stats.grants += 1;
+                    let ns = u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    stats
+                        .by_duration
+                        .entry(duration)
+                        .or_insert_with(LatencyHistogram::new)
+                        .record(ns);
+                }
+                Some(0)
+            }
+            Frame::Deny { id, reason, .. } if *id >= RESERVE_ID_BASE => {
+                if self.awaiting_ack.remove(id).is_some() {
+                    match reason {
+                        DenyReason::CapacityExhausted => stats.denied_capacity += 1,
+                        DenyReason::HorizonExceeded => stats.denied_horizon += 1,
+                        // Admission can also deny InvalidRequest; the
+                        // generator only emits in-range reservations, so
+                        // that (or any other reason here) is a bug the
+                        // clean gate must catch.
+                        _ => tally.invalid += 1,
+                    }
+                    Some(1)
+                } else {
+                    // Start-slot expiry: the hold lost to live traffic
+                    // (SourceBusy / OutputContention). Normal under load.
+                    self.awaiting_activation.remove(id);
+                    stats.expiries += 1;
+                    Some(0)
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Builds one in-range reservation. Durations are clamped to ≥ 2 slots so
+/// every reservation session exercises a genuinely multi-slot hold even
+/// under the packet-mode (`mean_duration = 1`) traffic model.
+fn make_reservation(
+    seq: &mut u64,
+    n: u32,
+    k: u32,
+    lead: u32,
+    duration: DurationModel,
+    rng: &mut StdRng,
+) -> ReserveRequest {
+    let id = RESERVE_ID_BASE + *seq;
+    *seq += 1;
+    ReserveRequest {
+        id,
+        src_fiber: rng.gen_range(0..n),
+        src_wavelength: rng.gen_range(0..k),
+        dst_fiber: rng.gen_range(0..n),
+        start_in: lead,
+        duration: duration.sample(rng).max(2),
+    }
+}
+
 fn run_closed(
     mut client: Client,
     config: &LoadgenConfig,
+    duration: DurationModel,
     traffic: &mut BernoulliUniform,
     rng: &mut StdRng,
-) -> Result<(Tally, LatencyHistogram, u64, Duration), ProtocolError> {
+) -> Result<(Tally, LatencyHistogram, u64, Duration, ReserveStats), ProtocolError> {
+    let (n, k) = (client.n(), client.k());
     let mut tally = Tally::default();
     let mut hist = LatencyHistogram::new();
+    let mut stats = ReserveStats::default();
+    let mut tracker = ReserveTracker::default();
     let mut generated = Vec::new();
     let mut batch = Vec::new();
     let mut next_id = 0u64;
+    let mut reserve_seq = 0u64;
     let mut requests = 0u64;
     let start = Instant::now();
     for slot in 0..config.batches {
         traffic.generate_into(rng, slot, &mut generated);
         to_batch(&generated, &mut next_id, &mut batch);
-        if batch.is_empty() {
+        let reservation =
+            if config.reserve_fraction > 0.0 && rng.gen_range(0.0..1.0) < config.reserve_fraction {
+                Some(make_reservation(&mut reserve_seq, n, k, config.reserve_lead, duration, rng))
+            } else {
+                None
+            };
+        if batch.is_empty() && reservation.is_none() {
             continue;
         }
         requests += batch.len() as u64;
         let submitted = Instant::now();
-        client.submit(&batch)?;
+        if !batch.is_empty() {
+            client.submit(&batch)?;
+        }
         let mut outstanding = batch.len() as u64;
+        if let Some(request) = reservation {
+            tracker.awaiting_ack.insert(request.id, (Instant::now(), request.duration));
+            stats.requested += 1;
+            client.reserve(request)?;
+            outstanding += 1;
+        }
         while outstanding > 0 {
             let frame = client.next_frame()?;
             if let Frame::Error { code, message } = frame {
                 return Err(ProtocolError::ServerError { code, message });
+            }
+            if let Some(settled) = tracker.observe(&frame, &mut stats, &mut tally) {
+                outstanding = outstanding.saturating_sub(settled);
+                continue;
             }
             let settled = tally.observe(&frame);
             if settled > 0 {
@@ -235,12 +443,24 @@ fn run_closed(
             }
         }
     }
+    // Admitted reservations with start slots beyond the last batch are
+    // still in flight; the daemon keeps executing slots while holds are
+    // pending, so every one resolves to a GRANT or an expiry DENY.
+    while !tracker.awaiting_activation.is_empty() {
+        let frame = client.next_frame()?;
+        if let Frame::Error { code, message } = frame {
+            return Err(ProtocolError::ServerError { code, message });
+        }
+        if tracker.observe(&frame, &mut stats, &mut tally).is_none() {
+            let _ = tally.observe(&frame);
+        }
+    }
     let elapsed = start.elapsed();
     if config.shutdown_server {
         client.send_shutdown()?;
         drain_until_close(&mut client);
     }
-    Ok((tally, hist, requests, elapsed))
+    Ok((tally, hist, requests, elapsed, stats))
 }
 
 /// Depth of the bounded submit-instant queue feeding the open-loop

@@ -43,6 +43,8 @@ fn closed_loop_session_is_clean_and_replayable() {
         batches: 200,
         seed: 7,
         mean_duration: 2.0,
+        reserve_fraction: 0.0,
+        reserve_lead: 4,
         shutdown_server: true,
     })
     .unwrap();
@@ -79,6 +81,8 @@ fn open_loop_session_is_clean_and_replayable() {
         batches: 150,
         seed: 11,
         mean_duration: 1.0,
+        reserve_fraction: 0.0,
+        reserve_lead: 4,
         shutdown_server: true,
     })
     .unwrap();
@@ -107,6 +111,8 @@ fn same_seed_same_request_stream() {
             batches: 120,
             seed: 99,
             mean_duration: 1.5,
+            reserve_fraction: 0.0,
+            reserve_lead: 4,
             shutdown_server: true,
         })
         .unwrap();
@@ -118,4 +124,66 @@ fn same_seed_same_request_stream() {
     assert_eq!(ra.requests, rb.requests);
     assert_eq!(ra.grants, rb.grants);
     assert_eq!(ta, tb, "identical seeds must record identical sessions");
+}
+
+#[test]
+fn mixed_reservation_session_is_clean_and_replayable() {
+    let (addr, server) =
+        spawn_server(Policy::BreakFirstAvailable, Conversion::symmetric_circular(K, 3).unwrap());
+    let report = run(&LoadgenConfig {
+        addr,
+        mode: Mode::Closed,
+        load: 0.3,
+        batches: 200,
+        seed: 23,
+        mean_duration: 2.0,
+        reserve_fraction: 0.5,
+        reserve_lead: 3,
+        shutdown_server: true,
+    })
+    .unwrap();
+
+    assert!(report.clean(), "InvalidRequest denies: {}", report.denies_invalid);
+    assert!(report.reservations > 0, "a 0.5 reserve fraction over 200 batches must reserve");
+    // Every RESERVE got an admission verdict...
+    assert_eq!(
+        report.reservations,
+        report.reservation_acks + report.reserve_denied_capacity + report.reserve_denied_horizon,
+    );
+    // ...and every admitted hold resolved to an activation grant or expiry.
+    assert_eq!(report.reservation_acks, report.reservation_grants + report.reservation_expiries);
+    assert!(report.reservation_grants > 0, "some holds must activate under 0.3 load");
+    let bucketed: u64 = report.reservation_latency_by_duration.iter().map(|b| b.count).sum();
+    assert_eq!(bucketed, report.reservation_grants);
+    assert!(
+        report.reservation_latency_by_duration.iter().all(|b| b.duration >= 2),
+        "reservation holds are multi-slot by construction"
+    );
+
+    let server_report = server.join().unwrap().unwrap();
+    assert_eq!(server_report.reservations, report.reservation_acks);
+    assert_eq!(server_report.reservation_grants, report.reservation_grants);
+    assert_eq!(server_report.reservation_expiries, report.reservation_expiries);
+    let trace = server_report.trace.expect("server records");
+    let replay = trace.replay().unwrap();
+    assert_eq!(replay.grants as u64, server_report.grants);
+    assert_eq!(replay.reservation_grants as u64, report.reservation_grants);
+}
+
+#[test]
+fn open_mode_rejects_reservation_sessions() {
+    // No server needed: the config is rejected before connecting.
+    let err = run(&LoadgenConfig {
+        addr: "127.0.0.1:1".to_owned(),
+        mode: Mode::Open { interval: Duration::from_micros(100) },
+        load: 0.3,
+        batches: 10,
+        seed: 1,
+        mean_duration: 1.0,
+        reserve_fraction: 0.25,
+        reserve_lead: 2,
+        shutdown_server: false,
+    })
+    .unwrap_err();
+    assert!(matches!(err, wdm_serve::ProtocolError::UnexpectedFrame { .. }), "{err}");
 }

@@ -2,10 +2,15 @@
 //! replay.
 //!
 //! ```sh
-//! wdm-serve serve --addr 127.0.0.1:4780 --n 8 --k 64 --degree 7 \
-//!     --policy bfa --period-us 1000 --trace session.json
+//! wdm-serve serve --addr 127.0.0.1:0 --addr-file addr.txt --n 8 --k 64 \
+//!     --degree 7 --policy bfa --period-us 1000 --trace session.json
 //! wdm-serve replay --trace session.json      # differential gate
 //! ```
+//!
+//! The default address binds an OS-assigned ephemeral port (`:0`) so
+//! concurrent daemons — CI jobs, parallel test runs — never race for a
+//! fixed port; `--addr-file` writes the actual bound address once the
+//! listener is up, which doubles as a readiness signal for scripts.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -15,11 +20,12 @@ use wdm_serve::{EngineConfig, Server, ServerConfig};
 use wdm_sim::trace::SessionTrace;
 
 fn usage() -> &'static str {
-    "usage:\n  wdm-serve serve --addr <host:port> [--n <fibers>] [--k <wavelengths>]\n               [--degree <d>] [--non-circular] [--policy auto|fa|bfa|approx|hk]\n               [--period-us <us>] [--max-slots <slots>] [--queue-capacity <cap>]\n               [--trace <out.json>]\n  wdm-serve replay --trace <session.json>"
+    "usage:\n  wdm-serve serve [--addr <host:port>] [--addr-file <path>] [--n <fibers>]\n               [--k <wavelengths>] [--degree <d>] [--non-circular]\n               [--policy auto|fa|bfa|approx|hk] [--period-us <us>]\n               [--max-slots <slots>] [--queue-capacity <cap>]\n               [--trace <out.json>]\n  wdm-serve replay --trace <session.json>\n\n  --addr defaults to 127.0.0.1:0 (ephemeral port); --addr-file writes the\n  bound address after the listener is up (readiness signal for scripts)"
 }
 
 struct ServeArgs {
     addr: String,
+    addr_file: Option<String>,
     n: usize,
     k: usize,
     degree: usize,
@@ -33,7 +39,8 @@ struct ServeArgs {
 
 fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
     let mut out = ServeArgs {
-        addr: "127.0.0.1:4780".to_owned(),
+        addr: "127.0.0.1:0".to_owned(),
+        addr_file: None,
         n: 8,
         k: 64,
         degree: 7,
@@ -51,6 +58,7 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         };
         match arg.as_str() {
             "--addr" => out.addr = value("--addr")?,
+            "--addr-file" => out.addr_file = Some(value("--addr-file")?),
             "--n" => out.n = parse_num(&value("--n")?, "--n")?,
             "--k" => out.k = parse_num(&value("--k")?, "--k")?,
             "--degree" => out.degree = parse_num(&value("--degree")?, "--degree")?,
@@ -96,6 +104,13 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     };
     let server =
         Server::bind(&args.addr, config).map_err(|e| format!("bind {}: {e}", args.addr))?;
+    if let Some(path) = &args.addr_file {
+        // Written only after the listener is up: the file appearing is the
+        // readiness signal, and its contents are the real (possibly
+        // ephemeral) port a client should dial.
+        std::fs::write(path, format!("{}\n", server.local_addr()))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
     eprintln!(
         "wdm-serve: listening on {} (n={} k={} d={} {} policy={} period={}us)",
         server.local_addr(),

@@ -3,7 +3,7 @@
 use std::net::TcpStream;
 
 use crate::protocol::{
-    read_frame, write_frame, Frame, ProtocolError, SubmitRequest, PROTOCOL_VERSION,
+    read_frame, write_frame, Frame, ProtocolError, ReserveRequest, SubmitRequest, PROTOCOL_VERSION,
 };
 
 /// A connected, handshaken client.
@@ -73,7 +73,19 @@ impl Client {
         self.writer.submit(requests)
     }
 
-    /// Reads the next server frame (GRANT, DENY, SLOT_COMPLETE, ERROR).
+    /// Asks for an advance reservation (one RESERVE frame, flushed). The
+    /// verdict arrives as a RESERVE_ACK or DENY frame.
+    pub fn reserve(&mut self, request: ReserveRequest) -> Result<(), ProtocolError> {
+        self.writer.reserve(request)
+    }
+
+    /// Cancels a pending reservation (one RELEASE frame, flushed; one-way).
+    pub fn release(&mut self, reservation_id: u64) -> Result<(), ProtocolError> {
+        self.writer.release(reservation_id)
+    }
+
+    /// Reads the next server frame (GRANT, DENY, RESERVE_ACK,
+    /// SLOT_COMPLETE, ERROR).
     pub fn next_frame(&mut self) -> Result<Frame, ProtocolError> {
         self.reader.next_frame()
     }
@@ -100,6 +112,16 @@ impl ClientWriter {
     /// Submits a batch of requests (one SUBMIT frame, flushed).
     pub fn submit(&mut self, requests: &[SubmitRequest]) -> Result<(), ProtocolError> {
         self.send(&Frame::Submit { requests: requests.to_vec() })
+    }
+
+    /// Asks for an advance reservation (one RESERVE frame, flushed).
+    pub fn reserve(&mut self, request: ReserveRequest) -> Result<(), ProtocolError> {
+        self.send(&Frame::Reserve { request })
+    }
+
+    /// Cancels a pending reservation (one RELEASE frame, flushed; one-way).
+    pub fn release(&mut self, reservation_id: u64) -> Result<(), ProtocolError> {
+        self.send(&Frame::Release { reservation_id })
     }
 
     /// Asks the daemon to finish the current slot and shut down.

@@ -23,11 +23,12 @@
 use wdm_attr::hot_path;
 use wdm_core::{Conversion, ConversionKind, Error, Policy};
 use wdm_interconnect::{
-    ConnectionRequest, Interconnect, InterconnectConfig, RejectReason, SlotResult,
+    ConnectionRequest, Interconnect, InterconnectConfig, PreemptionPolicy, RejectReason,
+    Reservation, ReservationRequest, SlotResult, DEFAULT_RESERVATION_HORIZON,
 };
 use wdm_sim::trace::{SessionTrace, TraceConfig};
 
-use crate::protocol::{DenyReason, SubmitRequest};
+use crate::protocol::{DenyReason, ReserveRequest, SubmitRequest};
 use crate::serve_sync::{AdmitRejection, ShardQueues};
 
 /// Configuration of a [`SlotEngine`].
@@ -44,12 +45,24 @@ pub struct EngineConfig {
     /// Record a [`SessionTrace`] for offline replay (allocates per slot —
     /// leave off when pinning the zero-allocation path).
     pub record_trace: bool,
+    /// Advance-reservation admission horizon in slots.
+    pub reservation_horizon: u64,
+    /// How activating reservations meet same-slot cell traffic.
+    pub preemption: PreemptionPolicy,
 }
 
 impl EngineConfig {
     /// A config with the daemon's default shard queue capacity (1024).
     pub fn new(n: usize, conversion: Conversion, policy: Policy) -> EngineConfig {
-        EngineConfig { n, conversion, policy, queue_capacity: 1024, record_trace: false }
+        EngineConfig {
+            n,
+            conversion,
+            policy,
+            queue_capacity: 1024,
+            record_trace: false,
+            reservation_horizon: DEFAULT_RESERVATION_HORIZON,
+            preemption: PreemptionPolicy::default(),
+        }
     }
 
     /// Sets the per-shard admission-queue capacity.
@@ -61,6 +74,18 @@ impl EngineConfig {
     /// Enables session-trace recording.
     pub fn with_trace(mut self) -> EngineConfig {
         self.record_trace = true;
+        self
+    }
+
+    /// Sets the advance-reservation admission horizon.
+    pub fn with_reservation_horizon(mut self, horizon: u64) -> EngineConfig {
+        self.reservation_horizon = horizon;
+        self
+    }
+
+    /// Sets the reservation preemption policy.
+    pub fn with_preemption(mut self, preemption: PreemptionPolicy) -> EngineConfig {
+        self.preemption = preemption;
         self
     }
 }
@@ -97,6 +122,14 @@ pub enum Verdict {
         /// Slots to wait before resubmitting (0 = don't retry).
         retry_after_slots: u32,
     },
+    /// An advance reservation was admitted into the capacity ledger; a
+    /// `Granted` or `Denied` follows when the start slot runs.
+    Reserved {
+        /// The ledger-assigned reservation id (usable in a release).
+        reservation: u64,
+        /// Absolute slot the hold will activate.
+        start_slot: u64,
+    },
 }
 
 /// What one slot did, in aggregate.
@@ -113,6 +146,10 @@ pub struct SlotSummary {
     pub denies: usize,
     /// Earlier connections that completed at the start of this slot.
     pub completed: usize,
+    /// Advance reservations that activated and were granted this slot.
+    pub reservation_grants: usize,
+    /// Advance reservations that expired at activation this slot.
+    pub reservation_expiries: usize,
 }
 
 /// A queued request remembering which connection and client id it answers.
@@ -137,6 +174,10 @@ pub struct SlotEngine {
     tags: Vec<(u64, u64)>,
     result: SlotResult,
     consumed: Vec<bool>,
+    // Admitted-but-not-yet-activated reservations: (ledger id, conn,
+    // client id). An entry leaves the map exactly once — at activation
+    // (grant or expiry) or at an owner-checked release.
+    holds: Vec<(u64, u64, u64)>,
     trace: Option<SessionTrace>,
 }
 
@@ -153,19 +194,16 @@ impl SlotEngine {
         }
         let engine = Interconnect::new(
             InterconnectConfig::packet_switch(config.n, config.conversion)
-                .with_policy(config.policy),
+                .with_policy(config.policy)
+                .with_reservation_horizon(config.reservation_horizon)
+                .with_preemption(config.preemption),
         )?;
         let trace = config.record_trace.then(|| {
             let (e, f) = (config.conversion.e(), config.conversion.f());
-            let tc = if config.conversion.is_full() {
-                TraceConfig {
-                    n: config.n,
-                    k,
-                    e,
-                    f,
-                    kind: "full".to_owned(),
-                    policy: config.policy.name().to_owned(),
-                }
+            let mut tc = if config.conversion.is_full() {
+                let mut full = TraceConfig::circular(config.n, k, e, f, config.policy);
+                full.kind = "full".to_owned();
+                full
             } else {
                 match config.conversion.kind() {
                     ConversionKind::Circular => {
@@ -175,6 +213,11 @@ impl SlotEngine {
                         TraceConfig::non_circular(config.n, k, e, f, config.policy)
                     }
                 }
+            };
+            tc.reservation_horizon = config.reservation_horizon;
+            tc.preemption = match config.preemption {
+                PreemptionPolicy::ReservedFirst => "reserved_first".to_owned(),
+                PreemptionPolicy::Compete => "compete".to_owned(),
             };
             SessionTrace::new(tc)
         });
@@ -186,6 +229,7 @@ impl SlotEngine {
             tags: Vec::new(),
             result: SlotResult::default(),
             consumed: Vec::new(),
+            holds: Vec::new(),
             trace,
         })
     }
@@ -220,11 +264,19 @@ impl SlotEngine {
         self.engine.active_connections()
     }
 
-    /// True when running a slot would be a semantic no-op: nothing queued
-    /// and nothing in flight to age. Free-running servers skip these slots
-    /// (skipping is sound precisely because the engine state is untouched).
+    /// Admitted-but-not-yet-activated reservations.
+    pub fn pending_reservations(&self) -> usize {
+        self.holds.len()
+    }
+
+    /// True when running a slot would be a semantic no-op: nothing queued,
+    /// nothing in flight to age, and no reservation waiting for its start
+    /// slot. Free-running servers skip these slots (skipping is sound
+    /// precisely because the engine state is untouched).
     pub fn is_idle(&self) -> bool {
-        self.engine.active_connections() == 0 && self.queues.is_empty()
+        self.engine.active_connections() == 0
+            && self.queues.is_empty()
+            && self.engine.reservations().is_empty()
     }
 
     /// The recorded session so far, if recording is on.
@@ -276,10 +328,75 @@ impl SlotEngine {
         }
     }
 
+    /// Admits an advance reservation, answering immediately: `Reserved`
+    /// carries the ledger id and absolute start slot; a denial carries the
+    /// typed reason (capacity, horizon, or invalid fields). Unlike cell
+    /// submission there is no queueing — the capacity ledger decides now.
+    pub fn reserve(&mut self, conn: u64, req: ReserveRequest) -> Reply {
+        let slot = self.engine.slot();
+        let deny = |reason| Reply {
+            conn,
+            id: req.id,
+            slot,
+            verdict: Verdict::Denied { reason, retry_after_slots: 0 },
+        };
+        let (n, k) = (self.engine.n(), self.engine.k());
+        let (src_fiber, src_wavelength, dst_fiber) =
+            (req.src_fiber as usize, req.src_wavelength as usize, req.dst_fiber as usize);
+        if src_fiber >= n || dst_fiber >= n || src_wavelength >= k || req.duration == 0 {
+            return deny(DenyReason::InvalidRequest);
+        }
+        let start_slot = slot.saturating_add(u64::from(req.start_in));
+        let request = ReservationRequest {
+            src_fiber,
+            src_wavelength,
+            dst_fiber,
+            start_slot,
+            duration: req.duration,
+        };
+        match self.engine.reserve(request) {
+            Ok(rid) => {
+                self.holds.push((rid, conn, req.id));
+                if let Some(trace) = &mut self.trace {
+                    trace.record_reservation(Reservation { id: rid, request });
+                }
+                Reply {
+                    conn,
+                    id: req.id,
+                    slot,
+                    verdict: Verdict::Reserved { reservation: rid, start_slot },
+                }
+            }
+            Err(Error::ReservationHorizonExceeded { .. }) => deny(DenyReason::HorizonExceeded),
+            Err(Error::ReservationCapacityExhausted { .. }) => deny(DenyReason::CapacityExhausted),
+            Err(_) => deny(DenyReason::InvalidRequest),
+        }
+    }
+
+    /// Cancels a pending reservation, owner-checked: only the connection
+    /// that made the reservation may release it. Returns `false` (a silent
+    /// no-op on the wire) for unknown ids, foreign owners, or reservations
+    /// that already activated.
+    pub fn release(&mut self, conn: u64, reservation_id: u64) -> bool {
+        let Some(pos) =
+            self.holds.iter().position(|&(rid, owner, _)| rid == reservation_id && owner == conn)
+        else {
+            return false;
+        };
+        let cancelled = self.engine.cancel_reservation(reservation_id);
+        debug_assert!(cancelled, "a registered hold is always pending in the store");
+        self.holds.swap_remove(pos);
+        if let Some(trace) = &mut self.trace {
+            trace.record_release(reservation_id);
+        }
+        true
+    }
+
     /// Runs one slot: drains every shard queue (fiber order, FIFO within a
     /// fiber), schedules the batch through the offline engine, and appends
     /// one [`Reply`] per drained request to `out` — grants first in
-    /// per-slot sequence order, then denies in engine rejection order.
+    /// per-slot sequence order (activated reservations lead the stream),
+    /// then denies in engine rejection order, then reservation expiries.
     #[hot_path]
     pub fn run_slot(&mut self, out: &mut Vec<Reply>) -> SlotSummary {
         let slot = self.engine.slot();
@@ -295,6 +412,23 @@ impl SlotEngine {
         };
         self.consumed.clear();
         self.consumed.resize(self.batch.len(), false);
+        // Activated reservations lead the grant stream: under the default
+        // ReservedFirst preemption they were scheduled first, and keeping
+        // one fixed stream order makes replays deterministic either way.
+        let mut reservation_grants = 0usize;
+        for g in &self.result.reservation_grants {
+            let (conn, id) = claim_hold(&mut self.holds, g.reservation);
+            let Ok(output_wavelength) = u32::try_from(g.grant.output_wavelength) else {
+                unreachable!("k fits in u32 (checked at construction)")
+            };
+            out.push(Reply {
+                conn,
+                id,
+                slot,
+                verdict: Verdict::Granted { seq: reservation_grants as u64, output_wavelength },
+            });
+            reservation_grants += 1;
+        }
         let mut grants = 0usize;
         for (seq, g) in self.result.grants.iter().enumerate() {
             let (conn, id) = claim_tag(&self.batch, &mut self.consumed, &self.tags, &g.request);
@@ -305,7 +439,10 @@ impl SlotEngine {
                 conn,
                 id,
                 slot,
-                verdict: Verdict::Granted { seq: seq as u64, output_wavelength },
+                verdict: Verdict::Granted {
+                    seq: (reservation_grants + seq) as u64,
+                    output_wavelength,
+                },
             });
             grants += 1;
         }
@@ -324,8 +461,29 @@ impl SlotEngine {
             });
             denies += 1;
         }
+        // Reservations that reached their start slot but could not
+        // activate expire terminally — the ledger never retries them.
+        let mut reservation_expiries = 0usize;
+        for x in &self.result.reservation_expired {
+            let (conn, id) = claim_hold(&mut self.holds, x.reservation);
+            let reason = match x.rejection.reason {
+                RejectReason::SourceBusy => DenyReason::SourceBusy,
+                RejectReason::OutputContention => DenyReason::OutputContention,
+            };
+            out.push(Reply {
+                conn,
+                id,
+                slot,
+                verdict: Verdict::Denied { reason, retry_after_slots: 0 },
+            });
+            reservation_expiries += 1;
+        }
         if let Some(trace) = &mut self.trace {
-            trace.record_slot(&self.batch, &self.result.grants);
+            trace.record_slot_full(
+                &self.batch,
+                &self.result.grants,
+                &self.result.reservation_grants,
+            );
         }
         SlotSummary {
             slot,
@@ -333,8 +491,21 @@ impl SlotEngine {
             grants,
             denies,
             completed: self.result.completed,
+            reservation_grants,
+            reservation_expiries,
         }
     }
+}
+
+/// Maps an activated reservation back to the (conn, id) tag registered at
+/// admission, consuming the hold entry. Exhaustive: the engine activates
+/// every registered reservation exactly once.
+fn claim_hold(holds: &mut Vec<(u64, u64, u64)>, reservation: u64) -> (u64, u64) {
+    let Some(pos) = holds.iter().position(|&(rid, _, _)| rid == reservation) else {
+        unreachable!("engine activated a reservation that was never registered")
+    };
+    let (_, conn, id) = holds.swap_remove(pos);
+    (conn, id)
 }
 
 /// Maps an engine grant/rejection back to the (conn, id) tag of the first
@@ -483,6 +654,159 @@ mod tests {
         assert_eq!(report.slots, 30);
     }
 
+    fn rsv(
+        id: u64,
+        src_fiber: u32,
+        w: u32,
+        dst: u32,
+        start_in: u32,
+        duration: u32,
+    ) -> ReserveRequest {
+        ReserveRequest { id, src_fiber, src_wavelength: w, dst_fiber: dst, start_in, duration }
+    }
+
+    #[test]
+    fn reservation_acks_then_grants_at_start_slot() {
+        let mut e = engine(false);
+        let reply = e.reserve(3, rsv(40, 0, 1, 2, 2, 3));
+        let Verdict::Reserved { reservation, start_slot } = reply.verdict else {
+            panic!("expected Reserved, got {reply:?}")
+        };
+        assert_eq!(start_slot, 2);
+        assert_eq!((reply.conn, reply.id), (3, 40));
+        assert_eq!(e.pending_reservations(), 1);
+        assert!(!e.is_idle(), "a pending reservation keeps the engine live");
+        let mut out = Vec::new();
+        let s0 = e.run_slot(&mut out);
+        let s1 = e.run_slot(&mut out);
+        assert_eq!((s0.reservation_grants, s1.reservation_grants), (0, 0));
+        assert!(out.is_empty());
+        let s2 = e.run_slot(&mut out);
+        assert_eq!(s2.reservation_grants, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].conn, out[0].id, out[0].slot), (3, 40, 2));
+        assert!(matches!(out[0].verdict, Verdict::Granted { seq: 0, .. }));
+        assert_eq!(e.pending_reservations(), 0);
+        assert_eq!(e.active_connections(), 1);
+        let _ = reservation;
+    }
+
+    #[test]
+    fn released_reservation_never_activates() {
+        let mut e = engine(false);
+        let reply = e.reserve(3, rsv(40, 0, 1, 2, 1, 2));
+        let Verdict::Reserved { reservation, .. } = reply.verdict else { panic!() };
+        // Owner check: a different connection cannot release it.
+        assert!(!e.release(4, reservation));
+        assert!(e.release(3, reservation));
+        assert!(!e.release(3, reservation), "double release is a no-op");
+        assert!(e.is_idle());
+        let mut out = Vec::new();
+        let s = e.run_slot(&mut out);
+        let s1 = e.run_slot(&mut out);
+        assert_eq!(s.reservation_grants + s1.reservation_grants, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reservation_denials_are_typed() {
+        let mut e = engine(false);
+        let bad = e.reserve(0, rsv(1, 9, 0, 0, 0, 1));
+        assert!(matches!(bad.verdict, Verdict::Denied { reason: DenyReason::InvalidRequest, .. }));
+        let far = e.reserve(0, rsv(2, 0, 0, 0, u32::MAX, 4));
+        assert!(matches!(far.verdict, Verdict::Denied { reason: DenyReason::HorizonExceeded, .. }));
+        // k = 6 per fiber: the seventh overlapping hold on one fiber slot
+        // exhausts bookable capacity.
+        for i in 0..6u32 {
+            let r = e.reserve(0, rsv(10 + u64::from(i), i % 4, i, 1, 3, 2));
+            assert!(matches!(r.verdict, Verdict::Reserved { .. }), "{r:?}");
+        }
+        let full = e.reserve(0, rsv(99, 3, 5, 1, 3, 2));
+        assert!(matches!(
+            full.verdict,
+            Verdict::Denied { reason: DenyReason::CapacityExhausted, .. }
+        ));
+    }
+
+    #[test]
+    fn expired_reservation_reports_source_busy() {
+        let mut e = engine(false);
+        // Book input channel (0, 1) from slot 2. Cell admission is
+        // best-effort and does not consult the ledger, so a later cell
+        // burst can still occupy the channel under the reservation...
+        let reply = e.reserve(2, rsv(50, 0, 1, 2, 2, 2));
+        assert!(matches!(reply.verdict, Verdict::Reserved { .. }));
+        assert!(e.submit(1, req(7, 0, 1, 3, 3)).is_none());
+        let mut out = Vec::new();
+        let s = e.run_slot(&mut out);
+        assert_eq!(s.grants, 1);
+        out.clear();
+        // ...and the reservation expires at its start slot, source-busy.
+        let _ = e.run_slot(&mut out);
+        out.clear();
+        let s = e.run_slot(&mut out);
+        assert_eq!(s.reservation_expiries, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].conn, out[0].id), (2, 50));
+        assert!(matches!(
+            out[0].verdict,
+            Verdict::Denied { reason: DenyReason::SourceBusy, retry_after_slots: 0 }
+        ));
+        assert_eq!(e.pending_reservations(), 0);
+    }
+
+    #[test]
+    fn mixed_session_trace_replays_bit_identically() {
+        let conversion = Conversion::symmetric_circular(6, 3).unwrap();
+        let config = EngineConfig::new(4, conversion, Policy::Auto).with_trace();
+        let mut e = SlotEngine::new(config).unwrap();
+        let mut out = Vec::new();
+        let mut rid_pool: Vec<u64> = Vec::new();
+        for slot in 0..40u64 {
+            if slot % 3 == 0 {
+                let r = e.reserve(
+                    9,
+                    rsv(
+                        slot * 10,
+                        (slot % 4) as u32,
+                        (slot % 6) as u32,
+                        ((slot / 2) % 4) as u32,
+                        2 + (slot % 5) as u32,
+                        1 + (slot % 3) as u32,
+                    ),
+                );
+                if let Verdict::Reserved { reservation, .. } = r.verdict {
+                    rid_pool.push(reservation);
+                }
+            }
+            if slot % 7 == 0 {
+                if let Some(rid) = rid_pool.pop() {
+                    let _ = e.release(9, rid);
+                }
+            }
+            for i in 0..4u64 {
+                let h = slot * 5 + i * 3;
+                let _ = e.submit(
+                    i % 2,
+                    req(
+                        slot * 100 + i,
+                        (h % 4) as u32,
+                        (h % 6) as u32,
+                        ((h / 3) % 4) as u32,
+                        1 + (h % 2) as u32,
+                    ),
+                );
+            }
+            out.clear();
+            let _ = e.run_slot(&mut out);
+        }
+        let trace = e.take_trace().unwrap();
+        assert!(trace.slots.iter().any(|s| !s.reservation_grants.is_empty()));
+        let report = trace.replay().unwrap();
+        assert_eq!(report.slots, 40);
+        assert!(report.reservation_grants > 0);
+    }
+
     #[test]
     fn reply_slot_and_seq_are_dense() {
         let mut e = engine(false);
@@ -495,7 +819,7 @@ mod tests {
             .iter()
             .filter_map(|r| match r.verdict {
                 Verdict::Granted { seq, .. } => Some(seq),
-                Verdict::Denied { .. } => None,
+                Verdict::Denied { .. } | Verdict::Reserved { .. } => None,
             })
             .collect();
         assert_eq!(seqs, vec![0, 1, 2]);

@@ -41,5 +41,8 @@ pub mod server;
 pub use client::Client;
 pub use clock::SlotClock;
 pub use engine::{EngineConfig, Reply, SlotEngine, SlotSummary, Verdict};
-pub use protocol::{DenyReason, Frame, ProtocolError, SubmitRequest, PROTOCOL_VERSION};
+pub use protocol::{
+    DenyReason, Frame, ProtocolError, ReserveRequest, SubmitRequest, PROTOCOL_VERSION,
+};
 pub use server::{Server, ServerConfig, ServerReport};
+pub use wdm_interconnect::PreemptionPolicy;

@@ -16,7 +16,11 @@ use std::io::{Read, Write};
 pub const MAGIC: u32 = 0x5744_4D31;
 
 /// Current wire-protocol version, checked in both directions.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version history: v1 carried cell traffic only (HELLO..ERROR, tags 1–8);
+/// v2 added advance reservations (RESERVE/RESERVE_ACK/RELEASE, tags 9–11)
+/// and the `CapacityExhausted`/`HorizonExceeded` deny reasons.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload; anything larger is rejected before
 /// allocation (a corrupt length prefix must not OOM the daemon).
@@ -38,6 +42,28 @@ pub struct SubmitRequest {
     pub duration: u32,
 }
 
+/// One advance-reservation request inside a RESERVE frame. `id` is chosen
+/// by the client and echoed on the RESERVE_ACK (admitted) or DENY
+/// (rejected) reply, and again on the GRANT/DENY emitted when the
+/// reservation reaches its start slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReserveRequest {
+    /// Client-chosen request identifier, echoed on every reply about this
+    /// reservation.
+    pub id: u64,
+    /// Source input fiber.
+    pub src_fiber: u32,
+    /// Wavelength the connection will arrive on.
+    pub src_wavelength: u32,
+    /// Destination output fiber.
+    pub dst_fiber: u32,
+    /// Slots from *now* (the slot the daemon admits the request in) until
+    /// the hold starts; 0 reserves the very next slot boundary.
+    pub start_in: u32,
+    /// Slots the connection holds once activated (min 1).
+    pub duration: u32,
+}
+
 /// Why the daemon denied a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -54,6 +80,13 @@ pub enum DenyReason {
     /// The request's fiber/wavelength indices or duration are out of range
     /// for the served interconnect.
     InvalidRequest = 4,
+    /// An advance reservation could not be admitted: some slot of its
+    /// interval has no bookable channel capacity left (output fiber full,
+    /// or the source input channel is already committed).
+    CapacityExhausted = 5,
+    /// An advance reservation extends beyond the daemon's admission
+    /// horizon — retry with a nearer start or shorter duration.
+    HorizonExceeded = 6,
 }
 
 impl DenyReason {
@@ -64,6 +97,8 @@ impl DenyReason {
             DenyReason::SourceBusy => 2,
             DenyReason::OutputContention => 3,
             DenyReason::InvalidRequest => 4,
+            DenyReason::CapacityExhausted => 5,
+            DenyReason::HorizonExceeded => 6,
         }
     }
 
@@ -74,6 +109,8 @@ impl DenyReason {
             2 => Ok(DenyReason::SourceBusy),
             3 => Ok(DenyReason::OutputContention),
             4 => Ok(DenyReason::InvalidRequest),
+            5 => Ok(DenyReason::CapacityExhausted),
+            6 => Ok(DenyReason::HorizonExceeded),
             other => Err(ProtocolError::BadField {
                 frame: "DENY",
                 field: "reason",
@@ -136,6 +173,29 @@ pub enum Frame {
     },
     /// Client → server: finish the current slot, then shut the daemon down.
     Shutdown,
+    /// Client → server: ask for an advance reservation of a future
+    /// multi-slot hold (§V circuit/burst connections booked ahead).
+    Reserve {
+        /// The reservation request.
+        request: ReserveRequest,
+    },
+    /// Server → client: a RESERVE was admitted into the capacity ledger.
+    /// A GRANT (or DENY, if activation fails) follows at `start_slot`.
+    ReserveAck {
+        /// The client-chosen request id from the RESERVE frame.
+        id: u64,
+        /// Server-assigned reservation handle, usable in RELEASE.
+        reservation_id: u64,
+        /// Absolute slot at which the hold will activate.
+        start_slot: u64,
+    },
+    /// Client → server: cancel a pending (not-yet-activated) reservation.
+    /// One-way — cancelling an unknown or already-activated reservation is
+    /// a silent no-op.
+    Release {
+        /// The server-assigned handle from RESERVE_ACK.
+        reservation_id: u64,
+    },
     /// Server → client: terminal protocol error; the connection closes.
     Error {
         /// Stable numeric code (1 = bad magic, 2 = version mismatch,
@@ -154,6 +214,9 @@ const TAG_DENY: u8 = 5;
 const TAG_SLOT_COMPLETE: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
 const TAG_ERROR: u8 = 8;
+const TAG_RESERVE: u8 = 9;
+const TAG_RESERVE_ACK: u8 = 10;
+const TAG_RELEASE: u8 = 11;
 
 /// Errors crossing the wire boundary: transport failures and malformed or
 /// unexpected frames. I/O errors never panic; they close the connection.
@@ -395,6 +458,25 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtocolErr
             p.u64(*slot);
         }
         Frame::Shutdown => p.u8(TAG_SHUTDOWN),
+        Frame::Reserve { request } => {
+            p.u8(TAG_RESERVE);
+            p.u64(request.id);
+            p.u32(request.src_fiber);
+            p.u32(request.src_wavelength);
+            p.u32(request.dst_fiber);
+            p.u32(request.start_in);
+            p.u32(request.duration);
+        }
+        Frame::ReserveAck { id, reservation_id, start_slot } => {
+            p.u8(TAG_RESERVE_ACK);
+            p.u64(*id);
+            p.u64(*reservation_id);
+            p.u64(*start_slot);
+        }
+        Frame::Release { reservation_id } => {
+            p.u8(TAG_RELEASE);
+            p.u64(*reservation_id);
+        }
         Frame::Error { code, message } => {
             p.u8(TAG_ERROR);
             p.u32(*code);
@@ -527,6 +609,32 @@ fn decode(payload: &[u8]) -> Result<Frame, ProtocolError> {
             c.finish()?;
             Ok(Frame::Error { code, message })
         }
+        TAG_RESERVE => {
+            let mut c = Cursor { buf: body, frame: "RESERVE" };
+            let request = ReserveRequest {
+                id: c.u64()?,
+                src_fiber: c.u32()?,
+                src_wavelength: c.u32()?,
+                dst_fiber: c.u32()?,
+                start_in: c.u32()?,
+                duration: c.u32()?,
+            };
+            c.finish()?;
+            Ok(Frame::Reserve { request })
+        }
+        TAG_RESERVE_ACK => {
+            let mut c = Cursor { buf: body, frame: "RESERVE_ACK" };
+            let frame =
+                Frame::ReserveAck { id: c.u64()?, reservation_id: c.u64()?, start_slot: c.u64()? };
+            c.finish()?;
+            Ok(frame)
+        }
+        TAG_RELEASE => {
+            let mut c = Cursor { buf: body, frame: "RELEASE" };
+            let reservation_id = c.u64()?;
+            c.finish()?;
+            Ok(Frame::Release { reservation_id })
+        }
         tag => Err(ProtocolError::UnknownTag { tag }),
     }
 }
@@ -569,6 +677,52 @@ mod tests {
         round_trip(Frame::SlotComplete { slot: 12 });
         round_trip(Frame::Shutdown);
         round_trip(Frame::Error { code: 2, message: "version mismatch".to_owned() });
+        round_trip(Frame::Reserve {
+            request: ReserveRequest {
+                id: 9,
+                src_fiber: 2,
+                src_wavelength: 5,
+                dst_fiber: 3,
+                start_in: 16,
+                duration: 4,
+            },
+        });
+        round_trip(Frame::ReserveAck { id: 9, reservation_id: 1, start_slot: 28 });
+        round_trip(Frame::Release { reservation_id: 1 });
+    }
+
+    #[test]
+    fn truncated_reserve_rejected() {
+        let mut wire = Vec::new();
+        let request = ReserveRequest {
+            id: 1,
+            src_fiber: 0,
+            src_wavelength: 0,
+            dst_fiber: 1,
+            start_in: 2,
+            duration: 3,
+        };
+        write_frame(&mut wire, &Frame::Reserve { request }).unwrap();
+        let short = (wire.len() - 4 - 4) as u32;
+        wire.truncate(wire.len() - 4);
+        wire[..4].copy_from_slice(&short.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(ProtocolError::Malformed { frame: "RESERVE" })
+        ));
+    }
+
+    #[test]
+    fn reserve_trailing_bytes_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Release { reservation_id: 7 }).unwrap();
+        let long = (wire.len() - 4 + 1) as u32;
+        wire.push(0);
+        wire[..4].copy_from_slice(&long.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(ProtocolError::Malformed { frame: "RELEASE" })
+        ));
     }
 
     #[test]
@@ -617,9 +771,12 @@ mod tests {
             DenyReason::SourceBusy,
             DenyReason::OutputContention,
             DenyReason::InvalidRequest,
+            DenyReason::CapacityExhausted,
+            DenyReason::HorizonExceeded,
         ] {
             assert_eq!(DenyReason::from_wire(reason.wire()).unwrap(), reason);
         }
         assert!(DenyReason::from_wire(0).is_err());
+        assert!(DenyReason::from_wire(7).is_err());
     }
 }

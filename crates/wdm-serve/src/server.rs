@@ -35,7 +35,7 @@ use wdm_sim::trace::SessionTrace;
 use crate::clock::SlotClock;
 use crate::engine::{EngineConfig, Reply, SlotEngine, Verdict};
 use crate::protocol::{
-    read_frame, write_frame, Frame, ProtocolError, SubmitRequest, PROTOCOL_VERSION,
+    read_frame, write_frame, Frame, ProtocolError, ReserveRequest, SubmitRequest, PROTOCOL_VERSION,
 };
 use crate::serve_sync::{
     self, Receiver, RecvTimeoutError, Sender, SlotSequence, StopFlag, TryRecvError,
@@ -80,8 +80,15 @@ pub struct ServerReport {
     pub grants: u64,
     /// Requests denied at scheduling time (source-busy + contention).
     pub denies: u64,
-    /// Requests denied at admission (invalid + queue-full).
+    /// Requests denied at admission (invalid + queue-full), including
+    /// advance reservations the capacity ledger turned away.
     pub admission_denies: u64,
+    /// Advance reservations admitted into the capacity ledger.
+    pub reservations: u64,
+    /// Admitted reservations that activated and were granted their hold.
+    pub reservation_grants: u64,
+    /// Admitted reservations that expired at their start slot.
+    pub reservation_expiries: u64,
     /// Connections accepted over the run.
     pub connections: u64,
     /// The recorded session, when the engine was configured to record.
@@ -95,6 +102,8 @@ pub struct ServerReport {
 #[derive(Debug)]
 enum InEvent {
     Submit { conn: u64, requests: Vec<SubmitRequest> },
+    Reserve { conn: u64, request: ReserveRequest },
+    Release { conn: u64, reservation_id: u64 },
     Shutdown,
 }
 
@@ -165,6 +174,9 @@ impl Server {
             grants: 0,
             denies: 0,
             admission_denies: 0,
+            reservations: 0,
+            reservation_grants: 0,
+            reservation_expiries: 0,
             connections: 0,
             trace: None,
         };
@@ -199,10 +211,12 @@ impl Server {
             if stop && engine.pending() == 0 {
                 break;
             }
-            if engine.pending() == 0 && clock.free_running() {
+            if engine.pending() == 0 && engine.pending_reservations() == 0 && clock.free_running() {
                 // Free-run advances time only when there is work: slots are
                 // work units, so in-flight connections age one slot per
-                // executed slot — timing can never leak into the trace.
+                // executed slot — timing can never leak into the trace. A
+                // pending reservation counts as work: its start slot must
+                // arrive, so slots keep executing until it activates.
                 match in_rx.recv_timeout(IDLE_PARK) {
                     Ok(ev) => handle_in(ev, &mut engine, &out_tx, &mut report, &mut stop)?,
                     Err(RecvTimeoutError::Timeout) => {}
@@ -218,6 +232,8 @@ impl Server {
             let summary = engine.run_slot(&mut out);
             report.grants += summary.grants as u64;
             report.denies += summary.denies as u64;
+            report.reservation_grants += summary.reservation_grants as u64;
+            report.reservation_expiries += summary.reservation_expiries as u64;
             for r in &out {
                 send_out(&out_tx, OutEvent::Reply(*r))?;
             }
@@ -299,6 +315,22 @@ fn handle_in(
                     send_out(out_tx, OutEvent::Reply(reply))?;
                 }
             }
+        }
+        InEvent::Reserve { conn, request } => {
+            let reply = engine.reserve(conn, request);
+            match reply.verdict {
+                Verdict::Reserved { .. } => report.reservations += 1,
+                Verdict::Denied { .. } => report.admission_denies += 1,
+                Verdict::Granted { .. } => {
+                    unreachable!("admission never grants; grants come from run_slot")
+                }
+            }
+            send_out(out_tx, OutEvent::Reply(reply))?;
+        }
+        InEvent::Release { conn, reservation_id } => {
+            // One-way by protocol contract: unknown ids, foreign owners,
+            // and already-activated reservations are silent no-ops.
+            let _released = engine.release(conn, reservation_id);
         }
         InEvent::Shutdown => *stop = true,
     }
@@ -394,6 +426,18 @@ fn reader_loop(conn: u64, stream: TcpStream, in_tx: &Sender<InEvent>, out_tx: &S
                     return;
                 }
             }
+            Ok(Frame::Reserve { request }) => {
+                if in_tx.send(InEvent::Reserve { conn, request }).is_err() {
+                    send_final(out_tx, OutEvent::Close { conn });
+                    return;
+                }
+            }
+            Ok(Frame::Release { reservation_id }) => {
+                if in_tx.send(InEvent::Release { conn, reservation_id }).is_err() {
+                    send_final(out_tx, OutEvent::Close { conn });
+                    return;
+                }
+            }
             Ok(Frame::Shutdown) => {
                 if in_tx.send(InEvent::Shutdown).is_err() {
                     // The coordinator is already past its intake loop —
@@ -406,7 +450,8 @@ fn reader_loop(conn: u64, stream: TcpStream, in_tx: &Sender<InEvent>, out_tx: &S
                 let fatal = OutEvent::Fatal {
                     conn,
                     code: 3,
-                    message: "clients may only send SUBMIT or SHUTDOWN".to_owned(),
+                    message: "clients may only send SUBMIT, RESERVE, RELEASE, or SHUTDOWN"
+                        .to_owned(),
                 };
                 send_final(out_tx, fatal);
                 return;
@@ -470,6 +515,9 @@ fn results_loop(out_rx: &Receiver<OutEvent>, hello: &HelloInfo, slot_seq: &SlotS
                     }
                     Verdict::Denied { reason, retry_after_slots } => {
                         Frame::Deny { slot: reply.slot, id: reply.id, reason, retry_after_slots }
+                    }
+                    Verdict::Reserved { reservation, start_slot } => {
+                        Frame::ReserveAck { id: reply.id, reservation_id: reservation, start_slot }
                     }
                 };
                 send_to(&mut writers, reply.conn, &frame);

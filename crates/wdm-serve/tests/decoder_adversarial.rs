@@ -21,8 +21,8 @@ use std::io::Read;
 
 use proptest::prelude::*;
 use wdm_serve::protocol::{
-    read_frame, write_frame, DenyReason, Frame, SubmitRequest, MAGIC, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, DenyReason, Frame, ReserveRequest, SubmitRequest, MAGIC,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 
 /// A reader over a byte slice that records how many bytes were consumed,
@@ -76,7 +76,7 @@ fn decode_counted(bytes: &[u8]) -> Result<Frame, wdm_serve::ProtocolError> {
 
 /// Builds one structurally valid frame from integer seeds.
 fn build_frame(kind: u8, a: u64, b: u32, len: usize) -> Frame {
-    match kind % 8 {
+    match kind % 11 {
         0 => Frame::Hello { version: a as u16 },
         1 => Frame::HelloAck {
             version: a as u16,
@@ -109,13 +109,29 @@ fn build_frame(kind: u8, a: u64, b: u32, len: usize) -> Frame {
         },
         5 => Frame::SlotComplete { slot: a },
         6 => Frame::Shutdown,
+        7 => Frame::Reserve {
+            request: ReserveRequest {
+                id: a,
+                src_fiber: b,
+                src_wavelength: b.rotate_left(11),
+                dst_fiber: b ^ 0x55,
+                start_in: (a % 64) as u32,
+                duration: 1 + (b % 7),
+            },
+        },
+        8 => Frame::ReserveAck {
+            id: a,
+            reservation_id: a.rotate_right(13),
+            start_slot: a ^ u64::from(b),
+        },
+        9 => Frame::Release { reservation_id: a },
         _ => Frame::Error { code: b, message: "e".repeat(len % 64) },
     }
 }
 
-/// Applies one of five wire-level corruptions in place.
+/// Applies one of six wire-level corruptions in place.
 fn mutate(bytes: &mut Vec<u8>, kind: u8, pos: usize, val: u8) {
-    match kind % 5 {
+    match kind % 6 {
         // Truncate: cut the stream anywhere, including mid-prefix.
         0 => {
             let cut = pos % (bytes.len() + 1);
@@ -150,11 +166,21 @@ fn mutate(bytes: &mut Vec<u8>, kind: u8, pos: usize, val: u8) {
         // Version-skew: overwrite the version field of handshake frames
         // (offset 9 for HELLO — after magic — and 5 for HELLO_ACK); for
         // other tags this lands in an ordinary field byte.
-        _ => {
+        4 => {
             let tag = bytes.get(4).copied().unwrap_or(0);
             let at = if tag == 1 { 9 } else { 5 };
             if bytes.len() > at {
                 bytes[at] = val;
+            }
+        }
+        // Tail-field skew: overwrite the last 4 payload bytes — for
+        // RESERVE that is the duration, for DENY the retry hint, for
+        // RESERVE_ACK the start slot's high word — probing field-domain
+        // validation at the frame boundary without changing the length.
+        _ => {
+            let len = bytes.len();
+            if len >= 9 {
+                bytes[len - 4..].copy_from_slice(&[val, val.wrapping_mul(3), 0, val & 0x80]);
             }
         }
     }
@@ -166,8 +192,8 @@ proptest! {
     /// Structure-aware mutation: valid frame, one corruption, decode.
     #[test]
     fn mutated_frames_decode_or_fail_typed(
-        (kind, a, b, len) in (0u8..8, 0u64..1 << 48, 0u32..1 << 20, 0usize..64),
-        (mkind, mpos, mval) in (0u8..5, 0usize..1 << 21, 0u8..=255),
+        (kind, a, b, len) in (0u8..11, 0u64..1 << 48, 0u32..1 << 20, 0usize..64),
+        (mkind, mpos, mval) in (0u8..6, 0usize..1 << 21, 0u8..=255),
     ) {
         let frame = build_frame(kind, a, b, len);
         let mut bytes = Vec::new();
@@ -188,9 +214,9 @@ proptest! {
     /// Double corruption: two independent mutations stack.
     #[test]
     fn doubly_mutated_frames_never_panic(
-        (kind, a, b, len) in (0u8..8, 0u64..1 << 48, 0u32..1 << 20, 0usize..64),
-        (k1, p1, v1) in (0u8..5, 0usize..1 << 21, 0u8..=255),
-        (k2, p2, v2) in (0u8..5, 0usize..1 << 21, 0u8..=255),
+        (kind, a, b, len) in (0u8..11, 0u64..1 << 48, 0u32..1 << 20, 0usize..64),
+        (k1, p1, v1) in (0u8..6, 0usize..1 << 21, 0u8..=255),
+        (k2, p2, v2) in (0u8..6, 0usize..1 << 21, 0u8..=255),
     ) {
         let frame = build_frame(kind, a, b, len);
         let mut bytes = Vec::new();
@@ -244,6 +270,21 @@ fn corpus_cases() -> Vec<(String, Vec<u8>)> {
         ),
         ("slot_complete", Frame::SlotComplete { slot: 12 }),
         ("shutdown", Frame::Shutdown),
+        (
+            "reserve",
+            Frame::Reserve {
+                request: ReserveRequest {
+                    id: 9,
+                    src_fiber: 2,
+                    src_wavelength: 5,
+                    dst_fiber: 3,
+                    start_in: 4,
+                    duration: 3,
+                },
+            },
+        ),
+        ("reserve_ack", Frame::ReserveAck { id: 9, reservation_id: 17, start_slot: 16 }),
+        ("release", Frame::Release { reservation_id: 17 }),
         ("error", Frame::Error { code: 3, message: "malformed frame".to_owned() }),
     ];
 
@@ -316,8 +357,9 @@ fn corpus_cases() -> Vec<(String, Vec<u8>)> {
     bad_magic[5..9].copy_from_slice(&(MAGIC ^ 0x0101_0101).to_le_bytes());
     push("hello_bad_magic".to_owned(), bad_magic);
 
-    // Unknown tags and the empty frame.
-    for tag in [0u8, 9, 0x7F, 0xFF] {
+    // Unknown tags and the empty frame (12 is the first unassigned tag
+    // after RELEASE = 11).
+    for tag in [0u8, 12, 0x7F, 0xFF] {
         let mut v = 2u32.to_le_bytes().to_vec();
         v.push(tag);
         v.push(0);
@@ -326,8 +368,9 @@ fn corpus_cases() -> Vec<(String, Vec<u8>)> {
     push("zero_len_frame".to_owned(), 0u32.to_le_bytes().to_vec());
     push("empty_stream".to_owned(), Vec::new());
 
-    // Out-of-domain fields.
-    for bad in [0u8, 5, 0xFF] {
+    // Out-of-domain fields (7 is the first unassigned deny reason after
+    // HorizonExceeded = 6).
+    for bad in [0u8, 7, 0xFF] {
         let mut v = Vec::new();
         write_frame(
             &mut v,
@@ -388,6 +431,15 @@ fn corpus_dir() -> std::path::PathBuf {
 fn regenerate_corpus() {
     let dir = corpus_dir();
     std::fs::create_dir_all(&dir).unwrap();
+    // Remove stale cases first: index prefixes and names shift when the
+    // wire format grows, and an orphaned file from the old numbering would
+    // silently survive the `corpus_matches_generator` check.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|ext| ext == "bin") {
+            std::fs::remove_file(path).unwrap();
+        }
+    }
     for (index, (name, bytes)) in corpus_cases().into_iter().enumerate() {
         std::fs::write(dir.join(format!("{index:03}_{name}.bin")), bytes).unwrap();
     }

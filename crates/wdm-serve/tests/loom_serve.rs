@@ -42,10 +42,14 @@ struct Submit {
     shard: usize,
 }
 
-/// One reader's intake event: a batch of requests, or SHUTDOWN.
+/// One reader's intake event: a batch of requests, an advance reservation
+/// (admitted immediately, activated at `start_slot`), a release of a
+/// pending reservation, or SHUTDOWN.
 #[derive(Debug)]
 enum InEvent {
     Batch(Vec<Submit>),
+    Reserve { id: u64, start_slot: u64 },
+    Release { id: u64 },
     Shutdown,
 }
 
@@ -267,6 +271,9 @@ fn shutdown_races_inflight_batch() {
                     }
                 }
                 InEvent::Shutdown => saw_shutdown = true,
+                InEvent::Reserve { .. } | InEvent::Release { .. } => {
+                    panic!("config C sends no reservation events")
+                }
             }
         }
         assert!(saw_shutdown, "the SHUTDOWN event is never lost");
@@ -331,4 +338,107 @@ fn queue_full_deny_is_still_answered() {
     });
     eprintln!("loom_serve config D: {interleavings} interleavings");
     assert!(interleavings > 1000, "config D must be non-trivial, got {interleavings}");
+}
+
+/// Config E — a RESERVE racing a RELEASE from another reader, with a cell
+/// batch in flight: reservation admission happens at intake-processing
+/// time (an ack reply is sent immediately), activation happens at the
+/// reservation's start slot, and a release cancels a still-pending
+/// reservation. In every arrival order: the ack is delivered exactly once,
+/// the activation reply fires iff the release lost the race (arrived
+/// before the reserve, hitting nothing), the cell batch is answered
+/// exactly once, and the slot sequence stays monotone-dense. This is the
+/// coordination shape of `InEvent::Reserve`/`InEvent::Release` in the real
+/// daemon — reservations ride the same bounded intake and the same results
+/// stream as cell traffic, with no extra locks.
+#[test]
+fn reserve_release_race_acked_exactly_once() {
+    let interleavings = loom::model(|| {
+        let seq = Arc::new(SlotSequence::new());
+        let (in_tx, in_rx) = serve_sync::bounded::<InEvent>(2);
+        let (out_tx, out_rx) = serve_sync::bounded::<OutEvent>(8);
+
+        let reserver = {
+            let in_tx = in_tx.clone();
+            loom::thread::spawn(move || {
+                in_tx
+                    .send(InEvent::Reserve { id: 5, start_slot: 1 })
+                    .expect("coordinator drains the intake before dropping it");
+            })
+        };
+        let releaser = {
+            let in_tx = in_tx.clone();
+            loom::thread::spawn(move || {
+                in_tx.send(InEvent::Release { id: 5 }).expect("coordinator drains the intake");
+            })
+        };
+        let submitter = {
+            let in_tx = in_tx.clone();
+            loom::thread::spawn(move || {
+                in_tx
+                    .send(InEvent::Batch(vec![Submit { id: 7, shard: 0 }]))
+                    .expect("coordinator drains the intake");
+            })
+        };
+        drop(in_tx);
+
+        // Coordinator: drain the intake to disconnect, applying events in
+        // arrival order against a miniature reservation store. The ack
+        // reply (id 100 + rid) is emitted at admission; the activation
+        // reply (the rid itself) at the start slot, unless released first.
+        let mut queues: ShardQueues<Submit> = ShardQueues::new(1, 4);
+        let mut pending: Vec<(u64, u64)> = Vec::new();
+        let mut cancelled = false;
+        while let Ok(ev) = in_rx.recv() {
+            match ev {
+                InEvent::Batch(batch) => {
+                    for s in batch {
+                        queues.try_admit(s.shard, s).expect("queues sized for the load");
+                    }
+                }
+                InEvent::Reserve { id, start_slot } => {
+                    pending.push((id, start_slot));
+                    out_tx
+                        .send(OutEvent::Reply { id: 100 + id, slot: 0, granted: true })
+                        .expect("results drained after the coordinator");
+                }
+                InEvent::Release { id } => {
+                    let before = pending.len();
+                    pending.retain(|(rid, _)| *rid != id);
+                    cancelled = pending.len() < before;
+                }
+                InEvent::Shutdown => panic!("config E sends no SHUTDOWN"),
+            }
+        }
+        for slot in 0..2u64 {
+            // Activation precedes the slot's cell matching, like the due
+            // drain in `advance_slot_into`.
+            pending.retain(|&(rid, start)| {
+                if start == slot {
+                    out_tx
+                        .send(OutEvent::Reply { id: rid, slot, granted: true })
+                        .expect("results drained after the coordinator");
+                    false
+                } else {
+                    true
+                }
+            });
+            run_slot(&mut queues, slot, &seq, &out_tx);
+        }
+        for r in [reserver, releaser, submitter] {
+            r.join().expect("reader exits after its send");
+        }
+        drop(out_tx);
+        let log = results_loop(&out_rx, &seq);
+        let mut expected = vec![7u64, 105];
+        if !cancelled {
+            // The release arrived first and hit nothing: the reservation
+            // survives to its start slot and must activate.
+            expected.push(5);
+        }
+        check_log(&log, &expected, 2);
+        assert!(pending.is_empty(), "no reservation outlives its start slot");
+    });
+    eprintln!("loom_serve config E: {interleavings} interleavings");
+    assert!(interleavings > 1000, "config E must be non-trivial, got {interleavings}");
 }

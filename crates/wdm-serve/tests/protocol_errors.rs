@@ -235,7 +235,7 @@ fn non_utf8_policy_is_malformed() {
 
 #[test]
 fn out_of_domain_deny_reason_is_bad_field() {
-    for bad in [0u8, 5, 0xFF] {
+    for bad in [0u8, 7, 0xFF] {
         let mut bytes = wire(&Frame::Deny {
             slot: 1,
             id: 2,

@@ -1,0 +1,250 @@
+//! Differential battery: the serving path's reservation admission and
+//! per-slot outcomes are bit-identical to the offline §V model. One
+//! [`SlotEngine`] and one bare [`Interconnect`] configured identically are
+//! driven by the same seeded random schedule of cell arrivals, reservation
+//! arrivals, cancellations, and (via collisions) timeout expiries; every
+//! admission verdict, grant, deny, and expiry must match exactly.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use proptest::prelude::*;
+use wdm_core::{Conversion, Error, Policy};
+use wdm_interconnect::{
+    ConnectionRequest, Interconnect, InterconnectConfig, PreemptionPolicy, RejectReason,
+    ReservationRequest,
+};
+use wdm_serve::engine::{EngineConfig, Reply, SlotEngine, Verdict};
+use wdm_serve::protocol::{DenyReason, ReserveRequest, SubmitRequest};
+
+/// The client connection id every request arrives on (one client).
+const CONN: u64 = 7;
+const HORIZON: u64 = 64;
+
+#[derive(Debug, Clone)]
+struct SlotEvents {
+    /// (src_fiber, src_wavelength, dst_fiber, duration).
+    cells: Vec<(u32, u32, u32, u32)>,
+    /// (src_fiber, src_wavelength, dst_fiber, lead, duration).
+    reservations: Vec<(u32, u32, u32, u32, u32)>,
+    /// Indexes into the currently-outstanding reservation ids (mod len).
+    releases: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Schedule {
+    n: u32,
+    k: u32,
+    e: usize,
+    f: usize,
+    compete: bool,
+    slots: Vec<SlotEvents>,
+}
+
+fn schedule() -> impl Strategy<Value = Schedule> {
+    (2u32..5, 2u32..7).prop_flat_map(|(n, k)| {
+        let ku = k as usize;
+        let reach = (0..ku, 0..ku).prop_filter("degree <= k", move |(e, f)| e + f < ku);
+        let cells =
+            proptest::collection::vec((0..n, 0..k, 0..n, 1u32..4), 0..(n * k).min(8) as usize);
+        let reservations = proptest::collection::vec((0..n, 0..k, 0..n, 0u32..6, 1u32..5), 0..3);
+        let releases = proptest::collection::vec(0usize..16, 0..2);
+        let slot = (cells, reservations, releases).prop_map(|(cells, reservations, releases)| {
+            SlotEvents { cells, reservations, releases }
+        });
+        (Just(n), Just(k), reach, proptest::bool::ANY, proptest::collection::vec(slot, 1..16))
+            .prop_map(|(n, k, (e, f), compete, slots)| Schedule { n, k, e, f, compete, slots })
+    })
+}
+
+/// One admission verdict, as seen by both sides, must agree.
+fn assert_same_admission(reply: &Reply, offline: &Result<u64, Error>, start_slot: u64) {
+    match (&reply.verdict, offline) {
+        (Verdict::Reserved { reservation, start_slot: s }, Ok(id)) => {
+            assert_eq!(reservation, id, "ledger id diverged");
+            assert_eq!(*s, start_slot);
+        }
+        (
+            Verdict::Denied { reason: DenyReason::CapacityExhausted, .. },
+            Err(Error::ReservationCapacityExhausted { .. }),
+        )
+        | (
+            Verdict::Denied { reason: DenyReason::HorizonExceeded, .. },
+            Err(Error::ReservationHorizonExceeded { .. }),
+        ) => {}
+        (verdict, offline) => {
+            panic!("admission diverged: serve {verdict:?} vs offline {offline:?}")
+        }
+    }
+}
+
+fn reject_reason(reason: RejectReason) -> DenyReason {
+    match reason {
+        RejectReason::SourceBusy => DenyReason::SourceBusy,
+        RejectReason::OutputContention => DenyReason::OutputContention,
+    }
+}
+
+fn run_differential(s: &Schedule) {
+    let conv = Conversion::circular(s.k as usize, s.e, s.f).unwrap();
+    let preemption =
+        if s.compete { PreemptionPolicy::Compete } else { PreemptionPolicy::ReservedFirst };
+    let mut serve = SlotEngine::new(
+        EngineConfig::new(s.n as usize, conv, Policy::Auto)
+            .with_reservation_horizon(HORIZON)
+            .with_preemption(preemption)
+            .with_queue_capacity((s.n * s.k) as usize),
+    )
+    .unwrap();
+    let mut offline = Interconnect::new(
+        InterconnectConfig::packet_switch(s.n as usize, conv)
+            .with_policy(Policy::Auto)
+            .with_reservation_horizon(HORIZON)
+            .with_preemption(preemption),
+    )
+    .unwrap();
+
+    // Ledger id → the client id used on the serve side, for outstanding
+    // (admitted, unresolved) reservations.
+    let mut outstanding: Vec<(u64, u64)> = Vec::new();
+    let mut next_client_id = 0u64;
+    let mut replies = Vec::new();
+
+    for ev in &s.slots {
+        assert_eq!(serve.slot(), offline.slot());
+        let now = offline.slot();
+
+        for &(sf, sw, df, lead, dur) in &ev.reservations {
+            let client_id = next_client_id;
+            next_client_id += 1;
+            let reply = serve.reserve(
+                CONN,
+                ReserveRequest {
+                    id: client_id,
+                    src_fiber: sf,
+                    src_wavelength: sw,
+                    dst_fiber: df,
+                    start_in: lead,
+                    duration: dur,
+                },
+            );
+            let start_slot = now + u64::from(lead);
+            let verdict = offline.reserve(ReservationRequest {
+                src_fiber: sf as usize,
+                src_wavelength: sw as usize,
+                dst_fiber: df as usize,
+                start_slot,
+                duration: dur,
+            });
+            assert_same_admission(&reply, &verdict, start_slot);
+            if let Ok(rid) = verdict {
+                outstanding.push((rid, client_id));
+            }
+        }
+
+        for &r in &ev.releases {
+            if outstanding.is_empty() {
+                continue;
+            }
+            let (rid, _) = outstanding[r % outstanding.len()];
+            let a = serve.release(CONN, rid);
+            let b = offline.cancel_reservation(rid);
+            assert_eq!(a, b, "release diverged for ledger id {rid}");
+            assert!(a, "an outstanding reservation is always cancellable");
+            outstanding.retain(|&(id, _)| id != rid);
+        }
+
+        // Submit cells in shard-drain order (stable by destination fiber)
+        // so the offline twin sees the exact batch the serve engine will
+        // schedule. One request per source channel, like the generators.
+        let mut cells: Vec<(u32, u32, u32, u32)> = {
+            let mut seen = std::collections::HashSet::new();
+            ev.cells.iter().copied().filter(|&(sf, sw, _, _)| seen.insert((sf, sw))).collect()
+        };
+        cells.sort_by_key(|&(_, _, df, _)| df);
+        let mut batch = Vec::new();
+        for &(sf, sw, df, dur) in &cells {
+            let client_id = next_client_id;
+            next_client_id += 1;
+            let immediate = serve.submit(
+                CONN,
+                SubmitRequest {
+                    id: client_id,
+                    src_fiber: sf,
+                    src_wavelength: sw,
+                    dst_fiber: df,
+                    duration: dur,
+                },
+            );
+            assert!(immediate.is_none(), "in-range cells under queue capacity always enqueue");
+            batch.push(ConnectionRequest {
+                src_fiber: sf as usize,
+                src_wavelength: sw as usize,
+                dst_fiber: df as usize,
+                duration: dur,
+            });
+        }
+
+        replies.clear();
+        let summary = serve.run_slot(&mut replies);
+        let result = offline.advance_slot(&batch).unwrap();
+
+        assert_eq!(summary.admitted, batch.len());
+        assert_eq!(summary.grants, result.grants.len());
+        assert_eq!(summary.denies, result.rejections.len());
+        assert_eq!(summary.completed, result.completed);
+        assert_eq!(summary.reservation_grants, result.reservation_grants.len());
+        assert_eq!(summary.reservation_expiries, result.reservation_expired.len());
+
+        // The reply stream mirrors the offline result piecewise, in order:
+        // reservation grants, cell grants, cell denies, expiries.
+        let mut stream = replies.iter();
+        for g in &result.reservation_grants {
+            let reply = stream.next().unwrap();
+            let pos = outstanding.iter().position(|&(rid, _)| rid == g.reservation).unwrap();
+            let (_, client_id) = outstanding.swap_remove(pos);
+            assert_eq!(reply.id, client_id);
+            let Verdict::Granted { output_wavelength, .. } = reply.verdict else {
+                panic!("reservation activation must be a grant: {reply:?}")
+            };
+            assert_eq!(output_wavelength as usize, g.grant.output_wavelength);
+        }
+        for g in &result.grants {
+            let reply = stream.next().unwrap();
+            let Verdict::Granted { output_wavelength, .. } = reply.verdict else {
+                panic!("cell grant expected: {reply:?}")
+            };
+            assert_eq!(output_wavelength as usize, g.output_wavelength);
+        }
+        for r in &result.rejections {
+            let reply = stream.next().unwrap();
+            let Verdict::Denied { reason, retry_after_slots: 1 } = reply.verdict else {
+                panic!("cell deny expected: {reply:?}")
+            };
+            assert_eq!(reason, reject_reason(r.reason));
+        }
+        for x in &result.reservation_expired {
+            let reply = stream.next().unwrap();
+            let pos = outstanding.iter().position(|&(rid, _)| rid == x.reservation).unwrap();
+            let (_, client_id) = outstanding.swap_remove(pos);
+            assert_eq!(reply.id, client_id);
+            let Verdict::Denied { reason, retry_after_slots: 0 } = reply.verdict else {
+                panic!("expiry must be a terminal deny: {reply:?}")
+            };
+            assert_eq!(reason, reject_reason(x.rejection.reason));
+        }
+        assert!(stream.next().is_none(), "no unexplained replies");
+    }
+    // Nothing leaks: what the shadow map still holds is exactly what the
+    // serve engine still holds.
+    assert_eq!(outstanding.len(), serve.pending_reservations());
+    assert_eq!(outstanding.len(), offline.reservations().len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn serve_path_matches_offline_model(s in schedule()) {
+        run_differential(&s);
+    }
+}

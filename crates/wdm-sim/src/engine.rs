@@ -7,6 +7,7 @@ use wdm_core::Error;
 use wdm_interconnect::{Interconnect, InterconnectConfig};
 
 use crate::metrics::{Metrics, SlotObservation};
+use crate::traffic::ReservationTraffic;
 use crate::traffic::TrafficModel;
 
 /// Run lengths and seeding for one simulation.
@@ -39,6 +40,43 @@ pub struct Report {
     pub offered_load: f64,
     /// Measured metrics.
     pub metrics: Metrics,
+    /// Advance-reservation outcomes (all-zero when the run had no
+    /// reservation process attached).
+    pub reservations: ReservationSummary,
+}
+
+/// What happened to the advance reservations of one simulation run,
+/// counted over the whole run (warmup included — a reservation admitted
+/// during warmup can activate inside the measured window, so splitting
+/// the ledger at the warmup boundary would miscount).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservationSummary {
+    /// Reservations the process generated.
+    pub requested: u64,
+    /// Admitted into the capacity ledger.
+    pub admitted: u64,
+    /// Denied: no slot capacity along the requested hold.
+    pub denied_capacity: u64,
+    /// Denied: start slot beyond the admission horizon.
+    pub denied_horizon: u64,
+    /// Holds that activated into granted connections.
+    pub grants: u64,
+    /// Holds that expired at their start slot (source busy or output
+    /// contention at activation — timeout expiry, never retried).
+    pub expiries: u64,
+}
+
+impl ReservationSummary {
+    /// Blocking probability over resolved reservations: denied or expired
+    /// out of everything that reached a verdict (admission deny counts as
+    /// blocking; still-pending holds at run end are excluded).
+    pub fn blocking_probability(&self) -> f64 {
+        let resolved = self.denied_capacity + self.denied_horizon + self.grants + self.expiries;
+        if resolved == 0 {
+            return 0.0;
+        }
+        (resolved - self.grants) as f64 / resolved as f64
+    }
 }
 
 impl Report {
@@ -55,10 +93,12 @@ impl Report {
     }
 }
 
-/// A runnable simulation: one interconnect driven by one traffic model.
+/// A runnable simulation: one interconnect driven by one traffic model,
+/// optionally mixed with an advance-reservation arrival process.
 pub struct Simulation<T: TrafficModel> {
     interconnect: Interconnect,
     traffic: T,
+    reservations: Option<ReservationTraffic>,
     rng: StdRng,
     config: SimulationConfig,
 }
@@ -93,20 +133,57 @@ impl<T: TrafficModel> Simulation<T> {
                 actual: traffic.k(),
             });
         }
-        Ok(Simulation { interconnect, traffic, rng: StdRng::seed_from_u64(config.seed), config })
+        Ok(Simulation {
+            interconnect,
+            traffic,
+            reservations: None,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        })
+    }
+
+    /// Mixes an advance-reservation arrival process into the run. Each
+    /// slot its requests are admitted against the capacity ledger before
+    /// the slot's cell traffic is scheduled.
+    pub fn with_reservations(mut self, reservations: ReservationTraffic) -> Self {
+        self.reservations = Some(reservations);
+        self
     }
 
     /// Runs warmup + measurement and returns the report.
     pub fn run(mut self) -> Result<Report, Error> {
         let mut metrics = Metrics::new();
+        let mut summary = ReservationSummary::default();
         let total = self.config.warmup_slots + self.config.measure_slots;
         // One request buffer and one result for the whole run: the slot loop
         // reuses them, so steady-state simulation is allocation-free.
         let mut requests = Vec::new();
+        let mut arrivals = Vec::new();
         let mut result = wdm_interconnect::SlotResult::default();
         for slot in 0..total {
+            if let Some(process) = self.reservations.as_mut() {
+                process.generate_into(&mut self.rng, slot, &mut arrivals);
+                for request in &arrivals {
+                    summary.requested += 1;
+                    match self.interconnect.reserve(*request) {
+                        Ok(_) => summary.admitted += 1,
+                        Err(Error::ReservationCapacityExhausted { .. }) => {
+                            summary.denied_capacity += 1;
+                        }
+                        Err(Error::ReservationHorizonExceeded { .. }) => {
+                            summary.denied_horizon += 1;
+                        }
+                        // The generator only emits future, in-range
+                        // requests; anything else is a bug worth stopping
+                        // the run for.
+                        Err(other) => return Err(other),
+                    }
+                }
+            }
             self.traffic.generate_into(&mut self.rng, slot, &mut requests);
             self.interconnect.advance_slot_into(&requests, &mut result)?;
+            summary.grants += result.reservation_grants.len() as u64;
+            summary.expiries += result.reservation_expired.len() as u64;
             if slot >= self.config.warmup_slots {
                 metrics.record_slot(SlotObservation {
                     offered: result.offered(),
@@ -125,6 +202,7 @@ impl<T: TrafficModel> Simulation<T> {
             degree: self.interconnect.conversion().degree(),
             offered_load: self.traffic.offered_load(),
             metrics,
+            reservations: summary,
         })
     }
 }
@@ -196,6 +274,57 @@ mod tests {
         let b = run();
         assert_eq!(a.metrics.granted(), b.metrics.granted());
         assert_eq!(a.metrics.offered(), b.metrics.offered());
+    }
+
+    #[test]
+    fn mixed_reservation_run_accounts_for_every_hold() {
+        use crate::traffic::ReservationTraffic;
+        let conv = Conversion::symmetric_circular(8, 3).unwrap();
+        let traffic = BernoulliUniform::new(4, 8, 0.3, DurationModel::Deterministic(1));
+        let process = ReservationTraffic::new(4, 8, 1.0, 5, DurationModel::Geometric { mean: 3.0 });
+        let cfg = SimulationConfig { warmup_slots: 50, measure_slots: 1000, seed: 7 };
+        let report = Simulation::new(InterconnectConfig::packet_switch(4, conv), traffic, cfg)
+            .unwrap()
+            .with_reservations(process)
+            .run()
+            .unwrap();
+        let r = &report.reservations;
+        assert!(r.requested > 900, "rate 1.0 over 1050 slots: {} requested", r.requested);
+        assert_eq!(r.requested, r.admitted + r.denied_capacity + r.denied_horizon);
+        assert!(r.grants > 0, "holds must activate under 0.3 cell load");
+        // Holds whose start slot lies beyond the run's end stay pending.
+        assert!(r.grants + r.expiries <= r.admitted);
+        assert!(r.admitted - (r.grants + r.expiries) <= 10, "only tail holds stay pending");
+        let b = r.blocking_probability();
+        assert!((0.0..1.0).contains(&b), "blocking {b}");
+    }
+
+    #[test]
+    fn reservation_run_deterministic_given_seed() {
+        use crate::traffic::ReservationTraffic;
+        let conv = Conversion::symmetric_circular(4, 3).unwrap();
+        let run = || {
+            let traffic = BernoulliUniform::new(2, 4, 0.4, DurationModel::Deterministic(1));
+            let process = ReservationTraffic::new(2, 4, 0.5, 4, DurationModel::Deterministic(3));
+            let cfg = SimulationConfig { warmup_slots: 10, measure_slots: 300, seed: 99 };
+            Simulation::new(InterconnectConfig::packet_switch(2, conv), traffic, cfg)
+                .unwrap()
+                .with_reservations(process)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.reservations, b.reservations);
+        assert_eq!(a.metrics.granted(), b.metrics.granted());
+    }
+
+    #[test]
+    fn no_reservation_process_reports_zeros() {
+        let conv = Conversion::full(4).unwrap();
+        let report = quick(4, 4, conv, 0.2);
+        assert_eq!(report.reservations, ReservationSummary::default());
+        assert_eq!(report.reservations.blocking_probability(), 0.0);
     }
 
     #[test]

@@ -33,9 +33,11 @@ pub mod sweep_sync;
 pub mod trace;
 pub mod traffic;
 
-pub use engine::{Report, Simulation, SimulationConfig};
+pub use engine::{Report, ReservationSummary, Simulation, SimulationConfig};
 pub use metrics::{Metrics, SlotObservation};
 pub use trace::{
     ReplayError, ReplayReport, SessionTrace, TraceConfig, TraceGrant, TraceRequest, TraceSlot,
 };
-pub use traffic::{BernoulliUniform, BurstyOnOff, DurationModel, Hotspot, TrafficModel};
+pub use traffic::{
+    BernoulliUniform, BurstyOnOff, DurationModel, Hotspot, ReservationTraffic, TrafficModel,
+};

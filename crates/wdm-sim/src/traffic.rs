@@ -6,7 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use wdm_interconnect::ConnectionRequest;
+use wdm_interconnect::{ConnectionRequest, ReservationRequest};
 
 /// Connection holding times (paper §V).
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -120,6 +120,63 @@ impl TrafficModel for BernoulliUniform {
 
     fn offered_load(&self) -> f64 {
         self.p
+    }
+}
+
+/// A per-slot advance-reservation arrival process (paper §V multi-slot
+/// connections booked ahead of time): each slot it emits `⌊rate⌋`
+/// reservations plus one more with probability `rate − ⌊rate⌋`, each from
+/// a uniformly random input channel to a uniformly random output fiber,
+/// starting a uniform `1..=max_lead` slots in the future and holding for a
+/// [`DurationModel`] draw clamped to ≥ 2 slots (a reservation for a
+/// single-slot hold is just a delayed packet — the clamp keeps every
+/// generated hold genuinely multi-slot).
+///
+/// Conflicting emissions (two reservations booking the same input channel
+/// at overlapping slots) are deliberate: admission-ledger denials are part
+/// of the workload being modeled, and the deny stream is as deterministic
+/// as the grant stream given the seed.
+#[derive(Debug, Clone)]
+pub struct ReservationTraffic {
+    n: usize,
+    k: usize,
+    rate: f64,
+    max_lead: u32,
+    duration: DurationModel,
+}
+
+impl ReservationTraffic {
+    /// Creates the process. `rate` is the mean reservations per slot
+    /// (clamped non-negative); `max_lead` is clamped to ≥ 1.
+    pub fn new(n: usize, k: usize, rate: f64, max_lead: u32, duration: DurationModel) -> Self {
+        ReservationTraffic { n, k, rate: rate.max(0.0), max_lead: max_lead.max(1), duration }
+    }
+
+    /// Mean reservations generated per slot.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Generates the reservation requests arriving at slot `now` into
+    /// `out` (cleared first), with start slots strictly after `now`.
+    pub fn generate_into(&mut self, rng: &mut StdRng, now: u64, out: &mut Vec<ReservationRequest>) {
+        out.clear();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // rate is clamped ≥ 0
+        let mut count = self.rate.floor() as u64;
+        let fraction = self.rate.fract();
+        if fraction > 0.0 && rng.gen_bool(fraction) {
+            count += 1;
+        }
+        for _ in 0..count {
+            let lead = rng.gen_range(1..=self.max_lead);
+            out.push(ReservationRequest {
+                src_fiber: rng.gen_range(0..self.n),
+                src_wavelength: rng.gen_range(0..self.k),
+                dst_fiber: rng.gen_range(0..self.n),
+                start_slot: now + u64::from(lead),
+                duration: self.duration.sample(rng).max(2),
+            });
+        }
     }
 }
 
@@ -373,5 +430,57 @@ mod tests {
     #[should_panic(expected = "hotspot fiber out of range")]
     fn hotspot_bounds_checked() {
         let _ = Hotspot::new(4, 4, 0.5, 4, 0.5, DurationModel::Deterministic(1));
+    }
+
+    #[test]
+    fn reservation_traffic_emits_in_range_multi_slot_holds() {
+        let mut model =
+            ReservationTraffic::new(4, 8, 1.5, 6, DurationModel::Geometric { mean: 3.0 });
+        let mut r = rng();
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for now in 0..1000u64 {
+            model.generate_into(&mut r, now, &mut out);
+            total += out.len();
+            for q in &out {
+                assert!(q.src_fiber < 4 && q.src_wavelength < 8 && q.dst_fiber < 4);
+                assert!(q.start_slot > now && q.start_slot <= now + 6, "lead in 1..=6");
+                assert!(q.duration >= 2, "reservation holds are multi-slot");
+            }
+        }
+        // Mean arrivals per slot ≈ rate.
+        let mean = total as f64 / 1000.0;
+        assert!(mean > 1.35 && mean < 1.65, "measured rate {mean}");
+    }
+
+    #[test]
+    fn reservation_traffic_deterministic_given_seed() {
+        let gen = || {
+            let mut model = ReservationTraffic::new(4, 4, 0.7, 4, DurationModel::Deterministic(3));
+            let mut r = rng();
+            let mut out = Vec::new();
+            let mut all = Vec::new();
+            for now in 0..200u64 {
+                model.generate_into(&mut r, now, &mut out);
+                all.extend(out.iter().copied());
+            }
+            all
+        };
+        assert_eq!(gen(), gen());
+    }
+
+    #[test]
+    fn zero_rate_emits_nothing() {
+        let mut model = ReservationTraffic::new(2, 2, 0.0, 3, DurationModel::Deterministic(2));
+        let mut r = rng();
+        let mut out = vec![ReservationRequest {
+            src_fiber: 0,
+            src_wavelength: 0,
+            dst_fiber: 0,
+            start_slot: 1,
+            duration: 2,
+        }];
+        model.generate_into(&mut r, 0, &mut out);
+        assert!(out.is_empty(), "generate_into clears the buffer");
     }
 }
