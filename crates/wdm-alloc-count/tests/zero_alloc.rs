@@ -85,7 +85,7 @@ fn schedule_slot_steady_state_is_allocation_free() {
     ];
 
     for (name, k, conv, policy) in configs {
-        let scheduler = FiberScheduler::new(conv, policy);
+        let mut scheduler = FiberScheduler::new(conv, policy);
         let mut arena = ScratchArena::for_k(k);
         let mut rv = RequestVector::new(k);
         let mut mask = ChannelMask::all_free(k);
@@ -116,8 +116,11 @@ fn schedule_slot_steady_state_is_allocation_free() {
         );
     }
 
+    warm_repair_slot_loop_is_allocation_free();
     sweep_slot_loop_is_allocation_free();
+    coherent_sweep_slot_loop_is_allocation_free();
     serve_slot_loop_is_allocation_free();
+    serve_coherent_slot_loop_is_allocation_free();
     serve_reservation_slot_loop_is_allocation_free();
 
     // Sanity-check the counter itself: a deliberate allocation must be seen
@@ -126,6 +129,87 @@ fn schedule_slot_steady_state_is_allocation_free() {
     let v: Vec<u64> = Vec::with_capacity(64);
     assert!(ALLOC.heap_events() > before, "counter must observe an explicit allocation");
     drop(v);
+}
+
+/// The warm-start repair path — the one coherent traffic actually rides —
+/// must be allocation-free too: the repair buffers (`repair_matched`,
+/// `repair_parent`, `repair_entry`) live in the [`ScratchArena`] and are
+/// primed by `for_k`, so a repaired slot touches no heap at all.
+///
+/// The flow state driving the coherent pattern is pre-allocated before the
+/// measurement window; only a couple of wavelengths change per slot, so the
+/// repair path must serve the overwhelming majority of measured slots —
+/// asserted via `warm_stats`, not assumed.
+///
+/// Called from the single `#[test]` above — the counters are process-global.
+fn warm_repair_slot_loop_is_allocation_free() {
+    const WARMUP: usize = 8;
+    const MEASURED: usize = 512;
+
+    let configs = [
+        ("warm/bfa-circular", 64, Conversion::symmetric_circular(64, 7).unwrap(), Policy::Auto),
+        (
+            "warm/fa-non-circular",
+            64,
+            Conversion::symmetric_non_circular(64, 7).unwrap(),
+            Policy::FirstAvailable,
+        ),
+    ];
+
+    for (name, k, conv, policy) in configs {
+        let mut scheduler = FiberScheduler::new(conv, policy);
+        let mut arena = ScratchArena::for_k(k);
+        let mut rv = RequestVector::new(k);
+        let mask = ChannelMask::all_free(k);
+        let mut rng = Rng(0x5EED_0004);
+
+        // Persistent flow state: ~60% of wavelengths carry one request; each
+        // slot retargets roughly two of them. Allocated once, mutated in
+        // place inside the window.
+        let mut live: Vec<bool> = (0..k).map(|_| rng.next() % 10 < 6).collect();
+        let fill = |rv: &mut RequestVector, live: &[bool]| {
+            rv.clear();
+            for (w, &on) in live.iter().enumerate() {
+                if on {
+                    rv.add(w).unwrap();
+                }
+            }
+        };
+
+        let mut granted = 0usize;
+        for _ in 0..WARMUP {
+            fill(&mut rv, &live);
+            granted += scheduler.schedule_slot(&rv, &mask, &mut arena).unwrap().granted;
+            let flip = rng.next() as usize % k;
+            live[flip] = !live[flip];
+        }
+
+        let stats_before = scheduler.warm_stats();
+        let before = ALLOC.heap_events();
+        ALLOC.trap_backtraces(!cfg!(debug_assertions));
+        for _ in 0..MEASURED {
+            fill(&mut rv, &live);
+            granted += scheduler.schedule_slot(&rv, &mask, &mut arena).unwrap().granted;
+            let flip = rng.next() as usize % k;
+            live[flip] = !live[flip];
+        }
+        ALLOC.trap_backtraces(false);
+        let events = ALLOC.heap_events() - before;
+
+        let repaired = scheduler.warm_stats().repaired - stats_before.repaired;
+        assert!(granted > 0, "{name}: workload must exercise the scheduler");
+        assert!(
+            repaired as usize > MEASURED / 2,
+            "{name}: only {repaired}/{MEASURED} measured slots took the repair path"
+        );
+        if cfg!(debug_assertions) {
+            continue;
+        }
+        assert_eq!(
+            events, 0,
+            "{name}: {events} heap allocations in {MEASURED} warm-repaired schedule_slot calls"
+        );
+    }
 }
 
 /// The persistent-worker sweep's *per-slot* loop must not allocate: running
@@ -173,6 +257,46 @@ fn sweep_slot_loop_is_allocation_free() {
     assert!(
         marginal <= 64,
         "sweep slot loop allocated {marginal} times for 512 extra slots across 6 grid points"
+    );
+}
+
+/// The same marginal-allocation bound holds for the coherent-streams
+/// workload: the per-channel flow state is part of the traffic model and is
+/// sized at construction, so the extra measured slots ride the warm repair
+/// path without heap traffic beyond the amortized metric-buffer growth.
+///
+/// Called from the single `#[test]` above — the counters are process-global.
+fn coherent_sweep_slot_loop_is_allocation_free() {
+    use wdm_sim::experiment::{run_sweep_with_threads, DegreeSpec, SweepConfig, Workload};
+
+    let mut config = SweepConfig::uniform_packets(
+        4,
+        16,
+        vec![DegreeSpec::Circular(3), DegreeSpec::NonCircular(3)],
+        vec![0.4, 0.8],
+    );
+    config.workload = Workload::Coherent { mean_hold: 16.0 };
+    config.sim.warmup_slots = 16;
+
+    let mut measure = |slots: u64| {
+        config.sim.measure_slots = slots;
+        let before = ALLOC.heap_events();
+        let rows = run_sweep_with_threads(&config, 2).unwrap();
+        let events = ALLOC.heap_events() - before;
+        assert_eq!(rows.len(), 4, "sweep must produce one row per grid point");
+        events
+    };
+
+    let short = measure(64);
+    let long = measure(64 + 512);
+    let marginal = long.saturating_sub(short);
+    if cfg!(debug_assertions) {
+        return;
+    }
+    assert!(
+        marginal <= 64,
+        "coherent sweep slot loop allocated {marginal} times for 512 extra slots \
+         across 4 grid points"
     );
 }
 
@@ -304,6 +428,122 @@ fn serve_slot_loop_is_allocation_free() {
             "{name}: {events} heap allocations in {MEASURED} steady-state daemon slots"
         );
     }
+}
+
+/// The daemon slot loop stays allocation-free on *coherent* traffic, where
+/// the per-fiber schedulers ride the warm repair path nearly every slot:
+/// persistent flows re-submit the same (source, destination) pairs each
+/// slot, so the repaired matching barely changes. The flow table is
+/// pre-allocated before the measurement window, and the repair rate is
+/// asserted through [`wdm_serve::SlotEngine::warm_stats`], not assumed.
+///
+/// Called from the single `#[test]` above — the counters are process-global.
+fn serve_coherent_slot_loop_is_allocation_free() {
+    use wdm_core::Policy as P;
+    use wdm_serve::protocol::SubmitRequest;
+    use wdm_serve::{EngineConfig, SlotEngine};
+
+    const N: usize = 4;
+    const K: usize = 32;
+    const WARMUP: u64 = 32;
+    const MEASURED: u64 = 512;
+
+    let conv = Conversion::symmetric_circular(K, 5).unwrap();
+    let mut engine = SlotEngine::new(EngineConfig::new(N, conv, P::BreakFirstAvailable)).unwrap();
+    let mut out = Vec::new();
+    let mut rng = Rng(0x5EED_0005);
+    let mut next_id = 0u64;
+
+    // Persistent flow table: ~60% of (fiber, wavelength) channels carry a
+    // flow toward a fixed destination; each slot retargets a couple of
+    // channels. Allocated once, mutated in place.
+    let mut flows: Vec<Option<u32>> = (0..N * K)
+        .map(|_| {
+            let r = rng.next();
+            (r % 10 < 6).then_some(((r >> 8) % N as u64) as u32)
+        })
+        .collect();
+
+    let drive_slot =
+        |engine: &mut SlotEngine, flows: &mut Vec<Option<u32>>, rng: &mut Rng, id: &mut u64| {
+            for fiber in 0..N {
+                for w in 0..K {
+                    if let Some(dst) = flows[fiber * K + w] {
+                        let req = SubmitRequest {
+                            id: *id,
+                            src_fiber: fiber as u32,
+                            src_wavelength: w as u32,
+                            dst_fiber: dst,
+                            duration: 1,
+                        };
+                        *id += 1;
+                        if let Some(_reply) = engine.submit(0, req) {}
+                    }
+                }
+            }
+            // Two channel birth/death/retarget events per slot.
+            for _ in 0..2 {
+                let r = rng.next();
+                let cell = (r % (N * K) as u64) as usize;
+                flows[cell] = match flows[cell] {
+                    Some(_) => None,
+                    None => Some(((r >> 8) % N as u64) as u32),
+                };
+            }
+        };
+
+    // Prime the shard queues and reply buffers to their structural maxima
+    // exactly like the incoherent daemon pin does.
+    for dst in 0..N {
+        for fiber in 0..N {
+            for w in 0..K {
+                let req = SubmitRequest {
+                    id: next_id,
+                    src_fiber: fiber as u32,
+                    src_wavelength: w as u32,
+                    dst_fiber: dst as u32,
+                    duration: 1,
+                };
+                next_id += 1;
+                if let Some(_reply) = engine.submit(0, req) {}
+            }
+        }
+        out.clear();
+        let _ = engine.run_slot(&mut out);
+    }
+
+    let mut grants = 0usize;
+    for _ in 0..WARMUP {
+        drive_slot(&mut engine, &mut flows, &mut rng, &mut next_id);
+        out.clear();
+        grants += engine.run_slot(&mut out).grants;
+    }
+
+    let warm_before = engine.warm_stats();
+    let before = ALLOC.heap_events();
+    ALLOC.trap_backtraces(!cfg!(debug_assertions));
+    for _ in 0..MEASURED {
+        drive_slot(&mut engine, &mut flows, &mut rng, &mut next_id);
+        out.clear();
+        grants += engine.run_slot(&mut out).grants;
+    }
+    ALLOC.trap_backtraces(false);
+    let events = ALLOC.heap_events() - before;
+
+    let repaired = engine.warm_stats().repaired - warm_before.repaired;
+    let fiber_slots = MEASURED * N as u64;
+    assert!(grants > 0, "serve/coherent: workload must exercise the daemon engine");
+    assert!(
+        repaired * 2 > fiber_slots,
+        "serve/coherent: only {repaired}/{fiber_slots} fiber slots took the repair path"
+    );
+    if cfg!(debug_assertions) {
+        return;
+    }
+    assert_eq!(
+        events, 0,
+        "serve/coherent: {events} heap allocations in {MEASURED} coherent daemon slots"
+    );
 }
 
 /// The daemon slot loop stays allocation-free under a reservation-heavy

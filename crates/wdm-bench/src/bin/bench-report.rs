@@ -1,8 +1,8 @@
 //! `bench-report` — measure the scheduling hot path, the sweep runner, and
-//! the `wdm-serve` daemon, and emit a machine-readable `BENCH_4.json`.
+//! the `wdm-serve` daemon, and emit a machine-readable `BENCH_5.json`.
 //!
 //! ```sh
-//! cargo run --release -p wdm-bench --bin bench-report            # writes BENCH_4.json
+//! cargo run --release -p wdm-bench --bin bench-report            # writes BENCH_5.json
 //! cargo run --release -p wdm-bench --bin bench-report -- --out custom.json
 //! cargo run --release -p wdm-bench --bin bench-report -- --smoke # CI-sized run
 //! ```
@@ -12,10 +12,18 @@
 //! * **ns/slot** for FA (non-circular), BFA and the single-break
 //!   approximation (circular) at representative `(N, k, d)` points, driven
 //!   through [`FiberScheduler::schedule_slot`] with a warm
-//!   [`ScratchArena`]. BFA rows additionally carry `bfa_over_fa_ratio`, the
-//!   BFA/FA ns-per-slot ratio at the same `(k, d)` point — the paper's
-//!   `O(dk)` vs `O(k)` constant, and the number the shared-table BFA
-//!   rewrite exists to shrink.
+//!   [`ScratchArena`]. Every row reports the steady-state (post-warmup)
+//!   ns/slot and, separately, `cold_start_ns_per_slot` — the per-slot cost
+//!   of the warmup pass from a cold scheduler and unprimed arena. BFA rows
+//!   additionally carry `bfa_over_fa_ratio`, the BFA/FA ns-per-slot ratio
+//!   at the same `(k, d)` point — the paper's `O(dk)` vs `O(k)` constant,
+//!   and the number the shared-table BFA rewrite exists to shrink.
+//! * **coherent-traffic rows** (`traffic = "coherent"`): the same FA/BFA
+//!   points driven by [`coherent_slot_pool`] — long-lived flows whose
+//!   slot-to-slot diff is a couple of arrivals/departures — where
+//!   `schedule_slot` rides the warm-start repair path. These rows carry
+//!   `repair_rate`, the fraction of measured slots served by repairing the
+//!   previous matching instead of rescheduling from scratch.
 //! * **allocations/slot** over the measured window, observed by the
 //!   [`wdm_alloc_count::CountingAlloc`] global allocator. In a plain
 //!   release build the run *fails* if any slot allocates; with debug
@@ -43,7 +51,7 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use wdm_alloc_count::CountingAlloc;
-use wdm_bench::{bench_rng, random_mask, random_request_vector};
+use wdm_bench::{bench_rng, coherent_slot_pool, random_mask, random_request_vector};
 use wdm_core::{
     ChannelMask, Conversion, Error, FiberScheduler, Policy, RequestVector, ScratchArena,
 };
@@ -70,15 +78,26 @@ const THREAD_LADDER: [usize; 3] = [2, 4, 8];
 #[derive(Debug, Serialize)]
 struct SlotBench {
     algorithm: String,
+    /// `"incoherent"` (i.i.d. per-slot draws) or `"coherent"` (persistent
+    /// flows, small slot-to-slot diff).
+    traffic: String,
     n: usize,
     k: usize,
     degree: usize,
     circular: bool,
     load: f64,
     slots: usize,
+    /// Steady-state (post-warmup) ns per `schedule_slot` call, fastest
+    /// timed repeat.
     ns_per_slot: f64,
+    /// ns/slot of the warmup pass: cold scheduler, freshly primed arena.
+    /// The gap to `ns_per_slot` is what the warm state buys once built.
+    cold_start_ns_per_slot: f64,
     allocs_per_slot: f64,
     grant_rate: f64,
+    /// Fraction of measured slots served by the warm repair path (`None`
+    /// for policies the warm path does not cover).
+    repair_rate: Option<f64>,
     /// BFA rows only: this row's ns/slot over FA's at the same `(k, d)`.
     bfa_over_fa_ratio: Option<f64>,
 }
@@ -129,10 +148,30 @@ struct BenchReport {
     sweep: SweepBench,
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Traffic {
+    /// Independent draws per pool entry — no slot-to-slot correlation.
+    Incoherent,
+    /// One coherent chain ([`coherent_slot_pool`]): consecutive entries
+    /// differ by a couple of re-drawn input cells and at most one output
+    /// channel, so the warm repair path carries almost every slot.
+    Coherent,
+}
+
+impl Traffic {
+    fn label(self) -> &'static str {
+        match self {
+            Traffic::Incoherent => "incoherent",
+            Traffic::Coherent => "coherent",
+        }
+    }
+}
+
 struct SlotSpec {
     algorithm: &'static str,
     policy: Policy,
     circular: bool,
+    traffic: Traffic,
     n: usize,
     k: usize,
     degree: usize,
@@ -145,26 +184,38 @@ fn bench_slot(spec: &SlotSpec, load: f64) -> Result<SlotBench, Error> {
     } else {
         Conversion::symmetric_non_circular(spec.k, spec.degree)?
     };
-    let scheduler = FiberScheduler::new(conv, spec.policy);
+    let mut scheduler = FiberScheduler::new(conv, spec.policy);
     let mut rng = bench_rng(0xB2_u64.wrapping_add(spec.k as u64));
-    let pool: Vec<(RequestVector, ChannelMask)> = (0..POOL)
-        .map(|_| {
-            (
-                random_request_vector(&mut rng, spec.n, spec.k, load),
-                random_mask(&mut rng, spec.k, 0.2),
-            )
-        })
-        .collect();
+    let pool: Vec<(RequestVector, ChannelMask)> = match spec.traffic {
+        Traffic::Incoherent => (0..POOL)
+            .map(|_| {
+                (
+                    random_request_vector(&mut rng, spec.n, spec.k, load),
+                    random_mask(&mut rng, spec.k, 0.2),
+                )
+            })
+            .collect(),
+        // Cycling the pool revisits the chain in order, so all but the
+        // wrap-around transition (1 in POOL) stay coherent.
+        Traffic::Coherent => coherent_slot_pool(&mut rng, spec.n, spec.k, load, 0.2, POOL, 2),
+    };
 
+    // The warmup pass doubles as the cold-start measurement: a cold
+    // scheduler against a freshly `for_k`-primed arena — the supported
+    // zero-allocation starting state — so the figure covers the cold
+    // schedules before any warm state exists.
     let mut arena = ScratchArena::for_k(spec.k);
+    let cold_start = Instant::now();
     for (rv, mask) in pool.iter().cycle().take(WARMUP_SLOTS) {
         // Warm-up: the stats are deliberately dropped.
         let _ = scheduler.schedule_slot(rv, mask, &mut arena)?;
     }
+    let cold_start_ns_per_slot = cold_start.elapsed().as_nanos() as f64 / WARMUP_SLOTS as f64;
 
     let mut granted = 0usize;
     let mut requested = 0usize;
     let allocs_before = ALLOC.heap_events();
+    let warm_before = scheduler.warm_stats();
     let mut best = std::time::Duration::MAX;
     for _ in 0..REPEATS {
         granted = 0;
@@ -180,8 +231,16 @@ fn bench_slot(spec: &SlotSpec, load: f64) -> Result<SlotBench, Error> {
     }
     let allocs = ALLOC.heap_events() - allocs_before;
 
+    let warm = scheduler.warm_stats();
+    let warm_slots = warm.slots() - warm_before.slots();
+    // The approximation never takes the warm path (it has no repairable
+    // matching), so a repair rate would be vacuous noise on its rows.
+    let repair_rate = (spec.policy != Policy::Approximate && warm_slots > 0)
+        .then(|| (warm.repaired - warm_before.repaired) as f64 / warm_slots as f64);
+
     Ok(SlotBench {
         algorithm: spec.algorithm.to_string(),
+        traffic: spec.traffic.label().to_string(),
         n: spec.n,
         k: spec.k,
         degree: spec.degree,
@@ -189,25 +248,27 @@ fn bench_slot(spec: &SlotSpec, load: f64) -> Result<SlotBench, Error> {
         load,
         slots: spec.slots,
         ns_per_slot: best.as_nanos() as f64 / spec.slots as f64,
+        cold_start_ns_per_slot,
         allocs_per_slot: allocs as f64 / (spec.slots * REPEATS) as f64,
         grant_rate: if requested == 0 { 1.0 } else { granted as f64 / requested as f64 },
+        repair_rate,
         bfa_over_fa_ratio: None,
     })
 }
 
 /// Fills `bfa_over_fa_ratio` on every BFA row that has an FA row at the same
-/// `(k, degree)` point.
+/// `(k, degree, traffic)` point.
 fn fill_ratios(benches: &mut [SlotBench]) {
-    let fa: Vec<(usize, usize, f64)> = benches
+    let fa: Vec<(usize, usize, String, f64)> = benches
         .iter()
         .filter(|b| b.algorithm == "fa")
-        .map(|b| (b.k, b.degree, b.ns_per_slot))
+        .map(|b| (b.k, b.degree, b.traffic.clone(), b.ns_per_slot))
         .collect();
     for bench in benches.iter_mut().filter(|b| b.algorithm == "bfa") {
         bench.bfa_over_fa_ratio = fa
             .iter()
-            .find(|&&(k, d, _)| k == bench.k && d == bench.degree)
-            .map(|&(_, _, fa_ns)| bench.ns_per_slot / fa_ns);
+            .find(|(k, d, t, _)| *k == bench.k && *d == bench.degree && *t == bench.traffic)
+            .map(|&(_, _, _, fa_ns)| bench.ns_per_slot / fa_ns);
     }
 }
 
@@ -351,14 +412,15 @@ fn bench_sweep(smoke: bool) -> Result<SweepBench, String> {
     Ok(SweepBench { grid_points, measure_slots: config.sim.measure_slots, sequential_ms, threads })
 }
 
-fn slot_specs(smoke: bool) -> [SlotSpec; 6] {
+fn slot_specs(smoke: bool) -> Vec<SlotSpec> {
     // Smoke runs keep the same grid at ~10× fewer slots.
     let scale = if smoke { 10 } else { 1 };
-    [
+    let mut specs = vec![
         SlotSpec {
             algorithm: "fa",
             policy: Policy::FirstAvailable,
             circular: false,
+            traffic: Traffic::Incoherent,
             n: 8,
             k: 16,
             degree: 3,
@@ -368,6 +430,7 @@ fn slot_specs(smoke: bool) -> [SlotSpec; 6] {
             algorithm: "fa",
             policy: Policy::FirstAvailable,
             circular: false,
+            traffic: Traffic::Incoherent,
             n: 8,
             k: 64,
             degree: 7,
@@ -377,6 +440,7 @@ fn slot_specs(smoke: bool) -> [SlotSpec; 6] {
             algorithm: "bfa",
             policy: Policy::BreakFirstAvailable,
             circular: true,
+            traffic: Traffic::Incoherent,
             n: 8,
             k: 16,
             degree: 3,
@@ -386,6 +450,7 @@ fn slot_specs(smoke: bool) -> [SlotSpec; 6] {
             algorithm: "bfa",
             policy: Policy::BreakFirstAvailable,
             circular: true,
+            traffic: Traffic::Incoherent,
             n: 8,
             k: 64,
             degree: 7,
@@ -395,6 +460,7 @@ fn slot_specs(smoke: bool) -> [SlotSpec; 6] {
             algorithm: "approx",
             policy: Policy::Approximate,
             circular: true,
+            traffic: Traffic::Incoherent,
             n: 8,
             k: 16,
             degree: 3,
@@ -404,12 +470,59 @@ fn slot_specs(smoke: bool) -> [SlotSpec; 6] {
             algorithm: "approx",
             policy: Policy::Approximate,
             circular: true,
+            traffic: Traffic::Incoherent,
             n: 8,
             k: 64,
             degree: 7,
             slots: 10_000 / scale,
         },
-    ]
+    ];
+    // Coherent steady-state rows: the warm-capable policies at the same
+    // grid points, driven by one coherent chain instead of i.i.d. draws.
+    // (The approximation is excluded — it never takes the warm path.)
+    specs.extend([
+        SlotSpec {
+            algorithm: "fa",
+            policy: Policy::FirstAvailable,
+            circular: false,
+            traffic: Traffic::Coherent,
+            n: 8,
+            k: 16,
+            degree: 3,
+            slots: 20_000 / scale,
+        },
+        SlotSpec {
+            algorithm: "fa",
+            policy: Policy::FirstAvailable,
+            circular: false,
+            traffic: Traffic::Coherent,
+            n: 8,
+            k: 64,
+            degree: 7,
+            slots: 10_000 / scale,
+        },
+        SlotSpec {
+            algorithm: "bfa",
+            policy: Policy::BreakFirstAvailable,
+            circular: true,
+            traffic: Traffic::Coherent,
+            n: 8,
+            k: 16,
+            degree: 3,
+            slots: 20_000 / scale,
+        },
+        SlotSpec {
+            algorithm: "bfa",
+            policy: Policy::BreakFirstAvailable,
+            circular: true,
+            traffic: Traffic::Coherent,
+            n: 8,
+            k: 64,
+            degree: 7,
+            slots: 5_000 / scale,
+        },
+    ]);
+    specs
 }
 
 fn run(out_path: &str, smoke: bool) -> Result<(), String> {
@@ -420,14 +533,19 @@ fn run(out_path: &str, smoke: bool) -> Result<(), String> {
         let bench =
             bench_slot(spec, 0.8).map_err(|err| format!("slot bench {}: {err}", spec.algorithm))?;
         eprintln!(
-            "{:>6} N={} k={:<2} d={}: {:>8.1} ns/slot, {:.3} allocs/slot, grant rate {:.3}",
+            "{:>6}/{:<10} N={} k={:<2} d={}: {:>8.1} ns/slot (cold-start {:>8.1}), {:.3} allocs/slot, grant rate {:.3}{}",
             bench.algorithm,
+            bench.traffic,
             bench.n,
             bench.k,
             bench.degree,
             bench.ns_per_slot,
+            bench.cold_start_ns_per_slot,
             bench.allocs_per_slot,
-            bench.grant_rate
+            bench.grant_rate,
+            bench
+                .repair_rate
+                .map_or(String::new(), |r| format!(", repair rate {r:.3}"))
         );
         // The hot path is allocation-free by construction in a plain release
         // build; a nonzero rate is a regression, not noise.
@@ -435,6 +553,14 @@ fn run(out_path: &str, smoke: bool) -> Result<(), String> {
             return Err(format!(
                 "{} k={} allocated {:.3} times/slot on the zero-allocation hot path",
                 bench.algorithm, bench.k, bench.allocs_per_slot
+            ));
+        }
+        // Coherent rows exist to measure the repair path; a coherent chain
+        // that mostly falls back means the warm path regressed.
+        if spec.traffic == Traffic::Coherent && bench.repair_rate.is_none_or(|r| r < 0.8) {
+            return Err(format!(
+                "{} k={} coherent traffic repaired {:?} of slots (need > 0.8)",
+                bench.algorithm, bench.k, bench.repair_rate
             ));
         }
         slot_benchmarks.push(bench);
@@ -481,7 +607,7 @@ fn run(out_path: &str, smoke: bool) -> Result<(), String> {
     }
 
     let report = BenchReport {
-        schema: "wdm-bench/BENCH_4".to_string(),
+        schema: "wdm-bench/BENCH_5".to_string(),
         debug_assertions: cfg!(debug_assertions),
         smoke,
         available_parallelism: available,
@@ -498,7 +624,7 @@ fn run(out_path: &str, smoke: bool) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_4.json".to_string();
+    let mut out_path = "BENCH_5.json".to_string();
     let mut smoke = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {

@@ -44,6 +44,45 @@ pub fn random_mask(rng: &mut StdRng, k: usize, p_occupied: f64) -> ChannelMask {
     mask
 }
 
+/// A pool of *coherent* consecutive slot instances: slot 0 is drawn like
+/// [`random_request_vector`] + [`random_mask`], and every following slot
+/// re-draws only `churn` of the `n·k` input-channel states and one output
+/// channel's occupancy. Consecutive instances therefore differ by a handful
+/// of arrivals/departures — the steady-state shape long-lived flows produce,
+/// and the regime the warm-start repair path is built for.
+pub fn coherent_slot_pool(
+    rng: &mut StdRng,
+    n: usize,
+    k: usize,
+    p: f64,
+    p_occupied: f64,
+    slots: usize,
+    churn: usize,
+) -> Vec<(RequestVector, ChannelMask)> {
+    let mut cells: Vec<bool> = (0..n * k).map(|_| rng.gen_bool(p / n as f64)).collect();
+    let mut free: Vec<bool> = (0..k).map(|_| !rng.gen_bool(p_occupied)).collect();
+    let mut pool = Vec::with_capacity(slots);
+    for slot in 0..slots {
+        if slot > 0 {
+            for _ in 0..churn {
+                let cell = rng.gen_range(0..cells.len());
+                cells[cell] = rng.gen_bool(p / n as f64);
+            }
+            let channel = rng.gen_range(0..k);
+            free[channel] = !rng.gen_bool(p_occupied);
+        }
+        let mut rv = RequestVector::new(k);
+        for (cell, &on) in cells.iter().enumerate() {
+            if on && rv.add(cell % k).is_err() {
+                unreachable!("wavelength in range");
+            }
+        }
+        let Ok(mask) = ChannelMask::from_flags(free.clone()) else { unreachable!("k >= 1") };
+        pool.push((rv, mask));
+    }
+    pool
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +101,24 @@ mod tests {
             (0..200).map(|_| random_request_vector(&mut rng, 4, 32, 0.8).total()).sum();
         let expect = 200.0 * 0.8 * 32.0;
         assert!((total as f64) > 0.8 * expect && (total as f64) < 1.2 * expect);
+    }
+
+    #[test]
+    fn coherent_pool_is_coherent_and_loaded() {
+        let (n, k, slots) = (8, 32, 256);
+        let pool = coherent_slot_pool(&mut bench_rng(3), n, k, 0.8, 0.2, slots, 2);
+        assert_eq!(pool.len(), slots);
+        let total: usize = pool.iter().map(|(rv, _)| rv.total()).sum();
+        let expect = slots as f64 * 0.8 * k as f64;
+        assert!((total as f64) > 0.7 * expect && (total as f64) < 1.3 * expect);
+        // Consecutive request vectors differ in at most `churn` per-cell
+        // re-draws (each moving one wavelength count by at most one) plus
+        // nothing else.
+        for pair in pool.windows(2) {
+            let (a, b) = (&pair[0].0, &pair[1].0);
+            let diff: usize = (0..k).map(|w| a.count(w).abs_diff(b.count(w))).sum();
+            assert!(diff <= 2, "consecutive coherent slots differ by {diff} requests");
+        }
     }
 
     #[test]

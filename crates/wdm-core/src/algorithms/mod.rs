@@ -27,6 +27,7 @@ pub mod full_range;
 pub mod glover;
 pub mod hopcroft_karp;
 pub mod kuhn;
+pub mod repair;
 
 pub use approx::{
     approx_schedule, approx_schedule_checked, approx_schedule_into, approx_schedule_into_checked,
@@ -52,6 +53,9 @@ pub use hopcroft_karp::{
     hopcroft_karp, hopcroft_karp_checked, hopcroft_karp_in, hopcroft_karp_in_checked,
 };
 pub use kuhn::{kuhn, kuhn_checked, kuhn_in, kuhn_in_checked};
+pub use repair::{
+    repair_schedule_into, repair_schedule_into_checked, RepairOutcome, DEFAULT_REPAIR_BUDGET,
+};
 
 use crate::conversion::Conversion;
 use crate::error::Error;

@@ -81,6 +81,14 @@ pub struct ScratchArena {
     pub(crate) by_begin: Vec<(usize, usize, usize)>,
     /// Glover: min-`END` priority queue of active left vertices.
     pub(crate) heap: BinaryHeap<Reverse<(usize, usize)>>,
+    /// Warm-start repair: granted channels per wavelength so far.
+    pub(crate) repair_matched: Vec<usize>,
+    /// Warm-start repair: BFS predecessor wavelength (`usize::MAX` =
+    /// unvisited, self = augmentation seed).
+    pub(crate) repair_parent: Vec<usize>,
+    /// Warm-start repair: the channel through which the predecessor reached
+    /// this wavelength (the channel it would steal on augmentation).
+    pub(crate) repair_entry: Vec<usize>,
 }
 
 impl ScratchArena {
@@ -113,6 +121,9 @@ impl ScratchArena {
             match_right: Vec::with_capacity(k),
             by_begin: Vec::with_capacity(k),
             heap: BinaryHeap::with_capacity(k),
+            repair_matched: Vec::with_capacity(k),
+            repair_parent: Vec::with_capacity(k),
+            repair_entry: Vec::with_capacity(k),
         }
     }
 
@@ -133,6 +144,9 @@ mod tests {
         assert!(a.items.capacity() >= 16);
         assert!(a.prefix.capacity() >= 17);
         assert!(a.assignments.capacity() >= 16);
+        assert!(a.repair_matched.capacity() >= 16);
+        assert!(a.repair_parent.capacity() >= 16);
+        assert!(a.repair_entry.capacity() >= 16);
         assert!(a.assignments().is_empty());
     }
 

@@ -82,7 +82,7 @@ pub use matching::Matching;
 pub use occupancy::ChannelMask;
 pub use priority::{ClassSchedule, PriorityScheduler};
 pub use request::RequestVector;
-pub use scheduler::{FiberScheduler, Policy, Schedule, SlotStats};
+pub use scheduler::{FiberScheduler, Policy, Schedule, SlotPath, SlotStats, WarmStats};
 pub use verify::MatchingCertificate;
 
 /// Convenient re-exports of the most commonly used items.
@@ -96,6 +96,6 @@ pub mod prelude {
     pub use crate::matching::Matching;
     pub use crate::occupancy::ChannelMask;
     pub use crate::request::RequestVector;
-    pub use crate::scheduler::{FiberScheduler, Policy, Schedule, SlotStats};
+    pub use crate::scheduler::{FiberScheduler, Policy, Schedule, SlotPath, SlotStats, WarmStats};
     pub use crate::verify::MatchingCertificate;
 }

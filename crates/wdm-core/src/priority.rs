@@ -36,7 +36,7 @@ impl ClassSchedule {
 }
 
 /// A strict-priority scheduler for one output fiber.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PriorityScheduler {
     scheduler: FiberScheduler,
 }

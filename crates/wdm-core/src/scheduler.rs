@@ -10,7 +10,7 @@ use wdm_attr::hot_path;
 
 use crate::algorithms::{
     approx_schedule_into, break_fa_schedule_into, fa_schedule_into, full_range_schedule_into,
-    hopcroft_karp_in, Assignment,
+    hopcroft_karp_in, repair_schedule_into, Assignment, DEFAULT_REPAIR_BUDGET,
 };
 use crate::arena::ScratchArena;
 use crate::conversion::{Conversion, ConversionKind};
@@ -127,6 +127,20 @@ impl Schedule {
     }
 }
 
+/// How one slot's schedule was computed (see
+/// [`FiberScheduler::schedule_slot`] and [`FiberScheduler::warm_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotPath {
+    /// From-scratch dispatch: no warm state was available or applicable.
+    Cold,
+    /// The previous slot's matching was repaired in place
+    /// ([`crate::algorithms::repair_schedule_into`]).
+    Repaired,
+    /// Warm repair exceeded its augmentation budget (incoherent slot); the
+    /// schedule came from the from-scratch dispatcher.
+    Fallback,
+}
+
 /// The scalar outcome of one [`FiberScheduler::schedule_slot`] call; the
 /// assignments themselves stay in the arena
 /// ([`ScratchArena::assignments`]), so the steady-state slot loop never
@@ -141,6 +155,9 @@ pub struct SlotStats {
     /// For the approximation policy: Theorem 3's bound on the distance to a
     /// maximum matching. `Some(0)` or `None` means the schedule is maximum.
     pub approx_bound: Option<usize>,
+    /// Whether the slot was scheduled warm (repaired), cold, or via the
+    /// repair-budget fallback.
+    pub path: SlotPath,
 }
 
 impl SlotStats {
@@ -155,17 +172,97 @@ impl SlotStats {
     }
 }
 
+/// Cumulative per-scheduler counters over the warm-start slot loop: how
+/// many slots were repaired, fell back, or ran cold. Reset with
+/// [`FiberScheduler::reset_warm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Slots whose schedule was repaired from the previous slot's matching.
+    pub repaired: u64,
+    /// Slots where repair exceeded its budget and from-scratch dispatch ran.
+    pub fallback: u64,
+    /// Slots scheduled from scratch with no warm state (first slot, a
+    /// preceding error, or a policy/conversion the warm path does not cover).
+    pub cold: u64,
+}
+
+impl WarmStats {
+    /// Total slots scheduled since construction (or the last reset).
+    pub fn slots(&self) -> u64 {
+        self.repaired + self.fallback + self.cold
+    }
+
+    /// Fraction of slots served by the warm repair path, in `[0, 1]`.
+    pub fn repair_rate(&self) -> f64 {
+        let slots = self.slots();
+        if slots == 0 {
+            0.0
+        } else {
+            self.repaired as f64 / slots as f64
+        }
+    }
+
+    /// Bumps the counter for one scheduled slot.
+    fn record(&mut self, path: SlotPath) {
+        match path {
+            SlotPath::Cold => self.cold += 1,
+            SlotPath::Repaired => self.repaired += 1,
+            SlotPath::Fallback => self.fallback += 1,
+        }
+    }
+}
+
 /// A scheduler for one output fiber.
-#[derive(Debug, Clone, Copy)]
+///
+/// The scheduler is *stateful* across [`Self::schedule_slot`] calls: it
+/// keeps the previous slot's matching (one `Option<usize>` owner per output
+/// channel) and warm-starts the next slot by repairing it instead of
+/// recomputing from scratch — the slot-to-slot coherence created by
+/// multi-slot holds and advance reservations (§V) makes the delta small.
+/// The stateless entry points ([`Self::schedule`],
+/// [`Self::schedule_with_mask`]) always run cold and leave the warm state
+/// untouched.
+#[derive(Debug, Clone)]
 pub struct FiberScheduler {
     conversion: Conversion,
     policy: Policy,
+    /// Previous slot's matching: `warm_owner[u]` = input wavelength granted
+    /// output channel `u`. Only meaningful while `warm_valid`.
+    warm_owner: Vec<Option<usize>>,
+    /// Whether `warm_owner` holds the previous slot's schedule.
+    warm_valid: bool,
+    /// Consecutive repair attempts that tripped the budget; drives the
+    /// fallback backoff.
+    warm_streak: u32,
+    /// Cold slots left before the warm path is attempted again. While
+    /// positive, slots skip both the repair attempt *and* the warm-state
+    /// refresh, so persistently incoherent traffic pays nothing for the
+    /// warm machinery; the counter doubles with `warm_streak` (capped at
+    /// [`WARM_BACKOFF_CAP`]) and clears on the first repaired slot.
+    warm_skip: u32,
+    /// Cumulative cold/repaired/fallback slot counters.
+    warm_stats: WarmStats,
 }
+
+/// Longest warm-path backoff, in slots: after repeated budget trips the
+/// scheduler re-probes the traffic for coherence once per this many slots,
+/// bounding both the steady-state overhead on incoherent traffic (one
+/// attempt per cap-sized window) and the re-warm latency when the traffic
+/// turns coherent again.
+const WARM_BACKOFF_CAP: u32 = 64;
 
 impl FiberScheduler {
     /// Creates a scheduler for the given conversion scheme and policy.
     pub fn new(conversion: Conversion, policy: Policy) -> FiberScheduler {
-        FiberScheduler { conversion, policy }
+        FiberScheduler {
+            conversion,
+            policy,
+            warm_owner: vec![None; conversion.k()],
+            warm_valid: false,
+            warm_streak: 0,
+            warm_skip: 0,
+            warm_stats: WarmStats::default(),
+        }
     }
 
     /// The conversion scheme.
@@ -178,20 +275,48 @@ impl FiberScheduler {
         self.policy
     }
 
+    /// Cumulative warm-start counters (repaired / fallback / cold slots).
+    pub fn warm_stats(&self) -> WarmStats {
+        self.warm_stats
+    }
+
+    /// Discards the warm state and zeroes the counters: the next
+    /// [`Self::schedule_slot`] runs cold.
+    pub fn reset_warm(&mut self) {
+        self.warm_valid = false;
+        self.warm_streak = 0;
+        self.warm_skip = 0;
+        self.warm_stats = WarmStats::default();
+    }
+
+    /// Whether the warm repair path applies to this scheduler's
+    /// policy/conversion: the compact exact schedulers over a non-full
+    /// conversion range. Full-range conversion is already `O(k)` from
+    /// scratch, the approximation's bound is defined by its own break
+    /// choice, and Hopcroft–Karp is the deliberately-from-scratch baseline.
+    fn warm_capable(&self) -> bool {
+        !self.conversion.is_full()
+            && matches!(
+                self.policy,
+                Policy::Auto | Policy::FirstAvailable | Policy::BreakFirstAvailable
+            )
+    }
+
     /// Schedules a slot in which every output channel is free (§III–IV).
     pub fn schedule(&self, requests: &RequestVector) -> Result<Schedule, Error> {
         self.schedule_with_mask(requests, &ChannelMask::all_free(self.conversion.k()))
     }
 
     /// Schedules a slot in which some output channels may be occupied by
-    /// earlier multi-slot connections (§V).
+    /// earlier multi-slot connections (§V). Always runs the from-scratch
+    /// dispatcher; the warm state is neither read nor modified.
     pub fn schedule_with_mask(
         &self,
         requests: &RequestVector,
         mask: &ChannelMask,
     ) -> Result<Schedule, Error> {
         let mut arena = ScratchArena::new();
-        let stats = self.schedule_slot(requests, mask, &mut arena)?;
+        let stats = self.cold_slot(requests, mask, &mut arena)?;
         Ok(Schedule {
             assignments: std::mem::take(&mut arena.assignments),
             requested: stats.requested,
@@ -211,10 +336,20 @@ impl FiberScheduler {
     /// schedulers exist to avoid). The zero-allocation property is pinned by
     /// the counting-allocator test in `wdm-alloc-count`.
     ///
-    /// On error the arena's assignment buffer is left empty.
+    /// On error the arena's assignment buffer is left empty and the warm
+    /// state is discarded (the next slot runs cold).
+    ///
+    /// Consecutive calls warm-start: the previous slot's matching is kept in
+    /// the scheduler and repaired against the new requests/mask
+    /// ([`crate::algorithms::repair_schedule_into`]); when the slots are too
+    /// different the repair budget trips and the from-scratch dispatcher
+    /// runs instead. Either way the schedule is a certified maximum matching
+    /// with the same cardinality a cold run would grant (the channel
+    /// assignment itself may differ); [`SlotStats::path`] reports which path
+    /// ran, and [`Self::warm_stats`] accumulates the counts.
     #[hot_path]
     pub fn schedule_slot(
-        &self,
+        &mut self,
         requests: &RequestVector,
         mask: &ChannelMask,
         arena: &mut ScratchArena,
@@ -223,34 +358,105 @@ impl FiberScheduler {
         // the algorithms can borrow the rest of the arena mutably alongside
         // it; `take`/restore moves pointers, not data.
         let mut out = std::mem::take(&mut arena.assignments);
+        let result = self.dispatch_warm(requests, mask, arena, &mut out);
+        let stats = match result {
+            Ok((approx_bound, path)) => {
+                self.debug_certify(requests, mask, &out, approx_bound);
+                self.warm_stats.record(path);
+                // Refresh the warm matching only when the next slot will
+                // actually consult it: during a fallback backoff the rebuild
+                // is pure overhead, and skipping it keeps backed-off slots
+                // at exactly the cold path's cost.
+                if self.warm_capable() && self.warm_skip == 0 {
+                    self.warm_owner.fill(None);
+                    for a in &out {
+                        self.warm_owner[a.output] = Some(a.input);
+                    }
+                    self.warm_valid = true;
+                } else {
+                    self.warm_valid = false;
+                }
+                Ok(SlotStats {
+                    granted: out.len(),
+                    requested: requests.total(),
+                    approx_bound,
+                    path,
+                })
+            }
+            Err(e) => {
+                out.clear();
+                self.warm_valid = false;
+                Err(e)
+            }
+        };
+        arena.assignments = out;
+        stats
+    }
+
+    /// Picks the slot's scheduling path: warm repair when the previous
+    /// slot's matching is held, falling back to from-scratch dispatch when
+    /// the repair budget trips; cold dispatch otherwise.
+    ///
+    /// Repeated budget trips back the warm path off exponentially (2, 4, …,
+    /// [`WARM_BACKOFF_CAP`] slots): incoherent traffic settles into pure
+    /// cold scheduling with one coherence probe per backoff window, while
+    /// the first successful repair clears the streak. Backed-off slots are
+    /// counted as [`SlotPath::Cold`] — no warm state is consulted.
+    fn dispatch_warm(
+        &mut self,
+        requests: &RequestVector,
+        mask: &ChannelMask,
+        arena: &mut ScratchArena,
+        out: &mut Vec<Assignment>,
+    ) -> Result<(Option<usize>, SlotPath), Error> {
+        if self.warm_valid {
+            match repair_schedule_into(
+                &self.conversion,
+                requests,
+                mask,
+                &mut self.warm_owner,
+                DEFAULT_REPAIR_BUDGET,
+                arena,
+                out,
+            )? {
+                Some(_outcome) => {
+                    self.warm_streak = 0;
+                    return Ok((None, SlotPath::Repaired));
+                }
+                None => {
+                    self.warm_streak = (self.warm_streak + 1).min(WARM_BACKOFF_CAP.ilog2());
+                    self.warm_skip = 1 << self.warm_streak;
+                    return self
+                        .dispatch_into(requests, mask, arena, out)
+                        .map(|bound| (bound, SlotPath::Fallback));
+                }
+            }
+        }
+        self.warm_skip = self.warm_skip.saturating_sub(1);
+        self.dispatch_into(requests, mask, arena, out).map(|bound| (bound, SlotPath::Cold))
+    }
+
+    /// From-scratch scheduling into the arena without touching the warm
+    /// state: the body shared by the stateless entry points and the cold leg
+    /// of [`Self::schedule_slot`]. The slot is *not* counted in
+    /// [`Self::warm_stats`].
+    fn cold_slot(
+        &self,
+        requests: &RequestVector,
+        mask: &ChannelMask,
+        arena: &mut ScratchArena,
+    ) -> Result<SlotStats, Error> {
+        let mut out = std::mem::take(&mut arena.assignments);
         let result = self.dispatch_into(requests, mask, arena, &mut out);
         let stats = match result {
             Ok(approx_bound) => {
-                // Debug builds run the full certificate on every slot: exact
-                // policies must produce a feasible *maximum* matching
-                // (Theorems 1 and 2), the approximation must stay within its
-                // Theorem 3 bound.
-                debug_assert!(
-                    match approx_bound {
-                        None => crate::verify::certify_assignments(
-                            &self.conversion,
-                            requests,
-                            mask,
-                            &out
-                        ),
-                        Some(bound) => crate::verify::certify_assignments_within(
-                            &self.conversion,
-                            requests,
-                            mask,
-                            &out,
-                            bound,
-                        ),
-                    }
-                    .is_ok(),
-                    "scheduler produced an uncertifiable schedule under {:?}",
-                    self.policy
-                );
-                Ok(SlotStats { granted: out.len(), requested: requests.total(), approx_bound })
+                self.debug_certify(requests, mask, &out, approx_bound);
+                Ok(SlotStats {
+                    granted: out.len(),
+                    requested: requests.total(),
+                    approx_bound,
+                    path: SlotPath::Cold,
+                })
             }
             Err(e) => {
                 out.clear();
@@ -261,11 +467,41 @@ impl FiberScheduler {
         stats
     }
 
+    /// Debug builds run the full certificate on every slot: exact policies
+    /// (warm-repaired slots included) must produce a feasible *maximum*
+    /// matching (Theorems 1 and 2, Berge for the repair path), the
+    /// approximation must stay within its Theorem 3 bound.
+    fn debug_certify(
+        &self,
+        requests: &RequestVector,
+        mask: &ChannelMask,
+        out: &[Assignment],
+        approx_bound: Option<usize>,
+    ) {
+        debug_assert!(
+            match approx_bound {
+                None => crate::verify::certify_assignments(&self.conversion, requests, mask, out),
+                Some(bound) => crate::verify::certify_assignments_within(
+                    &self.conversion,
+                    requests,
+                    mask,
+                    out,
+                    bound,
+                ),
+            }
+            .is_ok(),
+            "scheduler produced an uncertifiable schedule under {:?}",
+            self.policy
+        );
+    }
+
     /// [`Self::schedule_slot`] with the certificate run unconditionally
     /// (release builds included). The certificate allocates — this is the
-    /// verification twin, not the hot path.
+    /// verification twin, not the hot path. Warm state evolves exactly as in
+    /// the unchecked twin, so alternating or comparing the two stays
+    /// bit-identical.
     pub fn schedule_slot_checked(
-        &self,
+        &mut self,
         requests: &RequestVector,
         mask: &ChannelMask,
         arena: &mut ScratchArena,

@@ -15,16 +15,19 @@ use wdm_core::algorithms::{
 use wdm_core::{ChannelMask, Conversion, FiberScheduler, Policy, RequestVector, ScratchArena};
 
 /// Runs one slot through `schedule_slot` and `schedule_slot_checked` with
-/// separate arenas, asserting the two agree, and returns the stats.
+/// separate arenas, asserting the two agree, and returns the stats. Each
+/// entry point gets its own clone of the scheduler so both run cold — a
+/// shared instance would warm-start the second call and may legitimately
+/// pick different channels for the same maximum cardinality.
 fn slot_both_ways(
     scheduler: &FiberScheduler,
     rv: &RequestVector,
     mask: &ChannelMask,
 ) -> wdm_core::SlotStats {
     let mut arena = ScratchArena::new();
-    let stats = scheduler.schedule_slot(rv, mask, &mut arena).unwrap();
+    let stats = scheduler.clone().schedule_slot(rv, mask, &mut arena).unwrap();
     let mut checked_arena = ScratchArena::new();
-    let checked = scheduler.schedule_slot_checked(rv, mask, &mut checked_arena).unwrap();
+    let checked = scheduler.clone().schedule_slot_checked(rv, mask, &mut checked_arena).unwrap();
     assert_eq!(stats, checked, "checked twin disagrees with plain schedule_slot");
     assert_eq!(
         arena.assignments(),

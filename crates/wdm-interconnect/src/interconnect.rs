@@ -182,6 +182,28 @@ impl Interconnect {
         self.fibers.iter().map(|f| f.actives().len()).sum()
     }
 
+    /// Cumulative warm-start counters summed over every fiber's scheduler:
+    /// how many per-fiber slots were repaired from the previous slot's
+    /// matching, fell back to from-scratch dispatch, or ran cold.
+    pub fn warm_stats(&self) -> wdm_core::WarmStats {
+        let mut total = wdm_core::WarmStats::default();
+        for f in &self.fibers {
+            let stats = f.warm_stats();
+            total.repaired += stats.repaired;
+            total.fallback += stats.fallback;
+            total.cold += stats.cold;
+        }
+        total
+    }
+
+    /// Discards every fiber scheduler's warm state and zeroes the counters;
+    /// the next slot schedules every fiber from scratch.
+    pub fn reset_warm(&mut self) {
+        for f in &mut self.fibers {
+            f.reset_warm();
+        }
+    }
+
     /// The advance-reservation ledger (pending reservations, horizon).
     pub fn reservations(&self) -> &ReservationStore {
         &self.store

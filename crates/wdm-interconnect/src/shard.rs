@@ -128,6 +128,20 @@ impl FiberUnit {
         &self.actives
     }
 
+    /// Cumulative warm-start counters of this fiber's scheduler: how many
+    /// slots were repaired from the previous slot's matching, fell back to
+    /// from-scratch dispatch, or ran cold.
+    pub fn warm_stats(&self) -> wdm_core::WarmStats {
+        self.scheduler.warm_stats()
+    }
+
+    /// Discards the scheduler's warm state and zeroes its counters; the next
+    /// slot schedules from scratch. Useful for cold-start measurements and
+    /// for comparing against stateless reference schedulers.
+    pub fn reset_warm(&mut self) {
+        self.scheduler.reset_warm();
+    }
+
     /// The channel availability implied by the in-flight connections.
     pub fn occupied_mask(&self) -> ChannelMask {
         let mut mask = ChannelMask::all_free(self.conversion.k());

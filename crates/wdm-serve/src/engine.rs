@@ -269,6 +269,12 @@ impl SlotEngine {
         self.holds.len()
     }
 
+    /// Warm-start scheduling counters summed over every fiber scheduler
+    /// since startup (or the last [`Interconnect::reset_warm`] downstream).
+    pub fn warm_stats(&self) -> wdm_core::WarmStats {
+        self.engine.warm_stats()
+    }
+
     /// True when running a slot would be a semantic no-op: nothing queued,
     /// nothing in flight to age, and no reservation waiting for its start
     /// slot. Free-running servers skip these slots (skipping is sound

@@ -43,6 +43,41 @@ pub struct Report {
     /// Advance-reservation outcomes (all-zero when the run had no
     /// reservation process attached).
     pub reservations: ReservationSummary,
+    /// Warm-start scheduling outcomes summed over every fiber scheduler and
+    /// the whole run (warmup included).
+    pub warm: WarmSummary,
+}
+
+/// How the per-fiber schedulers computed their slots over one run: repaired
+/// from the previous slot's matching, fell back to from-scratch dispatch
+/// when the repair budget tripped, or ran cold. The serializable counterpart
+/// of [`wdm_core::WarmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmSummary {
+    /// Per-fiber slots repaired from the previous matching.
+    pub repaired: u64,
+    /// Per-fiber slots where repair tripped its budget and dispatch re-ran.
+    pub fallback: u64,
+    /// Per-fiber slots scheduled with no warm state.
+    pub cold: u64,
+}
+
+impl WarmSummary {
+    /// Fraction of per-fiber slots served by the warm repair path.
+    pub fn repair_rate(&self) -> f64 {
+        let total = self.repaired + self.fallback + self.cold;
+        if total == 0 {
+            0.0
+        } else {
+            self.repaired as f64 / total as f64
+        }
+    }
+}
+
+impl From<wdm_core::WarmStats> for WarmSummary {
+    fn from(stats: wdm_core::WarmStats) -> WarmSummary {
+        WarmSummary { repaired: stats.repaired, fallback: stats.fallback, cold: stats.cold }
+    }
 }
 
 /// What happened to the advance reservations of one simulation run,
@@ -203,6 +238,7 @@ impl<T: TrafficModel> Simulation<T> {
             offered_load: self.traffic.offered_load(),
             metrics,
             reservations: summary,
+            warm: self.interconnect.warm_stats().into(),
         })
     }
 }
@@ -274,6 +310,37 @@ mod tests {
         let b = run();
         assert_eq!(a.metrics.granted(), b.metrics.granted());
         assert_eq!(a.metrics.offered(), b.metrics.offered());
+    }
+
+    #[test]
+    fn coherent_traffic_runs_mostly_on_the_repair_path() {
+        use crate::traffic::CoherentStreams;
+        let (n, k) = (4, 16);
+        let conv = Conversion::symmetric_circular(k, 3).unwrap();
+        let traffic = CoherentStreams::new(n, k, 0.6, 32.0);
+        let cfg = SimulationConfig { warmup_slots: 100, measure_slots: 1000, seed: 11 };
+        let report = Simulation::new(InterconnectConfig::packet_switch(n, conv), traffic, cfg)
+            .unwrap()
+            .run()
+            .unwrap();
+        // Long-lived streams mean the slot-to-slot request diff is tiny, so
+        // nearly every fiber slot after the first should repair in budget.
+        assert!(
+            report.warm.repair_rate() > 0.8,
+            "repair rate {:.3} (warm {:?})",
+            report.warm.repair_rate(),
+            report.warm
+        );
+        assert!(report.metrics.granted() > 0);
+    }
+
+    #[test]
+    fn incoherent_traffic_still_reports_warm_counters() {
+        let conv = Conversion::symmetric_circular(8, 3).unwrap();
+        let report = quick(4, 8, conv, 0.5);
+        let w = report.warm;
+        // Every per-fiber slot lands in exactly one bucket.
+        assert_eq!(w.repaired + w.fallback + w.cold, (550 * 4) as u64);
     }
 
     #[test]

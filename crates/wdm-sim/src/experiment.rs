@@ -10,7 +10,7 @@ use wdm_interconnect::{HoldPolicy, InterconnectConfig};
 
 use crate::engine::{Simulation, SimulationConfig};
 use crate::sweep_sync::{ChunkCursor, SlotBoard};
-use crate::traffic::{BernoulliUniform, DurationModel, Hotspot};
+use crate::traffic::{BernoulliUniform, CoherentStreams, DurationModel, Hotspot};
 
 /// A conversion geometry under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,6 +56,12 @@ pub enum Workload {
     Hotspot {
         /// Fraction of traffic aimed at the hotspot.
         fraction: f64,
+    },
+    /// Long-lived per-channel streams re-requesting every slot
+    /// ([`crate::traffic::CoherentStreams`]) — the warm-start workload.
+    Coherent {
+        /// Mean stream length in slots (departure rate `1/mean_hold`).
+        mean_hold: f64,
     },
 }
 
@@ -153,6 +159,10 @@ fn run_point(
         }
         Workload::Hotspot { fraction } => {
             let t = Hotspot::new(config.n, config.k, load, 0, fraction, config.duration);
+            Simulation::new(ic, t, sim)?.run()?
+        }
+        Workload::Coherent { mean_hold } => {
+            let t = CoherentStreams::new(config.n, config.k, load, mean_hold);
             Simulation::new(ic, t, sim)?.run()?
         }
     };

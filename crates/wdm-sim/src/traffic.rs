@@ -331,6 +331,95 @@ impl TrafficModel for BurstyOnOff {
     }
 }
 
+/// Coherent steady-stream arrivals — the warm-start scheduling workload.
+///
+/// Each input channel hosts at most one long-lived *stream*: while live it
+/// emits one single-slot packet per slot toward a destination fixed at
+/// stream birth, so consecutive slots present nearly identical per-fiber
+/// request vectors and the scheduler's warm repair path sees only the
+/// births and departures as deltas. Streams depart with probability
+/// `1/mean_hold` per slot (the departure rate) and are born at exactly the
+/// rate that makes the stationary per-channel load equal `load`.
+///
+/// This differs from [`BurstyOnOff`] in its parameterization — `(load,
+/// mean_hold)` instead of raw chain probabilities — and in pinning the
+/// packet duration to one slot: the slot-to-slot coherence comes from the
+/// stream re-requesting every slot, not from multi-slot channel holds.
+#[derive(Debug, Clone)]
+pub struct CoherentStreams {
+    n: usize,
+    k: usize,
+    /// P(idle channel births a stream) per slot.
+    birth: f64,
+    /// P(live stream departs) per slot = `1/mean_hold`.
+    departure: f64,
+    /// Per input channel: the destination of the live stream, if any.
+    state: Vec<Option<usize>>,
+}
+
+impl CoherentStreams {
+    /// Creates the model. `load` is clamped to `[0, 0.99]` (a load of 1
+    /// would need an infinite birth rate); `mean_hold` — the mean stream
+    /// length in slots — is clamped to ≥ 1.
+    pub fn new(n: usize, k: usize, load: f64, mean_hold: f64) -> CoherentStreams {
+        let load = load.clamp(0.0, 0.99);
+        let departure = 1.0 / mean_hold.max(1.0);
+        // Stationary live probability of the two-state chain is
+        // birth / (birth + departure); solve for the requested load.
+        let birth = (load * departure / (1.0 - load)).clamp(0.0, 1.0);
+        CoherentStreams { n, k, birth, departure, state: vec![None; n * k] }
+    }
+
+    /// Mean stream length in slots.
+    pub fn mean_hold(&self) -> f64 {
+        1.0 / self.departure
+    }
+
+    /// Per-slot departure probability of a live stream.
+    pub fn departure_rate(&self) -> f64 {
+        self.departure
+    }
+}
+
+impl TrafficModel for CoherentStreams {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn generate_into(&mut self, rng: &mut StdRng, _slot: u64, out: &mut Vec<ConnectionRequest>) {
+        out.clear();
+        for fiber in 0..self.n {
+            for w in 0..self.k {
+                let idx = fiber * self.k + w;
+                // Emit while live, then update the chain at slot end (the
+                // same emit-then-transition order as [`BurstyOnOff`], giving
+                // the stationary load birth / (birth + departure) exactly).
+                match self.state[idx] {
+                    Some(dst) => {
+                        out.push(ConnectionRequest::packet(fiber, w, dst));
+                        if rng.gen_bool(self.departure) {
+                            self.state[idx] = None;
+                        }
+                    }
+                    None => {
+                        if rng.gen_bool(self.birth) {
+                            self.state[idx] = Some(rng.gen_range(0..self.n));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.birth / (self.birth + self.departure)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +491,87 @@ mod tests {
         // Load roughly matches the stationary distribution.
         let load = active.len() as f64 / 2000.0;
         assert!(load > 0.1 && load < 0.3, "measured load {load}");
+    }
+
+    #[test]
+    fn coherent_streams_hit_the_requested_load() {
+        let mut model = CoherentStreams::new(4, 8, 0.6, 16.0);
+        assert!((model.offered_load() - 0.6).abs() < 1e-9);
+        assert!((model.mean_hold() - 16.0).abs() < 1e-9);
+        assert!((model.departure_rate() - 1.0 / 16.0).abs() < 1e-9);
+        let mut r = rng();
+        let mut total = 0usize;
+        let slots = 4000u64;
+        for slot in 0..slots {
+            let reqs = model.generate(&mut r, slot);
+            for q in &reqs {
+                q.validate(4, 8).unwrap();
+                assert_eq!(q.duration, 1, "streams emit single-slot packets");
+            }
+            // Skip the ramp-up from the all-idle start.
+            if slot >= 200 {
+                total += reqs.len();
+            }
+        }
+        let load = total as f64 / ((slots - 200) as f64 * 32.0);
+        assert!(load > 0.54 && load < 0.66, "measured load {load}");
+    }
+
+    #[test]
+    fn coherent_streams_persist_slot_to_slot() {
+        use std::collections::HashSet;
+        // Long holds: the overlap between consecutive slots' request sets
+        // must be near-total — the property the warm repair path exploits.
+        let mut model = CoherentStreams::new(4, 16, 0.7, 64.0);
+        let mut r = rng();
+        let mut prev: HashSet<(usize, usize, usize)> = HashSet::new();
+        let (mut shared, mut union) = (0usize, 0usize);
+        for slot in 0..2000u64 {
+            let cur: HashSet<(usize, usize, usize)> = model
+                .generate(&mut r, slot)
+                .iter()
+                .map(|q| (q.src_fiber, q.src_wavelength, q.dst_fiber))
+                .collect();
+            if slot >= 200 {
+                shared += cur.intersection(&prev).count();
+                union += cur.union(&prev).count();
+            }
+            prev = cur;
+        }
+        let jaccard = shared as f64 / union as f64;
+        assert!(jaccard > 0.9, "slot-to-slot overlap {jaccard} too low for mean_hold 64");
+    }
+
+    #[test]
+    fn coherent_streams_keep_destination_for_stream_lifetime() {
+        // Eight single-wavelength input channels. Destinations can repeat
+        // by chance across rebirths, so track runs per channel: within one
+        // uninterrupted run of emissions the destination may never change.
+        let n = 8;
+        let mut model = CoherentStreams::new(n, 1, 0.5, 8.0);
+        let mut r = rng();
+        let mut run_dst: Vec<Option<usize>> = vec![None; n];
+        let mut changes_within_run = 0usize;
+        for slot in 0..4000u64 {
+            let reqs = model.generate(&mut r, slot);
+            assert!(reqs.len() <= n);
+            let mut emitted = vec![false; n];
+            for q in &reqs {
+                if let Some(d) = run_dst[q.src_fiber] {
+                    if d != q.dst_fiber {
+                        changes_within_run += 1;
+                    }
+                }
+                run_dst[q.src_fiber] = Some(q.dst_fiber);
+                emitted[q.src_fiber] = true;
+            }
+            for (fiber, hit) in emitted.iter().enumerate() {
+                if !hit {
+                    run_dst[fiber] = None;
+                }
+            }
+        }
+        assert_eq!(changes_within_run, 0, "a stream's destination is fixed at birth");
     }
 
     #[test]

@@ -17,10 +17,11 @@ use syn::Item;
 use super::{twins, SourceFile, Violation};
 
 /// Result types whose declarations must be `#[must_use]`.
-pub const MUST_USE_TYPES: [&str; 9] = [
+pub const MUST_USE_TYPES: [&str; 10] = [
     "MatchingCertificate",
     "Matching",
     "ApproxOutcome",
+    "RepairOutcome",
     "SlotStats",
     "SlotResult",
     "Reply",

@@ -151,7 +151,14 @@ fn run_clippy(root: &Path) -> bool {
 fn run_build(root: &Path) -> bool {
     let mut args = vec!["build", "--offline", "--workspace", "--all-targets"];
     args.extend_from_slice(profile_args());
-    run_step(root, "build", "cargo", &args)
+    if !run_step(root, "build", "cargo", &args) {
+        return false;
+    }
+    // The wide mask kernels only compile under `--features simd`; build them
+    // in the same matrix leg so both kernel sets stay green.
+    let mut simd = vec!["build", "--offline", "-p", "wdm-core", "--features", "simd"];
+    simd.extend_from_slice(profile_args());
+    run_step(root, "build (wdm-core simd)", "cargo", &simd)
 }
 
 fn run_tests(root: &Path) -> bool {
@@ -159,7 +166,15 @@ fn run_tests(root: &Path) -> bool {
     // the suite passes through the MatchingCertificate hot-path checks.
     let mut args = vec!["test", "--offline", "--workspace", "--quiet"];
     args.extend_from_slice(profile_args());
-    run_step(root, "test", "cargo", &args)
+    if !run_step(root, "test", "cargo", &args) {
+        return false;
+    }
+    // Re-run wdm-core's suite with the wide mask kernels active: the
+    // scalar-vs-wide differential tests and the whole mask/scheduler battery
+    // against the vectorized kernels.
+    let mut simd = vec!["test", "--offline", "-p", "wdm-core", "--features", "simd", "--quiet"];
+    simd.extend_from_slice(profile_args());
+    run_step(root, "test (wdm-core simd)", "cargo", &simd)
 }
 
 // ---------------------------------------------------------------------------

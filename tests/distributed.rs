@@ -109,6 +109,12 @@ fn hardware_pipeline_matches_software_interconnect() {
 
     for _ in 0..40 {
         let reqs = random_requests(&mut rng, n, k, 0.7, 1);
+        // Pin the software matching layer cold: the hardware pipeline runs
+        // BFA from scratch every slot, while a warm interconnect would
+        // repair the previous matching — same cardinality, but not the same
+        // channels. Both sides' round-robin arbiters still advance in
+        // lockstep across slots (that part must stay persistent).
+        software.reset_warm();
         let sw = software.advance_slot(&reqs).unwrap();
         for (dst, hw) in hardware.iter_mut().enumerate() {
             let mut reg = RequestRegister::new(n, k);
