@@ -1,11 +1,13 @@
 //! Marker attributes consumed by the `cargo xtask lint` AST pass.
 //!
 //! The attributes expand to their item unchanged — they carry *static*
-//! meaning, not runtime behavior. `#[hot_path]` marks a function as part of
-//! a per-slot scheduling loop: the `hot_path` lint bans allocating calls
-//! (`Vec::new`, `collect`, `format!`, `Box::new`, …) in its body and one
-//! call level into same-file callees, the static complement to the runtime
-//! zero-alloc pins in `tests/alloc.rs` (wdm-sim) and the daemon slot loop.
+//! meaning, not runtime behavior. `#[hot_path]` and `#[panic_free]` declare
+//! interprocedural obligations: the whole-workspace call-graph engine in
+//! `xtask` (`callgraph`, DESIGN.md §15) checks that no allocation, lock
+//! acquisition, or blocking call (`hot_path`) and no panic source
+//! (`panic_free`) is reachable from a marked root through *any* chain of
+//! workspace calls. `#[allow_reach]` is the audited escape hatch for
+//! findings the engine cannot see around.
 //!
 //! Built on the compiler's own `proc_macro` crate only, so it needs no
 //! external dependencies (the workspace is offline).
@@ -16,10 +18,38 @@ use proc_macro::TokenStream;
 ///
 /// Expansion is the identity — the attribute exists so (a) the marking is
 /// compiler-checked (a typo like `#[hot_pth]` fails to build) and (b) the
-/// `cargo xtask lint` hot-path allocation lint knows which functions must
-/// stay allocation-free. Apply it to the per-slot entry points only, never
-/// to setup/teardown code that legitimately allocates.
+/// `cargo xtask lint` hot-path lint knows which functions are reachability
+/// roots: no allocation, Mutex/Condvar acquisition, or blocking syscall may
+/// be reachable from one anywhere in the workspace call graph. Apply it to
+/// the per-slot entry points only, never to setup/teardown code that
+/// legitimately allocates.
 #[proc_macro_attribute]
 pub fn hot_path(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
+
+/// Marks a function as a panic-freedom root.
+///
+/// Expansion is the identity. The `cargo xtask lint` `panic_free` pass
+/// verifies that no `panic!`-family macro, `.unwrap()`/`.expect()`, or
+/// unguarded slice indexing is reachable from a marked root through any
+/// chain of workspace calls. Applied to the daemon slot loop and the wire
+/// encoder, whose liveness argument assumes they cannot unwind.
+#[proc_macro_attribute]
+pub fn panic_free(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
+
+/// Suppresses one interprocedural lint finding, with an audited reason.
+///
+/// `#[allow_reach(<lint>, reason = "…")]` on any function along a finding's
+/// call chain suppresses that finding for the named lint (`hot_path`,
+/// `lock_order`, or `panic_free`). Expansion is the identity; the lint pass
+/// reads the attribute syntactically. Suppressions are audited: one whose
+/// reason is empty, whose lint name is unknown, or that suppresses nothing
+/// in the current run is itself a lint violation, so stale waivers cannot
+/// outlive the code they excused.
+#[proc_macro_attribute]
+pub fn allow_reach(_attr: TokenStream, item: TokenStream) -> TokenStream {
     item
 }

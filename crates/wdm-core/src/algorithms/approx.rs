@@ -78,6 +78,10 @@ pub fn approx_schedule(
 /// used by [`crate::FiberScheduler::schedule_slot`].
 ///
 /// Paper: Theorem 3 and Corollary 1 (§IV-C, single-break approximation).
+#[wdm_attr::allow_reach(
+    panic_free,
+    reason = "the single unreachable! restates the w_i selection filter a few lines above it: w_i is only chosen when a free adjacent channel exists under the same mask"
+)]
 pub fn approx_schedule_into(
     conv: &Conversion,
     requests: &RequestVector,

@@ -257,6 +257,10 @@ fn build_break_tables(
 /// plus requests still reachable plus the breaking edge — can no longer
 /// *strictly* exceed `best`. Since the caller only promotes strictly larger
 /// candidates, abandonment never changes the final schedule.
+#[wdm_attr::allow_reach(
+    panic_free,
+    reason = "the single unreachable! restates the caller's precondition: (w_i, u) is produced by the conversion adjacency iterator, so the signed offset always exists"
+)]
 fn single_break_shared(
     conv: &Conversion,
     tables: &SlotTables<'_>,

@@ -30,6 +30,10 @@ pub fn hopcroft_karp(graph: &RequestGraph) -> Matching {
 /// the arena only trims its constant factor.
 ///
 /// Paper: reference [1] baseline (Hopcroft–Karp, O(sqrt(V)*E)).
+#[wdm_attr::allow_reach(
+    panic_free,
+    reason = "the BFS/DFS layer arrays are resized to the graph's vertex counts at entry and every visited index comes from the graph's adjacency lists; the produced matching is re-verified by the maximality certificate in debug builds"
+)]
 pub fn hopcroft_karp_in(graph: &RequestGraph, scratch: &mut ScratchArena) -> Matching {
     let nl = graph.left_count();
     let nr = graph.right_count();

@@ -86,6 +86,10 @@ pub struct RepairOutcome {
 /// characterization of maximum matchings, applied incrementally across the
 /// slot-synchronous model of §II.
 #[hot_path]
+#[wdm_attr::allow_reach(
+    panic_free,
+    reason = "owner is length-checked against k at entry and every index is a wavelength or channel < k by the survivor filter; the repaired schedule is certified against the reference matcher in debug builds"
+)]
 pub fn repair_schedule_into(
     conv: &Conversion,
     requests: &RequestVector,
@@ -115,13 +119,13 @@ pub fn repair_schedule_into(
     //    measure of how incoherent this slot is relative to the last one.
     let mut survivors = 0usize;
     let mut lost = 0usize;
-    for u in 0..k {
-        if let Some(w) = owner[u] {
+    for (u, slot) in owner.iter_mut().enumerate() {
+        if let Some(w) = *slot {
             if w < k && mask.is_free(u) && matched[w] < requests.count(w) && conv.converts(w, u) {
                 matched[w] += 1;
                 survivors += 1;
             } else {
-                owner[u] = None;
+                *slot = None;
                 lost += 1;
             }
         }
@@ -142,8 +146,8 @@ pub fn repair_schedule_into(
     //    departures — passes and repairs with zero augmentations.
     let degree = conv.degree();
     let mut deficit = 0usize;
-    for w in 0..k {
-        deficit += requests.count(w).min(degree).saturating_sub(matched[w]);
+    for (w, &m) in matched.iter().enumerate() {
+        deficit += requests.count(w).min(degree).saturating_sub(m);
     }
     let mut free_unowned = 0usize;
     for (u, o) in owner.iter().enumerate() {
@@ -184,6 +188,10 @@ pub fn repair_schedule_into(
 /// deficient wavelength to a free unowned channel and applies it. Returns
 /// whether a path was found (`false` = the matching is maximum, by Berge).
 #[allow(clippy::too_many_arguments)]
+#[wdm_attr::allow_reach(
+    panic_free,
+    reason = "parent/entry/matched are sized to k by the caller and the queue only ever holds channels < k drawn from the conversion adjacency, so every BFS index stays in range"
+)]
 fn bfs_augment(
     conv: &Conversion,
     requests: &RequestVector,

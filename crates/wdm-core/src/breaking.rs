@@ -42,6 +42,10 @@ pub enum SameWavelengthOrder {
 /// # Panics
 ///
 /// Panics if `u` is not in the adjacency set of `w_i`.
+#[wdm_attr::allow_reach(
+    panic_free,
+    reason = "documented precondition: (w_i, u) is a conversion edge, so the signed offset always exists; callers pass edges produced by the adjacency iterator"
+)]
 pub fn reduced_span(
     conv: &Conversion,
     w_i: usize,

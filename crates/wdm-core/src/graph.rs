@@ -89,6 +89,7 @@ impl RequestGraph {
     ///
     /// Panics if `j` is out of range.
     pub fn wavelength_of(&self, j: usize) -> usize {
+        assert!(j < self.left_wavelengths.len(), "left vertex {j} out of range");
         self.left_wavelengths[j]
     }
 
@@ -103,6 +104,7 @@ impl RequestGraph {
     ///
     /// Panics if `p` is out of range.
     pub fn output_wavelength(&self, p: usize) -> usize {
+        assert!(p < self.outputs.len(), "right position {p} out of range");
         self.outputs[p]
     }
 
@@ -112,7 +114,12 @@ impl RequestGraph {
     }
 
     /// Right-side positions adjacent to left vertex `j`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
     pub fn adjacent(&self, j: usize) -> &[usize] {
+        assert!(j < self.adj.len(), "left vertex {j} out of range");
         &self.adj[j]
     }
 

@@ -271,6 +271,7 @@ impl ChannelMask {
         if w >= self.k {
             return Err(Error::InvalidWavelength { wavelength: w, k: self.k });
         }
+        debug_assert!(w / WORD_BITS < self.words.len(), "words cover all k channels");
         self.words[w / WORD_BITS] &= !(1u64 << (w % WORD_BITS));
         Ok(())
     }
@@ -280,6 +281,7 @@ impl ChannelMask {
         if w >= self.k {
             return Err(Error::InvalidWavelength { wavelength: w, k: self.k });
         }
+        debug_assert!(w / WORD_BITS < self.words.len(), "words cover all k channels");
         self.words[w / WORD_BITS] |= 1u64 << (w % WORD_BITS);
         Ok(())
     }

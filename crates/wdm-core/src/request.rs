@@ -77,6 +77,7 @@ impl RequestVector {
     ///
     /// Panics if `w >= k`.
     pub fn count(&self, w: usize) -> usize {
+        assert!(w < self.counts.len(), "wavelength {w} out of range 0..{}", self.counts.len());
         self.counts[w]
     }
 

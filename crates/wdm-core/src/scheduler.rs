@@ -6,7 +6,7 @@
 //! packages the matching algorithms behind one interface; the interconnect
 //! crates instantiate `N` of these, one per output fiber.
 
-use wdm_attr::hot_path;
+use wdm_attr::{allow_reach, hot_path};
 
 use crate::algorithms::{
     approx_schedule_into, break_fa_schedule_into, fa_schedule_into, full_range_schedule_into,
@@ -368,6 +368,10 @@ impl FiberScheduler {
                 // is pure overhead, and skipping it keeps backed-off slots
                 // at exactly the cold path's cost.
                 if self.warm_capable() && self.warm_skip == 0 {
+                    debug_assert!(
+                        out.iter().all(|a| a.output < self.warm_owner.len()),
+                        "certified assignments land on in-range output channels"
+                    );
                     self.warm_owner.fill(None);
                     for a in &out {
                         self.warm_owner[a.output] = Some(a.input);
@@ -563,16 +567,34 @@ impl FiberScheduler {
                 Ok(Some(stats.bound))
             }
             Policy::HopcroftKarp => {
-                let graph = RequestGraph::with_mask(*conv, requests, mask)?;
-                let matching = hopcroft_karp_in(&graph, arena);
-                out.clear();
-                out.extend(matching.pairs().into_iter().map(|(j, p)| Assignment {
-                    input: graph.wavelength_of(j),
-                    output: graph.output_wavelength(p),
-                }));
+                self.hk_reference_into(requests, mask, arena, out)?;
                 Ok(None)
             }
         }
+    }
+
+    /// The [`Policy::HopcroftKarp`] leg of [`Self::dispatch_into`]: the
+    /// reference matcher, kept as the oracle the production policies are
+    /// certified against.
+    #[allow_reach(
+        hot_path,
+        reason = "reference matcher builds the graph afresh by design; the zero-alloc pins cover the Auto/FirstAvailable/Approximate production policies"
+    )]
+    fn hk_reference_into(
+        &self,
+        requests: &RequestVector,
+        mask: &ChannelMask,
+        arena: &mut ScratchArena,
+        out: &mut Vec<Assignment>,
+    ) -> Result<(), Error> {
+        let graph = RequestGraph::with_mask(self.conversion, requests, mask)?;
+        let matching = hopcroft_karp_in(&graph, arena);
+        out.clear();
+        out.extend(matching.pairs().into_iter().map(|(j, p)| Assignment {
+            input: graph.wavelength_of(j),
+            output: graph.output_wavelength(p),
+        }));
+        Ok(())
     }
 
     /// [`Self::schedule_with_mask`] with the certificate run unconditionally

@@ -1,0 +1,179 @@
+//! Warm-start fallback-ladder boundary battery: deterministic pins on the
+//! exact edges of the backoff state machine that the differential proptests
+//! in `warm_start.rs` exercise only statistically.
+//!
+//! * **Budget threshold** — `repair_schedule_into` succeeds when the slot
+//!   needs *exactly* `budget` augmenting paths and trips one past it; at
+//!   the `schedule_slot` level, a churn of exactly
+//!   `DEFAULT_REPAIR_BUDGET` new wavelengths repairs while one more falls
+//!   back.
+//! * **Backoff saturation** — under persistently incoherent traffic the
+//!   probe windows double 2, 4, …, and saturate at exactly
+//!   `WARM_BACKOFF_CAP = 64` slots, never 128.
+//! * **Recovery** — traffic turning coherent mid-backoff is picked up at
+//!   the next probe, and the first successful repair clears the streak:
+//!   the next budget trip backs off 2 slots again, not 64.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use wdm_core::algorithms::{repair_schedule_into, DEFAULT_REPAIR_BUDGET};
+use wdm_core::{
+    ChannelMask, Conversion, FiberScheduler, Policy, RequestVector, ScratchArena, SlotPath,
+};
+
+const K: usize = 30;
+
+/// Mirrors `scheduler::WARM_BACKOFF_CAP` (private by design); the
+/// saturation test below is the cross-check that the two stay equal.
+const CAP: u32 = 64;
+
+/// One request on each of the given wavelengths.
+fn counts_of(wavelengths: &[usize]) -> RequestVector {
+    let mut counts = vec![0usize; K];
+    for &w in wavelengths {
+        counts[w] = 1;
+    }
+    RequestVector::from_counts(counts).unwrap()
+}
+
+/// Twelve-wavelength sets with no overlap: switching between them leaves
+/// zero survivors, so the repair needs 12 > `DEFAULT_REPAIR_BUDGET`
+/// augmentations and is guaranteed to trip the budget.
+fn set_a() -> RequestVector {
+    counts_of(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11])
+}
+
+fn set_b() -> RequestVector {
+    counts_of(&[15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26])
+}
+
+/// Drives one scheduler through the request vectors, recording which path
+/// each slot took.
+fn drive(
+    scheduler: &mut FiberScheduler,
+    arena: &mut ScratchArena,
+    slots: &[&RequestVector],
+) -> Vec<SlotPath> {
+    let mask = ChannelMask::all_free(K);
+    slots.iter().map(|rv| scheduler.schedule_slot(rv, &mask, arena).unwrap().path).collect()
+}
+
+fn scheduler() -> FiberScheduler {
+    FiberScheduler::new(Conversion::circular(K, 1, 1).unwrap(), Policy::Auto)
+}
+
+#[test]
+fn repair_succeeds_at_exactly_the_budget_and_trips_one_past_it() {
+    let conv = Conversion::circular(K, 1, 1).unwrap();
+    // Spaced wavelengths with e = f = 1 are independent: with no prior
+    // state every granted request costs exactly one augmenting path, so
+    // the slot needs exactly eight.
+    let rv = counts_of(&[0, 3, 6, 9, 12, 15, 18, 21]);
+    let mask = ChannelMask::all_free(K);
+    let mut arena = ScratchArena::for_k(K);
+    let mut out = Vec::new();
+
+    let mut owner = vec![None; K];
+    let outcome =
+        repair_schedule_into(&conv, &rv, &mask, &mut owner, 8, &mut arena, &mut out).unwrap();
+    let outcome = outcome.expect("budget == augmentations needed must repair");
+    assert_eq!(outcome.augmentations, 8, "one augmenting path per independent request");
+    assert_eq!(outcome.survivors, 0);
+    assert_eq!(out.len(), 8, "all eight requests granted");
+
+    // One short: the identical slot trips the churn gate.
+    let mut owner = vec![None; K];
+    let tripped =
+        repair_schedule_into(&conv, &rv, &mask, &mut owner, 7, &mut arena, &mut out).unwrap();
+    assert!(tripped.is_none(), "budget one below the need must trip");
+}
+
+#[test]
+fn slot_churn_of_exactly_the_default_budget_repairs_and_one_more_falls_back() {
+    // Warm on a base slot, then add exactly DEFAULT_REPAIR_BUDGET spaced
+    // wavelengths: 8 deficiencies, 8 augmentations, repaired.
+    let base = counts_of(&[0, 1, 2]);
+    let plus_budget = counts_of(&[0, 1, 2, 5, 8, 11, 14, 17, 20, 23, 26]);
+    assert_eq!(plus_budget.total() - base.total(), DEFAULT_REPAIR_BUDGET);
+    let mut warm = scheduler();
+    let mut arena = ScratchArena::for_k(K);
+    let paths = drive(&mut warm, &mut arena, &[&base, &plus_budget]);
+    assert_eq!(paths, vec![SlotPath::Cold, SlotPath::Repaired]);
+
+    // One more new wavelength and the same churn falls back.
+    let plus_one_more = counts_of(&[0, 1, 2, 5, 8, 11, 14, 17, 20, 23, 26, 28]);
+    assert_eq!(plus_one_more.total() - base.total(), DEFAULT_REPAIR_BUDGET + 1);
+    let mut warm = scheduler();
+    let paths = drive(&mut warm, &mut arena, &[&base, &plus_one_more]);
+    assert_eq!(paths, vec![SlotPath::Cold, SlotPath::Fallback]);
+}
+
+#[test]
+fn backoff_windows_double_and_saturate_at_exactly_the_cap() {
+    let (a, b) = (set_a(), set_b());
+    let mut warm = scheduler();
+    let mut arena = ScratchArena::for_k(K);
+    // 500 alternating slots: every probe trips, so the fallback slots map
+    // the whole ladder including three full cap-sized windows.
+    let slots: Vec<&RequestVector> = (0..500).map(|i| if i % 2 == 0 { &a } else { &b }).collect();
+    let paths = drive(&mut warm, &mut arena, &slots);
+
+    let fallbacks: Vec<usize> = paths
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| (*p == SlotPath::Fallback).then_some(i))
+        .collect();
+    assert!(paths.iter().all(|p| *p != SlotPath::Repaired), "nothing repairs across disjoint sets");
+    // Probe slots: first after the initial cold warm-up, then separated by
+    // windows of 2, 4, 8, 16, 32 cold slots, then pinned at exactly
+    // CAP = 64 — the gap between consecutive fallbacks is window + 1.
+    let gaps: Vec<usize> = fallbacks.windows(2).map(|w| w[1] - w[0]).collect();
+    assert_eq!(fallbacks[0], 1, "first probe is the slot after the cold warm-up");
+    assert_eq!(&gaps[..5], &[3, 5, 9, 17, 33], "windows double through the ladder: {fallbacks:?}");
+    for (i, gap) in gaps[5..].iter().enumerate() {
+        assert_eq!(
+            *gap,
+            CAP as usize + 1,
+            "window {} after saturation must stay at the cap: {fallbacks:?}",
+            i + 5
+        );
+    }
+    assert!(gaps.len() >= 8, "the run covers several saturated windows: {fallbacks:?}");
+}
+
+#[test]
+fn coherence_is_picked_up_at_the_probe_and_repair_clears_the_streak() {
+    let (a, b) = (set_a(), set_b());
+    let mut warm = scheduler();
+    let mut arena = ScratchArena::for_k(K);
+
+    // Phase 1 — drive the ladder to saturation: slot 68 is the fallback
+    // probe that sets the backoff window to the full cap.
+    let slots: Vec<&RequestVector> = (0..69).map(|i| if i % 2 == 0 { &a } else { &b }).collect();
+    let paths = drive(&mut warm, &mut arena, &slots);
+    assert_eq!(*paths.last().unwrap(), SlotPath::Fallback, "slot 68 is the saturating probe");
+
+    // Phase 2 — the traffic turns coherent (constant) mid-backoff: the
+    // remaining window runs cold for exactly CAP slots, and the very next
+    // slot repairs.
+    let coherent: Vec<&RequestVector> = (0..CAP as usize + 6).map(|_| &a).collect();
+    let paths = drive(&mut warm, &mut arena, &coherent);
+    assert!(
+        paths[..CAP as usize].iter().all(|p| *p == SlotPath::Cold),
+        "the full cap-sized window runs cold before the next probe: {paths:?}"
+    );
+    assert!(
+        paths[CAP as usize..].iter().all(|p| *p == SlotPath::Repaired),
+        "the probe repairs and the scheduler stays warm: {paths:?}"
+    );
+
+    // Phase 3 — one incoherent slot now backs off only 2 slots (streak
+    // cleared by the repairs), not 64: fallback, two cold, repaired again.
+    let recovery: Vec<&RequestVector> = vec![&b, &b, &b, &b];
+    let paths = drive(&mut warm, &mut arena, &recovery);
+    assert_eq!(
+        paths,
+        vec![SlotPath::Fallback, SlotPath::Cold, SlotPath::Cold, SlotPath::Repaired],
+        "a cleared streak restarts the ladder at a 2-slot window"
+    );
+}

@@ -450,6 +450,10 @@ fn try_due_reservation_id(due: &[Reservation], request: &ConnectionRequest) -> O
 
 /// [`try_due_reservation_id`] for outcomes known to be reservations (the
 /// ReservedFirst pass schedules nothing else).
+#[wdm_attr::allow_reach(
+    panic_free,
+    reason = "the ReservedFirst pass schedules only due reservations and input channels are claimed exclusively at admission, so every outcome maps back to exactly one due reservation"
+)]
 fn due_reservation_id(due: &[Reservation], request: &ConnectionRequest) -> u64 {
     match try_due_reservation_id(due, request) {
         Some(id) => id,

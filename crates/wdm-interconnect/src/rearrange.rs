@@ -31,6 +31,10 @@ pub struct RearrangeOutcome {
 /// `mask` restricts the usable channels (normally all free — channels held
 /// by *other* mechanisms can be excluded). Returns an error if the actives
 /// cannot all be placed, which indicates an inconsistent caller state.
+#[wdm_attr::allow_reach(
+    panic_free,
+    reason = "wavelengths are range-checked against k at entry and the augmenting search only visits free-channel positions from the tables built over them; the caller re-certifies the outcome in debug builds"
+)]
 pub fn rearrange_fiber(
     conv: &Conversion,
     active: &[usize],

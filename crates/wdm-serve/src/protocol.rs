@@ -405,6 +405,7 @@ impl<'a> Cursor<'a> {
 
 /// Encodes and writes one frame (length prefix + payload). The writer is
 /// not flushed — batch frames, then flush once per slot.
+#[wdm_attr::panic_free]
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtocolError> {
     let mut p = Payload::default();
     match frame {

@@ -509,6 +509,10 @@ impl SessionTrace {
 
     /// Appends one slot including its activated-reservation grant stream;
     /// buffered ledger events since the previous slot flush into it.
+    #[wdm_attr::allow_reach(
+        hot_path,
+        reason = "session tracing is opt-in diagnostics (engine trace: Option, None by default); benched and served configurations never reach it"
+    )]
     pub fn record_slot_full(
         &mut self,
         inputs: &[ConnectionRequest],

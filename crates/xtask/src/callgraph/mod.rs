@@ -1,0 +1,652 @@
+//! Whole-workspace call-graph engine behind the interprocedural lints.
+//!
+//! The file-local lint passes of PR 4–6 resolve at most one level of
+//! same-file callees, so an allocation (or lock acquisition, or panic)
+//! hidden two calls deep — or in another crate — is invisible to them.
+//! This module closes that hole with a two-pass analysis over the
+//! `shims/syn` AST layer:
+//!
+//! 1. **Symbol pass** ([`symbols`]): every `fn` and method in every
+//!    workspace crate is collected into a symbol table keyed by crate +
+//!    module path + `impl` self-type + name, together with its `use`
+//!    imports, marker attributes (`#[hot_path]`, `#[panic_free]`,
+//!    `#[allow_reach]`), and the raw call sites in its body.
+//! 2. **Resolution pass** ([`CallGraph::build`]): each call site is
+//!    resolved to candidate workspace functions under the rules documented
+//!    in DESIGN.md §15 — exact resolution for `self.m(..)`, `Self::m(..)`,
+//!    `Type::m(..)`, `use`-imported names and module-qualified paths;
+//!    *typed receiver resolution* for `self.field.m(..)` and `local.m(..)`
+//!    where the struct-field declaration or a `let`/parameter annotation
+//!    names a workspace type (the call resolves to that type's methods
+//!    only); and a *conservative fallback* for calls the AST still cannot
+//!    type (a chained receiver's `.m(..)`, trait-dynamic dispatch): the
+//!    call is linked to **every** workspace method of that name. Calls that
+//!    resolve to nothing (std / external APIs) are leaves; their effects are
+//!    captured syntactically at the call site by the property scanners
+//!    ([`props`]).
+//!
+//! On top of the graph sits [`CallGraph::reach`]: from a root function,
+//! breadth-first over non-test nodes, returning every reachable property
+//! offense together with the call chain that witnesses it. The
+//! interprocedural lint passes (`hot_path` v2, `lock_order` v2,
+//! `panic_free`) are thin queries over this API.
+
+pub mod props;
+pub mod symbols;
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// A syntactic property a function body may exhibit. Leaf-level: detected
+/// by token scanning inside one body ([`props`]); the reachability API
+/// lifts it to "anywhere under a root".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// Heap allocation (`Vec::new`, `.collect()`, `format!`, …).
+    Alloc,
+    /// Mutex/Condvar acquisition (`.lock(..)`, the `lock(&..)` helper,
+    /// `.wait*(..)`).
+    Lock,
+    /// A blocking call (`sleep`, `join`, blocking `recv`, `accept`, …).
+    Block,
+    /// A panic source (`panic!`-family macro, `.unwrap()`, `.expect()`,
+    /// unguarded slice/array indexing).
+    Panic,
+}
+
+impl Property {
+    /// Short name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Property::Alloc => "allocation",
+            Property::Lock => "lock acquisition",
+            Property::Block => "blocking call",
+            Property::Panic => "panic source",
+        }
+    }
+}
+
+/// One property occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub struct Offense {
+    /// Which property.
+    pub prop: Property,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// What the scanner matched, for the diagnostic (e.g. "`Vec::new(..)`").
+    pub what: String,
+}
+
+/// One `.lock()`-style acquisition site, for the interprocedural
+/// `lock_order` pass (separate from [`Offense`] so the lock *name* is kept).
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// The lock's field/static name (`state`, `slots`, …).
+    pub lock: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// The receiver of a `.m(..)` call, when the scanner can name it. Typed
+/// resolution maps it through the struct-field / local-binding type tables;
+/// receivers it cannot name (chained call results) stay `None` and take the
+/// conservative fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// `self.field.m(..)` — a field of the enclosing `impl` type.
+    SelfField(String),
+    /// `local.m(..)` — a local variable or parameter.
+    Local(String),
+}
+
+/// How a call site names its callee, before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `self.m(..)` — method on the enclosing `impl` type.
+    SelfMethod(String),
+    /// `a::b::m(..)` — qualified path (segments) + final name.
+    Qualified(Vec<String>, String),
+    /// `recv.m(..)` — the receiver, when nameable, drives typed resolution.
+    Method(Option<Recv>, String),
+    /// `f(..)` — a free-function call.
+    Free(String),
+}
+
+impl CallKind {
+    /// The called name, whatever the qualification.
+    pub fn name(&self) -> &str {
+        match self {
+            CallKind::SelfMethod(n)
+            | CallKind::Qualified(_, n)
+            | CallKind::Method(_, n)
+            | CallKind::Free(n) => n,
+        }
+    }
+}
+
+/// One call site in a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// How the callee is named.
+    pub kind: CallKind,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// A lint suppression attached to a function:
+/// `#[allow_reach(<lint>, reason = "…")]`.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The lint being suppressed (`hot_path`, `lock_order`, `panic_free`).
+    pub lint: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line of the attribute.
+    pub line: usize,
+}
+
+/// One function (free or associated) in the symbol table.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Workspace crate name (`wdm-core`, …).
+    pub krate: String,
+    /// Module path inside the crate (file-derived + inline `mod`s).
+    pub module: Vec<String>,
+    /// `impl` self-type simple name, for associated functions.
+    pub self_ty: Option<String>,
+    /// The function name.
+    pub name: String,
+    /// Defining file.
+    pub file: PathBuf,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Inside `#[cfg(test)]` scope (excluded from reachability).
+    pub is_test: bool,
+    /// Carries `#[hot_path]`.
+    pub hot_path_root: bool,
+    /// Carries `#[panic_free]`.
+    pub panic_free_root: bool,
+    /// `#[allow_reach(..)]` suppressions on this function.
+    pub suppressions: Vec<Suppression>,
+    /// Property occurrences in this body.
+    pub offenses: Vec<Offense>,
+    /// Lock acquisitions in this body, by lock name.
+    pub lock_sites: Vec<LockSite>,
+    /// Whether the body contains an `assert!`/`debug_assert!`-family guard
+    /// (exempts indexing from the `Panic` property — see DESIGN.md §15).
+    pub has_index_guard: bool,
+    /// Raw call sites (resolved into [`CallGraph::edges`]).
+    pub calls: Vec<CallSite>,
+    /// Parameter, `let`-binding, and annotated-closure-parameter types
+    /// visible in this body: binding name → capitalized type identifiers
+    /// appearing in its annotation (typed method-receiver resolution; see
+    /// DESIGN.md §15).
+    pub local_types: HashMap<String, Vec<String>>,
+    /// `for x in …self.field…` loop bindings: loop variable → field name.
+    /// Resolved through the field-type table at graph-build time (the
+    /// element type of the iterated field types the binding).
+    pub for_field_aliases: HashMap<String, String>,
+    /// The body token tree, kept for passes that re-walk statements with
+    /// graph context (the interprocedural `lock_order` guard-liveness scan).
+    pub body: Option<syn::Group>,
+}
+
+impl FnNode {
+    /// Stable display path: `crate::module::Type::name`.
+    pub fn path(&self) -> String {
+        let mut s = self.krate.replace('-', "_");
+        for m in &self.module {
+            s.push_str("::");
+            s.push_str(m);
+        }
+        if let Some(ty) = &self.self_ty {
+            s.push_str("::");
+            s.push_str(ty);
+        }
+        s.push_str("::");
+        s.push_str(&self.name);
+        s
+    }
+}
+
+/// One resolved edge: callee node + the line of the call site.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Index of the callee in [`CallGraph::nodes`].
+    pub callee: usize,
+    /// 1-based line of the call in the caller's file.
+    pub line: usize,
+}
+
+/// The resolved whole-workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All collected functions.
+    pub nodes: Vec<FnNode>,
+    /// Out-edges per node (parallel to `nodes`).
+    pub edges: Vec<Vec<Edge>>,
+    /// Resolution per call site: `call_targets[i][j]` is the candidate set
+    /// of `nodes[i].calls[j]` (parallel to each node's `calls`).
+    pub call_targets: Vec<Vec<Vec<usize>>>,
+}
+
+/// One reachable offense, with the witnessing call chain.
+#[derive(Debug)]
+pub struct ReachedOffense {
+    /// Node index of the offending function.
+    pub node: usize,
+    /// The offense inside it.
+    pub offense: Offense,
+    /// Node indices from the root (inclusive) to the offender (inclusive).
+    pub chain: Vec<usize>,
+    /// Call-site lines along the chain (`chain.len() - 1` entries).
+    pub chain_lines: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Builds the graph over parsed sources: symbol pass then resolution.
+    pub fn build(sources: &[&crate::lints::SourceFile], root: &Path) -> CallGraph {
+        let table = symbols::collect(sources, root);
+        resolve(table)
+    }
+
+    /// Node index of the first function matching `krate`/`name` (tests).
+    #[cfg(test)]
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Breadth-first reachability from `root` over non-test nodes: every
+    /// offense with property in `props` anywhere under the root, each with
+    /// its shortest witnessing chain. The root's own offenses are included
+    /// (chain of length 1). Deterministic: BFS order follows edge order,
+    /// which follows source order.
+    pub fn reach(&self, root: usize, props: &[Property]) -> Vec<ReachedOffense> {
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[root] = true;
+        queue.push_back(root);
+        let mut order = vec![root];
+        while let Some(cur) = queue.pop_front() {
+            for edge in &self.edges[cur] {
+                let next = edge.callee;
+                if !visited[next] && !self.nodes[next].is_test {
+                    visited[next] = true;
+                    parent[next] = Some((cur, edge.line));
+                    queue.push_back(next);
+                    order.push(next);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for node in order {
+            for offense in &self.nodes[node].offenses {
+                if !props.contains(&offense.prop) {
+                    continue;
+                }
+                let (chain, chain_lines) = self.chain_to(root, node, &parent);
+                out.push(ReachedOffense { node, offense: offense.clone(), chain, chain_lines });
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the BFS chain root → node from the parent map.
+    fn chain_to(
+        &self,
+        root: usize,
+        node: usize,
+        parent: &[Option<(usize, usize)>],
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut chain = vec![node];
+        let mut lines = Vec::new();
+        let mut cur = node;
+        while cur != root {
+            let Some((prev, line)) = parent[cur] else { break };
+            lines.push(line);
+            chain.push(prev);
+            cur = prev;
+        }
+        chain.reverse();
+        lines.reverse();
+        (chain, lines)
+    }
+
+    /// Transitive may-acquire lock sets per node (fixpoint over the edge
+    /// relation, cycle-tolerant). Entry `i` holds every lock name function
+    /// `i` may acquire directly or through any callee chain, each paired
+    /// with the direct acquirer's node index (for chain rendering).
+    pub fn may_acquire(&self) -> Vec<HashMap<String, usize>> {
+        let mut sets: Vec<HashMap<String, usize>> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| n.lock_sites.iter().map(|l| (l.lock.clone(), i)).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..self.nodes.len() {
+                if self.nodes[i].is_test {
+                    continue;
+                }
+                for e in 0..self.edges[i].len() {
+                    let callee = self.edges[i][e].callee;
+                    if self.nodes[callee].is_test {
+                        continue;
+                    }
+                    let additions: Vec<(String, usize)> = sets[callee]
+                        .iter()
+                        .filter(|(name, _)| !sets[i].contains_key(*name))
+                        .map(|(name, &owner)| (name.clone(), owner))
+                        .collect();
+                    if !additions.is_empty() {
+                        changed = true;
+                        sets[i].extend(additions);
+                    }
+                }
+            }
+            if !changed {
+                return sets;
+            }
+        }
+    }
+
+    /// Shortest chain from `start` to any node that *directly* acquires
+    /// `lock`, for rendering interprocedural lock diagnostics.
+    pub fn chain_to_lock(&self, start: usize, lock: &str) -> Vec<usize> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(cur) = queue.pop_front() {
+            if self.nodes[cur].lock_sites.iter().any(|l| l.lock == lock) {
+                let mut chain = vec![cur];
+                let mut c = cur;
+                while let Some(p) = parent[c] {
+                    chain.push(p);
+                    c = p;
+                }
+                chain.reverse();
+                return chain;
+            }
+            for edge in &self.edges[cur] {
+                let next = edge.callee;
+                if !visited[next] && !self.nodes[next].is_test {
+                    visited[next] = true;
+                    parent[next] = Some(cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+        vec![start]
+    }
+
+    /// Renders a node chain as `a -> b -> c` display paths.
+    pub fn render_chain(&self, chain: &[usize]) -> Vec<String> {
+        chain.iter().map(|&i| self.nodes[i].path()).collect()
+    }
+}
+
+/// Std-trait method names exempt from the conservative untyped-receiver
+/// fallback: linking every workspace implementor on a bare `.clone()` would
+/// connect nearly every type. Calls to these resolve through typed
+/// receivers only (DESIGN.md §15).
+const UBIQUITOUS_METHODS: [&str; 10] =
+    ["clone", "fmt", "eq", "ne", "cmp", "partial_cmp", "hash", "default", "next", "drop"];
+
+/// Resolution pass: links every call site to its candidate callees.
+fn resolve(table: symbols::SymbolTable) -> CallGraph {
+    let symbols::SymbolTable { nodes, uses, field_types } = table;
+
+    // Lookup indices.
+    let mut methods: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    let mut methods_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut free_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut free_by_crate: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    let mut free_exact: HashMap<(String, String, String), usize> = HashMap::new();
+    let mut self_tys: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut module_names: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut crate_names: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for (i, n) in nodes.iter().enumerate() {
+        crate_names.insert(n.krate.replace('-', "_"));
+        for m in &n.module {
+            module_names.insert(m.clone());
+        }
+        match &n.self_ty {
+            Some(ty) => {
+                self_tys.insert(ty.clone());
+                methods.entry((ty.clone(), n.name.clone())).or_default().push(i);
+                methods_by_name.entry(n.name.clone()).or_default().push(i);
+            }
+            None => {
+                free_by_name.entry(n.name.clone()).or_default().push(i);
+                free_by_crate.entry((n.krate.clone(), n.name.clone())).or_default().push(i);
+                free_exact
+                    .entry((n.krate.clone(), n.module.join("::"), n.name.clone()))
+                    .or_insert(i);
+            }
+        }
+    }
+
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+    let mut call_targets: Vec<Vec<Vec<usize>>> = vec![Vec::new(); nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        let use_key = (node.krate.clone(), node.module.join("::"));
+        let imports = uses.get(&use_key);
+        for call in &node.calls {
+            let mut candidates: Vec<usize> = Vec::new();
+            match &call.kind {
+                CallKind::SelfMethod(m) => {
+                    let exact =
+                        node.self_ty.as_ref().and_then(|ty| methods.get(&(ty.clone(), m.clone())));
+                    match exact {
+                        Some(v) => candidates.extend_from_slice(v),
+                        // Trait-provided or deref'd method: conservative
+                        // fallback to every workspace method of that name.
+                        None => {
+                            if let Some(v) = methods_by_name.get(m) {
+                                candidates.extend_from_slice(v);
+                            }
+                        }
+                    }
+                }
+                CallKind::Qualified(path, m) => {
+                    resolve_qualified(
+                        path,
+                        m,
+                        node,
+                        imports,
+                        &methods,
+                        &free_exact,
+                        &free_by_name,
+                        &free_by_crate,
+                        &self_tys,
+                        &crate_names,
+                        &module_names,
+                        &mut candidates,
+                    );
+                }
+                CallKind::Method(recv, m) => {
+                    // Typed resolution first: a named receiver whose struct
+                    // field, local binding annotation, or `for`-loop source
+                    // field names a workspace type resolves to that type's
+                    // methods only (possibly none — a std/derived method on
+                    // it is a leaf).
+                    let field_of = |f: &String| {
+                        node.self_ty
+                            .as_ref()
+                            .and_then(|ty| field_types.get(ty))
+                            .and_then(|fields| fields.get(f))
+                    };
+                    let annotation = match recv {
+                        Some(Recv::SelfField(f)) => field_of(f),
+                        Some(Recv::Local(v)) => node
+                            .local_types
+                            .get(v)
+                            .or_else(|| node.for_field_aliases.get(v).and_then(field_of)),
+                        None => None,
+                    };
+                    let workspace_tys: Vec<&String> = annotation
+                        .map(|tys| tys.iter().filter(|t| self_tys.contains(*t)).collect())
+                        .unwrap_or_default();
+                    if !workspace_tys.is_empty() {
+                        for ty in workspace_tys {
+                            if let Some(v) = methods.get(&(ty.clone(), m.clone())) {
+                                candidates.extend_from_slice(v);
+                            }
+                        }
+                    } else if !UBIQUITOUS_METHODS.contains(&m.as_str()) {
+                        // Unknown receiver: conservative fallback to every
+                        // workspace method of that name (std methods resolve
+                        // to nothing and stay leaves). Ubiquitous std-trait
+                        // method names are exempt from the fallback — they
+                        // would connect nearly every type in the workspace;
+                        // calls to them resolve through typed receivers only.
+                        if let Some(v) = methods_by_name.get(m) {
+                            candidates.extend_from_slice(v);
+                        }
+                    }
+                }
+                CallKind::Free(f) => {
+                    resolve_free(f, node, imports, &free_exact, &free_by_name, &mut candidates);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            candidates.retain(|&c| c != i);
+            for &callee in &candidates {
+                edges[i].push(Edge { callee, line: call.line });
+            }
+            call_targets[i].push(candidates);
+        }
+        // One edge per (callee, first line): keep diagnostics stable.
+        edges[i].sort_by_key(|e| (e.callee, e.line));
+        edges[i].dedup_by_key(|e| e.callee);
+    }
+    CallGraph { nodes, edges, call_targets }
+}
+
+/// Resolves `a::b::m(..)`. Exact steps first (`Self`, known type, `crate`/
+/// `self`/`super` module paths, `use` aliases, workspace crate names);
+/// unknown qualifiers (std/external types) resolve to nothing.
+#[allow(clippy::too_many_arguments)]
+fn resolve_qualified(
+    path: &[String],
+    m: &str,
+    node: &FnNode,
+    imports: Option<&HashMap<String, Vec<String>>>,
+    methods: &HashMap<(String, String), Vec<usize>>,
+    free_exact: &HashMap<(String, String, String), usize>,
+    free_by_name: &HashMap<String, Vec<usize>>,
+    free_by_crate: &HashMap<(String, String), Vec<usize>>,
+    self_tys: &std::collections::HashSet<String>,
+    crate_names: &std::collections::HashSet<String>,
+    module_names: &std::collections::HashSet<String>,
+    out: &mut Vec<usize>,
+) {
+    let Some(last) = path.last() else { return };
+
+    // `Self::m(..)`.
+    if last == "Self" {
+        if let Some(ty) = &node.self_ty {
+            if let Some(v) = methods.get(&(ty.clone(), m.to_owned())) {
+                out.extend_from_slice(v);
+            }
+        }
+        return;
+    }
+
+    // `use`-imported alias: rewrite the first segment to the imported path.
+    let expanded: Vec<String> = match imports.and_then(|u| path.first().and_then(|f| u.get(f))) {
+        Some(target) => {
+            let mut p = target.clone();
+            p.extend(path.iter().skip(1).cloned());
+            p
+        }
+        None => path.to_vec(),
+    };
+    let Some(last) = expanded.last() else { return };
+
+    // Known workspace type: method lookup by simple type name.
+    if self_tys.contains(last) {
+        if let Some(v) = methods.get(&(last.clone(), m.to_owned())) {
+            out.extend_from_slice(v);
+        }
+        return;
+    }
+
+    // Module-qualified free function: `crate::x::f`, `self::f`, `super::f`,
+    // `wdm_core::x::f`.
+    let (krate, module_path) = match expanded.first().map(String::as_str) {
+        Some("crate") => (Some(node.krate.clone()), expanded[1..].to_vec()),
+        Some("self") => {
+            let mut p = node.module.clone();
+            p.extend(expanded[1..].iter().cloned());
+            (Some(node.krate.clone()), p)
+        }
+        Some("super") => {
+            let mut p = node.module.clone();
+            p.pop();
+            p.extend(expanded[1..].iter().cloned());
+            (Some(node.krate.clone()), p)
+        }
+        Some(first) if crate_names.contains(first) => {
+            (Some(first.replace('_', "-")), expanded[1..].to_vec())
+        }
+        _ => (None, Vec::new()),
+    };
+    if let Some(krate) = krate {
+        let key = (krate.clone(), module_path.join("::"), m.to_owned());
+        if let Some(&idx) = free_exact.get(&key) {
+            out.push(idx);
+            return;
+        }
+        // Crate known but module path inexact (re-exports): any free
+        // function of that name in that crate.
+        if let Some(v) = free_by_crate.get(&(krate, m.to_owned())) {
+            out.extend(v.iter().copied());
+        }
+        return;
+    }
+
+    // A bare module qualifier (`sweep_sync::claim(..)`): any free function
+    // of that name whose module path ends with the qualifier.
+    if module_names.contains(last) {
+        if let Some(v) = free_by_name.get(m) {
+            out.extend(v.iter().copied());
+        }
+    }
+    // Anything else (std / external type or module): a leaf.
+}
+
+/// Resolves a free call `f(..)`: same module exactly, then a `use` import,
+/// then same crate, then — conservatively — any free function of that name.
+fn resolve_free(
+    f: &str,
+    node: &FnNode,
+    imports: Option<&HashMap<String, Vec<String>>>,
+    free_exact: &HashMap<(String, String, String), usize>,
+    free_by_name: &HashMap<String, Vec<usize>>,
+    out: &mut Vec<usize>,
+) {
+    // Same module.
+    let key = (node.krate.clone(), node.module.join("::"), f.to_owned());
+    if let Some(&idx) = free_exact.get(&key) {
+        out.push(idx);
+        return;
+    }
+    // Imported name (`use crate::x::helper;` then `helper(..)`).
+    if imports.and_then(|u| u.get(f)).is_some() {
+        if let Some(v) = free_by_name.get(f) {
+            out.extend(v.iter().copied());
+            return;
+        }
+    }
+    // Conservative: any free function of that name anywhere in the
+    // workspace (glob imports and re-exports make this reachable).
+    if let Some(v) = free_by_name.get(f) {
+        out.extend(v.iter().copied());
+    }
+}

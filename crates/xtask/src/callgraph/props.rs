@@ -1,0 +1,577 @@
+//! Per-body token scanners: extracts call sites and leaf-level property
+//! offenses (allocation, lock acquisition, blocking call, panic source)
+//! from one function body. The scans are purely syntactic — the call graph
+//! lifts them to whole-workspace reachability.
+//!
+//! `debug_assert!`-family argument lists are fully exempt (calls inside
+//! them create no edges and no offenses): they compile out of release
+//! builds, which is where the hot path and the daemon run. `assert!`-family
+//! macros run in release, so their arguments *are* scanned — and their
+//! presence marks the function as index-guarded for the `panic_free` pass
+//! (see DESIGN.md §15).
+
+use std::collections::HashMap;
+
+use syn::{Delimiter, Group, TokenStream, TokenTree};
+
+use super::{CallKind, CallSite, FnNode, LockSite, Offense, Property, Recv};
+
+/// `Type::method` constructor calls that allocate.
+const ALLOC_PATH_CALLS: [(&str, &str); 8] = [
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("VecDeque", "new"),
+    ("VecDeque", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+
+/// `.method()` calls that allocate their result.
+const ALLOC_METHODS: [&str; 5] = ["collect", "to_owned", "to_vec", "to_string", "into_owned"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+
+/// Macros that panic at runtime (release builds included).
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+/// Macros whose arguments are compiled out of release builds.
+const EXEMPT_MACROS: [&str; 3] = ["debug_assert", "debug_assert_eq", "debug_assert_ne"];
+
+/// Macros that act as index guards (and run in release).
+const GUARD_MACROS: [&str; 3] = ["assert", "assert_eq", "assert_ne"];
+
+/// Calls that block the calling thread (as method or free/qualified call).
+const BLOCKING_CALLS: [&str; 12] = [
+    "sleep",
+    "park",
+    "join",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "accept",
+    "connect",
+    "read_exact",
+    "write_all",
+];
+
+/// Identifiers that look like calls but are control flow or constructors.
+const NON_CALL_IDENTS: [&str; 16] = [
+    "if", "while", "match", "for", "loop", "return", "fn", "move", "else", "unsafe", "in", "as",
+    "Some", "Ok", "Err", "None",
+];
+
+/// Keywords before a bracket group that rule out an indexing expression
+/// (`let [a, b] = …`, `for x in …`).
+const NON_INDEX_PREFIX: [&str; 8] = ["let", "in", "if", "while", "match", "return", "else", "mut"];
+
+/// Scans one function body into `node`: call sites, offenses, lock sites,
+/// and the index-guard flag.
+pub fn scan_body(block: &Group, node: &mut FnNode) {
+    let mut indexing: Vec<Offense> = Vec::new();
+    scan_stream(&block.stream, node, &mut indexing);
+    // Unguarded indexing only panics a `panic_free` root when the function
+    // carries no assert-family guard at all (the workspace convention puts
+    // a certificate or bounds assertion in every indexing hot function).
+    if !node.has_index_guard {
+        node.offenses.extend(indexing);
+    }
+}
+
+/// The index of the call-argument group following the ident at `i`,
+/// accepting an optional turbofish (`ident::<T>(..)`).
+fn call_group_after(trees: &[TokenTree], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if trees.get(j).and_then(TokenTree::as_punct) == Some(':')
+        && trees.get(j + 1).and_then(TokenTree::as_punct) == Some(':')
+        && trees.get(j + 2).and_then(TokenTree::as_punct) == Some('<')
+    {
+        let mut depth = 0i32;
+        j += 2;
+        while j < trees.len() {
+            match trees.get(j).and_then(TokenTree::as_punct) {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    match trees.get(j) {
+        Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis => Some(j),
+        _ => None,
+    }
+}
+
+/// The qualified path ending right before the ident at `i` (`a :: b ::` →
+/// `["a", "b"]`), empty when the ident is not `::`-qualified.
+fn path_before(trees: &[TokenTree], i: usize) -> Vec<String> {
+    let mut segments = Vec::new();
+    let mut j = i;
+    while j >= 2
+        && trees.get(j - 1).and_then(TokenTree::as_punct) == Some(':')
+        && trees.get(j - 2).and_then(TokenTree::as_punct) == Some(':')
+    {
+        // Turbofish `>::` qualifiers are not path segments; stop there.
+        let Some(TokenTree::Ident(seg)) = j.checked_sub(3).and_then(|p| trees.get(p)) else {
+            break;
+        };
+        segments.push(seg.text.clone());
+        j -= 3;
+    }
+    segments.reverse();
+    segments
+}
+
+/// The receiver ident of a `.m(..)` call at ident index `i`: the nearest
+/// identifier to the left of the dot, skipping index/call groups
+/// (`self.state.lock()` → `state`, `self.slots[i].lock()` → `slots`), or
+/// `None` when that identifier is a bare `self`.
+fn receiver_before(trees: &[TokenTree], i: usize) -> Option<String> {
+    let upto = i.checked_sub(1)?;
+    trees
+        .get(..upto)?
+        .iter()
+        .rev()
+        .find_map(TokenTree::as_ident)
+        .filter(|n| *n != "self")
+        .map(str::to_owned)
+}
+
+/// Classifies the receiver of the `.m(..)` call at ident index `i` for
+/// typed resolution: `self.field.m(..)` → [`Recv::SelfField`], `local.m(..)`
+/// (the receiver ident opens the expression) → [`Recv::Local`]. Chained
+/// receivers (`a.b().m(..)`) and anything else stay `None` and take the
+/// conservative fallback.
+fn receiver_of(trees: &[TokenTree], i: usize) -> Option<Recv> {
+    let upto = i.checked_sub(1)?;
+    let slice = trees.get(..upto)?;
+    let (j, name) =
+        slice.iter().enumerate().rev().find_map(|(j, t)| t.as_ident().map(|n| (j, n)))?;
+    if name == "self" {
+        return None;
+    }
+    // Was the found ident itself a call? Then the receiver is a call result,
+    // not a binding (`helper().m(..)` finds `helper` through the arg group).
+    if matches!(slice.get(j + 1), Some(TokenTree::Group(g)) if g.delimiter != Delimiter::Bracket) {
+        return None;
+    }
+    let prev_punct = j.checked_sub(1).and_then(|p| slice.get(p)).and_then(TokenTree::as_punct);
+    if prev_punct == Some('.') {
+        let is_self_field =
+            j >= 2 && slice.get(j - 2).and_then(TokenTree::as_ident) == Some("self");
+        return is_self_field.then(|| Recv::SelfField(name.to_owned()));
+    }
+    // A path segment (`mod::CONST.m(..)`) is not a local binding.
+    if prev_punct == Some(':') {
+        return None;
+    }
+    Some(Recv::Local(name.to_owned()))
+}
+
+/// Whether the receiver chain of the method ident at `i` is exactly `self`.
+fn receiver_is_self(trees: &[TokenTree], i: usize) -> bool {
+    i >= 2
+        && trees.get(i - 1).and_then(TokenTree::as_punct) == Some('.')
+        && trees.get(i - 2).and_then(TokenTree::as_ident) == Some("self")
+        && (i < 3 || trees.get(i - 3).and_then(TokenTree::as_punct) != Some('.'))
+}
+
+fn scan_stream(stream: &TokenStream, node: &mut FnNode, indexing: &mut Vec<Offense>) {
+    let trees = &stream.trees;
+    let mut skip_groups: Vec<usize> = Vec::new();
+    for (i, tree) in trees.iter().enumerate() {
+        match tree {
+            TokenTree::Ident(ident) => {
+                let name = ident.text.as_str();
+                let line = ident.span.line;
+                // Macro invocation: `name!(…)`.
+                if trees.get(i + 1).and_then(TokenTree::as_punct) == Some('!') {
+                    if EXEMPT_MACROS.contains(&name) {
+                        node.has_index_guard = true;
+                        skip_groups.push(i + 2);
+                        continue;
+                    }
+                    if GUARD_MACROS.contains(&name) {
+                        node.has_index_guard = true;
+                    }
+                    if ALLOC_MACROS.contains(&name) {
+                        node.offenses.push(Offense {
+                            prop: Property::Alloc,
+                            line,
+                            what: format!("`{name}!(..)`"),
+                        });
+                    }
+                    if PANIC_MACROS.contains(&name) {
+                        node.offenses.push(Offense {
+                            prop: Property::Panic,
+                            line,
+                            what: format!("`{name}!(..)`"),
+                        });
+                    }
+                    continue;
+                }
+                let Some(_args) = call_group_after(trees, i) else { continue };
+                let qual = path_before(trees, i);
+                let after_dot =
+                    i > 0 && trees.get(i - 1).and_then(TokenTree::as_punct) == Some('.');
+
+                // Property offenses at the call site.
+                if after_dot {
+                    if ALLOC_METHODS.contains(&name) {
+                        node.offenses.push(Offense {
+                            prop: Property::Alloc,
+                            line,
+                            what: format!("`.{name}()`"),
+                        });
+                    }
+                    if name == "unwrap" || name == "expect" {
+                        node.offenses.push(Offense {
+                            prop: Property::Panic,
+                            line,
+                            what: format!("`.{name}()`"),
+                        });
+                    }
+                }
+                if let Some(last) = qual.last() {
+                    if ALLOC_PATH_CALLS.iter().any(|(t, m)| t == last && *m == name) {
+                        node.offenses.push(Offense {
+                            prop: Property::Alloc,
+                            line,
+                            what: format!("`{last}::{name}(..)`"),
+                        });
+                    }
+                }
+                if BLOCKING_CALLS.contains(&name) {
+                    node.offenses.push(Offense {
+                        prop: Property::Block,
+                        line,
+                        what: format!("`{name}(..)`"),
+                    });
+                }
+                if name == "lock" {
+                    let lock = if after_dot {
+                        receiver_before(trees, i)
+                    } else {
+                        // The free `lock(&self.state)` helper: the last
+                        // non-`self` ident inside the arguments.
+                        last_arg_ident(trees, i)
+                    };
+                    node.offenses.push(Offense {
+                        prop: Property::Lock,
+                        line,
+                        what: match &lock {
+                            Some(l) => format!("`{l}.lock()`"),
+                            None => "`lock(..)`".to_owned(),
+                        },
+                    });
+                    node.lock_sites.push(LockSite {
+                        lock: lock.unwrap_or_else(|| "<unknown>".to_owned()),
+                        line,
+                    });
+                }
+
+                // Call-site extraction for edges.
+                let kind = if after_dot {
+                    if receiver_is_self(trees, i) {
+                        Some(CallKind::SelfMethod(name.to_owned()))
+                    } else {
+                        Some(CallKind::Method(receiver_of(trees, i), name.to_owned()))
+                    }
+                } else if !qual.is_empty() {
+                    Some(CallKind::Qualified(qual, name.to_owned()))
+                } else if NON_CALL_IDENTS.contains(&name) {
+                    None
+                } else {
+                    Some(CallKind::Free(name.to_owned()))
+                };
+                if let Some(kind) = kind {
+                    node.calls.push(CallSite { kind, line });
+                }
+            }
+            TokenTree::Group(g) => {
+                if skip_groups.contains(&i) {
+                    continue;
+                }
+                if g.delimiter == Delimiter::Bracket && is_indexing(trees, i) {
+                    if let Some(what) = nontrivial_index(&g.stream) {
+                        indexing.push(Offense { prop: Property::Panic, line: g.span.line, what });
+                    }
+                }
+                scan_stream(&g.stream, node, indexing);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether the bracket group at `i` is an indexing expression: it directly
+/// follows an identifier (not a keyword, not a macro name) or a call/index
+/// result group.
+fn is_indexing(trees: &[TokenTree], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| trees.get(p)) else { return false };
+    match prev {
+        TokenTree::Ident(id) => {
+            if NON_INDEX_PREFIX.contains(&id.text.as_str()) {
+                return false;
+            }
+            // `name![…]` macro with bracket delimiter.
+            i < 2 || trees.get(i - 2).and_then(TokenTree::as_punct) != Some('!')
+        }
+        TokenTree::Group(g) => g.delimiter != Delimiter::Brace,
+        _ => false,
+    }
+}
+
+/// `Some(description)` when the index expression can panic: anything other
+/// than a bare numeric literal or a full-range `..`.
+fn nontrivial_index(index: &TokenStream) -> Option<String> {
+    let literal_only = index
+        .trees
+        .iter()
+        .all(|t| matches!(t, TokenTree::Literal(l) if l.kind == syn::LitKind::Num));
+    let full_range = index.trees.iter().all(|t| t.as_punct() == Some('.'));
+    if literal_only || full_range || index.trees.is_empty() {
+        return None;
+    }
+    let rendered: String = index
+        .trees
+        .iter()
+        .take(4)
+        .map(|t| match t {
+            TokenTree::Ident(id) => id.text.clone(),
+            TokenTree::Punct(p) => p.ch.to_string(),
+            TokenTree::Literal(l) => l.text.clone(),
+            TokenTree::Group(_) => "..".to_owned(),
+        })
+        .collect::<Vec<_>>()
+        .join("");
+    Some(format!("unguarded indexing `[{rendered}]`"))
+}
+
+/// Collects binding-name → capitalized type identifiers from a function's
+/// parameter list, its `let` bindings (explicit annotations and
+/// `let x = Type::…(..)` constructor forms), and annotated closure
+/// parameters — plus `for x in …self.field…` loop aliases (loop variable →
+/// field name, resolved through the field-type table at graph-build time).
+/// Bindings the walk cannot type are simply absent — their method calls take
+/// the conservative fallback. Scoping is flattened per body: a rebound name
+/// accumulates every annotation, keeping resolution conservative.
+pub fn local_bindings(f: &syn::ItemFn) -> (HashMap<String, Vec<String>>, HashMap<String, String>) {
+    let mut types = HashMap::new();
+    let mut aliases = HashMap::new();
+    for part in split_angle_aware(&f.sig.inputs.stream.trees) {
+        collect_annotated(part, &mut types);
+    }
+    if let Some(block) = &f.block {
+        collect_lets(&block.stream, &mut types, &mut aliases);
+    }
+    (types, aliases)
+}
+
+/// Records one `name : Type` annotation slice into the binding map.
+fn collect_annotated(part: &[TokenTree], out: &mut HashMap<String, Vec<String>>) {
+    let Some(colon) = top_level_colon(part) else { return };
+    let Some(name) = colon.checked_sub(1).and_then(|p| part.get(p)).and_then(TokenTree::as_ident)
+    else {
+        return;
+    };
+    if name == "self" {
+        return;
+    }
+    let mut tys = Vec::new();
+    type_idents(part.get(colon + 1..).unwrap_or(&[]), &mut tys);
+    if !tys.is_empty() {
+        out.entry(name.to_owned()).or_default().extend(tys);
+    }
+}
+
+/// Splits top-level trees on commas, treating `<…>` generic arguments as
+/// nested (a `->` arrow's `>` is not a closer).
+pub fn split_angle_aware(trees: &[TokenTree]) -> Vec<&[TokenTree]> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut depth = 0i32;
+    for (i, t) in trees.iter().enumerate() {
+        match t.as_punct() {
+            Some('<') => depth += 1,
+            Some('>')
+                if (i == 0 || trees.get(i - 1).and_then(TokenTree::as_punct) != Some('-')) =>
+            {
+                depth -= 1;
+            }
+            Some(',') if depth <= 0 => {
+                parts.push(trees.get(start..i).unwrap_or(&[]));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < trees.len() {
+        parts.push(trees.get(start..).unwrap_or(&[]));
+    }
+    parts
+}
+
+/// Index of the first top-level single `:` (not part of `::`).
+pub fn top_level_colon(trees: &[TokenTree]) -> Option<usize> {
+    trees.iter().enumerate().find_map(|(k, t)| {
+        (t.as_punct() == Some(':')
+            && trees.get(k + 1).and_then(TokenTree::as_punct) != Some(':')
+            && (k == 0 || trees.get(k.wrapping_sub(1)).and_then(TokenTree::as_punct) != Some(':')))
+        .then_some(k)
+    })
+}
+
+/// Capitalized identifiers anywhere in a type token slice (groups included):
+/// `Vec<Mutex<SlotTable>>` → `[Vec, Mutex, SlotTable]`. Primitive types are
+/// lowercase and drop out naturally.
+pub fn type_idents(trees: &[TokenTree], out: &mut Vec<String>) {
+    for t in trees {
+        match t {
+            TokenTree::Ident(id)
+                if id.text.chars().next().is_some_and(|c| c.is_ascii_uppercase()) =>
+            {
+                out.push(id.text.clone());
+            }
+            TokenTree::Group(g) => type_idents(&g.stream.trees, out),
+            _ => {}
+        }
+    }
+}
+
+/// Walks a body stream for `let` bindings with a type annotation or a
+/// `Type::…` constructor right-hand side, annotated closure parameters, and
+/// `for`-loop bindings.
+fn collect_lets(
+    stream: &TokenStream,
+    out: &mut HashMap<String, Vec<String>>,
+    aliases: &mut HashMap<String, String>,
+) {
+    let trees = &stream.trees;
+    for (i, tree) in trees.iter().enumerate() {
+        if let TokenTree::Group(g) = tree {
+            collect_lets(&g.stream, out, aliases);
+            continue;
+        }
+        // Closure head `|a: T, b| …`: a `|` opening an expression (start of
+        // stream, after `,`/`=`/`(`-equivalents, or after `move`) — a
+        // binary-or's `|` follows an operand and is skipped.
+        if tree.as_punct() == Some('|') {
+            let opener = match i.checked_sub(1).and_then(|p| trees.get(p)) {
+                None => true,
+                Some(prev) => {
+                    matches!(prev.as_punct(), Some(',' | '=' | '('))
+                        || prev.as_ident() == Some("move")
+                }
+            };
+            if opener {
+                let rest = trees.get(i + 1..).unwrap_or(&[]);
+                let end = rest.iter().position(|t| {
+                    t.as_punct() == Some('|')
+                        || t.as_punct() == Some(';')
+                        || matches!(t, TokenTree::Group(g) if g.delimiter == Delimiter::Brace)
+                });
+                if let Some(end) = end {
+                    if rest.get(end).and_then(TokenTree::as_punct) == Some('|') {
+                        for part in split_angle_aware(rest.get(..end).unwrap_or(&[])) {
+                            collect_annotated(part, out);
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        // `for x in <expr> { … }`: alias `x` to an iterated `self.field`, or
+        // copy the types of an iterated known binding (`for r in requests`).
+        if tree.as_ident() == Some("for") {
+            let Some(name) = trees.get(i + 1).and_then(TokenTree::as_ident) else { continue };
+            if trees.get(i + 2).and_then(TokenTree::as_ident) != Some("in") {
+                continue;
+            }
+            let rest = trees.get(i + 3..).unwrap_or(&[]);
+            let end = rest
+                .iter()
+                .position(|t| matches!(t, TokenTree::Group(g) if g.delimiter == Delimiter::Brace))
+                .unwrap_or(rest.len());
+            let expr = rest.get(..end).unwrap_or(&[]);
+            let field = expr.iter().enumerate().find_map(|(k, t)| {
+                (t.as_ident() == Some("self")
+                    && expr.get(k + 1).and_then(TokenTree::as_punct) == Some('.'))
+                .then(|| expr.get(k + 2).and_then(TokenTree::as_ident))
+                .flatten()
+            });
+            if let Some(field) = field {
+                aliases.insert(name.to_owned(), field.to_owned());
+            } else if let Some(tys) = expr
+                .iter()
+                .find_map(|t| t.as_ident().and_then(|id| out.get(id)))
+                .cloned()
+                .filter(|tys| !tys.is_empty())
+            {
+                out.entry(name.to_owned()).or_default().extend(tys);
+            }
+            continue;
+        }
+        if tree.as_ident() != Some("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if trees.get(j).and_then(TokenTree::as_ident) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = trees.get(j).and_then(TokenTree::as_ident) else { continue };
+        match trees.get(j + 1).and_then(TokenTree::as_punct) {
+            // `let name: Type = …` / `let name: Type;`.
+            Some(':') if trees.get(j + 2).and_then(TokenTree::as_punct) != Some(':') => {
+                let rest = trees.get(j + 2..).unwrap_or(&[]);
+                let end = rest
+                    .iter()
+                    .position(|t| matches!(t.as_punct(), Some('=' | ';')))
+                    .unwrap_or(rest.len());
+                let mut tys = Vec::new();
+                type_idents(rest.get(..end).unwrap_or(&[]), &mut tys);
+                if !tys.is_empty() {
+                    out.entry(name.to_owned()).or_default().extend(tys);
+                }
+            }
+            // `let name = Type::…(..)` / `let name = Type { … }` bindings.
+            Some('=') => {
+                let Some(ty) = trees.get(j + 2).and_then(TokenTree::as_ident) else { continue };
+                let capitalized = ty.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                let next = trees.get(j + 3);
+                let constructorish = next.and_then(TokenTree::as_punct) == Some(':')
+                    || matches!(next, Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace);
+                if capitalized && constructorish {
+                    out.entry(name.to_owned()).or_default().push(ty.to_owned());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The last non-`self` ident inside the call arguments of the ident at `i`.
+fn last_arg_ident(trees: &[TokenTree], i: usize) -> Option<String> {
+    let gi = call_group_after(trees, i)?;
+    let Some(TokenTree::Group(args)) = trees.get(gi) else { return None };
+    let mut last = None;
+    args.stream.walk(&mut |t| {
+        if let Some(id) = t.as_ident() {
+            if id != "self" {
+                last = Some(id.to_owned());
+            }
+        }
+    });
+    last
+}

@@ -1,0 +1,349 @@
+//! Symbol pass: collects every function in the workspace into [`FnNode`]s
+//! with file-derived module paths, `impl` self-types, `use` imports, marker
+//! attributes, and the raw call sites / property offenses of each body.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use syn::TokenTree;
+
+use super::{props, FnNode, Suppression};
+use crate::lints::SourceFile;
+
+/// Output of the symbol pass.
+#[derive(Debug)]
+pub struct SymbolTable {
+    /// Every collected function.
+    pub nodes: Vec<FnNode>,
+    /// `use` imports per (crate, module-path): simple name → full path.
+    pub uses: HashMap<(String, String), HashMap<String, Vec<String>>>,
+    /// Struct field types, by struct simple name: field → capitalized type
+    /// identifiers of its declaration (typed receiver resolution).
+    pub field_types: HashMap<String, HashMap<String, Vec<String>>>,
+}
+
+/// Collects the symbol table over parsed sources. `root` anchors the
+/// crate-name / module-path derivation from file paths.
+pub fn collect(sources: &[&SourceFile], root: &Path) -> SymbolTable {
+    let mut table =
+        SymbolTable { nodes: Vec::new(), uses: HashMap::new(), field_types: HashMap::new() };
+    for &source in sources {
+        let Some((krate, module)) = crate_and_module(&source.path, root) else { continue };
+        let mut cx =
+            Cx { source, krate: &krate, module, self_ty: None, in_test: false, table: &mut table };
+        collect_items(&source.file.items, &mut cx);
+    }
+    table
+}
+
+/// Derives (crate name, module path) from a source file path like
+/// `<root>/crates/wdm-core/src/algorithms/repair.rs`.
+fn crate_and_module(path: &Path, root: &Path) -> Option<(String, Vec<String>)> {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut parts = rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned());
+    loop {
+        if parts.next()? == "crates" {
+            break;
+        }
+    }
+    let krate = parts.next()?;
+    if parts.next()? != "src" {
+        return None;
+    }
+    let mut module: Vec<String> = parts.collect();
+    let last = module.pop()?;
+    match last.strip_suffix(".rs") {
+        Some("lib" | "main" | "mod") => {}
+        Some(stem) => module.push(stem.to_owned()),
+        None => return None,
+    }
+    Some((krate, module))
+}
+
+/// Traversal context for one file.
+struct Cx<'a> {
+    source: &'a SourceFile,
+    krate: &'a str,
+    module: Vec<String>,
+    self_ty: Option<String>,
+    in_test: bool,
+    table: &'a mut SymbolTable,
+}
+
+fn collect_items(items: &[syn::Item], cx: &mut Cx<'_>) {
+    for item in items {
+        let gated = cx.in_test || crate::lints::is_test_gated(item.attrs());
+        match item {
+            syn::Item::Fn(f) => collect_fn(f, gated, cx),
+            syn::Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    cx.module.push(m.ident.text.clone());
+                    let saved = cx.in_test;
+                    cx.in_test = gated;
+                    collect_items(content, cx);
+                    cx.in_test = saved;
+                    cx.module.pop();
+                }
+            }
+            syn::Item::Impl(i) => {
+                let saved_ty = cx.self_ty.clone();
+                let saved_test = cx.in_test;
+                cx.self_ty = impl_self_type(&i.self_tokens);
+                cx.in_test = gated;
+                collect_items(&i.items, cx);
+                cx.self_ty = saved_ty;
+                cx.in_test = saved_test;
+            }
+            syn::Item::Trait(t) => {
+                let saved_ty = cx.self_ty.clone();
+                let saved_test = cx.in_test;
+                // Trait default bodies: keyed by the trait's name, so
+                // `Type::m` on an implementing type falls back to the
+                // conservative by-name candidates.
+                cx.self_ty = Some(t.ident.text.clone());
+                cx.in_test = gated;
+                collect_items(&t.items, cx);
+                cx.self_ty = saved_ty;
+                cx.in_test = saved_test;
+            }
+            syn::Item::Struct(s) => {
+                // Field types feed typed receiver resolution. Enums/unions
+                // have no `self.field` receivers; skip them.
+                if s.keyword == "struct" {
+                    if let Some(fields) = struct_field_types(&s.body) {
+                        cx.table
+                            .field_types
+                            .entry(s.ident.text.clone())
+                            .or_default()
+                            .extend(fields);
+                    }
+                }
+            }
+            syn::Item::Other(o) => {
+                if !gated {
+                    collect_use(&o.tokens, cx);
+                }
+            }
+        }
+    }
+}
+
+fn collect_fn(f: &syn::ItemFn, gated: bool, cx: &mut Cx<'_>) {
+    let (local_types, for_field_aliases) = props::local_bindings(f);
+    let mut node = FnNode {
+        krate: cx.krate.to_owned(),
+        module: cx.module.clone(),
+        self_ty: cx.self_ty.clone(),
+        name: f.sig.ident.text.clone(),
+        file: cx.source.path.clone(),
+        line: f.span.line,
+        is_test: gated,
+        hot_path_root: has_marker(&f.attrs, "hot_path"),
+        panic_free_root: has_marker(&f.attrs, "panic_free"),
+        suppressions: suppressions_of(&f.attrs),
+        offenses: Vec::new(),
+        lock_sites: Vec::new(),
+        has_index_guard: false,
+        calls: Vec::new(),
+        local_types,
+        for_field_aliases,
+        body: f.block.clone(),
+    };
+    if let Some(block) = &f.block {
+        props::scan_body(block, &mut node);
+    }
+    cx.table.nodes.push(node);
+}
+
+/// Parses the field list of a brace-form struct body into field-name →
+/// capitalized-type-identifier entries (`scheduler: FiberScheduler` →
+/// `scheduler → [FiberScheduler]`, `slots: Vec<Mutex<SlotTable>>` →
+/// `slots → [Vec, Mutex, SlotTable]`). Tuple and unit structs have no named
+/// fields to type; `None`.
+fn struct_field_types(body: &syn::TokenStream) -> Option<HashMap<String, Vec<String>>> {
+    let brace = body.trees.iter().rev().find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter == syn::Delimiter::Brace => Some(g),
+        _ => None,
+    })?;
+    let mut map = HashMap::new();
+    for part in props::split_angle_aware(&brace.stream.trees) {
+        let Some(colon) = props::top_level_colon(part) else { continue };
+        let name = colon.checked_sub(1).and_then(|p| part.get(p)).and_then(TokenTree::as_ident);
+        let Some(name) = name else { continue };
+        let mut tys = Vec::new();
+        props::type_idents(part.get(colon + 1..).unwrap_or(&[]), &mut tys);
+        if !tys.is_empty() {
+            map.insert(name.to_owned(), tys);
+        }
+    }
+    Some(map)
+}
+
+/// Whether the attribute list carries the named `wdm-attr` marker (bare or
+/// `wdm_attr::`-qualified).
+pub fn has_marker(attrs: &[syn::Attribute], marker: &str) -> bool {
+    attrs.iter().any(|a| a.path == marker || (a.path == "wdm_attr" && a.contains_ident(marker)))
+}
+
+/// Parses `#[allow_reach(<lint>, reason = "…")]` suppressions.
+fn suppressions_of(attrs: &[syn::Attribute]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for attr in attrs {
+        let qualified = attr.path == "wdm_attr" && attr.contains_ident("allow_reach");
+        if attr.path != "allow_reach" && !qualified {
+            continue;
+        }
+        // The arguments are the single parenthesized group in the tokens.
+        let args = attr.tokens.trees.iter().find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter == syn::Delimiter::Parenthesis => Some(&g.stream),
+            _ => None,
+        });
+        let Some(args) = args else {
+            out.push(Suppression {
+                lint: String::new(),
+                reason: String::new(),
+                line: attr.span.line,
+            });
+            continue;
+        };
+        let lint = args.trees.iter().find_map(|t| t.as_ident()).unwrap_or("").to_owned();
+        let mut reason = String::new();
+        for (i, t) in args.trees.iter().enumerate() {
+            if t.as_ident() == Some("reason") {
+                if let Some(TokenTree::Literal(l)) = args.trees.get(i + 2) {
+                    if l.kind == syn::LitKind::Str {
+                        reason = l.text.clone();
+                    }
+                }
+            }
+        }
+        out.push(Suppression { lint, reason, line: attr.span.line });
+    }
+    out
+}
+
+/// Extracts the `impl` self-type simple name from the tokens between `impl`
+/// and the body: skips a leading generic parameter list, prefers the type
+/// after `for` (trait impls), and takes the path's last identifier before
+/// any type arguments.
+pub fn impl_self_type(self_tokens: &syn::TokenStream) -> Option<String> {
+    let trees = &self_tokens.trees;
+    let mut i = 0;
+    // Skip `<…>` generics (balanced single-char puncts).
+    if trees.first().and_then(TokenTree::as_punct) == Some('<') {
+        let mut depth = 0i32;
+        while i < trees.len() {
+            match trees[i].as_punct() {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Trait impl: the self type is everything after top-level `for`.
+    let rest = &trees[i..];
+    let after_for = rest
+        .iter()
+        .position(|t| t.as_ident() == Some("for"))
+        .map_or(rest, |p| rest.get(p + 1..).unwrap_or(&[]));
+    // Last path identifier before type arguments.
+    let mut last = None;
+    for t in after_for {
+        match t {
+            TokenTree::Ident(id) => last = Some(id.text.clone()),
+            TokenTree::Punct(p) if p.ch == ':' || p.ch == '&' => {}
+            TokenTree::Punct(p) if p.ch == '<' => break,
+            _ => break,
+        }
+    }
+    last
+}
+
+/// Parses `use` items out of a raw token stream, recording simple-name →
+/// full-path entries for the current module. Handles `::`-separated paths,
+/// `{…}` groups (recursively), `as` renames, and ignores globs.
+fn collect_use(tokens: &syn::TokenStream, cx: &mut Cx<'_>) {
+    let trees = &tokens.trees;
+    let is_use = trees.iter().take(3).any(|t| t.as_ident() == Some("use"));
+    if !is_use {
+        return;
+    }
+    let start = trees.iter().position(|t| t.as_ident() == Some("use")).map_or(0, |p| p + 1);
+    let mut entries = Vec::new();
+    parse_use_tree(trees.get(start..).unwrap_or(&[]), &mut Vec::new(), &mut entries);
+    if entries.is_empty() {
+        return;
+    }
+    let key = (cx.krate.to_owned(), cx.module.join("::"));
+    let map = cx.table.uses.entry(key).or_default();
+    for (alias, path) in entries {
+        map.insert(alias, path);
+    }
+}
+
+/// Recursive `use`-tree parser over raw tokens.
+fn parse_use_tree(
+    trees: &[TokenTree],
+    prefix: &mut Vec<String>,
+    out: &mut Vec<(String, Vec<String>)>,
+) {
+    let saved = prefix.len();
+    let mut i = 0;
+    while i < trees.len() {
+        match &trees[i] {
+            TokenTree::Ident(id) if id.text == "as" => {
+                // `path as Alias`: rebind the alias to the path so far.
+                if let Some(TokenTree::Ident(alias)) = trees.get(i + 1) {
+                    out.pop();
+                    out.push((alias.text.clone(), prefix.clone()));
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) => {
+                prefix.push(id.text.clone());
+                // A segment that is not followed by `::` terminates a path.
+                let continues = trees.get(i + 1).and_then(TokenTree::as_punct) == Some(':');
+                if !continues {
+                    out.push((id.text.clone(), prefix.clone()));
+                }
+                i += 1;
+            }
+            TokenTree::Group(g) if g.delimiter == syn::Delimiter::Brace => {
+                // `{a, b::c}`: each comma-separated arm shares the prefix.
+                for arm in split_commas(&g.stream.trees) {
+                    parse_use_tree(arm, prefix, out);
+                }
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.ch == ',' => {
+                prefix.truncate(saved);
+                i += 1;
+            }
+            _ => i += 1, // `::` separators, `*` globs, `;`.
+        }
+    }
+    prefix.truncate(saved);
+}
+
+/// Splits top-level trees on commas.
+fn split_commas(trees: &[TokenTree]) -> Vec<&[TokenTree]> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    for (i, t) in trees.iter().enumerate() {
+        if t.as_punct() == Some(',') {
+            parts.push(trees.get(start..i).unwrap_or(&[]));
+            start = i + 1;
+        }
+    }
+    if start < trees.len() {
+        parts.push(trees.get(start..).unwrap_or(&[]));
+    }
+    parts
+}

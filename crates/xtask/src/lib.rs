@@ -1,0 +1,16 @@
+//! Library surface of the xtask static-analysis gate.
+//!
+//! The binary (`src/main.rs`) drives the process-level checks (fmt, clippy,
+//! build, test, soundness prongs); this library holds the analyses that are
+//! worth testing in isolation: the whole-workspace call-graph engine
+//! ([`callgraph`], DESIGN.md §15) and the AST lint passes built on it
+//! ([`lints`]). The fixture suite under `tests/` exercises both against
+//! miniature workspace trees.
+
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)
+)]
+
+pub mod callgraph;
+pub mod lints;

@@ -109,12 +109,7 @@ fn scan_unsafe_headers(
 }
 
 fn violation(source: &SourceFile, line: usize, what: &str, hint: &str) -> Violation {
-    Violation {
-        lint: "banned",
-        file: source.path.clone(),
-        line,
-        message: format!("banned {what} — {hint}"),
-    }
+    Violation::new("banned", source.path.clone(), line, format!("banned {what} — {hint}"))
 }
 
 /// Scans one token stream (recursing into groups) for banned constructs.

@@ -64,16 +64,16 @@ fn scan_stream(source: &SourceFile, stream: &TokenStream, out: &mut Vec<Violatio
                     continue;
                 };
                 if NARROW_INTS.contains(&target) {
-                    out.push(Violation {
-                        lint: "casts",
-                        file: source.path.clone(),
-                        line: ident.span.line,
-                        message: format!(
+                    out.push(Violation::new(
+                        "casts",
+                        source.path.clone(),
+                        ident.span.line,
+                        format!(
                             "narrowing `as {target}` cast — use `{target}::try_from(..)` \
                              (propagate or clamp explicitly), or opt out with \
                              `#[allow(clippy::cast_possible_truncation)]` on the function"
                         ),
-                    });
+                    ));
                 }
             }
             TokenTree::Group(g) => scan_stream(source, &g.stream, out),

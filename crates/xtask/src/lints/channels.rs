@@ -50,12 +50,7 @@ pub fn check(source: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 fn violation(source: &SourceFile, line: usize, what: &str, hint: &str) -> Violation {
-    Violation {
-        lint: "channels",
-        file: source.path.clone(),
-        line,
-        message: format!("{what} — {hint}"),
-    }
+    Violation::new("channels", source.path.clone(), line, format!("{what} — {hint}"))
 }
 
 /// Splits top-level trees on `;`, keeping nested groups intact.

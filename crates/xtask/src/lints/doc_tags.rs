@@ -25,16 +25,16 @@ pub fn check(sources: &[&SourceFile], out: &mut Vec<Violation>) {
             .filter_map(syn::Attribute::doc_text)
             .any(|text| text.contains(TAG));
         if !tagged {
-            out.push(Violation {
-                lint: "doc_tags",
-                file: source.path.clone(),
-                line: ctx.fun.span.line,
-                message: format!(
+            out.push(Violation::new(
+                "doc_tags",
+                source.path.clone(),
+                ctx.fun.span.line,
+                format!(
                     "entry point `{}` has no `{TAG}` doc tag — cite the lemma/theorem/section \
                      it implements, e.g. `/// {TAG} Theorem 2.`",
                     ctx.fun.sig.ident.text
                 ),
-            });
+            ));
         }
     }
 }

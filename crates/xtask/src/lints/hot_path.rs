@@ -1,290 +1,200 @@
-//! Hot-path allocation lint: functions marked `#[hot_path]` (the identity
-//! attribute from `wdm-attr`) must not allocate — no `Vec::new`,
-//! `.collect()`, `format!`, `Box::new`, or their relatives — and neither
-//! may any same-file function they call (one level of callees), so an
-//! allocation cannot hide behind a local helper.
+//! Hot-path reachability lint (v2, interprocedural): functions marked
+//! `#[hot_path]` must not allocate, acquire a Mutex/Condvar, or make a
+//! blocking call — and neither may anything they reach, through any chain
+//! of calls, across every workspace crate.
+//!
+//! The v1 pass resolved one level of *same-file* callees, so an allocation
+//! two calls deep — or one module away — was invisible
+//! ([`shallow`](super::shallow) preserves that scanner test-only, with
+//! regression tests pinning exactly those false negatives). v2 is a thin
+//! query over the whole-workspace call graph ([`crate::callgraph`]): from
+//! every root, every reachable [`Property::Alloc`], [`Property::Lock`], and
+//! [`Property::Block`] offense is reported with the witnessing call chain.
 //!
 //! The runtime complement is the `wdm-alloc-count` zero-alloc pins; this
 //! lint catches the regression at review time instead of bench time.
 //! `debug_assert!` argument lists are exempt: they vanish in release
-//! builds, which is where the hot path runs.
+//! builds, which is where the hot path runs. Findings the graph cannot see
+//! around are suppressed per function with
+//! `#[allow_reach(hot_path, reason = "…")]` — audited, see
+//! [`super::audit_suppressions`].
 
-use syn::{Delimiter, TokenStream, TokenTree};
+use std::collections::HashSet;
 
-use super::{walk_items, FnCtx, SourceFile, Violation};
+use crate::callgraph::{CallGraph, Property};
 
-/// `Type::method` constructor calls that allocate.
-const BANNED_PATH_CALLS: [(&str, &str); 8] = [
-    ("Vec", "new"),
-    ("Vec", "with_capacity"),
-    ("VecDeque", "new"),
-    ("VecDeque", "with_capacity"),
-    ("Box", "new"),
-    ("String", "new"),
-    ("String", "from"),
-    ("String", "with_capacity"),
-];
+use super::{reach_check, Violation};
 
-/// `.method()` calls that allocate their result.
-const BANNED_METHODS: [&str; 5] = ["collect", "to_owned", "to_vec", "to_string", "into_owned"];
-
-/// Macros that allocate.
-const BANNED_MACROS: [&str; 2] = ["format", "vec"];
-
-/// Macros whose arguments are compiled out of release builds.
-const EXEMPT_MACROS: [&str; 3] = ["debug_assert", "debug_assert_eq", "debug_assert_ne"];
-
-/// Whether an attribute is the `#[hot_path]` marker (bare, or qualified as
-/// `#[wdm_attr::hot_path]` — the shim's `path` is the first ident only).
-fn is_hot_path_attr(attrs: &[syn::Attribute]) -> bool {
-    attrs
-        .iter()
-        .any(|a| a.path == "hot_path" || (a.path == "wdm_attr" && a.contains_ident("hot_path")))
-}
-
-/// Runs the hot-path allocation lint over one parsed file.
-pub fn check(source: &SourceFile, out: &mut Vec<Violation>) {
-    // Every function in the file, for one-level callee resolution.
-    let mut all_fns: Vec<&syn::ItemFn> = Vec::new();
-    walk_items(
-        &source.file.items,
-        false,
-        true,
-        &mut |ctx: FnCtx<'_>| all_fns.push(ctx.fun),
-        &mut |_, _| {},
-    );
-
-    walk_items(
-        &source.file.items,
-        false,
-        true,
-        &mut |ctx: FnCtx<'_>| {
-            if ctx.in_test || !is_hot_path_attr(&ctx.fun.attrs) {
-                return;
-            }
-            let marked = ctx.fun.sig.ident.text.clone();
-            let Some(block) = &ctx.fun.block else { return };
-            scan_allocations(source, block, &marked, None, out);
-
-            // One level into same-file callees: any name this body calls
-            // that is defined in this file is scanned too, with the
-            // violation attributed back to the marked function.
-            let mut callees = Vec::new();
-            collect_called_names(&block.stream, &mut callees);
-            for fun in &all_fns {
-                let name = &fun.sig.ident.text;
-                if *name != marked
-                    && callees.iter().any(|c| c == name)
-                    && !is_hot_path_attr(&fun.attrs)
-                {
-                    if let Some(callee_block) = &fun.block {
-                        scan_allocations(source, callee_block, &marked, Some(name), out);
-                    }
+/// Runs the hot-path reachability lint over the call graph. `used` records
+/// which suppressions fired, for the audit pass.
+pub fn check(graph: &CallGraph, used: &mut HashSet<(usize, usize)>, out: &mut Vec<Violation>) {
+    reach_check(
+        graph,
+        "hot_path",
+        &[Property::Alloc, Property::Lock, Property::Block],
+        &|n| n.hot_path_root,
+        used,
+        &|root, offender, offense| {
+            let hint = match offense.prop {
+                Property::Alloc => {
+                    "hoist the buffer to a reused field or restructure the call out of \
+                     the per-slot path"
                 }
-            }
+                Property::Lock => {
+                    "hot-path code must stay lock-free; move the acquisition outside \
+                     the per-slot loop"
+                }
+                Property::Block => {
+                    "hot-path code must not block; restructure the wait out of the \
+                     per-slot loop"
+                }
+                // The pass only queries Alloc/Lock/Block.
+                Property::Panic => "panic sources are the panic_free lint's domain",
+            };
+            let reach = if root.path() == offender.path() {
+                format!("in `#[hot_path] fn {}`", root.path())
+            } else {
+                format!("reachable from `#[hot_path] fn {}`", root.path())
+            };
+            format!("{} {} {reach} — {hint}", offense.prop.name(), offense.what)
         },
-        &mut |_, _| {},
+        out,
     );
-}
-
-fn violation(
-    source: &SourceFile,
-    line: usize,
-    what: &str,
-    marked: &str,
-    via: Option<&str>,
-) -> Violation {
-    let reach = match via {
-        Some(callee) => format!("in `{callee}`, called from `#[hot_path] fn {marked}`"),
-        None => format!("in `#[hot_path] fn {marked}`"),
-    };
-    Violation {
-        lint: "hot_path",
-        file: source.path.clone(),
-        line,
-        message: format!(
-            "allocation {what} {reach} — hoist the buffer to a reused field or \
-             restructure the call out of the per-slot path"
-        ),
-    }
-}
-
-/// Scans a token group for allocating constructs.
-fn scan_allocations(
-    source: &SourceFile,
-    group: &syn::Group,
-    marked: &str,
-    via: Option<&str>,
-    out: &mut Vec<Violation>,
-) {
-    scan_stream(&group.stream, &mut |line, what| {
-        out.push(violation(source, line, what, marked, via));
-    });
-}
-
-fn scan_stream(stream: &TokenStream, report: &mut impl FnMut(usize, &str)) {
-    let trees = &stream.trees;
-    let mut skip_group_at = usize::MAX;
-    for (i, tree) in trees.iter().enumerate() {
-        match tree {
-            TokenTree::Ident(ident) => {
-                // `name!(…)`: banned or exempt macro invocation.
-                if trees.get(i + 1).and_then(TokenTree::as_punct) == Some('!') {
-                    if EXEMPT_MACROS.contains(&ident.text.as_str()) {
-                        skip_group_at = i + 2;
-                        continue;
-                    }
-                    if BANNED_MACROS.contains(&ident.text.as_str()) {
-                        report(ident.span.line, &format!("`{}!(..)`", ident.text));
-                    }
-                }
-                // `Type :: method (…)`.
-                if trees.get(i + 1).and_then(TokenTree::as_punct) == Some(':')
-                    && trees.get(i + 2).and_then(TokenTree::as_punct) == Some(':')
-                {
-                    if let Some(TokenTree::Ident(method)) = trees.get(i + 3) {
-                        let called = matches!(
-                            trees.get(i + 4),
-                            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
-                        );
-                        if called
-                            && BANNED_PATH_CALLS
-                                .iter()
-                                .any(|(t, m)| *t == ident.text && *m == method.text)
-                        {
-                            report(
-                                ident.span.line,
-                                &format!("`{}::{}(..)`", ident.text, method.text),
-                            );
-                        }
-                    }
-                }
-                // `.method(…)`.
-                let after_dot = i > 0 && trees[i - 1].as_punct() == Some('.');
-                let called = matches!(
-                    trees.get(i + 1),
-                    Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
-                );
-                if after_dot && called && BANNED_METHODS.contains(&ident.text.as_str()) {
-                    report(ident.span.line, &format!("`.{}()`", ident.text));
-                }
-            }
-            TokenTree::Group(g) => {
-                if i == skip_group_at {
-                    continue;
-                }
-                scan_stream(&g.stream, report);
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Collects the names of everything called as `name(…)` — free functions,
-/// `self.name(…)` methods, and `Type::name(…)` associated calls alike.
-fn collect_called_names(stream: &TokenStream, out: &mut Vec<String>) {
-    const KEYWORDS: [&str; 8] = ["if", "while", "match", "for", "loop", "return", "fn", "move"];
-    let trees = &stream.trees;
-    for (i, tree) in trees.iter().enumerate() {
-        match tree {
-            TokenTree::Ident(ident) => {
-                let called = matches!(
-                    trees.get(i + 1),
-                    Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
-                );
-                let is_macro = trees.get(i + 1).and_then(TokenTree::as_punct) == Some('!');
-                if called && !is_macro && !KEYWORDS.contains(&ident.text.as_str()) {
-                    out.push(ident.text.clone());
-                }
-            }
-            TokenTree::Group(g) => collect_called_names(&g.stream, out),
-            _ => {}
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::super::{SourceFile, Violation};
-    use std::path::PathBuf;
+    use std::path::{Path, PathBuf};
 
-    fn lint(src: &str) -> Vec<Violation> {
-        let source =
-            SourceFile { path: PathBuf::from("mem.rs"), file: syn::parse_file(src).unwrap() };
+    use crate::callgraph::CallGraph;
+    use crate::lints::{SourceFile, Violation};
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, src)| SourceFile {
+                path: PathBuf::from(path),
+                file: syn::parse_file(src).unwrap(),
+            })
+            .collect();
+        let refs: Vec<&SourceFile> = sources.iter().collect();
+        CallGraph::build(&refs, Path::new(""))
+    }
+
+    fn lint(files: &[(&str, &str)]) -> Vec<Violation> {
+        let graph = graph_of(files);
+        let mut used = std::collections::HashSet::new();
         let mut out = Vec::new();
-        super::check(&source, &mut out);
+        super::check(&graph, &mut used, &mut out);
         out
     }
 
     #[test]
     fn unmarked_fns_may_allocate() {
-        let src = "fn cold() { let v = Vec::new(); let s = format!(\"x\"); }";
-        assert!(lint(src).is_empty());
+        let files =
+            [("crates/wdm-core/src/lib.rs", "fn cold() { let v = Vec::new(); format!(\"x\"); }")];
+        assert!(lint(&files).is_empty());
     }
 
     #[test]
-    fn marked_fn_direct_allocations_flagged() {
+    fn direct_allocations_flagged() {
         let src = "#[hot_path]\n\
-                   fn hot(&mut self) {\n\
+                   fn hot() {\n\
                        let v: Vec<u8> = Vec::new();\n\
                        let s = format!(\"{}\", 1);\n\
                        let b = Box::new(3);\n\
                        let c: Vec<_> = it.collect();\n\
                    }";
-        let out = lint(src);
+        let out = lint(&[("crates/wdm-core/src/lib.rs", src)]);
         assert_eq!(out.len(), 4, "{out:?}");
         assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("in `#[hot_path] fn wdm_core::hot`"), "{}", out[0].message);
     }
 
     #[test]
-    fn one_level_callee_allocations_flagged() {
-        let src = "#[hot_path]\n\
-                   fn hot() { helper(); }\n\
-                   fn helper() { let v = vec![1, 2]; }";
-        let out = lint(src);
-        assert_eq!(out.len(), 1, "{out:?}");
-        assert_eq!(out[0].line, 3);
-        assert!(out[0].message.contains("called from `#[hot_path] fn hot`"));
-    }
-
-    #[test]
-    fn uncalled_and_second_level_fns_are_not_scanned() {
-        // `far` allocates but is only reachable through `near` (two levels);
-        // `stranger` is never called. Neither is flagged.
+    fn allocation_two_calls_deep_is_caught() {
+        // hot -> near -> far: the v1 one-level scanner missed this
+        // (see shallow.rs for the pinned false negative).
         let src = "#[hot_path]\n\
                    fn hot() { near(); }\n\
-                   fn near() { fast(); }\n\
-                   fn fast() {}\n\
-                   fn stranger() { let v = Vec::new(); }";
-        assert!(lint(src).is_empty());
+                   fn near() { far(); }\n\
+                   fn far() { let v = vec![1, 2]; }";
+        let out = lint(&[("crates/wdm-core/src/lib.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert_eq!(
+            out[0].chain,
+            vec!["wdm_core::hot", "wdm_core::near", "wdm_core::far"],
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn cross_crate_allocation_is_caught() {
+        // The root lives in wdm-serve, the allocation in wdm-core, linked
+        // by a module-qualified cross-crate call.
+        let files = [
+            ("crates/wdm-serve/src/engine.rs", "#[hot_path]\nfn run() { wdm_core::mask::grow(); }"),
+            ("crates/wdm-core/src/mask.rs", "pub fn grow() { let v = Vec::with_capacity(8); }"),
+        ];
+        let out = lint(&files);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].file.ends_with("crates/wdm-core/src/mask.rs"));
+        assert_eq!(out[0].root_fn.as_deref(), Some("wdm_serve::engine::run"));
+    }
+
+    #[test]
+    fn lock_and_block_are_flagged() {
+        let src = "#[hot_path]\n\
+                   fn hot(&self) {\n\
+                       let g = self.state.lock();\n\
+                       std::thread::sleep(d);\n\
+                   }";
+        let out = lint(&[("crates/wdm-serve/src/lib.rs", src)]);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("lock acquisition"), "{}", out[0].message);
+        assert!(out[1].message.contains("blocking call"), "{}", out[1].message);
     }
 
     #[test]
     fn debug_assert_args_are_exempt() {
         let src = "#[hot_path]\n\
                    fn hot() { debug_assert_eq!(xs.iter().collect::<Vec<_>>(), ys); }";
-        assert!(lint(src).is_empty());
+        assert!(lint(&[("crates/wdm-core/src/lib.rs", src)]).is_empty());
     }
 
     #[test]
-    fn qualified_attribute_also_marks() {
-        let src = "#[wdm_attr::hot_path]\nfn hot() { let v = Vec::with_capacity(8); }";
-        assert_eq!(lint(src).len(), 1);
+    fn suppression_on_chain_suppresses_and_is_marked_used() {
+        let src = "#[hot_path]\n\
+                   fn hot() { helper(); }\n\
+                   #[allow_reach(hot_path, reason = \"startup-only branch\")]\n\
+                   fn helper() { let v = Vec::new(); }";
+        let sources = [("crates/wdm-core/src/lib.rs", src)];
+        let graph = graph_of(&sources);
+        let mut used = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        super::check(&graph, &mut used, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(used.len(), 1);
     }
 
     #[test]
-    fn self_method_callees_resolve_in_file() {
-        let src = "impl T {\n\
+    fn finding_shared_by_two_roots_reported_once() {
+        let src = "#[hot_path]\n\
+                   fn hot_a() { helper(); }\n\
                    #[hot_path]\n\
-                   fn hot(&mut self) { self.helper(); }\n\
-                   fn helper(&mut self) { self.buf = Vec::new(); }\n\
-                   }";
-        assert_eq!(lint(src).len(), 1);
+                   fn hot_b() { helper(); }\n\
+                   fn helper() { let v = Vec::new(); }";
+        let out = lint(&[("crates/wdm-core/src/lib.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].root_fn.as_deref(), Some("wdm_core::hot_a"));
     }
 
     #[test]
-    fn test_gated_hot_path_is_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n#[hot_path]\nfn hot() { let v = Vec::new(); }\n}";
-        assert!(lint(src).is_empty());
+    fn test_gated_roots_and_callees_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   #[hot_path]\nfn hot() { let v = Vec::new(); }\n\
+                   }";
+        assert!(lint(&[("crates/wdm-core/src/lib.rs", src)]).is_empty());
     }
 }

@@ -1,6 +1,9 @@
-//! Lock-order lint: every mutex in library code must be declared in the
-//! workspace lock hierarchy, and no function may acquire a second declared
-//! lock while a guard on an equal-or-lower-ranked one is still live.
+//! Lock-order lint (v2, interprocedural): every mutex in library code must
+//! be declared in the workspace lock hierarchy, and no function may acquire
+//! a second declared lock while a guard on an equal-or-lower-ranked one is
+//! still live — *including through calls*: holding a guard across a call
+//! into a function that may (transitively) acquire another lock is flagged
+//! with the witnessing call chain.
 //!
 //! The hierarchy is small by design — the threading model keeps every
 //! mutex a *leaf* (rank 0): a thread holds at most one lock at a time, so
@@ -13,10 +16,18 @@
 //! Guard liveness is tracked per lexical block: a guard bound by `let` is
 //! held until `drop(guard)` or the end of its block; an unbound guard
 //! (a temporary like `lock(&m).field`) is released at its statement's `;`.
+//! At every call site inside a held region, the callee's *transitive
+//! may-acquire set* ([`CallGraph::may_acquire`]) is checked against the
+//! held guards. Known limitation (DESIGN.md §15): a callee that returns a
+//! guard to its caller is modeled as releasing it — only the in-tree
+//! `lock(&..)` helper does this, and it is recognized directly.
+
+use std::collections::{HashMap, HashSet};
 
 use syn::{Delimiter, TokenStream, TokenTree};
 
-use super::{walk_items, FnCtx, SourceFile, Violation};
+use super::{find_suppression, SourceFile, Violation};
+use crate::callgraph::CallGraph;
 
 /// The declared lock hierarchy: `(file suffix, lock name, rank)`.
 ///
@@ -24,6 +35,17 @@ use super::{walk_items, FnCtx, SourceFile, Violation};
 /// every current lock is rank 0 (leaf), so nesting is always a violation.
 /// Adding a mutex anywhere in the library crates means adding a row here —
 /// and explaining, in the module that owns it, where it sits and why.
+///
+/// Audited for PR 9 against every crate added since the table was
+/// introduced: the workspace still holds exactly these two locks. The
+/// reservation holds registry (`wdm-serve/src/engine.rs`, a plain
+/// `Vec<(u64, u64, u64)>`) and the warm-start incremental state
+/// (`wdm-core/src/scheduler.rs`) are **thread-confined** — owned by the
+/// single engine/scheduler thread, never shared — so they are deliberately
+/// not locks and not rows here. The `hierarchy_covers_workspace` test
+/// below parses the real `wdm-serve`/`wdm-sim` sources and fails on any
+/// `Mutex`/`RwLock` declaration missing from this table, so the next lock
+/// added without a row breaks the build.
 pub const HIERARCHY: [(&str, &str, u32); 2] = [
     // Per-cell result slots of the sweep fan-out; only ever taken around a
     // single read-or-write, never while another lock is held.
@@ -45,27 +67,12 @@ fn declared_in(path: &std::path::Path, name: &str) -> bool {
         .any(|(suffix, lock, _)| *lock == name && path.to_string_lossy().ends_with(suffix))
 }
 
-/// Runs the lock-order lint over one parsed file.
-pub fn check(source: &SourceFile, out: &mut Vec<Violation>) {
+/// Per-file half of the lint: every struct field or static of lock type
+/// (`Mutex` or `RwLock`) must be in the declared hierarchy.
+pub fn check_declarations_file(source: &SourceFile, out: &mut Vec<Violation>) {
     check_declarations(&source.file.items, false, source, out);
-    walk_items(
-        &source.file.items,
-        false,
-        true,
-        &mut |ctx: FnCtx<'_>| {
-            if ctx.in_test {
-                return;
-            }
-            if let Some(block) = &ctx.fun.block {
-                let mut held: Vec<HeldLock> = Vec::new();
-                check_block(&block.stream, &mut held, source, out);
-            }
-        },
-        &mut |_, _| {},
-    );
 }
 
-/// Every struct field or static of mutex type must be in the hierarchy.
 fn check_declarations(
     items: &[syn::Item],
     in_test: bool,
@@ -76,18 +83,18 @@ fn check_declarations(
         let gated = in_test || super::is_test_gated(item.attrs());
         match item {
             syn::Item::Struct(s) if !gated => {
-                for (name, line) in mutex_fields(&s.body) {
+                for (name, line) in lock_fields(&s.body) {
                     if !declared_in(&source.path, &name) {
-                        out.push(Violation {
-                            lint: "lock_order",
-                            file: source.path.clone(),
+                        out.push(Violation::new(
+                            "lock_order",
+                            source.path.clone(),
                             line,
-                            message: format!(
-                                "mutex field `{name}` is not in the declared lock hierarchy — \
+                            format!(
+                                "lock field `{name}` is not in the declared lock hierarchy — \
                                  add it to lints::lock_order::HIERARCHY with a rank and document \
                                  its place in the threading model"
                             ),
-                        });
+                        ));
                     }
                 }
             }
@@ -100,17 +107,17 @@ fn check_declarations(
             syn::Item::Trait(t) => check_declarations(&t.items, gated, source, out),
             syn::Item::Other(o) if !gated => {
                 // `static NAME: Mutex<..>` at module level.
-                for (name, line) in static_mutexes(&o.tokens) {
+                for (name, line) in static_locks(&o.tokens) {
                     if !declared_in(&source.path, &name) {
-                        out.push(Violation {
-                            lint: "lock_order",
-                            file: source.path.clone(),
+                        out.push(Violation::new(
+                            "lock_order",
+                            source.path.clone(),
                             line,
-                            message: format!(
-                                "static mutex `{name}` is not in the declared lock hierarchy — \
+                            format!(
+                                "static lock `{name}` is not in the declared lock hierarchy — \
                                  add it to lints::lock_order::HIERARCHY"
                             ),
-                        });
+                        ));
                     }
                 }
             }
@@ -119,8 +126,13 @@ fn check_declarations(
     }
 }
 
-/// `name: Mutex<..>` fields in a struct body's token stream.
-fn mutex_fields(body: &TokenStream) -> Vec<(String, usize)> {
+/// Whether a type token stream names a lock type.
+fn is_lock_ty(trees: &[TokenTree]) -> bool {
+    trees.iter().any(|t| matches!(t.as_ident(), Some("Mutex" | "RwLock")))
+}
+
+/// `name: Mutex<..>` / `name: RwLock<..>` fields in a struct body.
+fn lock_fields(body: &TokenStream) -> Vec<(String, usize)> {
     // The struct body is one brace group; fields split on top-level commas.
     let Some(TokenTree::Group(fields)) = body
         .trees
@@ -137,22 +149,19 @@ fn mutex_fields(body: &TokenStream) -> Vec<(String, usize)> {
         let Some(TokenTree::Ident(name)) = colon.checked_sub(1).and_then(|i| field.get(i)) else {
             continue;
         };
-        let ty = &field[colon + 1..];
-        if ty.iter().any(|t| t.as_ident() == Some("Mutex")) {
+        if is_lock_ty(&field[colon + 1..]) {
             found.push((name.text.clone(), name.span.line));
         }
     }
     found
 }
 
-/// `static NAME: ..Mutex..` declarations in a raw token stream.
-fn static_mutexes(tokens: &TokenStream) -> Vec<(String, usize)> {
+/// `static NAME: ..Mutex/RwLock..` declarations in a raw token stream.
+fn static_locks(tokens: &TokenStream) -> Vec<(String, usize)> {
     let trees = &tokens.trees;
     let mut found = Vec::new();
     for (i, tree) in trees.iter().enumerate() {
-        if tree.as_ident() == Some("static")
-            && trees[i..].iter().any(|t| t.as_ident() == Some("Mutex"))
-        {
+        if tree.as_ident() == Some("static") && is_lock_ty(&trees[i..]) {
             if let Some(TokenTree::Ident(name)) =
                 trees.get(i + 1).filter(|t| t.as_ident() != Some("mut")).or(trees.get(i + 2))
             {
@@ -188,19 +197,60 @@ fn split_on(trees: &[TokenTree], sep: char) -> Vec<&[TokenTree]> {
     parts
 }
 
+/// Walk context for one function's guard-liveness scan.
+struct FnCx<'a> {
+    graph: &'a CallGraph,
+    /// Transitive may-acquire sets, from [`CallGraph::may_acquire`].
+    may: &'a [HashMap<String, usize>],
+    /// Node index of the function being walked.
+    node: usize,
+    /// `(called name, line)` → candidate callee nodes, from the resolver.
+    call_map: HashMap<(String, usize), Vec<usize>>,
+    /// Suppressions that fired (for the audit pass).
+    used: &'a mut HashSet<(usize, usize)>,
+    /// Dedup of interprocedural findings: `(line, callee, lock)`.
+    reported: HashSet<(usize, usize, String)>,
+}
+
+/// Graph half of the lint: walks every non-test function body, tracking
+/// guard liveness exactly as the per-file v1 did, and additionally checks
+/// every call made while a guard is held against the callee candidates'
+/// transitive may-acquire sets.
+pub fn check_fns(graph: &CallGraph, used: &mut HashSet<(usize, usize)>, out: &mut Vec<Violation>) {
+    let may = graph.may_acquire();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.is_test {
+            continue;
+        }
+        let Some(body) = &node.body else { continue };
+        let mut call_map: HashMap<(String, usize), Vec<usize>> = HashMap::new();
+        for (j, call) in node.calls.iter().enumerate() {
+            if let Some(targets) = graph.call_targets.get(i).and_then(|t| t.get(j)) {
+                call_map
+                    .entry((call.kind.name().to_owned(), call.line))
+                    .or_default()
+                    .extend(targets.iter().copied());
+            }
+        }
+        let mut cx = FnCx { graph, may: &may, node: i, call_map, used, reported: HashSet::new() };
+        let mut held: Vec<HeldLock> = Vec::new();
+        check_block(&body.stream, &mut held, &mut cx, out);
+    }
+}
+
 /// Walks one block's statements, tracking held guards; `held` carries the
 /// guards inherited from enclosing blocks.
 fn check_block(
     stream: &TokenStream,
     held: &mut Vec<HeldLock>,
-    source: &SourceFile,
+    cx: &mut FnCx<'_>,
     out: &mut Vec<Violation>,
 ) {
     let depth_at_entry = held.len();
     for stmt in split_on(&stream.trees, ';') {
         let binding = let_binding(stmt);
         let stmt_start = held.len();
-        scan_stmt(stmt, held, binding.as_deref(), source, out);
+        scan_stmt(stmt, held, binding.as_deref(), cx, out);
         // Unbound guards acquired in this statement die at the `;`.
         let mut i = stmt_start;
         while i < held.len() {
@@ -216,16 +266,17 @@ fn check_block(
 }
 
 /// Scans one statement's trees in token order: releases on `drop(guard)`,
-/// records and checks acquisitions, and recurses into nested blocks at the
-/// point they appear (so `if c { lock A } lock B` is sequential, not
-/// nested). `.lock(..)` names the lock by the ident before the dot
+/// records and checks acquisitions, checks call sites against transitive
+/// may-acquire sets, and recurses into nested blocks at the point they
+/// appear (so `if c { lock A } lock B` is sequential, not nested).
+/// `.lock(..)` names the lock by the ident before the dot
 /// (`self.state.lock()` → `state`); the free `lock(&..)` helper by the
 /// last non-`self` ident in its argument (`lock(&self.state)` → `state`).
 fn scan_stmt(
     trees: &[TokenTree],
     held: &mut Vec<HeldLock>,
     binding: Option<&str>,
-    source: &SourceFile,
+    cx: &mut FnCx<'_>,
     out: &mut Vec<Violation>,
 ) {
     for (i, tree) in trees.iter().enumerate() {
@@ -267,19 +318,20 @@ fn scan_stmt(
                 };
                 let Some(name) = name else { continue };
                 let rank = rank_of(&name).unwrap_or(0);
+                let node = &cx.graph.nodes[cx.node];
                 for prior in held.iter() {
                     if rank >= prior.rank {
-                        out.push(Violation {
-                            lint: "lock_order",
-                            file: source.path.clone(),
-                            line: ident.span.line,
-                            message: format!(
+                        out.push(Violation::new(
+                            "lock_order",
+                            node.file.clone(),
+                            ident.span.line,
+                            format!(
                                 "acquiring lock `{name}` (rank {rank}) while holding `{}` \
                                  (rank {}, taken at line {}) — the hierarchy only allows \
                                  strictly descending acquisition; drop the first guard first",
                                 prior.name, prior.rank, prior.line
                             ),
-                        });
+                        ));
                     }
                 }
                 held.push(HeldLock {
@@ -289,13 +341,71 @@ fn scan_stmt(
                     guard: binding.map(str::to_owned),
                 });
             }
-            TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
-                check_block(&g.stream, held, source, out);
+            TokenTree::Ident(ident) if !held.is_empty() => {
+                check_call_under_guard(ident, held, cx, out);
             }
-            TokenTree::Group(g) => scan_stmt(&g.stream.trees, held, binding, source, out),
+            TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
+                check_block(&g.stream, held, cx, out);
+            }
+            TokenTree::Group(g) => scan_stmt(&g.stream.trees, held, binding, cx, out),
             _ => {}
         }
     }
+}
+
+/// The interprocedural check at one call site: while guards are held, no
+/// callee may (transitively) acquire a lock the hierarchy does not allow.
+fn check_call_under_guard(
+    ident: &syn::Ident,
+    held: &[HeldLock],
+    cx: &mut FnCx<'_>,
+    out: &mut Vec<Violation>,
+) {
+    let key = (ident.text.clone(), ident.span.line);
+    let candidates = match cx.call_map.get(&key) {
+        Some(c) => c.clone(),
+        None => return,
+    };
+    let node = &cx.graph.nodes[cx.node];
+    for callee in candidates {
+        for lock in sorted_keys(&cx.may[callee]) {
+            let rank = rank_of(&lock).unwrap_or(0);
+            let Some(prior) = held.iter().find(|prior| rank >= prior.rank) else { continue };
+            if !cx.reported.insert((ident.span.line, callee, lock.clone())) {
+                continue;
+            }
+            let mut chain = vec![cx.node];
+            chain.extend(cx.graph.chain_to_lock(callee, &lock));
+            if let Some(used_key) = find_suppression(cx.graph, &chain, "lock_order") {
+                cx.used.insert(used_key);
+                continue;
+            }
+            let mut v = Violation::new(
+                "lock_order",
+                node.file.clone(),
+                ident.span.line,
+                format!(
+                    "calling `{}` while holding `{}` (rank {}, taken at line {}) — the \
+                     callee may acquire `{lock}` (rank {rank}), and the hierarchy only \
+                     allows strictly descending acquisition; drop the guard before the call",
+                    cx.graph.nodes[callee].path(),
+                    prior.name,
+                    prior.rank,
+                    prior.line
+                ),
+            );
+            v.root_fn = Some(node.path());
+            v.chain = cx.graph.render_chain(&chain);
+            out.push(v);
+        }
+    }
+}
+
+/// Deterministic iteration order over a may-acquire set.
+fn sorted_keys(map: &HashMap<String, usize>) -> Vec<String> {
+    let mut keys: Vec<String> = map.keys().cloned().collect();
+    keys.sort();
+    keys
 }
 
 /// The ident bound by a `let name = ..` statement, if any.
@@ -324,14 +434,37 @@ fn let_binding(stmt: &[TokenTree]) -> Option<String> {
 
 #[cfg(test)]
 mod tests {
+    use std::path::{Path, PathBuf};
+
     use super::super::{SourceFile, Violation};
-    use std::path::PathBuf;
+    use crate::callgraph::CallGraph;
+
+    fn graph_of(files: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, src)| SourceFile {
+                path: PathBuf::from(path),
+                file: syn::parse_file(src).unwrap(),
+            })
+            .collect();
+        let refs: Vec<&SourceFile> = sources.iter().collect();
+        let graph = CallGraph::build(&refs, Path::new(""));
+        (sources, graph)
+    }
+
+    fn lint_files(files: &[(&str, &str)]) -> Vec<Violation> {
+        let (sources, graph) = graph_of(files);
+        let mut out = Vec::new();
+        for s in &sources {
+            super::check_declarations_file(s, &mut out);
+        }
+        let mut used = std::collections::HashSet::new();
+        super::check_fns(&graph, &mut used, &mut out);
+        out
+    }
 
     fn lint_at(path: &str, src: &str) -> Vec<Violation> {
-        let source = SourceFile { path: PathBuf::from(path), file: syn::parse_file(src).unwrap() };
-        let mut out = Vec::new();
-        super::check(&source, &mut out);
-        out
+        lint_files(&[(path, src)])
     }
 
     #[test]
@@ -349,6 +482,14 @@ mod tests {
     }
 
     #[test]
+    fn undeclared_rwlock_field_is_flagged() {
+        let src = "struct Rogue { table: RwLock<u32> }";
+        let out = lint_at("crates/wdm-serve/src/server.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`table`"));
+    }
+
+    #[test]
     fn declared_name_in_wrong_file_is_flagged() {
         // `state` is declared for serve_sync.rs only.
         let src = "struct Copycat { state: Mutex<u32> }";
@@ -357,9 +498,9 @@ mod tests {
 
     #[test]
     fn nested_acquisition_is_flagged() {
-        let src = "fn f(&self) {\n\
-                       let a = self.state.lock();\n\
-                       let b = self.slots.lock();\n\
+        let src = "fn f(a: &T) {\n\
+                       let g = a.state.lock();\n\
+                       let h = a.slots.lock();\n\
                    }";
         let out = lint_at("crates/wdm-serve/src/serve_sync.rs", src);
         assert_eq!(out.len(), 1, "{out:?}");
@@ -368,10 +509,10 @@ mod tests {
 
     #[test]
     fn sequential_acquisition_after_drop_is_clean() {
-        let src = "fn f(&self) {\n\
-                       let a = self.state.lock();\n\
-                       drop(a);\n\
-                       let b = self.slots.lock();\n\
+        let src = "fn f(a: &T) {\n\
+                       let g = a.state.lock();\n\
+                       drop(g);\n\
+                       let h = a.slots.lock();\n\
                    }";
         assert!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).is_empty());
     }
@@ -397,10 +538,91 @@ mod tests {
     #[test]
     fn block_scoped_guard_releases_at_block_end() {
         let src = "fn f(&self) {\n\
-                       { let a = self.state.lock(); }\n\
-                       let b = self.slots.lock();\n\
+                       { let g = self.state.lock(); }\n\
+                       let h = self.slots.lock();\n\
                    }";
         assert!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cross_function_nested_acquisition_is_flagged() {
+        // `outer` holds `state` across a call to `inner`, which acquires
+        // `slots` — invisible to the v1 per-function walk.
+        let src = "impl Chan {\n\
+                       fn outer(&self) {\n\
+                           let g = self.state.lock();\n\
+                           self.inner();\n\
+                       }\n\
+                       fn inner(&self) {\n\
+                           let h = self.slots.lock();\n\
+                       }\n\
+                   }";
+        let out = lint_at("crates/wdm-serve/src/serve_sync.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("may acquire `slots`"), "{}", out[0].message);
+        assert!(out[0].message.contains("while holding `state`"), "{}", out[0].message);
+        assert_eq!(
+            out[0].chain,
+            vec!["wdm_serve::serve_sync::Chan::outer", "wdm_serve::serve_sync::Chan::inner"]
+        );
+    }
+
+    #[test]
+    fn cross_crate_nested_acquisition_is_flagged() {
+        // The held guard is in wdm-serve; the second acquisition two calls
+        // deep in wdm-sim.
+        let files = [
+            (
+                "crates/wdm-serve/src/serve_sync.rs",
+                "fn f(a: &T) {\n\
+                     let g = a.state.lock();\n\
+                     wdm_sim::sweep_sync::poke();\n\
+                 }",
+            ),
+            (
+                "crates/wdm-sim/src/sweep_sync.rs",
+                "pub fn poke() { deeper(); }\n\
+                 fn deeper(s: &S) { let h = s.slots.lock(); }",
+            ),
+        ];
+        let out = lint_files(&files);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("may acquire `slots`"), "{}", out[0].message);
+        assert_eq!(out[0].chain.len(), 3, "{out:?}");
+    }
+
+    #[test]
+    fn call_after_guard_dropped_is_clean() {
+        let src = "impl Chan {\n\
+                       fn outer(&self) {\n\
+                           { let g = self.state.lock(); }\n\
+                           self.inner();\n\
+                       }\n\
+                       fn inner(&self) {\n\
+                           let h = self.slots.lock();\n\
+                       }\n\
+                   }";
+        assert!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppressed_cross_function_finding_is_quiet_and_marked_used() {
+        let src = "impl Chan {\n\
+                       #[allow_reach(lock_order, reason = \"slots is a disjoint shard\")]\n\
+                       fn outer(&self) {\n\
+                           let g = self.state.lock();\n\
+                           self.inner();\n\
+                       }\n\
+                       fn inner(&self) {\n\
+                           let h = self.slots.lock();\n\
+                       }\n\
+                   }";
+        let (_, graph) = graph_of(&[("crates/wdm-serve/src/serve_sync.rs", src)]);
+        let mut used = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        super::check_fns(&graph, &mut used, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(used.len(), 1);
     }
 
     #[test]
@@ -410,5 +632,31 @@ mod tests {
                    fn f(a: &Mutex<u32>, b: &Mutex<u32>) { let x = a.lock(); let y = b.lock(); }\n\
                    }";
         assert!(lint_at("crates/wdm-serve/src/serve_sync.rs", src).is_empty());
+    }
+
+    /// Satellite audit (PR 9): parse the *real* workspace sources of the
+    /// crates that own threads and assert every `Mutex`/`RwLock`
+    /// declaration is a `HIERARCHY` row. A lock added to wdm-serve or
+    /// wdm-sim without declaring its rank fails here, not in production.
+    #[test]
+    fn hierarchy_covers_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+        let mut checked_files = 0;
+        for krate in ["wdm-serve", "wdm-sim", "wdm-core", "wdm-interconnect"] {
+            let src_dir = root.join("crates").join(krate).join("src");
+            let mut files = Vec::new();
+            super::super::collect_rs_files(&src_dir, &mut files);
+            assert!(!files.is_empty(), "no sources under {}", src_dir.display());
+            for path in files {
+                let text = std::fs::read_to_string(&path).unwrap();
+                let file = syn::parse_file(&text).unwrap();
+                let source = SourceFile { path, file };
+                let mut out = Vec::new();
+                super::check_declarations_file(&source, &mut out);
+                assert!(out.is_empty(), "undeclared lock(s) in {}: {out:?}", source.path.display());
+                checked_files += 1;
+            }
+        }
+        assert!(checked_files >= 20, "expected to scan the real workspace, saw {checked_files}");
     }
 }

@@ -38,19 +38,20 @@ pub fn check_types(source: &SourceFile, out: &mut Vec<Violation>) {
 fn check_types_in(items: &[Item], source: &SourceFile, out: &mut Vec<Violation>) {
     for item in items {
         match item {
-            Item::Struct(s) if MUST_USE_TYPES.contains(&s.ident.text.as_str()) => {
-                if !s.attrs.iter().any(|a| a.path == "must_use") {
-                    out.push(Violation {
-                        lint: "must_use",
-                        file: source.path.clone(),
-                        line: s.span.line,
-                        message: format!(
-                            "result type `{}` must be declared `#[must_use]` — computing and \
+            Item::Struct(s)
+                if MUST_USE_TYPES.contains(&s.ident.text.as_str())
+                    && !s.attrs.iter().any(|a| a.path == "must_use") =>
+            {
+                out.push(Violation::new(
+                    "must_use",
+                    source.path.clone(),
+                    s.span.line,
+                    format!(
+                        "result type `{}` must be declared `#[must_use]` — computing and \
                              dropping it is always a bug",
-                            s.ident.text
-                        ),
-                    });
-                }
+                        s.ident.text
+                    ),
+                ));
             }
             Item::Mod(m) => {
                 if let Some(content) = &m.content {
@@ -75,16 +76,16 @@ pub fn check_entry_fns(sources: &[&SourceFile], out: &mut Vec<Violation>) {
         let inherent = output.contains_ident("Result")
             || MUST_USE_TYPES.iter().any(|t| output.contains_ident(t));
         if !explicit && !inherent {
-            out.push(Violation {
-                lint: "must_use",
-                file: source.path.clone(),
-                line: ctx.fun.span.line,
-                message: format!(
+            out.push(Violation::new(
+                "must_use",
+                source.path.clone(),
+                ctx.fun.span.line,
+                format!(
                     "entry point `{}` returns a droppable schedule — add `#[must_use]` (its \
                      return type is neither `Result` nor a must-use result type)",
                     ctx.fun.sig.ident.text
                 ),
-            });
+            ));
         }
     }
 }

@@ -1,0 +1,137 @@
+//! Panic-reachability lint: no panic source reachable from a
+//! `#[panic_free]` root.
+//!
+//! The daemon's liveness argument assumes the slot loop and the wire
+//! encoder cannot unwind: a panic mid-slot would poison the engine's state
+//! and strand every connected client, and a panic mid-frame would desync
+//! the stream for the peer. This pass makes that assumption checkable:
+//! from every `#[panic_free]` root, no `panic!`-family macro,
+//! `.unwrap()`/`.expect()`, or unguarded slice indexing may be reachable
+//! through any chain of workspace calls.
+//!
+//! Indexing heuristic (documented in DESIGN.md §15): non-literal indexing
+//! is pervasive and almost always guarded in this workspace by the
+//! `debug_assert!` certificate convention, so an index expression counts
+//! as a panic source only in a function that contains *no*
+//! `assert!`/`debug_assert!`-family guard at all. Literal indices and full
+//! `[..]` ranges are always exempt. The residual risk is accepted and
+//! auditable: a function with one guard and one unrelated index passes.
+//!
+//! `unreachable!` is deliberately *included*: on a panic-free root the
+//! invariant must be rephrased as a typed error or suppressed with an
+//! audited `#[allow_reach(panic_free, reason = "…")]`.
+
+use std::collections::HashSet;
+
+use crate::callgraph::{CallGraph, Property};
+
+use super::{reach_check, Violation};
+
+/// Runs the panic-reachability lint over the call graph. `used` records
+/// which suppressions fired, for the audit pass.
+pub fn check(graph: &CallGraph, used: &mut HashSet<(usize, usize)>, out: &mut Vec<Violation>) {
+    reach_check(
+        graph,
+        "panic_free",
+        &[Property::Panic],
+        &|n| n.panic_free_root,
+        used,
+        &|root, offender, offense| {
+            let reach = if root.path() == offender.path() {
+                format!("in `#[panic_free] fn {}`", root.path())
+            } else {
+                format!("reachable from `#[panic_free] fn {}`", root.path())
+            };
+            format!(
+                "panic source {} {reach} — return a typed error or prove the invariant \
+                 with a guard; if the graph cannot see the proof, suppress with \
+                 `#[allow_reach(panic_free, reason = \"…\")]`",
+                offense.what
+            )
+        },
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::{Path, PathBuf};
+
+    use crate::callgraph::CallGraph;
+    use crate::lints::{SourceFile, Violation};
+
+    fn lint(files: &[(&str, &str)]) -> Vec<Violation> {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, src)| SourceFile {
+                path: PathBuf::from(path),
+                file: syn::parse_file(src).unwrap(),
+            })
+            .collect();
+        let refs: Vec<&SourceFile> = sources.iter().collect();
+        let graph = CallGraph::build(&refs, Path::new(""));
+        let mut used = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        super::check(&graph, &mut used, &mut out);
+        out
+    }
+
+    #[test]
+    fn unmarked_fns_may_panic() {
+        let files = [("crates/wdm-core/src/lib.rs", "fn f() { panic!(\"boom\"); }")];
+        assert!(lint(&files).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_and_unwrap_are_flagged() {
+        let src = "#[panic_free]\n\
+                   fn root() {\n\
+                       let x = v.pop().unwrap();\n\
+                       unreachable!(\"invariant\");\n\
+                   }";
+        let out = lint(&[("crates/wdm-serve/src/lib.rs", src)]);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("`.unwrap()`"), "{}", out[0].message);
+        assert!(out[1].message.contains("`unreachable!(..)`"), "{}", out[1].message);
+    }
+
+    #[test]
+    fn panic_in_callee_is_caught_with_chain() {
+        let src = "#[panic_free]\n\
+                   fn root() { step(); }\n\
+                   fn step() { finish(); }\n\
+                   fn finish() { todo!() }";
+        let out = lint(&[("crates/wdm-serve/src/lib.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].chain, vec!["wdm_serve::root", "wdm_serve::step", "wdm_serve::finish"]);
+    }
+
+    #[test]
+    fn unguarded_indexing_is_flagged_guarded_is_not() {
+        let unguarded = "#[panic_free]\nfn root(xs: &[u64], i: usize) -> u64 { xs[i] }";
+        let out = lint(&[("crates/wdm-core/src/lib.rs", unguarded)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("indexing"), "{}", out[0].message);
+
+        let guarded = "#[panic_free]\n\
+                       fn root(xs: &[u64], i: usize) -> u64 {\n\
+                           debug_assert!(i < xs.len());\n\
+                           xs[i]\n\
+                       }";
+        assert!(lint(&[("crates/wdm-core/src/lib.rs", guarded)]).is_empty());
+    }
+
+    #[test]
+    fn literal_indexing_is_exempt() {
+        let src = "#[panic_free]\nfn root(xs: &[u64; 4]) -> u64 { xs[0] + xs[1] }";
+        assert!(lint(&[("crates/wdm-core/src/lib.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_suppresses() {
+        let src = "#[panic_free]\n\
+                   #[allow_reach(panic_free, reason = \"submit() validated every request\")]\n\
+                   fn root() { unreachable!(\"validated\") }";
+        assert!(lint(&[("crates/wdm-serve/src/lib.rs", src)]).is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Machine-readable lint report: `cargo xtask lint --json`.
+//!
+//! Hand-rolled JSON emitter (the workspace is offline — no serde), with a
+//! **stable schema** guarded by a snapshot test: consumers (the CI lint
+//! job's artifact, editor integrations) may rely on every key below.
+//! Schema, version 1:
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "tool": "cargo-xtask-lint",
+//!   "files_scanned": <int>,
+//!   "violations": [
+//!     {
+//!       "lint": <string>,           // pass name, e.g. "hot_path"
+//!       "file": <string>,           // root-relative, '/'-separated
+//!       "line": <int>,              // 1-based
+//!       "message": <string>,
+//!       "root_fn": <string|null>,   // interprocedural findings only
+//!       "chain": [<string>, …]      // witnessing call chain, maybe empty
+//!     }, …
+//!   ],
+//!   "passes": [
+//!     { "name": <string>, "micros": <int>, "violations": <int> }, …
+//!   ],
+//!   "summary": { "total": <int>, "by_lint": { <lint>: <int>, … } }
+//! }
+//! ```
+//!
+//! Versioning rule: adding a key is a minor, non-breaking change; renaming
+//! or removing one bumps `schema_version`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use super::LintRun;
+
+/// Renders one lint run as the schema-version-1 JSON document. With
+/// `stable_timings`, per-pass wall-clocks are zeroed so snapshot tests can
+/// compare the document byte-for-byte.
+pub fn to_json(run: &LintRun, root: &Path, stable_timings: bool) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n  \"schema_version\": 1,\n  \"tool\": \"cargo-xtask-lint\",\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", run.files));
+
+    s.push_str("  \"violations\": [");
+    for (i, v) in run.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rel = v.file.strip_prefix(root).unwrap_or(&v.file);
+        let rel: String = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        s.push_str("\n    {");
+        s.push_str(&format!("\"lint\": {}, ", quote(v.lint)));
+        s.push_str(&format!("\"file\": {}, ", quote(&rel)));
+        s.push_str(&format!("\"line\": {}, ", v.line));
+        s.push_str(&format!("\"message\": {}, ", quote(&v.message)));
+        match &v.root_fn {
+            Some(r) => s.push_str(&format!("\"root_fn\": {}, ", quote(r))),
+            None => s.push_str("\"root_fn\": null, "),
+        }
+        s.push_str("\"chain\": [");
+        for (j, link) in v.chain.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&quote(link));
+        }
+        s.push_str("]}");
+    }
+    s.push_str(if run.violations.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    s.push_str("  \"passes\": [");
+    for (i, p) in run.passes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let micros = if stable_timings { 0 } else { p.micros };
+        s.push_str(&format!(
+            "\n    {{\"name\": {}, \"micros\": {micros}, \"violations\": {}}}",
+            quote(p.name),
+            p.violations
+        ));
+    }
+    s.push_str(if run.passes.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    let mut by_lint: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in &run.violations {
+        *by_lint.entry(v.lint).or_insert(0) += 1;
+    }
+    s.push_str(&format!("  \"summary\": {{\"total\": {}, \"by_lint\": {{", run.violations.len()));
+    for (i, (lint, count)) in by_lint.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{}: {count}", quote(lint)));
+    }
+    s.push_str("}}\n}\n");
+    s
+}
+
+/// JSON string quoting with the escapes the report can actually contain
+/// (backslash, quote, control characters).
+fn quote(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::{Path, PathBuf};
+
+    use super::super::{LintRun, PassReport, Violation};
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(super::quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_shape_is_stable() {
+        let mut v = Violation::new(
+            "hot_path",
+            PathBuf::from("/ws/crates/wdm-core/src/lib.rs"),
+            7,
+            "allocation `Vec::new(..)` reachable",
+        );
+        v.root_fn = Some("wdm_core::hot".to_owned());
+        v.chain = vec!["wdm_core::hot".to_owned(), "wdm_core::far".to_owned()];
+        let run = LintRun {
+            violations: vec![v],
+            passes: vec![PassReport { name: "hot_path", micros: 1234, violations: 1 }],
+            files: 3,
+        };
+        let json = super::to_json(&run, Path::new("/ws"), true);
+        let expected = "{\n  \"schema_version\": 1,\n  \"tool\": \"cargo-xtask-lint\",\n  \
+                        \"files_scanned\": 3,\n  \"violations\": [\n    \
+                        {\"lint\": \"hot_path\", \"file\": \"crates/wdm-core/src/lib.rs\", \
+                        \"line\": 7, \"message\": \"allocation `Vec::new(..)` reachable\", \
+                        \"root_fn\": \"wdm_core::hot\", \
+                        \"chain\": [\"wdm_core::hot\", \"wdm_core::far\"]}\n  ],\n  \
+                        \"passes\": [\n    \
+                        {\"name\": \"hot_path\", \"micros\": 0, \"violations\": 1}\n  ],\n  \
+                        \"summary\": {\"total\": 1, \"by_lint\": {\"hot_path\": 1}}\n}\n";
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn empty_run_is_valid() {
+        let run = LintRun { violations: Vec::new(), passes: Vec::new(), files: 0 };
+        let json = super::to_json(&run, Path::new("/ws"), true);
+        assert!(json.contains("\"violations\": [],"));
+        assert!(json.contains("\"summary\": {\"total\": 0, \"by_lint\": {}}"));
+    }
+}

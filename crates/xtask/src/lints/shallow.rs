@@ -1,0 +1,247 @@
+//! The retired v1 hot-path scanner, kept **test-only** as a foil for the
+//! interprocedural v2 pass — the same role [`legacy`](super::legacy) plays
+//! for the banned-construct lint.
+//!
+//! v1 resolved exactly one level of *same-file* callees, so two classes of
+//! allocation were invisible to it:
+//!
+//! * an allocation **two calls deep** (`hot → near → far`, `far`
+//!   allocates) — v1 stopped at `near`;
+//! * an allocation in **another file or crate** — v1's callee table was
+//!   the current file only.
+//!
+//! The regression tests below run the preserved scanner and the v2
+//! call-graph pass side by side on the same sources and pin both false
+//! negatives: v1 finds nothing, v2 reports the offense with its witnessing
+//! chain. Nothing here is wired into any gate.
+
+use syn::{Delimiter, TokenStream, TokenTree};
+
+use super::{walk_items, FnCtx, SourceFile};
+
+/// One allocation found by the shallow scanner.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ShallowFinding {
+    /// 1-based line.
+    pub line: usize,
+    /// What matched.
+    pub what: String,
+}
+
+/// `Type::method` constructor calls that allocate (v1 table, verbatim).
+const BANNED_PATH_CALLS: [(&str, &str); 8] = [
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("VecDeque", "new"),
+    ("VecDeque", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+
+/// `.method()` calls that allocate their result (v1 table, verbatim).
+const BANNED_METHODS: [&str; 5] = ["collect", "to_owned", "to_vec", "to_string", "into_owned"];
+
+/// Macros that allocate (v1 table, verbatim).
+const BANNED_MACROS: [&str; 2] = ["format", "vec"];
+
+/// Macros whose arguments are compiled out of release builds.
+const EXEMPT_MACROS: [&str; 3] = ["debug_assert", "debug_assert_eq", "debug_assert_ne"];
+
+/// Whether an attribute is the `#[hot_path]` marker.
+fn is_hot_path_attr(attrs: &[syn::Attribute]) -> bool {
+    attrs
+        .iter()
+        .any(|a| a.path == "hot_path" || (a.path == "wdm_attr" && a.contains_ident("hot_path")))
+}
+
+/// The v1 scanner, verbatim modulo violation bookkeeping: direct
+/// allocations in a `#[hot_path]` body, plus one level into same-file
+/// callees.
+pub fn check_shallow(source: &SourceFile) -> Vec<ShallowFinding> {
+    let mut out = Vec::new();
+    let mut all_fns: Vec<&syn::ItemFn> = Vec::new();
+    walk_items(
+        &source.file.items,
+        false,
+        true,
+        &mut |ctx: FnCtx<'_>| all_fns.push(ctx.fun),
+        &mut |_, _| {},
+    );
+    walk_items(
+        &source.file.items,
+        false,
+        true,
+        &mut |ctx: FnCtx<'_>| {
+            if ctx.in_test || !is_hot_path_attr(&ctx.fun.attrs) {
+                return;
+            }
+            let marked = ctx.fun.sig.ident.text.clone();
+            let Some(block) = &ctx.fun.block else { return };
+            scan_stream(&block.stream, &mut |line, what| {
+                out.push(ShallowFinding { line, what: what.to_owned() });
+            });
+            // One level into same-file callees — the whole of v1's reach.
+            let mut callees = Vec::new();
+            collect_called_names(&block.stream, &mut callees);
+            for fun in &all_fns {
+                let name = &fun.sig.ident.text;
+                if *name != marked
+                    && callees.iter().any(|c| c == name)
+                    && !is_hot_path_attr(&fun.attrs)
+                {
+                    if let Some(callee_block) = &fun.block {
+                        scan_stream(&callee_block.stream, &mut |line, what| {
+                            out.push(ShallowFinding { line, what: what.to_owned() });
+                        });
+                    }
+                }
+            }
+        },
+        &mut |_, _| {},
+    );
+    out
+}
+
+fn scan_stream(stream: &TokenStream, report: &mut impl FnMut(usize, &str)) {
+    let trees = &stream.trees;
+    let mut skip_group_at = usize::MAX;
+    for (i, tree) in trees.iter().enumerate() {
+        match tree {
+            TokenTree::Ident(ident) => {
+                if trees.get(i + 1).and_then(TokenTree::as_punct) == Some('!') {
+                    if EXEMPT_MACROS.contains(&ident.text.as_str()) {
+                        skip_group_at = i + 2;
+                        continue;
+                    }
+                    if BANNED_MACROS.contains(&ident.text.as_str()) {
+                        report(ident.span.line, &format!("`{}!(..)`", ident.text));
+                    }
+                }
+                if trees.get(i + 1).and_then(TokenTree::as_punct) == Some(':')
+                    && trees.get(i + 2).and_then(TokenTree::as_punct) == Some(':')
+                {
+                    if let Some(TokenTree::Ident(method)) = trees.get(i + 3) {
+                        let called = matches!(
+                            trees.get(i + 4),
+                            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                        );
+                        if called
+                            && BANNED_PATH_CALLS
+                                .iter()
+                                .any(|(t, m)| *t == ident.text && *m == method.text)
+                        {
+                            report(
+                                ident.span.line,
+                                &format!("`{}::{}(..)`", ident.text, method.text),
+                            );
+                        }
+                    }
+                }
+                let after_dot = i > 0 && trees[i - 1].as_punct() == Some('.');
+                let called = matches!(
+                    trees.get(i + 1),
+                    Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                );
+                if after_dot && called && BANNED_METHODS.contains(&ident.text.as_str()) {
+                    report(ident.span.line, &format!("`.{}()`", ident.text));
+                }
+            }
+            TokenTree::Group(g) => {
+                if i == skip_group_at {
+                    continue;
+                }
+                scan_stream(&g.stream, report);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects the names of everything called as `name(…)`.
+fn collect_called_names(stream: &TokenStream, out: &mut Vec<String>) {
+    const KEYWORDS: [&str; 8] = ["if", "while", "match", "for", "loop", "return", "fn", "move"];
+    let trees = &stream.trees;
+    for (i, tree) in trees.iter().enumerate() {
+        match tree {
+            TokenTree::Ident(ident) => {
+                let called = matches!(
+                    trees.get(i + 1),
+                    Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                );
+                let is_macro = trees.get(i + 1).and_then(TokenTree::as_punct) == Some('!');
+                if called && !is_macro && !KEYWORDS.contains(&ident.text.as_str()) {
+                    out.push(ident.text.clone());
+                }
+            }
+            TokenTree::Group(g) => collect_called_names(&g.stream, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::{Path, PathBuf};
+
+    use super::check_shallow;
+    use crate::callgraph::CallGraph;
+    use crate::lints::{hot_path, SourceFile};
+
+    fn source(path: &str, src: &str) -> SourceFile {
+        SourceFile { path: PathBuf::from(path), file: syn::parse_file(src).unwrap() }
+    }
+
+    fn v2(files: &[(&str, &str)]) -> Vec<crate::lints::Violation> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, s)| source(p, s)).collect();
+        let refs: Vec<&SourceFile> = sources.iter().collect();
+        let graph = CallGraph::build(&refs, Path::new(""));
+        let mut used = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        hot_path::check(&graph, &mut used, &mut out);
+        out
+    }
+
+    #[test]
+    fn both_catch_the_one_level_case() {
+        // Sanity: on v1's home turf the two passes agree.
+        let src = "#[hot_path]\n\
+                   fn hot() { helper(); }\n\
+                   fn helper() { let v = vec![1, 2]; }";
+        let shallow = check_shallow(&source("crates/wdm-core/src/lib.rs", src));
+        assert_eq!(shallow.len(), 1);
+        assert_eq!(v2(&[("crates/wdm-core/src/lib.rs", src)]).len(), 1);
+    }
+
+    #[test]
+    fn false_negative_two_calls_deep() {
+        // `far` allocates, two calls below the root: v1 is blind (pinned
+        // false negative), v2 reports it with the full chain.
+        let src = "#[hot_path]\n\
+                   fn hot() { near(); }\n\
+                   fn near() { far(); }\n\
+                   fn far() { let v = Vec::new(); }";
+        let shallow = check_shallow(&source("crates/wdm-core/src/lib.rs", src));
+        assert!(shallow.is_empty(), "v1 unexpectedly grew deep resolution: {shallow:?}");
+        let deep = v2(&[("crates/wdm-core/src/lib.rs", src)]);
+        assert_eq!(deep.len(), 1, "{deep:?}");
+        assert_eq!(deep[0].chain.len(), 3);
+    }
+
+    #[test]
+    fn false_negative_cross_file() {
+        // The callee lives in another crate: v1's same-file table cannot
+        // see it (pinned false negative), v2 resolves the cross-crate call.
+        let root = "#[hot_path]\nfn hot() { wdm_core::mask::grow(); }";
+        let callee = "pub fn grow() { let v = Vec::with_capacity(8); }";
+        let shallow = check_shallow(&source("crates/wdm-serve/src/engine.rs", root));
+        assert!(shallow.is_empty(), "v1 unexpectedly resolved cross-file: {shallow:?}");
+        let deep = v2(&[
+            ("crates/wdm-serve/src/engine.rs", root),
+            ("crates/wdm-core/src/mask.rs", callee),
+        ]);
+        assert_eq!(deep.len(), 1, "{deep:?}");
+        assert!(deep[0].file.ends_with("crates/wdm-core/src/mask.rs"));
+    }
+}

@@ -41,12 +41,12 @@ pub fn check(sources: &[&SourceFile], out: &mut Vec<Violation>) {
         }
         let twin = format!("{name}_checked");
         if !names.contains(&twin.as_str()) {
-            out.push(Violation {
-                lint: "twins",
-                file: source.path.clone(),
-                line: ctx.fun.span.line,
-                message: format!("`pub fn {name}` has no `{twin}` certificate twin"),
-            });
+            out.push(Violation::new(
+                "twins",
+                source.path.clone(),
+                ctx.fun.span.line,
+                format!("`pub fn {name}` has no `{twin}` certificate twin"),
+            ));
         }
     }
 }

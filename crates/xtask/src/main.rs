@@ -8,7 +8,7 @@
 //! | `cargo xtask clippy` | the `[workspace.lints]` deny wall |
 //! | `cargo xtask build` | the workspace compiles, all targets |
 //! | `cargo xtask test` | the full test suite in the dev profile, so `debug_assert!`-gated `MatchingCertificate` checks execute |
-//! | `cargo xtask lint` | the `syn`-based AST lint pass: banned constructs, `_checked`-twin audit, no narrowing casts, `#[must_use]` coverage, paper doc tags (see `lints/`) |
+//! | `cargo xtask lint` | the `syn`-based AST lint pass over the whole-workspace call graph: banned constructs, `_checked`-twin audit, no narrowing casts, `#[must_use]` coverage, paper doc tags, and the interprocedural `hot_path`/`lock_order`/`panic_free` reachability lints (see `lints/`, `callgraph/`); `--json` emits the machine-readable report on stdout |
 //! | `cargo xtask check` | all of the above, in that order |
 //!
 //! The **soundness** prongs run the whole-program verifiers; each one probes
@@ -30,16 +30,17 @@
 //! space, and multi-line calls; `lints/legacy.rs` keeps the old scanner
 //! test-only with regression tests pinning exactly those failure modes.
 
-#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
-
-mod lints;
-
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode, Stdio};
+
+use xtask::lints;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map_or("check", String::as_str);
+    // In --json mode stdout carries the report and nothing else, so
+    // `cargo xtask lint --json > report.json` yields a parseable file.
+    let json = cmd == "lint" && args.iter().any(|a| a == "--json");
     let root = workspace_root();
     let ok = match cmd {
         "check" => {
@@ -47,13 +48,13 @@ fn main() -> ExitCode {
                 && run_clippy(&root)
                 && run_build(&root)
                 && run_tests(&root)
-                && lints::run(&root)
+                && lints::run(&root, false)
         }
         "fmt" => run_fmt(&root),
         "clippy" => run_clippy(&root),
         "build" => run_build(&root),
         "test" => run_tests(&root),
-        "lint" => lints::run(&root),
+        "lint" => lints::run(&root, json),
         "loom" => run_loom(&root),
         "fuzz" => run_fuzz(&root),
         "miri" => run_miri(&root),
@@ -79,7 +80,11 @@ fn main() -> ExitCode {
         }
     };
     if ok {
-        println!("xtask {cmd}: all checks passed");
+        if json {
+            eprintln!("xtask {cmd}: all checks passed");
+        } else {
+            println!("xtask {cmd}: all checks passed");
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask {cmd}: FAILED");

@@ -1,0 +1,17 @@
+//! Fixture: a healthy tree — a hot root whose reachable work is clean,
+//! plus one *used* suppression (the startup-only allocation behind it).
+
+#[hot_path]
+pub fn hot() {
+    step();
+    warm_init();
+}
+
+fn step() {
+    let _x = 1 + 1;
+}
+
+#[allow_reach(hot_path, reason = "startup-only branch, gated by a once flag")]
+fn warm_init() {
+    let _table: Vec<u8> = Vec::with_capacity(8);
+}

@@ -1,0 +1,10 @@
+//! Fixture callee crate: `refresh` is one hop, `rebuild` is the second —
+//! the allocation is invisible to any one-level scanner.
+
+pub fn refresh() {
+    rebuild();
+}
+
+fn rebuild() {
+    let _scratch: Vec<u8> = Vec::with_capacity(64);
+}

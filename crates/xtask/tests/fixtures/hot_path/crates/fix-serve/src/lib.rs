@@ -1,0 +1,7 @@
+//! Fixture root crate: the hot function itself is clean — the seeded
+//! allocation sits two calls away, in another crate.
+
+#[hot_path]
+pub fn run_slot() {
+    fix_core::mask::refresh();
+}

@@ -1,0 +1,15 @@
+//! Fixture: `poke` itself takes no lock — `bump`, one call below it, does.
+
+pub struct Shared {
+    state: Mutex<u8>,
+}
+
+impl Shared {
+    fn bump(&self) {
+        let _g = self.state.lock();
+    }
+}
+
+pub fn poke(shared: &Shared) {
+    shared.bump();
+}

@@ -1,0 +1,15 @@
+//! Fixture: holds the declared `slots` lock across a call into another
+//! crate whose callee transitively acquires the declared `state` lock —
+//! the nested acquisition no single function body shows.
+
+pub struct Cells {
+    slots: Mutex<Vec<u32>>,
+}
+
+impl Cells {
+    pub fn drain(&self, shared: &Shared) {
+        let g = self.slots.lock();
+        wdm_serve::serve_sync::poke(shared);
+        drop(g);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: both panic sources sit one call below the `#[panic_free]`
+//! root — an invariant `unreachable!` and an unguarded index.
+
+#[panic_free]
+pub fn encode(buf: &[u8], cursor: usize) {
+    header(buf, cursor);
+    trailer(cursor);
+}
+
+fn header(buf: &[u8], cursor: usize) {
+    let _b = buf[cursor];
+}
+
+fn trailer(cursor: usize) {
+    if cursor > 0 {
+        unreachable!("fixture invariant");
+    }
+}

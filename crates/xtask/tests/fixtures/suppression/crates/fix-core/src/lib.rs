@@ -1,0 +1,11 @@
+//! Fixture: all three ways a suppression can be wrong — naming an unknown
+//! lint, carrying no reason, and excusing nothing.
+
+#[allow_reach(frobnicate, reason = "no such lint")]
+pub fn unknown_lint() {}
+
+#[allow_reach(panic_free, reason = "")]
+pub fn empty_reason() {}
+
+#[allow_reach(hot_path, reason = "the allocation this excused is gone")]
+pub fn unused() {}
