@@ -122,6 +122,7 @@ fn schedule_slot_steady_state_is_allocation_free() {
     serve_slot_loop_is_allocation_free();
     serve_coherent_slot_loop_is_allocation_free();
     serve_reservation_slot_loop_is_allocation_free();
+    serve_scenario_slot_loop_is_allocation_free();
 
     // Sanity-check the counter itself: a deliberate allocation must be seen
     // (done last so it cannot pollute the measurement windows above).
@@ -714,4 +715,177 @@ fn serve_reservation_slot_loop_is_allocation_free() {
             "{name}: {events} heap allocations in {MEASURED} reservation-heavy daemon slots"
         );
     }
+}
+/// The daemon slot loop stays allocation-free *with a storm in progress*:
+/// a scenario plan strikes a converter failure and a fiber outage before
+/// the window opens and keeps both disruptions (and the engaged
+/// BFA→approx fallback) in force across every measured slot. The
+/// [`wdm_serve::ScenarioRuntime::before_slot`] call rides in the loop —
+/// after the strike edges, its event cursor peeks past-the-end and the
+/// fallback controller holds its engaged state, so the steady disrupted
+/// slot touches no heap: submissions toward the dark fiber deny, the
+/// degraded fiber schedules with its shrunk scheme, and every buffer was
+/// sized at its high-water mark during warmup. (The strike edges
+/// themselves may allocate — they rebuild a conversion scheme once — and
+/// fire before the measurement window, exactly as in a real run where
+/// events are rare edges between thousands of steady slots.)
+///
+/// Called from the single `#[test]` above — the counters are process-global.
+fn serve_scenario_slot_loop_is_allocation_free() {
+    use wdm_serve::protocol::SubmitRequest;
+    use wdm_serve::{EngineConfig, ScenarioRuntime, SlotEngine};
+
+    const N: usize = 4;
+    const K: usize = 32;
+    const WARMUP: u64 = 32;
+    const MEASURED: u64 = 512;
+
+    // Strikes at slots 0 and 1, recoveries far past the measured window:
+    // every measured slot runs with fiber 1 degraded to d = 1, fiber 2
+    // dark, and the approx fallback engaged (on_disruption).
+    let doc = r#"
+schema = 1
+name = "alloc-pin-storm"
+
+[interconnect]
+n = 4
+k = 32
+degree = 5
+kind = "circular"
+policy = "bfa"
+
+[run]
+slots = 2000
+seed = 1
+
+[traffic]
+load = 0.6
+duration = { model = "deterministic", slots = 1 }
+
+[[disruptions]]
+at = 0
+fiber = 1
+kind = "converter-failure"
+degree = 1
+until = 1900
+
+[[disruptions]]
+at = 1
+fiber = 2
+kind = "outage"
+until = 1900
+
+[fallback]
+policy = "approx"
+on_disruption = true
+"#;
+    let plan = std::sync::Arc::new(wdm_scenario::load_plan(doc).expect("pin plan compiles"));
+
+    let submit_slot = |engine: &mut SlotEngine, rng: &mut Rng, next_id: &mut u64| {
+        for fiber in 0..N {
+            for w in 0..K {
+                let r = rng.next();
+                if r % 10 >= 6 {
+                    continue;
+                }
+                let req = SubmitRequest {
+                    id: *next_id,
+                    src_fiber: fiber as u32,
+                    src_wavelength: w as u32,
+                    dst_fiber: ((r >> 8) % N as u64) as u32,
+                    duration: 1 + ((r >> 16) % 3) as u32,
+                };
+                *next_id += 1;
+                if let Some(_reply) = engine.submit(0, req) {}
+            }
+        }
+    };
+
+    let mut engine =
+        SlotEngine::new(EngineConfig::new(N, plan.conversion(), plan.policy())).unwrap();
+    let mut rt = ScenarioRuntime::new(std::sync::Arc::clone(&plan), &engine)
+        .expect("plan matches the engine topology");
+    let mut out = Vec::new();
+    let mut rng = Rng(0x5EED_0004);
+    let mut next_id = 0u64;
+
+    let mut grants = 0usize;
+    // Fire the strike edges (slots 0 and 1) and prime every buffer to its
+    // structural maximum under the disrupted topology, same recipe as the
+    // plain serve pin: one full fiber→fiber slot, drain, then all-to-one
+    // slots per destination — including the dark fiber, whose denies size
+    // the reply vector just as grants would.
+    for fiber in 0..N {
+        for w in 0..K {
+            let req = SubmitRequest {
+                id: next_id,
+                src_fiber: fiber as u32,
+                src_wavelength: w as u32,
+                dst_fiber: fiber as u32,
+                duration: 3,
+            };
+            next_id += 1;
+            if let Some(_reply) = engine.submit(0, req) {}
+        }
+    }
+    out.clear();
+    rt.before_slot(&mut engine, 0, &mut out);
+    grants += engine.run_slot(&mut out).grants;
+    for _ in 0..3 {
+        out.clear();
+        rt.before_slot(&mut engine, 0, &mut out);
+        grants += engine.run_slot(&mut out).grants;
+    }
+    for dst in 0..N {
+        for fiber in 0..N {
+            for w in 0..K {
+                let req = SubmitRequest {
+                    id: next_id,
+                    src_fiber: fiber as u32,
+                    src_wavelength: w as u32,
+                    dst_fiber: dst as u32,
+                    duration: 3,
+                };
+                next_id += 1;
+                if let Some(_reply) = engine.submit(0, req) {}
+            }
+        }
+        out.clear();
+        rt.before_slot(&mut engine, 0, &mut out);
+        grants += engine.run_slot(&mut out).grants;
+    }
+    for _ in 0..WARMUP {
+        submit_slot(&mut engine, &mut rng, &mut next_id);
+        out.clear();
+        rt.before_slot(&mut engine, 0, &mut out);
+        grants += engine.run_slot(&mut out).grants;
+    }
+    assert!(rt.engaged(), "the fallback must be engaged across the window");
+    assert_eq!(
+        engine.policy(),
+        wdm_core::Policy::Approximate,
+        "the degraded policy must be in force across the window"
+    );
+
+    let before = ALLOC.heap_events();
+    ALLOC.trap_backtraces(!cfg!(debug_assertions));
+    for _ in 0..MEASURED {
+        submit_slot(&mut engine, &mut rng, &mut next_id);
+        out.clear();
+        rt.before_slot(&mut engine, 0, &mut out);
+        grants += engine.run_slot(&mut out).grants;
+    }
+    ALLOC.trap_backtraces(false);
+    let events = ALLOC.heap_events() - before;
+
+    assert!(grants > 0, "scenario pin: workload must grant through the degraded fabric");
+    assert!(rt.engaged(), "the fallback must still be engaged after the window");
+    assert_eq!(rt.summary().events_applied, 2, "only the strike edges fire inside this run");
+    if cfg!(debug_assertions) {
+        return;
+    }
+    assert_eq!(
+        events, 0,
+        "scenario pin: {events} heap allocations in {MEASURED} disrupted daemon slots"
+    );
 }

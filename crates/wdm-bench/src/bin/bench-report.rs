@@ -297,6 +297,7 @@ fn bench_serve_one(
         engine: EngineConfig::new(SERVE_N, conv, policy),
         slot_period: Duration::ZERO,
         max_slots: None,
+        scenario: None,
     };
     let server = Server::bind("127.0.0.1:0", config).map_err(|err| err.to_string())?;
     let addr = server.local_addr().to_string();
@@ -312,6 +313,7 @@ fn bench_serve_one(
         reserve_fraction: 0.0,
         reserve_lead: 4,
         shutdown_server: true,
+        scenario: None,
     })
     .map_err(|err| err.to_string())?;
     let server_report = handle

@@ -289,6 +289,46 @@ impl FiberScheduler {
         self.warm_stats = WarmStats::default();
     }
 
+    /// Invalidates the warm state without touching the cumulative counters:
+    /// the next [`Self::schedule_slot`] runs cold, and the cold slot is
+    /// counted like any other. Used when the scheduling ground truth shifts
+    /// under the scheduler (conversion or policy change mid-run) — the
+    /// stale `warm_owner` matching must never be repaired against a
+    /// different conversion range.
+    pub fn invalidate_warm(&mut self) {
+        self.warm_valid = false;
+        self.warm_streak = 0;
+        self.warm_skip = 0;
+    }
+
+    /// Swaps the conversion scheme mid-run — the converter-failure /
+    /// recovery path. The wavelength count must be unchanged (`k` is
+    /// physical fiber capacity; only the conversion *degree* can shrink or
+    /// recover). The warm matching is invalidated, never repaired across
+    /// the swap; cumulative warm counters are preserved.
+    pub fn set_conversion(&mut self, conversion: Conversion) -> Result<(), Error> {
+        if conversion.k() != self.conversion.k() {
+            return Err(Error::WavelengthCountMismatch {
+                expected: self.conversion.k(),
+                actual: conversion.k(),
+            });
+        }
+        self.conversion = conversion;
+        self.invalidate_warm();
+        Ok(())
+    }
+
+    /// Swaps the scheduling policy mid-run — the degraded-mode fallback
+    /// path. The warm matching is invalidated (policies disagree on channel
+    /// choice, so a repaired foreign matching would not be the policy's
+    /// own); cumulative warm counters are preserved. Callers are
+    /// responsible for policy/conversion-kind compatibility (see the
+    /// construction-time matrix in `wdm-interconnect`).
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+        self.invalidate_warm();
+    }
+
     /// Whether the warm repair path applies to this scheduler's
     /// policy/conversion: the compact exact schedulers over a non-full
     /// conversion range. Full-range conversion is already `O(k)` from

@@ -100,6 +100,19 @@ impl InterconnectConfig {
     }
 }
 
+/// What applying a disruption event did to live interconnect state. Carried
+/// back to the caller so dropped work is reported, never silently absorbed.
+#[must_use = "disruptions drop live connections and reservations; report the impact"]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DisruptionImpact {
+    /// In-flight connections dropped because the event made them
+    /// unrealisable (outage) or unreachable (converter failure).
+    pub dropped_connections: usize,
+    /// Pending advance reservations cancelled because their destination
+    /// fiber went dark before activation.
+    pub cancelled_reservations: usize,
+}
+
 /// The slotted `N×N` wavelength-convertible interconnect.
 ///
 /// Each output fiber is a [`FiberUnit`] — the same shard type the
@@ -202,6 +215,109 @@ impl Interconnect {
         for f in &mut self.fibers {
             f.reset_warm();
         }
+    }
+
+    /// The conversion scheme currently in force on output fiber `fiber`
+    /// (the baseline from [`Self::conversion`] unless a converter-failure
+    /// disruption shrank it).
+    pub fn fiber_conversion(&self, fiber: usize) -> Result<&Conversion, Error> {
+        match self.fibers.get(fiber) {
+            Some(f) => Ok(f.conversion()),
+            None => Err(Error::InvalidFiber { fiber, n: self.n }),
+        }
+    }
+
+    /// Whether output fiber `fiber` is currently in a full outage.
+    pub fn is_fiber_down(&self, fiber: usize) -> Result<bool, Error> {
+        match self.fibers.get(fiber) {
+            Some(f) => Ok(f.is_down()),
+            None => Err(Error::InvalidFiber { fiber, n: self.n }),
+        }
+    }
+
+    /// Applies a converter-failure event: output fiber `fiber` runs under
+    /// the (typically narrower) `conversion` scheme from the next scheduled
+    /// slot on. The wavelength count must match the baseline and the scheme
+    /// must support the fiber's current policy. In-flight connections the
+    /// new range cannot realise are dropped and counted in the returned
+    /// impact — never silently kept; the fiber's warm-start state is
+    /// invalidated so the next slot repairs from scratch. Pending
+    /// reservations stay booked: they reserve channel *capacity*, which is
+    /// unchanged, and conversion reachability is (by the admission
+    /// contract) decided at activation time.
+    pub fn shrink_conversion(
+        &mut self,
+        fiber: usize,
+        conversion: Conversion,
+    ) -> Result<DisruptionImpact, Error> {
+        let Some(unit) = self.fibers.get_mut(fiber) else {
+            return Err(Error::InvalidFiber { fiber, n: self.n });
+        };
+        let dropped = unit.set_conversion(conversion)?;
+        Ok(DisruptionImpact { dropped_connections: dropped, cancelled_reservations: 0 })
+    }
+
+    /// Applies a converter-recovery event: output fiber `fiber` returns to
+    /// the baseline conversion scheme. Warm-start state is invalidated (the
+    /// previous matching was computed under the narrow range); nothing is
+    /// dropped — the baseline range is checked to be a superset in debug
+    /// builds and re-verified per active link regardless.
+    pub fn restore_conversion(&mut self, fiber: usize) -> Result<DisruptionImpact, Error> {
+        let baseline = self.conversion;
+        let Some(unit) = self.fibers.get_mut(fiber) else {
+            return Err(Error::InvalidFiber { fiber, n: self.n });
+        };
+        let dropped = unit.set_conversion(baseline)?;
+        debug_assert_eq!(dropped, 0, "restoring the baseline conversion drops nothing");
+        Ok(DisruptionImpact { dropped_connections: dropped, cancelled_reservations: 0 })
+    }
+
+    /// Applies a full fiber-outage event: output fiber `fiber` goes dark.
+    /// Every in-flight connection on it is severed, every pending
+    /// reservation destined to it is cancelled (its booked capacity no
+    /// longer exists — keeping it would be a silent lie the activation-time
+    /// check could not catch under [`PreemptionPolicy::ReservedFirst`]),
+    /// and until [`Self::rejoin_fiber`] every request destined there loses
+    /// output contention. New reservations toward a down fiber are denied
+    /// at admission.
+    pub fn fail_fiber(&mut self, fiber: usize) -> Result<DisruptionImpact, Error> {
+        let Some(unit) = self.fibers.get_mut(fiber) else {
+            return Err(Error::InvalidFiber { fiber, n: self.n });
+        };
+        let dropped = unit.set_down(true);
+        let cancelled = self.store.cancel_dst_fiber(fiber);
+        Ok(DisruptionImpact { dropped_connections: dropped, cancelled_reservations: cancelled })
+    }
+
+    /// Reverses [`Self::fail_fiber`]: the fiber rejoins cold and empty from
+    /// the next scheduled slot on. Returns an all-zero impact (rejoin drops
+    /// nothing) so call sites treat both edges of the outage uniformly.
+    pub fn rejoin_fiber(&mut self, fiber: usize) -> Result<DisruptionImpact, Error> {
+        let Some(unit) = self.fibers.get_mut(fiber) else {
+            return Err(Error::InvalidFiber { fiber, n: self.n });
+        };
+        let dropped = unit.set_down(false);
+        debug_assert_eq!(dropped, 0, "rejoining drops nothing");
+        Ok(DisruptionImpact { dropped_connections: dropped, cancelled_reservations: 0 })
+    }
+
+    /// Swaps the scheduling policy on every fiber — the degraded-mode
+    /// fallback path (e.g. BFA → the O(k) approximation under overload,
+    /// and back on recovery). All-or-nothing: the swap is validated against
+    /// every fiber's *current* conversion kind first and applied only if
+    /// every fiber accepts it. Warm-start state is invalidated on every
+    /// fiber; cumulative warm counters survive.
+    pub fn set_policy_all(&mut self, policy: Policy) -> Result<(), Error> {
+        for f in &self.fibers {
+            crate::shard::check_policy_kind(f.conversion(), policy)?;
+        }
+        for f in &mut self.fibers {
+            match f.set_policy(policy) {
+                Ok(()) => {}
+                Err(_) => unreachable!("policy pre-validated against every fiber"),
+            }
+        }
+        Ok(())
     }
 
     /// The advance-reservation ledger (pending reservations, horizon).
@@ -773,6 +889,129 @@ mod tests {
         ));
         // After the bursts complete (slot 4), capacity is bookable again.
         assert!(ic.reserve_checked(resv(1, 0, 0, 4, 2)).is_ok());
+    }
+
+    #[test]
+    fn shrink_conversion_takes_effect_at_next_slot_and_restores() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        // Two same-wavelength bursts to fiber 0: at most one can sit on the
+        // diagonal channel a degree-1 scheme can realise.
+        let r = ic
+            .advance_slot(&[
+                ConnectionRequest::burst(0, 2, 0, 10),
+                ConnectionRequest::burst(1, 2, 0, 10),
+            ])
+            .unwrap();
+        assert_eq!(r.grants.len(), 2);
+        let shrunk = Conversion::symmetric_circular(6, 1).unwrap();
+        let impact = ic.shrink_conversion(0, shrunk).unwrap();
+        assert!(impact.dropped_connections >= 1);
+        assert_eq!(impact.dropped_connections + ic.active_connections(), 2);
+        assert_eq!(ic.fiber_conversion(0).unwrap().degree(), 1);
+        assert_eq!(ic.fiber_conversion(1).unwrap().degree(), 3, "other fibers untouched");
+        // Under degree 1, a λ4 request can only take channel 4.
+        let r = ic
+            .advance_slot(&[ConnectionRequest::packet(0, 4, 0), ConnectionRequest::packet(1, 4, 0)])
+            .unwrap();
+        assert_eq!(r.grants.len(), 1, "degree-1 fiber grants one of two λ4 requests");
+        assert_eq!(r.contention_losses(), 1);
+        let _ = ic.advance_slot(&[]).unwrap();
+        // Recovery restores the full degree-3 range.
+        let impact = ic.restore_conversion(0).unwrap();
+        assert_eq!(impact, DisruptionImpact::default());
+        assert_eq!(ic.fiber_conversion(0).unwrap().degree(), 3);
+        let r = ic
+            .advance_slot(&[ConnectionRequest::packet(0, 4, 0), ConnectionRequest::packet(1, 4, 0)])
+            .unwrap();
+        assert_eq!(r.grants.len(), 2, "restored range places both λ4 requests");
+    }
+
+    #[test]
+    fn shrunken_fiber_keeps_reservations_and_ledger_certifies() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let id = ic.reserve_checked(resv(0, 2, 0, 3, 2)).unwrap();
+        let shrunk = Conversion::symmetric_circular(6, 1).unwrap();
+        let _ = ic.shrink_conversion(0, shrunk).unwrap();
+        // Capacity bookings survive a converter failure (k is unchanged);
+        // the ledger still certifies end to end.
+        assert_eq!(ic.reservations().len(), 1);
+        ic.reservations().check_ledger(ic.slot()).unwrap();
+        for _ in 0..3 {
+            let _ = ic.advance_slot(&[]).unwrap();
+        }
+        // λ2 → channel 2 is realisable under degree 1: the reservation
+        // activates on the shrunken fiber.
+        let r = ic.advance_slot(&[]).unwrap();
+        assert_eq!(r.reservation_grants.len(), 1);
+        assert_eq!(r.reservation_grants[0].reservation, id);
+        assert_eq!(r.reservation_grants[0].grant.output_wavelength, 2);
+    }
+
+    #[test]
+    fn fiber_outage_cancels_reservations_and_rejects_traffic() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let _ = ic.advance_slot(&[ConnectionRequest::burst(0, 2, 0, 10)]).unwrap();
+        ic.reserve_checked(resv(1, 0, 0, 5, 2)).unwrap();
+        let keep = ic.reserve_checked(resv(1, 1, 1, 5, 2)).unwrap();
+        let impact = ic.fail_fiber(0).unwrap();
+        assert_eq!(impact, DisruptionImpact { dropped_connections: 1, cancelled_reservations: 1 });
+        assert!(ic.is_fiber_down(0).unwrap());
+        assert_eq!(ic.active_connections(), 0);
+        // Only the fiber-1 booking survives, and the ledger certifies.
+        assert_eq!(ic.reservations().len(), 1);
+        assert_eq!(ic.reservations().pending()[0].id, keep);
+        ic.reservations().check_ledger(ic.slot()).unwrap();
+        // New bookings toward the dark fiber are denied at admission.
+        assert!(matches!(
+            ic.reserve(resv(1, 2, 0, 6, 1)),
+            Err(Error::ReservationCapacityExhausted { fiber: 0, slot: 6 })
+        ));
+        // Traffic toward the dark fiber loses output contention; other
+        // fibers are unaffected.
+        let r = ic
+            .advance_slot(&[ConnectionRequest::packet(0, 0, 0), ConnectionRequest::packet(0, 1, 1)])
+            .unwrap();
+        assert_eq!(r.grants.len(), 1);
+        assert_eq!(r.grants[0].request.dst_fiber, 1);
+        assert_eq!(r.contention_losses(), 1);
+        // Rejoin: the fiber comes back cold and schedules again.
+        let impact = ic.rejoin_fiber(0).unwrap();
+        assert_eq!(impact, DisruptionImpact::default());
+        assert!(!ic.is_fiber_down(0).unwrap());
+        let r = ic.advance_slot(&[ConnectionRequest::packet(0, 0, 0)]).unwrap();
+        assert_eq!(r.grants.len(), 1);
+    }
+
+    #[test]
+    fn policy_fallback_swaps_all_fibers_or_none() {
+        let circ = conv();
+        let cfg =
+            InterconnectConfig::packet_switch(2, circ).with_policy(Policy::BreakFirstAvailable);
+        let mut ic = Interconnect::new(cfg).unwrap();
+        // FA needs non-circular: the all-fiber swap must refuse whole.
+        assert!(ic.set_policy_all(Policy::FirstAvailable).is_err());
+        // BFA → approximation is the degraded-mode pair: always kind-legal.
+        ic.set_policy_all(Policy::Approximate).unwrap();
+        let r = ic.advance_slot(&[ConnectionRequest::packet(0, 2, 0)]).unwrap();
+        assert_eq!(r.grants.len(), 1);
+        ic.set_policy_all(Policy::BreakFirstAvailable).unwrap();
+        let r = ic.advance_slot(&[ConnectionRequest::packet(1, 2, 0)]).unwrap();
+        assert_eq!(r.grants.len(), 1);
+    }
+
+    #[test]
+    fn disruption_ops_reject_bad_fiber_index() {
+        let mut ic = Interconnect::new(InterconnectConfig::packet_switch(2, conv())).unwrap();
+        let shrunk = Conversion::symmetric_circular(6, 1).unwrap();
+        assert!(matches!(
+            ic.shrink_conversion(2, shrunk),
+            Err(Error::InvalidFiber { fiber: 2, n: 2 })
+        ));
+        assert!(matches!(ic.restore_conversion(9), Err(Error::InvalidFiber { .. })));
+        assert!(matches!(ic.fail_fiber(2), Err(Error::InvalidFiber { .. })));
+        assert!(matches!(ic.rejoin_fiber(2), Err(Error::InvalidFiber { .. })));
+        assert!(ic.fiber_conversion(2).is_err());
+        assert!(ic.is_fiber_down(2).is_err());
     }
 
     #[test]

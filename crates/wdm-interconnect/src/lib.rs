@@ -48,7 +48,7 @@ pub use buffered::{BufferedInterconnect, BufferedSlotResult, QueueDiscipline, Tr
 pub use connection::{ConnectionRequest, Grant, RejectReason, Rejection, SlotResult};
 pub use fabric::CrossbarState;
 pub use fcfs::FcfsSwitch;
-pub use interconnect::{HoldPolicy, Interconnect, InterconnectConfig};
+pub use interconnect::{DisruptionImpact, HoldPolicy, Interconnect, InterconnectConfig};
 pub use reservation::{
     PreemptionPolicy, Reservation, ReservationExpiry, ReservationGrant, ReservationRequest,
     ReservationStore, DEFAULT_RESERVATION_HORIZON,

@@ -245,6 +245,16 @@ impl ReservationStore {
         fibers: &[FiberUnit],
     ) -> Result<u64, Error> {
         req.connection().validate(self.n, self.k)?;
+        if fibers.get(req.dst_fiber).is_some_and(FiberUnit::is_down) {
+            // A fiber in outage has no bookable capacity at any slot: deny
+            // at admission rather than stringing the caller along to a
+            // guaranteed expiry (or worse, a ReservedFirst grant the dark
+            // fiber cannot carry).
+            return Err(Error::ReservationCapacityExhausted {
+                fiber: req.dst_fiber,
+                slot: req.start_slot,
+            });
+        }
         if req.start_slot < now {
             return Err(Error::ReservationInPast { start_slot: req.start_slot, now });
         }
@@ -403,6 +413,16 @@ impl ReservationStore {
         let before = self.pending.len();
         self.pending.retain(|r| r.id != id);
         self.pending.len() < before
+    }
+
+    /// Cancels every pending reservation destined to output fiber `fiber` —
+    /// the fiber-outage path: the booked capacity no longer exists, so the
+    /// bookings are dropped eagerly and reported (never silently kept until
+    /// a doomed activation). Returns how many were cancelled.
+    pub fn cancel_dst_fiber(&mut self, fiber: usize) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|r| r.request.dst_fiber != fiber);
+        before - self.pending.len()
     }
 
     /// Moves every reservation whose start slot has arrived (`start <=

@@ -80,6 +80,10 @@ pub struct FiberUnit {
     requests: RequestVector,
     mask: ChannelMask,
     outcome: FiberOutcome,
+    /// Whether the fiber is in a full outage (disruption timeline): a down
+    /// fiber schedules nothing — every candidate loses output contention —
+    /// and holds no in-flight connections (they were dropped at outage).
+    down: bool,
 }
 
 impl FiberUnit {
@@ -105,6 +109,7 @@ impl FiberUnit {
             requests: RequestVector::new(k),
             mask: ChannelMask::all_free(k),
             outcome: FiberOutcome::default(),
+            down: false,
         })
     }
 
@@ -140,6 +145,59 @@ impl FiberUnit {
     /// for comparing against stateless reference schedulers.
     pub fn reset_warm(&mut self) {
         self.scheduler.reset_warm();
+    }
+
+    /// Whether the fiber is currently in a full outage ([`Self::set_down`]).
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Takes the fiber into or out of a full outage — the disruption
+    /// timeline's outage/rejoin events. Going down drops every in-flight
+    /// connection (an outage severs the light paths; nothing is silently
+    /// kept) and discards warm state; coming back up starts the fiber cold
+    /// and empty. Returns the number of connections dropped (always 0 on
+    /// rejoin and on a no-op repeat).
+    pub fn set_down(&mut self, down: bool) -> usize {
+        if self.down == down {
+            return 0;
+        }
+        self.down = down;
+        self.scheduler.invalidate_warm();
+        if down {
+            let dropped = self.actives.len();
+            self.actives.clear();
+            dropped
+        } else {
+            0
+        }
+    }
+
+    /// Swaps the conversion scheme mid-run — the converter-failure /
+    /// recovery path of the disruption timeline. The wavelength count must
+    /// be unchanged (converters fail, channels do not) and the new scheme's
+    /// kind must still support the current policy. In-flight connections the
+    /// shrunken range can no longer realise are dropped — never silently
+    /// kept — and the count is returned; warm-start state is invalidated so
+    /// the next slot repairs from scratch while cumulative warm counters
+    /// survive the swap.
+    pub fn set_conversion(&mut self, conversion: Conversion) -> Result<usize, Error> {
+        check_policy_kind(&conversion, self.policy())?;
+        self.scheduler.set_conversion(conversion)?;
+        self.conversion = conversion;
+        let before = self.actives.len();
+        self.actives.retain(|a| conversion.converts(a.src_wavelength, a.output_wavelength));
+        Ok(before - self.actives.len())
+    }
+
+    /// Swaps the scheduling policy mid-run — the degraded-mode fallback
+    /// path. Rejects a policy the current conversion kind cannot support
+    /// (the same matrix [`Self::new`] enforces); on success warm-start
+    /// state is invalidated while the cumulative counters survive.
+    pub fn set_policy(&mut self, policy: Policy) -> Result<(), Error> {
+        check_policy_kind(&self.conversion, policy)?;
+        self.scheduler.set_policy(policy);
+        Ok(())
     }
 
     /// The channel availability implied by the in-flight connections.
@@ -189,6 +247,15 @@ impl FiberUnit {
         hold: HoldPolicy,
         candidates: &[ConnectionRequest],
     ) -> &FiberOutcome {
+        if self.down {
+            // A downed output fiber grants nothing: every candidate loses
+            // the output contention, without touching the scheduler.
+            self.outcome.grants.clear();
+            self.outcome.contention.clear();
+            self.outcome.contention.extend_from_slice(candidates);
+            self.outcome.rearranged = 0;
+            return &self.outcome;
+        }
         match hold {
             HoldPolicy::NonDisturb => self.schedule_non_disturb(candidates),
             HoldPolicy::Rearrange => self.schedule_rearrange(candidates),
@@ -310,7 +377,7 @@ fn expect_validated<T, E>(result: Result<T, E>, invariant: &'static str) -> T {
 /// inside the per-slot algorithms, which this check makes unreachable):
 /// FA needs non-circular; BFA and the approximation need circular (full
 /// range included); Auto and Hopcroft–Karp accept everything.
-fn check_policy_kind(conversion: &Conversion, policy: Policy) -> Result<(), Error> {
+pub(crate) fn check_policy_kind(conversion: &Conversion, policy: Policy) -> Result<(), Error> {
     match policy {
         Policy::Auto | Policy::HopcroftKarp => Ok(()),
         Policy::FirstAvailable => {
@@ -392,6 +459,83 @@ mod tests {
         let outcome = unit.schedule(HoldPolicy::NonDisturb, &candidates);
         assert_eq!(outcome.grants().len(), 6);
         assert_eq!(outcome.contention().len(), 1);
+    }
+
+    #[test]
+    fn set_conversion_drops_infeasible_actives_and_keeps_counters() {
+        let mut unit = FiberUnit::new(4, conv(), Policy::Auto).unwrap();
+        // Two connections: one within degree-1 reach (w -> w), one that
+        // needs the wider circular range.
+        let _ = unit.schedule(
+            HoldPolicy::NonDisturb,
+            &[ConnectionRequest::burst(0, 2, 0, 10), ConnectionRequest::burst(1, 2, 0, 10)],
+        );
+        assert_eq!(unit.actives().len(), 2);
+        let stats_before = unit.warm_stats();
+        let shrunk = Conversion::symmetric_circular(6, 1).unwrap();
+        // Both grants share source wavelength 2, so at most one sits on the
+        // diagonal channel the degree-1 scheme can still realise.
+        let expect_drop = unit
+            .actives()
+            .iter()
+            .filter(|a| !shrunk.converts(a.src_wavelength, a.output_wavelength))
+            .count();
+        assert!(expect_drop >= 1);
+        let dropped = unit.set_conversion(shrunk).unwrap();
+        assert_eq!(dropped, expect_drop);
+        assert_eq!(unit.actives().len(), 2 - expect_drop);
+        assert!(unit
+            .actives()
+            .iter()
+            .all(|a| shrunk.converts(a.src_wavelength, a.output_wavelength)));
+        // Cumulative warm counters survive the swap (only warm state resets).
+        assert_eq!(unit.warm_stats(), stats_before);
+    }
+
+    #[test]
+    fn set_conversion_rejects_k_change_and_kind_mismatch() {
+        let mut unit = FiberUnit::new(2, conv(), Policy::BreakFirstAvailable).unwrap();
+        assert!(matches!(
+            unit.set_conversion(Conversion::symmetric_circular(4, 1).unwrap()),
+            Err(Error::WavelengthCountMismatch { .. })
+        ));
+        // BFA cannot run on a non-circular scheme: the swap must refuse and
+        // leave the unit untouched.
+        assert!(matches!(
+            unit.set_conversion(Conversion::symmetric_non_circular(6, 1).unwrap()),
+            Err(Error::UnsupportedConversion { .. })
+        ));
+        assert_eq!(unit.conversion().degree(), 3);
+    }
+
+    #[test]
+    fn set_policy_checks_kind_and_swaps() {
+        let mut unit = FiberUnit::new(2, conv(), Policy::BreakFirstAvailable).unwrap();
+        assert!(matches!(
+            unit.set_policy(Policy::FirstAvailable),
+            Err(Error::UnsupportedConversion { .. })
+        ));
+        assert_eq!(unit.policy(), Policy::BreakFirstAvailable);
+        unit.set_policy(Policy::Approximate).unwrap();
+        assert_eq!(unit.policy(), Policy::Approximate);
+    }
+
+    #[test]
+    fn down_fiber_rejects_all_and_drops_actives() {
+        let mut unit = FiberUnit::new(4, conv(), Policy::Auto).unwrap();
+        let _ = unit.schedule(HoldPolicy::NonDisturb, &[ConnectionRequest::burst(0, 0, 0, 9)]);
+        assert_eq!(unit.actives().len(), 1);
+        assert_eq!(unit.set_down(true), 1);
+        assert!(unit.is_down());
+        assert!(unit.actives().is_empty());
+        // Repeat transitions are no-ops.
+        assert_eq!(unit.set_down(true), 0);
+        let outcome = unit.schedule(HoldPolicy::NonDisturb, &[ConnectionRequest::packet(1, 1, 0)]);
+        assert!(outcome.grants().is_empty());
+        assert_eq!(outcome.contention().len(), 1);
+        assert_eq!(unit.set_down(false), 0);
+        let outcome = unit.schedule(HoldPolicy::NonDisturb, &[ConnectionRequest::packet(1, 1, 0)]);
+        assert_eq!(outcome.grants().len(), 1);
     }
 
     #[test]

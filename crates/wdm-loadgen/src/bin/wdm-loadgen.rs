@@ -18,7 +18,7 @@ use std::time::Duration;
 use wdm_loadgen::{run, LoadgenConfig, Mode};
 
 fn usage() -> &'static str {
-    "usage: wdm-loadgen --addr <host:port> [--mode closed|open] [--interval-us <us>]\n       [--batches <count>] [--load <0..1>] [--seed <u64>] [--mean-duration <slots>]\n       [--reserve-fraction <0..1>] [--reserve-lead <slots>]\n       [--out <report.json>] [--shutdown] [--expect-clean]"
+    "usage: wdm-loadgen --addr <host:port> [--mode closed|open] [--interval-us <us>]\n       [--batches <count>] [--load <0..1>] [--seed <u64>] [--mean-duration <slots>]\n       [--reserve-fraction <0..1>] [--reserve-lead <slots>]\n       [--scenario <plan.toml>] [--out <report.json>] [--shutdown] [--expect-clean]\n\n  --scenario drives a compiled scenario plan: its seed, slot count, load\n  shape, and holding-time model override --load/--batches/--seed/\n  --mean-duration, and the closed-loop report gains per-phase and\n  during-disruption breakdowns. Point the daemon at the same plan with\n  `wdm-serve serve --scenario`."
 }
 
 struct Args {
@@ -38,8 +38,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         reserve_fraction: 0.0,
         reserve_lead: 4,
         shutdown_server: false,
+        scenario: None,
     };
     let mut out = None;
+    let mut scenario_path: Option<String> = None;
     let mut expect_clean = false;
     let mut open = false;
     let mut interval_us = 1000u64;
@@ -71,6 +73,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--reserve-lead" => {
                 config.reserve_lead = parse_num(&value("--reserve-lead")?, "--reserve-lead")?;
             }
+            "--scenario" => scenario_path = Some(value("--scenario")?),
             "--out" => out = Some(value("--out")?),
             "--shutdown" => config.shutdown_server = true,
             "--expect-clean" => expect_clean = true,
@@ -79,6 +82,11 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     }
     if config.addr.is_empty() {
         return Err("--addr is required".to_owned());
+    }
+    if let Some(path) = scenario_path {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+        let plan = wdm_scenario::load_plan(&text).map_err(|e| format!("{path}: {e}"))?;
+        config.scenario = Some(std::sync::Arc::new(plan));
     }
     if open {
         if config.reserve_fraction > 0.0 {
@@ -140,6 +148,23 @@ fn main() -> ExitCode {
         report.p99_grant_latency_ns,
         report.p999_grant_latency_ns,
     );
+    if !report.phases.is_empty() {
+        for phase in &report.phases {
+            eprintln!(
+                "wdm-loadgen: phase `{}`: {} slots, {} requests, {} grants, {} denies",
+                phase.name,
+                phase.tally.slots,
+                phase.tally.requests,
+                phase.tally.grants,
+                phase.tally.denies,
+            );
+        }
+        let d = &report.during_disruption;
+        eprintln!(
+            "wdm-loadgen: during disruption: {} slots, {} requests, {} grants, {} denies",
+            d.slots, d.requests, d.grants, d.denies,
+        );
+    }
     if report.reservations > 0 {
         eprintln!(
             "wdm-loadgen: {} reservations: {} acked, {} granted, {} expired, {} denied (capacity) / {} (horizon)",

@@ -5,8 +5,12 @@
 //! log-linear histogram of submit→GRANT latency (p50/p99/p999) and the
 //! observed slot rate. Closed-loop runs can mix in advance-reservation
 //! sessions (`reserve_fraction`), reporting per-duration
-//! RESERVE→activation-GRANT latency buckets. The [`LoadReport`] JSON is
-//! what BENCH_4's serve-mode rows and the CI smoke gate consume.
+//! RESERVE→activation-GRANT latency buckets. A compiled `wdm-scenario`
+//! plan (`--scenario`) swaps in the scenario traffic stream — the same
+//! one the offline simulator and the daemon's disruption timeline use —
+//! and adds per-phase / during-disruption breakdowns to the report. The
+//! [`LoadReport`] JSON is what BENCH_4's serve-mode rows and the CI smoke
+//! gate consume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,4 +20,7 @@ pub mod histogram;
 pub mod runner;
 
 pub use histogram::LatencyHistogram;
-pub use runner::{run, DurationLatency, LoadReport, LoadgenConfig, Mode, RESERVE_ID_BASE};
+pub use runner::{
+    run, DurationLatency, LoadReport, LoadgenConfig, Mode, PhaseWindow, WindowTally,
+    RESERVE_ID_BASE,
+};

@@ -2,15 +2,26 @@
 //! the next batch) and open-loop (submit on a fixed cadence regardless of
 //! replies), both over seeded [`wdm_sim::traffic`] models so a run is
 //! reproducible from its seed.
+//!
+//! With a compiled scenario plan attached, the generator swaps in
+//! [`wdm_sim::scenario::ScenarioTraffic`] — the *same* stream the offline
+//! simulator draws and the daemon's disruption timeline expects — taking
+//! its seed, slot count, load shape, and holding-time model from the plan,
+//! and the closed-loop report gains per-phase and during-disruption
+//! breakdowns (sound because closed pacing settles every batch before the
+//! next slot, so each reply attributes to exactly one plan slot).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use wdm_interconnect::ConnectionRequest;
+use wdm_scenario::CompiledPlan;
 use wdm_serve::protocol::{DenyReason, Frame, ProtocolError, ReserveRequest, SubmitRequest};
 use wdm_serve::Client;
+use wdm_sim::scenario::{duration_model, ScenarioTraffic};
 use wdm_sim::traffic::{BernoulliUniform, DurationModel, TrafficModel};
 
 use crate::histogram::LatencyHistogram;
@@ -58,6 +69,11 @@ pub struct LoadgenConfig {
     pub reserve_lead: u32,
     /// Send SHUTDOWN to the daemon when done.
     pub shutdown_server: bool,
+    /// Drive a compiled scenario plan instead of the flat Bernoulli
+    /// stream: the plan's seed, slot count, load shape, and holding-time
+    /// model override `load`/`batches`/`seed`/`mean_duration`, and the
+    /// server's advertised topology must match the plan's.
+    pub scenario: Option<Arc<CompiledPlan>>,
 }
 
 /// What a run observed — the measurement artifact consumed by BENCH_4 and
@@ -116,6 +132,35 @@ pub struct LoadReport {
     /// Reservation latency (RESERVE sent → activation GRANT received)
     /// percentiles, bucketed by requested hold duration.
     pub reservation_latency_by_duration: Vec<DurationLatency>,
+    /// Per-phase cell-path breakdown, in plan timeline order. Populated
+    /// only for closed-loop scenario runs; empty otherwise (open-loop
+    /// replies are not attributable to a single plan slot).
+    pub phases: Vec<PhaseWindow>,
+    /// Cell-path tallies over the slots where the plan holds at least one
+    /// disruption open. All-zero outside closed-loop scenario runs.
+    pub during_disruption: WindowTally,
+}
+
+/// Cell-path tallies over one window of plan slots.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct WindowTally {
+    /// Plan slots attributed to this window.
+    pub slots: u64,
+    /// Cell requests submitted during the window.
+    pub requests: u64,
+    /// Grants received for those requests.
+    pub grants: u64,
+    /// Denies received for those requests (all reasons).
+    pub denies: u64,
+}
+
+/// One plan phase's window tallies.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseWindow {
+    /// Phase name from the scenario file.
+    pub name: String,
+    /// What the phase's slots observed.
+    pub tally: WindowTally,
 }
 
 /// Reservation-grant latency percentiles for one requested hold duration.
@@ -153,6 +198,11 @@ struct Tally {
 }
 
 impl Tally {
+    /// Cell-path denies across every reason.
+    fn denies(&self) -> u64 {
+        self.queue_full + self.source_busy + self.contention + self.invalid
+    }
+
     /// Folds one frame in; returns how many outstanding replies it settled.
     fn observe(&mut self, frame: &Frame) -> u64 {
         match frame {
@@ -212,6 +262,45 @@ impl ReserveStats {
     }
 }
 
+/// Per-window accumulators a closed-loop scenario run carries alongside
+/// the flat tallies; empty (and all-zero) everywhere else.
+#[derive(Debug, Default)]
+struct ScenarioWindows {
+    phases: Vec<PhaseWindow>,
+    during_disruption: WindowTally,
+}
+
+impl ScenarioWindows {
+    fn for_plan(plan: &CompiledPlan) -> ScenarioWindows {
+        ScenarioWindows {
+            phases: plan
+                .phases()
+                .iter()
+                .map(|p| PhaseWindow { name: p.name.clone(), tally: WindowTally::default() })
+                .collect(),
+            during_disruption: WindowTally::default(),
+        }
+    }
+
+    /// Attributes one settled plan slot's deltas to its phase and, when
+    /// the plan holds a disruption open at that slot, to the disruption
+    /// window.
+    fn record(&mut self, plan: &CompiledPlan, slot: u64, requests: u64, grants: u64, denies: u64) {
+        if let Some(phase) = self.phases.get_mut(plan.phase_index(slot)) {
+            phase.tally.slots += 1;
+            phase.tally.requests += requests;
+            phase.tally.grants += grants;
+            phase.tally.denies += denies;
+        }
+        if plan.is_disrupted(slot) {
+            self.during_disruption.slots += 1;
+            self.during_disruption.requests += requests;
+            self.during_disruption.grants += grants;
+            self.during_disruption.denies += denies;
+        }
+    }
+}
+
 /// Runs one load-generation session against a live daemon.
 ///
 /// Reservation sessions (`reserve_fraction > 0`) require closed-loop
@@ -228,22 +317,37 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ProtocolError> {
     let client = Client::connect(&config.addr)?;
     let (n, k) = (client.n(), client.k());
     let policy = client.policy().to_owned();
-    let duration = if config.mean_duration <= 1.0 {
-        DurationModel::Deterministic(1)
-    } else {
-        DurationModel::Geometric { mean: config.mean_duration }
-    };
-    let mut traffic = BernoulliUniform::new(n as usize, k as usize, config.load, duration);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
-    let (mode_name, tally, hist, requests, elapsed, reserve) = match config.mode {
-        Mode::Closed => {
-            let (t, h, r, e, rs) = run_closed(client, config, duration, &mut traffic, &mut rng)?;
-            ("closed", t, h, r, e, rs)
+    if let Some(plan) = config.scenario.as_deref() {
+        // The daemon applies the plan's disruptions to *its* topology; a
+        // mismatched generator would submit out-of-range channels and the
+        // per-slot windows would describe a different fabric.
+        if plan.n() != n as usize || plan.k() != k as usize {
+            return Err(ProtocolError::Scenario {
+                message: format!(
+                    "plan is for n={} k={} but the server serves n={n} k={k}",
+                    plan.n(),
+                    plan.k(),
+                ),
+            });
         }
-        Mode::Open { interval } => {
-            let (t, h, r, e) = run_open(client, config, interval, &mut traffic, &mut rng)?;
-            ("open", t, h, r, e, ReserveStats::default())
+    }
+    let duration = match config.scenario.as_deref() {
+        Some(plan) => duration_model(plan.duration()),
+        None if config.mean_duration <= 1.0 => DurationModel::Deterministic(1),
+        None => DurationModel::Geometric { mean: config.mean_duration },
+    };
+    let seed = config.scenario.as_deref().map_or(config.seed, CompiledPlan::seed);
+    let batches = config.scenario.as_deref().map_or(config.batches, CompiledPlan::total_slots);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let (mode_name, tally, hist, requests, elapsed, reserve, windows) = match &config.scenario {
+        Some(plan) => {
+            let mut traffic = ScenarioTraffic::new(Arc::clone(plan));
+            drive(client, config, duration, batches, Some(plan), &mut traffic, &mut rng)?
+        }
+        None => {
+            let mut traffic = BernoulliUniform::new(n as usize, k as usize, config.load, duration);
+            drive(client, config, duration, batches, None, &mut traffic, &mut rng)?
         }
     };
 
@@ -273,7 +377,36 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ProtocolError> {
         reserve_denied_capacity: reserve.denied_capacity,
         reserve_denied_horizon: reserve.denied_horizon,
         reservation_latency_by_duration: reserve.report_buckets(),
+        phases: windows.phases,
+        during_disruption: windows.during_disruption,
     })
+}
+
+/// Dispatches on pacing mode over any traffic model.
+#[allow(clippy::type_complexity)]
+fn drive<T: TrafficModel>(
+    client: Client,
+    config: &LoadgenConfig,
+    duration: DurationModel,
+    batches: u64,
+    scenario: Option<&CompiledPlan>,
+    traffic: &mut T,
+    rng: &mut StdRng,
+) -> Result<
+    (&'static str, Tally, LatencyHistogram, u64, Duration, ReserveStats, ScenarioWindows),
+    ProtocolError,
+> {
+    match config.mode {
+        Mode::Closed => {
+            let (t, h, r, e, rs, w) =
+                run_closed(client, config, duration, batches, scenario, traffic, rng)?;
+            Ok(("closed", t, h, r, e, rs, w))
+        }
+        Mode::Open { interval } => {
+            let (t, h, r, e) = run_open(client, config, interval, batches, traffic, rng)?;
+            Ok(("open", t, h, r, e, ReserveStats::default(), ScenarioWindows::default()))
+        }
+    }
 }
 
 /// Converts one generated slot of traffic into a SUBMIT batch, assigning
@@ -382,25 +515,30 @@ fn make_reservation(
     }
 }
 
-fn run_closed(
+#[allow(clippy::type_complexity)]
+fn run_closed<T: TrafficModel>(
     mut client: Client,
     config: &LoadgenConfig,
     duration: DurationModel,
-    traffic: &mut BernoulliUniform,
+    batches: u64,
+    scenario: Option<&CompiledPlan>,
+    traffic: &mut T,
     rng: &mut StdRng,
-) -> Result<(Tally, LatencyHistogram, u64, Duration, ReserveStats), ProtocolError> {
+) -> Result<(Tally, LatencyHistogram, u64, Duration, ReserveStats, ScenarioWindows), ProtocolError>
+{
     let (n, k) = (client.n(), client.k());
     let mut tally = Tally::default();
     let mut hist = LatencyHistogram::new();
     let mut stats = ReserveStats::default();
     let mut tracker = ReserveTracker::default();
+    let mut windows = scenario.map(ScenarioWindows::for_plan).unwrap_or_default();
     let mut generated = Vec::new();
     let mut batch = Vec::new();
     let mut next_id = 0u64;
     let mut reserve_seq = 0u64;
     let mut requests = 0u64;
     let start = Instant::now();
-    for slot in 0..config.batches {
+    for slot in 0..batches {
         traffic.generate_into(rng, slot, &mut generated);
         to_batch(&generated, &mut next_id, &mut batch);
         let reservation =
@@ -409,38 +547,50 @@ fn run_closed(
             } else {
                 None
             };
-        if batch.is_empty() && reservation.is_none() {
-            continue;
-        }
-        requests += batch.len() as u64;
-        let submitted = Instant::now();
-        if !batch.is_empty() {
-            client.submit(&batch)?;
-        }
-        let mut outstanding = batch.len() as u64;
-        if let Some(request) = reservation {
-            tracker.awaiting_ack.insert(request.id, (Instant::now(), request.duration));
-            stats.requested += 1;
-            client.reserve(request)?;
-            outstanding += 1;
-        }
-        while outstanding > 0 {
-            let frame = client.next_frame()?;
-            if let Frame::Error { code, message } = frame {
-                return Err(ProtocolError::ServerError { code, message });
+        let before = (tally.grants, tally.denies());
+        if !batch.is_empty() || reservation.is_some() {
+            requests += batch.len() as u64;
+            let submitted = Instant::now();
+            if !batch.is_empty() {
+                client.submit(&batch)?;
             }
-            if let Some(settled) = tracker.observe(&frame, &mut stats, &mut tally) {
-                outstanding = outstanding.saturating_sub(settled);
-                continue;
+            let mut outstanding = batch.len() as u64;
+            if let Some(request) = reservation {
+                tracker.awaiting_ack.insert(request.id, (Instant::now(), request.duration));
+                stats.requested += 1;
+                client.reserve(request)?;
+                outstanding += 1;
             }
-            let settled = tally.observe(&frame);
-            if settled > 0 {
-                if matches!(frame, Frame::Grant { .. }) {
-                    let ns = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                    hist.record(ns);
+            while outstanding > 0 {
+                let frame = client.next_frame()?;
+                if let Frame::Error { code, message } = frame {
+                    return Err(ProtocolError::ServerError { code, message });
                 }
-                outstanding -= settled;
+                if let Some(settled) = tracker.observe(&frame, &mut stats, &mut tally) {
+                    outstanding = outstanding.saturating_sub(settled);
+                    continue;
+                }
+                let settled = tally.observe(&frame);
+                if settled > 0 {
+                    if matches!(frame, Frame::Grant { .. }) {
+                        let ns = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        hist.record(ns);
+                    }
+                    outstanding -= settled;
+                }
             }
+        }
+        // Closed pacing settled every reply above, so the tally deltas
+        // belong to exactly this plan slot (empty slots still count toward
+        // their window's slot total).
+        if let Some(plan) = scenario {
+            windows.record(
+                plan,
+                slot,
+                batch.len() as u64,
+                tally.grants - before.0,
+                tally.denies() - before.1,
+            );
         }
     }
     // Admitted reservations with start slots beyond the last batch are
@@ -460,7 +610,7 @@ fn run_closed(
         client.send_shutdown()?;
         drain_until_close(&mut client);
     }
-    Ok((tally, hist, requests, elapsed, stats))
+    Ok((tally, hist, requests, elapsed, stats, windows))
 }
 
 /// Depth of the bounded submit-instant queue feeding the open-loop
@@ -469,11 +619,12 @@ fn run_closed(
 /// any latency sample is shed.
 const TIME_QUEUE_DEPTH: usize = 16 * 1024;
 
-fn run_open(
+fn run_open<T: TrafficModel>(
     client: Client,
     config: &LoadgenConfig,
     interval: Duration,
-    traffic: &mut BernoulliUniform,
+    batches: u64,
+    traffic: &mut T,
     rng: &mut StdRng,
 ) -> Result<(Tally, LatencyHistogram, u64, Duration), ProtocolError> {
     let (mut reader, mut writer) = client.into_split();
@@ -512,7 +663,7 @@ fn run_open(
     let mut shed_samples = 0u64;
     let start = Instant::now();
     let mut next_send = start;
-    for slot in 0..config.batches {
+    for slot in 0..batches {
         traffic.generate_into(rng, slot, &mut generated);
         to_batch(&generated, &mut next_id, &mut batch);
         let now = Instant::now();

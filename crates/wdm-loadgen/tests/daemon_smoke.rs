@@ -25,6 +25,7 @@ fn spawn_server(
         engine: EngineConfig::new(N, conversion, policy).with_trace(),
         slot_period: Duration::ZERO,
         max_slots: None,
+        scenario: None,
     };
     let server = Server::bind("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr().to_string();
@@ -46,6 +47,7 @@ fn closed_loop_session_is_clean_and_replayable() {
         reserve_fraction: 0.0,
         reserve_lead: 4,
         shutdown_server: true,
+        scenario: None,
     })
     .unwrap();
 
@@ -84,6 +86,7 @@ fn open_loop_session_is_clean_and_replayable() {
         reserve_fraction: 0.0,
         reserve_lead: 4,
         shutdown_server: true,
+        scenario: None,
     })
     .unwrap();
 
@@ -114,6 +117,7 @@ fn same_seed_same_request_stream() {
             reserve_fraction: 0.0,
             reserve_lead: 4,
             shutdown_server: true,
+            scenario: None,
         })
         .unwrap();
         let server_report = server.join().unwrap().unwrap();
@@ -140,6 +144,7 @@ fn mixed_reservation_session_is_clean_and_replayable() {
         reserve_fraction: 0.5,
         reserve_lead: 3,
         shutdown_server: true,
+        scenario: None,
     })
     .unwrap();
 
@@ -170,6 +175,166 @@ fn mixed_reservation_session_is_clean_and_replayable() {
     assert_eq!(replay.reservation_grants as u64, report.reservation_grants);
 }
 
+/// A daemon and generator sharing one compiled scenario plan: the daemon
+/// fires the plan's converter failure, outage, and fallback windows while
+/// the generator draws the plan's traffic stream, and the session stays
+/// clean with sound per-phase / during-disruption attribution.
+#[test]
+fn scenario_session_is_clean_with_window_breakdowns() {
+    let doc = r#"
+schema = 1
+name = "smoke-storm"
+
+[interconnect]
+n = 4
+k = 16
+degree = 3
+kind = "circular"
+policy = "bfa"
+
+[run]
+slots = 40
+seed = 7
+
+[traffic]
+load = 0.5
+duration = { model = "deterministic", slots = 1 }
+
+[[disruptions]]
+at = 4
+fiber = 1
+kind = "converter-failure"
+degree = 1
+until = 8
+
+[[disruptions]]
+at = 12
+fiber = 2
+kind = "outage"
+until = 16
+
+[fallback]
+policy = "approx"
+on_disruption = true
+"#;
+    let plan = std::sync::Arc::new(wdm_scenario::load_plan(doc).unwrap());
+    // No trace: a session trace cannot replay mid-run disruptions.
+    let config = ServerConfig {
+        engine: EngineConfig::new(plan.n(), plan.conversion(), plan.policy()),
+        slot_period: Duration::ZERO,
+        max_slots: None,
+        scenario: Some(std::sync::Arc::clone(&plan)),
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let report = run(&LoadgenConfig {
+        addr,
+        mode: Mode::Closed,
+        load: 0.0, // overridden by the plan
+        batches: 0,
+        seed: 0,
+        mean_duration: 1.0,
+        reserve_fraction: 0.0,
+        reserve_lead: 4,
+        shutdown_server: true,
+        scenario: Some(std::sync::Arc::clone(&plan)),
+    })
+    .unwrap();
+
+    assert!(report.clean(), "InvalidRequest denies: {}", report.denies_invalid);
+    assert!(report.grants > 0, "a 0.5-load scenario must grant something");
+    // The final SLOT_COMPLETE may land after the last reply settles the
+    // closed loop, so the generator observes at least all but one.
+    assert!(report.slots >= plan.total_slots() - 1, "slots {}", report.slots);
+
+    // The implicit steady phase covers the whole run, and its tallies are
+    // exactly the session totals.
+    assert_eq!(report.phases.len(), 1);
+    let phase = &report.phases[0];
+    assert_eq!(phase.name, "steady");
+    assert_eq!(phase.tally.slots, plan.total_slots());
+    assert_eq!(phase.tally.requests, report.requests);
+    assert_eq!(phase.tally.grants, report.grants);
+
+    // Disruption windows [4, 8) and [12, 16): eight attributed slots with
+    // real traffic through them.
+    assert_eq!(report.during_disruption.slots, 8);
+    assert!(report.during_disruption.requests > 0);
+    assert_eq!(
+        report.during_disruption.grants + report.during_disruption.denies,
+        report.during_disruption.requests,
+        "closed pacing settles every windowed request"
+    );
+
+    // The daemon applied the full timeline and the fallback engaged for
+    // both windows and reverted after each.
+    let server_report = handle.join().unwrap().unwrap();
+    let summary = server_report.scenario.expect("scenario daemon reports a summary");
+    assert_eq!(summary.events_applied, plan.events().len());
+    assert_eq!(summary.fallback_engagements, 2);
+    assert_eq!(summary.fallback_reverts, 2);
+    assert_eq!(summary.engaged_slots, 8);
+}
+
+/// A plan compiled for a different fabric is rejected before any traffic
+/// is submitted.
+#[test]
+fn scenario_topology_mismatch_is_rejected() {
+    let doc = r#"
+schema = 1
+
+[interconnect]
+n = 8
+k = 4
+degree = 3
+kind = "circular"
+policy = "bfa"
+
+[run]
+slots = 10
+seed = 1
+
+[traffic]
+load = 0.2
+duration = { model = "deterministic", slots = 1 }
+"#;
+    let plan = std::sync::Arc::new(wdm_scenario::load_plan(doc).unwrap());
+    let (addr, server) =
+        spawn_server(Policy::BreakFirstAvailable, Conversion::symmetric_circular(K, 3).unwrap());
+    let err = run(&LoadgenConfig {
+        addr: addr.clone(),
+        mode: Mode::Closed,
+        load: 0.2,
+        batches: 10,
+        seed: 1,
+        mean_duration: 1.0,
+        reserve_fraction: 0.0,
+        reserve_lead: 4,
+        shutdown_server: false,
+        scenario: Some(plan),
+    })
+    .unwrap_err();
+    assert!(matches!(err, wdm_serve::ProtocolError::Scenario { .. }), "{err}");
+    // Shut the (unused) daemon down so the test exits cleanly.
+    let report = run(&LoadgenConfig {
+        addr,
+        mode: Mode::Closed,
+        load: 0.1,
+        batches: 5,
+        seed: 1,
+        mean_duration: 1.0,
+        reserve_fraction: 0.0,
+        reserve_lead: 4,
+        shutdown_server: true,
+        scenario: None,
+    })
+    .unwrap();
+    assert!(report.clean());
+    let _ = server.join().unwrap().unwrap();
+}
+
 #[test]
 fn open_mode_rejects_reservation_sessions() {
     // No server needed: the config is rejected before connecting.
@@ -183,6 +348,7 @@ fn open_mode_rejects_reservation_sessions() {
         reserve_fraction: 0.25,
         reserve_lead: 2,
         shutdown_server: false,
+        scenario: None,
     })
     .unwrap_err();
     assert!(matches!(err, wdm_serve::ProtocolError::UnexpectedFrame { .. }), "{err}");

@@ -1,0 +1,145 @@
+//! Typed scenario errors.
+//!
+//! Every failure mode of the scenario pipeline — TOML syntax, schema
+//! decoding, semantic validation, compilation — is a distinct variant with
+//! enough context to point at the offending line or field. The CLI and the
+//! `--check-only` path print these verbatim, so the messages are written
+//! for scenario authors, not for debuggers.
+
+use core::fmt;
+
+/// Errors produced while parsing, decoding, or compiling a scenario file.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// The file is not syntactically valid scenario TOML.
+    Syntax {
+        /// 1-based line number of the offending construct.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A key was assigned twice in the same table.
+    DuplicateKey {
+        /// 1-based line number of the second assignment.
+        line: usize,
+        /// The duplicated key.
+        key: String,
+    },
+    /// A table carried a key the schema does not know — the
+    /// `deny_unknown_fields` contract: typos fail loudly instead of being
+    /// silently ignored.
+    UnknownField {
+        /// The table (dotted path) holding the stray key.
+        table: String,
+        /// The unrecognized key.
+        field: String,
+    },
+    /// A required key is missing.
+    MissingField {
+        /// The table (dotted path) the key belongs in.
+        table: String,
+        /// The missing key.
+        field: String,
+    },
+    /// A key holds a value of the wrong type.
+    TypeMismatch {
+        /// The table (dotted path) holding the key.
+        table: String,
+        /// The key.
+        field: String,
+        /// The type the schema expects.
+        expected: &'static str,
+        /// The type the file provided.
+        found: &'static str,
+    },
+    /// A key holds a value of the right type but an impossible magnitude,
+    /// range, or combination.
+    InvalidValue {
+        /// The table (dotted path) holding the key.
+        table: String,
+        /// The key.
+        field: String,
+        /// Why the value is invalid.
+        message: String,
+    },
+    /// The file declares a `schema` version this build does not speak.
+    UnsupportedSchema {
+        /// The declared version.
+        found: i64,
+        /// The version this build supports.
+        supported: i64,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Syntax { line, message } => {
+                write!(out, "line {line}: {message}")
+            }
+            ScenarioError::DuplicateKey { line, key } => {
+                write!(out, "line {line}: key `{key}` assigned twice in the same table")
+            }
+            ScenarioError::UnknownField { table, field } => {
+                write!(out, "[{table}]: unknown field `{field}` (unknown fields are denied)")
+            }
+            ScenarioError::MissingField { table, field } => {
+                write!(out, "[{table}]: missing required field `{field}`")
+            }
+            ScenarioError::TypeMismatch { table, field, expected, found } => {
+                write!(out, "[{table}].{field}: expected {expected}, found {found}")
+            }
+            ScenarioError::InvalidValue { table, field, message } => {
+                write!(out, "[{table}].{field}: {message}")
+            }
+            ScenarioError::UnsupportedSchema { found, supported } => {
+                write!(
+                    out,
+                    "schema = {found} is not supported (this build speaks schema = {supported})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_location() {
+        let cases = [
+            ScenarioError::Syntax { line: 3, message: "unterminated string".to_owned() },
+            ScenarioError::DuplicateKey { line: 9, key: "seed".to_owned() },
+            ScenarioError::UnknownField { table: "run".to_owned(), field: "sede".to_owned() },
+            ScenarioError::MissingField { table: "traffic".to_owned(), field: "load".to_owned() },
+            ScenarioError::TypeMismatch {
+                table: "run".to_owned(),
+                field: "slots".to_owned(),
+                expected: "integer",
+                found: "string",
+            },
+            ScenarioError::InvalidValue {
+                table: "disruptions".to_owned(),
+                field: "degree".to_owned(),
+                message: "must be odd".to_owned(),
+            },
+            ScenarioError::UnsupportedSchema { found: 2, supported: 1 },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(ScenarioError::DuplicateKey { line: 9, key: "seed".to_owned() }
+            .to_string()
+            .contains("seed"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&ScenarioError::UnsupportedSchema { found: 0, supported: 1 });
+    }
+}

@@ -1,0 +1,43 @@
+//! `wdm-scenario` — config-driven scenario & disruption engine.
+//!
+//! A scenario file is a small TOML document (`schema = 1`) describing a
+//! complete experiment: the interconnect under test, a seeded workload
+//! shape (load phases with linear ramps, hotspot destination skew, bursty
+//! on/off sources, heavy-tailed holding times) and a disruption timeline
+//! (converter failures that shrink a fiber's conversion degree mid-run,
+//! full fiber outages, degraded-mode policy fallback).
+//!
+//! The pipeline has three stages, each with typed errors:
+//!
+//! 1. [`toml`] — a dependency-free TOML-subset parser (line-numbered
+//!    syntax errors, duplicate-key rejection);
+//! 2. [`Scenario::parse`] — schema decoding with deny-unknown-fields
+//!    semantics and a version gate;
+//! 3. [`Scenario::compile`] — cross-field/timeline validation producing a
+//!    [`CompiledPlan`]: flat per-slot rate/phase/disruption tables plus a
+//!    slot-sorted event list.
+//!
+//! Both `wdm-sim --scenario` and `wdm-loadgen --scenario` (driving a live
+//! daemon) consume the *same* compiled plan, so offline simulation and the
+//! wire path replay bit-identical workloads by construction. The crate
+//! deliberately contains no RNG code: request generation lives in
+//! `wdm-sim::traffic`, which this plan parameterizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod compile;
+pub mod error;
+pub mod model;
+pub mod toml;
+
+pub use compile::{
+    load_plan, CompiledPlan, DisruptionChange, DisruptionEvent, FallbackRule, PhaseInfo,
+    MAX_PLAN_SLOTS,
+};
+pub use error::ScenarioError;
+pub use model::{
+    BurstySpec, ConversionKindSpec, DisruptionKindSpec, DisruptionSpec, DurationSpec, FallbackSpec,
+    HotspotSpec, InterconnectSpec, PhaseSpec, RunSpec, Scenario, TrafficSpec, SCHEMA_VERSION,
+};

@@ -1,0 +1,618 @@
+//! A hand-rolled parser for the TOML subset scenario files use.
+//!
+//! The build environment is fully offline (no crates.io), so instead of a
+//! `toml` dependency this module parses the subset the scenario schema
+//! needs, into an order-preserving [`TomlTable`] value tree:
+//!
+//! * `#` comments (outside strings), blank lines;
+//! * `[table]` and dotted `[a.b]` headers;
+//! * `[[array.of.tables]]` headers (the disruption / phase lists);
+//! * `key = value` with bare keys (`A–Z a–z 0–9 _ -`) or basic-quoted keys;
+//! * values: basic strings with the common escapes, 64-bit integers
+//!   (underscore separators allowed), floats, booleans, single-line arrays,
+//!   and single-line inline tables `{ k = v, … }`.
+//!
+//! Deliberately *not* supported (a typed [`ScenarioError::Syntax`] names
+//! the construct): literal/multi-line strings, dotted keys outside
+//! headers, dates, and arrays or inline tables spanning multiple lines.
+//! Scenario files fit comfortably inside the subset, and keeping the
+//! grammar line-oriented keeps the parser small enough to audit.
+
+use crate::error::ScenarioError;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A basic string.
+    String(String),
+    /// A 64-bit signed integer.
+    Integer(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Boolean(bool),
+    /// A (single-line) array.
+    Array(Vec<TomlValue>),
+    /// A table — from a `[header]`, an inline `{ … }`, or the root.
+    Table(TomlTable),
+}
+
+impl TomlValue {
+    /// The type name used in [`ScenarioError::TypeMismatch`] messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::String(_) => "string",
+            TomlValue::Integer(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Boolean(_) => "boolean",
+            TomlValue::Array(_) => "array",
+            TomlValue::Table(_) => "table",
+        }
+    }
+}
+
+/// An order-preserving table of key → value entries.
+///
+/// Order preservation keeps decode errors and `validate` output stable and
+/// in file order; duplicate keys are rejected at insertion.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlTable {
+    entries: Vec<(String, TomlValue)>,
+}
+
+impl TomlTable {
+    /// An empty table.
+    pub fn new() -> TomlTable {
+        TomlTable::default()
+    }
+
+    /// The value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The entries in file order.
+    pub fn entries(&self) -> &[(String, TomlValue)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `key = value`; a duplicate key is a [`ScenarioError`].
+    fn insert(&mut self, key: String, value: TomlValue, line: usize) -> Result<(), ScenarioError> {
+        if self.get(&key).is_some() {
+            return Err(ScenarioError::DuplicateKey { line, key });
+        }
+        self.entries.push((key, value));
+        Ok(())
+    }
+
+    fn get_mut(&mut self, key: &str) -> Option<&mut TomlValue> {
+        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Parses a scenario TOML document into its root table.
+pub fn parse(input: &str) -> Result<TomlTable, ScenarioError> {
+    let mut root = TomlTable::new();
+    // Dotted paths already claimed by a plain `[header]` — TOML forbids
+    // declaring the same table twice.
+    let mut declared: Vec<Vec<String>> = Vec::new();
+    // Where `key = value` lines currently land.
+    let mut path: Vec<String> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let stripped = strip_comment(raw, line_no)?;
+        let line = stripped.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix("[[") {
+            let Some(name) = inner.strip_suffix("]]") else {
+                return Err(syntax(line_no, "`[[` header not closed by `]]`"));
+            };
+            path = parse_path(name, line_no)?;
+            append_array_element(&mut root, &path, line_no)?;
+        } else if let Some(inner) = line.strip_prefix('[') {
+            let Some(name) = inner.strip_suffix(']') else {
+                return Err(syntax(line_no, "`[` header not closed by `]`"));
+            };
+            path = parse_path(name, line_no)?;
+            if declared.contains(&path) {
+                return Err(syntax(line_no, format!("table [{}] declared twice", path.join("."))));
+            }
+            declared.push(path.clone());
+            let _ = navigate(&mut root, &path, line_no)?;
+        } else {
+            let (key, rest) = split_key_value(line, line_no)?;
+            let mut cursor = Cursor::new(rest, line_no);
+            let value = cursor.parse_value()?;
+            cursor.expect_end()?;
+            let table = navigate(&mut root, &path, line_no)?;
+            table.insert(key, value, line_no)?;
+        }
+    }
+    Ok(root)
+}
+
+/// A `Syntax` error at `line`.
+fn syntax(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError::Syntax { line, message: message.into() }
+}
+
+/// Removes a trailing `#` comment, respecting basic strings.
+fn strip_comment(line: &str, line_no: usize) -> Result<&str, ScenarioError> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+        } else if c == '"' {
+            in_string = true;
+        } else if c == '#' {
+            return Ok(line.get(..i).unwrap_or(""));
+        }
+    }
+    if in_string {
+        return Err(syntax(line_no, "unterminated string"));
+    }
+    Ok(line)
+}
+
+/// Splits `key = value`, validating the key.
+fn split_key_value(line: &str, line_no: usize) -> Result<(String, &str), ScenarioError> {
+    // The `=` separating key from value is the first one outside quotes;
+    // keys in this subset never contain `=`.
+    let Some(eq) = line.find('=') else {
+        return Err(syntax(line_no, "expected `key = value`, `[table]`, or `[[array]]`"));
+    };
+    let key_src = line.get(..eq).unwrap_or("").trim();
+    let rest = line.get(eq + 1..).unwrap_or("").trim();
+    let key = parse_key(key_src, line_no)?;
+    if rest.is_empty() {
+        return Err(syntax(line_no, format!("key `{key}` has no value")));
+    }
+    Ok((key, rest))
+}
+
+/// Parses one key: bare (`A–Z a–z 0–9 _ -`) or basic-quoted.
+fn parse_key(src: &str, line_no: usize) -> Result<String, ScenarioError> {
+    if let Some(inner) = src.strip_prefix('"') {
+        let Some(body) = inner.strip_suffix('"') else {
+            return Err(syntax(line_no, "unterminated quoted key"));
+        };
+        if body.is_empty() {
+            return Err(syntax(line_no, "empty quoted key"));
+        }
+        return Ok(body.to_owned());
+    }
+    if src.is_empty() {
+        return Err(syntax(line_no, "empty key"));
+    }
+    if src.contains('.') {
+        return Err(syntax(
+            line_no,
+            format!("dotted key `{src}` — use a [section] header instead (subset restriction)"),
+        ));
+    }
+    if !src.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+        return Err(syntax(line_no, format!("invalid bare key `{src}`")));
+    }
+    Ok(src.to_owned())
+}
+
+/// Parses a dotted header path (`a.b.c`).
+fn parse_path(src: &str, line_no: usize) -> Result<Vec<String>, ScenarioError> {
+    let src = src.trim();
+    if src.is_empty() {
+        return Err(syntax(line_no, "empty table header"));
+    }
+    src.split('.').map(|seg| parse_key(seg.trim(), line_no)).collect()
+}
+
+/// Walks `path` from the root, creating intermediate tables, and returns
+/// the target table. A path segment naming an array of tables resolves to
+/// the array's *last* element (the TOML rule for `[a.b]` under `[[a]]`).
+fn navigate<'t>(
+    root: &'t mut TomlTable,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'t mut TomlTable, ScenarioError> {
+    let mut current = root;
+    for seg in path {
+        if current.get(seg).is_none() {
+            current.insert(seg.clone(), TomlValue::Table(TomlTable::new()), line_no)?;
+        }
+        let next = match current.get_mut(seg) {
+            Some(TomlValue::Table(t)) => t,
+            Some(TomlValue::Array(items)) => match items.last_mut() {
+                Some(TomlValue::Table(t)) => t,
+                _ => return Err(syntax(line_no, format!("`{seg}` is not an array of tables"))),
+            },
+            _ => return Err(syntax(line_no, format!("`{seg}` is not a table"))),
+        };
+        current = next;
+    }
+    Ok(current)
+}
+
+/// Handles a `[[path]]` header: appends a fresh table to the array at
+/// `path` (creating the array on first sight).
+fn append_array_element(
+    root: &mut TomlTable,
+    path: &[String],
+    line_no: usize,
+) -> Result<(), ScenarioError> {
+    let Some((last, parents)) = path.split_last() else {
+        return Err(syntax(line_no, "empty array-of-tables header"));
+    };
+    let parent = navigate(root, parents, line_no)?;
+    if parent.get(last).is_none() {
+        parent.insert(last.clone(), TomlValue::Array(Vec::new()), line_no)?;
+    }
+    match parent.get_mut(last) {
+        Some(TomlValue::Array(items)) => {
+            items.push(TomlValue::Table(TomlTable::new()));
+            Ok(())
+        }
+        _ => Err(syntax(line_no, format!("`{last}` is not an array of tables"))),
+    }
+}
+
+/// A character cursor over one value expression.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Cursor {
+    fn new(src: &str, line: usize) -> Cursor {
+        Cursor { chars: src.chars().collect(), pos: 0, line }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c == ' ' || c == '\t') {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), ScenarioError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Ok(()),
+            Some(c) => Err(syntax(self.line, format!("unexpected trailing `{c}` after value"))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<TomlValue, ScenarioError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => self.parse_string(),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_inline_table(),
+            Some(c) if c == 't' || c == 'f' => self.parse_boolean(),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.parse_number(),
+            Some(c) => Err(syntax(self.line, format!("unexpected `{c}` at start of value"))),
+            None => Err(syntax(self.line, "missing value")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<TomlValue, ScenarioError> {
+        let _ = self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(TomlValue::String(out)),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some(other) => {
+                        return Err(syntax(self.line, format!("unknown escape `\\{other}`")))
+                    }
+                    None => return Err(syntax(self.line, "unterminated string")),
+                },
+                Some(c) => out.push(c),
+                None => return Err(syntax(self.line, "unterminated string")),
+            }
+        }
+    }
+
+    fn parse_boolean(&mut self) -> Result<TomlValue, ScenarioError> {
+        let word = self.take_bare();
+        match word.as_str() {
+            "true" => Ok(TomlValue::Boolean(true)),
+            "false" => Ok(TomlValue::Boolean(false)),
+            other => Err(syntax(self.line, format!("expected `true` or `false`, found `{other}`"))),
+        }
+    }
+
+    /// Consumes the bare token under the cursor (up to whitespace or a
+    /// structural character).
+    fn take_bare(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if c == ' ' || c == '\t' || c == ',' || c == ']' || c == '}' {
+                break;
+            }
+            out.push(c);
+            self.pos += 1;
+        }
+        out
+    }
+
+    fn parse_number(&mut self) -> Result<TomlValue, ScenarioError> {
+        let raw = self.take_bare();
+        let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+        let is_float = cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E');
+        if is_float {
+            match cleaned.parse::<f64>() {
+                Ok(v) if v.is_finite() => Ok(TomlValue::Float(v)),
+                _ => Err(syntax(self.line, format!("invalid float `{raw}`"))),
+            }
+        } else {
+            match cleaned.parse::<i64>() {
+                Ok(v) => Ok(TomlValue::Integer(v)),
+                Err(_) => Err(syntax(self.line, format!("invalid integer `{raw}`"))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<TomlValue, ScenarioError> {
+        let _ = self.bump(); // `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(']') => {
+                    let _ = self.bump();
+                    return Ok(TomlValue::Array(items));
+                }
+                None => return Err(syntax(self.line, "unterminated array (must be single-line)")),
+                _ => {}
+            }
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    let _ = self.bump();
+                }
+                Some(']') => {}
+                Some(c) => {
+                    return Err(syntax(self.line, format!("expected `,` or `]`, found `{c}`")))
+                }
+                None => return Err(syntax(self.line, "unterminated array (must be single-line)")),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<TomlValue, ScenarioError> {
+        let _ = self.bump(); // `{`
+        let mut table = TomlTable::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            let _ = self.bump();
+            return Ok(TomlValue::Table(table));
+        }
+        loop {
+            self.skip_ws();
+            let key_src = self.take_key_token()?;
+            let key = parse_key(&key_src, self.line)?;
+            self.skip_ws();
+            if self.bump() != Some('=') {
+                return Err(syntax(self.line, format!("expected `=` after inline key `{key}`")));
+            }
+            let value = self.parse_value()?;
+            table.insert(key, value, self.line)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(TomlValue::Table(table)),
+                Some(c) => {
+                    return Err(syntax(self.line, format!("expected `,` or `}}`, found `{c}`")))
+                }
+                None => {
+                    return Err(syntax(
+                        self.line,
+                        "unterminated inline table (must be single-line)",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Consumes an inline-table key token (bare or quoted).
+    fn take_key_token(&mut self) -> Result<String, ScenarioError> {
+        if self.peek() == Some('"') {
+            match self.parse_string()? {
+                TomlValue::String(s) => Ok(format!("\"{s}\"")),
+                _ => Err(syntax(self.line, "expected quoted key")),
+            }
+        } else {
+            let mut out = String::new();
+            while let Some(c) = self.peek() {
+                if c == ' ' || c == '\t' || c == '=' {
+                    break;
+                }
+                out.push(c);
+                self.pos += 1;
+            }
+            if out.is_empty() {
+                return Err(syntax(self.line, "expected key in inline table"));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'t>(t: &'t TomlTable, key: &str) -> &'t TomlValue {
+        t.get(key).unwrap()
+    }
+
+    #[test]
+    fn scalars_tables_and_comments() {
+        let doc = r#"
+# top comment
+schema = 1
+name = "steady" # trailing comment
+ratio = 0.75
+big = 1_000_000
+neg = -3
+on = true
+off = false
+
+[run]
+slots = 5000
+"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(get(&root, "schema"), &TomlValue::Integer(1));
+        assert_eq!(get(&root, "name"), &TomlValue::String("steady".to_owned()));
+        assert_eq!(get(&root, "ratio"), &TomlValue::Float(0.75));
+        assert_eq!(get(&root, "big"), &TomlValue::Integer(1_000_000));
+        assert_eq!(get(&root, "neg"), &TomlValue::Integer(-3));
+        assert_eq!(get(&root, "on"), &TomlValue::Boolean(true));
+        assert_eq!(get(&root, "off"), &TomlValue::Boolean(false));
+        let TomlValue::Table(run) = get(&root, "run") else { panic!("run is a table") };
+        assert_eq!(get(run, "slots"), &TomlValue::Integer(5000));
+    }
+
+    #[test]
+    fn arrays_inline_tables_and_dotted_headers() {
+        let doc = r#"
+xs = [1, 2, 3]
+mixed = ["a", 2.5, true]
+duration = { model = "geometric", mean = 4.0 }
+
+[traffic.hotspot]
+fiber = 3
+"#;
+        let root = parse(doc).unwrap();
+        let TomlValue::Array(xs) = get(&root, "xs") else { panic!("xs is an array") };
+        assert_eq!(xs.len(), 3);
+        let TomlValue::Table(d) = get(&root, "duration") else { panic!("duration is a table") };
+        assert_eq!(get(d, "model"), &TomlValue::String("geometric".to_owned()));
+        assert_eq!(get(d, "mean"), &TomlValue::Float(4.0));
+        let TomlValue::Table(traffic) = get(&root, "traffic") else { panic!() };
+        let TomlValue::Table(hotspot) = get(traffic, "hotspot") else { panic!() };
+        assert_eq!(get(hotspot, "fiber"), &TomlValue::Integer(3));
+    }
+
+    #[test]
+    fn array_of_tables() {
+        let doc = r#"
+[[phases]]
+name = "ramp"
+slots = 100
+
+[[phases]]
+name = "peak"
+slots = 200
+rate = 1.5
+"#;
+        let root = parse(doc).unwrap();
+        let TomlValue::Array(phases) = get(&root, "phases") else { panic!() };
+        assert_eq!(phases.len(), 2);
+        let TomlValue::Table(peak) = &phases[1] else { panic!() };
+        assert_eq!(get(peak, "rate"), &TomlValue::Float(1.5));
+    }
+
+    #[test]
+    fn string_escapes_and_hash_inside_string() {
+        let root = parse(r#"s = "a # not a comment \"q\" \n\t\\ end""#).unwrap();
+        assert_eq!(
+            get(&root, "s"),
+            &TomlValue::String("a # not a comment \"q\" \n\t\\ end".to_owned())
+        );
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let err = parse("a = 1\na = 2\n").unwrap_err();
+        assert_eq!(err, ScenarioError::DuplicateKey { line: 2, key: "a".to_owned() });
+    }
+
+    #[test]
+    fn duplicate_table_header_rejected() {
+        let err = parse("[run]\nslots = 1\n[run]\nseed = 2\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::Syntax { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        for (doc, line) in [
+            ("a = \n", 1),
+            ("x\n", 1),
+            ("a = 1\nb = \"unterminated\n", 2),
+            ("a = [1, 2\n", 1),
+            ("a = { b = 1\n", 1),
+            ("a = 1 stray\n", 1),
+            ("[t\n", 1),
+            ("[[t]\n", 1),
+            ("a.b = 1\n", 1),
+            ("a = 12abc\n", 1),
+            ("a = 1.2.3\n", 1),
+            ("a = tru\n", 1),
+            ("a = \\x\n", 1),
+        ] {
+            match parse(doc) {
+                Err(ScenarioError::Syntax { line: l, .. }) => assert_eq!(l, line, "doc: {doc:?}"),
+                other => panic!("expected syntax error for {doc:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn header_under_array_of_tables_attaches_to_last_element() {
+        let doc = r#"
+[[phases]]
+name = "a"
+
+[phases.extra]
+x = 1
+"#;
+        let root = parse(doc).unwrap();
+        let TomlValue::Array(phases) = get(&root, "phases") else { panic!() };
+        let TomlValue::Table(a) = &phases[0] else { panic!() };
+        let TomlValue::Table(extra) = get(a, "extra") else { panic!() };
+        assert_eq!(get(extra, "x"), &TomlValue::Integer(1));
+    }
+
+    #[test]
+    fn scalar_reused_as_table_rejected() {
+        assert!(parse("a = 1\n[a]\nb = 2\n").is_err());
+        assert!(parse("a = 1\n[[a]]\nb = 2\n").is_err());
+    }
+}

@@ -20,7 +20,7 @@ use wdm_serve::{EngineConfig, Server, ServerConfig};
 use wdm_sim::trace::SessionTrace;
 
 fn usage() -> &'static str {
-    "usage:\n  wdm-serve serve [--addr <host:port>] [--addr-file <path>] [--n <fibers>]\n               [--k <wavelengths>] [--degree <d>] [--non-circular]\n               [--policy auto|fa|bfa|approx|hk] [--period-us <us>]\n               [--max-slots <slots>] [--queue-capacity <cap>]\n               [--trace <out.json>]\n  wdm-serve replay --trace <session.json>\n\n  --addr defaults to 127.0.0.1:0 (ephemeral port); --addr-file writes the\n  bound address after the listener is up (readiness signal for scripts)"
+    "usage:\n  wdm-serve serve [--addr <host:port>] [--addr-file <path>] [--n <fibers>]\n               [--k <wavelengths>] [--degree <d>] [--non-circular]\n               [--policy auto|fa|bfa|approx|hk] [--period-us <us>]\n               [--max-slots <slots>] [--queue-capacity <cap>]\n               [--trace <out.json>] [--scenario <plan.toml>]\n  wdm-serve replay --trace <session.json>\n\n  --addr defaults to 127.0.0.1:0 (ephemeral port); --addr-file writes the\n  bound address after the listener is up (readiness signal for scripts).\n  --scenario takes the interconnect topology and policy from the plan\n  (overriding --n/--k/--degree/--policy) and applies its disruption\n  timeline and fallback rule at the planned slots; drive the same plan\n  from `wdm-loadgen --scenario`. Incompatible with --trace (a session\n  trace cannot replay mid-run disruptions)."
 }
 
 struct ServeArgs {
@@ -35,6 +35,7 @@ struct ServeArgs {
     max_slots: Option<u64>,
     queue_capacity: usize,
     trace_path: Option<String>,
+    scenario_path: Option<String>,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
@@ -50,6 +51,7 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         max_slots: None,
         queue_capacity: 1024,
         trace_path: None,
+        scenario_path: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -75,6 +77,7 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                 out.queue_capacity = parse_num(&value("--queue-capacity")?, "--queue-capacity")?;
             }
             "--trace" => out.trace_path = Some(value("--trace")?),
+            "--scenario" => out.scenario_path = Some(value("--scenario")?),
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -86,14 +89,37 @@ fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> 
 }
 
 fn run_serve(args: &ServeArgs) -> Result<(), String> {
-    let conversion = if args.circular {
-        Conversion::symmetric_circular(args.k, args.degree)
-    } else {
-        Conversion::symmetric_non_circular(args.k, args.degree)
-    }
-    .map_err(|e| format!("conversion: {e}"))?;
+    // A scenario plan fixes the topology and policy; explicit flags would
+    // silently disagree with the plan's compiled events, so the plan wins.
+    let scenario = match &args.scenario_path {
+        Some(path) => {
+            if args.trace_path.is_some() {
+                return Err(
+                    "--scenario is incompatible with --trace: a session trace cannot replay \
+                     mid-run disruptions"
+                        .to_owned(),
+                );
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let plan = wdm_scenario::load_plan(&text).map_err(|e| format!("{path}: {e}"))?;
+            Some(std::sync::Arc::new(plan))
+        }
+        None => None,
+    };
+    let (n, conversion, policy) = match &scenario {
+        Some(plan) => (plan.n(), plan.conversion(), plan.policy()),
+        None => {
+            let conversion = if args.circular {
+                Conversion::symmetric_circular(args.k, args.degree)
+            } else {
+                Conversion::symmetric_non_circular(args.k, args.degree)
+            }
+            .map_err(|e| format!("conversion: {e}"))?;
+            (args.n, conversion, args.policy)
+        }
+    };
     let mut engine =
-        EngineConfig::new(args.n, conversion, args.policy).with_queue_capacity(args.queue_capacity);
+        EngineConfig::new(n, conversion, policy).with_queue_capacity(args.queue_capacity);
     if args.trace_path.is_some() {
         engine = engine.with_trace();
     }
@@ -101,6 +127,7 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
         engine,
         slot_period: Duration::from_micros(args.period_us),
         max_slots: args.max_slots,
+        scenario: scenario.clone(),
     };
     let server =
         Server::bind(&args.addr, config).map_err(|e| format!("bind {}: {e}", args.addr))?;
@@ -112,20 +139,40 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
             .map_err(|e| format!("write {path}: {e}"))?;
     }
     eprintln!(
-        "wdm-serve: listening on {} (n={} k={} d={} {} policy={} period={}us)",
+        "wdm-serve: listening on {} (n={} k={} d={} policy={} period={}us)",
         server.local_addr(),
-        args.n,
-        args.k,
-        args.degree,
-        if args.circular { "circular" } else { "non-circular" },
-        args.policy,
+        n,
+        conversion.k(),
+        conversion.degree(),
+        policy,
         args.period_us,
     );
+    if let Some(plan) = &scenario {
+        eprintln!(
+            "wdm-serve: scenario `{}` — {} phases, {} disruption events over {} slots",
+            plan.name(),
+            plan.phases().len(),
+            plan.events().len(),
+            plan.total_slots(),
+        );
+    }
     let report = server.run().map_err(|e| format!("server: {e}"))?;
     eprintln!(
         "wdm-serve: done — {} slots, {} grants, {} denies, {} admission denies, {} connections",
         report.slots, report.grants, report.denies, report.admission_denies, report.connections,
     );
+    if let Some(s) = &report.scenario {
+        eprintln!(
+            "wdm-serve: scenario — {} events applied, {} connections dropped, {} reservations \
+             cancelled; fallback engaged {}x / reverted {}x over {} slots",
+            s.events_applied,
+            s.dropped_connections,
+            s.cancelled_reservations,
+            s.fallback_engagements,
+            s.fallback_reverts,
+            s.engaged_slots,
+        );
+    }
     if let Some(path) = &args.trace_path {
         let Some(trace) = report.trace else {
             return Err("server produced no trace".to_owned());

@@ -49,6 +49,29 @@ impl SlotClock {
         self.next.saturating_duration_since(Instant::now())
     }
 
+    /// How many slot boundaries the caller is overdue by at `now`: zero
+    /// when on schedule (or free-running), one the moment the next
+    /// boundary passes un-ticked, and one more per additional period of
+    /// lateness. This is the live lag signal the scenario fallback
+    /// controller thresholds on — the pure seam under
+    /// [`Self::lag_slots`], testable with synthetic instants.
+    pub fn lag_slots_at(&self, now: Instant) -> u64 {
+        if self.free_running() {
+            return 0;
+        }
+        let overdue = now.saturating_duration_since(self.next);
+        if overdue.is_zero() {
+            return 0;
+        }
+        let periods = overdue.as_nanos() / self.period.as_nanos().max(1);
+        u64::try_from(periods).unwrap_or(u64::MAX).saturating_add(1)
+    }
+
+    /// [`Self::lag_slots_at`] against the real clock.
+    pub fn lag_slots(&self) -> u64 {
+        self.lag_slots_at(Instant::now())
+    }
+
     /// The pure tick step: given the current instant, returns how long to
     /// sleep until the next slot boundary (zero when overdue or
     /// free-running) and advances the boundary by exactly one period.
@@ -181,6 +204,28 @@ mod tests {
         // the lag pattern: next tick from `now` sleeps (start+21P) - now.
         let expected = (start + 21 * P).saturating_duration_since(now);
         assert_eq!(clock.tick_at(now), expected);
+    }
+
+    #[test]
+    fn lag_slots_counts_overdue_boundaries() {
+        let start = Instant::now();
+        let mut clock = SlotClock::starting_at(P, start);
+        // On time or early: no lag.
+        assert_eq!(clock.lag_slots_at(start), 0);
+        assert_eq!(clock.lag_slots_at(start + Duration::from_millis(9)), 0);
+        // Past the first boundary: one overdue slot; each further period
+        // adds one.
+        assert_eq!(clock.lag_slots_at(start + Duration::from_millis(11)), 1);
+        assert_eq!(clock.lag_slots_at(start + Duration::from_millis(21)), 2);
+        assert_eq!(clock.lag_slots_at(start + Duration::from_millis(35)), 3);
+        // Ticking works the lag off: after one tick the boundary advanced
+        // a period, so the same instant is one slot less overdue.
+        let late = start + Duration::from_millis(35);
+        assert_eq!(clock.tick_at(late), Duration::ZERO);
+        assert_eq!(clock.lag_slots_at(late), 2);
+        // A free-running clock never lags.
+        let free = SlotClock::starting_at(Duration::ZERO, start);
+        assert_eq!(free.lag_slots_at(start + Duration::from_secs(5)), 0);
     }
 
     #[test]

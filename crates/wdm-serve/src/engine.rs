@@ -23,9 +23,10 @@
 use wdm_attr::{allow_reach, hot_path, panic_free};
 use wdm_core::{Conversion, ConversionKind, Error, Policy};
 use wdm_interconnect::{
-    ConnectionRequest, Interconnect, InterconnectConfig, PreemptionPolicy, RejectReason,
-    Reservation, ReservationRequest, SlotResult, DEFAULT_RESERVATION_HORIZON,
+    ConnectionRequest, DisruptionImpact, Interconnect, InterconnectConfig, PreemptionPolicy,
+    RejectReason, Reservation, ReservationRequest, SlotResult, DEFAULT_RESERVATION_HORIZON,
 };
+use wdm_scenario::{DisruptionChange, DisruptionEvent};
 use wdm_sim::trace::{SessionTrace, TraceConfig};
 
 use crate::protocol::{DenyReason, ReserveRequest, SubmitRequest};
@@ -160,6 +161,18 @@ struct Tagged {
     request: ConnectionRequest,
 }
 
+/// One admitted-but-not-yet-activated reservation: the ledger id, the
+/// owning connection, the client-chosen wire id, and the destination fiber
+/// (kept so an outage cancelling the booking can answer its client — the
+/// ledger reports cancellations only as a count).
+#[derive(Debug, Clone, Copy)]
+struct Hold {
+    rid: u64,
+    conn: u64,
+    id: u64,
+    dst_fiber: usize,
+}
+
 /// Bounded per-destination admission queues feeding the offline engine —
 /// see the module docs for the full slot discipline.
 #[derive(Debug)]
@@ -174,10 +187,11 @@ pub struct SlotEngine {
     tags: Vec<(u64, u64)>,
     result: SlotResult,
     consumed: Vec<bool>,
-    // Admitted-but-not-yet-activated reservations: (ledger id, conn,
-    // client id). An entry leaves the map exactly once — at activation
-    // (grant or expiry) or at an owner-checked release.
-    holds: Vec<(u64, u64, u64)>,
+    // Admitted-but-not-yet-activated reservations. An entry leaves the
+    // map exactly once — at activation (grant or expiry), at an
+    // owner-checked release, or when a fiber outage cancels the booking
+    // (the client is answered immediately, never left stranded).
+    holds: Vec<Hold>,
     trace: Option<SessionTrace>,
 }
 
@@ -362,7 +376,7 @@ impl SlotEngine {
         };
         match self.engine.reserve(request) {
             Ok(rid) => {
-                self.holds.push((rid, conn, req.id));
+                self.holds.push(Hold { rid, conn, id: req.id, dst_fiber });
                 if let Some(trace) = &mut self.trace {
                     trace.record_reservation(Reservation { id: rid, request });
                 }
@@ -384,8 +398,7 @@ impl SlotEngine {
     /// no-op on the wire) for unknown ids, foreign owners, or reservations
     /// that already activated.
     pub fn release(&mut self, conn: u64, reservation_id: u64) -> bool {
-        let Some(pos) =
-            self.holds.iter().position(|&(rid, owner, _)| rid == reservation_id && owner == conn)
+        let Some(pos) = self.holds.iter().position(|h| h.rid == reservation_id && h.conn == conn)
         else {
             return false;
         };
@@ -505,6 +518,73 @@ impl SlotEngine {
             reservation_expiries,
         }
     }
+
+    /// Applies one scenario disruption event against the live engine,
+    /// before the affected slot is scheduled: converter failures shrink
+    /// the fiber's conversion scheme (dropping in-flight connections the
+    /// narrow range cannot realise), recovery restores the baseline, an
+    /// outage takes the fiber dark, and rejoin brings it back cold.
+    ///
+    /// An outage also cancels every pending reservation booked toward the
+    /// dark fiber; each cancelled hold's client is answered *now* with a
+    /// [`DenyReason::CapacityExhausted`] deny appended to `out` — the
+    /// ledger entry is gone, and a silent cancellation would strand the
+    /// client forever.
+    pub fn apply_disruption(
+        &mut self,
+        event: &DisruptionEvent,
+        out: &mut Vec<Reply>,
+    ) -> Result<DisruptionImpact, Error> {
+        let slot = self.engine.slot();
+        let impact = match event.change {
+            DisruptionChange::ConverterFailure { conversion, .. } => {
+                self.engine.shrink_conversion(event.fiber, conversion)?
+            }
+            DisruptionChange::ConverterRecovery => self.engine.restore_conversion(event.fiber)?,
+            DisruptionChange::Outage => {
+                let impact = self.engine.fail_fiber(event.fiber)?;
+                let mut cancelled = 0usize;
+                let mut i = 0;
+                while i < self.holds.len() {
+                    if self.holds[i].dst_fiber == event.fiber {
+                        let hold = self.holds.swap_remove(i);
+                        cancelled += 1;
+                        if let Some(trace) = &mut self.trace {
+                            trace.record_release(hold.rid);
+                        }
+                        out.push(Reply {
+                            conn: hold.conn,
+                            id: hold.id,
+                            slot,
+                            verdict: Verdict::Denied {
+                                reason: DenyReason::CapacityExhausted,
+                                retry_after_slots: 0,
+                            },
+                        });
+                    } else {
+                        i += 1;
+                    }
+                }
+                debug_assert_eq!(
+                    cancelled, impact.cancelled_reservations,
+                    "every ledger cancellation answers exactly one registered hold"
+                );
+                impact
+            }
+            DisruptionChange::Rejoin => self.engine.rejoin_fiber(event.fiber)?,
+        };
+        Ok(impact)
+    }
+
+    /// Swaps the scheduling policy on every fiber — the degraded-mode
+    /// fallback path (all-or-nothing, validated against every fiber's
+    /// current conversion kind first; see
+    /// [`Interconnect::set_policy_all`]).
+    pub fn set_policy_all(&mut self, policy: Policy) -> Result<(), Error> {
+        self.engine.set_policy_all(policy)?;
+        self.policy = policy;
+        Ok(())
+    }
 }
 
 /// Unwraps a result whose error leg is precluded by an engine invariant;
@@ -529,12 +609,12 @@ fn expect_invariant<T, E>(result: Result<T, E>, invariant: &'static str) -> T {
     panic_free,
     reason = "the engine activates every registered reservation exactly once (ledger invariant, covered by the serve round-trip tests); a missing hold is unrecoverable state corruption"
 )]
-fn claim_hold(holds: &mut Vec<(u64, u64, u64)>, reservation: u64) -> (u64, u64) {
-    let Some(pos) = holds.iter().position(|&(rid, _, _)| rid == reservation) else {
+fn claim_hold(holds: &mut Vec<Hold>, reservation: u64) -> (u64, u64) {
+    let Some(pos) = holds.iter().position(|h| h.rid == reservation) else {
         unreachable!("engine activated a reservation that was never registered")
     };
-    let (_, conn, id) = holds.swap_remove(pos);
-    (conn, id)
+    let hold = holds.swap_remove(pos);
+    (hold.conn, hold.id)
 }
 
 /// Maps an engine grant/rejection back to the (conn, id) tag of the first

@@ -21,6 +21,10 @@
 //!   `cfg(loom)`-swappable atomics/mutexes/condvars, exhaustively
 //!   model-checked by `tests/loom_serve.rs` under `cargo xtask loom`; the
 //!   canonical shutdown drain order is documented there;
+//! * [`scenario`] — the scenario runtime: drives a compiled
+//!   `wdm-scenario` plan's disruption timeline (converter failures, fiber
+//!   outages) and degraded-mode policy fallback against the live engine,
+//!   with no wire-format change;
 //! * [`server`] — the daemon: acceptor + per-connection reader threads
 //!   feeding a bounded intake channel, the coordinator slot loop, and a
 //!   results thread streaming grant/deny frames back;
@@ -35,6 +39,7 @@ pub mod client;
 pub mod clock;
 pub mod engine;
 pub mod protocol;
+pub mod scenario;
 pub mod serve_sync;
 pub mod server;
 
@@ -44,5 +49,6 @@ pub use engine::{EngineConfig, Reply, SlotEngine, SlotSummary, Verdict};
 pub use protocol::{
     DenyReason, Frame, ProtocolError, ReserveRequest, SubmitRequest, PROTOCOL_VERSION,
 };
+pub use scenario::{ScenarioRuntime, ScenarioSummary};
 pub use server::{Server, ServerConfig, ServerReport};
 pub use wdm_interconnect::PreemptionPolicy;

@@ -280,6 +280,12 @@ pub enum ProtocolError {
     },
     /// The scheduling engine rejected a configuration.
     Engine(wdm_core::Error),
+    /// A scenario plan does not fit the session it was applied to — e.g.
+    /// its interconnect topology disagrees with the live engine's.
+    Scenario {
+        /// What mismatched.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -308,6 +314,7 @@ impl std::fmt::Display for ProtocolError {
                 write!(out, "server error {code}: {message}")
             }
             ProtocolError::Engine(e) => write!(out, "engine configuration rejected: {e}"),
+            ProtocolError::Scenario { message } => write!(out, "scenario mismatch: {message}"),
         }
     }
 }

@@ -1,0 +1,348 @@
+//! Scenario-driven daemon runtime: applies a compiled plan's disruption
+//! timeline and degraded-mode fallback to a live [`SlotEngine`].
+//!
+//! The daemon and the offline simulator consume the *same*
+//! [`wdm_scenario::CompiledPlan`]: `wdm-loadgen --scenario` drives the
+//! request stream while this runtime fires the plan's converter failures,
+//! fiber outages, recoveries, and policy fallback at their planned slots —
+//! all through the engine's existing configuration path, with no wire
+//! format change. Each slot the coordinator calls
+//! [`ScenarioRuntime::before_slot`] once, *before*
+//! [`SlotEngine::run_slot`], so a disruption at slot `s` is in force when
+//! slot `s` is scheduled, exactly as in the offline run.
+//!
+//! The fallback controller is [`wdm_scenario::FallbackRule::decide`] — the
+//! same edge-triggered hysteresis the simulator uses — but here the lag
+//! trigger is live: the coordinator feeds in how many slot boundaries the
+//! [`crate::SlotClock`] is currently overdue by.
+
+use std::sync::Arc;
+
+use wdm_core::Policy;
+use wdm_scenario::CompiledPlan;
+
+use crate::engine::{Reply, SlotEngine};
+use crate::protocol::ProtocolError;
+
+/// Aggregate of what a scenario runtime did over a run, reported in
+/// [`crate::server::ServerReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use]
+pub struct ScenarioSummary {
+    /// Disruption events applied (strike and recovery edges both count).
+    pub events_applied: usize,
+    /// In-flight connections dropped by converter failures and outages.
+    pub dropped_connections: usize,
+    /// Pending reservations cancelled by outages (each one's client was
+    /// answered with a capacity deny at cancellation time).
+    pub cancelled_reservations: usize,
+    /// Times the fallback controller engaged the degraded policy.
+    pub fallback_engagements: u64,
+    /// Times it reverted to the baseline policy.
+    pub fallback_reverts: u64,
+    /// Slots executed with the fallback policy in force.
+    pub engaged_slots: u64,
+}
+
+/// Drives one [`CompiledPlan`] against a live [`SlotEngine`]: a cursor
+/// over the plan's slot-sorted disruption events plus the fallback
+/// controller's engaged/baseline state.
+#[derive(Debug)]
+pub struct ScenarioRuntime {
+    plan: Arc<CompiledPlan>,
+    cursor: usize,
+    engaged: bool,
+    base_policy: Policy,
+    summary: ScenarioSummary,
+}
+
+impl ScenarioRuntime {
+    /// Attaches a plan to an engine, validating that the plan was compiled
+    /// for this topology — every event names a fiber index and every
+    /// shrunk conversion a wavelength count that must exist here.
+    pub fn new(
+        plan: Arc<CompiledPlan>,
+        engine: &SlotEngine,
+    ) -> Result<ScenarioRuntime, ProtocolError> {
+        if plan.n() != engine.n() || plan.k() != engine.k() {
+            return Err(ProtocolError::Scenario {
+                message: format!(
+                    "plan is for n={} k={} but the engine serves n={} k={}",
+                    plan.n(),
+                    plan.k(),
+                    engine.n(),
+                    engine.k()
+                ),
+            });
+        }
+        let base_policy = engine.policy();
+        Ok(ScenarioRuntime {
+            plan,
+            cursor: 0,
+            engaged: false,
+            summary: ScenarioSummary::default(),
+            base_policy,
+        })
+    }
+
+    /// The plan being driven.
+    pub fn plan(&self) -> &CompiledPlan {
+        &self.plan
+    }
+
+    /// What the runtime has done so far.
+    pub fn summary(&self) -> ScenarioSummary {
+        self.summary
+    }
+
+    /// Whether the fallback policy is currently in force.
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// Applies everything the plan schedules at (or before) the engine's
+    /// current slot: pending disruption events, then one fallback
+    /// decision. Call exactly once per executed slot, immediately before
+    /// [`SlotEngine::run_slot`]; replies to clients whose reservations an
+    /// outage cancelled are appended to `out`.
+    pub fn before_slot(&mut self, engine: &mut SlotEngine, lag_slots: u64, out: &mut Vec<Reply>) {
+        let slot = engine.slot();
+        while let Some(event) = self.plan.events().get(self.cursor) {
+            if event.slot > slot {
+                break;
+            }
+            self.cursor += 1;
+            let Ok(impact) = engine.apply_disruption(event, out) else {
+                unreachable!("the plan was validated against this engine at attach")
+            };
+            self.summary.events_applied += 1;
+            self.summary.dropped_connections += impact.dropped_connections;
+            self.summary.cancelled_reservations += impact.cancelled_reservations;
+        }
+        if let Some(rule) = self.plan.fallback() {
+            let load = self.plan.offered_load(slot);
+            let disrupted = self.plan.is_disrupted(slot);
+            let want = rule.decide(self.engaged, load, disrupted, lag_slots);
+            if want != self.engaged {
+                let target = if want { rule.policy } else { self.base_policy };
+                match engine.set_policy_all(target) {
+                    Ok(()) => {}
+                    Err(_) => unreachable!(
+                        "compile() validated the fallback policy against the baseline and every shrunk conversion"
+                    ),
+                }
+                self.engaged = want;
+                if want {
+                    self.summary.fallback_engagements += 1;
+                } else {
+                    self.summary.fallback_reverts += 1;
+                }
+            }
+        }
+        if self.engaged {
+            self.summary.engaged_slots += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, Verdict};
+    use crate::protocol::{DenyReason, ReserveRequest, SubmitRequest};
+    use wdm_core::Conversion;
+
+    const PLAN: &str = r#"
+schema = 1
+name = "daemon-storm"
+
+[interconnect]
+n = 4
+k = 8
+degree = 5
+kind = "circular"
+policy = "bfa"
+
+[run]
+slots = 40
+seed = 9
+
+[traffic]
+load = 0.5
+duration = { model = "deterministic", slots = 2 }
+
+[[disruptions]]
+at = 4
+fiber = 1
+kind = "converter-failure"
+degree = 1
+until = 8
+
+[[disruptions]]
+at = 12
+fiber = 2
+kind = "outage"
+until = 16
+
+[fallback]
+policy = "approx"
+on_disruption = true
+"#;
+
+    fn plan() -> Arc<CompiledPlan> {
+        Arc::new(wdm_scenario::load_plan(PLAN).unwrap())
+    }
+
+    fn engine_for(plan: &CompiledPlan) -> SlotEngine {
+        SlotEngine::new(EngineConfig::new(plan.n(), plan.conversion(), plan.policy())).unwrap()
+    }
+
+    fn sub(id: u64, src_fiber: u32, sw: u32, dst_fiber: u32, duration: u32) -> SubmitRequest {
+        SubmitRequest { id, src_fiber, src_wavelength: sw, dst_fiber, duration }
+    }
+
+    #[test]
+    fn topology_mismatch_is_rejected_at_attach() {
+        let plan = plan();
+        let conversion = Conversion::symmetric_circular(8, 5).unwrap();
+        let other = SlotEngine::new(EngineConfig::new(6, conversion, Policy::Auto)).unwrap();
+        let err = ScenarioRuntime::new(Arc::clone(&plan), &other).unwrap_err();
+        assert!(matches!(err, ProtocolError::Scenario { .. }), "{err}");
+    }
+
+    #[test]
+    fn events_fire_at_their_slots_and_fallback_tracks_disruption() {
+        let plan = plan();
+        let mut engine = engine_for(&plan);
+        let mut rt = ScenarioRuntime::new(Arc::clone(&plan), &engine).unwrap();
+        let mut out = Vec::new();
+        for slot in 0..plan.total_slots() {
+            assert_eq!(engine.slot(), slot);
+            out.clear();
+            rt.before_slot(&mut engine, 0, &mut out);
+            // Degraded policy exactly while a disruption window is open.
+            let in_window = (4..8).contains(&slot) || (12..16).contains(&slot);
+            assert_eq!(rt.engaged(), in_window, "slot {slot}");
+            let expected =
+                if in_window { Policy::Approximate } else { Policy::BreakFirstAvailable };
+            assert_eq!(engine.policy(), expected, "slot {slot}");
+            let _ = engine.run_slot(&mut out);
+        }
+        let s = rt.summary();
+        assert_eq!(s.events_applied, plan.events().len());
+        assert_eq!(s.fallback_engagements, 2);
+        assert_eq!(s.fallback_reverts, 2);
+        assert_eq!(s.engaged_slots, 8);
+    }
+
+    #[test]
+    fn outage_answers_every_cancelled_hold() {
+        let plan = plan();
+        let mut engine = engine_for(&plan);
+        let mut rt = ScenarioRuntime::new(Arc::clone(&plan), &engine).unwrap();
+        let mut out = Vec::new();
+        // Book two reservations toward fiber 2 (the outage target) and one
+        // toward fiber 3, all starting after the outage at slot 12.
+        for (id, sw, dst) in [(100, 0, 2), (101, 1, 2), (102, 2, 3)] {
+            let reply = engine.reserve(
+                7,
+                ReserveRequest {
+                    id,
+                    src_fiber: 0,
+                    src_wavelength: sw,
+                    dst_fiber: dst,
+                    start_in: 20,
+                    duration: 2,
+                },
+            );
+            assert!(matches!(reply.verdict, Verdict::Reserved { .. }), "{reply:?}");
+        }
+        assert_eq!(engine.pending_reservations(), 3);
+        for _ in 0..12 {
+            out.clear();
+            rt.before_slot(&mut engine, 0, &mut out);
+            let _ = engine.run_slot(&mut out);
+        }
+        // Slot 12 applies the outage: both fiber-2 holds are cancelled and
+        // answered before the slot's own replies.
+        out.clear();
+        rt.before_slot(&mut engine, 0, &mut out);
+        let denies: Vec<u64> = out
+            .iter()
+            .filter(|r| {
+                matches!(r.verdict, Verdict::Denied { reason: DenyReason::CapacityExhausted, .. })
+            })
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(denies, vec![100, 101]);
+        assert_eq!(engine.pending_reservations(), 1);
+        assert_eq!(rt.summary().cancelled_reservations, 2);
+        // While dark, cell traffic toward fiber 2 loses output contention.
+        assert!(engine.submit(7, sub(1, 0, 0, 2, 1)).is_none());
+        let _ = engine.run_slot(&mut out);
+        let denied = out.iter().any(|r| {
+            r.id == 1
+                && matches!(r.verdict, Verdict::Denied { reason: DenyReason::OutputContention, .. })
+        });
+        assert!(denied, "requests toward a dark fiber must lose contention: {out:?}");
+        // Run through the rejoin at slot 16; the surviving fiber-3 hold
+        // activates at its start slot and the fiber serves traffic again.
+        while engine.slot() < 22 {
+            out.clear();
+            rt.before_slot(&mut engine, 0, &mut out);
+            let _ = engine.run_slot(&mut out);
+        }
+        assert_eq!(engine.pending_reservations(), 0);
+        out.clear();
+        assert!(engine.submit(7, sub(2, 1, 0, 2, 1)).is_none());
+        rt.before_slot(&mut engine, 0, &mut out);
+        let _ = engine.run_slot(&mut out);
+        let granted = out.iter().any(|r| r.id == 2 && matches!(r.verdict, Verdict::Granted { .. }));
+        assert!(granted, "a rejoined fiber serves traffic: {out:?}");
+    }
+
+    #[test]
+    fn lag_trigger_engages_without_a_disruption() {
+        let doc = r#"
+schema = 1
+
+[interconnect]
+n = 2
+k = 4
+degree = 3
+kind = "circular"
+policy = "bfa"
+
+[run]
+slots = 10
+seed = 1
+
+[traffic]
+load = 0.2
+duration = { model = "deterministic", slots = 1 }
+
+[fallback]
+policy = "approx"
+lag_threshold = 3
+"#;
+        let plan = Arc::new(wdm_scenario::load_plan(doc).unwrap());
+        let mut engine = engine_for(&plan);
+        let mut rt = ScenarioRuntime::new(Arc::clone(&plan), &engine).unwrap();
+        let mut out = Vec::new();
+        rt.before_slot(&mut engine, 0, &mut out);
+        assert!(!rt.engaged());
+        let _ = engine.run_slot(&mut out);
+        rt.before_slot(&mut engine, 5, &mut out);
+        assert!(rt.engaged(), "lag >= threshold engages");
+        let _ = engine.run_slot(&mut out);
+        rt.before_slot(&mut engine, 1, &mut out);
+        assert!(rt.engaged(), "hysteresis: still lagging, stay engaged");
+        let _ = engine.run_slot(&mut out);
+        rt.before_slot(&mut engine, 0, &mut out);
+        assert!(!rt.engaged(), "lag cleared, revert");
+        let s = rt.summary();
+        assert_eq!(s.fallback_engagements, 1);
+        assert_eq!(s.fallback_reverts, 1);
+        assert_eq!(s.engaged_slots, 2);
+    }
+}

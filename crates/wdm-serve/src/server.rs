@@ -37,6 +37,7 @@ use crate::engine::{EngineConfig, Reply, SlotEngine, Verdict};
 use crate::protocol::{
     read_frame, write_frame, Frame, ProtocolError, ReserveRequest, SubmitRequest, PROTOCOL_VERSION,
 };
+use crate::scenario::{ScenarioRuntime, ScenarioSummary};
 use crate::serve_sync::{
     self, Receiver, RecvTimeoutError, Sender, SlotSequence, StopFlag, TryRecvError,
 };
@@ -68,6 +69,10 @@ pub struct ServerConfig {
     pub slot_period: Duration,
     /// Stop after this many executed slots (`None` = run until SHUTDOWN).
     pub max_slots: Option<u64>,
+    /// A compiled scenario whose disruption timeline and fallback rule the
+    /// coordinator applies at the planned slots (`None` = steady serving).
+    /// Must have been compiled for this engine's `n`/`k` topology.
+    pub scenario: Option<Arc<wdm_scenario::CompiledPlan>>,
 }
 
 /// What a finished server run did.
@@ -91,6 +96,8 @@ pub struct ServerReport {
     pub reservation_expiries: u64,
     /// Connections accepted over the run.
     pub connections: u64,
+    /// What the scenario runtime did, when one was configured.
+    pub scenario: Option<ScenarioSummary>,
     /// The recorded session, when the engine was configured to record.
     pub trace: Option<SessionTrace>,
 }
@@ -147,6 +154,10 @@ impl Server {
     pub fn run(self) -> Result<ServerReport, ProtocolError> {
         let Server { listener, addr: _, config } = self;
         let mut engine = SlotEngine::new(config.engine)?;
+        let mut scenario = match &config.scenario {
+            Some(plan) => Some(ScenarioRuntime::new(Arc::clone(plan), &engine)?),
+            None => None,
+        };
         let hello = HelloInfo {
             n: u32::try_from(engine.n()).unwrap_or(u32::MAX),
             k: u32::try_from(engine.k()).unwrap_or(u32::MAX),
@@ -178,6 +189,7 @@ impl Server {
             reservation_grants: 0,
             reservation_expiries: 0,
             connections: 0,
+            scenario: None,
             trace: None,
         };
         let mut out: Vec<Reply> = Vec::new();
@@ -228,7 +240,13 @@ impl Server {
             // 2. The slot: drain shards, schedule, stream replies. The slot
             // is published to the shared sequence *before* its SlotDone
             // event is enqueued (the results thread confirms the order).
+            // Scenario disruptions and fallback decisions land first, so a
+            // failure planned for slot s is in force when s is scheduled;
+            // replies to outage-cancelled reservations lead the stream.
             out.clear();
+            if let Some(rt) = scenario.as_mut() {
+                rt.before_slot(&mut engine, clock.lag_slots(), &mut out);
+            }
             let summary = engine.run_slot(&mut out);
             report.grants += summary.grants as u64;
             report.denies += summary.denies as u64;
@@ -272,6 +290,7 @@ impl Server {
             let _ = h.join();
         }
         drop(in_rx);
+        report.scenario = scenario.map(|rt| rt.summary());
         report.trace = engine.take_trace();
         Ok(report)
     }

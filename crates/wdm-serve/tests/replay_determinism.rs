@@ -45,6 +45,7 @@ fn drive(policy: Policy, conversion: Conversion) {
         engine: EngineConfig::new(N, conversion, policy).with_trace(),
         slot_period: Duration::ZERO,
         max_slots: None,
+        scenario: None,
     };
     let server = Server::bind("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr().to_string();
@@ -145,6 +146,7 @@ fn mixed_reservation_session_replays_bit_identically() {
             .with_trace(),
         slot_period: Duration::ZERO,
         max_slots: None,
+        scenario: None,
     };
     let server = Server::bind("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr().to_string();
@@ -287,6 +289,7 @@ fn identical_sessions_produce_identical_traces() {
             .with_trace(),
             slot_period: Duration::ZERO,
             max_slots: None,
+            scenario: None,
         };
         let server = Server::bind("127.0.0.1:0", config).unwrap();
         let addr = server.local_addr().to_string();

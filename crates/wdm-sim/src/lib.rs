@@ -19,7 +19,10 @@
 //!   behind EXPERIMENTS.md;
 //! * [`sweep_sync`] — the cursor/slot coordination protocol behind the
 //!   multi-threaded sweep, model-checked exhaustively under loom
-//!   (`cargo xtask loom`).
+//!   (`cargo xtask loom`);
+//! * [`scenario`] — executes a compiled `wdm-scenario` plan: phased load,
+//!   mid-run disruptions (converter failures, fiber outages), degraded-mode
+//!   policy fallback, with per-phase and per-disruption-window breakdowns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,12 +32,17 @@ pub mod analysis;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
+pub mod scenario;
 pub mod sweep_sync;
 pub mod trace;
 pub mod traffic;
 
-pub use engine::{Report, ReservationSummary, Simulation, SimulationConfig};
+pub use engine::{Report, ReservationSummary, Simulation, SimulationConfig, WarmSummary};
 pub use metrics::{Metrics, SlotObservation};
+pub use scenario::{
+    duration_model, run_scenario, FallbackReport, PhaseReport, ScenarioReport, ScenarioTraffic,
+    WindowStats,
+};
 pub use trace::{
     ReplayError, ReplayReport, SessionTrace, TraceConfig, TraceGrant, TraceRequest, TraceSlot,
 };

@@ -19,6 +19,16 @@ pub enum DurationModel {
         /// Mean holding time in slots.
         mean: f64,
     },
+    /// Heavy-tailed (Pareto) holding times: most holds are near `min`
+    /// slots, a few are very long — the burst/batch-size distribution
+    /// measured on real datacenter traffic. `shape` must exceed 1 for a
+    /// finite mean (`min · shape / (shape − 1)`).
+    Pareto {
+        /// Minimum holding time in slots (the Pareto scale, ≥ 1).
+        min: f64,
+        /// Tail exponent (the Pareto shape).
+        shape: f64,
+    },
 }
 
 impl DurationModel {
@@ -39,6 +49,19 @@ impl DurationModel {
                     1
                 }
             }
+            DurationModel::Pareto { min, shape } => {
+                let min = min.max(1.0);
+                let shape = shape.max(1.0 + f64::EPSILON);
+                // Pareto via inversion: one uniform draw, like Geometric,
+                // so every model consumes the same RNG stream shape.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let d = (min / u.powf(1.0 / shape)).ceil();
+                if d.is_finite() {
+                    d.clamp(1.0, f64::from(u32::MAX)) as u32
+                } else {
+                    1
+                }
+            }
         }
     }
 
@@ -47,6 +70,11 @@ impl DurationModel {
         match *self {
             DurationModel::Deterministic(d) => d.max(1) as f64,
             DurationModel::Geometric { mean } => mean.max(1.0),
+            DurationModel::Pareto { min, shape } => {
+                let min = min.max(1.0);
+                let shape = shape.max(1.0 + f64::EPSILON);
+                min * shape / (shape - 1.0)
+            }
         }
     }
 }
@@ -582,6 +610,22 @@ mod tests {
         let mean = total as f64 / 20_000.0;
         assert!(mean > 7.5 && mean < 8.5, "measured mean {mean}");
         assert_eq!(model.mean(), 8.0);
+    }
+
+    #[test]
+    fn pareto_durations_are_heavy_tailed() {
+        let model = DurationModel::Pareto { min: 1.0, shape: 2.5 };
+        // E[X] = min·shape/(shape−1) = 5/3 for the continuous variable.
+        assert!((model.mean() - 5.0 / 3.0).abs() < 1e-9);
+        let mut r = rng();
+        let samples: Vec<u32> = (0..20_000).map(|_| model.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&d| d >= 1));
+        // ceil() shifts the sampled mean up by at most one slot.
+        let mean = samples.iter().map(|&d| u64::from(d)).sum::<u64>() as f64 / 20_000.0;
+        assert!(mean > 1.6 && mean < 2.7, "measured mean {mean}");
+        // Heavy tail: P(X > 15) ≈ 1/871, so 20k draws all but surely
+        // contain holds an order of magnitude past the mean.
+        assert!(samples.iter().copied().max().unwrap_or(0) > 15);
     }
 
     #[test]

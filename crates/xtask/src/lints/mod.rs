@@ -55,7 +55,7 @@ use crate::callgraph::CallGraph;
 /// Library crates the lint pass covers (same set the old scanner covered:
 /// `wdm-alloc-count` is deliberately excluded — it is test infrastructure
 /// and the one sanctioned `unsafe` impl in the workspace).
-pub const LIBRARY_CRATES: [&str; 8] = [
+pub const LIBRARY_CRATES: [&str; 9] = [
     "wdm-core",
     "wdm-hardware",
     "wdm-interconnect",
@@ -63,6 +63,7 @@ pub const LIBRARY_CRATES: [&str; 8] = [
     "wdm-bench",
     "wdm-serve",
     "wdm-loadgen",
+    "wdm-scenario",
     "wdm-attr",
 ];
 
